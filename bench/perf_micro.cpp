@@ -1,0 +1,139 @@
+// PERF — engineering microbenchmarks (google-benchmark): scaling of the
+// consistency checkers with history size, clock operation costs, timed-scan
+// throughput, and simulator/protocol step costs. Not a paper artifact; kept
+// so regressions in the hot paths are visible.
+#include <benchmark/benchmark.h>
+
+#include "clocks/plausible_clock.hpp"
+#include "clocks/vector_clock.hpp"
+#include "clocks/xi_map.hpp"
+#include "core/checkers.hpp"
+#include "core/history_gen.hpp"
+#include "protocol/experiment.hpp"
+#include "sim/simulator.hpp"
+
+namespace timedc {
+namespace {
+
+void BM_VectorClockTick(benchmark::State& state) {
+  VectorClock clock(static_cast<std::size_t>(state.range(0)), SiteId{0});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clock.tick());
+  }
+}
+BENCHMARK(BM_VectorClockTick)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_VectorClockCompare(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  VectorClock a(n, SiteId{0}), b(n, SiteId{1});
+  for (std::size_t i = 0; i < 100; ++i) {
+    a.tick();
+    b.tick();
+  }
+  const VectorTimestamp ta = a.now(), tb = b.now();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ta.compare(tb));
+  }
+}
+BENCHMARK(BM_VectorClockCompare)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_PlausibleClockReceive(benchmark::State& state) {
+  PlausibleClock a(8, SiteId{0}), b(8, SiteId{1});
+  auto ts = a.tick();
+  for (auto _ : state) {
+    ts = b.receive(ts);
+    benchmark::DoNotOptimize(ts);
+  }
+}
+BENCHMARK(BM_PlausibleClockReceive);
+
+void BM_XiNorm(benchmark::State& state) {
+  const NormXiMap norm;
+  VectorClock clock(32, SiteId{0});
+  for (int i = 0; i < 1000; ++i) clock.tick();
+  const VectorTimestamp t = clock.now();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(norm(t));
+  }
+}
+BENCHMARK(BM_XiNorm);
+
+History make_replica_history(std::size_t ops, std::uint64_t seed) {
+  Rng rng(seed);
+  ReplicaHistoryParams p;
+  p.num_ops = ops;
+  p.num_sites = 4;
+  p.num_objects = 4;
+  p.max_delay_micros = 60;
+  return replica_history(p, rng);
+}
+
+void BM_CheckSc(benchmark::State& state) {
+  const History h =
+      make_replica_history(static_cast<std::size_t>(state.range(0)), 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(check_sc(h).ok());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CheckSc)->Arg(10)->Arg(20)->Arg(30)->Arg(40);
+
+void BM_CheckCc(benchmark::State& state) {
+  const History h =
+      make_replica_history(static_cast<std::size_t>(state.range(0)), 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(check_cc(h).ok());
+  }
+}
+BENCHMARK(BM_CheckCc)->Arg(10)->Arg(20)->Arg(30);
+
+void BM_ReadsOnTimeScan(benchmark::State& state) {
+  const History h =
+      make_replica_history(static_cast<std::size_t>(state.range(0)), 9);
+  const TimedSpecEpsilon spec{SimTime::micros(50), SimTime::zero()};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reads_on_time(h, spec).all_on_time);
+  }
+}
+BENCHMARK(BM_ReadsOnTimeScan)->Arg(100)->Arg(400)->Arg(1600);
+
+void BM_CausalOrderBuild(benchmark::State& state) {
+  const History h =
+      make_replica_history(static_cast<std::size_t>(state.range(0)), 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CausalOrder::build(h).cyclic());
+  }
+}
+BENCHMARK(BM_CausalOrderBuild)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_SimulatorChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    int counter = 0;
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule_at(SimTime::micros(i), [&counter] { ++counter; });
+    }
+    sim.run_until();
+    benchmark::DoNotOptimize(counter);
+  }
+}
+BENCHMARK(BM_SimulatorChurn);
+
+void BM_ProtocolExperimentSmall(benchmark::State& state) {
+  for (auto _ : state) {
+    ExperimentConfig config;
+    config.kind = state.range(0) == 0 ? ProtocolKind::kTimedSerial
+                                      : ProtocolKind::kTimedCausal;
+    config.delta = SimTime::millis(5);
+    config.workload.num_clients = 4;
+    config.workload.num_objects = 8;
+    config.workload.mean_think_time = SimTime::millis(2);
+    config.workload.horizon = SimTime::millis(200);
+    config.seed = 1;
+    benchmark::DoNotOptimize(run_experiment(config).operations);
+  }
+}
+BENCHMARK(BM_ProtocolExperimentSmall)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace timedc

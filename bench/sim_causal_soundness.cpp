@@ -1,0 +1,109 @@
+// SIM-G — the soundness/efficiency dial of lifetime-based causal caching.
+//
+// [39]'s eviction rule derives a copy's logical ending time from the
+// *server's* merged knowledge; it keeps quiet objects cached almost forever
+// but can let a causally-hidden overwrite slip through when the server knew
+// more than the reader ever learns. Our kContextDominates rule bounds
+// omega_l by the reader's own context, which is provably safe but demotes
+// older entries whenever the context grows.
+//
+// This bench runs both rules on identical workloads and counts the actual
+// causal violations in the recorded histories (hidden writes / init reads,
+// the Bouajjani-style bad patterns) next to the cost metrics — making the
+// paper's "unnecessary invalidations" remark quantitative.
+#include <cstdio>
+
+#include "core/causal.hpp"
+#include "protocol/experiment.hpp"
+
+using namespace timedc;
+
+namespace {
+
+struct Audit {
+  std::uint64_t reads = 0;
+  std::uint64_t hidden_write_reads = 0;
+  double hit = 0;
+  double validations_per_op = 0;
+  double bytes_per_op = 0;
+};
+
+Audit run(CausalEvictionRule rule, std::uint64_t seed) {
+  ExperimentConfig config;
+  config.kind = ProtocolKind::kTimedCausal;
+  config.delta = SimTime::infinity();  // pure CC: the causal rules do all work
+  config.eviction = rule;
+  config.workload.num_clients = 10;
+  config.workload.num_objects = 24;
+  config.workload.write_ratio = 0.25;
+  config.workload.mean_think_time = SimTime::millis(6);
+  config.workload.zipf_exponent = 0.7;
+  config.workload.horizon = SimTime::seconds(12);
+  config.min_latency = SimTime::micros(300);
+  config.max_latency = SimTime::millis(2);
+  config.seed = seed;
+  const auto r = run_experiment(config);
+
+  Audit audit;
+  audit.reads = r.cache.reads;
+  audit.hit = r.cache.hit_ratio();
+  audit.validations_per_op =
+      static_cast<double>(r.cache.validations) /
+      static_cast<double>(r.operations);
+  audit.bytes_per_op = r.bytes_per_op;
+
+  const History& h = r.history;
+  const CausalOrder co = CausalOrder::build(h);
+  for (const Operation& rd : h.operations()) {
+    if (!rd.is_read()) continue;
+    const auto src = h.forced_source(rd.index);
+    if (!src) {
+      for (OpIndex w : h.writes_to(rd.object)) {
+        if (co.precedes(w, rd.index)) {
+          ++audit.hidden_write_reads;
+          break;
+        }
+      }
+      continue;
+    }
+    for (OpIndex b : h.writes_to(rd.object)) {
+      if (b != *src && co.precedes(*src, b) && co.precedes(b, rd.index)) {
+        ++audit.hidden_write_reads;
+        break;
+      }
+    }
+  }
+  return audit;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "SIM-G: causal eviction rules — [39] server-knowledge vs provably\n"
+      "sound context-bounded (10 clients, 24 objects, Delta = inf, 12s)\n\n");
+  std::printf("%-18s %6s %9s %9s %12s %16s\n", "rule", "seed", "hit",
+              "valid/op", "bytes/op", "causal-violations");
+  for (const std::uint64_t seed : {101, 202, 303}) {
+    for (const auto& [name, rule] :
+         {std::pair{"server-knowledge", CausalEvictionRule::kServerKnowledge},
+          std::pair{"context-bounded", CausalEvictionRule::kContextDominates}}) {
+      const Audit a = run(rule, seed);
+      std::printf("%-18s %6llu %8.1f%% %9.3f %12.0f %10llu / %llu\n", name,
+                  (unsigned long long)seed, 100.0 * a.hit,
+                  a.validations_per_op, a.bytes_per_op,
+                  (unsigned long long)a.hidden_write_reads,
+                  (unsigned long long)a.reads);
+    }
+  }
+  std::printf(
+      "\nShape check: the sound rule shows ZERO violating reads at the cost\n"
+      "of a much lower hit ratio (each context growth costs one 304-style\n"
+      "revalidation per older entry); the [39] rule keeps hits high and is\n"
+      "usually — but not provably — causally clean. This is the concrete\n"
+      "form of the paper's Section 5.2 remark that lifetime protocols \"may\n"
+      "generate unnecessary invalidations for arbitrary objects whose\n"
+      "lifetimes are not known accurately\": knowing them *safely* is what\n"
+      "costs the messages.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// SIM-A — the experiment the paper's conclusion calls for: "the
+// relationship between the value of Delta and the cost of accomplishing
+// that particular level of timeliness". Sweeps Delta for both the TSC
+// (physical clocks) and TCC (vector clocks + beta) lifetime protocols and
+// reports cost (messages, bytes, hit ratio, cache churn) against achieved
+// timeliness (mean/max staleness).
+//
+// Expected shape (Section 6): small Delta => more communication, lower hit
+// ratio, fresher reads; Delta -> infinity recovers plain SC/CC costs.
+#include <cstdio>
+
+#include "protocol/experiment.hpp"
+
+using namespace timedc;
+
+namespace {
+
+ExperimentConfig base(ProtocolKind kind, SimTime delta) {
+  ExperimentConfig config;
+  config.kind = kind;
+  config.delta = delta;
+  config.workload.num_clients = 6;
+  config.workload.num_objects = 24;
+  config.workload.write_ratio = 0.2;
+  config.workload.mean_think_time = SimTime::millis(8);
+  config.workload.zipf_exponent = 0.8;
+  config.workload.horizon = SimTime::seconds(20);
+  config.min_latency = SimTime::micros(300);
+  config.max_latency = SimTime::millis(2);
+  config.eviction = CausalEvictionRule::kServerKnowledge;
+  config.seed = 42;
+  return config;
+}
+
+void sweep(ProtocolKind kind) {
+  std::printf("%s protocol (Delta = inf is plain %s):\n\n",
+              to_cstring(kind),
+              kind == ProtocolKind::kTimedSerial ? "SC" : "CC");
+  std::printf("  %10s %9s %9s %9s %11s %11s %11s %9s\n", "Delta", "hit",
+              "msgs/op", "bytes/op", "churn/op", "mean-stale", "max-stale",
+              ">Delta");
+  for (const std::int64_t delta_ms : {1, 2, 5, 10, 20, 50, 100, 500, -1}) {
+    const SimTime delta =
+        delta_ms < 0 ? SimTime::infinity() : SimTime::millis(delta_ms);
+    const auto r = run_experiment(base(kind, delta));
+    const double churn =
+        static_cast<double>(r.cache.invalidations + r.cache.marked_old) /
+        static_cast<double>(r.operations);
+    char delta_label[16];
+    if (delta_ms < 0)
+      std::snprintf(delta_label, sizeof delta_label, "inf");
+    else
+      std::snprintf(delta_label, sizeof delta_label, "%lldms",
+                    (long long)delta_ms);
+    std::printf("  %10s %8.1f%% %9.2f %9.0f %11.3f %9.0fus %9lldus %8.2f%%\n",
+                delta_label, 100.0 * r.cache.hit_ratio(), r.messages_per_op,
+                r.bytes_per_op, churn, r.mean_staleness_us,
+                (long long)r.max_staleness.as_micros(),
+                100.0 * r.late_fraction);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "SIM-A: cost of timeliness vs Delta\n"
+      "(6 clients, 24 objects, Zipf 0.8, 20%% writes, 20s simulated)\n\n");
+  sweep(ProtocolKind::kTimedSerial);
+  sweep(ProtocolKind::kTimedCausal);
+  std::printf(
+      "Shape check: as Delta shrinks, hit ratio falls and messages/op rise\n"
+      "while staleness falls — the tradeoff of the paper's Section 6. The\n"
+      "Delta = inf rows are the plain SC/CC lifetime protocols of [39].\n");
+  return 0;
+}

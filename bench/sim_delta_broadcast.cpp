@@ -1,0 +1,116 @@
+// SIM-E — Delta-causal broadcast (Section 4, Baldoni et al. [7,8]): the
+// message-passing counterpart of timed consistency. Sweeps the message
+// lifetime Delta under two latency distributions and reports delivery vs
+// discard rates and worst delivery lag.
+//
+// Expected shape: delivery ratio rises monotonically with Delta toward
+// 100%; every delivered message arrives within its lifetime; discarded
+// traffic is exactly the price of the freshness guarantee.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "broadcast/delta_causal.hpp"
+
+using namespace timedc;
+
+namespace {
+
+struct RunResult {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t discarded = 0;
+  SimTime worst_lag = SimTime::zero();
+};
+
+RunResult run(SimTime delta, std::unique_ptr<LatencyModel> latency,
+              double drop, std::uint64_t seed) {
+  constexpr std::size_t kGroup = 5;
+  constexpr int kMessages = 400;
+  Simulator sim;
+  NetworkConfig config;
+  config.drop_probability = drop;
+  config.fifo_links = false;
+  Network net(sim, kGroup, std::move(latency), config, Rng(seed));
+  RunResult result;
+  std::vector<std::unique_ptr<DeltaCausalEndpoint>> members;
+  for (std::uint32_t i = 0; i < kGroup; ++i) {
+    members.push_back(std::make_unique<DeltaCausalEndpoint>(
+        sim, net, SiteId{i}, kGroup, delta,
+        [&result, i](const BroadcastMessage& m, SimTime at) {
+          if (m.sender.value != i) {
+            result.worst_lag = max(result.worst_lag, at - m.sent_at);
+          }
+        }));
+    members.back()->attach();
+  }
+  Rng rng(seed ^ 0xabcdef);
+  SimTime t = SimTime::zero();
+  for (int k = 0; k < kMessages; ++k) {
+    t += SimTime::micros(rng.uniform_int(200, 3000));
+    const auto who = static_cast<std::size_t>(rng.uniform_int(0, kGroup - 1));
+    sim.schedule_at(t, [&members, who, k] {
+      members[who]->broadcast(static_cast<std::uint64_t>(k));
+    });
+  }
+  sim.run_until();
+  for (const auto& m : members) {
+    result.sent += m->stats().sent;
+    // Local self-deliveries are free; count remote deliveries only.
+    result.delivered += m->stats().delivered - m->stats().sent;
+    result.discarded += m->stats().discarded_late;
+  }
+  return result;
+}
+
+void sweep(const char* name,
+           const std::function<std::unique_ptr<LatencyModel>()>& make,
+           double drop) {
+  std::printf("%s (drop %.0f%%):\n\n", name, 100 * drop);
+  std::printf("  %10s %10s %10s %12s %12s\n", "Delta", "delivered",
+              "discarded", "delivery%", "worst-lag");
+  for (const std::int64_t delta_us :
+       {500, 1000, 2000, 5000, 10000, 50000, -1}) {
+    const SimTime delta =
+        delta_us < 0 ? SimTime::infinity() : SimTime::micros(delta_us);
+    const auto r = run(delta, make(), drop, 97);
+    const std::uint64_t expected = r.sent * 4;  // 4 remote receivers each
+    char label[16];
+    if (delta_us < 0)
+      std::snprintf(label, sizeof label, "inf");
+    else
+      std::snprintf(label, sizeof label, "%lldus", (long long)delta_us);
+    std::printf("  %10s %10llu %10llu %11.1f%% %12s\n", label,
+                (unsigned long long)r.delivered,
+                (unsigned long long)r.discarded,
+                100.0 * static_cast<double>(r.delivered) /
+                    static_cast<double>(expected),
+                r.worst_lag.to_string().c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("SIM-E: Delta-causal broadcast, 5 processes, 400 broadcasts\n\n");
+  sweep("uniform latency 100us..4ms",
+        [] { return std::make_unique<UniformLatency>(SimTime::micros(100),
+                                                     SimTime::micros(4000)); },
+        0.0);
+  sweep("exponential latency (floor 200us, mean +1.5ms, cap 30ms)",
+        [] {
+          return std::make_unique<ExponentialLatency>(
+              SimTime::micros(200), SimTime::micros(1500), SimTime::millis(30));
+        },
+        0.05);
+  std::printf(
+      "Shape check: delivery ratio climbs to ~100%% as Delta passes the\n"
+      "latency tail; worst observed lag never exceeds Delta (late messages\n"
+      "are discarded, never delivered — the [7,8] contract).\n\n"
+      "Note the Delta = inf row under loss: without deadlines a dropped\n"
+      "message blocks all of its sender's (and dependents') later traffic\n"
+      "forever — plain causal broadcast loses liveness on lossy channels,\n"
+      "and the finite lifetime is precisely what restores it.\n");
+  return 0;
+}

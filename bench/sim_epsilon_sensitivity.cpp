@@ -1,0 +1,77 @@
+// SIM-D — Definition 1 vs Definition 2 under clock skew (Section 3.2).
+//
+// Part 1: the TSC protocol runs with eps-approximately-synchronized client
+// clocks (Cristian/NTP-style resync, Section 3.2's model). Each recorded
+// run is then judged twice: by Definition 1 (which pretends clocks are
+// perfect) and by Definition 2 with the matching eps. As skew grows,
+// Definition 1 starts flagging reads the system could never have ordered —
+// Definition 2 keeps accepting them.
+//
+// Part 2: on one fixed replicated-store history, the minimal accepted Delta
+// shrinks linearly with eps (every interference gap loses eps), so larger
+// clock imprecision makes MORE executions timed — Definition 2 weakens
+// Definition 1, never strengthens it.
+#include <cstdio>
+
+#include "core/history_gen.hpp"
+#include "core/timed.hpp"
+#include "protocol/experiment.hpp"
+
+using namespace timedc;
+
+int main() {
+  std::printf("SIM-D: epsilon sensitivity of reading on time\n\n");
+
+  const SimTime delta = SimTime::millis(5);
+  std::printf("Part 1 — TSC protocol runs with skewed clocks, Delta = 5ms\n");
+  std::printf("(checking threshold = Delta + messaging slack)\n\n");
+  std::printf("  %10s %8s %14s %14s\n", "clock eps", "reads", "late by Def 1",
+              "late by Def 2");
+  for (const std::int64_t eps_us : {0, 200, 500, 1000, 2000, 5000}) {
+    ExperimentConfig config;
+    config.kind = ProtocolKind::kTimedSerial;
+    config.delta = delta;
+    config.eps = SimTime::micros(eps_us);
+    config.workload.num_clients = 5;
+    config.workload.num_objects = 12;
+    config.workload.write_ratio = 0.3;
+    config.workload.mean_think_time = SimTime::millis(4);
+    config.workload.horizon = SimTime::seconds(8);
+    config.min_latency = SimTime::micros(100);
+    config.max_latency = SimTime::micros(500);
+    config.seed = 777;
+    const auto r = run_experiment(config);
+    const SimTime check = delta + config.max_latency * 4;
+    const auto def1 = reads_on_time(r.history, TimedSpecPerfect{check});
+    const auto def2 = reads_on_time(
+        r.history, TimedSpecEpsilon{check, SimTime::micros(eps_us)});
+    std::printf("  %8lldus %8llu %14zu %14zu\n", (long long)eps_us,
+                (unsigned long long)r.cache.reads, def1.late_reads.size(),
+                def2.late_reads.size());
+  }
+  std::printf(
+      "\n  With perfect clocks both definitions agree; as skew approaches\n"
+      "  Delta, Definition 1 (wrongly) blames the protocol for lateness\n"
+      "  the clocks cannot even express, while Definition 2's verdict\n"
+      "  stays clean — the reason the paper needs Section 3.2 at all.\n\n");
+
+  std::printf("Part 2 — acceptance threshold vs eps on one fixed history\n\n");
+  Rng rng(2718);
+  ReplicaHistoryParams p;
+  p.num_ops = 400;
+  p.num_sites = 6;
+  p.num_objects = 8;
+  p.max_delay_micros = 900;
+  const History h = replica_history(p, rng);
+  std::printf("  %10s %22s\n", "eps", "min accepted Delta");
+  const SimTime d0 = min_timed_delta(h);
+  for (const std::int64_t eps_us : {0, 50, 100, 200, 400, 800}) {
+    const SimTime d = min_timed_delta(h, SimTime::micros(eps_us));
+    std::printf("  %8lldus %20s%s\n", (long long)eps_us, d.to_string().c_str(),
+                d <= d0 ? "" : "  (!! must be monotone)");
+  }
+  std::printf(
+      "\n  Every staleness gap shrinks by eps under Definition 2, so the\n"
+      "  smallest Delta at which the execution is timed falls with eps.\n");
+  return 0;
+}

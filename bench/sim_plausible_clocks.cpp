@@ -1,0 +1,56 @@
+// SIM-F — plausible clocks in the TCC lifetime protocol (Section 5.3 /
+// [37, 38, 40]): sweep the logical clock width R from full vector clocks
+// (R = number of clients) down to a single Lamport-like entry, and measure
+// the cost of the folding: REV clocks may order concurrent timestamps, so
+// the causal sweep over-invalidates — hit ratio falls and traffic rises as
+// R shrinks, while correctness (causality of the recorded run) never does.
+#include <cstdio>
+
+#include "protocol/experiment.hpp"
+
+using namespace timedc;
+
+int main() {
+  constexpr std::size_t kClients = 12;
+  std::printf(
+      "SIM-F: TCC with plausible clocks — logical width R vs cost\n"
+      "(%zu clients, 32 objects, Delta = inf so only causal churn shows;\n"
+      "[39]-style server-knowledge eviction — see sim_causal_soundness for\n"
+      "the soundness dial, which is orthogonal to the fold width)\n\n",
+      kClients);
+  std::printf("  %10s %9s %9s %11s %14s\n", "R", "hit", "msgs/op",
+              "churn/op", "ts-bytes/msg");
+
+  for (const std::size_t entries : {kClients, std::size_t{8}, std::size_t{4},
+                                    std::size_t{2}, std::size_t{1}}) {
+    ExperimentConfig config;
+    config.kind = ProtocolKind::kTimedCausal;
+    config.delta = SimTime::infinity();  // isolate the causal sweep
+    config.clock_entries = entries;
+    config.workload.num_clients = kClients;
+    config.workload.num_objects = 32;
+    config.workload.write_ratio = 0.25;
+    config.workload.mean_think_time = SimTime::millis(6);
+    config.workload.zipf_exponent = 0.7;
+    config.workload.horizon = SimTime::seconds(15);
+    config.min_latency = SimTime::micros(300);
+    config.max_latency = SimTime::millis(2);
+    config.eviction = CausalEvictionRule::kServerKnowledge;
+    config.seed = 20240704;
+    const auto r = run_experiment(config);
+    const double churn =
+        static_cast<double>(r.cache.invalidations + r.cache.marked_old) /
+        static_cast<double>(r.operations);
+    std::printf("  %10zu %8.1f%% %9.2f %11.3f %14zu\n", entries,
+                100.0 * r.cache.hit_ratio(), r.messages_per_op, churn,
+                entries * sizeof(std::uint64_t));
+  }
+  std::printf(
+      "\nShape check ([37]): plausible clocks only ever ADD order, so folding\n"
+      "sites onto fewer entries never weakens the eviction rule — each fold\n"
+      "collision turns a concurrent pair into a spurious happened-before and\n"
+      "the causal sweep evicts more. Constant-size timestamps are paid for\n"
+      "in cache churn (hit ratio falls monotonically with R), never by\n"
+      "missing an eviction the full vector clock would have made.\n");
+  return 0;
+}

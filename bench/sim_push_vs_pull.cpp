@@ -1,0 +1,136 @@
+// SIM-I — push-everything replication vs pull-based lifetime caching.
+//
+// The paper's conclusion notes that as Delta shrinks, "in extreme cases,
+// local caches become useless". The logical endpoint of that slide is full
+// replication over Delta-causal broadcast (Section 4 / [7,8]): writes cost
+// N-1 messages, reads cost none, and every update is visible within Delta
+// by construction. This bench runs both architectures on the same workload
+// and sweeps the write ratio to expose the crossover: read-heavy sharing
+// favors push replication, write-heavy favors the lifetime cache.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "broadcast/replicated_store.hpp"
+#include "protocol/experiment.hpp"
+#include "sim/workload.hpp"
+
+using namespace timedc;
+
+namespace {
+
+struct PushResult {
+  double messages_per_op = 0;
+  double bytes_per_op = 0;
+  double mean_staleness_us = 0;
+};
+
+PushResult run_push(const WorkloadParams& workload, SimTime delta,
+                    SimTime min_lat, SimTime max_lat, std::uint64_t seed) {
+  Simulator sim;
+  NetworkConfig config;
+  config.fifo_links = false;
+  Network net(sim, workload.num_clients,
+              std::make_unique<UniformLatency>(min_lat, max_lat), config,
+              Rng(seed));
+  std::vector<std::unique_ptr<ReplicatedStore>> stores;
+  for (std::uint32_t c = 0; c < workload.num_clients; ++c) {
+    stores.push_back(std::make_unique<ReplicatedStore>(
+        sim, net, SiteId{c}, workload.num_clients, delta));
+    stores.back()->attach();
+  }
+  Rng rng(seed ^ 0x5151);
+  const auto ops = generate_workload(workload, rng);
+  // Oracle: per object, the globally winning write timeline.
+  struct GlobalWrite {
+    SimTime at;
+    Value value;
+  };
+  std::unordered_map<ObjectId, std::vector<GlobalWrite>> timeline;
+  std::int64_t next_value = 1;
+  double staleness_sum = 0;
+  std::uint64_t reads = 0;
+  for (const WorkloadOp& op : ops) {
+    if (op.is_write) {
+      const Value v{next_value++};
+      timeline[op.object].push_back({op.at, v});
+      sim.schedule_at(op.at, [&stores, op, v] {
+        stores[op.client.value]->write(op.object, v);
+      });
+    } else {
+      sim.schedule_at(op.at, [&, op] {
+        const Value got = stores[op.client.value]->read(op.object);
+        ++reads;
+        // Staleness: time since the winning value current at `op.at` that
+        // is newer than `got` took over (0 when got is current).
+        const auto& writes = timeline[op.object];
+        SimTime got_at = SimTime::micros(-1);
+        for (const auto& w : writes) {
+          if (w.value == got) got_at = w.at;
+        }
+        for (const auto& w : writes) {
+          if (w.at > got_at && w.at < op.at && w.value != got) {
+            staleness_sum += static_cast<double>((op.at - w.at).as_micros());
+            break;
+          }
+        }
+      });
+    }
+  }
+  sim.run_until();
+  PushResult result;
+  const std::size_t total_ops = ops.size();
+  result.messages_per_op =
+      static_cast<double>(net.stats().messages_sent) / total_ops;
+  result.bytes_per_op =
+      static_cast<double>(net.stats().bytes_sent) / total_ops;
+  result.mean_staleness_us = reads ? staleness_sum / reads : 0;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const SimTime delta = SimTime::millis(5);
+  const SimTime min_lat = SimTime::micros(300);
+  const SimTime max_lat = SimTime::millis(2);
+  std::printf(
+      "SIM-I: push replication (Delta-causal broadcast) vs pull (TSC\n"
+      "lifetime cache), Delta = 5ms, 8 clients, 16 objects, 10s\n\n");
+  std::printf("%11s | %21s | %21s\n", "", "push (replicate all)",
+              "pull (TSC cache)");
+  std::printf("%11s | %10s %10s | %10s %10s\n", "write-ratio", "msgs/op",
+              "stale-us", "msgs/op", "stale-us");
+  for (const double wr : {0.02, 0.05, 0.1, 0.2, 0.4, 0.8}) {
+    WorkloadParams workload;
+    workload.num_clients = 8;
+    workload.num_objects = 16;
+    workload.write_ratio = wr;
+    workload.mean_think_time = SimTime::millis(6);
+    workload.zipf_exponent = 0.6;
+    workload.horizon = SimTime::seconds(10);
+
+    const PushResult push = run_push(workload, delta, min_lat, max_lat, 3);
+
+    ExperimentConfig pull;
+    pull.kind = ProtocolKind::kTimedSerial;
+    pull.delta = delta;
+    pull.workload = workload;
+    pull.min_latency = min_lat;
+    pull.max_latency = max_lat;
+    pull.seed = 3;
+    const auto r = run_experiment(pull);
+
+    std::printf("%10.0f%% | %10.2f %10.0f | %10.2f %10.0f\n", 100 * wr,
+                push.messages_per_op, push.mean_staleness_us,
+                r.messages_per_op, r.mean_staleness_us);
+  }
+  std::printf(
+      "\nShape check: push costs ~(N-1) x write-ratio messages per op and\n"
+      "keeps staleness at the propagation latency regardless of mix; the\n"
+      "pull cache costs ~2 messages per (mostly read) op at small Delta.\n"
+      "The crossover arrives once writes are rare enough that N-1 pushes\n"
+      "per write undercut per-read validations — the paper's \"local\n"
+      "caches become useless\" endpoint, quantified.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// SIM-C — the web-cache application of Section 4: weak (TTL-based,
+// Gwertzman-Seltzer [19]) versus strong (invalidation, Cao-Liu [10]) web
+// consistency as points on the timed-consistency Delta spectrum.
+//
+// Expected shape: TTL == Delta sweeps smoothly from poll-every-time
+// freshness to large-Delta cheapness; adaptive TTL sits between; server
+// invalidation achieves near-zero staleness at push cost + server state.
+#include <cstdio>
+#include <string>
+
+#include "web/web_experiment.hpp"
+
+using namespace timedc;
+
+namespace {
+
+WebExperimentConfig base() {
+  WebExperimentConfig config;
+  config.num_proxies = 4;
+  config.num_documents = 64;
+  config.mean_update_interval = SimTime::seconds(2);
+  config.mean_request_interval = SimTime::millis(10);
+  config.zipf_exponent = 0.9;
+  config.min_latency = SimTime::millis(2);
+  config.max_latency = SimTime::millis(25);
+  config.horizon = SimTime::seconds(30);
+  config.seed = 31337;
+  return config;
+}
+
+void row(const std::string& name, const WebExperimentResult& r) {
+  std::printf("  %-20s %8.2f%% %11.2f %12.0f %9.2f%% %12.0fus\n", name.c_str(),
+              100.0 * static_cast<double>(r.cache.hits) /
+                  static_cast<double>(r.requests),
+              r.origin_msgs_per_request, r.bytes_per_request,
+              100.0 * r.stale_fraction, r.mean_stale_age_us);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("SIM-C: web cache consistency (4 proxies, 64 docs, Zipf 0.9,\n"
+              "updates ~2s, GETs ~10ms, 30s simulated)\n\n");
+  std::printf("  %-20s %9s %11s %12s %10s %14s\n", "policy", "hit",
+              "origin/req", "bytes/req", "stale", "stale-age");
+
+  for (const std::int64_t ttl_ms : {20, 100, 500, 2000, 10000}) {
+    auto config = base();
+    config.policy.policy = WebPolicy::kFixedTtl;
+    config.policy.fixed_ttl = SimTime::millis(ttl_ms);
+    row("ttl=" + std::to_string(ttl_ms) + "ms (Delta)",
+        run_web_experiment(config));
+  }
+  {
+    auto config = base();
+    config.policy.policy = WebPolicy::kAdaptiveTtl;
+    config.policy.adaptive_factor = 0.2;
+    row("adaptive (Alex)", run_web_experiment(config));
+  }
+  {
+    auto config = base();
+    config.policy.policy = WebPolicy::kPollEveryTime;
+    row("poll-every-time", run_web_experiment(config));
+  }
+  {
+    auto config = base();
+    config.policy.policy = WebPolicy::kInvalidate;
+    const auto r = run_web_experiment(config);
+    row("invalidation", r);
+    std::printf("    invalidations pushed: %llu, peak per-doc subscriber "
+                "state: %zu\n",
+                (unsigned long long)r.origin.invalidations_sent,
+                r.origin.invalidation_state);
+  }
+  std::printf(
+      "\nShape check ([10],[19]): staleness grows and per-request cost\n"
+      "falls monotonically along the TTL (= Delta) sweep; invalidation\n"
+      "pins staleness at the propagation latency for the price of pushes\n"
+      "and per-document server state; adaptive TTL trades between them.\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Collaborative real-time chat over Delta-causal broadcast (Section 4 /
+// Baldoni et al. [7,8]): messages carry a lifetime; causally-dependent
+// messages are never shown out of order, and a message that cannot be
+// delivered before its deadline is dropped — in a live conversation, a
+// reply that arrives after everyone moved on is worse than no reply.
+//
+//   $ ./collaborative_chat
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "broadcast/delta_causal.hpp"
+
+using namespace timedc;
+
+namespace {
+
+const char* kScript[] = {
+    "alice: anyone up for lunch?",        // 0 (alice)
+    "bob:   yes! the usual place?",       // 1 (bob, replies to 0)
+    "carol: count me in",                 // 2 (carol, replies to 0)
+    "alice: 12:30 then",                  // 3 (alice, replies to 1 and 2)
+};
+
+struct ChatRoom {
+  Simulator sim;
+  std::unique_ptr<Network> net;
+  std::vector<std::unique_ptr<DeltaCausalEndpoint>> members;
+  std::vector<std::vector<std::string>> screens;
+
+  ChatRoom(std::size_t n, SimTime delta, SimTime min_lat, SimTime max_lat,
+           double drop) {
+    NetworkConfig config;
+    config.drop_probability = drop;
+    config.fifo_links = false;  // the internet reorders
+    net = std::make_unique<Network>(
+        sim, n, std::make_unique<UniformLatency>(min_lat, max_lat), config,
+        Rng(7));
+    screens.resize(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      members.push_back(std::make_unique<DeltaCausalEndpoint>(
+          sim, *net, SiteId{i}, n, delta,
+          [this, i](const BroadcastMessage& m, SimTime at) {
+            screens[i].push_back(std::string(kScript[m.payload]) + "   [+" +
+                                 std::to_string((at - m.sent_at).as_micros() /
+                                                1000) +
+                                 "ms]");
+          }));
+      members.back()->attach();
+    }
+  }
+};
+
+}  // namespace
+
+int main() {
+  // Alice (0), Bob (1), Carol (2). Replies are sent only after the message
+  // they answer has been *delivered* locally, so they are causally ordered.
+  const SimTime delta = SimTime::millis(400);
+  ChatRoom room(3, delta, SimTime::millis(20), SimTime::millis(350),
+                /*drop=*/0.15);
+
+  room.sim.schedule_at(SimTime::zero(), [&] { room.members[0]->broadcast(0); });
+  // Bob and Carol answer two simulated "reading delays" after seeing line 0;
+  // wire that through the delivery callbacks by polling the screens.
+  room.sim.schedule_at(SimTime::millis(500), [&] {
+    if (!room.screens[1].empty()) room.members[1]->broadcast(1);
+  });
+  room.sim.schedule_at(SimTime::millis(600), [&] {
+    if (!room.screens[2].empty()) room.members[2]->broadcast(2);
+  });
+  room.sim.schedule_at(SimTime::millis(1200), [&] {
+    room.members[0]->broadcast(3);
+  });
+  room.sim.run_until();
+
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    static const char* kNames[] = {"Alice", "Bob", "Carol"};
+    std::printf("--- %s's screen ---\n", kNames[i]);
+    for (const auto& line : room.screens[i]) {
+      std::printf("  %s\n", line.c_str());
+    }
+    const auto& s = room.members[i]->stats();
+    std::printf("  (delivered %llu, dropped-late %llu)\n\n",
+                static_cast<unsigned long long>(s.delivered),
+                static_cast<unsigned long long>(s.discarded_late));
+  }
+  std::printf(
+      "Every screen shows replies after the message they answer (causal\n"
+      "order), and any line that could not make it within Delta = %s was\n"
+      "dropped rather than shown hopelessly late.\n",
+      delta.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Quickstart: build a small execution history, check it against every
+// consistency model in the library (LIN, SC, CC, timed, TSC, TCC), and see
+// how the verdicts move as the timeliness threshold Delta varies.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "core/checkers.hpp"
+#include "core/render.hpp"
+#include "core/serialization.hpp"
+
+using namespace timedc;
+
+int main() {
+  // Two sites share object X. Site 0 updates it; site 1 keeps reading a
+  // stale copy for a while (think of site 1 as caching aggressively).
+  constexpr SiteId kAlice{0}, kBob{1};
+  constexpr ObjectId kX{23};
+
+  HistoryBuilder builder(2);
+  builder.write(kBob, kX, Value{1}, SimTime::micros(50));
+  builder.write(kAlice, kX, Value{7}, SimTime::micros(100));
+  builder.read(kBob, kX, Value{1}, SimTime::micros(150));
+  builder.read(kBob, kX, Value{1}, SimTime::micros(280));
+  builder.read(kBob, kX, Value{7}, SimTime::micros(420));
+  const History h = builder.build();
+
+  std::printf("The execution:\n\n%s\n", render_timeline(h).c_str());
+
+  // Classic (untimed) models.
+  const auto lin = check_lin(h);
+  const auto sc = check_sc(h);
+  const auto cc = check_cc(h);
+  std::printf("linearizable:           %s\n", to_cstring(lin.verdict));
+  std::printf("sequentially consistent: %s\n", to_cstring(sc.verdict));
+  std::printf("causally consistent:     %s\n", to_cstring(cc.verdict));
+  if (sc.ok()) {
+    std::printf("  SC witness: %s\n",
+                serialization_to_string(h, sc.witness).c_str());
+  }
+
+  // Timed consistency: how fresh must reads be?
+  std::printf("\nsmallest Delta making every read on time: %s\n",
+              min_timed_delta(h).to_string().c_str());
+  for (const std::int64_t delta_us : {50, 100, 180, 500}) {
+    const TimedSpecEpsilon spec{SimTime::micros(delta_us), SimTime::zero()};
+    const auto tsc = check_tsc(h, spec);
+    const auto tcc = check_tcc(h, spec);
+    std::printf("Delta = %4lldus: TSC %-3s TCC %-3s", (long long)delta_us,
+                tsc.ok() ? "yes" : "no", tcc.ok() ? "yes" : "no");
+    if (!tsc.timing.all_on_time) {
+      const auto& lr = tsc.timing.late_reads.front();
+      std::printf("   (late: %s misses %s)",
+                  h.op(lr.read).to_string().c_str(),
+                  h.op(lr.w_r.front()).to_string().c_str());
+    }
+    std::printf("\n");
+  }
+
+  // With approximately-synchronized clocks (skew bound eps), Definition 2
+  // is more forgiving: borderline-late reads become acceptable.
+  const SimTime delta = SimTime::micros(170);
+  for (const std::int64_t eps_us : {0, 5, 15}) {
+    const auto timing =
+        reads_on_time(h, TimedSpecEpsilon{delta, SimTime::micros(eps_us)});
+    std::printf("Delta = 170us, eps = %2lldus: %s\n", (long long)eps_us,
+                timing.all_on_time ? "every read on time"
+                                   : "some read misses its deadline");
+  }
+  return 0;
+}

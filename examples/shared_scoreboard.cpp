@@ -1,0 +1,77 @@
+// A shared tournament scoreboard on the push-replication architecture
+// (ReplicatedStore over Delta-causal broadcast): every referee updates
+// scores locally and the update reaches every display within Delta — or,
+// if the network cannot make it in time, is dropped in favor of the next
+// update rather than shown stale-but-late.
+//
+//   $ ./shared_scoreboard
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "broadcast/replicated_store.hpp"
+
+using namespace timedc;
+
+namespace {
+
+constexpr std::size_t kSites = 4;  // 2 referees + 2 venue displays
+const char* kNames[kSites] = {"referee-A", "referee-B", "lobby-display",
+                              "arena-display"};
+constexpr ObjectId kMatch1{12};  // prints as "M"
+constexpr ObjectId kMatch2{13};  // prints as "N"
+
+}  // namespace
+
+int main() {
+  const SimTime delta = SimTime::millis(200);
+  Simulator sim;
+  NetworkConfig config;
+  config.fifo_links = false;
+  config.drop_probability = 0.1;  // flaky venue Wi-Fi
+  Network net(sim, kSites,
+              std::make_unique<UniformLatency>(SimTime::millis(5),
+                                               SimTime::millis(120)),
+              config, Rng(2026));
+  std::vector<std::unique_ptr<ReplicatedStore>> sites;
+  for (std::uint32_t i = 0; i < kSites; ++i) {
+    sites.push_back(
+        std::make_unique<ReplicatedStore>(sim, net, SiteId{i}, kSites, delta));
+    sites.back()->attach();
+  }
+
+  // Referees post running scores (encoded as points*100 + set).
+  Rng rng(7);
+  SimTime t = SimTime::zero();
+  for (int update = 1; update <= 12; ++update) {
+    t += SimTime::millis(rng.uniform_int(20, 200));
+    const bool match1 = update % 2 == 1;
+    sim.schedule_at(t, [&sites, match1, update] {
+      sites[match1 ? 0 : 1]->write(match1 ? kMatch1 : kMatch2,
+                                   Value{update * 100});
+    });
+  }
+  sim.run_until();
+
+  std::printf("Scoreboard after the session (Delta = %s, lossy Wi-Fi):\n\n",
+              delta.to_string().c_str());
+  std::printf("%-15s %10s %10s %12s %14s\n", "site", "match-1", "match-2",
+              "delivered", "dropped-late");
+  for (std::uint32_t i = 0; i < kSites; ++i) {
+    const auto& stats = sites[i]->broadcast_stats();
+    std::printf("%-15s %10lld %10lld %12llu %14llu\n", kNames[i],
+                (long long)sites[i]->read(kMatch1).value,
+                (long long)sites[i]->read(kMatch2).value,
+                (unsigned long long)stats.delivered,
+                (unsigned long long)stats.discarded_late);
+  }
+  std::printf(
+      "\nEach display shows the newest score it received on time — never a\n"
+      "hopelessly late one (the Delta-causal rule). A dropped update is\n"
+      "healed by the next write to the same match; if the LAST update was\n"
+      "lost (see any column disagreeing above), the divergence persists —\n"
+      "the price of pure push. That residual gap is exactly what the\n"
+      "paper's pull-based lifetime validation (or periodic anti-entropy)\n"
+      "exists to close; see bench/sim_push_vs_pull for the tradeoff.\n");
+  return 0;
+}

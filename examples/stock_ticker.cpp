@@ -1,0 +1,123 @@
+// The paper's Dow Jones / CNN scenario (Section 4), run on the TCC cache.
+//
+// A reader caches two pages: the Dow Jones index and a CNN front page, with
+// no causal relation — the cache is causally consistent. Then CNN publishes
+// an article about a sudden fall of the index: the new CNN page is causally
+// AFTER the index update. When the reader downloads the article, reading the
+// old cached index would violate CC — the TCC cache invalidates it. And even
+// if the reader never revisits CNN, the beta rule bounds how long the stale
+// index can survive: that is TCC's added value over plain CC.
+//
+//   $ ./stock_ticker
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "protocol/server.hpp"
+#include "protocol/timed_causal_cache.hpp"
+
+using namespace timedc;
+
+namespace {
+
+constexpr ObjectId kDowJones{3};  // prints as "D"
+constexpr ObjectId kCnnPage{2};   // prints as "C"
+constexpr SiteId kReader{0}, kAgency{1}, kServer{2};
+
+struct World {
+  Simulator sim;
+  PerfectClock clock;
+  Network net;
+  ObjectServer server;
+  TimedCausalCache reader;
+  TimedCausalCache agency;
+
+  explicit World(SimTime delta)
+      : net(sim, 3, std::make_unique<FixedLatency>(SimTime::millis(5)),
+            NetworkConfig{}, Rng(42)),
+        server(sim, net, kServer, 2, PushPolicy::kNone, MessageSizes{}),
+        reader(sim, net, kReader, kServer, &clock, delta, /*mark_old=*/false,
+               MessageSizes{}, 2),
+        agency(sim, net, kAgency, kServer, &clock, delta, /*mark_old=*/false,
+               MessageSizes{}, 2) {
+    server.attach();
+    reader.attach();
+    agency.attach();
+  }
+
+  Value read(TimedCausalCache& who, ObjectId what) {
+    Value got{-1};
+    who.read(what, [&](Value v, SimTime) { got = v; });
+    sim.run_until();
+    return got;
+  }
+
+  void write(TimedCausalCache& who, ObjectId what, Value v) {
+    who.write(what, v, [](SimTime) {});
+    sim.run_until();
+  }
+
+  void wait(SimTime t) {
+    sim.schedule_after(t, [] {});
+    sim.run_until();
+  }
+};
+
+const char* page(Value v) {
+  switch (v.value) {
+    case 10500: return "Dow Jones at 10,500";
+    case 8200: return "Dow Jones at 8,200 (crash!)";
+    case 1: return "CNN front page: quiet news day";
+    case 2: return "CNN: 'Dow plunges' -> links to the index";
+    case 0: return "(empty page)";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Causal invalidation (the CC part of TCC) ==\n\n");
+  {
+    World w(SimTime::infinity());  // plain CC: no beta rule
+    // The agency publishes the initial index and front page.
+    w.write(w.agency, kDowJones, Value{10500});
+    w.write(w.agency, kCnnPage, Value{1});
+    // The reader caches the index page.
+    std::printf("reader opens index: %s\n", page(w.read(w.reader, kDowJones)));
+
+    // The crash: index falls, THEN CNN writes about it (causally after).
+    w.write(w.agency, kDowJones, Value{8200});
+    w.write(w.agency, kCnnPage, Value{2});
+
+    // The reader downloads the CNN article: its timestamp is causally after
+    // the index update, so the cached index page must die (serving it after
+    // the article would violate CC).
+    std::printf("reader downloads CNN: %s\n", page(w.read(w.reader, kCnnPage)));
+    const auto invalidations = w.reader.stats().invalidations;
+    std::printf("  -> cache invalidated %llu dependent page(s)\n",
+                static_cast<unsigned long long>(invalidations));
+    std::printf("reader re-opens index: %s\n\n",
+                page(w.read(w.reader, kDowJones)));
+  }
+
+  std::printf("== Timeliness (the T part of TCC) ==\n\n");
+  {
+    // Same story, but the reader NEVER refreshes CNN. Plain CC would keep
+    // serving the stale index for weeks; with Delta = 1s the beta rule
+    // forces a revalidation.
+    World cc(SimTime::infinity());
+    World tcc(SimTime::seconds(1));
+    for (World* w : {&cc, &tcc}) {
+      w->write(w->agency, kDowJones, Value{10500});
+      (void)w->read(w->reader, kDowJones);  // cached at 10,500
+      w->write(w->agency, kDowJones, Value{8200});
+      w->wait(SimTime::seconds(5));  // the reader is idle for 5 seconds
+    }
+    std::printf("5s after the crash, plain CC reader sees:  %s\n",
+                page(cc.read(cc.reader, kDowJones)));
+    std::printf("5s after the crash, TCC(1s)  reader sees:  %s\n",
+                page(tcc.read(tcc.reader, kDowJones)));
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Web cache consistency policies compared (Section 4): the paper frames
+// weak (TTL) versus strong (invalidation) web caching as timed consistency
+// with different Delta. This demo reproduces the qualitative comparison of
+// Gwertzman-Seltzer [19] and Cao-Liu [10] on one synthetic trace.
+//
+//   $ ./web_cache_policies
+#include <cstdio>
+
+#include "web/web_experiment.hpp"
+
+using namespace timedc;
+
+namespace {
+
+WebExperimentConfig base_config() {
+  WebExperimentConfig config;
+  config.num_proxies = 4;
+  config.num_documents = 48;
+  config.mean_update_interval = SimTime::seconds(3);
+  config.mean_request_interval = SimTime::millis(12);
+  config.zipf_exponent = 0.9;
+  config.horizon = SimTime::seconds(40);
+  config.seed = 99;
+  return config;
+}
+
+void report(const char* name, const WebExperimentResult& r) {
+  std::printf("%-22s %8.2f%% %11.2f %12.0f %10.2f%% %11.0fus\n", name,
+              100.0 * static_cast<double>(r.cache.hits) /
+                  static_cast<double>(r.requests),
+              r.origin_msgs_per_request, r.bytes_per_request,
+              100.0 * r.stale_fraction, r.mean_stale_age_us);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("4 proxies, 48 documents (Zipf 0.9), doc updates every ~3s,\n");
+  std::printf("GET every ~12ms per proxy, 40 simulated seconds.\n\n");
+  std::printf("%-22s %9s %11s %12s %11s %12s\n", "policy", "hit", "origin/req",
+              "bytes/req", "stale", "stale-age");
+
+  for (const std::int64_t ttl_ms : {50, 500, 5000}) {
+    auto config = base_config();
+    config.policy.policy = WebPolicy::kFixedTtl;
+    config.policy.fixed_ttl = SimTime::millis(ttl_ms);
+    const std::string name = "fixed-ttl " + std::to_string(ttl_ms) + "ms";
+    report(name.c_str(), run_web_experiment(config));
+  }
+  {
+    auto config = base_config();
+    config.policy.policy = WebPolicy::kAdaptiveTtl;
+    config.policy.adaptive_factor = 0.2;
+    report("adaptive-ttl (Alex)", run_web_experiment(config));
+  }
+  {
+    auto config = base_config();
+    config.policy.policy = WebPolicy::kPollEveryTime;
+    report("poll-every-time", run_web_experiment(config));
+  }
+  {
+    auto config = base_config();
+    config.policy.policy = WebPolicy::kInvalidate;
+    const auto r = run_web_experiment(config);
+    report("server-invalidation", r);
+    std::printf("  (origin pushed %llu invalidations, peak per-doc state %zu)\n",
+                static_cast<unsigned long long>(r.origin.invalidations_sent),
+                r.origin.invalidation_state);
+  }
+
+  std::printf(
+      "\nReading the table through the paper's lens: fixed-ttl(Delta) IS the\n"
+      "TSC cache rule restricted to read-only clients — the TTL is Delta.\n"
+      "Small Delta: fresh but chatty. Large Delta: cheap but stale.\n"
+      "Invalidation is the Delta ~ propagation-latency end of the spectrum,\n"
+      "paid for with per-document server state.\n");
+  return 0;
+}

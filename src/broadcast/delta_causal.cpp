@@ -1,0 +1,146 @@
+#include "broadcast/delta_causal.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace timedc {
+
+namespace {
+// Force-skip margin: a message's missing predecessors were all sent strictly
+// before it, so just before its own deadline they are certainly expired.
+constexpr SimTime kSkipMargin = SimTime::micros(1);
+}  // namespace
+
+DeltaCausalEndpoint::DeltaCausalEndpoint(Simulator& sim, Network& net,
+                                         SiteId self, std::size_t group_size,
+                                         SimTime delta, DeliverFn deliver)
+    : sim_(sim),
+      net_(net),
+      self_(self),
+      group_size_(group_size),
+      delta_(delta),
+      deliver_(std::move(deliver)),
+      sent_seq_(group_size, 0),
+      delivered_(group_size, 0) {
+  TIMEDC_ASSERT(self.value < group_size);
+}
+
+void DeltaCausalEndpoint::attach() {
+  net_.set_handler(self_, [this](SiteId, const std::shared_ptr<void>& p) {
+    on_message(p);
+  });
+}
+
+void DeltaCausalEndpoint::broadcast(std::uint64_t payload,
+                                    std::shared_ptr<const void> data) {
+  // Own messages are delivered locally at send time.
+  delivered_[self_.value] += 1;
+
+  BroadcastMessage m;
+  m.sender = self_;
+  m.payload = payload;
+  m.data = std::move(data);
+  m.sent_at = sim_.now();
+  m.deadline = delta_.is_infinite() ? SimTime::infinity() : sim_.now() + delta_;
+  m.vt = delivered_;
+  ++stats_.sent;
+  deliver_(m, sim_.now());
+  ++stats_.delivered;
+
+  const auto shared = std::make_shared<BroadcastMessage>(m);
+  for (std::uint32_t peer = 0; peer < group_size_; ++peer) {
+    if (peer == self_.value) continue;
+    net_.send(self_, SiteId{peer}, shared, 128);
+  }
+}
+
+bool DeltaCausalEndpoint::deliverable(const BroadcastMessage& m) const {
+  const std::uint32_t j = m.sender.value;
+  if (m.vt[j] != delivered_[j] + 1) return false;
+  for (std::uint32_t k = 0; k < group_size_; ++k) {
+    if (k == j) continue;
+    if (m.vt[k] > delivered_[k]) return false;
+  }
+  return true;
+}
+
+void DeltaCausalEndpoint::expire(SimTime now) {
+  // Partition out expired messages, recording the holes they leave before
+  // the elements are moved (remove_if applies the predicate exactly once
+  // per element, in order).
+  const auto it = std::remove_if(
+      pending_.begin(), pending_.end(), [&](const BroadcastMessage& m) {
+        if (m.deadline > now) return false;
+        ++stats_.discarded_late;
+        const std::uint32_t j = m.sender.value;
+        delivered_[j] = std::max(delivered_[j], m.vt[j]);
+        return true;
+      });
+  pending_.erase(it, pending_.end());
+}
+
+void DeltaCausalEndpoint::on_message(const std::shared_ptr<void>& payload) {
+  const auto m = std::static_pointer_cast<BroadcastMessage>(payload);
+  const SimTime now = sim_.now();
+  expire(now);
+  if (m->deadline <= now) {
+    // Arrived already dead: never delivered (the Delta-causal rule).
+    ++stats_.discarded_late;
+    delivered_[m->sender.value] =
+        std::max(delivered_[m->sender.value], m->vt[m->sender.value]);
+    try_deliver();
+    return;
+  }
+  if (m->vt[m->sender.value] <= delivered_[m->sender.value]) {
+    return;  // duplicate or already skipped
+  }
+  pending_.push_back(*m);
+
+  // Just before this message expires, force-skip any still-missing
+  // predecessors (they were sent earlier, so they are expired by then) and
+  // deliver it if it is still queued.
+  if (!m->deadline.is_infinite()) {
+    const SimTime when = max(now, m->deadline - kSkipMargin);
+    const BroadcastMessage snapshot = *m;
+    sim_.schedule_at(when, [this, snapshot] {
+      const bool still_queued =
+          std::any_of(pending_.begin(), pending_.end(),
+                      [&](const BroadcastMessage& q) {
+                        return q.sender == snapshot.sender &&
+                               q.vt[q.sender.value] ==
+                                   snapshot.vt[snapshot.sender.value];
+                      });
+      if (!still_queued) return;
+      // Skip every missing dependency: they are certainly expired.
+      for (std::uint32_t k = 0; k < group_size_; ++k) {
+        const std::uint64_t need =
+            k == snapshot.sender.value ? snapshot.vt[k] - 1 : snapshot.vt[k];
+        delivered_[k] = std::max(delivered_[k], need);
+      }
+      try_deliver();
+    });
+  }
+  try_deliver();
+}
+
+void DeltaCausalEndpoint::try_deliver() {
+  expire(sim_.now());  // every queued message considered below is alive
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+      if (deliverable(*it)) {
+        const BroadcastMessage m = *it;
+        pending_.erase(it);
+        delivered_[m.sender.value] = m.vt[m.sender.value];
+        ++stats_.delivered;
+        deliver_(m, sim_.now());
+        progressed = true;
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace timedc

@@ -1,0 +1,51 @@
+#include "broadcast/replicated_store.hpp"
+
+namespace timedc {
+
+namespace {
+struct UpdateData {
+  ObjectId object;
+  Value value;
+};
+}  // namespace
+
+ReplicatedStore::ReplicatedStore(Simulator& sim, Network& net, SiteId self,
+                                 std::size_t group_size, SimTime delta)
+    : sim_(sim),
+      self_(self),
+      endpoint_(sim, net, self, group_size, delta,
+                [this](const BroadcastMessage& m, SimTime at) {
+                  deliver(m, at);
+                }) {}
+
+void ReplicatedStore::attach() { endpoint_.attach(); }
+
+Value ReplicatedStore::read(ObjectId object) const {
+  const auto it = replica_.find(object);
+  return it == replica_.end() ? kInitialValue : it->second.value;
+}
+
+bool ReplicatedStore::supersedes(SimTime t, std::uint32_t site,
+                                 const Slot& slot) {
+  if (t != slot.written_at) return t > slot.written_at;
+  return site > slot.writer;
+}
+
+void ReplicatedStore::write(ObjectId object, Value value) {
+  // The local apply happens through the endpoint's self-delivery, keeping
+  // one code path for local and remote updates.
+  endpoint_.broadcast(0, std::make_shared<UpdateData>(UpdateData{object, value}));
+}
+
+void ReplicatedStore::deliver(const BroadcastMessage& m, SimTime) {
+  const auto* update = static_cast<const UpdateData*>(m.data.get());
+  TIMEDC_ASSERT(update != nullptr);
+  Slot& slot = replica_[update->object];
+  if (supersedes(m.sent_at, m.sender.value, slot)) {
+    slot.value = update->value;
+    slot.written_at = m.sent_at;
+    slot.writer = m.sender.value;
+  }
+}
+
+}  // namespace timedc

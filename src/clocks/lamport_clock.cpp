@@ -1,0 +1,4 @@
+#include "clocks/lamport_clock.hpp"
+
+// Header-only; this TU anchors the target.
+namespace timedc {}

@@ -1,0 +1,52 @@
+// Lamport scalar logical clocks [26].
+//
+// Used as the cheapest logical-time substrate and as a degenerate "plausible
+// clock" baseline: Lamport timestamps order all causally related events
+// correctly but also impose an order on concurrent events.
+#pragma once
+
+#include <cstdint>
+
+#include "clocks/ordering.hpp"
+#include "common/types.hpp"
+
+namespace timedc {
+
+struct LamportTimestamp {
+  std::uint64_t counter = 0;
+  SiteId site;  // tiebreaker, making timestamps of distinct events distinct
+
+  friend bool operator==(const LamportTimestamp&, const LamportTimestamp&) = default;
+
+  /// Total order: by counter, then by site id.
+  Ordering compare(const LamportTimestamp& other) const {
+    if (counter != other.counter)
+      return counter < other.counter ? Ordering::kBefore : Ordering::kAfter;
+    if (site != other.site)
+      return site < other.site ? Ordering::kBefore : Ordering::kAfter;
+    return Ordering::kEqual;
+  }
+};
+
+class LamportClock {
+ public:
+  explicit LamportClock(SiteId self) : self_(self) {}
+
+  LamportTimestamp tick() {
+    ++counter_;
+    return {counter_, self_};
+  }
+
+  LamportTimestamp receive(const LamportTimestamp& incoming) {
+    if (incoming.counter > counter_) counter_ = incoming.counter;
+    return tick();
+  }
+
+  LamportTimestamp now() const { return {counter_, self_}; }
+
+ private:
+  SiteId self_;
+  std::uint64_t counter_ = 0;
+};
+
+}  // namespace timedc

@@ -1,0 +1,23 @@
+// The four-way outcome of comparing two (possibly partial-order) timestamps.
+#pragma once
+
+namespace timedc {
+
+enum class Ordering {
+  kBefore,      // a happened-before b (a < b)
+  kAfter,       // b happened-before a (a > b)
+  kEqual,       // identical timestamps
+  kConcurrent,  // neither ordered: a || b
+};
+
+inline const char* to_cstring(Ordering o) {
+  switch (o) {
+    case Ordering::kBefore: return "before";
+    case Ordering::kAfter: return "after";
+    case Ordering::kEqual: return "equal";
+    case Ordering::kConcurrent: return "concurrent";
+  }
+  return "?";
+}
+
+}  // namespace timedc

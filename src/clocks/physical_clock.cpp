@@ -1,0 +1,65 @@
+#include "clocks/physical_clock.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/assert.hpp"
+
+namespace timedc {
+namespace {
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+SimTime DriftingClock::read(SimTime true_time) const {
+  const double drift =
+      static_cast<double>(true_time.as_micros()) * drift_ppm_ / 1e6;
+  return true_time + offset_ + SimTime::micros(static_cast<std::int64_t>(drift));
+}
+
+SyncedClock::SyncedClock(SimTime eps, SimTime resync_period, double drift_ppm,
+                         std::uint64_t seed)
+    : eps_(eps), period_(resync_period), drift_ppm_(drift_ppm), seed_(seed) {
+  TIMEDC_ASSERT(eps >= SimTime::zero());
+  TIMEDC_ASSERT(resync_period > SimTime::zero());
+  // The drift accumulated over one period must fit inside eps/2, otherwise
+  // the resynchronization cannot maintain the bound.
+  const double max_drift =
+      static_cast<double>(resync_period.as_micros()) * drift_ppm / 1e6;
+  TIMEDC_ASSERT(SimTime::micros(static_cast<std::int64_t>(std::ceil(max_drift))) <=
+                eps / 2);
+}
+
+SimTime SyncedClock::offset_after_resync(std::int64_t resync_index) const {
+  // Residual error after a resync: uniform in [-(eps/2 - D), +(eps/2 - D)]
+  // where D is the worst-case drift over one period, so that offset + drift
+  // stays within eps/2 until the next resync.
+  const std::int64_t drift_budget = static_cast<std::int64_t>(
+      std::ceil(static_cast<double>(period_.as_micros()) * drift_ppm_ / 1e6));
+  const std::int64_t half = eps_.as_micros() / 2;
+  const std::int64_t span = half - drift_budget;
+  if (span <= 0) return SimTime::zero();
+  const std::uint64_t r =
+      mix64(seed_ ^ static_cast<std::uint64_t>(resync_index) * 0xD1B54A32D192ED03ULL);
+  const std::int64_t v = static_cast<std::int64_t>(r % (2 * static_cast<std::uint64_t>(span) + 1)) - span;
+  return SimTime::micros(v);
+}
+
+SimTime SyncedClock::read(SimTime true_time) const {
+  TIMEDC_ASSERT(!true_time.is_infinite());
+  const std::int64_t k = true_time.as_micros() / period_.as_micros();
+  const SimTime since_sync =
+      true_time - SimTime::micros(k * period_.as_micros());
+  const double drift =
+      static_cast<double>(since_sync.as_micros()) * drift_ppm_ / 1e6;
+  return true_time + offset_after_resync(k) +
+         SimTime::micros(static_cast<std::int64_t>(drift));
+}
+
+}  // namespace timedc

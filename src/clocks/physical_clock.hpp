@@ -1,0 +1,84 @@
+// Physical clock models (Section 3.2 substrate).
+//
+// The paper's Definition 2 assumes approximately-synchronized real-time
+// clocks: periodic resynchronization keeps every clock within eps/2 of a
+// time server, so any two clocks differ by at most eps ([12,13,22,28,29]).
+// Because the whole library runs on a deterministic simulator, a clock model
+// is a pure function from true simulated time to the time the site reports;
+// drift and resynchronization jitter are derived deterministically from a
+// seed so experiments are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/sim_time.hpp"
+
+namespace timedc {
+
+class PhysicalClockModel {
+ public:
+  virtual ~PhysicalClockModel() = default;
+
+  /// The time this site's clock shows when true time is `true_time`.
+  virtual SimTime read(SimTime true_time) const = 0;
+
+  /// An upper bound on |read(t) - t| valid for all t, i.e. this clock's
+  /// contribution to the system-wide skew bound (eps/2 in the paper).
+  virtual SimTime max_offset() const = 0;
+};
+
+/// A perfectly synchronized clock: read(t) == t. Definition 1's setting.
+class PerfectClock final : public PhysicalClockModel {
+ public:
+  SimTime read(SimTime true_time) const override { return true_time; }
+  SimTime max_offset() const override { return SimTime::zero(); }
+};
+
+/// A free-running clock with constant offset and rate error, never
+/// resynchronized. Violates any eps bound eventually; used as the negative
+/// control in tests and the epsilon-sensitivity experiments.
+class DriftingClock final : public PhysicalClockModel {
+ public:
+  DriftingClock(SimTime initial_offset, double drift_ppm)
+      : offset_(initial_offset), drift_ppm_(drift_ppm) {}
+
+  SimTime read(SimTime true_time) const override;
+  SimTime max_offset() const override { return SimTime::infinity(); }
+
+ private:
+  SimTime offset_;
+  double drift_ppm_;
+};
+
+/// An approximately-synchronized clock: between resynchronizations it drifts
+/// at up to `drift_ppm`, and every `resync_period` it is snapped back to
+/// within the residual synchronization error, such that |read(t) - t| never
+/// exceeds eps/2. The post-resync offset is a deterministic pseudo-random
+/// function of (seed, resync index), so the model is a pure function of time.
+class SyncedClock final : public PhysicalClockModel {
+ public:
+  SyncedClock(SimTime eps, SimTime resync_period, double drift_ppm,
+              std::uint64_t seed);
+
+  SimTime read(SimTime true_time) const override;
+  SimTime max_offset() const override { return eps_ / 2; }
+
+  SimTime eps() const { return eps_; }
+
+ private:
+  SimTime offset_after_resync(std::int64_t resync_index) const;
+
+  SimTime eps_;
+  SimTime period_;
+  double drift_ppm_;
+  std::uint64_t seed_;
+};
+
+/// Definition 2's "definitely occurred before": with a system-wide skew
+/// bound eps, timestamp a is known to precede b only when T(a) + eps < T(b).
+inline bool definitely_before(SimTime a, SimTime b, SimTime eps) {
+  return a + eps < b;
+}
+
+}  // namespace timedc

@@ -1,0 +1,77 @@
+#include "clocks/plausible_clock.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace timedc {
+
+Ordering PlausibleTimestamp::compare(const PlausibleTimestamp& other) const {
+  TIMEDC_ASSERT(num_entries() == other.num_entries());
+  bool le = true;
+  bool ge = true;
+  for (std::size_t i = 0; i < num_entries(); ++i) {
+    if (entries_[i] < other.entries_[i]) ge = false;
+    if (entries_[i] > other.entries_[i]) le = false;
+  }
+  if (le && ge) {
+    // Identical folded vectors. Two distinct events can only collide here if
+    // they are concurrent (a strict causal step always bumps an entry), so
+    // the timestamp is only "equal" for the same site.
+    return origin_ == other.origin_ ? Ordering::kEqual : Ordering::kConcurrent;
+  }
+  if (le) return Ordering::kBefore;
+  if (ge) return Ordering::kAfter;
+  return Ordering::kConcurrent;
+}
+
+PlausibleTimestamp PlausibleTimestamp::merge_max(const PlausibleTimestamp& a,
+                                                 const PlausibleTimestamp& b) {
+  TIMEDC_ASSERT(a.num_entries() == b.num_entries());
+  std::vector<std::uint64_t> out(a.num_entries());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = std::max(a[i], b[i]);
+  return {std::move(out), a.origin()};
+}
+
+PlausibleTimestamp PlausibleTimestamp::merge_min(const PlausibleTimestamp& a,
+                                                 const PlausibleTimestamp& b) {
+  TIMEDC_ASSERT(a.num_entries() == b.num_entries());
+  std::vector<std::uint64_t> out(a.num_entries());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = std::min(a[i], b[i]);
+  return {std::move(out), a.origin()};
+}
+
+std::uint64_t PlausibleTimestamp::event_count() const {
+  std::uint64_t sum = 0;
+  for (auto e : entries_) sum += e;
+  return sum;
+}
+
+std::string PlausibleTimestamp::to_string() const {
+  std::string out = "<";
+  for (std::size_t i = 0; i < num_entries(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(entries_[i]);
+  }
+  out += ">@" + timedc::to_string(origin_);
+  return out;
+}
+
+PlausibleClock::PlausibleClock(std::size_t num_entries, SiteId self)
+    : self_(self), entries_(num_entries, 0) {
+  TIMEDC_ASSERT(num_entries > 0);
+}
+
+PlausibleTimestamp PlausibleClock::tick() {
+  entries_[own_entry()] += 1;
+  return now();
+}
+
+PlausibleTimestamp PlausibleClock::receive(const PlausibleTimestamp& incoming) {
+  TIMEDC_ASSERT(incoming.num_entries() == entries_.size());
+  for (std::size_t i = 0; i < entries_.size(); ++i)
+    entries_[i] = std::max(entries_[i], incoming[i]);
+  return tick();
+}
+
+}  // namespace timedc

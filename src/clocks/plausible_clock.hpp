@@ -1,0 +1,74 @@
+// Plausible clocks: constant-size logical clocks (Torres-Rojas & Ahamad,
+// WDAG '96 [37]), in the R-Entries-Vector (REV) variant.
+//
+// A plausible clock orders every causally-related pair of events correctly
+// but, unlike a full vector clock, may also (wrongly) order some concurrent
+// pairs. REV folds N sites onto R <= N vector entries (site i owns entry
+// i mod R), so its timestamps have constant size independent of N.
+//
+// Guarantees provided (and property-tested against vector-clock ground
+// truth in tests/clocks_test.cpp):
+//   * a happened-before b  =>  compare(a,b) == kBefore
+//   * compare(a,b) == kConcurrent  =>  a and b are truly concurrent
+// The possible error is reporting kBefore/kAfter for a concurrent pair.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "clocks/ordering.hpp"
+#include "common/types.hpp"
+
+namespace timedc {
+
+class PlausibleTimestamp {
+ public:
+  PlausibleTimestamp() = default;
+  PlausibleTimestamp(std::vector<std::uint64_t> entries, SiteId origin)
+      : entries_(std::move(entries)), origin_(origin) {}
+
+  std::size_t num_entries() const { return entries_.size(); }
+  std::uint64_t operator[](std::size_t i) const { return entries_[i]; }
+  const std::vector<std::uint64_t>& entries() const { return entries_; }
+  SiteId origin() const { return origin_; }
+
+  Ordering compare(const PlausibleTimestamp& other) const;
+
+  /// Componentwise max/min, as required to maintain Context_i and lifetimes
+  /// in the logical-clock lifetime protocol (Section 5.3, [38]).
+  static PlausibleTimestamp merge_max(const PlausibleTimestamp& a,
+                                      const PlausibleTimestamp& b);
+  static PlausibleTimestamp merge_min(const PlausibleTimestamp& a,
+                                      const PlausibleTimestamp& b);
+
+  /// Sum of entries: the global-activity summary the xi maps build on.
+  std::uint64_t event_count() const;
+
+  bool operator==(const PlausibleTimestamp& other) const = default;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<std::uint64_t> entries_;
+  SiteId origin_;
+};
+
+/// Per-site REV clock with R entries shared by all sites of the system.
+class PlausibleClock {
+ public:
+  PlausibleClock(std::size_t num_entries, SiteId self);
+
+  SiteId self() const { return self_; }
+  std::size_t own_entry() const { return self_.value % entries_.size(); }
+
+  PlausibleTimestamp tick();
+  PlausibleTimestamp receive(const PlausibleTimestamp& incoming);
+  PlausibleTimestamp now() const { return {entries_, self_}; }
+
+ private:
+  SiteId self_;
+  std::vector<std::uint64_t> entries_;
+};
+
+}  // namespace timedc

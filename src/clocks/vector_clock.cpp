@@ -1,0 +1,77 @@
+#include "clocks/vector_clock.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace timedc {
+
+Ordering VectorTimestamp::compare(const VectorTimestamp& other) const {
+  TIMEDC_ASSERT(size() == other.size());
+  bool le = true;  // this <= other everywhere
+  bool ge = true;  // this >= other everywhere
+  for (std::size_t i = 0; i < size(); ++i) {
+    if (entries_[i] < other.entries_[i]) ge = false;
+    if (entries_[i] > other.entries_[i]) le = false;
+  }
+  if (le && ge) return Ordering::kEqual;
+  if (le) return Ordering::kBefore;
+  if (ge) return Ordering::kAfter;
+  return Ordering::kConcurrent;
+}
+
+bool VectorTimestamp::dominated_by(const VectorTimestamp& other) const {
+  const Ordering o = compare(other);
+  return o == Ordering::kBefore || o == Ordering::kEqual;
+}
+
+VectorTimestamp VectorTimestamp::merge_max(const VectorTimestamp& a,
+                                           const VectorTimestamp& b) {
+  TIMEDC_ASSERT(a.size() == b.size());
+  std::vector<std::uint64_t> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = std::max(a[i], b[i]);
+  return VectorTimestamp(std::move(out));
+}
+
+VectorTimestamp VectorTimestamp::merge_min(const VectorTimestamp& a,
+                                           const VectorTimestamp& b) {
+  TIMEDC_ASSERT(a.size() == b.size());
+  std::vector<std::uint64_t> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = std::min(a[i], b[i]);
+  return VectorTimestamp(std::move(out));
+}
+
+std::uint64_t VectorTimestamp::event_count() const {
+  std::uint64_t sum = 0;
+  for (auto e : entries_) sum += e;
+  return sum;
+}
+
+std::string VectorTimestamp::to_string() const {
+  std::string out = "<";
+  for (std::size_t i = 0; i < size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(entries_[i]);
+  }
+  out += ">";
+  return out;
+}
+
+VectorClock::VectorClock(std::size_t num_sites, SiteId self)
+    : self_(self), now_(num_sites) {
+  TIMEDC_ASSERT(self.value < num_sites);
+}
+
+VectorTimestamp VectorClock::tick() {
+  auto entries = now_.entries();
+  entries[self_.value] += 1;
+  now_ = VectorTimestamp(std::move(entries));
+  return now_;
+}
+
+VectorTimestamp VectorClock::receive(const VectorTimestamp& incoming) {
+  now_ = VectorTimestamp::merge_max(now_, incoming);
+  return tick();
+}
+
+}  // namespace timedc

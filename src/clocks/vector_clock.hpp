@@ -1,0 +1,85 @@
+// Vector clocks (Fidge [15], Mattern [27]).
+//
+// The TCC implementation of Section 5.3 takes every logical timestamp in the
+// lifetime protocol (local clock, Context_i, start/ending times of object
+// values) from vector clocks, and Section 5.4's xi maps are defined over
+// them. VectorTimestamp is a plain value type; VectorClock is the per-site
+// mutable clock that stamps events with it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "clocks/ordering.hpp"
+#include "common/types.hpp"
+
+namespace timedc {
+
+/// An immutable vector timestamp over N sites.
+class VectorTimestamp {
+ public:
+  VectorTimestamp() = default;
+  explicit VectorTimestamp(std::size_t n) : entries_(n, 0) {}
+  explicit VectorTimestamp(std::vector<std::uint64_t> entries)
+      : entries_(std::move(entries)) {}
+
+  std::size_t size() const { return entries_.size(); }
+  std::uint64_t operator[](std::size_t i) const { return entries_[i]; }
+  const std::vector<std::uint64_t>& entries() const { return entries_; }
+
+  Ordering compare(const VectorTimestamp& other) const;
+
+  /// True iff *this <= other componentwise (reflexive causal dominance).
+  bool dominated_by(const VectorTimestamp& other) const;
+
+  /// True iff *this happened-before other (strictly).
+  bool before(const VectorTimestamp& other) const {
+    return compare(other) == Ordering::kBefore;
+  }
+  bool concurrent_with(const VectorTimestamp& other) const {
+    return compare(other) == Ordering::kConcurrent;
+  }
+
+  /// Componentwise maximum: the least timestamp that dominates both inputs
+  /// (the "max" of two logical timestamps needed by Section 5.3 / [38]).
+  static VectorTimestamp merge_max(const VectorTimestamp& a, const VectorTimestamp& b);
+
+  /// Componentwise minimum: the greatest timestamp dominated by both inputs.
+  static VectorTimestamp merge_min(const VectorTimestamp& a, const VectorTimestamp& b);
+
+  /// Total number of events this timestamp knows about (sum of entries);
+  /// this is the paper's first example xi map.
+  std::uint64_t event_count() const;
+
+  bool operator==(const VectorTimestamp& other) const = default;
+
+  std::string to_string() const;  // "<3, 4>"
+
+ private:
+  std::vector<std::uint64_t> entries_;
+};
+
+/// The mutable per-site clock.
+class VectorClock {
+ public:
+  VectorClock(std::size_t num_sites, SiteId self);
+
+  SiteId self() const { return self_; }
+
+  /// Advance the local component and return the timestamp of the new event.
+  VectorTimestamp tick();
+
+  /// Merge a received timestamp (componentwise max), then tick; returns the
+  /// timestamp of the receive event.
+  VectorTimestamp receive(const VectorTimestamp& incoming);
+
+  /// The current timestamp without creating a new event.
+  const VectorTimestamp& now() const { return now_; }
+
+ private:
+  SiteId self_;
+  VectorTimestamp now_;
+};
+
+}  // namespace timedc

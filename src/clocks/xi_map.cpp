@@ -1,0 +1,54 @@
+#include "clocks/xi_map.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace timedc {
+
+double SumXiMap::value(std::span<const std::uint64_t> entries) const {
+  double sum = 0;
+  for (auto e : entries) sum += static_cast<double>(e);
+  return sum;
+}
+
+double NormXiMap::value(std::span<const std::uint64_t> entries) const {
+  double sq = 0;
+  for (auto e : entries) {
+    const double d = static_cast<double>(e);
+    sq += d * d;
+  }
+  return std::sqrt(sq);
+}
+
+WeightedSumXiMap::WeightedSumXiMap(std::vector<double> weights)
+    : weights_(std::move(weights)) {
+  for (double w : weights_) TIMEDC_ASSERT(w > 0);
+}
+
+double WeightedSumXiMap::value(std::span<const std::uint64_t> entries) const {
+  TIMEDC_ASSERT(entries.size() == weights_.size());
+  double sum = 0;
+  for (std::size_t i = 0; i < entries.size(); ++i)
+    sum += weights_[i] * static_cast<double>(entries[i]);
+  return sum;
+}
+
+bool xi_respects_definition5(const XiMap& xi, const VectorTimestamp& t,
+                             const VectorTimestamp& u) {
+  const double xt = xi(t);
+  const double xu = xi(u);
+  switch (t.compare(u)) {
+    case Ordering::kEqual:
+      return xt == xu;
+    case Ordering::kBefore:
+      return xt < xu;
+    case Ordering::kAfter:
+      return xt > xu;
+    case Ordering::kConcurrent:
+      return true;  // Definition 5 places no constraint on concurrent pairs.
+  }
+  return true;
+}
+
+}  // namespace timedc

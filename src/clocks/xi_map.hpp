@@ -1,0 +1,72 @@
+// xi maps: monotone maps from logical timestamps to the reals (Section 5.4,
+// Definition 5 of the paper).
+//
+// A xi map summarizes "how much global activity" a logical timestamp knows
+// about; TCC with pure logical clocks replaces the real-time threshold Delta
+// by a bound on xi differences. Definition 5 requires
+//     t == u  =>  xi(t) == xi(u)
+//     t -> u  =>  xi(t) <  xi(u)
+// The two maps the paper gives for vector clocks are the entry sum (number
+// of known global events) and the Euclidean length (Figure 7's geometric
+// interpretation); both are implemented here plus a weighted-sum variant.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "clocks/plausible_clock.hpp"
+#include "clocks/vector_clock.hpp"
+
+namespace timedc {
+
+class XiMap {
+ public:
+  virtual ~XiMap() = default;
+
+  /// The map itself, over the raw entries of a vector/plausible timestamp.
+  virtual double value(std::span<const std::uint64_t> entries) const = 0;
+
+  virtual std::string name() const = 0;
+
+  double operator()(const VectorTimestamp& t) const { return value(t.entries()); }
+  double operator()(const PlausibleTimestamp& t) const { return value(t.entries()); }
+};
+
+/// xi(t) = sum of entries: the number of global events known at t.
+class SumXiMap final : public XiMap {
+ public:
+  double value(std::span<const std::uint64_t> entries) const override;
+  std::string name() const override { return "sum"; }
+};
+
+/// xi(t) = Euclidean length of the timestamp seen as a vector in R^N
+/// (Figure 7's geometric interpretation).
+class NormXiMap final : public XiMap {
+ public:
+  double value(std::span<const std::uint64_t> entries) const override;
+  std::string name() const override { return "norm"; }
+};
+
+/// xi(t) = sum of w_i * t[i] with strictly positive weights; lets an
+/// application weigh activity at some sites more than others while keeping
+/// Definition 5 (strict positivity is what preserves monotonicity).
+class WeightedSumXiMap final : public XiMap {
+ public:
+  explicit WeightedSumXiMap(std::vector<double> weights);
+  double value(std::span<const std::uint64_t> entries) const override;
+  std::string name() const override { return "weighted-sum"; }
+
+ private:
+  std::vector<double> weights_;
+};
+
+/// Checks Definition 5 on one pair of vector timestamps: returns false iff
+/// the pair witnesses a violation (equal with different xi, or strictly
+/// ordered with non-increasing xi). Used by the property tests.
+bool xi_respects_definition5(const XiMap& xi, const VectorTimestamp& t,
+                             const VectorTimestamp& u);
+
+}  // namespace timedc

@@ -1,0 +1,21 @@
+// Lightweight always-on assertion used across the library.
+//
+// The consistency checkers and protocol state machines rely on invariants
+// that must hold regardless of build type, so these are not compiled out in
+// release builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace timedc {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "timedc assertion failed: %s (%s:%d)\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace timedc
+
+#define TIMEDC_ASSERT(expr) \
+  ((expr) ? (void)0 : ::timedc::assert_fail(#expr, __FILE__, __LINE__))

@@ -1,0 +1,55 @@
+// Deterministic random number generation.
+//
+// Every experiment in the bench suite must be reproducible bit-for-bit, so
+// the library carries its own small PRNG (xoshiro256**) instead of relying
+// on implementation-defined std::default_random_engine behaviour, plus the
+// distributions the workload generators need (uniform, exponential, Zipf).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace timedc {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain), seeded via
+/// SplitMix64 so that any 64-bit seed yields a well-mixed state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Exponentially distributed double with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Split off an independent stream; deterministic given the parent state.
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Zipf-distributed ranks in [0, n). Uses the classic inverse-CDF table,
+/// which is exact and fast for the object-population sizes the workload
+/// generators use (up to a few hundred thousand objects).
+class ZipfDistribution {
+ public:
+  ZipfDistribution(std::size_t n, double exponent);
+
+  std::size_t sample(Rng& rng) const;
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace timedc

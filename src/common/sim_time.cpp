@@ -1,0 +1,5 @@
+#include "common/sim_time.hpp"
+
+// SimTime is header-only today; this translation unit anchors the library
+// and keeps a home for future out-of-line helpers.
+namespace timedc {}

@@ -1,0 +1,72 @@
+// Simulated real time.
+//
+// All "physical" timestamps in the library (effective times T(a), the
+// timeliness threshold Delta, the clock-skew bound epsilon, network
+// latencies) are SimTime values: signed 64-bit microsecond counts with a
+// distinguished +infinity so that Delta = infinity degenerates timed
+// consistency into plain SC/CC exactly as Figure 4.b of the paper shows.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "common/assert.hpp"
+
+namespace timedc {
+
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t micros) : micros_(micros) {}
+
+  static constexpr SimTime zero() { return SimTime(0); }
+  static constexpr SimTime infinity() { return SimTime(kInfinity); }
+  static constexpr SimTime micros(std::int64_t n) { return SimTime(n); }
+  static constexpr SimTime millis(std::int64_t n) { return SimTime(n * 1000); }
+  static constexpr SimTime seconds(std::int64_t n) { return SimTime(n * 1000000); }
+
+  constexpr std::int64_t as_micros() const { return micros_; }
+  constexpr double as_seconds() const { return static_cast<double>(micros_) / 1e6; }
+  constexpr bool is_infinite() const { return micros_ == kInfinity; }
+
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+
+  constexpr SimTime operator+(SimTime other) const {
+    if (is_infinite() || other.is_infinite()) return infinity();
+    return SimTime(micros_ + other.micros_);
+  }
+  constexpr SimTime operator-(SimTime other) const {
+    // infinity - finite stays infinite; finite - infinity saturates to the
+    // most negative value (used as "no lower bound" by the timed checks).
+    if (is_infinite()) return infinity();
+    if (other.is_infinite()) return SimTime(std::numeric_limits<std::int64_t>::min());
+    return SimTime(micros_ - other.micros_);
+  }
+  constexpr SimTime& operator+=(SimTime other) { return *this = *this + other; }
+
+  constexpr SimTime operator*(std::int64_t k) const {
+    if (is_infinite()) return infinity();
+    return SimTime(micros_ * k);
+  }
+  constexpr SimTime operator/(std::int64_t k) const {
+    TIMEDC_ASSERT(k != 0);
+    if (is_infinite()) return infinity();
+    return SimTime(micros_ / k);
+  }
+
+  std::string to_string() const {
+    if (is_infinite()) return "inf";
+    return std::to_string(micros_) + "us";
+  }
+
+ private:
+  static constexpr std::int64_t kInfinity = std::numeric_limits<std::int64_t>::max();
+  std::int64_t micros_ = 0;
+};
+
+constexpr SimTime min(SimTime a, SimTime b) { return a < b ? a : b; }
+constexpr SimTime max(SimTime a, SimTime b) { return a < b ? b : a; }
+
+}  // namespace timedc

@@ -1,0 +1,60 @@
+// Strong identifier types shared by every module.
+//
+// Sites, objects and operations are identified by small integers throughout
+// the library; wrapping them in distinct types prevents the classic bug of
+// passing a site id where an object id is expected.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace timedc {
+
+/// Identifies one site (process/node) of the distributed system.
+struct SiteId {
+  std::uint32_t value = 0;
+  friend auto operator<=>(const SiteId&, const SiteId&) = default;
+};
+
+/// Identifies one shared object (the paper's X, A, B, C...).
+struct ObjectId {
+  std::uint32_t value = 0;
+  friend auto operator<=>(const ObjectId&, const ObjectId&) = default;
+};
+
+/// A value written to / read from a shared object. The paper assumes every
+/// written value is unique, which the history builders enforce.
+struct Value {
+  std::int64_t value = 0;
+  friend auto operator<=>(const Value&, const Value&) = default;
+};
+
+/// Dense per-history operation index (position in the global history H).
+struct OpIndex {
+  std::uint32_t value = 0;
+  friend auto operator<=>(const OpIndex&, const OpIndex&) = default;
+};
+
+inline std::string to_string(SiteId s) { return "site" + std::to_string(s.value); }
+inline std::string to_string(ObjectId o) {
+  // Small object ids print as the paper's letters A, B, C... for readability.
+  if (o.value < 26) return std::string(1, static_cast<char>('A' + o.value));
+  return "obj" + std::to_string(o.value);
+}
+
+}  // namespace timedc
+
+template <>
+struct std::hash<timedc::SiteId> {
+  size_t operator()(timedc::SiteId s) const noexcept { return std::hash<std::uint32_t>{}(s.value); }
+};
+template <>
+struct std::hash<timedc::ObjectId> {
+  size_t operator()(timedc::ObjectId o) const noexcept { return std::hash<std::uint32_t>{}(o.value); }
+};
+template <>
+struct std::hash<timedc::Value> {
+  size_t operator()(timedc::Value v) const noexcept { return std::hash<std::int64_t>{}(v.value); }
+};

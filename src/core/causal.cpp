@@ -1,0 +1,83 @@
+#include "core/causal.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace timedc {
+
+CausalOrder CausalOrder::build(const History& h) {
+  CausalOrder co;
+  co.n_ = h.size();
+  const std::size_t words = (co.n_ + 63) / 64;
+  co.rows_.assign(co.n_, Row(words, 0));
+  co.direct_preds_.assign(co.n_, {});
+
+  // Direct edges: program order (consecutive ops per site) and reads-from.
+  std::vector<std::vector<OpIndex>> succ(co.n_);
+  auto add_edge = [&](OpIndex a, OpIndex b) {
+    succ[a.value].push_back(b);
+    co.direct_preds_[b.value].push_back(a);
+  };
+  for (std::size_t s = 0; s < h.num_sites(); ++s) {
+    const auto& ops = h.site_ops(SiteId{static_cast<std::uint32_t>(s)});
+    for (std::size_t k = 1; k < ops.size(); ++k) add_edge(ops[k - 1], ops[k]);
+  }
+  for (const Operation& op : h.operations()) {
+    if (!op.is_read()) continue;
+    if (const auto src = h.forced_source(op.index); src && *src != op.index) {
+      add_edge(*src, op.index);
+    }
+  }
+
+  // Transitive closure by reverse-finishing-order DFS propagation. Process
+  // nodes in an order where successors are (mostly) done first; with cycles
+  // we simply iterate to a fixpoint, which terminates because rows only grow.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t a = 0; a < co.n_; ++a) {
+      Row& row = co.rows_[a];
+      const Row before = row;
+      for (OpIndex b : succ[a]) {
+        set_bit(row, b.value);
+        or_into(row, co.rows_[b.value]);
+      }
+      if (row != before) changed = true;
+    }
+  }
+  for (std::size_t a = 0; a < co.n_ && !co.cyclic_; ++a) {
+    if (row_bit(co.rows_[a], static_cast<std::uint32_t>(a))) co.cyclic_ = true;
+  }
+  return co;
+}
+
+bool has_causally_hidden_write(const History& h, const CausalOrder& co) {
+  for (const Operation& r : h.operations()) {
+    if (!r.is_read()) continue;
+    const auto src = h.forced_source(r.index);
+    if (!src) continue;  // initial-value reads handled by the init check
+    for (OpIndex b : h.writes_to(r.object)) {
+      if (b == *src) continue;
+      if (co.precedes(*src, b) && co.precedes(b, r.index)) return true;
+    }
+  }
+  return false;
+}
+
+bool passes_cc_fast_checks(const History& h, const CausalOrder& co) {
+  if (h.has_thin_air_read()) return false;
+  if (co.cyclic()) return false;
+  // A read of the initial value must not causally follow any write to the
+  // same object (the WriteCOInitRead bad pattern).
+  for (const Operation& r : h.operations()) {
+    if (!r.is_read() || r.value != kInitialValue) continue;
+    if (h.forced_source(r.index)) continue;  // reads a real write of 0? impossible
+    for (OpIndex w : h.writes_to(r.object)) {
+      if (co.precedes(w, r.index)) return false;
+    }
+  }
+  return !has_causally_hidden_write(h, co);
+}
+
+}  // namespace timedc

@@ -1,0 +1,286 @@
+#include "core/checkers.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/assert.hpp"
+
+namespace timedc {
+namespace {
+
+/// Backtracking search for a legal serialization of a subset of operations
+/// under a precedence partial order, with memoization of failed states.
+class Searcher {
+ public:
+  Searcher(const History& h, const std::vector<OpIndex>& subset,
+           const SearchLimits& limits)
+      : h_(h), ops_(subset), limits_(limits) {
+    const std::size_t m = ops_.size();
+    preds_.assign(m, {});
+    local_of_.clear();
+    for (std::size_t j = 0; j < m; ++j) local_of_[ops_[j].value] = j;
+  }
+
+  /// Declare that history op `a` must precede history op `b` (both must be
+  /// in the subset; silently ignored otherwise).
+  void must_precede(OpIndex a, OpIndex b) {
+    const auto ia = local_of_.find(a.value);
+    const auto ib = local_of_.find(b.value);
+    if (ia == local_of_.end() || ib == local_of_.end()) return;
+    preds_[ib->second].push_back(ia->second);
+  }
+
+  CheckResult run() {
+    const std::size_t m = ops_.size();
+    placed_.assign(m, false);
+    num_placed_ = 0;
+    order_.clear();
+    order_.reserve(m);
+    current_.clear();
+    nodes_ = 0;
+    limit_hit_ = false;
+    failed_states_.clear();
+
+    // Deterministic candidate heuristic: try operations in effective-time
+    // order first; realistic histories almost always admit a witness close
+    // to the real-time order, which keeps the search shallow.
+    try_order_.resize(m);
+    for (std::size_t j = 0; j < m; ++j) try_order_[j] = j;
+    std::sort(try_order_.begin(), try_order_.end(), [&](std::size_t a, std::size_t b) {
+      return h_.op(ops_[a]).time < h_.op(ops_[b]).time;
+    });
+
+    CheckResult result;
+    if (dfs()) {
+      result.verdict = Verdict::kYes;
+      result.witness.reserve(m);
+      for (std::size_t j : order_) result.witness.push_back(ops_[j]);
+    } else {
+      result.verdict = limit_hit_ ? Verdict::kLimit : Verdict::kNo;
+    }
+    return result;
+  }
+
+ private:
+  bool dfs() {
+    if (num_placed_ == ops_.size()) return true;
+    if (++nodes_ > limits_.max_nodes) {
+      limit_hit_ = true;
+      return false;
+    }
+    const std::uint64_t key = state_key();
+    if (failed_states_.contains(key)) return false;
+
+    for (std::size_t j : try_order_) {
+      if (placed_[j]) continue;
+      if (!preds_ready(j)) continue;
+      const Operation& op = h_.op(ops_[j]);
+      if (op.is_read()) {
+        const auto it = current_.find(op.object);
+        const Value v = it == current_.end() ? kInitialValue : it->second;
+        if (v != op.value) continue;
+        place(j);
+        if (dfs()) return true;
+        unplace_read(j);
+      } else {
+        const auto it = current_.find(op.object);
+        const bool had = it != current_.end();
+        const Value prev = had ? it->second : kInitialValue;
+        place(j);
+        current_[op.object] = op.value;
+        if (dfs()) return true;
+        if (had)
+          current_[op.object] = prev;
+        else
+          current_.erase(op.object);
+        unplace_read(j);
+      }
+      if (limit_hit_) return false;
+    }
+    failed_states_.insert(key);
+    return false;
+  }
+
+  bool preds_ready(std::size_t j) const {
+    for (std::size_t p : preds_[j]) {
+      if (!placed_[p]) return false;
+    }
+    return true;
+  }
+
+  void place(std::size_t j) {
+    placed_[j] = true;
+    ++num_placed_;
+    order_.push_back(j);
+  }
+
+  void unplace_read(std::size_t j) {
+    placed_[j] = false;
+    --num_placed_;
+    order_.pop_back();
+  }
+
+  /// Hash of (placed set, per-object current value). Failure from a state is
+  /// a function of exactly these two, so memoizing on them is sound.
+  std::uint64_t state_key() const {
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    auto mix = [&hash](std::uint64_t v) {
+      hash ^= v + 0x9e3779b97f4a7c15ULL + (hash << 6) + (hash >> 2);
+    };
+    std::uint64_t word = 0;
+    for (std::size_t j = 0; j < placed_.size(); ++j) {
+      if (placed_[j]) word |= 1ULL << (j & 63);
+      if ((j & 63) == 63) {
+        mix(word);
+        word = 0;
+      }
+    }
+    mix(word);
+    // Order-independent accumulation over the current-value map.
+    std::uint64_t acc = 0;
+    for (const auto& [obj, val] : current_) {
+      std::uint64_t e = (static_cast<std::uint64_t>(obj.value) << 32) ^
+                        static_cast<std::uint64_t>(val.value);
+      e *= 0xbf58476d1ce4e5b9ULL;
+      e ^= e >> 29;
+      acc += e;
+    }
+    mix(acc);
+    return hash;
+  }
+
+  const History& h_;
+  std::vector<OpIndex> ops_;
+  SearchLimits limits_;
+  std::unordered_map<std::uint32_t, std::size_t> local_of_;
+  std::vector<std::vector<std::size_t>> preds_;
+  std::vector<std::size_t> try_order_;
+
+  std::vector<bool> placed_;
+  std::size_t num_placed_ = 0;
+  std::vector<std::size_t> order_;
+  std::unordered_map<ObjectId, Value> current_;
+  std::uint64_t nodes_ = 0;
+  bool limit_hit_ = false;
+  std::unordered_set<std::uint64_t> failed_states_;
+};
+
+std::vector<OpIndex> all_ops(const History& h) {
+  std::vector<OpIndex> ops;
+  ops.reserve(h.size());
+  for (std::uint32_t i = 0; i < h.size(); ++i) ops.push_back(OpIndex{i});
+  return ops;
+}
+
+}  // namespace
+
+CheckResult find_serialization(const History& h,
+                               const std::vector<OpIndex>& subset,
+                               const CausalOrder* causal_constraint,
+                               bool program_order_constraint,
+                               bool effective_time_constraint,
+                               const SearchLimits& limits) {
+  Searcher searcher(h, subset, limits);
+  if (program_order_constraint) {
+    for (std::size_t s = 0; s < h.num_sites(); ++s) {
+      const auto& ops = h.site_ops(SiteId{static_cast<std::uint32_t>(s)});
+      for (std::size_t k = 1; k < ops.size(); ++k)
+        searcher.must_precede(ops[k - 1], ops[k]);
+    }
+  }
+  if (effective_time_constraint) {
+    for (OpIndex a : subset) {
+      for (OpIndex b : subset) {
+        if (h.op(a).time < h.op(b).time) searcher.must_precede(a, b);
+      }
+    }
+  }
+  if (causal_constraint != nullptr) {
+    for (OpIndex a : subset) {
+      for (OpIndex b : subset) {
+        if (a != b && causal_constraint->precedes(a, b)) searcher.must_precede(a, b);
+      }
+    }
+  }
+  return searcher.run();
+}
+
+CheckResult check_lin(const History& h, const SearchLimits& limits) {
+  if (h.has_thin_air_read()) return {Verdict::kNo, {}};
+  return find_serialization(h, all_ops(h), nullptr,
+                            /*program_order=*/false,
+                            /*effective_time=*/true, limits);
+}
+
+CheckResult check_sc(const History& h, const SearchLimits& limits) {
+  if (h.has_thin_air_read()) return {Verdict::kNo, {}};
+  return find_serialization(h, all_ops(h), nullptr,
+                            /*program_order=*/true,
+                            /*effective_time=*/false, limits);
+}
+
+CcCheckResult check_cc(const History& h, const SearchLimits& limits) {
+  CcCheckResult result;
+  if (h.has_thin_air_read()) return result;
+  const CausalOrder co = CausalOrder::build(h);
+  if (co.cyclic()) return result;
+  // Fail fast on the polynomial necessary conditions before searching.
+  if (!passes_cc_fast_checks(h, co)) return result;
+
+  result.per_site_witness.resize(h.num_sites());
+  for (std::uint32_t s = 0; s < h.num_sites(); ++s) {
+    // H_{i+w}: site s's operations plus every write in H.
+    std::vector<OpIndex> subset = h.all_writes();
+    for (OpIndex i : h.site_ops(SiteId{s})) {
+      if (h.op(i).is_read()) subset.push_back(i);
+    }
+    std::sort(subset.begin(), subset.end());
+    const CheckResult site = find_serialization(h, subset, &co,
+                                                /*program_order=*/false,
+                                                /*effective_time=*/false, limits);
+    if (!site.ok()) {
+      result.verdict = site.verdict;
+      result.failing_site = s;
+      result.per_site_witness.clear();
+      return result;
+    }
+    result.per_site_witness[s] = site.witness;
+  }
+  result.verdict = Verdict::kYes;
+  return result;
+}
+
+TscResult check_tsc(const History& h, const TimedSpecEpsilon& spec,
+                    const SearchLimits& limits) {
+  TscResult r;
+  r.timing = reads_on_time(h, spec);
+  r.sc = check_sc(h, limits);
+  return r;
+}
+
+TscResult check_tsc(const History& h, const TimedSpecXi& spec,
+                    const SearchLimits& limits) {
+  TscResult r;
+  r.timing = reads_on_time(h, spec);
+  r.sc = check_sc(h, limits);
+  return r;
+}
+
+TccResult check_tcc(const History& h, const TimedSpecEpsilon& spec,
+                    const SearchLimits& limits) {
+  TccResult r;
+  r.timing = reads_on_time(h, spec);
+  r.cc = check_cc(h, limits);
+  return r;
+}
+
+TccResult check_tcc(const History& h, const TimedSpecXi& spec,
+                    const SearchLimits& limits) {
+  TccResult r;
+  r.timing = reads_on_time(h, spec);
+  r.cc = check_cc(h, limits);
+  return r;
+}
+
+}  // namespace timedc

@@ -1,0 +1,109 @@
+// Executable consistency checkers for the models of the paper:
+// LIN, SC, CC (Section 2) and their timed versions TSC, TCC (Section 3).
+//
+// Verifying SC is NP-complete (the paper's footnote 2, [18,36]); the
+// checkers use exhaustive backtracking over serializations with memoization
+// on (placed-operations, per-object current value) states and a node budget,
+// so a verdict is kYes (witness found), kNo (search space exhausted) or
+// kLimit (budget hit — only reachable on adversarial inputs far larger than
+// the paper's figures and the property-test sizes).
+//
+// Because written values are unique, the reads-from relation is forced, so
+//   TSC  =  every read on time (Defs 1/2)  AND  SC,
+//   TCC  =  every read on time             AND  CC,
+// exactly the paper's TSC = T ∩ SC and TCC = T ∩ CC.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/causal.hpp"
+#include "core/history.hpp"
+#include "core/timed.hpp"
+
+namespace timedc {
+
+enum class Verdict { kYes, kNo, kLimit };
+
+inline const char* to_cstring(Verdict v) {
+  switch (v) {
+    case Verdict::kYes: return "yes";
+    case Verdict::kNo: return "no";
+    case Verdict::kLimit: return "limit";
+  }
+  return "?";
+}
+
+struct SearchLimits {
+  std::uint64_t max_nodes = 4'000'000;
+};
+
+struct CheckResult {
+  Verdict verdict = Verdict::kNo;
+  std::vector<OpIndex> witness;  // a satisfying serialization, when kYes
+  bool ok() const { return verdict == Verdict::kYes; }
+};
+
+struct CcCheckResult {
+  Verdict verdict = Verdict::kNo;
+  // One serialization of H_{i+w} per site, when kYes.
+  std::vector<std::vector<OpIndex>> per_site_witness;
+  // Site whose serialization search failed, when kNo.
+  std::uint32_t failing_site = 0;
+  bool ok() const { return verdict == Verdict::kYes; }
+};
+
+/// Linearizability: a legal serialization of H respecting effective-time
+/// order (operations with equal effective times may appear in either order).
+CheckResult check_lin(const History& h, const SearchLimits& limits = {});
+
+/// Sequential consistency: a legal serialization respecting program order.
+CheckResult check_sc(const History& h, const SearchLimits& limits = {});
+
+/// Causal consistency (causal memory, Ahamad et al. [2]): per site i, a
+/// legal serialization of H_{i+w} respecting the causal order.
+CcCheckResult check_cc(const History& h, const SearchLimits& limits = {});
+
+/// TSC / TCC verdicts decompose into the ordering part and the timing part.
+struct TscResult {
+  TimedCheckResult timing;
+  CheckResult sc;
+  bool ok() const { return timing.all_on_time && sc.ok(); }
+  Verdict verdict() const {
+    if (!timing.all_on_time) return Verdict::kNo;
+    return sc.verdict;
+  }
+};
+
+struct TccResult {
+  TimedCheckResult timing;
+  CcCheckResult cc;
+  bool ok() const { return timing.all_on_time && cc.ok(); }
+  Verdict verdict() const {
+    if (!timing.all_on_time) return Verdict::kNo;
+    return cc.verdict;
+  }
+};
+
+TscResult check_tsc(const History& h, const TimedSpecEpsilon& spec,
+                    const SearchLimits& limits = {});
+TscResult check_tsc(const History& h, const TimedSpecXi& spec,
+                    const SearchLimits& limits = {});
+TccResult check_tcc(const History& h, const TimedSpecEpsilon& spec,
+                    const SearchLimits& limits = {});
+TccResult check_tcc(const History& h, const TimedSpecXi& spec,
+                    const SearchLimits& limits = {});
+
+/// The generic engine: search for a legal serialization of the operations
+/// in `subset` (indices into h) that respects `must_precede`, given as a
+/// strict partial order predicate over history op indices. Exposed for
+/// tests and for callers wanting custom orders.
+CheckResult find_serialization(const History& h,
+                               const std::vector<OpIndex>& subset,
+                               const CausalOrder* causal_constraint,
+                               bool program_order_constraint,
+                               bool effective_time_constraint,
+                               const SearchLimits& limits);
+
+}  // namespace timedc

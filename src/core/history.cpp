@@ -1,0 +1,100 @@
+#include "core/history.hpp"
+
+#include "common/assert.hpp"
+
+namespace timedc {
+
+std::optional<OpIndex> History::forced_source(OpIndex r) const {
+  const Operation& op = ops_[r.value];
+  TIMEDC_ASSERT(op.is_read());
+  return writer_of(op.object, op.value);
+}
+
+std::optional<OpIndex> History::writer_of(ObjectId object, Value value) const {
+  const auto by_obj = writer_.find(object);
+  if (by_obj == writer_.end()) return std::nullopt;
+  const auto it = by_obj->second.find(value);
+  if (it == by_obj->second.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::vector<OpIndex>& History::writes_to(ObjectId object) const {
+  static const std::vector<OpIndex> kEmpty;
+  const auto it = writes_by_object_.find(object);
+  return it == writes_by_object_.end() ? kEmpty : it->second;
+}
+
+std::string History::to_string() const {
+  std::string out;
+  for (std::size_t s = 0; s < per_site_.size(); ++s) {
+    out += "site" + std::to_string(s) + ":";
+    for (OpIndex i : per_site_[s]) {
+      out += " " + ops_[i.value].to_string();
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+HistoryBuilder::HistoryBuilder(std::size_t num_sites)
+    : last_time_per_site_(num_sites, SimTime::micros(-1)) {
+  TIMEDC_ASSERT(num_sites > 0);
+  h_.per_site_.resize(num_sites);
+}
+
+HistoryBuilder& HistoryBuilder::append(SiteId site, OpType type, ObjectId object,
+                                       Value value, SimTime t) {
+  TIMEDC_ASSERT(!built_);
+  TIMEDC_ASSERT(site.value < h_.per_site_.size());
+  TIMEDC_ASSERT(!t.is_infinite());
+  // Effective times must advance along each site's program order: a site
+  // executes its operations one after the other in real time.
+  TIMEDC_ASSERT(t > last_time_per_site_[site.value]);
+  last_time_per_site_[site.value] = t;
+
+  const OpIndex idx{static_cast<std::uint32_t>(h_.ops_.size())};
+  h_.ops_.push_back(Operation{idx, site, type, object, value, t});
+  h_.per_site_[site.value].push_back(idx);
+  if (type == OpType::kWrite) {
+    // Unique-values assumption (Section 2): each value written to an object
+    // is written exactly once.
+    auto [it, inserted] = h_.writer_[object].emplace(value, idx);
+    (void)it;
+    TIMEDC_ASSERT(inserted && "written values must be unique per object");
+    TIMEDC_ASSERT(value != kInitialValue && "cannot write the initial value");
+    h_.writes_.push_back(idx);
+    h_.writes_by_object_[object].push_back(idx);
+  }
+  return *this;
+}
+
+HistoryBuilder& HistoryBuilder::write(SiteId site, ObjectId object, Value value,
+                                      SimTime t) {
+  return append(site, OpType::kWrite, object, value, t);
+}
+
+HistoryBuilder& HistoryBuilder::read(SiteId site, ObjectId object, Value value,
+                                     SimTime t) {
+  return append(site, OpType::kRead, object, value, t);
+}
+
+HistoryBuilder& HistoryBuilder::logical_times(std::vector<VectorTimestamp> times) {
+  TIMEDC_ASSERT(!built_);
+  TIMEDC_ASSERT(times.size() == h_.ops_.size());
+  h_.logical_ = std::move(times);
+  return *this;
+}
+
+History HistoryBuilder::build() {
+  TIMEDC_ASSERT(!built_);
+  built_ = true;
+  for (const Operation& op : h_.ops_) {
+    if (op.is_read() && op.value != kInitialValue &&
+        !h_.writer_of(op.object, op.value).has_value()) {
+      h_.thin_air_ = true;
+    }
+  }
+  return std::move(h_);
+}
+
+}  // namespace timedc

@@ -1,0 +1,107 @@
+// Global histories H and per-site histories H_i (Section 2).
+//
+// A History is an immutable, validated set of operations with:
+//   * program order: the order operations were appended per site,
+//   * forced reads-from: the paper assumes each written value is unique, so
+//     a read of value v on object X can only have been served by the single
+//     write of v to X (or by the initial value 0 if v == 0 and nothing wrote
+//     it). This is what makes the timed predicate of Definitions 1/2/6
+//     checkable independently of the serialization being searched.
+// Optionally a history carries logical timestamps L(a) per operation for the
+// logical-clock variant of timed consistency (Definition 6).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "clocks/vector_clock.hpp"
+#include "common/sim_time.hpp"
+#include "common/types.hpp"
+#include "core/operation.hpp"
+
+namespace timedc {
+
+/// The paper's convention: every object starts with value 0.
+inline constexpr Value kInitialValue{0};
+
+class History {
+ public:
+  std::size_t size() const { return ops_.size(); }
+  std::size_t num_sites() const { return per_site_.size(); }
+  bool empty() const { return ops_.empty(); }
+
+  const Operation& op(OpIndex i) const { return ops_[i.value]; }
+  const std::vector<Operation>& operations() const { return ops_; }
+
+  /// Program order: indices of site i's operations, in execution order.
+  const std::vector<OpIndex>& site_ops(SiteId i) const {
+    return per_site_[i.value];
+  }
+
+  /// The write that read `r` must read from (unique-values assumption), or
+  /// nullopt when the read returns the initial value. Invalid on writes.
+  std::optional<OpIndex> forced_source(OpIndex r) const;
+
+  /// True iff some read returns a non-initial value no write produced
+  /// ("thin-air read"): such a history satisfies no consistency model here.
+  bool has_thin_air_read() const { return thin_air_; }
+
+  /// The write of `value` to `object`, if any.
+  std::optional<OpIndex> writer_of(ObjectId object, Value value) const;
+
+  /// All writes to `object`, in history (append) order.
+  const std::vector<OpIndex>& writes_to(ObjectId object) const;
+
+  /// All write operations in H, in history order (the "+w" of H_{i+w}).
+  const std::vector<OpIndex>& all_writes() const { return writes_; }
+
+  /// Optional logical timestamps for Definition 6. Empty if unset.
+  const std::vector<VectorTimestamp>& logical_times() const { return logical_; }
+  bool has_logical_times() const { return !logical_.empty(); }
+
+  std::string to_string() const;
+
+ private:
+  friend class HistoryBuilder;
+
+  std::vector<Operation> ops_;
+  std::vector<std::vector<OpIndex>> per_site_;
+  std::vector<OpIndex> writes_;
+  std::unordered_map<ObjectId, std::vector<OpIndex>> writes_by_object_;
+  // (object, value) -> writer op. Keyed by object then value.
+  std::unordered_map<ObjectId, std::unordered_map<Value, OpIndex>> writer_;
+  std::vector<VectorTimestamp> logical_;
+  bool thin_air_ = false;
+};
+
+/// Builds a history incrementally; enforces the paper's assumptions:
+/// unique written values per object, and strictly increasing effective
+/// times along each site's program order.
+class HistoryBuilder {
+ public:
+  explicit HistoryBuilder(std::size_t num_sites);
+
+  /// Append a write w_site(object)value at effective time t.
+  HistoryBuilder& write(SiteId site, ObjectId object, Value value, SimTime t);
+
+  /// Append a read r_site(object)value at effective time t.
+  HistoryBuilder& read(SiteId site, ObjectId object, Value value, SimTime t);
+
+  /// Attach logical timestamps: must be called after all operations are
+  /// appended, one timestamp per operation in append order.
+  HistoryBuilder& logical_times(std::vector<VectorTimestamp> times);
+
+  History build();
+
+ private:
+  HistoryBuilder& append(SiteId site, OpType type, ObjectId object, Value value,
+                         SimTime t);
+
+  History h_;
+  std::vector<SimTime> last_time_per_site_;
+  bool built_ = false;
+};
+
+}  // namespace timedc

@@ -1,0 +1,176 @@
+#include "core/history_gen.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace timedc {
+namespace {
+
+/// Per-site strictly increasing effective times with random steps.
+class TimeLine {
+ public:
+  TimeLine(std::size_t num_sites, std::int64_t max_step)
+      : next_(num_sites, 0), max_step_(max_step) {}
+
+  SimTime advance(SiteId s, Rng& rng) {
+    next_[s.value] += rng.uniform_int(1, max_step_);
+    return SimTime::micros(next_[s.value]);
+  }
+
+ private:
+  std::vector<std::int64_t> next_;
+  std::int64_t max_step_;
+};
+
+}  // namespace
+
+History random_history(const RandomHistoryParams& params, Rng& rng) {
+  TIMEDC_ASSERT(params.num_sites > 0 && params.num_objects > 0);
+  HistoryBuilder builder(params.num_sites);
+  TimeLine timeline(params.num_sites, params.max_step_micros);
+  // Values written so far, per object; reads sample from these plus 0.
+  std::vector<std::vector<Value>> written(params.num_objects);
+  std::int64_t next_value = 1;
+
+  for (std::size_t k = 0; k < params.num_ops; ++k) {
+    const SiteId site{static_cast<std::uint32_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(params.num_sites) - 1))};
+    const ObjectId obj{static_cast<std::uint32_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(params.num_objects) - 1))};
+    const SimTime t = timeline.advance(site, rng);
+    if (rng.bernoulli(params.write_ratio)) {
+      const Value v{next_value++};
+      written[obj.value].push_back(v);
+      builder.write(site, obj, v, t);
+    } else {
+      const auto& candidates = written[obj.value];
+      const std::int64_t pick =
+          rng.uniform_int(0, static_cast<std::int64_t>(candidates.size()));
+      const Value v = pick == 0 ? kInitialValue
+                                : candidates[static_cast<std::size_t>(pick - 1)];
+      builder.read(site, obj, v, t);
+    }
+  }
+  return builder.build();
+}
+
+History replica_history(const ReplicaHistoryParams& params, Rng& rng) {
+  TIMEDC_ASSERT(params.num_sites > 0 && params.num_objects > 0);
+  TIMEDC_ASSERT(params.min_delay_micros <= params.max_delay_micros);
+
+  // First pass: choose sites, times and op types; writes get unique values.
+  struct PlannedOp {
+    SiteId site;
+    ObjectId obj;
+    bool is_write;
+    Value value;  // for writes
+    SimTime t;
+  };
+  TimeLine timeline(params.num_sites, params.max_step_micros);
+  std::vector<PlannedOp> plan;
+  std::int64_t next_value = 1;
+  for (std::size_t k = 0; k < params.num_ops; ++k) {
+    PlannedOp op;
+    op.site = SiteId{static_cast<std::uint32_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(params.num_sites) - 1))};
+    op.obj = ObjectId{static_cast<std::uint32_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(params.num_objects) - 1))};
+    op.is_write = rng.bernoulli(params.write_ratio);
+    op.t = timeline.advance(op.site, rng);
+    if (op.is_write) op.value = Value{next_value++};
+    plan.push_back(op);
+  }
+
+  // Second pass: per-replica apply schedule. A write is applied at its own
+  // site immediately and at every other site after a random delay; a replica
+  // holds the value of the write it applied most recently.
+  struct Apply {
+    SimTime at;
+    SimTime write_time;  // tiebreak: later original write wins on same `at`
+    ObjectId obj;
+    Value value;
+  };
+  std::vector<std::vector<Apply>> applies(params.num_sites);
+  for (const PlannedOp& op : plan) {
+    if (!op.is_write) continue;
+    for (std::uint32_t s = 0; s < params.num_sites; ++s) {
+      const SimTime delay =
+          s == op.site.value
+              ? SimTime::zero()
+              : SimTime::micros(
+                    rng.uniform_int(params.min_delay_micros, params.max_delay_micros));
+      applies[s].push_back(Apply{op.t + delay, op.t, op.obj, op.value});
+    }
+  }
+  for (auto& a : applies) {
+    std::sort(a.begin(), a.end(), [](const Apply& x, const Apply& y) {
+      if (x.at != y.at) return x.at < y.at;
+      return x.write_time < y.write_time;
+    });
+  }
+
+  auto replica_value = [&](SiteId site, ObjectId obj, SimTime t) {
+    Value v = kInitialValue;
+    for (const Apply& a : applies[site.value]) {
+      if (a.at > t) break;
+      if (a.obj == obj) v = a.value;
+    }
+    return v;
+  };
+
+  HistoryBuilder builder(params.num_sites);
+  for (const PlannedOp& op : plan) {
+    if (op.is_write) {
+      builder.write(op.site, op.obj, op.value, op.t);
+    } else {
+      builder.read(op.site, op.obj, replica_value(op.site, op.obj, op.t), op.t);
+    }
+  }
+  return builder.build();
+}
+
+History annotate_logical_times(const History& h) {
+  // Replay in effective-time order; ties broken by history index.
+  std::vector<OpIndex> order;
+  order.reserve(h.size());
+  for (std::uint32_t i = 0; i < h.size(); ++i) order.push_back(OpIndex{i});
+  std::sort(order.begin(), order.end(), [&](OpIndex a, OpIndex b) {
+    if (h.op(a).time != h.op(b).time) return h.op(a).time < h.op(b).time;
+    return a < b;
+  });
+
+  std::vector<VectorClock> clocks;
+  clocks.reserve(h.num_sites());
+  for (std::uint32_t s = 0; s < h.num_sites(); ++s)
+    clocks.emplace_back(h.num_sites(), SiteId{s});
+
+  std::vector<VectorTimestamp> stamps(h.size(), VectorTimestamp(h.num_sites()));
+  for (OpIndex i : order) {
+    const Operation& op = h.op(i);
+    VectorClock& clock = clocks[op.site.value];
+    if (op.is_read()) {
+      const auto src = h.forced_source(i);
+      if (src && h.op(*src).site != op.site) {
+        stamps[i.value] = clock.receive(stamps[src->value]);
+        continue;
+      }
+    }
+    stamps[i.value] = clock.tick();
+  }
+
+  HistoryBuilder builder(h.num_sites());
+  for (const Operation& op : h.operations()) {
+    if (op.is_write())
+      builder.write(op.site, op.object, op.value, op.time);
+    else
+      builder.read(op.site, op.object, op.value, op.time);
+  }
+  builder.logical_times(std::move(stamps));
+  return builder.build();
+}
+
+}  // namespace timedc

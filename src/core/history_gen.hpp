@@ -1,0 +1,55 @@
+// History generators for property tests and experiments.
+//
+// Two families:
+//   * random_history: unconstrained reads (values drawn from what has been
+//     written so far, or the initial value) — produces a mix of consistent
+//     and inconsistent histories, exercising both verdicts of the checkers.
+//   * replica_history: reads are served by a simulated per-site replica that
+//     applies each write after a random propagation delay — produces the
+//     kind of history a real replicated store generates, whose staleness is
+//     controlled by the delay bound (the knob timed consistency is about).
+// Plus annotate_logical_times, which reconstructs plausible vector-clock
+// timestamps for an existing history (Definition 6 inputs).
+#pragma once
+
+#include "common/rng.hpp"
+#include "common/sim_time.hpp"
+#include "core/history.hpp"
+
+namespace timedc {
+
+struct RandomHistoryParams {
+  std::size_t num_sites = 3;
+  std::size_t num_objects = 2;
+  std::size_t num_ops = 12;
+  double write_ratio = 0.5;
+  /// Max gap between consecutive effective times on one site.
+  std::int64_t max_step_micros = 30;
+};
+
+History random_history(const RandomHistoryParams& params, Rng& rng);
+
+struct ReplicaHistoryParams {
+  std::size_t num_sites = 4;
+  std::size_t num_objects = 3;
+  std::size_t num_ops = 24;
+  double write_ratio = 0.3;
+  std::int64_t max_step_micros = 30;
+  /// Write propagation delay to each remote replica: uniform in
+  /// [min_delay, max_delay]. Small delays yield nearly-linearizable
+  /// histories; large delays yield very stale (but still per-site-coherent)
+  /// ones.
+  std::int64_t min_delay_micros = 5;
+  std::int64_t max_delay_micros = 100;
+};
+
+History replica_history(const ReplicaHistoryParams& params, Rng& rng);
+
+/// Rebuild `h` with vector-clock logical times attached: operations are
+/// replayed in effective-time order; each write ticks its site's clock and
+/// each read merges the source write's timestamp (as if the value arrived in
+/// a message), matching how the lifetime protocol of Section 5.3 stamps
+/// operations.
+History annotate_logical_times(const History& h);
+
+}  // namespace timedc

@@ -1,0 +1,229 @@
+#include "core/interval.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/assert.hpp"
+
+namespace timedc {
+
+std::string IntervalOp::to_string() const {
+  std::string s = is_write() ? "w" : "r";
+  s += std::to_string(site.value) + "(" + timedc::to_string(object) + ")" +
+       std::to_string(value.value);
+  s += "[" + std::to_string(invocation.as_micros()) + "," +
+       std::to_string(response.as_micros()) + "]";
+  return s;
+}
+
+IntervalHistory::IntervalHistory(std::size_t num_sites)
+    : num_sites_(num_sites), site_busy_until_(num_sites, SimTime::micros(-1)) {
+  TIMEDC_ASSERT(num_sites > 0);
+}
+
+IntervalHistory& IntervalHistory::write(SiteId site, ObjectId object,
+                                        Value value, SimTime invocation,
+                                        SimTime response) {
+  TIMEDC_ASSERT(site.value < num_sites_);
+  TIMEDC_ASSERT(invocation <= response);
+  TIMEDC_ASSERT(invocation > site_busy_until_[site.value] &&
+                "a site's operations must not overlap");
+  TIMEDC_ASSERT(value != kInitialValue);
+  for (const IntervalOp& op : ops_) {
+    TIMEDC_ASSERT(!(op.is_write() && op.object == object && op.value == value) &&
+                  "written values must be unique per object");
+  }
+  site_busy_until_[site.value] = response;
+  ops_.push_back(IntervalOp{site, OpType::kWrite, object, value, invocation,
+                            response});
+  return *this;
+}
+
+IntervalHistory& IntervalHistory::read(SiteId site, ObjectId object,
+                                       Value value, SimTime invocation,
+                                       SimTime response) {
+  TIMEDC_ASSERT(site.value < num_sites_);
+  TIMEDC_ASSERT(invocation <= response);
+  TIMEDC_ASSERT(invocation > site_busy_until_[site.value]);
+  site_busy_until_[site.value] = response;
+  ops_.push_back(
+      IntervalOp{site, OpType::kRead, object, value, invocation, response});
+  return *this;
+}
+
+namespace {
+
+/// Memoized backtracking over linearizations, mirroring the point-history
+/// engine: state = (placed set, per-object current value).
+class IntervalSearcher {
+ public:
+  IntervalSearcher(const IntervalHistory& h, const SearchLimits& limits)
+      : h_(h), limits_(limits) {}
+
+  IntervalLinResult run() {
+    const std::size_t m = h_.size();
+    placed_.assign(m, false);
+    order_.clear();
+    try_order_.resize(m);
+    for (std::size_t j = 0; j < m; ++j) try_order_[j] = j;
+    std::sort(try_order_.begin(), try_order_.end(),
+              [&](std::size_t a, std::size_t b) {
+                return h_.op(a).invocation < h_.op(b).invocation;
+              });
+    // Thin-air check: every non-initial read value must have a writer.
+    for (const IntervalOp& op : h_.operations()) {
+      if (!op.is_read() || op.value == kInitialValue) continue;
+      bool found = false;
+      for (const IntervalOp& w : h_.operations()) {
+        found |= w.is_write() && w.object == op.object && w.value == op.value;
+      }
+      if (!found) return {Verdict::kNo, {}};
+    }
+    IntervalLinResult result;
+    if (dfs()) {
+      result.verdict = Verdict::kYes;
+      result.witness = order_;
+    } else {
+      result.verdict = limit_hit_ ? Verdict::kLimit : Verdict::kNo;
+    }
+    return result;
+  }
+
+ private:
+  bool dfs() {
+    if (order_.size() == h_.size()) return true;
+    if (++nodes_ > limits_.max_nodes) {
+      limit_hit_ = true;
+      return false;
+    }
+    const std::uint64_t key = state_key();
+    if (failed_.contains(key)) return false;
+    for (std::size_t j : try_order_) {
+      if (placed_[j]) continue;
+      if (!minimal(j)) continue;
+      const IntervalOp& op = h_.op(j);
+      Value prev{};
+      bool had = false;
+      if (op.is_read()) {
+        const auto it = current_.find(op.object);
+        const Value v = it == current_.end() ? kInitialValue : it->second;
+        if (v != op.value) continue;
+      } else {
+        const auto it = current_.find(op.object);
+        had = it != current_.end();
+        prev = had ? it->second : kInitialValue;
+        current_[op.object] = op.value;
+      }
+      placed_[j] = true;
+      order_.push_back(j);
+      if (dfs()) return true;
+      placed_[j] = false;
+      order_.pop_back();
+      if (op.is_write()) {
+        if (had)
+          current_[op.object] = prev;
+        else
+          current_.erase(op.object);
+      }
+      if (limit_hit_) return false;
+    }
+    failed_.insert(key);
+    return false;
+  }
+
+  /// j may be linearized next only if no unplaced op strictly precedes it.
+  bool minimal(std::size_t j) const {
+    for (std::size_t k = 0; k < h_.size(); ++k) {
+      if (!placed_[k] && k != j && h_.precedes(k, j)) return false;
+    }
+    return true;
+  }
+
+  std::uint64_t state_key() const {
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    auto mix = [&hash](std::uint64_t v) {
+      hash ^= v + 0x9e3779b97f4a7c15ULL + (hash << 6) + (hash >> 2);
+    };
+    std::uint64_t word = 0;
+    for (std::size_t j = 0; j < placed_.size(); ++j) {
+      if (placed_[j]) word |= 1ULL << (j & 63);
+      if ((j & 63) == 63) {
+        mix(word);
+        word = 0;
+      }
+    }
+    mix(word);
+    std::uint64_t acc = 0;
+    for (const auto& [obj, val] : current_) {
+      std::uint64_t e = (static_cast<std::uint64_t>(obj.value) << 32) ^
+                        static_cast<std::uint64_t>(val.value);
+      e *= 0xbf58476d1ce4e5b9ULL;
+      e ^= e >> 29;
+      acc += e;
+    }
+    mix(acc);
+    return hash;
+  }
+
+  const IntervalHistory& h_;
+  SearchLimits limits_;
+  std::vector<bool> placed_;
+  std::vector<std::size_t> order_;
+  std::vector<std::size_t> try_order_;
+  std::unordered_map<ObjectId, Value> current_;
+  std::uint64_t nodes_ = 0;
+  bool limit_hit_ = false;
+  std::unordered_set<std::uint64_t> failed_;
+};
+
+}  // namespace
+
+IntervalLinResult check_interval_lin(const IntervalHistory& h,
+                                     const SearchLimits& limits) {
+  return IntervalSearcher(h, limits).run();
+}
+
+std::optional<std::vector<SimTime>> choose_effective_times(
+    const IntervalHistory& h, const std::vector<std::size_t>& order) {
+  TIMEDC_ASSERT(order.size() == h.size());
+  // Greedy sweep: each operation takes effect as early as its interval and
+  // the previous effective time allow. If the order respects the interval
+  // precedence, this never overruns a response time (see interval_test's
+  // property check); if it does overrun, the order was invalid.
+  std::vector<SimTime> times(h.size());
+  SimTime cursor = SimTime::micros(-1);
+  for (std::size_t j : order) {
+    const IntervalOp& op = h.op(j);
+    const SimTime t = max(op.invocation, cursor);
+    if (t > op.response) return std::nullopt;
+    times[j] = t;
+    cursor = t;
+  }
+  return times;
+}
+
+History to_point_history(const IntervalHistory& h,
+                         const std::vector<SimTime>& times) {
+  TIMEDC_ASSERT(times.empty() || times.size() == h.size());
+  // Append per site in invocation order (per-site intervals are disjoint,
+  // so any in-interval effective times are strictly increasing per site).
+  std::vector<std::size_t> order(h.size());
+  for (std::size_t j = 0; j < order.size(); ++j) order[j] = j;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return h.op(a).invocation < h.op(b).invocation;
+  });
+  HistoryBuilder builder(h.num_sites());
+  for (std::size_t j : order) {
+    const IntervalOp& op = h.op(j);
+    const SimTime t = times.empty() ? op.invocation : times[j];
+    if (op.is_write()) {
+      builder.write(op.site, op.object, op.value, t);
+    } else {
+      builder.read(op.site, op.object, op.value, t);
+    }
+  }
+  return builder.build();
+}
+
+}  // namespace timedc

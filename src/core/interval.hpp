@@ -1,0 +1,91 @@
+// Interval-based operations and Herlihy-Wing linearizability [20].
+//
+// Section 2 of the paper notes that operations "take a finite, non-zero
+// time to execute, hence there is an interval that goes from the time when
+// a read or write starts to the time when such an operation finishes", and
+// then works with one *effective time* inside that interval. This module
+// supplies the interval side of that picture:
+//
+//   * IntervalHistory: operations with [invocation, response] intervals,
+//     sequential per site;
+//   * check_interval_lin: classic linearizability — a legal serialization
+//     respecting the real-time precedence  a.response < b.invocation;
+//   * choose_effective_times: given a linearization, pick an effective time
+//     inside every operation's interval such that the point-based LIN
+//     checker accepts — the constructive bridge between the two models,
+//     property-tested in interval_test.cpp.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/checkers.hpp"
+#include "core/history.hpp"
+
+namespace timedc {
+
+struct IntervalOp {
+  SiteId site;
+  OpType type = OpType::kRead;
+  ObjectId object;
+  Value value;
+  SimTime invocation;
+  SimTime response;
+
+  bool is_write() const { return type == OpType::kWrite; }
+  bool is_read() const { return type == OpType::kRead; }
+  std::string to_string() const;
+};
+
+/// A set of interval operations; per-site intervals must not overlap (each
+/// site is a sequential process) and written values are unique per object.
+class IntervalHistory {
+ public:
+  explicit IntervalHistory(std::size_t num_sites);
+
+  IntervalHistory& write(SiteId site, ObjectId object, Value value,
+                         SimTime invocation, SimTime response);
+  IntervalHistory& read(SiteId site, ObjectId object, Value value,
+                        SimTime invocation, SimTime response);
+
+  std::size_t size() const { return ops_.size(); }
+  std::size_t num_sites() const { return num_sites_; }
+  const IntervalOp& op(std::size_t i) const { return ops_[i]; }
+  const std::vector<IntervalOp>& operations() const { return ops_; }
+
+  /// Strict real-time precedence: a finished before b started.
+  bool precedes(std::size_t a, std::size_t b) const {
+    return ops_[a].response < ops_[b].invocation;
+  }
+
+ private:
+  std::size_t num_sites_;
+  std::vector<IntervalOp> ops_;
+  std::vector<SimTime> site_busy_until_;
+};
+
+struct IntervalLinResult {
+  Verdict verdict = Verdict::kNo;
+  std::vector<std::size_t> witness;  // a linearization, when kYes
+  bool ok() const { return verdict == Verdict::kYes; }
+};
+
+/// Herlihy-Wing linearizability of an interval history.
+IntervalLinResult check_interval_lin(const IntervalHistory& h,
+                                     const SearchLimits& limits = {});
+
+/// Given a linearization of `h` (as returned by check_interval_lin), assign
+/// each operation an effective time within its interval, nondecreasing
+/// along the linearization. Returns nullopt iff `order` does not respect
+/// the interval precedence. The resulting point history (same ops at the
+/// chosen instants) satisfies point-based LIN.
+std::optional<std::vector<SimTime>> choose_effective_times(
+    const IntervalHistory& h, const std::vector<std::size_t>& order);
+
+/// Collapse an interval history to the point history at the given effective
+/// times (or at invocation times when `times` is empty). Site order is
+/// preserved. Useful to hand interval executions to the timed checkers.
+History to_point_history(const IntervalHistory& h,
+                         const std::vector<SimTime>& times = {});
+
+}  // namespace timedc

@@ -1,0 +1,39 @@
+// The read/write operations that make up a history (Section 2 of the paper).
+//
+// Following the paper, every operation has an *effective time*: one instant
+// between its start and its end at which it logically takes effect. All
+// real-time reasoning (Definitions 1-4) is in terms of effective times.
+#pragma once
+
+#include <string>
+
+#include "common/sim_time.hpp"
+#include "common/types.hpp"
+
+namespace timedc {
+
+enum class OpType { kRead, kWrite };
+
+struct Operation {
+  OpIndex index;     // position in the global history H
+  SiteId site;       // the site that executed the operation
+  OpType type = OpType::kRead;
+  ObjectId object;   // the shared object accessed
+  Value value;       // value written, or value returned by the read
+  SimTime time;      // effective time T(a)
+
+  bool is_write() const { return type == OpType::kWrite; }
+  bool is_read() const { return type == OpType::kRead; }
+
+  /// Paper notation: "w2(C)7@340" / "r4(C)6@436".
+  std::string to_string() const {
+    std::string s = is_write() ? "w" : "r";
+    s += std::to_string(site.value);
+    s += "(" + timedc::to_string(object) + ")";
+    s += std::to_string(value.value);
+    if (!time.is_infinite()) s += "@" + std::to_string(time.as_micros());
+    return s;
+  }
+};
+
+}  // namespace timedc

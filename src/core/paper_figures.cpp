@@ -1,0 +1,154 @@
+#include "core/paper_figures.hpp"
+
+#include "common/assert.hpp"
+
+namespace timedc {
+namespace {
+
+constexpr SiteId kS0{0}, kS1{1}, kS2{2}, kS3{3}, kS4{4}, kS5{5};
+constexpr ObjectId kA{0}, kB{1}, kC{2}, kX{23};  // 'X' prints as letter X
+
+SimTime us(std::int64_t n) { return SimTime::micros(n); }
+
+}  // namespace
+
+History figure1() {
+  HistoryBuilder b(2);
+  b.write(kS1, kX, Value{1}, us(50));
+  b.write(kS0, kX, Value{7}, us(100));
+  b.read(kS1, kX, Value{1}, us(150));
+  b.read(kS1, kX, Value{1}, us(250));
+  b.read(kS1, kX, Value{1}, us(350));
+  b.read(kS1, kX, Value{1}, us(450));
+  return b.build();
+}
+
+History figure2() {
+  // One write per site keeps per-site program order trivial; the read
+  // executes at a sixth site. Values: w1->1, w->2, w2->3, w3->4, w4->5.
+  HistoryBuilder b(6);
+  b.write(kS0, kX, Value{1}, us(10));    // w1
+  b.write(kS1, kX, Value{2}, us(50));    // w   (the read's source)
+  b.write(kS2, kX, Value{3}, us(80));    // w2  in W_r under Def 1
+  b.write(kS3, kX, Value{4}, us(110));   // w3  in W_r under Def 1
+  b.write(kS4, kX, Value{5}, us(170));   // w4  too recent to interfere
+  b.read(kS5, kX, Value{2}, us(200));    // r   (T(r) - Delta = 140)
+  return b.build();
+}
+
+Figure2Ops figure2_ops() {
+  return Figure2Ops{OpIndex{0}, OpIndex{1}, OpIndex{2},
+                    OpIndex{3}, OpIndex{4}, OpIndex{5}};
+}
+
+History figure5a() {
+  HistoryBuilder b(5);
+  // Times anchored to the paper where stated; the rest reconstructed so the
+  // staleness-gap spectrum is exactly {96, 27, 10} (see paper_figures.hpp).
+  // Interleaved in global time order for readability.
+  b.read(kS3, kB, Value{0}, us(40));
+  b.read(kS4, kC, Value{0}, us(60));
+  b.write(kS3, kB, Value{1}, us(80));
+  b.write(kS0, kB, Value{4}, us(90));
+  b.write(kS2, kC, Value{3}, us(100));
+  b.read(kS3, kA, Value{0}, us(120));
+  b.write(kS4, kB, Value{2}, us(130));
+  b.read(kS2, kA, Value{0}, us(150));
+  b.read(kS1, kB, Value{2}, us(160));
+  b.read(kS4, kC, Value{3}, us(200));
+  b.read(kS1, kA, Value{0}, us(210));
+  b.write(kS1, kA, Value{9}, us(260));
+  b.write(kS2, kB, Value{5}, us(274));   // anchored
+  b.read(kS3, kB, Value{2}, us(301));    // anchored: gap 27 vs w2(B)5@274
+  b.read(kS1, kB, Value{5}, us(310));
+  b.write(kS0, kC, Value{6}, us(338));   // anchored
+  b.write(kS2, kC, Value{7}, us(340));   // anchored
+  b.read(kS1, kC, Value{7}, us(360));
+  b.write(kS2, kA, Value{8}, us(380));
+  b.read(kS0, kA, Value{9}, us(390));    // gap 10 vs w2(A)8@380
+  b.read(kS3, kB, Value{5}, us(400));
+  b.write(kS2, kA, Value{10}, us(420));
+  b.read(kS0, kB, Value{5}, us(430));
+  b.read(kS4, kC, Value{6}, us(436));    // anchored: gap 96 vs w2(C)7@340
+  b.read(kS4, kC, Value{7}, us(470));
+  return b.build();
+}
+
+std::vector<OpIndex> figure5b_serialization() {
+  // The serialization printed as Figure 5b, expressed as the effective
+  // times of the operations in figure5a() (times identify ops uniquely).
+  const History h = figure5a();
+  const std::int64_t times[] = {
+      60,   // r4(C)0
+      40,   // r3(B)0
+      90,   // w0(B)4
+      100,  // w2(C)3
+      150,  // r2(A)0
+      80,   // w3(B)1
+      120,  // r3(A)0
+      130,  // w4(B)2
+      200,  // r4(C)3
+      301,  // r3(B)2
+      160,  // r1(B)2
+      210,  // r1(A)0
+      338,  // w0(C)6
+      260,  // w1(A)9
+      390,  // r0(A)9
+      274,  // w2(B)5
+      310,  // r1(B)5
+      430,  // r0(B)5
+      400,  // r3(B)5
+      436,  // r4(C)6
+      340,  // w2(C)7
+      360,  // r1(C)7
+      470,  // r4(C)7
+      380,  // w2(A)8
+      420,  // w2(A)10
+  };
+  std::vector<OpIndex> order;
+  for (std::int64_t t : times) {
+    bool found = false;
+    for (const Operation& op : h.operations()) {
+      if (op.time == us(t)) {
+        order.push_back(op.index);
+        found = true;
+        break;
+      }
+    }
+    TIMEDC_ASSERT(found);
+  }
+  TIMEDC_ASSERT(order.size() == h.size());
+  return order;
+}
+
+History figure6a() {
+  HistoryBuilder b(5);
+  b.read(kS3, kB, Value{0}, us(40));
+  b.read(kS4, kC, Value{0}, us(60));
+  b.write(kS3, kB, Value{1}, us(80));
+  b.write(kS0, kB, Value{4}, us(90));
+  b.write(kS2, kC, Value{3}, us(100));   // anchored
+  b.read(kS3, kA, Value{0}, us(120));
+  b.write(kS4, kB, Value{2}, us(130));
+  b.read(kS2, kA, Value{0}, us(150));
+  b.read(kS4, kC, Value{0}, us(155));    // anchored: ignores w2(C)3@100
+  b.read(kS1, kB, Value{2}, us(160));
+  b.read(kS4, kC, Value{3}, us(200));
+  b.read(kS1, kA, Value{0}, us(210));
+  b.write(kS1, kA, Value{9}, us(260));
+  b.write(kS2, kB, Value{5}, us(274));
+  b.read(kS3, kB, Value{4}, us(301));    // sees w0(B)4 after having seen 2...
+  b.read(kS1, kB, Value{2}, us(310));
+  b.write(kS0, kC, Value{6}, us(338));
+  b.write(kS2, kC, Value{7}, us(340));
+  b.read(kS1, kC, Value{7}, us(360));
+  b.write(kS2, kA, Value{8}, us(380));
+  b.read(kS0, kA, Value{9}, us(390));
+  b.read(kS3, kB, Value{2}, us(400));    // ...then w4(B)2 again: 4-then-2
+  b.write(kS2, kA, Value{10}, us(420));
+  b.read(kS0, kB, Value{4}, us(430));    // site 0 forces 2-before-4 globally
+  b.read(kS4, kC, Value{7}, us(470));
+  return b.build();
+}
+
+}  // namespace timedc

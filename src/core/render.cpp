@@ -1,0 +1,64 @@
+#include "core/render.hpp"
+
+#include <algorithm>
+
+namespace timedc {
+
+std::string render_timeline(const History& h, const RenderOptions& options) {
+  if (h.empty()) return "(empty history)\n";
+  SimTime t_min = h.op(OpIndex{0}).time;
+  SimTime t_max = t_min;
+  for (const Operation& op : h.operations()) {
+    t_min = min(t_min, op.time);
+    t_max = max(t_max, op.time);
+  }
+  const double span =
+      std::max<double>(1.0, static_cast<double>((t_max - t_min).as_micros()));
+  const std::size_t width = std::max<std::size_t>(options.width, 20);
+
+  auto column = [&](SimTime t) {
+    const double frac = static_cast<double>((t - t_min).as_micros()) / span;
+    return static_cast<std::size_t>(frac * static_cast<double>(width - 1));
+  };
+
+  std::string out;
+  for (std::uint32_t s = 0; s < h.num_sites(); ++s) {
+    std::string row;
+    for (OpIndex i : h.site_ops(SiteId{s})) {
+      const Operation& op = h.op(i);
+      // Label without the site subscript (the row identifies the site).
+      std::string label = op.is_write() ? "w(" : "r(";
+      label += timedc::to_string(op.object) + ")" + std::to_string(op.value.value);
+      std::size_t col = column(op.time);
+      if (col < row.size() + 1) col = row.size() + 1;  // avoid overlap
+      row.resize(col, ' ');
+      row += label;
+    }
+    out += "site" + std::to_string(s) + " |" + row + "\n";
+  }
+  if (options.show_axis) {
+    out += "      +" + std::string(width, '-') + "\n";
+    out += "       t=" + std::to_string(t_min.as_micros()) + "us ... t=" +
+           std::to_string(t_max.as_micros()) + "us\n";
+  }
+  return out;
+}
+
+std::string render_timed_result(const History& h, const TimedCheckResult& result) {
+  if (result.all_on_time) return "all reads on time\n";
+  std::string out;
+  for (const LateRead& lr : result.late_reads) {
+    out += lr.read.value < h.size() ? h.op(lr.read).to_string() : "?";
+    out += " is late: reads ";
+    out += lr.source ? h.op(*lr.source).to_string() : "initial value";
+    out += ", W_r = {";
+    for (std::size_t k = 0; k < lr.w_r.size(); ++k) {
+      if (k > 0) out += ", ";
+      out += h.op(lr.w_r[k]).to_string();
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+}  // namespace timedc

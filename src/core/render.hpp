@@ -1,0 +1,23 @@
+// ASCII rendering of executions, in the style of the paper's figures:
+// one row per site, operations placed proportionally to their effective
+// times. Used by the figure benches and the examples.
+#pragma once
+
+#include <string>
+
+#include "core/history.hpp"
+#include "core/timed.hpp"
+
+namespace timedc {
+
+struct RenderOptions {
+  std::size_t width = 100;  // columns for the time axis
+  bool show_axis = true;
+};
+
+std::string render_timeline(const History& h, const RenderOptions& options = {});
+
+/// Render the outcome of a timed check: one line per late read with its W_r.
+std::string render_timed_result(const History& h, const TimedCheckResult& result);
+
+}  // namespace timedc

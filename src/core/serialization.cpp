@@ -1,0 +1,69 @@
+#include "core/serialization.hpp"
+
+#include <unordered_map>
+
+#include "common/assert.hpp"
+
+namespace timedc {
+
+bool is_legal_serialization(const History& h, std::span<const OpIndex> order) {
+  std::unordered_map<ObjectId, Value> current;
+  for (OpIndex i : order) {
+    const Operation& op = h.op(i);
+    if (op.is_write()) {
+      current[op.object] = op.value;
+    } else {
+      const auto it = current.find(op.object);
+      const Value v = it == current.end() ? kInitialValue : it->second;
+      if (v != op.value) return false;
+    }
+  }
+  return true;
+}
+
+bool respects_program_order(const History& h, std::span<const OpIndex> order) {
+  // Position of each op in `order`.
+  std::vector<std::size_t> pos(h.size(), static_cast<std::size_t>(-1));
+  for (std::size_t p = 0; p < order.size(); ++p) pos[order[p].value] = p;
+  for (std::size_t s = 0; s < h.num_sites(); ++s) {
+    std::size_t last = 0;
+    bool first = true;
+    for (OpIndex i : h.site_ops(SiteId{static_cast<std::uint32_t>(s)})) {
+      const std::size_t p = pos[i.value];
+      if (p == static_cast<std::size_t>(-1)) continue;  // not in this set
+      if (!first && p < last) return false;
+      last = p;
+      first = false;
+    }
+  }
+  return true;
+}
+
+bool respects_effective_time(const History& h, std::span<const OpIndex> order) {
+  for (std::size_t k = 1; k < order.size(); ++k) {
+    if (h.op(order[k]).time < h.op(order[k - 1]).time) return false;
+  }
+  return true;
+}
+
+bool is_permutation_of_history(const History& h, std::span<const OpIndex> order) {
+  if (order.size() != h.size()) return false;
+  std::vector<bool> seen(h.size(), false);
+  for (OpIndex i : order) {
+    if (i.value >= h.size() || seen[i.value]) return false;
+    seen[i.value] = true;
+  }
+  return true;
+}
+
+std::string serialization_to_string(const History& h,
+                                    std::span<const OpIndex> order) {
+  std::string out;
+  for (OpIndex i : order) {
+    if (!out.empty()) out += " ";
+    out += h.op(i).to_string();
+  }
+  return out;
+}
+
+}  // namespace timedc

@@ -1,0 +1,36 @@
+// Serializations of operation sets (Section 2).
+//
+// A serialization S of a set D of operations is a linear order on exactly
+// the operations of D in which every read returns the value of the most
+// recent preceding write to the same object (or the initial value 0 when no
+// write precedes it). These helpers validate candidate serializations and
+// the partial orders they must respect.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/history.hpp"
+
+namespace timedc {
+
+/// True iff `order` (op indices into `h`) is a *legal* serialization of the
+/// set it contains: every read returns the latest preceding write's value.
+bool is_legal_serialization(const History& h, std::span<const OpIndex> order);
+
+/// True iff the operations of every site appear in `order` in their program
+/// order. Operations of sites not present in `order` are ignored.
+bool respects_program_order(const History& h, std::span<const OpIndex> order);
+
+/// True iff operations appear in nondecreasing effective-time order — the
+/// "order induced by the effective times" required by linearizability.
+bool respects_effective_time(const History& h, std::span<const OpIndex> order);
+
+/// True iff `order` is a permutation of exactly the ops {0..h.size()-1}.
+bool is_permutation_of_history(const History& h, std::span<const OpIndex> order);
+
+std::string serialization_to_string(const History& h,
+                                    std::span<const OpIndex> order);
+
+}  // namespace timedc

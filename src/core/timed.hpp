@@ -1,0 +1,90 @@
+// Reading on time: the interference sets W_r of Definitions 1, 2 and 6.
+//
+// For a read r returning the value of write w (forced by unique values),
+// W_r collects the writes to the same object that are newer than w yet old
+// enough that their value should already have been visible when r executed:
+//   Def 1 (perfect clocks):  T(w)  <  T(w')  and  T(w')  <  T(r) - Delta
+//   Def 2 (eps-synced):      T(w)+eps < T(w') and T(w')+eps < T(r) - Delta
+//   Def 6 (logical + xi):    xi(L(w)) < xi(L(w')) < xi(L(r)) - Delta
+// A serialization is timed iff W_r is empty for every read. Because the
+// reads-from pairing is forced, "every read of H is on time" is a property
+// of the history alone — this is what makes TSC = T intersect SC and
+// TCC = T intersect CC directly checkable.
+//
+// A read of the initial value 0 is treated as reading from a virtual write
+// at time -infinity: every write to the object is "newer than the source".
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "clocks/xi_map.hpp"
+#include "common/sim_time.hpp"
+#include "core/history.hpp"
+
+namespace timedc {
+
+/// Definition 1: perfectly synchronized clocks.
+struct TimedSpecPerfect {
+  SimTime delta;
+};
+
+/// Definition 2: approximately-synchronized clocks with skew bound eps.
+/// With eps == 0 this coincides with Definition 1.
+struct TimedSpecEpsilon {
+  SimTime delta;
+  SimTime eps;
+};
+
+/// Definition 6: logical clocks summarized through a xi map; delta is a
+/// plain real bounding xi differences. Requires History::logical_times().
+struct TimedSpecXi {
+  const XiMap* xi = nullptr;
+  double delta = 0;
+};
+
+/// One read that failed to be on time, with its non-empty W_r.
+struct LateRead {
+  OpIndex read;
+  std::optional<OpIndex> source;   // the write it returns; nullopt = initial 0
+  std::vector<OpIndex> w_r;        // the offending interference set
+};
+
+struct TimedCheckResult {
+  bool all_on_time = true;
+  std::vector<LateRead> late_reads;
+};
+
+TimedCheckResult reads_on_time(const History& h, const TimedSpecPerfect& spec);
+TimedCheckResult reads_on_time(const History& h, const TimedSpecEpsilon& spec);
+TimedCheckResult reads_on_time(const History& h, const TimedSpecXi& spec);
+
+/// W_r for one read under Definition 1/2 semantics (eps = 0 gives Def 1).
+std::vector<OpIndex> interference_set(const History& h, OpIndex read,
+                                      SimTime delta, SimTime eps);
+
+/// Definition 1/2 applied *literally to a serialization S*: for each read,
+/// the source write is the closest write to the same object appearing to
+/// its left in S (not the forced reads-from). For legal serializations this
+/// agrees with reads_on_time (unique values force the same pairing — the
+/// equivalence is property-tested); it also gives meaning to "S is timed"
+/// for serializations that are not legal.
+bool is_timed_serialization(const History& h, std::span<const OpIndex> order,
+                            const TimedSpecEpsilon& spec);
+
+/// The smallest Delta for which every read of h is on time under
+/// Definition 1, i.e. max over reads r and eligible writes w' of
+/// T(r) - T(w'), clamped to >= 0. Figure 5's "96" and "27" fall out of this.
+SimTime min_timed_delta(const History& h);
+
+/// Same under Definition 2 with skew bound eps (thresholds shrink by eps;
+/// some interferences disappear entirely when w and w' become concurrent).
+SimTime min_timed_delta(const History& h, SimTime eps);
+
+/// All per-read staleness gaps T(r) - T(w') under Definition 1, sorted
+/// descending; gap k is the TSC/TCC acceptance threshold spectrum used by
+/// the figure benches.
+std::vector<SimTime> staleness_gaps(const History& h);
+
+}  // namespace timedc

@@ -1,0 +1,198 @@
+#include "core/trace_io.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <vector>
+
+namespace timedc {
+namespace {
+
+std::string format_object(ObjectId o) { return to_string(o); }
+
+bool parse_object(std::string_view token, ObjectId& out) {
+  if (token.size() == 1 && token[0] >= 'A' && token[0] <= 'Z') {
+    out = ObjectId{static_cast<std::uint32_t>(token[0] - 'A')};
+    return true;
+  }
+  if (token.size() > 3 && token.substr(0, 3) == "obj") {
+    std::uint32_t n = 0;
+    const auto* begin = token.data() + 3;
+    const auto* end = token.data() + token.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, n);
+    if (ec == std::errc{} && ptr == end) {
+      out = ObjectId{n};
+      return true;
+    }
+  }
+  return false;
+}
+
+template <typename T>
+bool parse_number(std::string_view token, T& out) {
+  const auto* begin = token.data();
+  const auto* end = token.data() + token.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc{} && ptr == end;
+}
+
+std::vector<std::string_view> split(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    std::size_t j = i;
+    while (j < line.size() && line[j] != ' ' && line[j] != '\t') ++j;
+    if (j > i) tokens.push_back(line.substr(i, j - i));
+    i = j;
+  }
+  return tokens;
+}
+
+}  // namespace
+
+std::string write_trace(const History& h) {
+  std::string out = "# timedc trace\nsites " + std::to_string(h.num_sites()) + "\n";
+  // Stable order: by effective time, ties by history index — this also
+  // guarantees per-site monotonicity on re-parse.
+  std::vector<OpIndex> order;
+  for (std::uint32_t i = 0; i < h.size(); ++i) order.push_back(OpIndex{i});
+  std::sort(order.begin(), order.end(), [&](OpIndex a, OpIndex b) {
+    if (h.op(a).time != h.op(b).time) return h.op(a).time < h.op(b).time;
+    return a < b;
+  });
+  for (OpIndex i : order) {
+    const Operation& op = h.op(i);
+    out += op.is_write() ? "w " : "r ";
+    out += std::to_string(op.site.value) + " ";
+    out += format_object(op.object) + " ";
+    out += std::to_string(op.value.value) + " ";
+    out += std::to_string(op.time.as_micros()) + "\n";
+  }
+  return out;
+}
+
+TraceParseResult parse_trace(std::string_view text) {
+  struct Parsed {
+    bool is_write;
+    SiteId site;
+    ObjectId object;
+    Value value;
+    SimTime time;
+  };
+  std::vector<Parsed> ops;
+  std::optional<std::size_t> num_sites;
+
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  auto fail = [&](const std::string& what) {
+    return TraceParseResult{std::nullopt,
+                            "line " + std::to_string(line_no) + ": " + what};
+  };
+  while (pos <= text.size()) {
+    const std::size_t eol = std::min(text.find('\n', pos), text.size());
+    std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+    if (const auto hash = line.find('#'); hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    const auto tokens = split(line);
+    if (tokens.empty()) {
+      if (eol == text.size()) break;
+      continue;
+    }
+    if (tokens[0] == "sites") {
+      if (tokens.size() != 2) return fail("expected: sites <N>");
+      std::size_t n = 0;
+      if (!parse_number(tokens[1], n) || n == 0) {
+        return fail("invalid site count '" + std::string(tokens[1]) + "'");
+      }
+      num_sites = n;
+      continue;
+    }
+    if (tokens[0] == "w" || tokens[0] == "r") {
+      if (tokens.size() != 5) {
+        return fail("expected: w|r <site> <object> <value> <time_us>");
+      }
+      Parsed op;
+      op.is_write = tokens[0] == "w";
+      std::uint32_t site = 0;
+      if (!parse_number(tokens[1], site)) return fail("invalid site");
+      op.site = SiteId{site};
+      if (!parse_object(tokens[2], op.object)) {
+        return fail("invalid object '" + std::string(tokens[2]) + "'");
+      }
+      std::int64_t value = 0;
+      if (!parse_number(tokens[3], value)) return fail("invalid value");
+      op.value = Value{value};
+      std::int64_t micros = 0;
+      if (!parse_number(tokens[4], micros)) return fail("invalid time");
+      op.time = SimTime::micros(micros);
+      ops.push_back(op);
+      continue;
+    }
+    return fail("unknown directive '" + std::string(tokens[0]) + "'");
+  }
+
+  if (!num_sites) {
+    return TraceParseResult{std::nullopt, "missing 'sites <N>' header"};
+  }
+  for (std::size_t k = 0; k < ops.size(); ++k) {
+    if (ops[k].site.value >= *num_sites) {
+      return TraceParseResult{
+          std::nullopt, "operation " + std::to_string(k) + " names site " +
+                            std::to_string(ops[k].site.value) + " but sites = " +
+                            std::to_string(*num_sites)};
+    }
+  }
+  // Append in (time, original order): per-site strict monotonicity checked
+  // here so the builder's assertion never fires on user input.
+  std::vector<std::size_t> order(ops.size());
+  for (std::size_t k = 0; k < order.size(); ++k) order[k] = k;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return ops[a].time < ops[b].time;
+  });
+  std::vector<SimTime> last(*num_sites, SimTime::micros(-1));
+  for (std::size_t k : order) {
+    const Parsed& op = ops[k];
+    if (op.time <= last[op.site.value]) {
+      return TraceParseResult{
+          std::nullopt,
+          "site " + std::to_string(op.site.value) +
+              " has two operations at/before t=" +
+              std::to_string(op.time.as_micros()) +
+              "us (per-site times must strictly increase)"};
+    }
+    last[op.site.value] = op.time;
+  }
+  // Duplicate written values are a History invariant too; detect gracefully.
+  {
+    std::unordered_map<ObjectId, std::unordered_map<Value, int>> seen;
+    for (const Parsed& op : ops) {
+      if (!op.is_write) continue;
+      if (op.value == kInitialValue) {
+        return TraceParseResult{std::nullopt,
+                                "writes of the initial value 0 are not allowed"};
+      }
+      if (++seen[op.object][op.value] > 1) {
+        return TraceParseResult{
+            std::nullopt, "value " + std::to_string(op.value.value) +
+                              " written twice to object " +
+                              format_object(op.object)};
+      }
+    }
+  }
+
+  HistoryBuilder builder(*num_sites);
+  for (std::size_t k : order) {
+    const Parsed& op = ops[k];
+    if (op.is_write) {
+      builder.write(op.site, op.object, op.value, op.time);
+    } else {
+      builder.read(op.site, op.object, op.value, op.time);
+    }
+  }
+  return TraceParseResult{builder.build(), ""};
+}
+
+}  // namespace timedc

@@ -1,0 +1,36 @@
+// Plain-text trace format for histories, so executions can be stored,
+// diffed, and checked from the command line (tools/timedc-check).
+//
+// Format (one operation per line, '#' comments, blank lines ignored):
+//
+//   sites <N>
+//   w <site> <object> <value> <time_us>
+//   r <site> <object> <value> <time_us>
+//
+// <object> is either a single letter (A..Z, the paper's notation) or
+// "obj<N>". Lines may appear in any order; operations are appended per site
+// in increasing time order, so per-site times must be strictly increasing
+// (the History invariant).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/history.hpp"
+
+namespace timedc {
+
+/// Serialize a history to the trace format (stable, round-trippable).
+std::string write_trace(const History& h);
+
+struct TraceParseResult {
+  std::optional<History> history;
+  std::string error;  // empty on success; contains line number otherwise
+  bool ok() const { return history.has_value(); }
+};
+
+/// Parse a trace; never throws — malformed input yields an error message.
+TraceParseResult parse_trace(std::string_view text);
+
+}  // namespace timedc

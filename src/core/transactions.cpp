@@ -1,0 +1,226 @@
+#include "core/transactions.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/assert.hpp"
+
+namespace timedc {
+
+std::string Transaction::to_string() const {
+  std::string s = "T" + std::to_string(site.value) + "[" +
+                  std::to_string(begin.as_micros()) + "," +
+                  std::to_string(commit.as_micros()) + "]{";
+  for (std::size_t k = 0; k < ops.size(); ++k) {
+    if (k > 0) s += " ";
+    s += (ops[k].type == OpType::kWrite ? "w(" : "r(");
+    s += timedc::to_string(ops[k].object) + ")" +
+         std::to_string(ops[k].value.value);
+  }
+  return s + "}";
+}
+
+TxHistory::TxHistory(std::size_t num_sites)
+    : num_sites_(num_sites), site_busy_until_(num_sites, SimTime::micros(-1)) {
+  TIMEDC_ASSERT(num_sites > 0);
+}
+
+TxHistory& TxHistory::add(Transaction tx) {
+  TIMEDC_ASSERT(tx.site.value < num_sites_);
+  TIMEDC_ASSERT(tx.begin <= tx.commit);
+  TIMEDC_ASSERT(tx.begin > site_busy_until_[tx.site.value] &&
+                "a site's transactions must not overlap");
+  TIMEDC_ASSERT(!tx.ops.empty());
+  for (const TxOp& op : tx.ops) {
+    if (op.type != OpType::kWrite) continue;
+    TIMEDC_ASSERT(op.value != kInitialValue);
+    for (const Transaction& other : txs_) {
+      for (const TxOp& o : other.ops) {
+        TIMEDC_ASSERT(!(o.type == OpType::kWrite && o.object == op.object &&
+                        o.value == op.value) &&
+                      "written values must be unique per object");
+      }
+    }
+  }
+  site_busy_until_[tx.site.value] = tx.commit;
+  txs_.push_back(std::move(tx));
+  return *this;
+}
+
+namespace {
+
+/// Backtracking over serial orders of whole transactions, memoizing
+/// (placed set, committed value per object) states.
+class TxSearcher {
+ public:
+  TxSearcher(const TxHistory& h, bool real_time, const SearchLimits& limits)
+      : h_(h), real_time_(real_time), limits_(limits) {}
+
+  SserResult run() {
+    placed_.assign(h_.size(), false);
+    order_.clear();
+    // Thin-air pre-check: every non-initial read value must be written by
+    // some transaction (possibly its own).
+    std::unordered_map<ObjectId, std::unordered_set<std::int64_t>> written;
+    for (std::size_t t = 0; t < h_.size(); ++t) {
+      for (const TxOp& op : h_.tx(t).ops) {
+        if (op.type == OpType::kWrite) written[op.object].insert(op.value.value);
+      }
+    }
+    for (std::size_t t = 0; t < h_.size(); ++t) {
+      for (const TxOp& op : h_.tx(t).ops) {
+        if (op.type == OpType::kRead && op.value != kInitialValue &&
+            !written[op.object].contains(op.value.value)) {
+          return {Verdict::kNo, {}};
+        }
+      }
+    }
+    SserResult result;
+    if (dfs()) {
+      result.verdict = Verdict::kYes;
+      result.witness = order_;
+    } else {
+      result.verdict = limit_hit_ ? Verdict::kLimit : Verdict::kNo;
+    }
+    return result;
+  }
+
+ private:
+  /// Execute transaction t against `current_`; returns false (and leaves
+  /// `current_` untouched) if some read is illegal.
+  bool try_apply(std::size_t t,
+                 std::vector<std::pair<ObjectId, std::optional<Value>>>& undo) {
+    // Transaction-local view: own writes are visible to own later reads.
+    std::unordered_map<ObjectId, Value> local;
+    for (const TxOp& op : h_.tx(t).ops) {
+      if (op.type == OpType::kWrite) {
+        local[op.object] = op.value;
+        continue;
+      }
+      const auto own = local.find(op.object);
+      Value v;
+      if (own != local.end()) {
+        v = own->second;
+      } else {
+        const auto it = current_.find(op.object);
+        v = it == current_.end() ? kInitialValue : it->second;
+      }
+      if (v != op.value) return false;
+    }
+    for (const auto& [obj, val] : local) {
+      const auto it = current_.find(obj);
+      undo.emplace_back(obj, it == current_.end()
+                                 ? std::nullopt
+                                 : std::optional<Value>(it->second));
+      current_[obj] = val;
+    }
+    return true;
+  }
+
+  bool dfs() {
+    if (order_.size() == h_.size()) return true;
+    if (++nodes_ > limits_.max_nodes) {
+      limit_hit_ = true;
+      return false;
+    }
+    const std::uint64_t key = state_key();
+    if (failed_.contains(key)) return false;
+    for (std::size_t t = 0; t < h_.size(); ++t) {
+      if (placed_[t]) continue;
+      if (real_time_ && !minimal(t)) continue;
+      std::vector<std::pair<ObjectId, std::optional<Value>>> undo;
+      if (!try_apply(t, undo)) continue;
+      placed_[t] = true;
+      order_.push_back(t);
+      if (dfs()) return true;
+      placed_[t] = false;
+      order_.pop_back();
+      for (auto it = undo.rbegin(); it != undo.rend(); ++it) {
+        if (it->second)
+          current_[it->first] = *it->second;
+        else
+          current_.erase(it->first);
+      }
+      if (limit_hit_) return false;
+    }
+    failed_.insert(key);
+    return false;
+  }
+
+  bool minimal(std::size_t t) const {
+    for (std::size_t k = 0; k < h_.size(); ++k) {
+      if (!placed_[k] && k != t && h_.precedes(k, t)) return false;
+    }
+    return true;
+  }
+
+  std::uint64_t state_key() const {
+    std::uint64_t hash = real_time_ ? 0x9ddfea08eb382d69ULL : 0xcbf29ce484222325ULL;
+    auto mix = [&hash](std::uint64_t v) {
+      hash ^= v + 0x9e3779b97f4a7c15ULL + (hash << 6) + (hash >> 2);
+    };
+    std::uint64_t word = 0;
+    for (std::size_t j = 0; j < placed_.size(); ++j) {
+      if (placed_[j]) word |= 1ULL << (j & 63);
+      if ((j & 63) == 63) {
+        mix(word);
+        word = 0;
+      }
+    }
+    mix(word);
+    std::uint64_t acc = 0;
+    for (const auto& [obj, val] : current_) {
+      std::uint64_t e = (static_cast<std::uint64_t>(obj.value) << 32) ^
+                        static_cast<std::uint64_t>(val.value);
+      e *= 0xbf58476d1ce4e5b9ULL;
+      e ^= e >> 29;
+      acc += e;
+    }
+    mix(acc);
+    return hash;
+  }
+
+  const TxHistory& h_;
+  bool real_time_;
+  SearchLimits limits_;
+  std::vector<bool> placed_;
+  std::vector<std::size_t> order_;
+  std::unordered_map<ObjectId, Value> current_;
+  std::uint64_t nodes_ = 0;
+  bool limit_hit_ = false;
+  std::unordered_set<std::uint64_t> failed_;
+};
+
+}  // namespace
+
+SserResult check_strict_serializable(const TxHistory& h,
+                                     const SearchLimits& limits) {
+  return TxSearcher(h, /*real_time=*/true, limits).run();
+}
+
+SserResult check_serializable(const TxHistory& h, const SearchLimits& limits) {
+  return TxSearcher(h, /*real_time=*/false, limits).run();
+}
+
+TxHistory from_interval_history(const IntervalHistory& h) {
+  // Append in invocation order so per-site non-overlap carries over.
+  std::vector<std::size_t> order(h.size());
+  for (std::size_t j = 0; j < order.size(); ++j) order[j] = j;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return h.op(a).invocation < h.op(b).invocation;
+  });
+  TxHistory out(h.num_sites());
+  for (std::size_t j : order) {
+    const IntervalOp& op = h.op(j);
+    Transaction tx;
+    tx.site = op.site;
+    tx.begin = op.invocation;
+    tx.commit = op.response;
+    tx.ops.push_back(TxOp{op.type, op.object, op.value});
+    out.add(std::move(tx));
+  }
+  return out;
+}
+
+}  // namespace timedc

@@ -1,0 +1,61 @@
+#include "protocol/client_base.hpp"
+
+#include "common/assert.hpp"
+
+namespace timedc {
+
+CacheClient::CacheClient(Simulator& sim, Network& net, SiteId self,
+                         SiteId server, const PhysicalClockModel* clock,
+                         SimTime delta, bool mark_old, MessageSizes sizes)
+    : sim_(sim),
+      net_(net),
+      self_(self),
+      server_(server),
+      clock_(clock),
+      delta_(delta),
+      mark_old_(mark_old),
+      sizes_(sizes) {
+  TIMEDC_ASSERT(clock != nullptr);
+}
+
+void CacheClient::attach() {
+  net_.set_handler(self_, [this](SiteId, const std::shared_ptr<void>& p) {
+    handle(*std::static_pointer_cast<Message>(p));
+  });
+}
+
+void CacheClient::read(ObjectId object, ReadCallback done) {
+  TIMEDC_ASSERT(!pending_read_ && !pending_write_);
+  ++stats_.reads;
+  pending_read_ = std::move(done);
+  begin_read(object);
+}
+
+void CacheClient::write(ObjectId object, Value value, WriteCallback done) {
+  TIMEDC_ASSERT(!pending_read_ && !pending_write_);
+  ++stats_.writes;
+  pending_write_ = std::move(done);
+  begin_write(object, value);
+}
+
+void CacheClient::send_to_server(Message m, ObjectId object) {
+  const SiteId target = route_ ? route_(object) : server_;
+  const std::size_t bytes = sizes_.of(m);
+  net_.send(self_, target, std::make_shared<Message>(std::move(m)), bytes);
+}
+
+void CacheClient::finish_read(Value value) {
+  TIMEDC_ASSERT(pending_read_);
+  ReadCallback cb = std::move(pending_read_);
+  pending_read_ = nullptr;
+  cb(value, sim_.now());
+}
+
+void CacheClient::finish_write() {
+  TIMEDC_ASSERT(pending_write_);
+  WriteCallback cb = std::move(pending_write_);
+  pending_write_ = nullptr;
+  cb(sim_.now());
+}
+
+}  // namespace timedc

@@ -1,0 +1,84 @@
+// Shared plumbing for the protocol clients: one-outstanding-operation
+// read/write API, server messaging, local clock access and statistics.
+// The TSC (physical clock) and TCC (logical clock) caches derive from this
+// and implement the lifetime rules.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "clocks/physical_clock.hpp"
+#include "protocol/messages.hpp"
+#include "protocol/stats.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace timedc {
+
+class CacheClient {
+ public:
+  /// Called when a read completes, with the value and the completion time.
+  using ReadCallback = std::function<void(Value, SimTime)>;
+  /// Called when a write completes (server ack received).
+  using WriteCallback = std::function<void(SimTime)>;
+
+  CacheClient(Simulator& sim, Network& net, SiteId self, SiteId server,
+              const PhysicalClockModel* clock, SimTime delta, bool mark_old,
+              MessageSizes sizes);
+  virtual ~CacheClient() = default;
+
+  /// Override where requests for a given object are sent (default: the
+  /// single server passed at construction). With a server cluster, route to
+  /// the object's primary — or to any server, which forwards (Section 5.1:
+  /// "a server site, which either has a copy ... or can obtain it").
+  void set_route(std::function<SiteId(ObjectId)> route) {
+    route_ = std::move(route);
+  }
+
+  CacheClient(const CacheClient&) = delete;
+  CacheClient& operator=(const CacheClient&) = delete;
+
+  /// Install this client as the network handler for its site id.
+  void attach();
+
+  /// Issue a read; at most one operation may be outstanding per client.
+  void read(ObjectId object, ReadCallback done);
+
+  /// Issue a write-through; completes when the server acks.
+  void write(ObjectId object, Value value, WriteCallback done);
+
+  SiteId site() const { return self_; }
+  SimTime delta() const { return delta_; }
+  const CacheStats& stats() const { return stats_; }
+
+ protected:
+  /// The client's local clock reading (site time t_i, possibly skewed).
+  SimTime local_time() const { return clock_->read(sim_.now()); }
+
+  void send_to_server(Message m, ObjectId object);
+  void finish_read(Value value);
+  void finish_write();
+  bool read_pending() const { return static_cast<bool>(pending_read_); }
+
+  // Protocol hooks.
+  virtual void begin_read(ObjectId object) = 0;
+  virtual void begin_write(ObjectId object, Value value) = 0;
+  virtual void handle(const Message& message) = 0;
+
+  Simulator& sim_;
+  Network& net_;
+  SiteId self_;
+  SiteId server_;
+  const PhysicalClockModel* clock_;
+  SimTime delta_;
+  bool mark_old_;
+  MessageSizes sizes_;
+  CacheStats stats_;
+
+ private:
+  std::function<SiteId(ObjectId)> route_;
+  ReadCallback pending_read_;
+  WriteCallback pending_write_;
+};
+
+}  // namespace timedc

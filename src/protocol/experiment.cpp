@@ -1,0 +1,241 @@
+#include "protocol/experiment.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/assert.hpp"
+#include "protocol/timed_causal_cache.hpp"
+#include "protocol/timed_serial_cache.hpp"
+
+namespace timedc {
+namespace {
+
+/// Drives one client's planned operations sequentially: the next operation
+/// issues at its planned time or just after the previous one completed,
+/// whichever is later.
+class ClientDriver {
+ public:
+  ClientDriver(Simulator& sim, CacheClient& client, HistoryBuilder& record,
+               std::vector<SimTime>& read_staleness_sink)
+      : sim_(sim),
+        client_(client),
+        record_(record),
+        staleness_sink_(read_staleness_sink) {}
+
+  void add_op(const WorkloadOp& op, Value write_value) {
+    plan_.push_back(Planned{op.at, op.is_write, op.object, write_value});
+  }
+
+  void start() { issue_next(SimTime::zero()); }
+
+  using StalenessOracle = std::function<SimTime(ObjectId, Value, SimTime)>;
+  void set_oracle(StalenessOracle oracle) { oracle_ = std::move(oracle); }
+
+  std::uint64_t completed() const { return completed_; }
+
+ private:
+  struct Planned {
+    SimTime at;
+    bool is_write;
+    ObjectId object;
+    Value value;
+  };
+
+  void issue_next(SimTime not_before) {
+    if (plan_.empty()) return;
+    const Planned next = plan_.front();
+    const SimTime when = max(next.at, not_before);
+    plan_.pop_front();
+    sim_.schedule_at(when, [this, next] { execute(next); });
+  }
+
+  void execute(const Planned& op) {
+    if (op.is_write) {
+      const SimTime issued = sim_.now();
+      record_.write(client_.site(), op.object, op.value, issued);
+      client_.write(op.object, op.value, [this](SimTime completed) {
+        ++completed_;
+        issue_next(completed + SimTime::micros(1));
+      });
+    } else {
+      client_.read(op.object, [this, op](Value v, SimTime completed) {
+        record_.read(client_.site(), op.object, v, completed);
+        if (oracle_) staleness_sink_.push_back(oracle_(op.object, v, completed));
+        ++completed_;
+        issue_next(completed + SimTime::micros(1));
+      });
+    }
+  }
+
+  Simulator& sim_;
+  CacheClient& client_;
+  HistoryBuilder& record_;
+  std::vector<SimTime>& staleness_sink_;
+  std::deque<Planned> plan_;
+  StalenessOracle oracle_;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  Simulator sim;
+  Rng rng(config.seed);
+
+  const std::size_t num_clients = config.workload.num_clients;
+  const std::size_t num_servers = std::max<std::size_t>(1, config.num_servers);
+  std::vector<SiteId> cluster;
+  for (std::size_t k = 0; k < num_servers; ++k) {
+    cluster.push_back(SiteId{static_cast<std::uint32_t>(num_clients + k)});
+  }
+
+  Network net(sim, num_clients + num_servers,
+              std::make_unique<UniformLatency>(config.min_latency,
+                                               config.max_latency),
+              NetworkConfig{}, rng.split());
+
+  std::vector<std::unique_ptr<ObjectServer>> servers;
+  for (SiteId site : cluster) {
+    servers.push_back(std::make_unique<ObjectServer>(
+        sim, net, site, num_clients, config.push, config.sizes, cluster,
+        ServerConfig{config.lease}));
+    servers.back()->attach();
+  }
+  const auto owner_of = [&cluster](ObjectId object) {
+    return cluster[object.value % cluster.size()];
+  };
+
+  // Clocks: perfect when eps == 0, eps-synchronized otherwise.
+  std::vector<std::unique_ptr<PhysicalClockModel>> clocks;
+  for (std::uint32_t c = 0; c < num_clients; ++c) {
+    if (config.eps == SimTime::zero()) {
+      clocks.push_back(std::make_unique<PerfectClock>());
+    } else {
+      clocks.push_back(std::make_unique<SyncedClock>(
+          config.eps, SimTime::millis(50), config.drift_ppm,
+          config.seed * 1315423911ULL + c));
+    }
+  }
+
+  std::vector<std::unique_ptr<CacheClient>> clients;
+  for (std::uint32_t c = 0; c < num_clients; ++c) {
+    if (config.kind == ProtocolKind::kTimedSerial) {
+      clients.push_back(std::make_unique<TimedSerialCache>(
+          sim, net, SiteId{c}, cluster.front(), clocks[c].get(), config.delta,
+          config.mark_old, config.sizes));
+    } else {
+      clients.push_back(std::make_unique<TimedCausalCache>(
+          sim, net, SiteId{c}, cluster.front(), clocks[c].get(), config.delta,
+          config.mark_old, config.sizes, num_clients, config.clock_entries,
+          config.eviction));
+    }
+    if (config.routing == Routing::kDirect) {
+      clients.back()->set_route(owner_of);
+    } else {
+      // Round-robin over the cluster: non-owners forward (Section 5.1's
+      // "a server site which either has a copy or can obtain it").
+      auto counter = std::make_shared<std::size_t>(c);
+      clients.back()->set_route([&cluster, counter](ObjectId) {
+        return cluster[(*counter)++ % cluster.size()];
+      });
+    }
+    clients.back()->attach();
+  }
+
+  // Plan the workload; writes receive globally unique values.
+  Rng wl_rng = rng.split();
+  const auto ops = generate_workload(config.workload, wl_rng);
+  HistoryBuilder record(num_clients);
+  std::vector<SimTime> staleness;
+  std::vector<std::unique_ptr<ClientDriver>> drivers;
+  for (std::uint32_t c = 0; c < num_clients; ++c) {
+    drivers.push_back(
+        std::make_unique<ClientDriver>(sim, *clients[c], record, staleness));
+  }
+  std::int64_t next_value = 1;
+  for (const WorkloadOp& op : ops) {
+    drivers[op.client.value]->add_op(
+        op, op.is_write ? Value{next_value++} : Value{0});
+  }
+
+  // Oracle: staleness of a returned value = completion time minus the
+  // server-side apply time of the next write to the same object (0 when the
+  // value was still current at completion).
+  const auto oracle = [&servers, &owner_of, &cluster, num_clients](
+                          ObjectId object, Value v,
+                          SimTime completed) -> SimTime {
+    (void)cluster;
+    const ObjectServer& server =
+        *servers[owner_of(object).value - num_clients];
+    const auto& writes = server.applied_writes(object);
+    // A value that lost the last-writer-wins race was stale the moment it
+    // reached the server (only its own writer can still be serving it).
+    for (const auto& w : writes) {
+      if (w.value == v && !w.accepted) {
+        return completed > w.applied_at ? completed - w.applied_at
+                                        : SimTime::zero();
+      }
+    }
+    // Otherwise: staleness counts from the next *accepted* write after v's
+    // own apply time (for the initial value, from the first accepted write).
+    SimTime own_apply = SimTime::micros(-1);
+    for (const auto& w : writes) {
+      if (w.value == v) {
+        own_apply = w.applied_at;
+        break;
+      }
+    }
+    for (const auto& w : writes) {
+      if (w.accepted && w.applied_at > own_apply && w.value != v) {
+        if (w.applied_at >= completed) return SimTime::zero();
+        return completed - w.applied_at;
+      }
+    }
+    return SimTime::zero();
+  };
+  for (auto& d : drivers) {
+    d->set_oracle(oracle);
+    d->start();
+  }
+
+  sim.run_until();
+
+  ExperimentResult result;
+  for (const auto& c : clients) result.cache += c->stats();
+  for (const auto& srv : servers) {
+    const ServerStats& st = srv->stats();
+    result.server.fetches += st.fetches;
+    result.server.writes_applied += st.writes_applied;
+    result.server.validations += st.validations;
+    result.server.validations_ok += st.validations_ok;
+    result.server.pushes += st.pushes;
+    result.server.forwarded += st.forwarded;
+    result.server.writes_deferred += st.writes_deferred;
+  }
+  result.network = net.stats();
+  for (const auto& d : drivers) result.operations += d->completed();
+  TIMEDC_ASSERT(result.operations == ops.size());
+
+  if (!staleness.empty()) {
+    double sum = 0;
+    std::uint64_t late = 0;
+    for (SimTime s : staleness) {
+      sum += static_cast<double>(s.as_micros());
+      result.max_staleness = max(result.max_staleness, s);
+      if (!config.delta.is_infinite() && s > config.delta) ++late;
+    }
+    result.mean_staleness_us = sum / static_cast<double>(staleness.size());
+    result.late_fraction =
+        static_cast<double>(late) / static_cast<double>(staleness.size());
+  }
+  if (result.operations > 0) {
+    result.messages_per_op = static_cast<double>(result.network.messages_sent) /
+                             static_cast<double>(result.operations);
+    result.bytes_per_op = static_cast<double>(result.network.bytes_sent) /
+                          static_cast<double>(result.operations);
+  }
+  result.history = record.build();
+  return result;
+}
+
+}  // namespace timedc

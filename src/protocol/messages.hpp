@@ -1,0 +1,108 @@
+// Wire messages of the lifetime-based consistency protocols (Section 5).
+//
+// One variant covers both the physical-clock (TSC) and logical-clock (TCC)
+// protocol families: object copies travel with their start time alpha
+// (physical and/or vector), the ending time omega known by the server, the
+// physical checking time beta (Section 5.3), and a server version number
+// used by if-modified-since style validations (the paper's TTL analogy,
+// Section 5.2).
+#pragma once
+
+#include <cstdint>
+#include <variant>
+
+#include "clocks/plausible_clock.hpp"
+#include "common/sim_time.hpp"
+#include "common/types.hpp"
+
+namespace timedc {
+
+/// A full object copy as shipped by the server.
+struct ObjectCopy {
+  ObjectId object;
+  Value value;
+  std::uint64_t version = 0;  // server-side monotone version counter
+  SimTime alpha;              // physical start time of this value
+  SimTime omega;              // latest physical time value known valid
+  SimTime beta;               // physical checking time (TCC, Section 5.3)
+  // Logical timestamps (TCC, Section 5.3). PlausibleTimestamp subsumes
+  // vector clocks: with one entry per site it IS a vector clock; with fewer
+  // entries it is the constant-size REV plausible clock of [37].
+  PlausibleTimestamp alpha_l;  // logical start time
+  PlausibleTimestamp omega_l;  // logical ending time: the server's merged
+                               // knowledge when it vouched for this value
+};
+
+struct FetchRequest {
+  ObjectId object;
+  /// The client the reply must go to. Set by the client; preserved when a
+  /// non-primary server forwards the request to the object's primary, so
+  /// the reply takes one hop back instead of retracing the forward path.
+  SiteId reply_to;
+};
+
+struct FetchReply {
+  ObjectCopy copy;
+};
+
+struct WriteRequest {
+  ObjectId object;
+  Value value;
+  SimTime client_time;      // effective time at the writing client
+  PlausibleTimestamp write_ts;  // logical timestamp of the write (TCC)
+  SiteId reply_to;
+};
+
+struct WriteAck {
+  ObjectId object;
+  std::uint64_t version;
+};
+
+/// If-modified-since: "is version v of X still current?"
+struct ValidateRequest {
+  ObjectId object;
+  std::uint64_t version;
+  SiteId reply_to;
+};
+
+struct ValidateReply {
+  ObjectId object;
+  bool still_valid = false;
+  /// When still_valid, the refreshed omega/beta for the client's copy;
+  /// otherwise a full fresh copy (like an HTTP 200 after a failed 304).
+  ObjectCopy copy;
+};
+
+/// Server-initiated invalidation (Cao-Liu style strong consistency).
+struct Invalidate {
+  ObjectId object;
+  std::uint64_t version;  // versions < this are dead
+};
+
+/// Server-initiated push of a fresh copy (update propagation, Section 5.2).
+struct PushUpdate {
+  ObjectCopy copy;
+};
+
+using Message = std::variant<FetchRequest, FetchReply, WriteRequest, WriteAck,
+                             ValidateRequest, ValidateReply, Invalidate,
+                             PushUpdate>;
+
+/// Accounted wire sizes: full copies cost a body, control messages do not.
+struct MessageSizes {
+  std::size_t object_bytes = 1024;
+  std::size_t control_bytes = 64;
+
+  std::size_t of(const Message& m) const {
+    if (std::holds_alternative<FetchReply>(m) ||
+        std::holds_alternative<PushUpdate>(m)) {
+      return object_bytes + control_bytes;
+    }
+    if (const auto* vr = std::get_if<ValidateReply>(&m)) {
+      return vr->still_valid ? control_bytes : object_bytes + control_bytes;
+    }
+    return control_bytes;
+  }
+};
+
+}  // namespace timedc

@@ -1,0 +1,195 @@
+#include "protocol/server.hpp"
+
+#include "common/assert.hpp"
+
+namespace timedc {
+
+ObjectServer::ObjectServer(Simulator& sim, Network& net, SiteId self,
+                           std::size_t num_sites, PushPolicy push,
+                           MessageSizes sizes, std::vector<SiteId> cluster,
+                           ServerConfig config)
+    : sim_(sim),
+      net_(net),
+      self_(self),
+      num_sites_(num_sites),
+      push_(push),
+      sizes_(sizes),
+      cluster_(std::move(cluster)),
+      config_(config) {
+  if (!cluster_.empty()) {
+    bool contains_self = false;
+    for (SiteId s : cluster_) contains_self |= (s == self_);
+    TIMEDC_ASSERT(contains_self && "cluster must include this server");
+  }
+}
+
+SiteId ObjectServer::primary_of(ObjectId object) const {
+  if (cluster_.empty()) return self_;
+  return cluster_[object.value % cluster_.size()];
+}
+
+bool ObjectServer::forward_if_not_owner(ObjectId object, const Message& m) {
+  const SiteId owner = primary_of(object);
+  if (owner == self_) return false;
+  ++stats_.forwarded;
+  net_.send(self_, owner, std::make_shared<Message>(m), sizes_.of(m));
+  return true;
+}
+
+void ObjectServer::attach() {
+  net_.set_handler(self_, [this](SiteId from, const std::shared_ptr<void>& p) {
+    on_message(from, p);
+  });
+}
+
+ObjectServer::Stored& ObjectServer::stored(ObjectId object) {
+  return objects_.try_emplace(object).first->second;
+}
+
+const std::vector<ObjectServer::AppliedWrite>& ObjectServer::applied_writes(
+    ObjectId object) const {
+  static const std::vector<AppliedWrite> kEmpty;
+  const auto it = history_.find(object);
+  return it == history_.end() ? kEmpty : it->second;
+}
+
+void ObjectServer::on_message(SiteId from, const std::shared_ptr<void>& payload) {
+  (void)from;
+  const auto msg = std::static_pointer_cast<Message>(payload);
+  if (const auto* fetch = std::get_if<FetchRequest>(msg.get())) {
+    if (!forward_if_not_owner(fetch->object, *msg)) handle_fetch(*fetch);
+  } else if (const auto* write = std::get_if<WriteRequest>(msg.get())) {
+    if (!forward_if_not_owner(write->object, *msg)) handle_write(*write);
+  } else if (const auto* validate = std::get_if<ValidateRequest>(msg.get())) {
+    if (!forward_if_not_owner(validate->object, *msg)) handle_validate(*validate);
+  } else {
+    TIMEDC_ASSERT(false && "unexpected message at server");
+  }
+}
+
+SimTime ObjectServer::lease_horizon(Stored& s, SiteId writer) {
+  SimTime horizon = SimTime::zero();
+  for (auto it = s.leases.begin(); it != s.leases.end();) {
+    if (it->second <= sim_.now()) {
+      it = s.leases.erase(it);
+      continue;
+    }
+    if (it->first != writer.value) horizon = max(horizon, it->second);
+    ++it;
+  }
+  return horizon;
+}
+
+SimTime ObjectServer::grant_lease(Stored& s, SiteId client) {
+  if (config_.lease_duration == SimTime::zero() || s.write_pending) {
+    return SimTime::zero();
+  }
+  s.leases[client.value] = sim_.now() + config_.lease_duration;
+  return config_.lease_duration;
+}
+
+ObjectCopy ObjectServer::copy_of(ObjectId object,
+                                 SimTime lease_extension) const {
+  const Stored& s = const_cast<ObjectServer*>(this)->stored(object);
+  ObjectCopy copy;
+  copy.object = object;
+  copy.value = s.value;
+  copy.version = s.version;
+  copy.alpha = s.alpha;
+  // The server's current value is valid right now — and, when the caller
+  // holds a lease, until the lease expires (writes are deferred past it).
+  // beta is the instant the server vouched.
+  copy.omega = sim_.now() + lease_extension;
+  copy.beta = sim_.now();
+  copy.alpha_l = s.alpha_l;
+  copy.omega_l = logical_now_;
+  return copy;
+}
+
+void ObjectServer::handle_fetch(const FetchRequest& req) {
+  ++stats_.fetches;
+  Stored& s = stored(req.object);
+  s.cachers.insert(req.reply_to.value);
+  const SimTime granted = grant_lease(s, req.reply_to);
+  send(req.reply_to, Message{FetchReply{copy_of(req.object, granted)}});
+}
+
+void ObjectServer::handle_write(const WriteRequest& req) {
+  Stored& s = stored(req.object);
+  // Gray-Cheriton: while another client holds a live lease on this object,
+  // the write waits — readers were promised the current value until their
+  // lease expires. The writer's own lease never blocks it.
+  const SimTime horizon = lease_horizon(s, req.reply_to);
+  if (horizon > sim_.now()) {
+    ++stats_.writes_deferred;
+    s.write_pending = true;  // freeze lease grants until this write lands
+    const WriteRequest deferred = req;
+    sim_.schedule_at(horizon, [this, deferred] { handle_write(deferred); });
+    return;
+  }
+  s.write_pending = false;
+  apply_write(req);
+}
+
+void ObjectServer::apply_write(const WriteRequest& req) {
+  const SiteId from = req.reply_to;
+  Stored& s = stored(req.object);
+  // Last-writer-wins on the start time alpha: a racing write whose
+  // effective time is older than the stored value's never becomes current
+  // (otherwise the object's value history would contradict the lifetime
+  // order and no Delta could make reads look on time). Arrival order breaks
+  // exact ties.
+  if (s.version > 0 && req.client_time < s.alpha) {
+    history_[req.object].push_back(
+        AppliedWrite{req.value, sim_.now(), /*accepted=*/false});
+    // Version 0 in the ack marks the write as superseded: the writer's
+    // provisional cache entry keeps version 0 and will fail validation,
+    // fetching the winning value instead.
+    send(from, Message{WriteAck{req.object, 0}});
+    return;
+  }
+  ++stats_.writes_applied;
+  s.value = req.value;
+  s.version += 1;
+  s.alpha = req.client_time;
+  if (req.write_ts.num_entries() != 0) {
+    s.alpha_l = req.write_ts;
+    logical_now_ = logical_now_.num_entries() == 0
+                       ? req.write_ts
+                       : PlausibleTimestamp::merge_max(logical_now_, req.write_ts);
+  }
+  history_[req.object].push_back(AppliedWrite{req.value, sim_.now()});
+  send(from, Message{WriteAck{req.object, s.version}});
+
+  if (push_ == PushPolicy::kNone) return;
+  for (const std::uint32_t cacher : s.cachers) {
+    if (cacher == from.value) continue;
+    ++stats_.pushes;
+    if (push_ == PushPolicy::kInvalidate) {
+      send(SiteId{cacher}, Message{Invalidate{req.object, s.version}});
+    } else {
+      send(SiteId{cacher}, Message{PushUpdate{copy_of(req.object)}});
+    }
+  }
+}
+
+void ObjectServer::handle_validate(const ValidateRequest& req) {
+  const SiteId from = req.reply_to;
+  ++stats_.validations;
+  Stored& s = stored(req.object);
+  s.cachers.insert(from.value);
+  const SimTime granted = grant_lease(s, from);
+  ValidateReply reply;
+  reply.object = req.object;
+  reply.still_valid = (s.version == req.version);
+  reply.copy = copy_of(req.object, granted);
+  if (reply.still_valid) ++stats_.validations_ok;
+  send(from, Message{reply});
+}
+
+void ObjectServer::send(SiteId to, Message m) {
+  const std::size_t bytes = sizes_.of(m);
+  net_.send(self_, to, std::make_shared<Message>(std::move(m)), bytes);
+}
+
+}  // namespace timedc

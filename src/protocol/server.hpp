@@ -1,0 +1,132 @@
+// The object server: long-term storage for every object (Section 5.1's
+// "server sites"), source of truth for versions and lifetimes.
+//
+// The server answers fetches with its current copy (omega/beta stamped with
+// the server's own time — the latest instant the value is known valid),
+// applies client writes in arrival order, answers validations, and — under
+// the push policies — notifies caching clients of updates (Cao-Liu style
+// invalidation or full update propagation, Section 5.2's optimizations).
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/history.hpp"
+#include "protocol/messages.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace timedc {
+
+enum class PushPolicy {
+  kNone,        // pure pull: clients validate/fetch on demand
+  kInvalidate,  // server invalidates cached copies on write
+  kUpdate,      // server pushes the new copy on write
+};
+
+/// Server-side knobs. Leases implement Section 5.2's "objects whose ending
+/// times are well-known (e.g. ... leased objects)": a fetch/validation
+/// grants validity until now + lease_duration (shipped as the copy's
+/// omega), and a write arriving while another client's lease is live is
+/// DEFERRED until every such lease expires (Gray-Cheriton). Readers then
+/// hit locally for the whole lease with full timeliness; writers pay the
+/// wait.
+struct ServerConfig {
+  SimTime lease_duration = SimTime::zero();  // 0 = leases disabled
+};
+
+struct ServerStats {
+  std::uint64_t fetches = 0;
+  std::uint64_t writes_applied = 0;
+  std::uint64_t validations = 0;
+  std::uint64_t validations_ok = 0;
+  std::uint64_t pushes = 0;
+  std::uint64_t forwarded = 0;       // requests relayed to the owning server
+  std::uint64_t writes_deferred = 0; // writes that waited for a lease
+};
+
+class ObjectServer {
+ public:
+  /// `cluster` lists every server site of the deployment (must include
+  /// `self`); each object is owned by exactly one of them (hash
+  /// partitioning). Empty means this server owns everything. A request
+  /// arriving at a non-owner is forwarded to the owner, which replies to
+  /// the client directly (one extra hop, not two).
+  ObjectServer(Simulator& sim, Network& net, SiteId self, std::size_t num_sites,
+               PushPolicy push, MessageSizes sizes,
+               std::vector<SiteId> cluster = {}, ServerConfig config = {});
+
+  /// Install this server as the network handler for its site id.
+  void attach();
+
+  SiteId site() const { return self_; }
+  const ServerStats& stats() const { return stats_; }
+
+  /// The server owning `object` under this deployment's partitioning.
+  SiteId primary_of(ObjectId object) const;
+
+  /// Oracle access for the experiment harness: every write arrival in
+  /// server order (values are unique). `accepted` is false for writes that
+  /// lost the last-writer-wins race on start time alpha and never became
+  /// the object's value.
+  struct AppliedWrite {
+    Value value;
+    SimTime applied_at;
+    bool accepted = true;
+  };
+  const std::vector<AppliedWrite>& applied_writes(ObjectId object) const;
+
+ private:
+  struct Stored {
+    Value value = kInitialValue;
+    std::uint64_t version = 0;
+    SimTime alpha = SimTime::zero();
+    PlausibleTimestamp alpha_l;
+    // Clients believed to cache this object (for push policies).
+    std::unordered_set<std::uint32_t> cachers;
+    // Outstanding read leases: client -> expiry (leases mode only).
+    std::unordered_map<std::uint32_t, SimTime> leases;
+    // A write is waiting for leases to expire: no new leases are granted
+    // (otherwise renewing readers could starve the writer forever).
+    bool write_pending = false;
+  };
+
+  void on_message(SiteId from, const std::shared_ptr<void>& payload);
+  void handle_fetch(const FetchRequest& req);
+  void handle_write(const WriteRequest& req);
+  void handle_validate(const ValidateRequest& req);
+  void apply_write(const WriteRequest& req);
+  /// Latest lease expiry held by any client other than `writer` (zero when
+  /// none). Expired entries are pruned as a side effect.
+  SimTime lease_horizon(Stored& s, SiteId writer);
+  /// Returns the granted lease duration (zero when leases are disabled or
+  /// a write is pending on the object).
+  SimTime grant_lease(Stored& s, SiteId client);
+  /// True if the request was relayed to the owning server.
+  bool forward_if_not_owner(ObjectId object, const Message& m);
+  /// `lease_extension` stretches omega past "now" — only for replies to
+  /// clients that were actually granted a lease (push copies get none).
+  ObjectCopy copy_of(ObjectId object, SimTime lease_extension = SimTime::zero()) const;
+  void send(SiteId to, Message m);
+  Stored& stored(ObjectId object);
+
+  Simulator& sim_;
+  Network& net_;
+  SiteId self_;
+  std::size_t num_sites_;
+  PushPolicy push_;
+  MessageSizes sizes_;
+  std::vector<SiteId> cluster_;
+  ServerConfig config_;
+  mutable std::unordered_map<ObjectId, Stored> objects_;
+  // The server's merged logical knowledge: max over all write timestamps it
+  // has applied. Shipped as omega_l so a fresh copy never looks causally
+  // stale to a client whose context grew only through this server.
+  PlausibleTimestamp logical_now_;
+  std::unordered_map<ObjectId, std::vector<AppliedWrite>> history_;
+  ServerStats stats_;
+};
+
+}  // namespace timedc

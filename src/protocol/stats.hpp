@@ -1,0 +1,41 @@
+// Counters shared by the protocol clients and the experiment harness.
+#pragma once
+
+#include <cstdint>
+
+#include "common/sim_time.hpp"
+
+namespace timedc {
+
+struct CacheStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t cache_hits = 0;        // served locally, no round trip
+  std::uint64_t cache_misses = 0;      // full fetch needed
+  std::uint64_t validations = 0;       // if-modified-since round trips
+  std::uint64_t validations_ok = 0;    // ... answered "still valid" (304)
+  std::uint64_t invalidations = 0;     // entries dropped by protocol rules
+  std::uint64_t marked_old = 0;        // entries demoted to old (validate later)
+  std::uint64_t push_updates = 0;      // server-pushed copies installed
+  std::uint64_t push_invalidations = 0;
+
+  double hit_ratio() const {
+    return reads == 0 ? 0.0 : static_cast<double>(cache_hits) / reads;
+  }
+
+  CacheStats& operator+=(const CacheStats& o) {
+    reads += o.reads;
+    writes += o.writes;
+    cache_hits += o.cache_hits;
+    cache_misses += o.cache_misses;
+    validations += o.validations;
+    validations_ok += o.validations_ok;
+    invalidations += o.invalidations;
+    marked_old += o.marked_old;
+    push_updates += o.push_updates;
+    push_invalidations += o.push_invalidations;
+    return *this;
+  }
+};
+
+}  // namespace timedc

@@ -1,0 +1,196 @@
+#include "protocol/timed_causal_cache.hpp"
+
+#include "common/assert.hpp"
+
+namespace timedc {
+
+TimedCausalCache::TimedCausalCache(Simulator& sim, Network& net, SiteId self,
+                                   SiteId server,
+                                   const PhysicalClockModel* clock,
+                                   SimTime delta, bool mark_old,
+                                   MessageSizes sizes, std::size_t num_clients,
+                                   std::size_t clock_entries,
+                                   CausalEvictionRule eviction)
+    : CacheClient(sim, net, self, server, clock, delta, mark_old, sizes),
+      eviction_(eviction),
+      clock_(clock_entries == 0 ? num_clients : clock_entries, self),
+      context_l_(std::vector<std::uint64_t>(
+                     clock_entries == 0 ? num_clients : clock_entries, 0),
+                 self) {}
+
+PlausibleTimestamp TimedCausalCache::normalize(
+    const PlausibleTimestamp& ts) const {
+  // Objects never written logically ship empty timestamps; treat as bottom.
+  if (ts.num_entries() != 0) return ts;
+  return PlausibleTimestamp(
+      std::vector<std::uint64_t>(context_l_.num_entries(), 0), self_);
+}
+
+PlausibleTimestamp TimedCausalCache::ending_time(
+    const PlausibleTimestamp& alpha_l,
+    const PlausibleTimestamp& server_omega_l) const {
+  // Either way the client's own context is merged in, so a fresh install can
+  // never be demoted by the knowledge the client already had (without this,
+  // partitioned servers would make every cross-server install self-stale).
+  const PlausibleTimestamp base =
+      eviction_ == CausalEvictionRule::kServerKnowledge
+          ? PlausibleTimestamp::merge_max(alpha_l, normalize(server_omega_l))
+          : alpha_l;
+  return PlausibleTimestamp::merge_max(base, context_l_);
+}
+
+void TimedCausalCache::raise_context(const PlausibleTimestamp& ts) {
+  const PlausibleTimestamp next = PlausibleTimestamp::merge_max(context_l_, ts);
+  if (next.entries() == context_l_.entries()) return;
+  context_l_ = next;
+  causal_sweep();
+}
+
+void TimedCausalCache::demote(std::unordered_map<ObjectId, Entry>::iterator it,
+                              bool& erased) {
+  erased = false;
+  if (mark_old_) {
+    it->second.old = true;
+    ++stats_.marked_old;
+  } else {
+    ++stats_.invalidations;
+    cache_.erase(it);
+    erased = true;
+  }
+}
+
+void TimedCausalCache::beta_sweep() {
+  if (delta_.is_infinite()) return;  // plain CC
+  const SimTime horizon = local_time() - delta_;
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    if (!it->second.old && it->second.beta < horizon) {
+      bool erased = false;
+      demote(it++, erased);
+      // demote() may have erased the element the (already advanced)
+      // iterator no longer points to; nothing further to do either way.
+      (void)erased;
+    } else {
+      ++it;
+    }
+  }
+}
+
+void TimedCausalCache::causal_sweep() {
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    Entry& e = it->second;
+    if (!e.old && e.omega_l.compare(context_l_) == Ordering::kBefore) {
+      bool erased = false;
+      demote(it++, erased);
+      (void)erased;
+    } else {
+      ++it;
+    }
+  }
+}
+
+void TimedCausalCache::install(const ObjectCopy& copy) {
+  const PlausibleTimestamp alpha_l = normalize(copy.alpha_l);
+  // The logical ending time depends on the eviction rule; see
+  // CausalEvictionRule for the soundness/efficiency discussion.
+  const PlausibleTimestamp omega_l = ending_time(alpha_l, copy.omega_l);
+  cache_[copy.object] = Entry{copy.value, alpha_l, omega_l,
+                              copy.beta,  copy.version, false};
+  // Reading a remote value makes this site causally after its write.
+  clock_.receive(alpha_l);
+  raise_context(alpha_l);  // logical rule 1
+}
+
+void TimedCausalCache::begin_read(ObjectId object) {
+  beta_sweep();
+  const auto it = cache_.find(object);
+  if (it != cache_.end() && !it->second.old) {
+    ++stats_.cache_hits;
+    finish_read(it->second.value);
+    return;
+  }
+  pending_object_ = object;
+  if (it != cache_.end()) {
+    ++stats_.validations;
+    send_to_server(Message{ValidateRequest{object, it->second.version, self_}},
+                   object);
+  } else {
+    ++stats_.cache_misses;
+    send_to_server(Message{FetchRequest{object, self_}}, object);
+  }
+}
+
+void TimedCausalCache::begin_write(ObjectId object, Value value) {
+  beta_sweep();
+  const SimTime t = local_time();
+  const PlausibleTimestamp ts = clock_.tick();
+  Entry e;
+  e.value = value;
+  e.alpha_l = ts;
+  e.omega_l = ts;  // the freshest knowledge anywhere: ts dominates context
+  e.beta = t;
+  cache_[object] = std::move(e);
+  raise_context(ts);  // logical rule 2
+  send_to_server(Message{WriteRequest{object, value, t, ts, self_}}, object);
+}
+
+void TimedCausalCache::handle(const Message& message) {
+  if (const auto* reply = std::get_if<FetchReply>(&message)) {
+    install(reply->copy);
+    if (read_pending() && reply->copy.object == pending_object_) {
+      finish_read(reply->copy.value);
+    }
+    return;
+  }
+  if (const auto* reply = std::get_if<ValidateReply>(&message)) {
+    if (reply->still_valid) {
+      ++stats_.validations_ok;
+      auto it = cache_.find(reply->object);
+      if (it == cache_.end()) {
+        ++stats_.cache_misses;
+        send_to_server(Message{FetchRequest{reply->object, self_}},
+                       reply->object);
+        return;
+      }
+      it->second.beta = reply->copy.beta;
+      // The server vouched the value is still current: its validity extends
+      // to everything the client knows at this moment (and no further; see
+      // install() for why omega_l must not exceed the local context).
+      it->second.omega_l =
+          ending_time(it->second.alpha_l, reply->copy.omega_l);
+      it->second.old = false;
+      if (read_pending() && reply->object == pending_object_) {
+        finish_read(it->second.value);
+      }
+    } else {
+      install(reply->copy);
+      if (read_pending() && reply->object == pending_object_) {
+        finish_read(reply->copy.value);
+      }
+    }
+    return;
+  }
+  if (const auto* ack = std::get_if<WriteAck>(&message)) {
+    auto it = cache_.find(ack->object);
+    if (it != cache_.end() && it->second.version == 0) {
+      it->second.version = ack->version;
+    }
+    finish_write();
+    return;
+  }
+  if (const auto* inv = std::get_if<Invalidate>(&message)) {
+    auto it = cache_.find(inv->object);
+    if (it != cache_.end() && it->second.version < inv->version) {
+      ++stats_.push_invalidations;
+      cache_.erase(it);
+    }
+    return;
+  }
+  if (const auto* push = std::get_if<PushUpdate>(&message)) {
+    ++stats_.push_updates;
+    install(push->copy);
+    return;
+  }
+  TIMEDC_ASSERT(false && "unexpected message at client");
+}
+
+}  // namespace timedc

@@ -1,0 +1,100 @@
+// The TCC lifetime cache (Section 5.3).
+//
+// All lifetime bookkeeping timestamps are vector clocks: each copy carries
+// its logical start time alpha_l and logical ending time omega_l, and the
+// cache keeps a logical Context_i (the merge of every start time it has
+// seen). A copy is causally stale when omega_l happened-before Context_i —
+// concurrent is fine, which is exactly what lets TCC invalidate less than
+// the physical-clock TSC cache.
+//
+// TCC's real-time guarantee comes from the *checking time* beta: the latest
+// physical instant the value was known valid. On every access, copies with
+// beta < t_i - Delta are invalidated or marked old and revalidated. With
+// Delta = infinity the beta rule disappears and the cache degenerates to
+// the plain CC lifetime protocol of [39].
+//
+// Deviation from [39]: that paper exempts copies the site wrote itself from
+// causal invalidation ("local ending times advance with the local clock").
+// In this architecture the exemption is unsound: site i can write X, a peer
+// can read X and overwrite it (causally after), and site i can then learn
+// something causally after the overwrite while still serving its own stale
+// copy — a causally hidden write. Local copies therefore take part in the
+// causal sweep like any other; under mark-old they cost one cheap
+// revalidation instead of a refetch, which preserves most of [39]'s saving.
+//
+// All logical timestamps are PlausibleTimestamps (Torres-Rojas & Ahamad
+// [37]): constructed with num_entries == num_clients they behave exactly as
+// vector clocks; with fewer entries they are the constant-size REV clock,
+// which may order some concurrent timestamps and therefore over-invalidate
+// — never under-invalidate — trading message size for cache churn. The
+// sweep benches quantify that tradeoff.
+#pragma once
+
+#include <unordered_map>
+
+#include "clocks/plausible_clock.hpp"
+#include "protocol/client_base.hpp"
+
+namespace timedc {
+
+/// How aggressively the causal sweep treats a cached copy's logical ending
+/// time. This is the central soundness/efficiency dial of the lifetime
+/// approach (see the file comment):
+///   kServerKnowledge — [39]-faithful: omega_l is the serving server's
+///     merged knowledge (plus the client context at install). Efficient —
+///     quiet objects are almost never demoted — but a copy can survive a
+///     causally hidden overwrite when the server knew more than the reader
+///     ever learns (measurably rare; quantified by sim_causal_soundness).
+///   kContextDominates — provably sound: omega_l never exceeds the client's
+///     own context, so the strictly-before test fires whenever the entry is
+///     no longer provably safe. Conservative: any context growth demotes
+///     older entries (recovered by one 304-style validation each).
+enum class CausalEvictionRule { kServerKnowledge, kContextDominates };
+
+class TimedCausalCache final : public CacheClient {
+ public:
+  /// `clock_entries` is the logical clock width R: pass num_clients for
+  /// exact vector-clock TCC (the default when 0), or fewer for REV
+  /// plausible clocks.
+  TimedCausalCache(Simulator& sim, Network& net, SiteId self, SiteId server,
+                   const PhysicalClockModel* clock, SimTime delta,
+                   bool mark_old, MessageSizes sizes, std::size_t num_clients,
+                   std::size_t clock_entries = 0,
+                   CausalEvictionRule eviction =
+                       CausalEvictionRule::kContextDominates);
+
+  std::size_t cached_entries() const { return cache_.size(); }
+  const PlausibleTimestamp& logical_context() const { return context_l_; }
+
+ protected:
+  void begin_read(ObjectId object) override;
+  void begin_write(ObjectId object, Value value) override;
+  void handle(const Message& message) override;
+
+ private:
+  struct Entry {
+    Value value;
+    PlausibleTimestamp alpha_l;
+    PlausibleTimestamp omega_l;
+    SimTime beta;
+    std::uint64_t version = 0;
+    bool old = false;
+  };
+
+  PlausibleTimestamp normalize(const PlausibleTimestamp& ts) const;
+  PlausibleTimestamp ending_time(const PlausibleTimestamp& alpha_l,
+                                 const PlausibleTimestamp& server_omega_l) const;
+  void raise_context(const PlausibleTimestamp& ts);
+  void beta_sweep();
+  void causal_sweep();
+  void demote(std::unordered_map<ObjectId, Entry>::iterator it, bool& erased);
+  void install(const ObjectCopy& copy);
+
+  std::unordered_map<ObjectId, Entry> cache_;
+  CausalEvictionRule eviction_;
+  PlausibleClock clock_;
+  PlausibleTimestamp context_l_;
+  ObjectId pending_object_;
+};
+
+}  // namespace timedc

@@ -1,0 +1,143 @@
+#include "protocol/timed_serial_cache.hpp"
+
+#include "common/assert.hpp"
+
+namespace timedc {
+
+void TimedSerialCache::advance_context_for_timeliness() {
+  if (delta_.is_infinite()) return;  // plain SC: rule 3 disabled
+  const SimTime t = local_time();
+  raise_context(t - delta_);
+}
+
+void TimedSerialCache::raise_context(SimTime candidate) {
+  if (candidate > context_) {
+    context_ = candidate;
+    sweep();
+  }
+}
+
+void TimedSerialCache::sweep() {
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    Entry& e = it->second;
+    if (!e.old && e.omega < context_) {
+      if (mark_old_) {
+        e.old = true;
+        ++stats_.marked_old;
+        ++it;
+      } else {
+        ++stats_.invalidations;
+        it = cache_.erase(it);
+      }
+    } else {
+      ++it;
+    }
+  }
+}
+
+void TimedSerialCache::install(const ObjectCopy& copy) {
+  cache_[copy.object] =
+      Entry{copy.value, copy.alpha, copy.omega, copy.version, false};
+  raise_context(copy.alpha);  // rule 1
+}
+
+void TimedSerialCache::begin_read(ObjectId object) {
+  advance_context_for_timeliness();
+  const auto it = cache_.find(object);
+  if (it != cache_.end() && !it->second.old) {
+    ++stats_.cache_hits;
+    finish_read(it->second.value);
+    return;
+  }
+  pending_object_ = object;
+  if (it != cache_.end()) {
+    ++stats_.validations;
+    send_to_server(Message{ValidateRequest{object, it->second.version, self_}},
+                   object);
+  } else {
+    ++stats_.cache_misses;
+    send_to_server(Message{FetchRequest{object, self_}}, object);
+  }
+}
+
+void TimedSerialCache::begin_write(ObjectId object, Value value) {
+  advance_context_for_timeliness();
+  const SimTime t = local_time();
+  // Rule 2: the local copy starts (and is so far only known valid) at t.
+  cache_[object] = Entry{value, t, t, /*version=*/0, false};
+  raise_context(t);
+  send_to_server(Message{WriteRequest{object, value, t, PlausibleTimestamp{}, self_}},
+                 object);
+}
+
+void TimedSerialCache::handle(const Message& message) {
+  if (const auto* reply = std::get_if<FetchReply>(&message)) {
+    install(reply->copy);
+    if (read_pending() && reply->copy.object == pending_object_) {
+      finish_read(reply->copy.value);
+    }
+    return;
+  }
+  if (const auto* reply = std::get_if<ValidateReply>(&message)) {
+    if (reply->still_valid) {
+      ++stats_.validations_ok;
+      auto it = cache_.find(reply->object);
+      if (it == cache_.end()) {
+        // A push invalidation raced past the validation on a non-FIFO
+        // network; fall back to a full fetch.
+        ++stats_.cache_misses;
+        send_to_server(Message{FetchRequest{reply->object, self_}},
+                     reply->object);
+        return;
+      }
+      // The server vouched for the value at reply->copy.omega: extend the
+      // lifetime and rehabilitate the entry.
+      it->second.omega = reply->copy.omega;
+      it->second.old = false;
+      // The extended ending time may still trail Context_i (e.g. the reply
+      // took long); re-check before serving.
+      if (it->second.omega < context_) {
+        // Entry is uselessly stale: drop and refetch.
+        cache_.erase(it);
+        ++stats_.invalidations;
+        ++stats_.cache_misses;
+        send_to_server(Message{FetchRequest{reply->object, self_}},
+                     reply->object);
+        return;
+      }
+      if (read_pending() && reply->object == pending_object_) {
+        finish_read(it->second.value);
+      }
+    } else {
+      install(reply->copy);
+      if (read_pending() && reply->object == pending_object_) {
+        finish_read(reply->copy.value);
+      }
+    }
+    return;
+  }
+  if (const auto* ack = std::get_if<WriteAck>(&message)) {
+    auto it = cache_.find(ack->object);
+    if (it != cache_.end() && it->second.version == 0) {
+      it->second.version = ack->version;
+    }
+    finish_write();
+    return;
+  }
+  if (const auto* inv = std::get_if<Invalidate>(&message)) {
+    auto it = cache_.find(inv->object);
+    if (it != cache_.end() && it->second.version < inv->version) {
+      ++stats_.push_invalidations;
+      cache_.erase(it);
+    }
+    return;
+  }
+  if (const auto* push = std::get_if<PushUpdate>(&message)) {
+    ++stats_.push_updates;
+    install(push->copy);
+    return;
+  }
+  TIMEDC_ASSERT(false && "unexpected message at client");
+}
+
+}  // namespace timedc

@@ -1,0 +1,56 @@
+// The TSC lifetime cache (Sections 5.1 and 5.2).
+//
+// Each cached copy X_i carries its lifetime [alpha, omega]. The local
+// Context_i keeps the latest start time of any value that has been in the
+// cache, maintained by the paper's three rules:
+//   1. install copy:        Context_i := max(X_i.alpha, Context_i)
+//   2. local write at t:    Context_i := X_i.alpha := t
+//   3. timeliness (TSC):    Context_i := max(t_i - Delta, Context_i)
+// Any cached Y with Y.omega < Context_i is invalidated — or, under the
+// mark-old optimization, demoted to "old" and revalidated with an
+// if-modified-since round trip on next access (Section 5.2).
+//
+// Delta = infinity disables rule 3 and yields the plain SC lifetime
+// protocol of [39]; that degeneration is exercised in the tests.
+#pragma once
+
+#include <unordered_map>
+
+#include "protocol/client_base.hpp"
+
+namespace timedc {
+
+class TimedSerialCache final : public CacheClient {
+ public:
+  using CacheClient::CacheClient;
+
+  /// Number of entries currently cached (valid or old).
+  std::size_t cached_entries() const { return cache_.size(); }
+  SimTime context() const { return context_; }
+
+ protected:
+  void begin_read(ObjectId object) override;
+  void begin_write(ObjectId object, Value value) override;
+  void handle(const Message& message) override;
+
+ private:
+  struct Entry {
+    Value value;
+    SimTime alpha;
+    SimTime omega;
+    std::uint64_t version = 0;
+    bool old = false;
+  };
+
+  /// Rule 3 + the invalidation sweep; called before serving any operation.
+  void advance_context_for_timeliness();
+  void raise_context(SimTime candidate);
+  void sweep();
+  void install(const ObjectCopy& copy);
+
+  std::unordered_map<ObjectId, Entry> cache_;
+  SimTime context_ = SimTime::zero();
+  ObjectId pending_object_;  // object of the in-flight fetch/validate
+};
+
+}  // namespace timedc

@@ -1,0 +1,86 @@
+#include "sim/clock_sync.hpp"
+
+#include "common/assert.hpp"
+
+namespace timedc {
+
+TimeServer::TimeServer(Simulator& sim, Network& net, SiteId self,
+                       const PhysicalClockModel* clock)
+    : sim_(sim), net_(net), self_(self), clock_(clock) {
+  TIMEDC_ASSERT(clock != nullptr);
+}
+
+void TimeServer::attach() {
+  net_.set_handler(self_, [this](SiteId from, const std::shared_ptr<void>& p) {
+    const auto msg = std::static_pointer_cast<ClockSyncMessage>(p);
+    const auto* request = std::get_if<TimeRequest>(msg.get());
+    TIMEDC_ASSERT(request != nullptr);
+    ++served_;
+    net_.send(self_, from,
+              std::make_shared<ClockSyncMessage>(
+                  TimeReply{request->seq, clock_->read(sim_.now())}),
+              /*bytes=*/48);
+  });
+}
+
+SyncedSiteClock::SyncedSiteClock(Simulator& sim, Network& net, SiteId self,
+                                 SiteId server,
+                                 const PhysicalClockModel* hardware)
+    : sim_(sim), net_(net), self_(self), server_(server), hardware_(hardware) {
+  TIMEDC_ASSERT(hardware != nullptr);
+}
+
+void SyncedSiteClock::attach() {
+  net_.set_handler(self_, [this](SiteId, const std::shared_ptr<void>& p) {
+    on_message(p);
+  });
+}
+
+void SyncedSiteClock::start(SimTime period) {
+  TIMEDC_ASSERT(period > SimTime::zero());
+  period_ = period;
+  send_request();
+}
+
+SimTime SyncedSiteClock::now() const {
+  return hardware_->read(sim_.now()) + correction_;
+}
+
+void SyncedSiteClock::send_request() {
+  request_sent_hw_ = hardware_->read(sim_.now());
+  outstanding_seq_ = next_seq_++;
+  request_outstanding_ = true;
+  net_.send(self_, server_,
+            std::make_shared<ClockSyncMessage>(TimeRequest{outstanding_seq_}),
+            /*bytes=*/48);
+  sim_.schedule_after(period_, [this] { send_request(); });
+}
+
+void SyncedSiteClock::on_message(const std::shared_ptr<void>& payload) {
+  const auto msg = std::static_pointer_cast<ClockSyncMessage>(payload);
+  const auto* reply = std::get_if<TimeReply>(msg.get());
+  TIMEDC_ASSERT(reply != nullptr);
+  // Only the reply matching the newest request is usable: request_sent_hw_
+  // belongs to it, so an older (slower) reply would compute a bogus RTT.
+  if (!request_outstanding_ || reply->seq != outstanding_seq_) return;
+  request_outstanding_ = false;
+
+  // Cristian's estimate: the server stamped its time somewhere within the
+  // round trip; assume the midpoint. The RTT is measured on the local
+  // hardware clock (drift over one RTT is negligible at ppm rates).
+  const SimTime receive_hw = hardware_->read(sim_.now());
+  const SimTime rtt = receive_hw - request_sent_hw_;
+  const SimTime estimated_server_now = reply->server_time + rtt / 2;
+  const SimTime new_correction =
+      estimated_server_now - receive_hw;
+
+  ++stats_.syncs;
+  stats_.last_rtt = rtt;
+  stats_.max_rtt = max(stats_.max_rtt, rtt);
+  const SimTime shift = new_correction - correction_;
+  stats_.last_correction =
+      shift < SimTime::zero() ? SimTime::zero() - shift : shift;
+  correction_ = new_correction;
+}
+
+}  // namespace timedc

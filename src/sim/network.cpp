@@ -1,0 +1,45 @@
+#include "sim/network.hpp"
+
+namespace timedc {
+
+Network::Network(Simulator& sim, std::size_t num_nodes,
+                 std::unique_ptr<LatencyModel> latency, NetworkConfig config,
+                 Rng rng)
+    : sim_(sim),
+      latency_(std::move(latency)),
+      config_(config),
+      rng_(rng),
+      handlers_(num_nodes),
+      last_delivery_(num_nodes, std::vector<SimTime>(num_nodes, SimTime::zero())) {
+  TIMEDC_ASSERT(latency_ != nullptr);
+}
+
+void Network::set_handler(SiteId node, Handler handler) {
+  TIMEDC_ASSERT(node.value < handlers_.size());
+  handlers_[node.value] = std::move(handler);
+}
+
+void Network::send(SiteId from, SiteId to, std::shared_ptr<void> payload,
+                   std::size_t bytes) {
+  TIMEDC_ASSERT(from.value < handlers_.size());
+  TIMEDC_ASSERT(to.value < handlers_.size());
+  ++stats_.messages_sent;
+  stats_.bytes_sent += bytes;
+  if (config_.drop_probability > 0 && rng_.bernoulli(config_.drop_probability)) {
+    ++stats_.messages_dropped;
+    return;
+  }
+  SimTime deliver_at = sim_.now() + latency_->sample(from, to, rng_);
+  if (config_.fifo_links) {
+    SimTime& last = last_delivery_[from.value][to.value];
+    deliver_at = max(deliver_at, last);
+    last = deliver_at;
+  }
+  sim_.schedule_at(deliver_at, [this, from, to, payload = std::move(payload)]() {
+    ++stats_.messages_delivered;
+    TIMEDC_ASSERT(handlers_[to.value] != nullptr);
+    handlers_[to.value](from, payload);
+  });
+}
+
+}  // namespace timedc

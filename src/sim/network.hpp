@@ -1,0 +1,120 @@
+// Simulated message-passing network.
+//
+// Delivers opaque payloads between numbered nodes with a pluggable latency
+// model, optional message loss, and optional per-link FIFO ordering. The
+// protocol layers define their own message types and register a handler per
+// node; the network only owns timing.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/sim_time.hpp"
+#include "common/types.hpp"
+#include "sim/simulator.hpp"
+
+namespace timedc {
+
+/// Samples a one-way latency for a (from, to) pair.
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+  virtual SimTime sample(SiteId from, SiteId to, Rng& rng) = 0;
+  /// An upper bound on sampled latencies, if one exists (infinity otherwise);
+  /// protocols that promise Delta-timeliness need it to budget validations.
+  virtual SimTime upper_bound() const = 0;
+};
+
+class FixedLatency final : public LatencyModel {
+ public:
+  explicit FixedLatency(SimTime latency) : latency_(latency) {}
+  SimTime sample(SiteId, SiteId, Rng&) override { return latency_; }
+  SimTime upper_bound() const override { return latency_; }
+
+ private:
+  SimTime latency_;
+};
+
+class UniformLatency final : public LatencyModel {
+ public:
+  UniformLatency(SimTime lo, SimTime hi) : lo_(lo), hi_(hi) {
+    TIMEDC_ASSERT(lo <= hi);
+  }
+  SimTime sample(SiteId, SiteId, Rng& rng) override {
+    return SimTime::micros(rng.uniform_int(lo_.as_micros(), hi_.as_micros()));
+  }
+  SimTime upper_bound() const override { return hi_; }
+
+ private:
+  SimTime lo_, hi_;
+};
+
+/// Exponential latency shifted by a propagation floor and truncated at a
+/// cap (heavy-ish tail, but still bounded so timed protocols can budget).
+class ExponentialLatency final : public LatencyModel {
+ public:
+  ExponentialLatency(SimTime floor, SimTime mean_extra, SimTime cap)
+      : floor_(floor), mean_extra_(mean_extra), cap_(cap) {
+    TIMEDC_ASSERT(floor <= cap);
+  }
+  SimTime sample(SiteId, SiteId, Rng& rng) override {
+    const double extra =
+        rng.exponential(static_cast<double>(mean_extra_.as_micros()));
+    SimTime t = floor_ + SimTime::micros(static_cast<std::int64_t>(extra));
+    return min(t, cap_);
+  }
+  SimTime upper_bound() const override { return cap_; }
+
+ private:
+  SimTime floor_, mean_extra_, cap_;
+};
+
+struct NetworkConfig {
+  double drop_probability = 0.0;
+  bool fifo_links = true;
+};
+
+struct NetworkStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t bytes_sent = 0;
+};
+
+/// Type-erased network: payloads are delivered to a per-node handler as
+/// (from, payload). Payload ownership transfers via shared_ptr<void>; the
+/// protocol layers wrap/unwrap their concrete message structs.
+class Network {
+ public:
+  using Handler =
+      std::function<void(SiteId from, const std::shared_ptr<void>& payload)>;
+
+  Network(Simulator& sim, std::size_t num_nodes,
+          std::unique_ptr<LatencyModel> latency, NetworkConfig config,
+          Rng rng);
+
+  void set_handler(SiteId node, Handler handler);
+
+  /// Send `payload` of accounted size `bytes` from -> to. Self-sends are
+  /// delivered after the sampled latency too (loopback is not free).
+  void send(SiteId from, SiteId to, std::shared_ptr<void> payload,
+            std::size_t bytes);
+
+  const NetworkStats& stats() const { return stats_; }
+  LatencyModel& latency() { return *latency_; }
+  std::size_t num_nodes() const { return handlers_.size(); }
+
+ private:
+  Simulator& sim_;
+  std::unique_ptr<LatencyModel> latency_;
+  NetworkConfig config_;
+  Rng rng_;
+  std::vector<Handler> handlers_;
+  // Last scheduled delivery time per (from, to), for FIFO links.
+  std::vector<std::vector<SimTime>> last_delivery_;
+  NetworkStats stats_;
+};
+
+}  // namespace timedc

@@ -1,0 +1,31 @@
+#include "sim/simulator.hpp"
+
+namespace timedc {
+
+void Simulator::schedule_at(SimTime at, Action action) {
+  TIMEDC_ASSERT(at >= now_);
+  TIMEDC_ASSERT(!at.is_infinite());
+  queue_.push(Event{at, next_seq_++, std::move(action)});
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top is const; move out via const_cast on the action only.
+  Event event = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = event.at;
+  event.action();
+  return true;
+}
+
+std::size_t Simulator::run_until(SimTime horizon) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.top().at <= horizon) {
+    step();
+    ++executed;
+  }
+  if (now_ < horizon && !horizon.is_infinite()) now_ = horizon;
+  return executed;
+}
+
+}  // namespace timedc

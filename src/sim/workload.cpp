@@ -1,0 +1,38 @@
+#include "sim/workload.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace timedc {
+
+std::vector<WorkloadOp> generate_workload(const WorkloadParams& params, Rng& rng) {
+  TIMEDC_ASSERT(params.num_clients > 0 && params.num_objects > 0);
+  const ZipfDistribution zipf(params.num_objects,
+                              params.zipf_exponent <= 0 ? 1e-9
+                                                        : params.zipf_exponent);
+  std::vector<WorkloadOp> ops;
+  for (std::uint32_t c = 0; c < params.num_clients; ++c) {
+    SimTime t = SimTime::zero();
+    while (true) {
+      t += SimTime::micros(1 + static_cast<std::int64_t>(rng.exponential(
+               static_cast<double>(params.mean_think_time.as_micros()))));
+      if (t > params.horizon) break;
+      WorkloadOp op;
+      op.client = SiteId{c};
+      op.at = t;
+      op.is_write = rng.bernoulli(params.write_ratio);
+      op.object = params.zipf_exponent <= 0
+                      ? ObjectId{static_cast<std::uint32_t>(rng.uniform_int(
+                            0, static_cast<std::int64_t>(params.num_objects) - 1))}
+                      : ObjectId{static_cast<std::uint32_t>(zipf.sample(rng))};
+      ops.push_back(op);
+    }
+  }
+  std::stable_sort(ops.begin(), ops.end(), [](const WorkloadOp& a, const WorkloadOp& b) {
+    return a.at < b.at;
+  });
+  return ops;
+}
+
+}  // namespace timedc

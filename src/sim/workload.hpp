@@ -1,0 +1,39 @@
+// Synthetic workloads for the protocol experiments.
+//
+// Each client issues a Poisson stream of reads/writes over a Zipf-skewed
+// object population — the standard model for the interactive / web-cache
+// applications the paper motivates (Section 4): a few hot objects, many
+// cold ones.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/sim_time.hpp"
+#include "common/types.hpp"
+
+namespace timedc {
+
+struct WorkloadParams {
+  std::size_t num_clients = 4;
+  std::size_t num_objects = 16;
+  double write_ratio = 0.2;
+  /// Mean think time between a client's consecutive operations.
+  SimTime mean_think_time = SimTime::millis(10);
+  /// Zipf exponent over objects; 0 gives a uniform population.
+  double zipf_exponent = 0.8;
+  SimTime horizon = SimTime::seconds(2);
+};
+
+struct WorkloadOp {
+  SiteId client;
+  SimTime at;       // when the client issues the operation
+  bool is_write = false;
+  ObjectId object;
+};
+
+/// All clients' operations merged and sorted by issue time (ties keep
+/// client order stable). Deterministic for a given rng state.
+std::vector<WorkloadOp> generate_workload(const WorkloadParams& params, Rng& rng);
+
+}  // namespace timedc

@@ -1,0 +1,205 @@
+#include "web/web_cache.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace timedc {
+
+// --- WebOriginServer ---------------------------------------------------------
+
+WebOriginServer::WebOriginServer(Simulator& sim, Network& net, SiteId self,
+                                 bool send_invalidations,
+                                 std::size_t body_bytes)
+    : sim_(sim),
+      net_(net),
+      self_(self),
+      send_invalidations_(send_invalidations),
+      body_bytes_(body_bytes) {}
+
+void WebOriginServer::attach() {
+  net_.set_handler(self_, [this](SiteId from, const std::shared_ptr<void>& p) {
+    on_message(from, p);
+  });
+}
+
+WebOriginServer::Doc& WebOriginServer::doc(DocumentId id) {
+  return docs_[id];
+}
+
+void WebOriginServer::update(DocumentId id) {
+  Doc& d = doc(id);
+  d.replaced.push_back(sim_.now());  // previous version dies now
+  d.version += 1;
+  d.last_modified = sim_.now();
+  if (send_invalidations_) {
+    for (const std::uint32_t sub : d.subscribers) {
+      ++stats_.invalidations_sent;
+      send(SiteId{sub}, HttpInvalidate{id, d.version}, 64);
+    }
+    d.subscribers.clear();  // re-subscribe on next fetch/validation
+  }
+}
+
+DocVersion WebOriginServer::current_version(DocumentId id) const {
+  const auto it = docs_.find(id);
+  return it == docs_.end() ? 1 : it->second.version;
+}
+
+SimTime WebOriginServer::replaced_at(DocumentId id, DocVersion version) const {
+  const auto it = docs_.find(id);
+  if (it == docs_.end()) return SimTime::infinity();
+  const Doc& d = it->second;
+  if (version >= d.version) return SimTime::infinity();
+  // Version v (1-based) was replaced at replaced[v-1].
+  TIMEDC_ASSERT(version >= 1 && version - 1 < d.replaced.size());
+  return d.replaced[version - 1];
+}
+
+void WebOriginServer::on_message(SiteId from,
+                                 const std::shared_ptr<void>& payload) {
+  const auto msg = std::static_pointer_cast<HttpMessage>(payload);
+  if (const auto* get = std::get_if<HttpGet>(msg.get())) {
+    ++stats_.gets;
+    Doc& d = doc(get->doc);
+    if (send_invalidations_) {
+      d.subscribers.insert(from.value);
+      stats_.invalidation_state =
+          std::max(stats_.invalidation_state, d.subscribers.size());
+    }
+    send(from, Http200{get->doc, d.version, d.last_modified, body_bytes_},
+         body_bytes_ + 64);
+    return;
+  }
+  if (const auto* ims = std::get_if<HttpGetIms>(msg.get())) {
+    ++stats_.ims_checks;
+    Doc& d = doc(ims->doc);
+    if (send_invalidations_) {
+      d.subscribers.insert(from.value);
+      stats_.invalidation_state =
+          std::max(stats_.invalidation_state, d.subscribers.size());
+    }
+    if (d.version == ims->version) {
+      ++stats_.not_modified;
+      send(from, Http304{ims->doc, d.version}, 64);
+    } else {
+      send(from, Http200{ims->doc, d.version, d.last_modified, body_bytes_},
+           body_bytes_ + 64);
+    }
+    return;
+  }
+  TIMEDC_ASSERT(false && "unexpected message at origin");
+}
+
+void WebOriginServer::send(SiteId to, HttpMessage m, std::size_t bytes) {
+  net_.send(self_, to, std::make_shared<HttpMessage>(std::move(m)), bytes);
+}
+
+// --- WebProxyCache -----------------------------------------------------------
+
+WebProxyCache::WebProxyCache(Simulator& sim, Network& net, SiteId self,
+                             SiteId origin, WebPolicyConfig config)
+    : sim_(sim), net_(net), self_(self), origin_(origin), config_(config) {}
+
+void WebProxyCache::attach() {
+  net_.set_handler(self_, [this](SiteId, const std::shared_ptr<void>& p) {
+    on_message(p);
+  });
+}
+
+SimTime WebProxyCache::ttl_for(SimTime now, SimTime last_modified) const {
+  switch (config_.policy) {
+    case WebPolicy::kFixedTtl:
+      return config_.fixed_ttl;
+    case WebPolicy::kAdaptiveTtl: {
+      // Alex protocol: a document untouched for a long time is unlikely to
+      // change soon — trust it proportionally to its age.
+      const double age =
+          static_cast<double>((now - last_modified).as_micros());
+      const SimTime ttl =
+          SimTime::micros(static_cast<std::int64_t>(config_.adaptive_factor * age));
+      return std::clamp(ttl, config_.adaptive_min, config_.adaptive_max);
+    }
+    case WebPolicy::kPollEveryTime:
+      return SimTime::zero();
+    case WebPolicy::kInvalidate:
+      return SimTime::infinity();  // valid until told otherwise
+  }
+  return SimTime::zero();
+}
+
+bool WebProxyCache::fresh(const Entry& e, SimTime now) const {
+  return e.expires.is_infinite() || now < e.expires;
+}
+
+void WebProxyCache::install(const Http200& ok) {
+  Entry e;
+  e.version = ok.version;
+  e.fetched_at = sim_.now();
+  e.last_modified = ok.last_modified;
+  const SimTime ttl = ttl_for(sim_.now(), ok.last_modified);
+  e.expires = ttl.is_infinite() ? SimTime::infinity() : sim_.now() + ttl;
+  cache_[ok.doc] = e;
+}
+
+void WebProxyCache::request(DocumentId doc, ServeFn done) {
+  TIMEDC_ASSERT(!pending_);
+  ++stats_.requests;
+  const auto it = cache_.find(doc);
+  if (it != cache_.end() && fresh(it->second, sim_.now())) {
+    ++stats_.hits;
+    done(it->second.version, sim_.now());
+    return;
+  }
+  pending_ = std::move(done);
+  pending_doc_ = doc;
+  if (it != cache_.end()) {
+    ++stats_.validations;
+    send_origin(HttpGetIms{doc, it->second.version});
+  } else {
+    ++stats_.full_fetches;
+    send_origin(HttpGet{doc});
+  }
+}
+
+void WebProxyCache::on_message(const std::shared_ptr<void>& payload) {
+  const auto msg = std::static_pointer_cast<HttpMessage>(payload);
+  if (const auto* ok = std::get_if<Http200>(msg.get())) {
+    install(*ok);
+    if (pending_ && ok->doc == pending_doc_) {
+      ServeFn done = std::move(pending_);
+      pending_ = nullptr;
+      done(ok->version, sim_.now());
+    }
+    return;
+  }
+  if (const auto* nm = std::get_if<Http304>(msg.get())) {
+    ++stats_.validations_304;
+    auto it = cache_.find(nm->doc);
+    TIMEDC_ASSERT(it != cache_.end());
+    const SimTime ttl = ttl_for(sim_.now(), it->second.last_modified);
+    it->second.expires =
+        ttl.is_infinite() ? SimTime::infinity() : sim_.now() + ttl;
+    if (pending_ && nm->doc == pending_doc_) {
+      ServeFn done = std::move(pending_);
+      pending_ = nullptr;
+      done(it->second.version, sim_.now());
+    }
+    return;
+  }
+  if (const auto* inv = std::get_if<HttpInvalidate>(msg.get())) {
+    ++stats_.invalidations_received;
+    auto it = cache_.find(inv->doc);
+    if (it != cache_.end() && it->second.version < inv->version) {
+      cache_.erase(it);
+    }
+    return;
+  }
+  TIMEDC_ASSERT(false && "unexpected message at proxy");
+}
+
+void WebProxyCache::send_origin(HttpMessage m) {
+  net_.send(self_, origin_, std::make_shared<HttpMessage>(std::move(m)), 64);
+}
+
+}  // namespace timedc

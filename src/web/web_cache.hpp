@@ -1,0 +1,179 @@
+// Web cache consistency, the application domain of Section 4: the paper
+// observes that WWW cache consistency protocols ARE timed consistency
+// protocols, with weak (TTL-based, Gwertzman-Seltzer [19] / Alex [11]) and
+// strong (server invalidation, Cao-Liu [10]) consistency corresponding to
+// different values of Delta.
+//
+// The model: one origin server whose documents are mutated by an update
+// process, and proxy caches serving client GETs under a freshness policy:
+//   kFixedTtl       entries trusted for a fixed ttl after (re)validation
+//   kAdaptiveTtl    Alex-style: ttl = clamp(k * age-at-fetch)   [11, 19]
+//   kPollEveryTime  validate on every request (strongest pull)  [10]
+//   kInvalidate     server-initiated invalidations              [10]
+// kFixedTtl with ttl = Delta is exactly the TSC rule-3 cache of Section 5.2
+// restricted to read-only clients; the equivalence is tested.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <variant>
+#include <vector>
+
+#include "common/sim_time.hpp"
+#include "common/types.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace timedc {
+
+using DocumentId = ObjectId;
+using DocVersion = std::uint64_t;
+
+// --- HTTP-ish wire messages -------------------------------------------------
+
+struct HttpGet {
+  DocumentId doc;
+};
+struct HttpGetIms {  // If-Modified-Since (by version, like an ETag)
+  DocumentId doc;
+  DocVersion version;
+};
+struct Http200 {
+  DocumentId doc;
+  DocVersion version;
+  SimTime last_modified;
+  std::size_t body_bytes;
+};
+struct Http304 {
+  DocumentId doc;
+  DocVersion version;
+};
+struct HttpInvalidate {
+  DocumentId doc;
+  DocVersion version;
+};
+using HttpMessage =
+    std::variant<HttpGet, HttpGetIms, Http200, Http304, HttpInvalidate>;
+
+// --- Origin server -----------------------------------------------------------
+
+struct OriginStats {
+  std::uint64_t gets = 0;
+  std::uint64_t ims_checks = 0;
+  std::uint64_t not_modified = 0;   // 304 responses
+  std::uint64_t invalidations_sent = 0;
+  std::size_t invalidation_state = 0;  // peak per-document subscriber count
+};
+
+class WebOriginServer {
+ public:
+  WebOriginServer(Simulator& sim, Network& net, SiteId self,
+                  bool send_invalidations, std::size_t body_bytes = 8192);
+
+  void attach();
+
+  /// Mutate a document (called by the experiment's update process).
+  void update(DocumentId doc);
+
+  DocVersion current_version(DocumentId doc) const;
+  /// When `version` of `doc` stopped being current (infinity if current).
+  SimTime replaced_at(DocumentId doc, DocVersion version) const;
+
+  const OriginStats& stats() const { return stats_; }
+
+ private:
+  struct Doc {
+    DocVersion version = 1;
+    SimTime last_modified = SimTime::zero();
+    std::vector<SimTime> replaced;  // replaced[v-1] = when version v died
+    std::unordered_set<std::uint32_t> subscribers;
+  };
+
+  void on_message(SiteId from, const std::shared_ptr<void>& payload);
+  Doc& doc(DocumentId id);
+  void send(SiteId to, HttpMessage m, std::size_t bytes);
+
+  Simulator& sim_;
+  Network& net_;
+  SiteId self_;
+  bool send_invalidations_;
+  std::size_t body_bytes_;
+  mutable std::unordered_map<DocumentId, Doc> docs_;
+  OriginStats stats_;
+};
+
+// --- Proxy cache --------------------------------------------------------------
+
+enum class WebPolicy { kFixedTtl, kAdaptiveTtl, kPollEveryTime, kInvalidate };
+
+inline const char* to_cstring(WebPolicy p) {
+  switch (p) {
+    case WebPolicy::kFixedTtl: return "fixed-ttl";
+    case WebPolicy::kAdaptiveTtl: return "adaptive-ttl";
+    case WebPolicy::kPollEveryTime: return "poll-every-time";
+    case WebPolicy::kInvalidate: return "invalidate";
+  }
+  return "?";
+}
+
+struct WebPolicyConfig {
+  WebPolicy policy = WebPolicy::kFixedTtl;
+  SimTime fixed_ttl = SimTime::seconds(1);
+  double adaptive_factor = 0.2;  // Alex: ttl = factor * (now - last_modified)
+  SimTime adaptive_min = SimTime::millis(10);
+  SimTime adaptive_max = SimTime::seconds(60);
+};
+
+struct WebCacheStats {
+  std::uint64_t requests = 0;
+  std::uint64_t hits = 0;            // served from cache without contact
+  std::uint64_t validations = 0;     // IMS round trips
+  std::uint64_t validations_304 = 0;
+  std::uint64_t full_fetches = 0;
+  std::uint64_t invalidations_received = 0;
+};
+
+class WebProxyCache {
+ public:
+  /// Callback with the served version and the completion time.
+  using ServeFn = std::function<void(DocVersion, SimTime)>;
+
+  WebProxyCache(Simulator& sim, Network& net, SiteId self, SiteId origin,
+                WebPolicyConfig config);
+
+  void attach();
+
+  /// Handle one client GET; at most one outstanding request per proxy.
+  void request(DocumentId doc, ServeFn done);
+
+  const WebCacheStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    DocVersion version;
+    SimTime fetched_at;
+    SimTime last_modified;
+    SimTime expires;  // freshness horizon under the TTL policies
+  };
+
+  void on_message(const std::shared_ptr<void>& payload);
+  SimTime ttl_for(SimTime now, SimTime last_modified) const;
+  void install(const Http200& ok);
+  bool fresh(const Entry& e, SimTime now) const;
+  void send_origin(HttpMessage m);
+
+  Simulator& sim_;
+  Network& net_;
+  SiteId self_;
+  SiteId origin_;
+  WebPolicyConfig config_;
+  std::unordered_map<DocumentId, Entry> cache_;
+  WebCacheStats stats_;
+  DocumentId pending_doc_;
+  ServeFn pending_;
+};
+
+}  // namespace timedc

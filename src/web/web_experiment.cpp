@@ -1,0 +1,131 @@
+#include "web/web_experiment.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "sim/simulator.hpp"
+
+namespace timedc {
+namespace {
+
+/// Drives one proxy's GET stream sequentially with exponential think times.
+class ProxyDriver {
+ public:
+  ProxyDriver(Simulator& sim, WebProxyCache& proxy, WebOriginServer& origin,
+              const WebExperimentConfig& config, Rng rng,
+              WebExperimentResult& result)
+      : sim_(sim),
+        proxy_(proxy),
+        origin_(origin),
+        config_(config),
+        rng_(rng),
+        zipf_(config.num_documents, config.zipf_exponent),
+        result_(result) {}
+
+  void start() { schedule_next(); }
+
+ private:
+  void schedule_next() {
+    const SimTime gap = SimTime::micros(
+        1 + static_cast<std::int64_t>(rng_.exponential(static_cast<double>(
+                config_.mean_request_interval.as_micros()))));
+    const SimTime when = sim_.now() + gap;
+    if (when > config_.horizon) return;
+    sim_.schedule_at(when, [this] { issue(); });
+  }
+
+  void issue() {
+    const DocumentId doc{static_cast<std::uint32_t>(zipf_.sample(rng_))};
+    proxy_.request(doc, [this, doc](DocVersion served, SimTime at) {
+      ++result_.requests;
+      const SimTime died = origin_.replaced_at(doc, served);
+      if (died < at) {
+        ++result_.stale_serves;
+        const SimTime age = at - died;
+        result_.max_stale_age = max(result_.max_stale_age, age);
+        result_.mean_stale_age_us += static_cast<double>(age.as_micros());
+      }
+      schedule_next();
+    });
+  }
+
+  Simulator& sim_;
+  WebProxyCache& proxy_;
+  WebOriginServer& origin_;
+  const WebExperimentConfig& config_;
+  Rng rng_;
+  ZipfDistribution zipf_;
+  WebExperimentResult& result_;
+};
+
+}  // namespace
+
+WebExperimentResult run_web_experiment(const WebExperimentConfig& config) {
+  Simulator sim;
+  Rng rng(config.seed);
+  WebExperimentResult result;
+
+  const SiteId origin_site{static_cast<std::uint32_t>(config.num_proxies)};
+  Network net(sim, config.num_proxies + 1,
+              std::make_unique<UniformLatency>(config.min_latency,
+                                               config.max_latency),
+              NetworkConfig{}, rng.split());
+  WebOriginServer origin(sim, net, origin_site,
+                         config.policy.policy == WebPolicy::kInvalidate,
+                         config.body_bytes);
+  origin.attach();
+
+  std::vector<std::unique_ptr<WebProxyCache>> proxies;
+  std::vector<std::unique_ptr<ProxyDriver>> drivers;
+  for (std::uint32_t p = 0; p < config.num_proxies; ++p) {
+    proxies.push_back(std::make_unique<WebProxyCache>(
+        sim, net, SiteId{p}, origin_site, config.policy));
+    proxies.back()->attach();
+    drivers.push_back(std::make_unique<ProxyDriver>(
+        sim, *proxies.back(), origin, config, rng.split(), result));
+  }
+
+  // Document update processes: schedule each document's Poisson updates.
+  Rng update_rng = rng.split();
+  for (std::uint32_t d = 0; d < config.num_documents; ++d) {
+    SimTime t = SimTime::zero();
+    while (true) {
+      t += SimTime::micros(
+          1 + static_cast<std::int64_t>(update_rng.exponential(
+                  static_cast<double>(config.mean_update_interval.as_micros()))));
+      if (t > config.horizon) break;
+      sim.schedule_at(t, [&origin, d] { origin.update(DocumentId{d}); });
+    }
+  }
+
+  for (auto& d : drivers) d->start();
+  sim.run_until();
+
+  for (const auto& p : proxies) {
+    const WebCacheStats& s = p->stats();
+    result.cache.requests += s.requests;
+    result.cache.hits += s.hits;
+    result.cache.validations += s.validations;
+    result.cache.validations_304 += s.validations_304;
+    result.cache.full_fetches += s.full_fetches;
+    result.cache.invalidations_received += s.invalidations_received;
+  }
+  result.origin = origin.stats();
+  result.network = net.stats();
+  if (result.stale_serves > 0) {
+    result.mean_stale_age_us /= static_cast<double>(result.stale_serves);
+  }
+  if (result.requests > 0) {
+    result.stale_fraction = static_cast<double>(result.stale_serves) /
+                            static_cast<double>(result.requests);
+    result.bytes_per_request = static_cast<double>(result.network.bytes_sent) /
+                               static_cast<double>(result.requests);
+    result.origin_msgs_per_request =
+        static_cast<double>(result.origin.gets + result.origin.ims_checks) /
+        static_cast<double>(result.requests);
+  }
+  return result;
+}
+
+}  // namespace timedc

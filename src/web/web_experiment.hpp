@@ -1,0 +1,44 @@
+// Trace-driven web cache consistency experiment (reproduces the shape of
+// the Gwertzman-Seltzer [19] vs Cao-Liu [10] comparison the paper cites):
+// documents at one origin are updated by Poisson processes; proxies serve
+// Zipf-distributed client GETs under a freshness policy. Measured: stale
+// hits (and their age), bandwidth, origin load, invalidation state.
+#pragma once
+
+#include "common/rng.hpp"
+#include "web/web_cache.hpp"
+
+namespace timedc {
+
+struct WebExperimentConfig {
+  WebPolicyConfig policy;
+  std::size_t num_proxies = 4;
+  std::size_t num_documents = 32;
+  /// Mean time between updates of one document (exponential).
+  SimTime mean_update_interval = SimTime::seconds(2);
+  /// Mean think time between one proxy's consecutive client GETs.
+  SimTime mean_request_interval = SimTime::millis(20);
+  double zipf_exponent = 0.9;
+  SimTime min_latency = SimTime::millis(2);
+  SimTime max_latency = SimTime::millis(30);
+  SimTime horizon = SimTime::seconds(30);
+  std::size_t body_bytes = 8192;
+  std::uint64_t seed = 1;
+};
+
+struct WebExperimentResult {
+  WebCacheStats cache;  // summed over proxies
+  OriginStats origin;
+  NetworkStats network;
+  std::uint64_t requests = 0;
+  std::uint64_t stale_serves = 0;     // served version already replaced
+  double stale_fraction = 0;
+  double mean_stale_age_us = 0;       // age beyond replacement, stale serves
+  SimTime max_stale_age = SimTime::zero();
+  double bytes_per_request = 0;
+  double origin_msgs_per_request = 0;
+};
+
+WebExperimentResult run_web_experiment(const WebExperimentConfig& config);
+
+}  // namespace timedc

@@ -1,0 +1,166 @@
+// Tests for Delta-causal broadcast: causal delivery order, deadline
+// expiration, hole skipping, and the Delta tradeoff (larger lifetimes
+// deliver more, smaller lifetimes deliver fresher).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "broadcast/delta_causal.hpp"
+
+namespace timedc {
+namespace {
+
+SimTime us(std::int64_t n) { return SimTime::micros(n); }
+SimTime ms(std::int64_t n) { return SimTime::millis(n); }
+
+struct Group {
+  Simulator sim;
+  std::unique_ptr<Network> net;
+  std::vector<std::unique_ptr<DeltaCausalEndpoint>> members;
+  // Per-receiver log of (sender, payload).
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint64_t>>> logs;
+
+  Group(std::size_t n, SimTime delta, std::unique_ptr<LatencyModel> latency,
+        NetworkConfig config = {}, std::uint64_t seed = 1) {
+    net = std::make_unique<Network>(sim, n, std::move(latency), config,
+                                    Rng(seed));
+    logs.resize(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      members.push_back(std::make_unique<DeltaCausalEndpoint>(
+          sim, *net, SiteId{i}, n, delta,
+          [this, i](const BroadcastMessage& m, SimTime) {
+            logs[i].emplace_back(m.sender.value, m.payload);
+          }));
+      members.back()->attach();
+    }
+  }
+};
+
+TEST(DeltaCausalTest, DeliversToEveryone) {
+  Group g(3, SimTime::infinity(), std::make_unique<FixedLatency>(us(10)));
+  g.members[0]->broadcast(42);
+  g.sim.run_until();
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    ASSERT_EQ(g.logs[i].size(), 1u);
+    EXPECT_EQ(g.logs[i][0].second, 42u);
+  }
+  EXPECT_EQ(g.members[0]->stats().sent, 1u);
+}
+
+TEST(DeltaCausalTest, CausalOrderAcrossSenders) {
+  // With wildly variable latency and no deadline, causality must still hold:
+  // if site 1 broadcasts after delivering site 0's message, nobody sees
+  // 1's message first.
+  Group g(4, SimTime::infinity(),
+          std::make_unique<UniformLatency>(us(10), us(5000)), NetworkConfig{},
+          7);
+  g.members[0]->broadcast(1);
+  // Site 1 reacts to the delivery of payload 1.
+  bool reacted = false;
+  g.members[1] = std::make_unique<DeltaCausalEndpoint>(
+      g.sim, *g.net, SiteId{1}, 4, SimTime::infinity(),
+      [&](const BroadcastMessage& m, SimTime) {
+        g.logs[1].emplace_back(m.sender.value, m.payload);
+        if (m.payload == 1 && !reacted) {
+          reacted = true;
+          g.members[1]->broadcast(2);
+        }
+      });
+  g.members[1]->attach();
+  g.sim.run_until();
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    int pos1 = -1, pos2 = -1;
+    for (std::size_t k = 0; k < g.logs[i].size(); ++k) {
+      if (g.logs[i][k].second == 1) pos1 = static_cast<int>(k);
+      if (g.logs[i][k].second == 2) pos2 = static_cast<int>(k);
+    }
+    if (pos2 >= 0 && pos1 >= 0) {
+      EXPECT_LT(pos1, pos2) << "receiver " << i;
+    }
+  }
+}
+
+TEST(DeltaCausalTest, FifoPerSender) {
+  Group g(2, SimTime::infinity(),
+          std::make_unique<UniformLatency>(us(10), us(2000)), NetworkConfig{},
+          3);
+  for (std::uint64_t k = 0; k < 10; ++k) g.members[0]->broadcast(k);
+  g.sim.run_until();
+  ASSERT_EQ(g.logs[1].size(), 10u);
+  for (std::uint64_t k = 0; k < 10; ++k) EXPECT_EQ(g.logs[1][k].second, k);
+}
+
+TEST(DeltaCausalTest, LateMessagesAreDiscarded) {
+  // Latency exceeds the lifetime: nothing is ever delivered remotely.
+  Group g(2, us(50), std::make_unique<FixedLatency>(us(100)));
+  g.members[0]->broadcast(1);
+  g.sim.run_until();
+  EXPECT_TRUE(g.logs[1].empty());
+  EXPECT_EQ(g.members[1]->stats().discarded_late, 1u);
+  // The sender still delivered locally.
+  EXPECT_EQ(g.logs[0].size(), 1u);
+}
+
+TEST(DeltaCausalTest, DroppedPredecessorDoesNotBlockForever) {
+  // Messages dropped by the lossy network leave holes in the sender's
+  // sequence; survivors must still be delivered once each hole's deadline
+  // passes, in sequence order.
+  NetworkConfig lossy;
+  lossy.drop_probability = 0.5;
+  lossy.fifo_links = false;
+  Group g2(2, ms(5), std::make_unique<FixedLatency>(us(10)), lossy, 13);
+  for (std::uint64_t k = 0; k < 50; ++k) g2.members[0]->broadcast(k);
+  g2.sim.run_until();
+  // Roughly half arrive; all that arrived alive must have been delivered
+  // (holes skipped at deadline), and delivery is in sequence order.
+  EXPECT_GT(g2.logs[1].size(), 5u);
+  EXPECT_LT(g2.logs[1].size(), 50u);
+  for (std::size_t k = 1; k < g2.logs[1].size(); ++k) {
+    EXPECT_LT(g2.logs[1][k - 1].second, g2.logs[1][k].second);
+  }
+}
+
+TEST(DeltaCausalTest, LargerDeltaDeliversAtLeastAsMany) {
+  std::map<std::int64_t, std::uint64_t> delivered;
+  for (const std::int64_t delta_us : {100, 1000, 10000}) {
+    Group g(3, us(delta_us), std::make_unique<UniformLatency>(us(50), us(3000)),
+            NetworkConfig{}, 17);
+    for (int round = 0; round < 20; ++round) {
+      g.members[round % 3]->broadcast(static_cast<std::uint64_t>(round));
+    }
+    g.sim.run_until();
+    std::uint64_t total = 0;
+    for (const auto& m : g.members) total += m->stats().delivered;
+    delivered[delta_us] = total;
+  }
+  EXPECT_LE(delivered[100], delivered[1000]);
+  EXPECT_LE(delivered[1000], delivered[10000]);
+  // At Delta = 10ms > max latency, everything is delivered: 20 sends x 3
+  // receivers (sender included).
+  EXPECT_EQ(delivered[10000], 60u);
+}
+
+TEST(DeltaCausalTest, DeliveredWithinDeadline) {
+  Group g(3, us(2000), std::make_unique<UniformLatency>(us(100), us(5000)),
+          NetworkConfig{}, 23);
+  std::vector<SimTime> lateness;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    g.members[i] = std::make_unique<DeltaCausalEndpoint>(
+        g.sim, *g.net, SiteId{i}, 3, us(2000),
+        [&](const BroadcastMessage& m, SimTime at) {
+          lateness.push_back(at - m.sent_at);
+        });
+    g.members[i]->attach();
+  }
+  for (int round = 0; round < 30; ++round) {
+    g.members[round % 3]->broadcast(static_cast<std::uint64_t>(round));
+  }
+  g.sim.run_until();
+  ASSERT_FALSE(lateness.empty());
+  for (SimTime l : lateness) EXPECT_LE(l, us(2000));
+}
+
+}  // namespace
+}  // namespace timedc

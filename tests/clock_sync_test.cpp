@@ -1,0 +1,136 @@
+// Tests for the Cristian-style clock synchronization protocol: accuracy
+// bounds, pairwise eps, and behaviour under drift and latency jitter.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "sim/clock_sync.hpp"
+
+namespace timedc {
+namespace {
+
+SimTime us(std::int64_t n) { return SimTime::micros(n); }
+SimTime ms(std::int64_t n) { return SimTime::millis(n); }
+
+struct SyncWorld {
+  Simulator sim;
+  std::unique_ptr<Network> net;
+  PerfectClock server_clock;
+  std::unique_ptr<TimeServer> server;
+  std::vector<std::unique_ptr<DriftingClock>> hardware;
+  std::vector<std::unique_ptr<SyncedSiteClock>> clocks;
+
+  SyncWorld(std::size_t clients, SimTime min_lat, SimTime max_lat,
+            double drift_ppm, std::uint64_t seed = 1) {
+    net = std::make_unique<Network>(
+        sim, clients + 1, std::make_unique<UniformLatency>(min_lat, max_lat),
+        NetworkConfig{}, Rng(seed));
+    const SiteId server_site{static_cast<std::uint32_t>(clients)};
+    server = std::make_unique<TimeServer>(sim, *net, server_site, &server_clock);
+    server->attach();
+    for (std::uint32_t c = 0; c < clients; ++c) {
+      // Alternate fast/slow oscillators with big initial offsets.
+      const double ppm = (c % 2 == 0 ? 1.0 : -1.0) * drift_ppm;
+      hardware.push_back(std::make_unique<DriftingClock>(
+          us(static_cast<std::int64_t>(1000 * (c + 1))), ppm));
+      clocks.push_back(std::make_unique<SyncedSiteClock>(
+          sim, *net, SiteId{c}, server_site, hardware.back().get()));
+      clocks.back()->attach();
+    }
+  }
+
+  void run_with_sync(SimTime period, SimTime horizon) {
+    for (auto& c : clocks) c->start(period);
+    sim.run_until(horizon);
+  }
+};
+
+TEST(ClockSyncTest, SingleExchangeBoundsErrorByHalfRtt) {
+  SyncWorld world(1, us(100), us(900), /*drift_ppm=*/0.0);
+  // Before sync, the hardware offset (1ms) is the error.
+  EXPECT_EQ(world.clocks[0]->error(), us(1000));
+  world.run_with_sync(SimTime::seconds(10), ms(5));
+  ASSERT_GE(world.clocks[0]->stats().syncs, 1u);
+  const SimTime rtt = world.clocks[0]->stats().last_rtt;
+  EXPECT_LE(std::abs(world.clocks[0]->error().as_micros()),
+            rtt.as_micros() / 2 + 1);
+}
+
+TEST(ClockSyncTest, SymmetricLatencyGivesNearPerfectSync) {
+  SyncWorld world(1, us(500), us(500), 0.0);  // fixed = symmetric RTT halves
+  world.run_with_sync(ms(10), ms(50));
+  EXPECT_LE(std::abs(world.clocks[0]->error().as_micros()), 1);
+}
+
+TEST(ClockSyncTest, PeriodicResyncBoundsDriftingClock) {
+  const double ppm = 200.0;  // strongly drifting oscillator
+  SyncWorld world(1, us(100), us(400), ppm);
+  const SimTime period = ms(20);
+  world.run_with_sync(period, SimTime::seconds(2));
+  // Bound: RTT/2 + drift over one period (+1us rounding).
+  const std::int64_t bound =
+      400 / 2 +
+      static_cast<std::int64_t>(static_cast<double>(period.as_micros()) * ppm /
+                                1e6) +
+      2;
+  EXPECT_LE(std::abs(world.clocks[0]->error().as_micros()), bound);
+  EXPECT_GE(world.clocks[0]->stats().syncs, 50u);
+}
+
+TEST(ClockSyncTest, PairwiseEpsBoundAcrossSites) {
+  // The paper's eps: no two site clocks differ by more than eps. With the
+  // Cristian bound, eps = 2*(RTT_max/2 + drift budget).
+  const double ppm = 100.0;
+  SyncWorld world(4, us(100), us(600), ppm, 7);
+  const SimTime period = ms(25);
+  for (auto& c : world.clocks) c->start(period);
+  const std::int64_t per_clock =
+      600 / 2 +
+      static_cast<std::int64_t>(static_cast<double>(period.as_micros()) * ppm /
+                                1e6) +
+      2;
+  // Sample pairwise skew along the run (after the first sync settles).
+  std::int64_t worst = 0;
+  for (std::int64_t t = 100000; t <= 2000000; t += 37000) {
+    world.sim.run_until(us(t));
+    for (std::size_t a = 0; a < world.clocks.size(); ++a) {
+      for (std::size_t b = a + 1; b < world.clocks.size(); ++b) {
+        const std::int64_t diff =
+            (world.clocks[a]->now() - world.clocks[b]->now()).as_micros();
+        worst = std::max(worst, std::abs(diff));
+      }
+    }
+  }
+  EXPECT_LE(worst, 2 * per_clock);
+  EXPECT_GT(worst, 0);  // clocks are not magically identical
+}
+
+TEST(ClockSyncTest, StatsTrackRttAndCorrections) {
+  SyncWorld world(1, us(200), us(800), 50.0);
+  world.run_with_sync(ms(10), ms(100));
+  const auto& stats = world.clocks[0]->stats();
+  EXPECT_GE(stats.syncs, 9u);
+  EXPECT_GE(stats.last_rtt, us(400));   // 2 * min one-way
+  EXPECT_LE(stats.max_rtt, us(1600));   // 2 * max one-way
+  EXPECT_EQ(world.server->requests_served(), stats.syncs);
+}
+
+TEST(ClockSyncTest, TighterPeriodTracksBetter) {
+  const double ppm = 300.0;
+  auto worst_error = [&](SimTime period) {
+    SyncWorld world(1, us(100), us(300), ppm, 11);
+    world.clocks[0]->start(period);
+    std::int64_t worst = 0;
+    for (std::int64_t t = 50000; t <= 1000000; t += 13000) {
+      world.sim.run_until(us(t));
+      worst = std::max(worst, std::abs(world.clocks[0]->error().as_micros()));
+    }
+    return worst;
+  };
+  EXPECT_LE(worst_error(ms(10)), worst_error(ms(200)));
+}
+
+}  // namespace
+}  // namespace timedc

@@ -1,0 +1,260 @@
+// Tests for the clock substrate: Lamport, vector and plausible clocks, the
+// xi maps of Section 5.4 (including the paper's Figure 7 values), and the
+// approximately-synchronized physical clock models of Section 3.2.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "clocks/lamport_clock.hpp"
+#include "clocks/physical_clock.hpp"
+#include "clocks/plausible_clock.hpp"
+#include "clocks/vector_clock.hpp"
+#include "clocks/xi_map.hpp"
+#include "common/rng.hpp"
+
+namespace timedc {
+namespace {
+
+VectorTimestamp vt(std::vector<std::uint64_t> v) {
+  return VectorTimestamp(std::move(v));
+}
+
+TEST(VectorClockTest, CompareBasics) {
+  EXPECT_EQ(vt({3, 4}).compare(vt({3, 4})), Ordering::kEqual);
+  EXPECT_EQ(vt({3, 2}).compare(vt({3, 4})), Ordering::kBefore);
+  EXPECT_EQ(vt({3, 4}).compare(vt({3, 2})), Ordering::kAfter);
+  EXPECT_EQ(vt({2, 4}).compare(vt({3, 2})), Ordering::kConcurrent);
+}
+
+TEST(VectorClockTest, MergeMaxMin) {
+  const auto mx = VectorTimestamp::merge_max(vt({2, 4}), vt({3, 2}));
+  EXPECT_EQ(mx, vt({3, 4}));
+  const auto mn = VectorTimestamp::merge_min(vt({2, 4}), vt({3, 2}));
+  EXPECT_EQ(mn, vt({2, 2}));
+  // max dominates both inputs; min is dominated by both (Section 5.3 needs).
+  EXPECT_TRUE(vt({2, 4}).dominated_by(mx));
+  EXPECT_TRUE(vt({3, 2}).dominated_by(mx));
+  EXPECT_TRUE(mn.dominated_by(vt({2, 4})));
+  EXPECT_TRUE(mn.dominated_by(vt({3, 2})));
+}
+
+TEST(VectorClockTest, TickAdvancesOwnComponent) {
+  VectorClock c(3, SiteId{1});
+  EXPECT_EQ(c.tick(), vt({0, 1, 0}));
+  EXPECT_EQ(c.tick(), vt({0, 2, 0}));
+}
+
+TEST(VectorClockTest, ReceiveMergesThenTicks) {
+  VectorClock c(3, SiteId{0});
+  c.tick();  // <1,0,0>
+  const auto after = c.receive(vt({0, 5, 2}));
+  EXPECT_EQ(after, vt({2, 5, 2}));
+}
+
+TEST(VectorClockTest, MessagePassingCausality) {
+  VectorClock a(2, SiteId{0}), b(2, SiteId{1});
+  const auto send = a.tick();
+  const auto recv = b.receive(send);
+  const auto later = b.tick();
+  EXPECT_EQ(send.compare(recv), Ordering::kBefore);
+  EXPECT_EQ(send.compare(later), Ordering::kBefore);
+  const auto a_solo = a.tick();
+  EXPECT_EQ(a_solo.compare(later), Ordering::kConcurrent);
+}
+
+TEST(VectorClockTest, EventCountAndToString) {
+  EXPECT_EQ(vt({35, 4, 0, 72}).event_count(), 111u);
+  EXPECT_EQ(vt({3, 4}).to_string(), "<3, 4>");
+}
+
+TEST(LamportClockTest, CausalOrderPreserved) {
+  LamportClock a(SiteId{0}), b(SiteId{1});
+  const auto s = a.tick();
+  const auto r = b.receive(s);
+  EXPECT_EQ(s.compare(r), Ordering::kBefore);
+}
+
+TEST(LamportClockTest, TotalOrderViaSiteTiebreak) {
+  const LamportTimestamp x{5, SiteId{0}};
+  const LamportTimestamp y{5, SiteId{1}};
+  EXPECT_EQ(x.compare(y), Ordering::kBefore);
+  EXPECT_EQ(y.compare(x), Ordering::kAfter);
+  EXPECT_EQ(x.compare(x), Ordering::kEqual);
+}
+
+// --- Plausible clocks ------------------------------------------------------
+
+/// Drives N sites through a random message-passing computation, maintaining
+/// vector (ground truth) and REV plausible clocks side by side.
+struct DualComputation {
+  std::vector<VectorTimestamp> truth;
+  std::vector<PlausibleTimestamp> plausible;
+
+  void run(std::size_t sites, std::size_t entries, std::size_t events,
+           std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<VectorClock> vcs;
+    std::vector<PlausibleClock> pcs;
+    for (std::uint32_t s = 0; s < sites; ++s) {
+      vcs.emplace_back(sites, SiteId{s});
+      pcs.emplace_back(entries, SiteId{s});
+    }
+    for (std::size_t e = 0; e < events; ++e) {
+      const auto s = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(sites) - 1));
+      if (!truth.empty() && rng.bernoulli(0.4)) {
+        // Receive a random earlier event's timestamp.
+        const auto k = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(truth.size()) - 1));
+        truth.push_back(vcs[s].receive(truth[k]));
+        plausible.push_back(pcs[s].receive(plausible[k]));
+      } else {
+        truth.push_back(vcs[s].tick());
+        plausible.push_back(pcs[s].tick());
+      }
+    }
+  }
+};
+
+class PlausibleClockProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PlausibleClockProperty, NeverContradictsCausality) {
+  DualComputation dual;
+  dual.run(/*sites=*/6, /*entries=*/3, /*events=*/120, GetParam());
+  for (std::size_t i = 0; i < dual.truth.size(); ++i) {
+    for (std::size_t j = 0; j < dual.truth.size(); ++j) {
+      if (i == j) continue;
+      const Ordering truth = dual.truth[i].compare(dual.truth[j]);
+      const Ordering rev = dual.plausible[i].compare(dual.plausible[j]);
+      if (truth == Ordering::kBefore) {
+        // Causally ordered pairs must be ordered identically.
+        EXPECT_EQ(rev, Ordering::kBefore)
+            << dual.truth[i].to_string() << " vs " << dual.truth[j].to_string();
+      }
+      if (rev == Ordering::kConcurrent) {
+        // REV may wrongly order concurrent pairs but never invents
+        // concurrency for ordered pairs.
+        EXPECT_EQ(truth, Ordering::kConcurrent);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlausibleClockProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(PlausibleClockTest, FoldedSitesShareEntry) {
+  PlausibleClock c0(2, SiteId{0});
+  PlausibleClock c2(2, SiteId{2});  // 2 mod 2 == 0: same entry as site 0
+  EXPECT_EQ(c0.own_entry(), c2.own_entry());
+}
+
+TEST(PlausibleClockTest, MergeMaxMin) {
+  const PlausibleTimestamp a({2, 4}, SiteId{0});
+  const PlausibleTimestamp b({3, 2}, SiteId{1});
+  EXPECT_EQ(PlausibleTimestamp::merge_max(a, b).entries(),
+            (std::vector<std::uint64_t>{3, 4}));
+  EXPECT_EQ(PlausibleTimestamp::merge_min(a, b).entries(),
+            (std::vector<std::uint64_t>{2, 2}));
+}
+
+TEST(PlausibleClockTest, EqualVectorsDifferentSitesAreConcurrent) {
+  const PlausibleTimestamp a({1, 1}, SiteId{0});
+  const PlausibleTimestamp b({1, 1}, SiteId{1});
+  EXPECT_EQ(a.compare(b), Ordering::kConcurrent);
+  EXPECT_EQ(a.compare(a), Ordering::kEqual);
+}
+
+// --- xi maps ---------------------------------------------------------------
+
+TEST(XiMapTest, PaperFigure7Values) {
+  const NormXiMap norm;
+  // xi(<3,4>) = 5, xi(<3,2>) ~ 3.61, xi(<2,4>) ~ 4.47 (Figure 7).
+  EXPECT_DOUBLE_EQ(norm(vt({3, 4})), 5.0);
+  EXPECT_NEAR(norm(vt({3, 2})), 3.61, 0.005);
+  EXPECT_NEAR(norm(vt({2, 4})), 4.47, 0.005);
+}
+
+TEST(XiMapTest, SumCountsGlobalEvents) {
+  const SumXiMap sum;
+  // "if the current logical time of a site is <35,4,0,72> then this site is
+  // aware of 111 global events" (Section 5.4).
+  EXPECT_DOUBLE_EQ(sum(vt({35, 4, 0, 72})), 111.0);
+  EXPECT_DOUBLE_EQ(sum(vt({2, 1, 0, 18})), 21.0);
+}
+
+TEST(XiMapTest, WeightedSumMonotone) {
+  const WeightedSumXiMap w({1.0, 2.0, 0.5});
+  EXPECT_LT(w(vt({1, 1, 1})), w(vt({1, 2, 1})));
+}
+
+class XiDefinition5Property : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(XiDefinition5Property, AllMapsRespectDefinition5) {
+  DualComputation dual;
+  dual.run(/*sites=*/4, /*entries=*/4, /*events=*/80, GetParam());
+  const SumXiMap sum;
+  const NormXiMap norm;
+  const WeightedSumXiMap weighted({1.0, 0.5, 2.0, 1.5});
+  for (std::size_t i = 0; i < dual.truth.size(); ++i) {
+    for (std::size_t j = 0; j < dual.truth.size(); ++j) {
+      EXPECT_TRUE(xi_respects_definition5(sum, dual.truth[i], dual.truth[j]));
+      EXPECT_TRUE(xi_respects_definition5(norm, dual.truth[i], dual.truth[j]));
+      EXPECT_TRUE(
+          xi_respects_definition5(weighted, dual.truth[i], dual.truth[j]));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XiDefinition5Property,
+                         ::testing::Values(11, 22, 33, 44));
+
+// --- physical clocks -------------------------------------------------------
+
+TEST(PhysicalClockTest, PerfectClockIsIdentity) {
+  PerfectClock c;
+  EXPECT_EQ(c.read(SimTime::micros(1234)), SimTime::micros(1234));
+  EXPECT_EQ(c.max_offset(), SimTime::zero());
+}
+
+TEST(PhysicalClockTest, DriftingClockDrifts) {
+  DriftingClock c(SimTime::micros(10), /*drift_ppm=*/100.0);
+  // At t = 1s: offset 10us + drift 100us.
+  EXPECT_EQ(c.read(SimTime::seconds(1)), SimTime::micros(1000110));
+}
+
+TEST(PhysicalClockTest, SyncedClockStaysWithinEpsHalf) {
+  const SimTime eps = SimTime::micros(200);
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    SyncedClock c(eps, SimTime::millis(10), /*drift_ppm=*/50.0, seed);
+    for (std::int64_t t = 0; t < 2000000; t += 1234) {
+      const SimTime true_t = SimTime::micros(t);
+      const SimTime shown = c.read(true_t);
+      const std::int64_t off = (shown - true_t).as_micros();
+      EXPECT_LE(std::abs(off), eps.as_micros() / 2)
+          << "seed " << seed << " t " << t;
+    }
+  }
+}
+
+TEST(PhysicalClockTest, TwoSyncedClocksWithinEps) {
+  const SimTime eps = SimTime::micros(300);
+  SyncedClock a(eps, SimTime::millis(5), 20.0, 1);
+  SyncedClock b(eps, SimTime::millis(5), 20.0, 2);
+  for (std::int64_t t = 0; t < 1000000; t += 777) {
+    const std::int64_t diff =
+        (a.read(SimTime::micros(t)) - b.read(SimTime::micros(t))).as_micros();
+    EXPECT_LE(std::abs(diff), eps.as_micros());
+  }
+}
+
+TEST(PhysicalClockTest, DefinitelyBefore) {
+  const SimTime eps = SimTime::micros(10);
+  EXPECT_TRUE(definitely_before(SimTime::micros(0), SimTime::micros(11), eps));
+  EXPECT_FALSE(definitely_before(SimTime::micros(0), SimTime::micros(10), eps));
+  EXPECT_FALSE(definitely_before(SimTime::micros(0), SimTime::micros(5), eps));
+}
+
+}  // namespace
+}  // namespace timedc

@@ -1,0 +1,161 @@
+// Unit tests for the common substrate: SimTime arithmetic (notably the
+// infinity used for Delta = inf), RNG determinism and distribution shape.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/sim_time.hpp"
+#include "common/types.hpp"
+
+namespace timedc {
+namespace {
+
+TEST(SimTimeTest, BasicArithmetic) {
+  const SimTime a = SimTime::micros(100);
+  const SimTime b = SimTime::micros(40);
+  EXPECT_EQ((a + b).as_micros(), 140);
+  EXPECT_EQ((a - b).as_micros(), 60);
+  EXPECT_EQ((a * 3).as_micros(), 300);
+  EXPECT_EQ((a / 4).as_micros(), 25);
+  EXPECT_LT(b, a);
+  EXPECT_EQ(min(a, b), b);
+  EXPECT_EQ(max(a, b), a);
+}
+
+TEST(SimTimeTest, UnitConstructors) {
+  EXPECT_EQ(SimTime::millis(3).as_micros(), 3000);
+  EXPECT_EQ(SimTime::seconds(2).as_micros(), 2000000);
+  EXPECT_DOUBLE_EQ(SimTime::seconds(1).as_seconds(), 1.0);
+}
+
+TEST(SimTimeTest, InfinityAbsorbs) {
+  const SimTime inf = SimTime::infinity();
+  const SimTime a = SimTime::micros(5);
+  EXPECT_TRUE(inf.is_infinite());
+  EXPECT_TRUE((inf + a).is_infinite());
+  EXPECT_TRUE((a + inf).is_infinite());
+  EXPECT_TRUE((inf - a).is_infinite());
+  EXPECT_TRUE((inf * 7).is_infinite());
+  EXPECT_LT(a, inf);
+}
+
+TEST(SimTimeTest, FiniteMinusInfinitySaturatesLow) {
+  // Used by the timed checks as "no lower bound": T(r) - Delta with
+  // Delta = infinity must be below every finite timestamp.
+  const SimTime low = SimTime::micros(42) - SimTime::infinity();
+  EXPECT_LT(low, SimTime::micros(-1000000));
+}
+
+TEST(SimTimeTest, ComparisonWithNegatives) {
+  EXPECT_LT(SimTime::micros(-5), SimTime::zero());
+  EXPECT_EQ((SimTime::micros(-5) + SimTime::micros(5)), SimTime::zero());
+}
+
+TEST(StrongTypesTest, ToStringMatchesPaperNotation) {
+  EXPECT_EQ(to_string(ObjectId{0}), "A");
+  EXPECT_EQ(to_string(ObjectId{2}), "C");
+  EXPECT_EQ(to_string(ObjectId{23}), "X");
+  EXPECT_EQ(to_string(ObjectId{99}), "obj99");
+  EXPECT_EQ(to_string(SiteId{3}), "site3");
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(12345), b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniform_int(-3, 9);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, UniformIntCoversEndpoints) {
+  Rng rng(8);
+  bool lo = false, hi = false;
+  for (int i = 0; i < 2000 && !(lo && hi); ++i) {
+    const std::int64_t v = rng.uniform_int(0, 3);
+    lo |= (v == 0);
+    hi |= (v == 3);
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(hi);
+}
+
+TEST(RngTest, Uniform01Bounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(10);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, ExponentialMeanRoughlyCorrect) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(50.0);
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 50.0, 2.5);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng a(42);
+  Rng b = a.split();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(ZipfTest, RankOneIsMostPopular) {
+  Rng rng(13);
+  ZipfDistribution zipf(100, 1.0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) counts[zipf.sample(rng)]++;
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], counts[99]);
+  // Harmonic shape: rank 0 should take roughly 1/H(100) ~ 19% of mass.
+  EXPECT_NEAR(static_cast<double>(counts[0]) / 20000.0, 0.19, 0.04);
+}
+
+TEST(ZipfTest, NearZeroExponentIsAlmostUniform) {
+  Rng rng(14);
+  ZipfDistribution zipf(10, 1e-9);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) counts[zipf.sample(rng)]++;
+  for (int c : counts) EXPECT_NEAR(c, 2000, 300);
+}
+
+TEST(ZipfTest, SamplesInRange) {
+  Rng rng(15);
+  ZipfDistribution zipf(5, 1.2);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(zipf.sample(rng), 5u);
+}
+
+}  // namespace
+}  // namespace timedc

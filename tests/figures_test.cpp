@@ -1,0 +1,168 @@
+// End-to-end verification of every claim the paper makes about its figures:
+//   Figure 1: SC and CC hold, LIN does not; timed up to the second read only.
+//   Figure 5: SC with the exact serialization 5b; TSC binds at Delta = 96
+//             with a secondary threshold at 27; not LIN.
+//   Figure 6: CC but not SC; TCC violated at Delta = 30 by r4(C)0@155.
+#include <gtest/gtest.h>
+
+#include "core/checkers.hpp"
+#include "core/paper_figures.hpp"
+#include "core/render.hpp"
+#include "core/serialization.hpp"
+
+namespace timedc {
+namespace {
+
+SimTime us(std::int64_t n) { return SimTime::micros(n); }
+
+TEST(Figure1Test, SatisfiesScAndCcButNotLin) {
+  const History h = figure1();
+  EXPECT_TRUE(check_sc(h).ok());
+  EXPECT_TRUE(check_cc(h).ok());
+  EXPECT_FALSE(check_lin(h).ok());
+}
+
+TEST(Figure1Test, TimedUpToSecondOperationOfReader) {
+  const History h = figure1();
+  // Prefix through the first read (ops 0..2) is on time at the figure's
+  // Delta; the full execution is not.
+  HistoryBuilder prefix(2);
+  prefix.write(SiteId{1}, ObjectId{23}, Value{1}, us(50));
+  prefix.write(SiteId{0}, ObjectId{23}, Value{7}, us(100));
+  prefix.read(SiteId{1}, ObjectId{23}, Value{1}, us(150));
+  EXPECT_TRUE(
+      reads_on_time(prefix.build(), TimedSpecPerfect{kFigure1Delta}).all_on_time);
+  const auto full = reads_on_time(h, TimedSpecPerfect{kFigure1Delta});
+  EXPECT_FALSE(full.all_on_time);
+  // The three late reads are the ones at 250, 350, 450.
+  EXPECT_EQ(full.late_reads.size(), 3u);
+}
+
+TEST(Figure1Test, NotTscNotTccAtFigureDelta) {
+  const History h = figure1();
+  const TimedSpecEpsilon spec{kFigure1Delta, SimTime::zero()};
+  EXPECT_FALSE(check_tsc(h, spec).ok());
+  EXPECT_FALSE(check_tcc(h, spec).ok());
+}
+
+TEST(Figure5Test, SerializationFromPaperIsValid) {
+  const History h = figure5a();
+  const auto s5b = figure5b_serialization();
+  EXPECT_TRUE(is_permutation_of_history(h, s5b));
+  EXPECT_TRUE(is_legal_serialization(h, s5b));
+  EXPECT_TRUE(respects_program_order(h, s5b));
+  // The serialization does NOT respect real time (the paper's point about
+  // w0(C)6 / w2(B)5 and r4(C)6 / w2(C)7 being reversed).
+  EXPECT_FALSE(respects_effective_time(h, s5b));
+}
+
+TEST(Figure5Test, IsScAndCcButNotLin) {
+  const History h = figure5a();
+  EXPECT_TRUE(check_sc(h).ok());
+  EXPECT_TRUE(check_cc(h).ok());
+  EXPECT_FALSE(check_lin(h).ok());
+}
+
+TEST(Figure5Test, TscThresholds) {
+  const History h = figure5a();
+  // "If Delta = 50 this execution does not satisfy TSC" (r4(C)6@436 misses
+  // w2(C)7@340).
+  EXPECT_FALSE(check_tsc(h, TimedSpecEpsilon{us(50), SimTime::zero()}).ok());
+  // "For Delta > 96 this execution satisfies TSC."
+  EXPECT_TRUE(check_tsc(h, TimedSpecEpsilon{us(97), SimTime::zero()}).ok());
+  EXPECT_EQ(min_timed_delta(h), kFigure5PrimaryThreshold);
+  // "If Delta < 27 then this execution does not satisfy TSC" (r3(B)2@301
+  // misses w2(B)5@274).
+  EXPECT_FALSE(check_tsc(h, TimedSpecEpsilon{us(26), SimTime::zero()}).ok());
+  const auto gaps = staleness_gaps(h);
+  ASSERT_GE(gaps.size(), 2u);
+  EXPECT_EQ(gaps[0], kFigure5PrimaryThreshold);
+  EXPECT_EQ(gaps[1], kFigure5SecondaryThreshold);
+}
+
+TEST(Figure5Test, TscViolationNamesTheRightOperations) {
+  const History h = figure5a();
+  const auto result = reads_on_time(h, TimedSpecPerfect{us(50)});
+  ASSERT_FALSE(result.all_on_time);
+  ASSERT_EQ(result.late_reads.size(), 1u);
+  EXPECT_EQ(h.op(result.late_reads[0].read).to_string(), "r4(C)6@436");
+  ASSERT_EQ(result.late_reads[0].w_r.size(), 1u);
+  EXPECT_EQ(h.op(result.late_reads[0].w_r[0]).to_string(), "w2(C)7@340");
+}
+
+TEST(Figure6Test, IsCcButNotSc) {
+  const History h = figure6a();
+  EXPECT_FALSE(check_sc(h).ok());
+  const auto cc = check_cc(h);
+  ASSERT_TRUE(cc.ok());
+  // Each per-site serialization is legal and causal-order-respecting
+  // (causality subsumes each site's program order).
+  for (const auto& s : cc.per_site_witness) {
+    EXPECT_TRUE(is_legal_serialization(h, s));
+    EXPECT_TRUE(respects_program_order(h, s));
+  }
+}
+
+TEST(Figure6Test, TccViolatedAtDelta30ByR4) {
+  const History h = figure6a();
+  const auto result =
+      reads_on_time(h, TimedSpecPerfect{kFigure6TccViolationDelta});
+  ASSERT_FALSE(result.all_on_time);
+  bool found = false;
+  for (const LateRead& lr : result.late_reads) {
+    if (h.op(lr.read).to_string() == "r4(C)0@155") {
+      found = true;
+      ASSERT_EQ(lr.w_r.size(), 1u);
+      EXPECT_EQ(h.op(lr.w_r[0]).to_string(), "w2(C)3@100");
+    }
+  }
+  EXPECT_TRUE(found) << render_timed_result(h, result);
+  EXPECT_FALSE(check_tcc(h, TimedSpecEpsilon{kFigure6TccViolationDelta,
+                                             SimTime::zero()})
+                   .ok());
+}
+
+TEST(Figure6Test, TccHoldsAtLargeDeltaButTscNever) {
+  const History h = figure6a();
+  const SimTime dmin = min_timed_delta(h);
+  const TimedSpecEpsilon spec{dmin, SimTime::zero()};
+  EXPECT_TRUE(check_tcc(h, spec).ok());
+  // Not SC, hence not TSC at any Delta — even infinity.
+  EXPECT_FALSE(
+      check_tsc(h, TimedSpecEpsilon{SimTime::infinity(), SimTime::zero()}).ok());
+}
+
+TEST(Figure6Test, R4GapIs55) {
+  const History h = figure6a();
+  // r4(C)0@155 ignoring w2(C)3@100: on time again once Delta >= 55.
+  const auto at54 = reads_on_time(h, TimedSpecPerfect{us(54)});
+  bool r4_late_at_54 = false;
+  for (const auto& lr : at54.late_reads) {
+    if (h.op(lr.read).to_string() == "r4(C)0@155") r4_late_at_54 = true;
+  }
+  EXPECT_TRUE(r4_late_at_54);
+  const auto at55 = reads_on_time(h, TimedSpecPerfect{us(55)});
+  for (const auto& lr : at55.late_reads) {
+    EXPECT_NE(h.op(lr.read).to_string(), "r4(C)0@155");
+  }
+}
+
+TEST(RenderTest, TimelineMentionsEverySite) {
+  const std::string art = render_timeline(figure5a());
+  for (int s = 0; s < 5; ++s) {
+    EXPECT_NE(art.find("site" + std::to_string(s)), std::string::npos);
+  }
+}
+
+TEST(RenderTest, TimedResultRendering) {
+  const History h = figure1();
+  const auto result = reads_on_time(h, TimedSpecPerfect{kFigure1Delta});
+  const std::string text = render_timed_result(h, result);
+  EXPECT_NE(text.find("is late"), std::string::npos);
+  EXPECT_NE(text.find("W_r"), std::string::npos);
+  TimedCheckResult ok;
+  EXPECT_EQ(render_timed_result(h, ok), "all reads on time\n");
+}
+
+}  // namespace
+}  // namespace timedc

@@ -1,0 +1,216 @@
+// Tests for histories, serialization legality and the causal order.
+#include <gtest/gtest.h>
+
+#include "core/causal.hpp"
+#include "core/history.hpp"
+#include "core/history_gen.hpp"
+#include "core/serialization.hpp"
+
+namespace timedc {
+namespace {
+
+constexpr SiteId kS0{0}, kS1{1};
+constexpr ObjectId kX{23}, kY{24};
+SimTime us(std::int64_t n) { return SimTime::micros(n); }
+
+History tiny() {
+  HistoryBuilder b(2);
+  b.write(kS0, kX, Value{1}, us(10));   // op 0
+  b.read(kS1, kX, Value{1}, us(20));    // op 1
+  b.write(kS1, kY, Value{2}, us(30));   // op 2
+  b.read(kS0, kY, Value{2}, us(40));    // op 3
+  return b.build();
+}
+
+TEST(HistoryTest, BuilderBasics) {
+  const History h = tiny();
+  EXPECT_EQ(h.size(), 4u);
+  EXPECT_EQ(h.num_sites(), 2u);
+  EXPECT_EQ(h.site_ops(kS0).size(), 2u);
+  EXPECT_EQ(h.site_ops(kS1).size(), 2u);
+  EXPECT_FALSE(h.has_thin_air_read());
+  EXPECT_EQ(h.op(OpIndex{0}).to_string(), "w0(X)1@10");
+  EXPECT_EQ(h.op(OpIndex{1}).to_string(), "r1(X)1@20");
+}
+
+TEST(HistoryTest, ForcedSource) {
+  const History h = tiny();
+  EXPECT_EQ(h.forced_source(OpIndex{1}), OpIndex{0});
+  EXPECT_EQ(h.forced_source(OpIndex{3}), OpIndex{2});
+}
+
+TEST(HistoryTest, InitialValueReadHasNoSource) {
+  HistoryBuilder b(1);
+  b.read(kS0, kX, kInitialValue, us(5));
+  const History h = b.build();
+  EXPECT_EQ(h.forced_source(OpIndex{0}), std::nullopt);
+  EXPECT_FALSE(h.has_thin_air_read());
+}
+
+TEST(HistoryTest, ThinAirReadDetected) {
+  HistoryBuilder b(1);
+  b.read(kS0, kX, Value{99}, us(5));
+  const History h = b.build();
+  EXPECT_TRUE(h.has_thin_air_read());
+}
+
+TEST(HistoryTest, WritesToObject) {
+  const History h = tiny();
+  EXPECT_EQ(h.writes_to(kX).size(), 1u);
+  EXPECT_EQ(h.writes_to(kY).size(), 1u);
+  EXPECT_EQ(h.writes_to(ObjectId{5}).size(), 0u);
+  EXPECT_EQ(h.all_writes().size(), 2u);
+}
+
+TEST(SerializationTest, LegalityAcceptsHistoryOrder) {
+  const History h = tiny();
+  const std::vector<OpIndex> order{OpIndex{0}, OpIndex{1}, OpIndex{2}, OpIndex{3}};
+  EXPECT_TRUE(is_legal_serialization(h, order));
+  EXPECT_TRUE(respects_program_order(h, order));
+  EXPECT_TRUE(respects_effective_time(h, order));
+  EXPECT_TRUE(is_permutation_of_history(h, order));
+}
+
+TEST(SerializationTest, LegalityRejectsStaleRead) {
+  const History h = tiny();
+  // Read of X before its write.
+  const std::vector<OpIndex> order{OpIndex{1}, OpIndex{0}, OpIndex{2}, OpIndex{3}};
+  EXPECT_FALSE(is_legal_serialization(h, order));
+}
+
+TEST(SerializationTest, ProgramOrderViolationDetected) {
+  const History h = tiny();
+  // Site 0's ops are 0 then 3; swapping them breaks program order.
+  const std::vector<OpIndex> order{OpIndex{2}, OpIndex{3}, OpIndex{0}, OpIndex{1}};
+  EXPECT_FALSE(respects_program_order(h, order));
+}
+
+TEST(SerializationTest, ReadOfInitialValueLegalOnlyBeforeWrites) {
+  HistoryBuilder b(2);
+  b.write(kS0, kX, Value{1}, us(10));  // op 0
+  b.read(kS1, kX, Value{0}, us(20));   // op 1 reads initial value
+  const History h = b.build();
+  EXPECT_TRUE(is_legal_serialization(
+      h, std::vector<OpIndex>{OpIndex{1}, OpIndex{0}}));
+  EXPECT_FALSE(is_legal_serialization(
+      h, std::vector<OpIndex>{OpIndex{0}, OpIndex{1}}));
+}
+
+TEST(SerializationTest, PermutationValidation) {
+  const History h = tiny();
+  EXPECT_FALSE(is_permutation_of_history(
+      h, std::vector<OpIndex>{OpIndex{0}, OpIndex{1}, OpIndex{2}}));
+  EXPECT_FALSE(is_permutation_of_history(
+      h, std::vector<OpIndex>{OpIndex{0}, OpIndex{0}, OpIndex{2}, OpIndex{3}}));
+}
+
+TEST(CausalOrderTest, ProgramAndReadsFromEdges) {
+  const History h = tiny();
+  const CausalOrder co = CausalOrder::build(h);
+  EXPECT_FALSE(co.cyclic());
+  // w0(X)1 -> r1(X)1 (reads-from), r1 -> w1(Y)2 (program),
+  // w1(Y)2 -> r0(Y)2 (reads-from), and transitively w0 -> r0.
+  EXPECT_TRUE(co.precedes(OpIndex{0}, OpIndex{1}));
+  EXPECT_TRUE(co.precedes(OpIndex{1}, OpIndex{2}));
+  EXPECT_TRUE(co.precedes(OpIndex{2}, OpIndex{3}));
+  EXPECT_TRUE(co.precedes(OpIndex{0}, OpIndex{3}));
+  EXPECT_FALSE(co.precedes(OpIndex{3}, OpIndex{0}));
+}
+
+TEST(CausalOrderTest, ConcurrentOps) {
+  HistoryBuilder b(2);
+  b.write(kS0, kX, Value{1}, us(10));  // op 0
+  b.write(kS1, kY, Value{2}, us(10));  // op 1: no interaction
+  const History h = b.build();
+  const CausalOrder co = CausalOrder::build(h);
+  EXPECT_TRUE(co.concurrent(OpIndex{0}, OpIndex{1}));
+}
+
+TEST(CausalOrderTest, CyclicWhenReadingOwnFutureWrite) {
+  // Site 0 reads X=1 before anyone writes it; site 1 writes X=1 after
+  // reading site 0's Y. The reads-from edge points backward in site 0's
+  // program order via site 1, creating a causal cycle.
+  HistoryBuilder b(2);
+  b.read(kS0, kX, Value{1}, us(10));    // op 0 reads X=1 (written later!)
+  b.write(kS0, kY, Value{2}, us(20));   // op 1
+  b.read(kS1, kY, Value{2}, us(30));    // op 2
+  b.write(kS1, kX, Value{1}, us(40));   // op 3
+  const History h = b.build();
+  const CausalOrder co = CausalOrder::build(h);
+  EXPECT_TRUE(co.cyclic());
+  EXPECT_FALSE(passes_cc_fast_checks(h, co));
+}
+
+TEST(CausalOrderTest, HiddenWriteDetected) {
+  // w(X)1 -> w(X)2 (same site), then a read of X=1 causally after both.
+  HistoryBuilder b(2);
+  b.write(kS0, kX, Value{1}, us(10));  // op 0
+  b.write(kS0, kX, Value{2}, us(20));  // op 1
+  b.read(kS1, kX, Value{2}, us(30));   // op 2: pulls w(X)2 into site 1's past
+  b.read(kS1, kX, Value{1}, us(40));   // op 3: stale read of hidden write
+  const History h = b.build();
+  const CausalOrder co = CausalOrder::build(h);
+  EXPECT_FALSE(co.cyclic());
+  EXPECT_TRUE(has_causally_hidden_write(h, co));
+  EXPECT_FALSE(passes_cc_fast_checks(h, co));
+}
+
+TEST(CausalOrderTest, InitReadAfterCausalWriteRejected) {
+  HistoryBuilder b(1);
+  b.write(kS0, kX, Value{1}, us(10));
+  b.read(kS0, kX, Value{0}, us(20));  // reads initial 0 after own write
+  const History h = b.build();
+  const CausalOrder co = CausalOrder::build(h);
+  EXPECT_FALSE(passes_cc_fast_checks(h, co));
+}
+
+TEST(HistoryGenTest, RandomHistoryIsWellFormed) {
+  Rng rng(99);
+  RandomHistoryParams p;
+  p.num_ops = 30;
+  const History h = random_history(p, rng);
+  EXPECT_EQ(h.size(), 30u);
+  // Program order times strictly increase (builder invariant held).
+  for (std::uint32_t s = 0; s < h.num_sites(); ++s) {
+    const auto& ops = h.site_ops(SiteId{s});
+    for (std::size_t k = 1; k < ops.size(); ++k) {
+      EXPECT_LT(h.op(ops[k - 1]).time, h.op(ops[k]).time);
+    }
+  }
+}
+
+TEST(HistoryGenTest, ReplicaHistoryReadsArePerSiteCoherent) {
+  // A replica serves monotonically: once it applies a write it never shows
+  // an older value for that object... unless a slower write arrives later.
+  // We only check well-formedness and no thin-air reads here; the consistency
+  // properties are exercised in checkers_test.cpp.
+  Rng rng(7);
+  ReplicaHistoryParams p;
+  p.num_ops = 40;
+  const History h = replica_history(p, rng);
+  EXPECT_EQ(h.size(), 40u);
+  EXPECT_FALSE(h.has_thin_air_read());
+}
+
+TEST(HistoryGenTest, AnnotateLogicalTimesRespectsCausality) {
+  Rng rng(21);
+  ReplicaHistoryParams p;
+  p.num_ops = 25;
+  const History h = annotate_logical_times(replica_history(p, rng));
+  ASSERT_TRUE(h.has_logical_times());
+  ASSERT_EQ(h.logical_times().size(), h.size());
+  const CausalOrder co = CausalOrder::build(h);
+  if (!co.cyclic()) {
+    for (std::uint32_t i = 0; i < h.size(); ++i) {
+      for (std::uint32_t j = 0; j < h.size(); ++j) {
+        if (co.precedes(OpIndex{i}, OpIndex{j})) {
+          EXPECT_NE(h.logical_times()[i].compare(h.logical_times()[j]),
+                    Ordering::kAfter);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace timedc

@@ -1,0 +1,78 @@
+// The strongest protocol <-> model integration: short recorded runs of the
+// lifetime protocols are fed to the EXACT checkers.
+//   * TimedSerialCache runs must be sequentially consistent ([39]'s theorem
+//     that the lifetime rules induce SC) and, at Delta + messaging slack,
+//     fully TSC;
+//   * TimedCausalCache runs (sound eviction rule) must be causally
+//     consistent by the exhaustive per-site search, and fully TCC at
+//     Delta + slack.
+#include <gtest/gtest.h>
+
+#include "core/checkers.hpp"
+#include "protocol/experiment.hpp"
+
+namespace timedc {
+namespace {
+
+SimTime us(std::int64_t n) { return SimTime::micros(n); }
+SimTime ms(std::int64_t n) { return SimTime::millis(n); }
+
+ExperimentConfig tiny(ProtocolKind kind, std::uint64_t seed) {
+  ExperimentConfig config;
+  config.kind = kind;
+  config.delta = ms(3);
+  config.workload.num_clients = 3;
+  config.workload.num_objects = 3;
+  config.workload.write_ratio = 0.35;
+  config.workload.mean_think_time = ms(5);
+  config.workload.horizon = ms(45);
+  config.min_latency = us(100);
+  config.max_latency = us(600);
+  config.seed = seed;
+  return config;
+}
+
+SearchLimits generous() {
+  SearchLimits limits;
+  limits.max_nodes = 8'000'000;
+  return limits;
+}
+
+class SerialProtocolModel : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SerialProtocolModel, RecordedRunIsExactlyTsc) {
+  const auto config = tiny(ProtocolKind::kTimedSerial, GetParam());
+  const auto r = run_experiment(config);
+  ASSERT_GE(r.history.size(), 10u);
+  const SimTime slack = config.max_latency * 4;
+  const auto tsc = check_tsc(
+      r.history, TimedSpecEpsilon{config.delta + slack, SimTime::zero()},
+      generous());
+  EXPECT_TRUE(tsc.timing.all_on_time);
+  EXPECT_EQ(tsc.sc.verdict, Verdict::kYes)
+      << "lifetime rules must induce SC ([39])";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerialProtocolModel,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+class CausalProtocolModel : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CausalProtocolModel, RecordedRunIsExactlyTcc) {
+  const auto config = tiny(ProtocolKind::kTimedCausal, GetParam());
+  const auto r = run_experiment(config);
+  ASSERT_GE(r.history.size(), 10u);
+  const SimTime slack = config.max_latency * 4;
+  const auto tcc = check_tcc(
+      r.history, TimedSpecEpsilon{config.delta + slack, SimTime::zero()},
+      generous());
+  EXPECT_TRUE(tcc.timing.all_on_time);
+  EXPECT_EQ(tcc.cc.verdict, Verdict::kYes)
+      << "causal lifetime rules (sound eviction) must induce CC";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CausalProtocolModel,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace timedc

@@ -1,0 +1,227 @@
+// Tests for the discrete-event simulator, the network model and the
+// workload generator.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+#include "sim/workload.hpp"
+
+namespace timedc {
+namespace {
+
+SimTime us(std::int64_t n) { return SimTime::micros(n); }
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> fired;
+  sim.schedule_at(us(30), [&] { fired.push_back(3); });
+  sim.schedule_at(us(10), [&] { fired.push_back(1); });
+  sim.schedule_at(us(20), [&] { fired.push_back(2); });
+  EXPECT_EQ(sim.run_until(), 3u);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), us(30));
+}
+
+TEST(SimulatorTest, EqualTimesFireInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> fired;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_at(us(7), [&fired, i] { fired.push_back(i); });
+  }
+  sim.run_until();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, NestedScheduling) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> ping = [&] {
+    ++count;
+    if (count < 10) sim.schedule_after(us(5), ping);
+  };
+  sim.schedule_at(us(0), ping);
+  sim.run_until();
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(sim.now(), us(45));
+}
+
+TEST(SimulatorTest, HorizonStopsAndAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(us(10), [&] { ++fired; });
+  sim.schedule_at(us(100), [&] { ++fired; });
+  EXPECT_EQ(sim.run_until(us(50)), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), us(50));
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run_until();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, StepExecutesOne) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(us(1), [&] { ++fired; });
+  sim.schedule_at(us(2), [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+struct IntPayload {
+  int value;
+};
+
+TEST(NetworkTest, DeliversWithFixedLatency) {
+  Simulator sim;
+  Network net(sim, 2, std::make_unique<FixedLatency>(us(15)), {}, Rng(1));
+  SimTime delivered_at = SimTime::zero();
+  int got = 0;
+  net.set_handler(SiteId{1}, [&](SiteId from, const std::shared_ptr<void>& p) {
+    EXPECT_EQ(from, SiteId{0});
+    got = std::static_pointer_cast<IntPayload>(p)->value;
+    delivered_at = sim.now();
+  });
+  net.send(SiteId{0}, SiteId{1}, std::make_shared<IntPayload>(IntPayload{42}), 100);
+  sim.run_until();
+  EXPECT_EQ(got, 42);
+  EXPECT_EQ(delivered_at, us(15));
+  EXPECT_EQ(net.stats().messages_sent, 1u);
+  EXPECT_EQ(net.stats().messages_delivered, 1u);
+  EXPECT_EQ(net.stats().bytes_sent, 100u);
+}
+
+TEST(NetworkTest, DropProbabilityOneDropsAll) {
+  Simulator sim;
+  NetworkConfig config;
+  config.drop_probability = 1.0;
+  Network net(sim, 2, std::make_unique<FixedLatency>(us(1)), config, Rng(2));
+  net.set_handler(SiteId{1}, [&](SiteId, const std::shared_ptr<void>&) {
+    FAIL() << "dropped message was delivered";
+  });
+  for (int i = 0; i < 10; ++i) {
+    net.send(SiteId{0}, SiteId{1}, std::make_shared<IntPayload>(IntPayload{i}), 1);
+  }
+  sim.run_until();
+  EXPECT_EQ(net.stats().messages_dropped, 10u);
+  EXPECT_EQ(net.stats().messages_delivered, 0u);
+}
+
+TEST(NetworkTest, FifoLinksPreserveSendOrder) {
+  Simulator sim;
+  NetworkConfig config;
+  config.fifo_links = true;
+  Network net(sim, 2, std::make_unique<UniformLatency>(us(1), us(100)), config,
+              Rng(3));
+  std::vector<int> received;
+  net.set_handler(SiteId{1}, [&](SiteId, const std::shared_ptr<void>& p) {
+    received.push_back(std::static_pointer_cast<IntPayload>(p)->value);
+  });
+  for (int i = 0; i < 20; ++i) {
+    net.send(SiteId{0}, SiteId{1}, std::make_shared<IntPayload>(IntPayload{i}), 1);
+  }
+  sim.run_until();
+  ASSERT_EQ(received.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(received[i], i);
+}
+
+TEST(NetworkTest, NonFifoCanReorder) {
+  Simulator sim;
+  NetworkConfig config;
+  config.fifo_links = false;
+  Network net(sim, 2, std::make_unique<UniformLatency>(us(1), us(1000)), config,
+              Rng(4));
+  std::vector<int> received;
+  net.set_handler(SiteId{1}, [&](SiteId, const std::shared_ptr<void>& p) {
+    received.push_back(std::static_pointer_cast<IntPayload>(p)->value);
+  });
+  for (int i = 0; i < 50; ++i) {
+    net.send(SiteId{0}, SiteId{1}, std::make_shared<IntPayload>(IntPayload{i}), 1);
+  }
+  sim.run_until();
+  ASSERT_EQ(received.size(), 50u);
+  EXPECT_FALSE(std::is_sorted(received.begin(), received.end()));
+}
+
+TEST(LatencyModelTest, UniformStaysInBounds) {
+  Rng rng(5);
+  UniformLatency m(us(10), us(20));
+  for (int i = 0; i < 200; ++i) {
+    const SimTime t = m.sample(SiteId{0}, SiteId{1}, rng);
+    EXPECT_GE(t, us(10));
+    EXPECT_LE(t, us(20));
+  }
+  EXPECT_EQ(m.upper_bound(), us(20));
+}
+
+TEST(LatencyModelTest, ExponentialRespectsFloorAndCap) {
+  Rng rng(6);
+  ExponentialLatency m(us(5), us(30), us(100));
+  for (int i = 0; i < 500; ++i) {
+    const SimTime t = m.sample(SiteId{0}, SiteId{1}, rng);
+    EXPECT_GE(t, us(5));
+    EXPECT_LE(t, us(100));
+  }
+}
+
+TEST(WorkloadTest, DeterministicAndSorted) {
+  WorkloadParams p;
+  p.horizon = SimTime::millis(200);
+  Rng rng1(7), rng2(7);
+  const auto a = generate_workload(p, rng1);
+  const auto b = generate_workload(p, rng2);
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_FALSE(a.empty());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].at, b[i].at);
+    EXPECT_EQ(a[i].client, b[i].client);
+    EXPECT_EQ(a[i].object, b[i].object);
+    EXPECT_EQ(a[i].is_write, b[i].is_write);
+  }
+  for (std::size_t i = 1; i < a.size(); ++i) EXPECT_LE(a[i - 1].at, a[i].at);
+}
+
+TEST(WorkloadTest, WriteRatioRoughlyRespected) {
+  WorkloadParams p;
+  p.write_ratio = 0.3;
+  p.horizon = SimTime::seconds(5);
+  p.mean_think_time = SimTime::micros(500);
+  Rng rng(8);
+  const auto ops = generate_workload(p, rng);
+  ASSERT_GT(ops.size(), 1000u);
+  std::size_t writes = 0;
+  for (const auto& op : ops) writes += op.is_write ? 1 : 0;
+  const double ratio = static_cast<double>(writes) / ops.size();
+  EXPECT_NEAR(ratio, 0.3, 0.05);
+}
+
+TEST(WorkloadTest, ZipfSkewsTowardLowObjectIds) {
+  WorkloadParams p;
+  p.zipf_exponent = 1.2;
+  p.num_objects = 50;
+  p.horizon = SimTime::seconds(5);
+  p.mean_think_time = SimTime::micros(500);
+  Rng rng(9);
+  const auto ops = generate_workload(p, rng);
+  std::vector<int> counts(50, 0);
+  for (const auto& op : ops) counts[op.object.value]++;
+  EXPECT_GT(counts[0], counts[25]);
+}
+
+TEST(WorkloadTest, PerClientTimesStrictlyIncrease) {
+  WorkloadParams p;
+  Rng rng(10);
+  const auto ops = generate_workload(p, rng);
+  std::vector<SimTime> last(p.num_clients, SimTime::micros(-1));
+  for (const auto& op : ops) {
+    EXPECT_GT(op.at, last[op.client.value]);
+    last[op.client.value] = op.at;
+  }
+}
+
+}  // namespace
+}  // namespace timedc

@@ -1,0 +1,175 @@
+// Tests for the reading-on-time machinery: Definitions 1 (perfect clocks),
+// 2 (eps-synchronized clocks) and 6 (logical clocks through a xi map),
+// exercised on the scenarios of Figures 2 and 3 plus edge cases.
+#include <gtest/gtest.h>
+
+#include "core/history_gen.hpp"
+#include "core/paper_figures.hpp"
+#include "core/timed.hpp"
+
+namespace timedc {
+namespace {
+
+constexpr SiteId kS0{0}, kS1{1};
+constexpr ObjectId kX{23};
+SimTime us(std::int64_t n) { return SimTime::micros(n); }
+
+TEST(Figure2Test, WrContainsExactlyW2AndW3UnderDefinition1) {
+  const History h = figure2();
+  const Figure2Ops ops = figure2_ops();
+  const auto result =
+      reads_on_time(h, TimedSpecPerfect{kFigure2Delta});
+  ASSERT_FALSE(result.all_on_time);
+  ASSERT_EQ(result.late_reads.size(), 1u);
+  const LateRead& lr = result.late_reads[0];
+  EXPECT_EQ(lr.read, ops.r);
+  ASSERT_TRUE(lr.source.has_value());
+  EXPECT_EQ(*lr.source, ops.w);
+  ASSERT_EQ(lr.w_r.size(), 2u);
+  EXPECT_EQ(lr.w_r[0], ops.w2);
+  EXPECT_EQ(lr.w_r[1], ops.w3);
+}
+
+TEST(Figure3Test, WrEmptyUnderDefinition2WithEps) {
+  const History h = figure2();
+  const auto result =
+      reads_on_time(h, TimedSpecEpsilon{kFigure2Delta, kFigure3Eps});
+  EXPECT_TRUE(result.all_on_time);
+}
+
+TEST(Figure3Test, EpsZeroReducesToDefinition1) {
+  const History h = figure2();
+  const auto def1 = reads_on_time(h, TimedSpecPerfect{kFigure2Delta});
+  const auto def2 =
+      reads_on_time(h, TimedSpecEpsilon{kFigure2Delta, SimTime::zero()});
+  EXPECT_EQ(def1.all_on_time, def2.all_on_time);
+  ASSERT_EQ(def1.late_reads.size(), def2.late_reads.size());
+  EXPECT_EQ(def1.late_reads[0].w_r, def2.late_reads[0].w_r);
+}
+
+TEST(Figure3Test, IntermediateEpsRemovesOnlyBoundaryWrites) {
+  // With eps = 25: w2@80 vs w@50 -> 50+25 < 80 still "definitely newer";
+  // w3@110 vs T(r)-Delta = 140 -> 110+25 < 140 still "definitely stale";
+  // so W_r is unchanged. Only at eps >= 30 do both collapse.
+  const History h = figure2();
+  const auto at25 =
+      reads_on_time(h, TimedSpecEpsilon{kFigure2Delta, us(25)});
+  EXPECT_FALSE(at25.all_on_time);
+  EXPECT_EQ(at25.late_reads[0].w_r.size(), 2u);
+  const auto at30 =
+      reads_on_time(h, TimedSpecEpsilon{kFigure2Delta, us(30)});
+  EXPECT_TRUE(at30.all_on_time);
+}
+
+TEST(TimedTest, InitialValueReadInterferesWithAnyOldWrite) {
+  HistoryBuilder b(2);
+  b.write(kS0, kX, Value{1}, us(10));
+  b.read(kS1, kX, Value{0}, us(200));  // stale initial-value read
+  const History h = b.build();
+  EXPECT_FALSE(reads_on_time(h, TimedSpecPerfect{us(100)}).all_on_time);
+  EXPECT_TRUE(reads_on_time(h, TimedSpecPerfect{us(190)}).all_on_time);
+}
+
+TEST(TimedTest, DeltaInfinityAlwaysOnTime) {
+  HistoryBuilder b(2);
+  b.write(kS0, kX, Value{1}, us(10));
+  b.write(kS0, kX, Value{2}, us(20));
+  b.read(kS1, kX, Value{1}, us(1000000));
+  const History h = b.build();
+  EXPECT_TRUE(
+      reads_on_time(h, TimedSpecPerfect{SimTime::infinity()}).all_on_time);
+}
+
+TEST(TimedTest, ReadingLatestWriteIsAlwaysOnTime) {
+  HistoryBuilder b(2);
+  b.write(kS0, kX, Value{1}, us(10));
+  b.write(kS0, kX, Value{2}, us(20));
+  b.read(kS1, kX, Value{2}, us(5000));
+  const History h = b.build();
+  EXPECT_TRUE(reads_on_time(h, TimedSpecPerfect{SimTime::zero()}).all_on_time);
+}
+
+TEST(TimedTest, MinTimedDeltaMatchesGapSpectrum) {
+  const History h = figure2();
+  // r@200 reads w@50; newer writes: w2@80 (gap 120), w3@110 (gap 90),
+  // w4@170 (gap 30). Spectrum sorted descending; min delta = 120.
+  const auto gaps = staleness_gaps(h);
+  ASSERT_EQ(gaps.size(), 3u);
+  EXPECT_EQ(gaps[0], us(120));
+  EXPECT_EQ(gaps[1], us(90));
+  EXPECT_EQ(gaps[2], us(30));
+  EXPECT_EQ(min_timed_delta(h), us(120));
+  EXPECT_TRUE(reads_on_time(h, TimedSpecPerfect{us(120)}).all_on_time);
+  EXPECT_FALSE(reads_on_time(h, TimedSpecPerfect{us(119)}).all_on_time);
+}
+
+TEST(TimedTest, MinTimedDeltaWithEpsShrinks) {
+  const History h = figure2();
+  EXPECT_EQ(min_timed_delta(h, us(20)), us(100));  // 120 - 20
+}
+
+TEST(TimedTest, InterferenceSetHelper) {
+  const History h = figure2();
+  const Figure2Ops ops = figure2_ops();
+  const auto wr = interference_set(h, ops.r, kFigure2Delta, SimTime::zero());
+  EXPECT_EQ(wr.size(), 2u);
+  const auto none = interference_set(h, ops.r, us(200), SimTime::zero());
+  EXPECT_TRUE(none.empty());
+}
+
+// --- Definition 6: logical clocks + xi -------------------------------------
+
+TEST(XiTimedTest, LargeXiDeltaAcceptsSmallRejects) {
+  Rng rng(55);
+  ReplicaHistoryParams p;
+  p.num_ops = 30;
+  p.max_delay_micros = 200;
+  const History h = annotate_logical_times(replica_history(p, rng));
+  const SumXiMap sum;
+  // At an enormous xi threshold every read is on time.
+  EXPECT_TRUE(
+      reads_on_time(h, TimedSpecXi{&sum, 1e9}).all_on_time);
+}
+
+TEST(XiTimedTest, XiMonotoneInDelta) {
+  Rng rng(56);
+  ReplicaHistoryParams p;
+  p.num_ops = 40;
+  p.max_delay_micros = 300;
+  const History h = annotate_logical_times(replica_history(p, rng));
+  const SumXiMap sum;
+  bool prev = reads_on_time(h, TimedSpecXi{&sum, 0.0}).all_on_time;
+  for (double delta : {2.0, 5.0, 10.0, 20.0, 50.0}) {
+    const bool now = reads_on_time(h, TimedSpecXi{&sum, delta}).all_on_time;
+    if (prev) { EXPECT_TRUE(now) << "xi-timeliness must be monotone in delta"; }
+    prev = now;
+  }
+}
+
+TEST(XiTimedTest, StaleReadCaughtByXi) {
+  // Site 0 writes twice; site 1 reads the first value after "hearing" lots
+  // of later activity: with the sum map, the read's xi lag exceeds 1.
+  HistoryBuilder b(2);
+  b.write(kS0, kX, Value{1}, us(10));   // L = <1,0>, xi = 1
+  b.write(kS0, kX, Value{2}, us(20));   // L = <2,0>, xi = 2
+  b.read(kS1, kX, Value{1}, us(30));    // merges <1,0> -> <1,1>, xi = 2
+  const History h = annotate_logical_times(b.build());
+  const SumXiMap sum;
+  // Source xi = 1, interfering write xi = 2, read xi = 2.
+  // W_r nonempty iff 2 < 2 - delta: never for delta >= 0 -> on time here.
+  EXPECT_TRUE(reads_on_time(h, TimedSpecXi{&sum, 0.0}).all_on_time);
+  // Push the read's known activity up: more site-1 events before the read.
+  HistoryBuilder b2(2);
+  b2.write(kS0, kX, Value{1}, us(10));
+  b2.write(kS0, kX, Value{2}, us(20));
+  b2.write(kS1, ObjectId{1}, Value{3}, us(21));
+  b2.write(kS1, ObjectId{1}, Value{4}, us(22));
+  b2.write(kS1, ObjectId{1}, Value{5}, us(23));
+  b2.read(kS1, kX, Value{1}, us(30));  // xi(read) = 1 + 4 = 5... lag 3 vs w2
+  const History h2 = annotate_logical_times(b2.build());
+  EXPECT_FALSE(reads_on_time(h2, TimedSpecXi{&sum, 1.0}).all_on_time);
+  EXPECT_TRUE(reads_on_time(h2, TimedSpecXi{&sum, 4.0}).all_on_time);
+}
+
+}  // namespace
+}  // namespace timedc

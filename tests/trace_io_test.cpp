@@ -1,0 +1,122 @@
+// Tests for the trace format: round trips, parse diagnostics, and the
+// invariants the parser enforces so the History builder never aborts on
+// user input.
+#include <gtest/gtest.h>
+
+#include "core/history_gen.hpp"
+#include "core/paper_figures.hpp"
+#include "core/trace_io.hpp"
+
+namespace timedc {
+namespace {
+
+TEST(TraceIoTest, RoundTripFigure5) {
+  const History h = figure5a();
+  const std::string text = write_trace(h);
+  const auto parsed = parse_trace(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  const History& back = *parsed.history;
+  ASSERT_EQ(back.size(), h.size());
+  ASSERT_EQ(back.num_sites(), h.num_sites());
+  // Same multiset of operations: compare the canonical re-serialization.
+  EXPECT_EQ(write_trace(back), text);
+}
+
+TEST(TraceIoTest, RoundTripRandomHistories) {
+  Rng rng(5);
+  for (int round = 0; round < 20; ++round) {
+    RandomHistoryParams p;
+    p.num_ops = 25;
+    p.num_sites = 4;
+    const History h = random_history(p, rng);
+    const auto parsed = parse_trace(write_trace(h));
+    ASSERT_TRUE(parsed.ok()) << parsed.error;
+    EXPECT_EQ(write_trace(*parsed.history), write_trace(h));
+  }
+}
+
+TEST(TraceIoTest, ParsesPaperNotationObjects) {
+  const auto parsed = parse_trace(
+      "sites 2\n"
+      "w 0 B 4 90\n"
+      "r 1 B 4 120\n"
+      "w 0 obj30 7 130\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  const History& h = *parsed.history;
+  EXPECT_EQ(h.op(OpIndex{0}).object, ObjectId{1});   // 'B'
+  EXPECT_EQ(h.op(OpIndex{2}).object, ObjectId{30});  // obj30
+}
+
+TEST(TraceIoTest, CommentsAndBlankLines) {
+  const auto parsed = parse_trace(
+      "# a trace\n"
+      "sites 1\n"
+      "\n"
+      "w 0 A 1 10   # the write\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  EXPECT_EQ(parsed.history->size(), 1u);
+}
+
+TEST(TraceIoTest, OutOfOrderLinesAreSortedByTime) {
+  const auto parsed = parse_trace(
+      "sites 1\n"
+      "r 0 A 1 50\n"
+      "w 0 A 1 10\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  EXPECT_TRUE(parsed.history->op(OpIndex{0}).is_write());
+}
+
+TEST(TraceIoTest, MissingHeaderRejected) {
+  const auto parsed = parse_trace("w 0 A 1 10\n");
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error.find("sites"), std::string::npos);
+}
+
+TEST(TraceIoTest, SiteOutOfRangeRejected) {
+  const auto parsed = parse_trace("sites 2\nw 5 A 1 10\n");
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error.find("site"), std::string::npos);
+}
+
+TEST(TraceIoTest, MalformedLineReportsLineNumber) {
+  const auto parsed = parse_trace("sites 1\nw 0 A banana 10\n");
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error.find("line 2"), std::string::npos);
+}
+
+TEST(TraceIoTest, DuplicateWrittenValueRejected) {
+  const auto parsed = parse_trace(
+      "sites 2\n"
+      "w 0 A 7 10\n"
+      "w 1 A 7 20\n");
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error.find("twice"), std::string::npos);
+}
+
+TEST(TraceIoTest, WriteOfInitialValueRejected) {
+  const auto parsed = parse_trace("sites 1\nw 0 A 0 10\n");
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(TraceIoTest, EqualTimesSameSiteRejected) {
+  const auto parsed = parse_trace(
+      "sites 1\n"
+      "w 0 A 1 10\n"
+      "r 0 A 1 10\n");
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error.find("strictly increase"), std::string::npos);
+}
+
+TEST(TraceIoTest, UnknownDirectiveRejected) {
+  const auto parsed = parse_trace("sites 1\nfrobnicate\n");
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(TraceIoTest, NegativeValuesAndTimesParse) {
+  const auto parsed = parse_trace("sites 1\nw 0 A -5 10\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  EXPECT_EQ(parsed.history->op(OpIndex{0}).value, Value{-5});
+}
+
+}  // namespace
+}  // namespace timedc

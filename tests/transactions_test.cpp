@@ -1,0 +1,135 @@
+// Tests for transactions and strict serializability, including the paper's
+// reduction: LIN is strict serializability with single-operation
+// transactions (Section 2).
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/transactions.hpp"
+
+namespace timedc {
+namespace {
+
+constexpr SiteId kP0{0}, kP1{1};
+constexpr ObjectId kX{23}, kY{24};
+SimTime us(std::int64_t n) { return SimTime::micros(n); }
+
+Transaction tx(SiteId site, SimTime begin, SimTime commit,
+               std::vector<TxOp> ops) {
+  return Transaction{site, begin, commit, std::move(ops)};
+}
+
+TxOp w(ObjectId o, std::int64_t v) { return {OpType::kWrite, o, Value{v}}; }
+TxOp r(ObjectId o, std::int64_t v) { return {OpType::kRead, o, Value{v}}; }
+
+TEST(SserTest, SimpleTransferIsStrictlySerializable) {
+  TxHistory h(2);
+  h.add(tx(kP0, us(0), us(10), {w(kX, 100), w(kY, 50)}));
+  h.add(tx(kP1, us(20), us(30), {r(kX, 100), r(kY, 50)}));
+  const auto res = check_strict_serializable(h);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.witness, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(SserTest, FracturedReadRejected) {
+  // The reader sees X from the second transfer but Y from the first:
+  // no serial order explains it.
+  TxHistory h(2);
+  h.add(tx(kP0, us(0), us(10), {w(kX, 100), w(kY, 50)}));
+  h.add(tx(kP0, us(20), us(30), {w(kX, 90), w(kY, 60)}));
+  h.add(tx(kP1, us(40), us(50), {r(kX, 90), r(kY, 50)}));
+  EXPECT_FALSE(check_strict_serializable(h).ok());
+  EXPECT_FALSE(check_serializable(h).ok());
+}
+
+TEST(SserTest, RealTimeOrderSeparatesSerFromSser) {
+  // Serializable in the order T2, T1 — but T1 committed before T2 began,
+  // so strict serializability rejects what plain serializability accepts.
+  TxHistory h(2);
+  h.add(tx(kP0, us(0), us(10), {w(kX, 1)}));
+  h.add(tx(kP1, us(20), us(30), {r(kX, 0)}));  // reads the initial value
+  EXPECT_TRUE(check_serializable(h).ok());
+  EXPECT_FALSE(check_strict_serializable(h).ok());
+}
+
+TEST(SserTest, OverlappingTransactionsMayCommuteEitherWay) {
+  TxHistory h(2);
+  h.add(tx(kP0, us(0), us(30), {w(kX, 1)}));
+  h.add(tx(kP1, us(10), us(20), {r(kX, 0)}));  // overlaps: may serialize first
+  EXPECT_TRUE(check_strict_serializable(h).ok());
+}
+
+TEST(SserTest, ReadYourOwnWritesInsideTransaction) {
+  TxHistory h(1);
+  h.add(tx(kP0, us(0), us(10), {w(kX, 1), r(kX, 1), w(kX, 2), r(kX, 2)}));
+  EXPECT_TRUE(check_strict_serializable(h).ok());
+}
+
+TEST(SserTest, DirtyReadOfUncommittedNeighborImpossible) {
+  // T2 claims to read a value T1 writes, but T2 also reads Y=0 which T1
+  // set: T2 cannot be placed before or after T1.
+  TxHistory h(2);
+  h.add(tx(kP0, us(0), us(10), {w(kX, 1), w(kY, 2)}));
+  h.add(tx(kP1, us(20), us(30), {r(kX, 1), r(kY, 0)}));
+  EXPECT_FALSE(check_strict_serializable(h).ok());
+}
+
+TEST(SserTest, ThinAirReadRejected) {
+  TxHistory h(1);
+  h.add(tx(kP0, us(0), us(10), {r(kX, 99)}));
+  EXPECT_FALSE(check_strict_serializable(h).ok());
+}
+
+TEST(SserTest, WitnessRespectsRealTime) {
+  TxHistory h(2);
+  h.add(tx(kP0, us(0), us(10), {w(kX, 1)}));
+  h.add(tx(kP1, us(20), us(30), {w(kX, 2)}));
+  h.add(tx(kP0, us(40), us(50), {r(kX, 2)}));
+  const auto res = check_strict_serializable(h);
+  ASSERT_TRUE(res.ok());
+  std::vector<std::size_t> pos(h.size());
+  for (std::size_t p = 0; p < res.witness.size(); ++p) pos[res.witness[p]] = p;
+  for (std::size_t a = 0; a < h.size(); ++a) {
+    for (std::size_t b = 0; b < h.size(); ++b) {
+      if (h.precedes(a, b)) { EXPECT_LT(pos[a], pos[b]); }
+    }
+  }
+}
+
+// --- the paper's reduction: LIN == SSER with unary transactions ------------
+
+class LinSserReduction : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LinSserReduction, IntervalLinIffUnarySser) {
+  Rng rng(GetParam());
+  constexpr std::size_t kSites = 3;
+  IntervalHistory h(kSites);
+  SimTime busy[kSites] = {};
+  std::int64_t next_value = 1;
+  std::vector<Value> written{kInitialValue};
+  for (int k = 0; k < 12; ++k) {
+    const auto s = static_cast<std::size_t>(rng.uniform_int(0, kSites - 1));
+    const SimTime inv = busy[s] + SimTime::micros(rng.uniform_int(1, 15));
+    const SimTime resp = inv + SimTime::micros(rng.uniform_int(0, 25));
+    busy[s] = resp;
+    const SiteId site{static_cast<std::uint32_t>(s)};
+    if (rng.bernoulli(0.45)) {
+      const Value v{next_value++};
+      written.push_back(v);
+      h.write(site, kX, v, inv, resp);
+    } else {
+      // Read any previously known value (often inconsistent on purpose).
+      const Value v = written[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(written.size()) - 1))];
+      h.read(site, kX, v, inv, resp);
+    }
+  }
+  const bool lin = check_interval_lin(h).ok();
+  const bool sser = check_strict_serializable(from_interval_history(h)).ok();
+  EXPECT_EQ(lin, sser);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LinSserReduction,
+                         ::testing::Range<std::uint64_t>(700, 750));
+
+}  // namespace
+}  // namespace timedc

@@ -1,0 +1,207 @@
+// Tests for the web-cache consistency protocols of Section 4: freshness
+// policies, invalidation coherence, and the weak-vs-strong consistency
+// tradeoffs of [10] and [19].
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "web/web_experiment.hpp"
+
+namespace timedc {
+namespace {
+
+SimTime us(std::int64_t n) { return SimTime::micros(n); }
+SimTime ms(std::int64_t n) { return SimTime::millis(n); }
+
+class WebFixture : public ::testing::Test {
+ protected:
+  void init(WebPolicyConfig config) {
+    net_ = std::make_unique<Network>(sim_, 2,
+                                     std::make_unique<FixedLatency>(us(100)),
+                                     NetworkConfig{}, Rng(1));
+    origin_ = std::make_unique<WebOriginServer>(
+        sim_, *net_, SiteId{1}, config.policy == WebPolicy::kInvalidate, 4096);
+    origin_->attach();
+    proxy_ = std::make_unique<WebProxyCache>(sim_, *net_, SiteId{0}, SiteId{1},
+                                             config);
+    proxy_->attach();
+  }
+
+  DocVersion get(DocumentId doc) {
+    DocVersion got = 0;
+    proxy_->request(doc, [&](DocVersion v, SimTime) { got = v; });
+    sim_.run_until();
+    return got;
+  }
+
+  void advance(SimTime by) {
+    sim_.schedule_after(by, [] {});
+    sim_.run_until();
+  }
+
+  Simulator sim_;
+  std::unique_ptr<Network> net_;
+  std::unique_ptr<WebOriginServer> origin_;
+  std::unique_ptr<WebProxyCache> proxy_;
+};
+
+TEST_F(WebFixture, FixedTtlServesFromCacheWithinTtl) {
+  WebPolicyConfig c;
+  c.policy = WebPolicy::kFixedTtl;
+  c.fixed_ttl = ms(100);
+  init(c);
+  EXPECT_EQ(get(DocumentId{0}), 1u);
+  origin_->update(DocumentId{0});
+  // Within the TTL the stale version is served (weak consistency).
+  EXPECT_EQ(get(DocumentId{0}), 1u);
+  EXPECT_EQ(proxy_->stats().hits, 1u);
+  // After the TTL the proxy revalidates and gets version 2.
+  advance(ms(200));
+  EXPECT_EQ(get(DocumentId{0}), 2u);
+  EXPECT_EQ(proxy_->stats().validations, 1u);
+}
+
+TEST_F(WebFixture, FixedTtlRevalidation304ExtendsFreshness) {
+  WebPolicyConfig c;
+  c.policy = WebPolicy::kFixedTtl;
+  c.fixed_ttl = ms(50);
+  init(c);
+  EXPECT_EQ(get(DocumentId{0}), 1u);
+  advance(ms(100));
+  EXPECT_EQ(get(DocumentId{0}), 1u);  // revalidated via 304
+  EXPECT_EQ(proxy_->stats().validations_304, 1u);
+  EXPECT_EQ(origin_->stats().not_modified, 1u);
+  // Immediately after, the entry is fresh again.
+  EXPECT_EQ(get(DocumentId{0}), 1u);
+  EXPECT_EQ(proxy_->stats().hits, 1u);
+}
+
+TEST_F(WebFixture, PollEveryTimeNeverServesStale) {
+  WebPolicyConfig c;
+  c.policy = WebPolicy::kPollEveryTime;
+  init(c);
+  EXPECT_EQ(get(DocumentId{0}), 1u);
+  origin_->update(DocumentId{0});
+  EXPECT_EQ(get(DocumentId{0}), 2u);
+  EXPECT_EQ(proxy_->stats().hits, 0u);
+  // But every request cost an origin round trip.
+  EXPECT_EQ(origin_->stats().gets + origin_->stats().ims_checks, 2u);
+}
+
+TEST_F(WebFixture, InvalidationGivesStrongConsistencyWithHits) {
+  WebPolicyConfig c;
+  c.policy = WebPolicy::kInvalidate;
+  init(c);
+  EXPECT_EQ(get(DocumentId{0}), 1u);
+  // Quiet document: hits forever, no revalidation.
+  advance(SimTime::seconds(10));
+  EXPECT_EQ(get(DocumentId{0}), 1u);
+  EXPECT_EQ(proxy_->stats().hits, 1u);
+  // Update: the origin pushes an invalidation; next GET refetches.
+  origin_->update(DocumentId{0});
+  sim_.run_until();
+  EXPECT_EQ(proxy_->stats().invalidations_received, 1u);
+  EXPECT_EQ(get(DocumentId{0}), 2u);
+}
+
+TEST_F(WebFixture, AdaptiveTtlGrowsWithDocumentAge) {
+  WebPolicyConfig c;
+  c.policy = WebPolicy::kAdaptiveTtl;
+  c.adaptive_factor = 0.5;
+  c.adaptive_min = ms(1);
+  c.adaptive_max = SimTime::seconds(100);
+  init(c);
+  // Fetch a brand-new document: tiny TTL.
+  origin_->update(DocumentId{0});  // last_modified = now
+  EXPECT_EQ(get(DocumentId{0}), 2u);
+  advance(ms(10));
+  get(DocumentId{0});
+  const auto validations_young = proxy_->stats().validations;
+  EXPECT_GE(validations_young, 1u);  // young doc: distrusted quickly
+  // Age the document a lot, revalidate once; now the TTL is huge.
+  advance(SimTime::seconds(60));
+  get(DocumentId{0});
+  const auto validations_before = proxy_->stats().validations;
+  advance(SimTime::seconds(10));
+  get(DocumentId{0});
+  EXPECT_EQ(proxy_->stats().validations, validations_before);  // cache hit
+}
+
+// --- Experiment-level comparisons -------------------------------------------
+
+WebExperimentConfig experiment_base(std::uint64_t seed) {
+  WebExperimentConfig config;
+  config.num_proxies = 3;
+  config.num_documents = 16;
+  config.mean_update_interval = ms(500);
+  config.mean_request_interval = ms(10);
+  config.horizon = SimTime::seconds(8);
+  config.seed = seed;
+  return config;
+}
+
+TEST(WebExperimentTest, InvalidationHasNoStaleServesBeyondPropagation) {
+  auto config = experiment_base(5);
+  config.policy.policy = WebPolicy::kInvalidate;
+  const auto result = run_web_experiment(config);
+  ASSERT_GT(result.requests, 100u);
+  // Stale serves can only happen while an invalidation is in flight.
+  EXPECT_LE(result.max_stale_age, config.max_latency + ms(1));
+}
+
+TEST(WebExperimentTest, LargeTtlIsStalerAndCheaperThanSmallTtl) {
+  auto small = experiment_base(6);
+  small.policy.policy = WebPolicy::kFixedTtl;
+  small.policy.fixed_ttl = ms(20);
+  auto large = experiment_base(6);
+  large.policy.policy = WebPolicy::kFixedTtl;
+  large.policy.fixed_ttl = SimTime::seconds(5);
+  const auto s = run_web_experiment(small);
+  const auto l = run_web_experiment(large);
+  EXPECT_GE(l.stale_fraction, s.stale_fraction);
+  EXPECT_LE(l.origin_msgs_per_request, s.origin_msgs_per_request);
+}
+
+TEST(WebExperimentTest, PollEveryTimeBeatsTtlOnStalenessCostsMessages) {
+  auto poll = experiment_base(7);
+  poll.policy.policy = WebPolicy::kPollEveryTime;
+  auto ttl = experiment_base(7);
+  ttl.policy.policy = WebPolicy::kFixedTtl;
+  ttl.policy.fixed_ttl = SimTime::seconds(2);
+  const auto p = run_web_experiment(poll);
+  const auto t = run_web_experiment(ttl);
+  EXPECT_LE(p.stale_fraction, t.stale_fraction);
+  EXPECT_GE(p.origin_msgs_per_request, t.origin_msgs_per_request);
+}
+
+TEST(WebExperimentTest, DeterministicForSeed) {
+  auto config = experiment_base(8);
+  config.policy.policy = WebPolicy::kAdaptiveTtl;
+  const auto a = run_web_experiment(config);
+  const auto b = run_web_experiment(config);
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.stale_serves, b.stale_serves);
+  EXPECT_EQ(a.network.messages_sent, b.network.messages_sent);
+}
+
+TEST(WebExperimentTest, StaleFractionDecreasesWithTtlSweep) {
+  // The "Delta knob" of the paper's web application: smaller TTL (= Delta)
+  // means fresher but costlier. Monotone along the sweep.
+  double prev_stale = -1;
+  double prev_msgs = 1e18;
+  for (const std::int64_t ttl_ms : {10, 100, 1000, 4000}) {
+    auto config = experiment_base(9);
+    config.policy.policy = WebPolicy::kFixedTtl;
+    config.policy.fixed_ttl = ms(ttl_ms);
+    const auto r = run_web_experiment(config);
+    EXPECT_GE(r.stale_fraction + 0.02, prev_stale)
+        << "ttl " << ttl_ms << "ms";
+    EXPECT_LE(r.origin_msgs_per_request - 0.05, prev_msgs)
+        << "ttl " << ttl_ms << "ms";
+    prev_stale = r.stale_fraction;
+    prev_msgs = r.origin_msgs_per_request;
+  }
+}
+
+}  // namespace
+}  // namespace timedc

@@ -1,0 +1,166 @@
+// timedc-check: command-line consistency checker for execution traces.
+//
+// Usage:
+//   timedc-check [options] [trace-file]       (stdin when no file)
+//
+// Options:
+//   --delta <micros>   timeliness threshold Delta (default: infinity)
+//   --eps <micros>     clock skew bound for Definition 2 (default: 0)
+//   --xi sum|norm      check Definition 6 with this xi map instead of
+//                      real time (logical times are reconstructed from the
+//                      trace's reads-from relation)
+//   --xdelta <real>    the xi-difference threshold for --xi (default 1.0)
+//   --render           print the execution as an ASCII timeline
+//   --witness          print the serializations found
+//
+// Exit status: 0 if every requested check passes, 1 otherwise, 2 on usage
+// or parse errors.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/checkers.hpp"
+#include "core/history_gen.hpp"
+#include "core/render.hpp"
+#include "core/serialization.hpp"
+#include "core/trace_io.hpp"
+
+using namespace timedc;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: timedc-check [--delta US] [--eps US] [--xi sum|norm] "
+               "[--xdelta X] [--render] [--witness] [trace-file]\n");
+  return 2;
+}
+
+std::string read_all(std::istream& in) {
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SimTime delta = SimTime::infinity();
+  SimTime eps = SimTime::zero();
+  std::string xi_name;
+  double xdelta = 1.0;
+  bool render = false;
+  bool show_witness = false;
+  std::string path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (arg == "--delta") {
+      const char* v = next();
+      if (!v) return usage();
+      delta = SimTime::micros(std::atoll(v));
+    } else if (arg == "--eps") {
+      const char* v = next();
+      if (!v) return usage();
+      eps = SimTime::micros(std::atoll(v));
+    } else if (arg == "--xi") {
+      const char* v = next();
+      if (!v) return usage();
+      xi_name = v;
+      if (xi_name != "sum" && xi_name != "norm") return usage();
+    } else if (arg == "--xdelta") {
+      const char* v = next();
+      if (!v) return usage();
+      xdelta = std::atof(v);
+    } else if (arg == "--render") {
+      render = true;
+    } else if (arg == "--witness") {
+      show_witness = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      path = arg;
+    }
+  }
+
+  std::string text;
+  if (path.empty()) {
+    text = read_all(std::cin);
+  } else {
+    std::ifstream file(path);
+    if (!file) {
+      std::fprintf(stderr, "timedc-check: cannot open %s\n", path.c_str());
+      return 2;
+    }
+    text = read_all(file);
+  }
+
+  const TraceParseResult parsed = parse_trace(text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "timedc-check: %s\n", parsed.error.c_str());
+    return 2;
+  }
+  const History& h = *parsed.history;
+  std::printf("trace: %zu operations, %zu sites\n", h.size(), h.num_sites());
+  if (render) std::printf("\n%s\n", render_timeline(h).c_str());
+
+  bool all_ok = true;
+  const auto lin = check_lin(h);
+  const auto sc = check_sc(h);
+  const auto cc = check_cc(h);
+  std::printf("LIN: %s\n", to_cstring(lin.verdict));
+  std::printf("SC:  %s\n", to_cstring(sc.verdict));
+  std::printf("CC:  %s\n", to_cstring(cc.verdict));
+  if (show_witness && sc.ok()) {
+    std::printf("  SC witness: %s\n",
+                serialization_to_string(h, sc.witness).c_str());
+  }
+
+  std::printf("min timed Delta (Def 1): %s\n",
+              min_timed_delta(h).to_string().c_str());
+  if (eps > SimTime::zero()) {
+    std::printf("min timed Delta (Def 2, eps=%s): %s\n", eps.to_string().c_str(),
+                min_timed_delta(h, eps).to_string().c_str());
+  }
+
+  if (!delta.is_infinite()) {
+    const TimedSpecEpsilon spec{delta, eps};
+    const auto tsc = check_tsc(h, spec);
+    const auto tcc = check_tcc(h, spec);
+    std::printf("TSC(Delta=%s, eps=%s): %s\n", delta.to_string().c_str(),
+                eps.to_string().c_str(), to_cstring(tsc.verdict()));
+    std::printf("TCC(Delta=%s, eps=%s): %s\n", delta.to_string().c_str(),
+                eps.to_string().c_str(), to_cstring(tcc.verdict()));
+    if (!tsc.timing.all_on_time) {
+      std::printf("%s", render_timed_result(h, tsc.timing).c_str());
+    }
+    all_ok = all_ok && tsc.ok() && tcc.ok();
+  }
+
+  if (!xi_name.empty()) {
+    const History annotated = annotate_logical_times(h);
+    const SumXiMap sum;
+    const NormXiMap norm;
+    const XiMap* xi = xi_name == "sum" ? static_cast<const XiMap*>(&sum)
+                                       : static_cast<const XiMap*>(&norm);
+    const auto timing = reads_on_time(annotated, TimedSpecXi{xi, xdelta});
+    std::printf("Def 6 (xi=%s, delta=%g): %s\n", xi_name.c_str(), xdelta,
+                timing.all_on_time ? "every read on time" : "late reads exist");
+    if (!timing.all_on_time) {
+      std::printf("%s", render_timed_result(annotated, timing).c_str());
+    }
+    all_ok = all_ok && timing.all_on_time;
+  }
+
+  return all_ok ? 0 : 1;
+}
