@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_nontimed_sc.dir/fig1_nontimed_sc.cpp.o"
+  "CMakeFiles/fig1_nontimed_sc.dir/fig1_nontimed_sc.cpp.o.d"
+  "fig1_nontimed_sc"
+  "fig1_nontimed_sc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_nontimed_sc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

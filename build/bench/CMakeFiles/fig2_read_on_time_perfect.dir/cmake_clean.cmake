@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_read_on_time_perfect.dir/fig2_read_on_time_perfect.cpp.o"
+  "CMakeFiles/fig2_read_on_time_perfect.dir/fig2_read_on_time_perfect.cpp.o.d"
+  "fig2_read_on_time_perfect"
+  "fig2_read_on_time_perfect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_read_on_time_perfect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig2_read_on_time_perfect.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_read_on_time_eps.dir/fig3_read_on_time_eps.cpp.o"
+  "CMakeFiles/fig3_read_on_time_eps.dir/fig3_read_on_time_eps.cpp.o.d"
+  "fig3_read_on_time_eps"
+  "fig3_read_on_time_eps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_read_on_time_eps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

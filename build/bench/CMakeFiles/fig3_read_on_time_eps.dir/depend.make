@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_read_on_time_eps.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_hierarchy.dir/fig4_hierarchy.cpp.o"
+  "CMakeFiles/fig4_hierarchy.dir/fig4_hierarchy.cpp.o.d"
+  "fig4_hierarchy"
+  "fig4_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_sc_execution.dir/fig5_sc_execution.cpp.o"
+  "CMakeFiles/fig5_sc_execution.dir/fig5_sc_execution.cpp.o.d"
+  "fig5_sc_execution"
+  "fig5_sc_execution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_sc_execution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_cc_execution.dir/fig6_cc_execution.cpp.o"
+  "CMakeFiles/fig6_cc_execution.dir/fig6_cc_execution.cpp.o.d"
+  "fig6_cc_execution"
+  "fig6_cc_execution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_cc_execution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

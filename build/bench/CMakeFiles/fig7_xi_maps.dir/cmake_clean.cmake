@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_xi_maps.dir/fig7_xi_maps.cpp.o"
+  "CMakeFiles/fig7_xi_maps.dir/fig7_xi_maps.cpp.o.d"
+  "fig7_xi_maps"
+  "fig7_xi_maps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_xi_maps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_xi_maps.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_causal_soundness.dir/sim_causal_soundness.cpp.o"
+  "CMakeFiles/sim_causal_soundness.dir/sim_causal_soundness.cpp.o.d"
+  "sim_causal_soundness"
+  "sim_causal_soundness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_causal_soundness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

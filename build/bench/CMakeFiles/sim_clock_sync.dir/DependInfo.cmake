@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/sim_clock_sync.cpp" "bench/CMakeFiles/sim_clock_sync.dir/sim_clock_sync.cpp.o" "gcc" "bench/CMakeFiles/sim_clock_sync.dir/sim_clock_sync.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/timedc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/clocks/CMakeFiles/timedc_clocks.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/timedc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/timedc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/timedc_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/broadcast/CMakeFiles/timedc_broadcast.dir/DependInfo.cmake"
+  "/root/repo/build/src/web/CMakeFiles/timedc_web.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

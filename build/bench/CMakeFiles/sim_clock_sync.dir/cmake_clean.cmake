@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_clock_sync.dir/sim_clock_sync.cpp.o"
+  "CMakeFiles/sim_clock_sync.dir/sim_clock_sync.cpp.o.d"
+  "sim_clock_sync"
+  "sim_clock_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_clock_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_cost_vs_delta.dir/sim_cost_vs_delta.cpp.o"
+  "CMakeFiles/sim_cost_vs_delta.dir/sim_cost_vs_delta.cpp.o.d"
+  "sim_cost_vs_delta"
+  "sim_cost_vs_delta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_cost_vs_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sim_cost_vs_delta.
+# This may be replaced when dependencies are built.

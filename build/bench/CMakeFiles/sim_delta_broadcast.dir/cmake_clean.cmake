@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_delta_broadcast.dir/sim_delta_broadcast.cpp.o"
+  "CMakeFiles/sim_delta_broadcast.dir/sim_delta_broadcast.cpp.o.d"
+  "sim_delta_broadcast"
+  "sim_delta_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_delta_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_epsilon_sensitivity.dir/sim_epsilon_sensitivity.cpp.o"
+  "CMakeFiles/sim_epsilon_sensitivity.dir/sim_epsilon_sensitivity.cpp.o.d"
+  "sim_epsilon_sensitivity"
+  "sim_epsilon_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_epsilon_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_plausible_clocks.dir/sim_plausible_clocks.cpp.o"
+  "CMakeFiles/sim_plausible_clocks.dir/sim_plausible_clocks.cpp.o.d"
+  "sim_plausible_clocks"
+  "sim_plausible_clocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_plausible_clocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_protocol_comparison.dir/sim_protocol_comparison.cpp.o"
+  "CMakeFiles/sim_protocol_comparison.dir/sim_protocol_comparison.cpp.o.d"
+  "sim_protocol_comparison"
+  "sim_protocol_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_protocol_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

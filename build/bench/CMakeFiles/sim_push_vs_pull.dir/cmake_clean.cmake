@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_push_vs_pull.dir/sim_push_vs_pull.cpp.o"
+  "CMakeFiles/sim_push_vs_pull.dir/sim_push_vs_pull.cpp.o.d"
+  "sim_push_vs_pull"
+  "sim_push_vs_pull.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_push_vs_pull.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sim_push_vs_pull.
+# This may be replaced when dependencies are built.

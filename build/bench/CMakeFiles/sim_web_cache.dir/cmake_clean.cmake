@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_web_cache.dir/sim_web_cache.cpp.o"
+  "CMakeFiles/sim_web_cache.dir/sim_web_cache.cpp.o.d"
+  "sim_web_cache"
+  "sim_web_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_web_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collaborative_chat.dir/collaborative_chat.cpp.o"
+  "CMakeFiles/collaborative_chat.dir/collaborative_chat.cpp.o.d"
+  "collaborative_chat"
+  "collaborative_chat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collaborative_chat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

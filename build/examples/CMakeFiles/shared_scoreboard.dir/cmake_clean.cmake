@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_scoreboard.dir/shared_scoreboard.cpp.o"
+  "CMakeFiles/shared_scoreboard.dir/shared_scoreboard.cpp.o.d"
+  "shared_scoreboard"
+  "shared_scoreboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_scoreboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

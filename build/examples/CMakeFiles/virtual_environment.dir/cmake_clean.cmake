@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virtual_environment.dir/virtual_environment.cpp.o"
+  "CMakeFiles/virtual_environment.dir/virtual_environment.cpp.o.d"
+  "virtual_environment"
+  "virtual_environment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virtual_environment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_cache_policies.dir/web_cache_policies.cpp.o"
+  "CMakeFiles/web_cache_policies.dir/web_cache_policies.cpp.o.d"
+  "web_cache_policies"
+  "web_cache_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_cache_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timedc_broadcast.dir/delta_causal.cpp.o"
+  "CMakeFiles/timedc_broadcast.dir/delta_causal.cpp.o.d"
+  "CMakeFiles/timedc_broadcast.dir/replicated_store.cpp.o"
+  "CMakeFiles/timedc_broadcast.dir/replicated_store.cpp.o.d"
+  "libtimedc_broadcast.a"
+  "libtimedc_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timedc_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clocks/lamport_clock.cpp" "src/clocks/CMakeFiles/timedc_clocks.dir/lamport_clock.cpp.o" "gcc" "src/clocks/CMakeFiles/timedc_clocks.dir/lamport_clock.cpp.o.d"
+  "/root/repo/src/clocks/physical_clock.cpp" "src/clocks/CMakeFiles/timedc_clocks.dir/physical_clock.cpp.o" "gcc" "src/clocks/CMakeFiles/timedc_clocks.dir/physical_clock.cpp.o.d"
+  "/root/repo/src/clocks/plausible_clock.cpp" "src/clocks/CMakeFiles/timedc_clocks.dir/plausible_clock.cpp.o" "gcc" "src/clocks/CMakeFiles/timedc_clocks.dir/plausible_clock.cpp.o.d"
+  "/root/repo/src/clocks/vector_clock.cpp" "src/clocks/CMakeFiles/timedc_clocks.dir/vector_clock.cpp.o" "gcc" "src/clocks/CMakeFiles/timedc_clocks.dir/vector_clock.cpp.o.d"
+  "/root/repo/src/clocks/xi_map.cpp" "src/clocks/CMakeFiles/timedc_clocks.dir/xi_map.cpp.o" "gcc" "src/clocks/CMakeFiles/timedc_clocks.dir/xi_map.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/timedc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

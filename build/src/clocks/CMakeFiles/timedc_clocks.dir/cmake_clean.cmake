@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timedc_clocks.dir/lamport_clock.cpp.o"
+  "CMakeFiles/timedc_clocks.dir/lamport_clock.cpp.o.d"
+  "CMakeFiles/timedc_clocks.dir/physical_clock.cpp.o"
+  "CMakeFiles/timedc_clocks.dir/physical_clock.cpp.o.d"
+  "CMakeFiles/timedc_clocks.dir/plausible_clock.cpp.o"
+  "CMakeFiles/timedc_clocks.dir/plausible_clock.cpp.o.d"
+  "CMakeFiles/timedc_clocks.dir/vector_clock.cpp.o"
+  "CMakeFiles/timedc_clocks.dir/vector_clock.cpp.o.d"
+  "CMakeFiles/timedc_clocks.dir/xi_map.cpp.o"
+  "CMakeFiles/timedc_clocks.dir/xi_map.cpp.o.d"
+  "libtimedc_clocks.a"
+  "libtimedc_clocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timedc_clocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timedc_common.dir/rng.cpp.o"
+  "CMakeFiles/timedc_common.dir/rng.cpp.o.d"
+  "CMakeFiles/timedc_common.dir/sim_time.cpp.o"
+  "CMakeFiles/timedc_common.dir/sim_time.cpp.o.d"
+  "libtimedc_common.a"
+  "libtimedc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timedc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/causal.cpp" "src/core/CMakeFiles/timedc_core.dir/causal.cpp.o" "gcc" "src/core/CMakeFiles/timedc_core.dir/causal.cpp.o.d"
+  "/root/repo/src/core/checkers.cpp" "src/core/CMakeFiles/timedc_core.dir/checkers.cpp.o" "gcc" "src/core/CMakeFiles/timedc_core.dir/checkers.cpp.o.d"
+  "/root/repo/src/core/history.cpp" "src/core/CMakeFiles/timedc_core.dir/history.cpp.o" "gcc" "src/core/CMakeFiles/timedc_core.dir/history.cpp.o.d"
+  "/root/repo/src/core/history_gen.cpp" "src/core/CMakeFiles/timedc_core.dir/history_gen.cpp.o" "gcc" "src/core/CMakeFiles/timedc_core.dir/history_gen.cpp.o.d"
+  "/root/repo/src/core/interval.cpp" "src/core/CMakeFiles/timedc_core.dir/interval.cpp.o" "gcc" "src/core/CMakeFiles/timedc_core.dir/interval.cpp.o.d"
+  "/root/repo/src/core/paper_figures.cpp" "src/core/CMakeFiles/timedc_core.dir/paper_figures.cpp.o" "gcc" "src/core/CMakeFiles/timedc_core.dir/paper_figures.cpp.o.d"
+  "/root/repo/src/core/render.cpp" "src/core/CMakeFiles/timedc_core.dir/render.cpp.o" "gcc" "src/core/CMakeFiles/timedc_core.dir/render.cpp.o.d"
+  "/root/repo/src/core/serialization.cpp" "src/core/CMakeFiles/timedc_core.dir/serialization.cpp.o" "gcc" "src/core/CMakeFiles/timedc_core.dir/serialization.cpp.o.d"
+  "/root/repo/src/core/timed.cpp" "src/core/CMakeFiles/timedc_core.dir/timed.cpp.o" "gcc" "src/core/CMakeFiles/timedc_core.dir/timed.cpp.o.d"
+  "/root/repo/src/core/trace_io.cpp" "src/core/CMakeFiles/timedc_core.dir/trace_io.cpp.o" "gcc" "src/core/CMakeFiles/timedc_core.dir/trace_io.cpp.o.d"
+  "/root/repo/src/core/transactions.cpp" "src/core/CMakeFiles/timedc_core.dir/transactions.cpp.o" "gcc" "src/core/CMakeFiles/timedc_core.dir/transactions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/timedc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/clocks/CMakeFiles/timedc_clocks.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

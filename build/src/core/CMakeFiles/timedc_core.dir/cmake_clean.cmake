@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timedc_core.dir/causal.cpp.o"
+  "CMakeFiles/timedc_core.dir/causal.cpp.o.d"
+  "CMakeFiles/timedc_core.dir/checkers.cpp.o"
+  "CMakeFiles/timedc_core.dir/checkers.cpp.o.d"
+  "CMakeFiles/timedc_core.dir/history.cpp.o"
+  "CMakeFiles/timedc_core.dir/history.cpp.o.d"
+  "CMakeFiles/timedc_core.dir/history_gen.cpp.o"
+  "CMakeFiles/timedc_core.dir/history_gen.cpp.o.d"
+  "CMakeFiles/timedc_core.dir/interval.cpp.o"
+  "CMakeFiles/timedc_core.dir/interval.cpp.o.d"
+  "CMakeFiles/timedc_core.dir/paper_figures.cpp.o"
+  "CMakeFiles/timedc_core.dir/paper_figures.cpp.o.d"
+  "CMakeFiles/timedc_core.dir/render.cpp.o"
+  "CMakeFiles/timedc_core.dir/render.cpp.o.d"
+  "CMakeFiles/timedc_core.dir/serialization.cpp.o"
+  "CMakeFiles/timedc_core.dir/serialization.cpp.o.d"
+  "CMakeFiles/timedc_core.dir/timed.cpp.o"
+  "CMakeFiles/timedc_core.dir/timed.cpp.o.d"
+  "CMakeFiles/timedc_core.dir/trace_io.cpp.o"
+  "CMakeFiles/timedc_core.dir/trace_io.cpp.o.d"
+  "CMakeFiles/timedc_core.dir/transactions.cpp.o"
+  "CMakeFiles/timedc_core.dir/transactions.cpp.o.d"
+  "libtimedc_core.a"
+  "libtimedc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timedc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtimedc_core.a"
+)

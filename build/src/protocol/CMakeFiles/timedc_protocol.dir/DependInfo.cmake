@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocol/client_base.cpp" "src/protocol/CMakeFiles/timedc_protocol.dir/client_base.cpp.o" "gcc" "src/protocol/CMakeFiles/timedc_protocol.dir/client_base.cpp.o.d"
+  "/root/repo/src/protocol/experiment.cpp" "src/protocol/CMakeFiles/timedc_protocol.dir/experiment.cpp.o" "gcc" "src/protocol/CMakeFiles/timedc_protocol.dir/experiment.cpp.o.d"
+  "/root/repo/src/protocol/server.cpp" "src/protocol/CMakeFiles/timedc_protocol.dir/server.cpp.o" "gcc" "src/protocol/CMakeFiles/timedc_protocol.dir/server.cpp.o.d"
+  "/root/repo/src/protocol/timed_causal_cache.cpp" "src/protocol/CMakeFiles/timedc_protocol.dir/timed_causal_cache.cpp.o" "gcc" "src/protocol/CMakeFiles/timedc_protocol.dir/timed_causal_cache.cpp.o.d"
+  "/root/repo/src/protocol/timed_serial_cache.cpp" "src/protocol/CMakeFiles/timedc_protocol.dir/timed_serial_cache.cpp.o" "gcc" "src/protocol/CMakeFiles/timedc_protocol.dir/timed_serial_cache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/timedc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/clocks/CMakeFiles/timedc_clocks.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/timedc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/timedc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timedc_protocol.dir/client_base.cpp.o"
+  "CMakeFiles/timedc_protocol.dir/client_base.cpp.o.d"
+  "CMakeFiles/timedc_protocol.dir/experiment.cpp.o"
+  "CMakeFiles/timedc_protocol.dir/experiment.cpp.o.d"
+  "CMakeFiles/timedc_protocol.dir/server.cpp.o"
+  "CMakeFiles/timedc_protocol.dir/server.cpp.o.d"
+  "CMakeFiles/timedc_protocol.dir/timed_causal_cache.cpp.o"
+  "CMakeFiles/timedc_protocol.dir/timed_causal_cache.cpp.o.d"
+  "CMakeFiles/timedc_protocol.dir/timed_serial_cache.cpp.o"
+  "CMakeFiles/timedc_protocol.dir/timed_serial_cache.cpp.o.d"
+  "libtimedc_protocol.a"
+  "libtimedc_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timedc_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

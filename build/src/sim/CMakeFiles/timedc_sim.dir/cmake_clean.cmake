@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timedc_sim.dir/clock_sync.cpp.o"
+  "CMakeFiles/timedc_sim.dir/clock_sync.cpp.o.d"
+  "CMakeFiles/timedc_sim.dir/network.cpp.o"
+  "CMakeFiles/timedc_sim.dir/network.cpp.o.d"
+  "CMakeFiles/timedc_sim.dir/simulator.cpp.o"
+  "CMakeFiles/timedc_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/timedc_sim.dir/workload.cpp.o"
+  "CMakeFiles/timedc_sim.dir/workload.cpp.o.d"
+  "libtimedc_sim.a"
+  "libtimedc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timedc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timedc_web.dir/web_cache.cpp.o"
+  "CMakeFiles/timedc_web.dir/web_cache.cpp.o.d"
+  "CMakeFiles/timedc_web.dir/web_experiment.cpp.o"
+  "CMakeFiles/timedc_web.dir/web_experiment.cpp.o.d"
+  "libtimedc_web.a"
+  "libtimedc_web.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timedc_web.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

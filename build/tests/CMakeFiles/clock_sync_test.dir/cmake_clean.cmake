@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clock_sync_test.dir/clock_sync_test.cpp.o"
+  "CMakeFiles/clock_sync_test.dir/clock_sync_test.cpp.o.d"
+  "clock_sync_test"
+  "clock_sync_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clock_sync_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lease_test.dir/lease_test.cpp.o"
+  "CMakeFiles/lease_test.dir/lease_test.cpp.o.d"
+  "lease_test"
+  "lease_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lease_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

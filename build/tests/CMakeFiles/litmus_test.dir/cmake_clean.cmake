@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/litmus_test.dir/litmus_test.cpp.o"
+  "CMakeFiles/litmus_test.dir/litmus_test.cpp.o.d"
+  "litmus_test"
+  "litmus_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/litmus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

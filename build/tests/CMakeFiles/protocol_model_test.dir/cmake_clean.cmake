@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_model_test.dir/protocol_model_test.cpp.o"
+  "CMakeFiles/protocol_model_test.dir/protocol_model_test.cpp.o.d"
+  "protocol_model_test"
+  "protocol_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replicated_store_test.dir/replicated_store_test.cpp.o"
+  "CMakeFiles/replicated_store_test.dir/replicated_store_test.cpp.o.d"
+  "replicated_store_test"
+  "replicated_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replicated_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

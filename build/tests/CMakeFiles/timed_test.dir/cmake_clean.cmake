@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timed_test.dir/timed_test.cpp.o"
+  "CMakeFiles/timed_test.dir/timed_test.cpp.o.d"
+  "timed_test"
+  "timed_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

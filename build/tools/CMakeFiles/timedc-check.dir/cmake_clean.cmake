@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timedc-check.dir/timedc_check.cpp.o"
+  "CMakeFiles/timedc-check.dir/timedc_check.cpp.o.d"
+  "timedc-check"
+  "timedc-check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timedc-check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

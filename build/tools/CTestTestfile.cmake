@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_figure1_untimed "/root/repo/build/tools/timedc-check" "--delta" "120" "/root/repo/tools/testdata/figure1.trace")
+set_tests_properties(cli_figure1_untimed PROPERTIES  PASS_REGULAR_EXPRESSION "TSC\\(Delta=120us, eps=0us\\): no" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_figure1_timed_at_350 "/root/repo/build/tools/timedc-check" "--delta" "350" "/root/repo/tools/testdata/figure1.trace")
+set_tests_properties(cli_figure1_timed_at_350 PROPERTIES  PASS_REGULAR_EXPRESSION "TSC\\(Delta=350us, eps=0us\\): yes" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_rejects_malformed_trace "/root/repo/build/tools/timedc-check" "/root/repo/tools/CMakeLists.txt")
+set_tests_properties(cli_rejects_malformed_trace PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
