@@ -1,0 +1,241 @@
+// SIM-J — timed consistency under faults: drops, crashes, partitions.
+//
+// The paper's central robustness property is that lifetime caches enforce
+// timeliness LOCALLY: a cached copy expires at omega no matter what the
+// network does, so message loss can cost extra traffic and waiting, but
+// never shows a reader a value staler than Delta. The Delta-causal
+// broadcast alternative (Section 4, [7,8]) has no such local guard — a
+// dropped update is simply never delivered, and the replica serves the
+// old value forever.
+//
+// Part 1 runs both lifetime-cache protocols through a hostile scripted
+// run (5% background loss + a 200ms client/server partition that heals +
+// one mid-run crash/restart of each server + a latency spike + a
+// duplication window) and reports the availability bill: retries,
+// failovers, abandoned operations, unavailable time. late% stays 0.
+//
+// Part 2 sweeps background loss for the Delta-broadcast ReplicatedStore
+// vs the TSC cache at the same Delta: the broadcast store's late% grows
+// with the drop rate while the cache's stays 0 — it pays in retries
+// instead (the reliability cost curve).
+#include <cstdio>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "broadcast/replicated_store.hpp"
+#include "protocol/experiment.hpp"
+#include "sim/faults.hpp"
+#include "sim/workload.hpp"
+
+using namespace timedc;
+
+namespace {
+
+WorkloadParams hostile_workload() {
+  WorkloadParams w;
+  w.num_clients = 4;
+  w.num_objects = 16;
+  w.write_ratio = 0.2;
+  w.mean_think_time = SimTime::millis(8);
+  w.zipf_exponent = 0.8;
+  w.horizon = SimTime::seconds(2);
+  return w;
+}
+
+// Clients are sites 0..3, servers 4 and 5.
+FaultPlan hostile_plan() {
+  FaultPlan plan;
+  // Two clients lose both servers for 200ms, then the partition heals.
+  Partition cut;
+  cut.start = SimTime::millis(300);
+  cut.heal = SimTime::millis(500);
+  cut.side_a = {SiteId{0}, SiteId{1}};
+  cut.side_b = {SiteId{4}, SiteId{5}};
+  plan.partitions.push_back(cut);
+  // Each server crashes once mid-run and comes back 100ms later.
+  plan.crashes.push_back(
+      ServerCrash{SiteId{4}, SimTime::millis(600), SimTime::millis(700)});
+  plan.crashes.push_back(
+      ServerCrash{SiteId{5}, SimTime::millis(900), SimTime::millis(1000)});
+  // A congestion spike: +5ms on every link for 100ms. This exceeds the
+  // clients' first-attempt timeout, so it manufactures spurious retries —
+  // exercising duplicate-reply suppression and server-side write dedup.
+  plan.latency_spikes.push_back(LatencySpike{
+      SimTime::millis(1200), SimTime::millis(1300), SimTime::millis(5)});
+  // And a window where the network duplicates 30% of messages.
+  DuplicateWindow dup;
+  dup.start = SimTime::millis(1500);
+  dup.end = SimTime::millis(1600);
+  dup.probability = 0.3;
+  plan.duplications.push_back(dup);
+  return plan;
+}
+
+ExperimentResult run_hostile(ProtocolKind kind, PushPolicy push) {
+  ExperimentConfig config;
+  config.kind = kind;
+  config.delta = SimTime::millis(25);
+  config.workload = hostile_workload();
+  config.num_servers = 2;
+  config.push = push;
+  config.drop_probability = 0.05;
+  config.faults = hostile_plan();
+  config.seed = 11;
+  return run_experiment(config);
+}
+
+void print_hostile_row(const char* name, const ExperimentResult& r) {
+  std::printf("  %-22s %6llu %6llu %8.2f %6llu %7llu %7.3f%% %8.2f%%\n", name,
+              (unsigned long long)r.operations,
+              (unsigned long long)r.ops_abandoned, r.retries_per_op,
+              (unsigned long long)r.cache.failovers,
+              (unsigned long long)r.server.duplicate_writes,
+              100.0 * r.late_fraction, 100.0 * r.unavailable_fraction);
+}
+
+struct BroadcastPoint {
+  double late_fraction = 0;
+  double mean_staleness_us = 0;
+  std::uint64_t reads = 0;
+};
+
+/// Full replication over Delta-causal broadcast under uniform loss, with
+/// the same winning-timeline staleness oracle the harness uses.
+BroadcastPoint run_broadcast(const WorkloadParams& workload, SimTime delta,
+                             double drop, std::uint64_t seed) {
+  Simulator sim;
+  NetworkConfig config;
+  config.drop_probability = drop;
+  config.fifo_links = false;
+  Network net(sim, workload.num_clients,
+              std::make_unique<UniformLatency>(SimTime::micros(200),
+                                               SimTime::micros(800)),
+              config, Rng(seed));
+  std::vector<std::unique_ptr<ReplicatedStore>> stores;
+  for (std::uint32_t c = 0; c < workload.num_clients; ++c) {
+    stores.push_back(std::make_unique<ReplicatedStore>(
+        sim, net, SiteId{c}, workload.num_clients, delta));
+    stores.back()->attach();
+  }
+  Rng rng(seed ^ 0x5151);
+  const auto ops = generate_workload(workload, rng);
+  struct GlobalWrite {
+    SimTime at;
+    Value value;
+  };
+  std::unordered_map<ObjectId, std::vector<GlobalWrite>> timeline;
+  std::int64_t next_value = 1;
+  BroadcastPoint point;
+  double staleness_sum = 0;
+  std::uint64_t late = 0;
+  for (const WorkloadOp& op : ops) {
+    if (op.is_write) {
+      const Value v{next_value++};
+      timeline[op.object].push_back({op.at, v});
+      sim.schedule_at(op.at, [&stores, op, v] {
+        stores[op.client.value]->write(op.object, v);
+      });
+    } else {
+      sim.schedule_at(op.at, [&, op] {
+        const Value got = stores[op.client.value]->read(op.object);
+        ++point.reads;
+        const auto& writes = timeline[op.object];
+        SimTime got_at = SimTime::micros(-1);
+        for (const auto& w : writes) {
+          if (w.value == got) got_at = w.at;
+        }
+        for (const auto& w : writes) {
+          if (w.at > got_at && w.at < op.at && w.value != got) {
+            const SimTime staleness = op.at - w.at;
+            staleness_sum += static_cast<double>(staleness.as_micros());
+            if (staleness > delta) ++late;
+            break;
+          }
+        }
+      });
+    }
+  }
+  sim.run_until();
+  if (point.reads > 0) {
+    point.late_fraction =
+        static_cast<double>(late) / static_cast<double>(point.reads);
+    point.mean_staleness_us =
+        staleness_sum / static_cast<double>(point.reads);
+  }
+  return point;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "SIM-J: fault tolerance — 4 clients, 2 servers, Delta = 25ms, 2s.\n"
+      "Faults: 5%% uniform loss, 200ms partition ({c0,c1} vs servers,\n"
+      "heals), each server crashes once for 100ms, +5ms latency spike\n"
+      "for 100ms, 30%% duplication for 100ms. Retry: 8 attempts,\n"
+      "exponential backoff, failover across the cluster.\n\n");
+
+  std::printf("  %-22s %6s %6s %8s %6s %7s %8s %9s\n", "protocol", "ops",
+              "aband", "retry/op", "failov", "dupW", "late%", "unavail%");
+  const auto serial = run_hostile(ProtocolKind::kTimedSerial, PushPolicy::kNone);
+  print_hostile_row("timed-serial (pull)", serial);
+  const auto causal = run_hostile(ProtocolKind::kTimedCausal, PushPolicy::kNone);
+  print_hostile_row("timed-causal (pull)", causal);
+  const auto pushed =
+      run_hostile(ProtocolKind::kTimedSerial, PushPolicy::kInvalidate);
+  print_hostile_row("timed-serial (push-inv)", pushed);
+
+  std::printf(
+      "\n  injector: %llu dropped in partition, %llu dropped at dead\n"
+      "  servers, %llu duplicated, %llu delayed; %llu crashes, %llu\n"
+      "  restarts; network dropped %llu of %llu messages total.\n",
+      (unsigned long long)serial.faults.dropped_by_partition,
+      (unsigned long long)serial.faults.dropped_node_down,
+      (unsigned long long)serial.faults.duplicated,
+      (unsigned long long)serial.faults.delayed,
+      (unsigned long long)serial.faults.crashes,
+      (unsigned long long)serial.faults.restarts,
+      (unsigned long long)serial.network.messages_dropped,
+      (unsigned long long)serial.network.messages_sent);
+
+  std::printf(
+      "\nShape check: late%% is 0.000 in every row — expiry is enforced at\n"
+      "the reader, so no admitted read is ever staler than Delta; faults\n"
+      "surface as retries, failovers and (rarely) abandoned ops instead.\n"
+      "Push clients degrade gracefully: a crash wipes the server's cacher\n"
+      "set, but finite Delta forces revalidation, which re-subscribes.\n\n");
+
+  // ----- Part 2: the broadcast store violates Delta under the same loss.
+  WorkloadParams w = hostile_workload();
+  const SimTime delta = SimTime::millis(25);
+  std::printf(
+      "Loss sweep, same workload: Delta-broadcast replication vs TSC\n"
+      "lifetime cache (reliability cost curve).\n\n");
+  std::printf("  %6s | %10s %10s | %10s %8s %10s\n", "drop", "bcast-late%",
+              "stale-us", "cache-late%", "retry/op", "msgs/op");
+  for (const double drop : {0.0, 0.02, 0.05, 0.10, 0.20}) {
+    const BroadcastPoint b = run_broadcast(w, delta, drop, 23);
+
+    ExperimentConfig cache;
+    cache.kind = ProtocolKind::kTimedSerial;
+    cache.delta = delta;
+    cache.workload = w;
+    cache.num_servers = 2;
+    cache.drop_probability = drop;
+    cache.seed = 23;
+    const auto r = run_experiment(cache);
+
+    std::printf("  %5.0f%% | %9.3f%% %10.0f | %9.3f%% %8.2f %10.2f\n",
+                100 * drop, 100 * b.late_fraction, b.mean_staleness_us,
+                100 * r.late_fraction, r.retries_per_op, r.messages_per_op);
+  }
+  std::printf(
+      "\nShape check: the broadcast store's late%% climbs with the drop\n"
+      "rate (a lost update is never delivered; the stale replica serves\n"
+      "it indefinitely), while the lifetime cache holds late%% at 0 and\n"
+      "pays for loss in retries and messages — consistency is enforced\n"
+      "by local expiry, so the network can only make it slower, not\n"
+      "wrong.\n");
+  return 0;
+}

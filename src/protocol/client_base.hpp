@@ -2,18 +2,54 @@
 // read/write API, server messaging, local clock access and statistics.
 // The TSC (physical clock) and TCC (logical clock) caches derive from this
 // and implement the lifetime rules.
+//
+// The base also owns the reliable-RPC layer: every request carries a
+// per-client monotone request id, and — when a RetryPolicy is configured —
+// an unanswered request is retransmitted with exponential backoff and
+// deterministic jitter, fails over to another cluster server after repeated
+// timeouts, and is explicitly ABANDONED once the attempt budget is
+// exhausted (the operation completes degraded instead of hanging forever).
+// Duplicate replies (retransmission races, network duplication) are
+// suppressed by request id. The timeout is budgeted against the network's
+// LatencyModel::upper_bound(), the same bound Delta-timeliness budgeting
+// uses.
 #pragma once
 
 #include <functional>
 #include <memory>
+#include <optional>
+#include <vector>
 
 #include "clocks/physical_clock.hpp"
+#include "common/rng.hpp"
 #include "protocol/messages.hpp"
 #include "protocol/stats.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
 
 namespace timedc {
+
+/// Reliability knobs for the client RPC layer. max_attempts <= 1 disables
+/// retries entirely (one send, wait forever — the seed behavior, correct on
+/// a lossless network). In ExperimentConfig, max_attempts == 0 means
+/// "auto": resolved to a retrying policy iff the run injects faults.
+struct RetryPolicy {
+  /// Total send attempts per RPC (first send included). <= 1: no retries.
+  int max_attempts = 0;
+  /// First-attempt timeout; zero derives one from the network latency
+  /// upper bound (request hop + possible forward hop + reply hop + slack).
+  SimTime base_timeout = SimTime::zero();
+  /// Timeout multiplier per further attempt.
+  double backoff = 2.0;
+  /// Uniform random extra fraction of the timeout, so retry storms from
+  /// many clients decorrelate (deterministically, from the client's rng).
+  double jitter = 0.25;
+  /// Consecutive timeouts on one server before rerouting to another
+  /// cluster server (which forwards to the owner if it is not the owner).
+  int failover_after = 2;
+
+  bool enabled() const { return max_attempts > 1; }
+};
 
 class CacheClient {
  public:
@@ -35,6 +71,14 @@ class CacheClient {
     route_ = std::move(route);
   }
 
+  /// Turn on the reliable-RPC layer. `failover_servers` lists the cluster
+  /// servers tried in rotation when the current target keeps timing out
+  /// (may be empty: retry the same server only). `rpc_seed` seeds the
+  /// deterministic jitter stream.
+  void configure_reliability(RetryPolicy policy,
+                             std::vector<SiteId> failover_servers,
+                             std::uint64_t rpc_seed);
+
   CacheClient(const CacheClient&) = delete;
   CacheClient& operator=(const CacheClient&) = delete;
 
@@ -46,6 +90,12 @@ class CacheClient {
 
   /// Issue a write-through; completes when the server acks.
   void write(ObjectId object, Value value, WriteCallback done);
+
+  /// True when the most recently completed operation was abandoned by the
+  /// retry layer (its result is a degraded local guess, not a server
+  /// answer). The experiment driver excludes such operations from the
+  /// recorded history and the staleness oracle.
+  bool last_op_abandoned() const { return op_abandoned_; }
 
   SiteId site() const { return self_; }
   SimTime delta() const { return delta_; }
@@ -59,6 +109,10 @@ class CacheClient {
   void finish_read(Value value);
   void finish_write();
   bool read_pending() const { return static_cast<bool>(pending_read_); }
+
+  /// Best-effort value for an abandoned read (no server reachable): the
+  /// cached copy if any, however stale. Default: the initial value.
+  virtual Value degraded_read_value(ObjectId object) const;
 
   // Protocol hooks.
   virtual void begin_read(ObjectId object) = 0;
@@ -76,9 +130,34 @@ class CacheClient {
   CacheStats stats_;
 
  private:
+  struct InFlightRpc {
+    std::uint64_t id = 0;
+    Message request;
+    ObjectId object;
+    SiteId target;
+    int attempt = 1;
+    int timeouts_at_target = 0;
+  };
+
+  void on_network_message(const Message& message);
+  void transmit();
+  void arm_timeout();
+  void on_rpc_timeout();
+  void abandon_op();
+  SimTime timeout_for_attempt(int attempt);
+
   std::function<SiteId(ObjectId)> route_;
   ReadCallback pending_read_;
   WriteCallback pending_write_;
+  ObjectId pending_op_object_;
+
+  RetryPolicy retry_;
+  std::vector<SiteId> failover_;
+  Rng rpc_rng_{0};
+  std::optional<InFlightRpc> rpc_;
+  std::uint64_t next_request_id_ = 0;
+  SimTime op_started_at_ = SimTime::zero();
+  bool op_abandoned_ = false;
 };
 
 }  // namespace timedc

@@ -50,17 +50,28 @@ class ClientDriver {
   }
 
   void execute(const Planned& op) {
+    // Abandoned operations (retry budget exhausted under faults) complete
+    // degraded: they are counted but kept out of the recorded history and
+    // the staleness oracle — an abandoned read was never admitted under
+    // the protocol's Delta rules, and an abandoned write may or may not
+    // have reached the server (its ack was lost either way).
     if (op.is_write) {
       const SimTime issued = sim_.now();
-      record_.write(client_.site(), op.object, op.value, issued);
-      client_.write(op.object, op.value, [this](SimTime completed) {
+      client_.write(op.object, op.value, [this, op, issued](SimTime completed) {
+        if (!client_.last_op_abandoned()) {
+          record_.write(client_.site(), op.object, op.value, issued);
+        }
         ++completed_;
         issue_next(completed + SimTime::micros(1));
       });
     } else {
       client_.read(op.object, [this, op](Value v, SimTime completed) {
-        record_.read(client_.site(), op.object, v, completed);
-        if (oracle_) staleness_sink_.push_back(oracle_(op.object, v, completed));
+        if (!client_.last_op_abandoned()) {
+          record_.read(client_.site(), op.object, v, completed);
+          if (oracle_) {
+            staleness_sink_.push_back(oracle_(op.object, v, completed));
+          }
+        }
         ++completed_;
         issue_next(completed + SimTime::micros(1));
       });
@@ -89,10 +100,21 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     cluster.push_back(SiteId{static_cast<std::uint32_t>(num_clients + k)});
   }
 
+  NetworkConfig net_config;
+  net_config.drop_probability = config.drop_probability;
   Network net(sim, num_clients + num_servers,
               std::make_unique<UniformLatency>(config.min_latency,
                                                config.max_latency),
-              NetworkConfig{}, rng.split());
+              net_config, rng.split());
+
+  // The injector gets its own rng stream, derived from the seed but NOT
+  // from the shared split sequence: adding faults must not perturb the
+  // latency/workload streams of the fault-free baseline.
+  std::optional<FaultInjector> injector;
+  if (!config.faults.empty()) {
+    injector.emplace(config.faults, Rng(config.seed ^ 0xFA017ull));
+    net.set_fault_injector(&*injector);
+  }
 
   std::vector<std::unique_ptr<ObjectServer>> servers;
   for (SiteId site : cluster) {
@@ -100,6 +122,12 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
         sim, net, site, num_clients, config.push, config.sizes, cluster,
         ServerConfig{config.lease}));
     servers.back()->attach();
+    if (injector) {
+      ObjectServer* srv = servers.back().get();
+      injector->install(sim, site,
+                        FaultInjector::NodeHooks{[srv] { srv->crash(); },
+                                                 [srv] { srv->restart(); }});
+    }
   }
   const auto owner_of = [&cluster](ObjectId object) {
     return cluster[object.value % cluster.size()];
@@ -129,6 +157,16 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
           config.mark_old, config.sizes, num_clients, config.clock_entries,
           config.eviction));
     }
+    RetryPolicy retry = config.retry;
+    if (retry.max_attempts == 0) {
+      // AUTO: reliability costs nothing to leave off when the network is
+      // perfect, and is mandatory when it isn't.
+      const bool faulty =
+          config.drop_probability > 0.0 || !config.faults.empty();
+      retry.max_attempts = faulty ? 8 : 1;
+    }
+    clients.back()->configure_reliability(retry, cluster,
+                                          config.seed * 2654435761ULL + c);
     if (config.routing == Routing::kDirect) {
       clients.back()->set_route(owner_of);
     } else {
@@ -211,10 +249,33 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     result.server.pushes += st.pushes;
     result.server.forwarded += st.forwarded;
     result.server.writes_deferred += st.writes_deferred;
+    result.server.duplicate_writes += st.duplicate_writes;
+    result.server.crashes += st.crashes;
+    result.server.restarts += st.restarts;
   }
   result.network = net.stats();
+  if (injector) result.faults = injector->stats();
   for (const auto& d : drivers) result.operations += d->completed();
+  // Every operation completes or is explicitly abandoned — a hung client
+  // would fail this (the liveness half of the robustness claim).
   TIMEDC_ASSERT(result.operations == ops.size());
+  result.ops_abandoned = result.cache.ops_abandoned;
+  if (result.operations > 0) {
+    result.retries_per_op = static_cast<double>(result.cache.retries) /
+                            static_cast<double>(result.operations);
+  }
+  if (!ops.empty()) {
+    SimTime horizon = SimTime::zero();
+    for (const WorkloadOp& op : ops) horizon = max(horizon, op.at);
+    horizon = max(horizon, sim.now());
+    const double total_client_us =
+        static_cast<double>(num_clients) *
+        static_cast<double>(horizon.as_micros());
+    if (total_client_us > 0) {
+      result.unavailable_fraction =
+          static_cast<double>(result.cache.unavailable_us) / total_client_us;
+    }
+  }
 
   if (!staleness.empty()) {
     double sum = 0;

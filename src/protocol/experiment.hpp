@@ -17,6 +17,7 @@
 #include "protocol/server.hpp"
 #include "protocol/timed_causal_cache.hpp"
 #include "protocol/stats.hpp"
+#include "sim/faults.hpp"
 #include "sim/workload.hpp"
 
 namespace timedc {
@@ -61,6 +62,15 @@ struct ExperimentConfig {
   double drift_ppm = 20.0;
   MessageSizes sizes;
   std::uint64_t seed = 1;
+  /// Background uniform message loss (every link, the whole run).
+  double drop_probability = 0.0;
+  /// Scripted faults: partitions, drop/duplication windows, latency
+  /// spikes, server crash/restart. Same seed + same plan = same run.
+  FaultPlan faults;
+  /// Client reliability. max_attempts == 0 is AUTO: retries are enabled
+  /// (8 attempts) iff the run injects faults or background drops, so
+  /// lossless configs behave exactly as before.
+  RetryPolicy retry;
 };
 
 struct ExperimentResult {
@@ -76,6 +86,15 @@ struct ExperimentResult {
   double late_fraction = 0;
   double messages_per_op = 0;
   double bytes_per_op = 0;
+  // --- availability under faults -------------------------------------
+  FaultStats faults;  // what the injector actually did
+  /// Operations the retry layer gave up on (they completed degraded and
+  /// are excluded from the recorded history and the staleness oracle).
+  std::uint64_t ops_abandoned = 0;
+  double retries_per_op = 0;
+  /// Fraction of total client-time spent inside abandoned operations —
+  /// the run's aggregate unavailability window.
+  double unavailable_fraction = 0;
   History history;  // the recorded execution
 };
 

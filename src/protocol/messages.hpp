@@ -33,16 +33,24 @@ struct ObjectCopy {
                                // knowledge when it vouched for this value
 };
 
+// Every request carries a per-client monotone request_id; the reply echoes
+// it. The reliable-RPC layer keys retransmissions, duplicate-reply
+// suppression and server-side write dedup on (reply_to, request_id), so a
+// retried request is idempotent end to end. 0 means "unsequenced" (raw
+// protocol messages built by hand in tests).
+
 struct FetchRequest {
   ObjectId object;
   /// The client the reply must go to. Set by the client; preserved when a
   /// non-primary server forwards the request to the object's primary, so
   /// the reply takes one hop back instead of retracing the forward path.
   SiteId reply_to;
+  std::uint64_t request_id = 0;
 };
 
 struct FetchReply {
   ObjectCopy copy;
+  std::uint64_t request_id = 0;
 };
 
 struct WriteRequest {
@@ -51,11 +59,13 @@ struct WriteRequest {
   SimTime client_time;      // effective time at the writing client
   PlausibleTimestamp write_ts;  // logical timestamp of the write (TCC)
   SiteId reply_to;
+  std::uint64_t request_id = 0;
 };
 
 struct WriteAck {
   ObjectId object;
   std::uint64_t version;
+  std::uint64_t request_id = 0;
 };
 
 /// If-modified-since: "is version v of X still current?"
@@ -63,6 +73,7 @@ struct ValidateRequest {
   ObjectId object;
   std::uint64_t version;
   SiteId reply_to;
+  std::uint64_t request_id = 0;
 };
 
 struct ValidateReply {
@@ -71,6 +82,7 @@ struct ValidateReply {
   /// When still_valid, the refreshed omega/beta for the client's copy;
   /// otherwise a full fresh copy (like an HTTP 200 after a failed 304).
   ObjectCopy copy;
+  std::uint64_t request_id = 0;
 };
 
 /// Server-initiated invalidation (Cao-Liu style strong consistency).

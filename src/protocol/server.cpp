@@ -42,6 +42,36 @@ void ObjectServer::attach() {
   });
 }
 
+void ObjectServer::crash() {
+  if (!up_) return;
+  up_ = false;
+  ++epoch_;
+  ++stats_.crashes;
+  // Soft state dies with the process; durable object state and the write
+  // dedup log survive (see the header).
+  for (auto& [object, s] : objects_) {
+    s.cachers.clear();
+    s.leases.clear();
+    s.write_pending = false;
+  }
+  // Requests deferred on leases were soft too: their scheduled
+  // continuations check epoch_ and evaporate. The writer's retry layer
+  // re-submits them.
+  for (auto& [client, d] : write_dedup_) d.deferred_id = 0;
+}
+
+void ObjectServer::restart() {
+  if (up_) return;
+  up_ = true;
+  ++stats_.restarts;
+  if (config_.lease_duration > SimTime::zero()) {
+    // Conservative lease recovery (Gray-Cheriton): every lease granted
+    // before the crash expires by now + lease_duration, so deferring all
+    // writes until then preserves the promise made to forgotten readers.
+    lease_grace_until_ = sim_.now() + config_.lease_duration;
+  }
+}
+
 ObjectServer::Stored& ObjectServer::stored(ObjectId object) {
   return objects_.try_emplace(object).first->second;
 }
@@ -55,6 +85,7 @@ const std::vector<ObjectServer::AppliedWrite>& ObjectServer::applied_writes(
 
 void ObjectServer::on_message(SiteId from, const std::shared_ptr<void>& payload) {
   (void)from;
+  if (!up_) return;  // a crashed server is silent; clients retry elsewhere
   const auto msg = std::static_pointer_cast<Message>(payload);
   if (const auto* fetch = std::get_if<FetchRequest>(msg.get())) {
     if (!forward_if_not_owner(fetch->object, *msg)) handle_fetch(*fetch);
@@ -111,20 +142,50 @@ void ObjectServer::handle_fetch(const FetchRequest& req) {
   Stored& s = stored(req.object);
   s.cachers.insert(req.reply_to.value);
   const SimTime granted = grant_lease(s, req.reply_to);
-  send(req.reply_to, Message{FetchReply{copy_of(req.object, granted)}});
+  send(req.reply_to,
+       Message{FetchReply{copy_of(req.object, granted), req.request_id}});
 }
 
 void ObjectServer::handle_write(const WriteRequest& req) {
+  if (req.request_id != 0) {
+    WriteDedup& d = write_dedup_[req.reply_to.value];
+    if (req.request_id == d.completed_id) {
+      // Retransmission of an already-applied write: resend the stored ack
+      // instead of applying twice (the original ack was lost or slow).
+      ++stats_.duplicate_writes;
+      send(req.reply_to, Message{d.ack});
+      return;
+    }
+    if (req.request_id == d.deferred_id || req.request_id < d.completed_id) {
+      // Already queued behind a lease (the deferral will ack when it
+      // lands), or a stale retransmission of an op the client has since
+      // abandoned and moved past: either way, don't apply again.
+      ++stats_.duplicate_writes;
+      return;
+    }
+    d.deferred_id = req.request_id;
+  }
+  defer_or_apply(req);
+}
+
+void ObjectServer::defer_or_apply(const WriteRequest& req) {
   Stored& s = stored(req.object);
   // Gray-Cheriton: while another client holds a live lease on this object,
   // the write waits — readers were promised the current value until their
-  // lease expires. The writer's own lease never blocks it.
-  const SimTime horizon = lease_horizon(s, req.reply_to);
+  // lease expires. The writer's own lease never blocks it. After a restart
+  // the grace window stands in for every forgotten lease.
+  const SimTime horizon =
+      max(lease_horizon(s, req.reply_to), lease_grace_until_);
   if (horizon > sim_.now()) {
     ++stats_.writes_deferred;
     s.write_pending = true;  // freeze lease grants until this write lands
     const WriteRequest deferred = req;
-    sim_.schedule_at(horizon, [this, deferred] { handle_write(deferred); });
+    const std::uint64_t epoch = epoch_;
+    sim_.schedule_at(horizon, [this, deferred, epoch] {
+      // The deferral was soft state: a crash in the meantime voids it.
+      if (epoch != epoch_ || !up_) return;
+      defer_or_apply(deferred);
+    });
     return;
   }
   s.write_pending = false;
@@ -145,7 +206,9 @@ void ObjectServer::apply_write(const WriteRequest& req) {
     // Version 0 in the ack marks the write as superseded: the writer's
     // provisional cache entry keeps version 0 and will fail validation,
     // fetching the winning value instead.
-    send(from, Message{WriteAck{req.object, 0}});
+    const WriteAck ack{req.object, 0, req.request_id};
+    record_completed(req, ack);
+    send(from, Message{ack});
     return;
   }
   ++stats_.writes_applied;
@@ -159,7 +222,9 @@ void ObjectServer::apply_write(const WriteRequest& req) {
                        : PlausibleTimestamp::merge_max(logical_now_, req.write_ts);
   }
   history_[req.object].push_back(AppliedWrite{req.value, sim_.now()});
-  send(from, Message{WriteAck{req.object, s.version}});
+  const WriteAck ack{req.object, s.version, req.request_id};
+  record_completed(req, ack);
+  send(from, Message{ack});
 
   if (push_ == PushPolicy::kNone) return;
   for (const std::uint32_t cacher : s.cachers) {
@@ -173,6 +238,17 @@ void ObjectServer::apply_write(const WriteRequest& req) {
   }
 }
 
+void ObjectServer::record_completed(const WriteRequest& req,
+                                    const WriteAck& ack) {
+  if (req.request_id == 0) return;
+  WriteDedup& d = write_dedup_[req.reply_to.value];
+  if (req.request_id >= d.completed_id) {
+    d.completed_id = req.request_id;
+    d.ack = ack;
+  }
+  if (d.deferred_id == req.request_id) d.deferred_id = 0;
+}
+
 void ObjectServer::handle_validate(const ValidateRequest& req) {
   const SiteId from = req.reply_to;
   ++stats_.validations;
@@ -183,6 +259,7 @@ void ObjectServer::handle_validate(const ValidateRequest& req) {
   reply.object = req.object;
   reply.still_valid = (s.version == req.version);
   reply.copy = copy_of(req.object, granted);
+  reply.request_id = req.request_id;
   if (reply.still_valid) ++stats_.validations_ok;
   send(from, Message{reply});
 }

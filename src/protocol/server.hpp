@@ -45,6 +45,9 @@ struct ServerStats {
   std::uint64_t pushes = 0;
   std::uint64_t forwarded = 0;       // requests relayed to the owning server
   std::uint64_t writes_deferred = 0; // writes that waited for a lease
+  std::uint64_t duplicate_writes = 0; // retransmitted writes deduplicated
+  std::uint64_t crashes = 0;
+  std::uint64_t restarts = 0;
 };
 
 class ObjectServer {
@@ -60,6 +63,22 @@ class ObjectServer {
 
   /// Install this server as the network handler for its site id.
   void attach();
+
+  /// Crash: the server goes silent and loses its SOFT state — the cachers
+  /// sets (push subscriptions), outstanding leases, and scheduled write
+  /// deferrals. Durable state survives: object values, versions, start
+  /// times, the applied-write history, and the write dedup log (the
+  /// write-ahead log a real server would replay), so retried writes stay
+  /// idempotent across the crash.
+  void crash();
+
+  /// Restart after a crash. If leases are enabled, writes are deferred for
+  /// a grace window of one full lease_duration: the restarted server has
+  /// forgotten who holds leases, but every lease it ever granted expires
+  /// within that window, so no reader's promise is broken.
+  void restart();
+
+  bool is_up() const { return up_; }
 
   SiteId site() const { return self_; }
   const ServerStats& stats() const { return stats_; }
@@ -93,11 +112,24 @@ class ObjectServer {
     bool write_pending = false;
   };
 
+  // Write dedup by (client, request_id): one slot per client suffices
+  // because each client has at most one operation outstanding. Durable
+  // across crash (WAL semantics).
+  struct WriteDedup {
+    std::uint64_t completed_id = 0;  // last applied request
+    WriteAck ack;                    // its ack, for retransmission
+    std::uint64_t deferred_id = 0;   // request currently lease-deferred
+  };
+
   void on_message(SiteId from, const std::shared_ptr<void>& payload);
   void handle_fetch(const FetchRequest& req);
   void handle_write(const WriteRequest& req);
   void handle_validate(const ValidateRequest& req);
+  /// Lease gate: defers past live leases and the post-restart grace window.
+  void defer_or_apply(const WriteRequest& req);
   void apply_write(const WriteRequest& req);
+  /// Log the applied write in the dedup slot so retransmissions re-ack.
+  void record_completed(const WriteRequest& req, const WriteAck& ack);
   /// Latest lease expiry held by any client other than `writer` (zero when
   /// none). Expired entries are pruned as a side effect.
   SimTime lease_horizon(Stored& s, SiteId writer);
@@ -120,6 +152,12 @@ class ObjectServer {
   MessageSizes sizes_;
   std::vector<SiteId> cluster_;
   ServerConfig config_;
+  bool up_ = true;
+  // Bumped on crash so scheduled continuations (lease deferrals) from the
+  // previous incarnation die instead of touching the restarted server.
+  std::uint64_t epoch_ = 0;
+  SimTime lease_grace_until_ = SimTime::zero();
+  std::unordered_map<std::uint32_t, WriteDedup> write_dedup_;
   mutable std::unordered_map<ObjectId, Stored> objects_;
   // The server's merged logical knowledge: max over all write timestamps it
   // has applied. Shipped as omega_l so a fresh copy never looks causally

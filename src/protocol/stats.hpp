@@ -18,6 +18,12 @@ struct CacheStats {
   std::uint64_t marked_old = 0;        // entries demoted to old (validate later)
   std::uint64_t push_updates = 0;      // server-pushed copies installed
   std::uint64_t push_invalidations = 0;
+  // Reliable-RPC layer (zero on a lossless network / without a RetryPolicy).
+  std::uint64_t retries = 0;            // request retransmissions
+  std::uint64_t failovers = 0;          // reroutes to another cluster server
+  std::uint64_t ops_abandoned = 0;      // retry budget exhausted
+  std::uint64_t duplicate_replies = 0;  // replies suppressed by request id
+  std::uint64_t unavailable_us = 0;     // time spent inside abandoned ops
 
   double hit_ratio() const {
     return reads == 0 ? 0.0 : static_cast<double>(cache_hits) / reads;
@@ -34,6 +40,11 @@ struct CacheStats {
     marked_old += o.marked_old;
     push_updates += o.push_updates;
     push_invalidations += o.push_invalidations;
+    retries += o.retries;
+    failovers += o.failovers;
+    ops_abandoned += o.ops_abandoned;
+    duplicate_replies += o.duplicate_replies;
+    unavailable_us += o.unavailable_us;
     return *this;
   }
 };

@@ -119,6 +119,12 @@ void TimedCausalCache::begin_read(ObjectId object) {
   }
 }
 
+Value TimedCausalCache::degraded_read_value(ObjectId object) const {
+  const auto it = cache_.find(object);
+  return it == cache_.end() ? CacheClient::degraded_read_value(object)
+                            : it->second.value;
+}
+
 void TimedCausalCache::begin_write(ObjectId object, Value value) {
   beta_sweep();
   const SimTime t = local_time();

@@ -70,6 +70,7 @@ class TimedCausalCache final : public CacheClient {
   void begin_read(ObjectId object) override;
   void begin_write(ObjectId object, Value value) override;
   void handle(const Message& message) override;
+  Value degraded_read_value(ObjectId object) const override;
 
  private:
   struct Entry {

@@ -60,6 +60,14 @@ void TimedSerialCache::begin_read(ObjectId object) {
   }
 }
 
+Value TimedSerialCache::degraded_read_value(ObjectId object) const {
+  // No server reachable: serve the cached copy however stale (the caller
+  // knows the op was abandoned), or the initial value cold.
+  const auto it = cache_.find(object);
+  return it == cache_.end() ? CacheClient::degraded_read_value(object)
+                            : it->second.value;
+}
+
 void TimedSerialCache::begin_write(ObjectId object, Value value) {
   advance_context_for_timeliness();
   const SimTime t = local_time();

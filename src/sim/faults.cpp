@@ -1,0 +1,107 @@
+#include "sim/faults.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace timedc {
+namespace {
+
+bool matches(std::uint32_t filter, SiteId site) {
+  return filter == kAnySite || filter == site.value;
+}
+
+bool in_window(SimTime start, SimTime end, SimTime now) {
+  return start <= now && now < end;
+}
+
+bool contains(const std::vector<SiteId>& side, SiteId site) {
+  return std::find(side.begin(), side.end(), site) != side.end();
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan, Rng rng)
+    : plan_(std::move(plan)), rng_(rng) {
+  for (const auto& w : plan_.drops) TIMEDC_ASSERT(w.start <= w.end);
+  for (const auto& w : plan_.duplications) TIMEDC_ASSERT(w.start <= w.end);
+  for (const auto& s : plan_.latency_spikes) TIMEDC_ASSERT(s.start <= s.end);
+  for (const auto& p : plan_.partitions) TIMEDC_ASSERT(p.start <= p.heal);
+  for (const auto& c : plan_.crashes) TIMEDC_ASSERT(c.at <= c.restart_at);
+}
+
+bool FaultInjector::node_down(SiteId node, SimTime now) const {
+  for (const auto& c : plan_.crashes) {
+    if (c.node == node && in_window(c.at, c.restart_at, now)) return true;
+  }
+  return false;
+}
+
+bool FaultInjector::link_cut(SiteId from, SiteId to, SimTime now) const {
+  for (const auto& p : plan_.partitions) {
+    if (!in_window(p.start, p.heal, now)) continue;
+    const bool cut = (contains(p.side_a, from) && contains(p.side_b, to)) ||
+                     (contains(p.side_b, from) && contains(p.side_a, to));
+    if (cut) return true;
+  }
+  return false;
+}
+
+FaultInjector::Decision FaultInjector::on_send(SiteId from, SiteId to,
+                                               SimTime now) {
+  Decision d;
+  if (node_down(from, now) || node_down(to, now)) {
+    ++stats_.dropped_node_down;
+    d.drop = true;
+    return d;
+  }
+  if (link_cut(from, to, now)) {
+    ++stats_.dropped_by_partition;
+    d.drop = true;
+    return d;
+  }
+  for (const auto& w : plan_.drops) {
+    if (in_window(w.start, w.end, now) && matches(w.from, from) &&
+        matches(w.to, to) && rng_.bernoulli(w.probability)) {
+      ++stats_.dropped_by_window;
+      d.drop = true;
+      return d;
+    }
+  }
+  for (const auto& w : plan_.duplications) {
+    if (in_window(w.start, w.end, now) && matches(w.from, from) &&
+        matches(w.to, to) && rng_.bernoulli(w.probability)) {
+      ++stats_.duplicated;
+      d.duplicate = true;
+      break;
+    }
+  }
+  for (const auto& s : plan_.latency_spikes) {
+    if (in_window(s.start, s.end, now) && matches(s.from, from) &&
+        matches(s.to, to)) {
+      d.extra_latency += s.extra;
+    }
+  }
+  if (d.extra_latency > SimTime::zero()) ++stats_.delayed;
+  return d;
+}
+
+void FaultInjector::install(Simulator& sim, SiteId node, NodeHooks hooks) {
+  for (const auto& c : plan_.crashes) {
+    if (c.node != node) continue;
+    if (hooks.on_crash) {
+      sim.schedule_at(c.at, [this, fn = hooks.on_crash] {
+        ++stats_.crashes;
+        fn();
+      });
+    }
+    if (hooks.on_restart && !c.restart_at.is_infinite()) {
+      sim.schedule_at(c.restart_at, [this, fn = hooks.on_restart] {
+        ++stats_.restarts;
+        fn();
+      });
+    }
+  }
+}
+
+}  // namespace timedc

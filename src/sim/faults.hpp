@@ -1,0 +1,150 @@
+// Scriptable fault injection for the simulated network.
+//
+// A FaultPlan describes, on the simulator's virtual timeline, the ways a
+// deployment's network and servers misbehave: timed partitions that cut a
+// set of links and later heal, per-link windows of message loss /
+// duplication / latency inflation, and server crash/restart events. A
+// FaultInjector executes the plan deterministically — the Network consults
+// it on every send, and the experiment harness registers crash/restart
+// hooks per server — so every protocol sees the *same* fault sequence under
+// one seed and faulty runs stay bit-reproducible.
+//
+// This is the testbed for the paper's central robustness claim: lifetimes
+// enforce timed consistency *locally* (a cached copy expires no matter
+// what), so message loss degrades only cost and liveness, never the
+// t + Delta visibility promise — unlike Delta-broadcast, where a lost
+// message is simply never delivered (Section 4, [7, 8]).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/sim_time.hpp"
+#include "common/types.hpp"
+#include "sim/simulator.hpp"
+
+namespace timedc {
+
+/// Wildcard for DropWindow/DuplicateWindow/LatencySpike endpoints.
+inline constexpr std::uint32_t kAnySite = 0xffffffffu;
+
+/// Messages from `from` to `to` are dropped with `probability` while
+/// start <= now < end. kAnySite matches every site.
+struct DropWindow {
+  SimTime start;
+  SimTime end;
+  double probability = 1.0;
+  std::uint32_t from = kAnySite;
+  std::uint32_t to = kAnySite;
+};
+
+/// Messages are delivered twice with `probability` during the window (the
+/// duplicate takes an independently sampled latency).
+struct DuplicateWindow {
+  SimTime start;
+  SimTime end;
+  double probability = 1.0;
+  std::uint32_t from = kAnySite;
+  std::uint32_t to = kAnySite;
+};
+
+/// Every matching message sent during the window takes `extra` additional
+/// latency (congestion / routing flap).
+struct LatencySpike {
+  SimTime start;
+  SimTime end;
+  SimTime extra;
+  std::uint32_t from = kAnySite;
+  std::uint32_t to = kAnySite;
+};
+
+/// All links between side_a and side_b are cut (both directions) while
+/// start <= now < heal. Links within one side stay up.
+struct Partition {
+  SimTime start;
+  SimTime heal;
+  std::vector<SiteId> side_a;
+  std::vector<SiteId> side_b;
+};
+
+/// `node` crashes at `at` and restarts at `restart_at` (infinity = never).
+/// While down it neither receives nor sends; in-flight messages addressed
+/// to it are lost. What crash/restart means for the node's *state* is the
+/// node's business (ObjectServer keeps durable object state, loses soft
+/// state — cachers and leases).
+struct ServerCrash {
+  SiteId node;
+  SimTime at;
+  SimTime restart_at = SimTime::infinity();
+};
+
+struct FaultPlan {
+  std::vector<DropWindow> drops;
+  std::vector<DuplicateWindow> duplications;
+  std::vector<LatencySpike> latency_spikes;
+  std::vector<Partition> partitions;
+  std::vector<ServerCrash> crashes;
+
+  bool empty() const {
+    return drops.empty() && duplications.empty() && latency_spikes.empty() &&
+           partitions.empty() && crashes.empty();
+  }
+};
+
+struct FaultStats {
+  std::uint64_t dropped_by_window = 0;
+  std::uint64_t dropped_by_partition = 0;
+  std::uint64_t dropped_node_down = 0;  // sender or receiver crashed
+  std::uint64_t duplicated = 0;
+  std::uint64_t delayed = 0;  // messages that took a latency spike
+  std::uint64_t crashes = 0;
+  std::uint64_t restarts = 0;
+};
+
+class FaultInjector {
+ public:
+  /// The rng drives only the probabilistic windows (drop / duplicate);
+  /// partitions, spikes and crashes are purely time-driven.
+  FaultInjector(FaultPlan plan, Rng rng);
+
+  /// What happens to a message sent from -> to right now. Consumes
+  /// randomness only when a probabilistic window matches, so the decision
+  /// stream is deterministic for a fixed plan + seed + send sequence.
+  struct Decision {
+    bool drop = false;
+    bool duplicate = false;
+    SimTime extra_latency = SimTime::zero();
+  };
+  Decision on_send(SiteId from, SiteId to, SimTime now);
+
+  /// True while `node` is inside one of its scripted crash intervals.
+  bool node_down(SiteId node, SimTime now) const;
+
+  /// True while a partition separates the two sites.
+  bool link_cut(SiteId from, SiteId to, SimTime now) const;
+
+  /// Called by the network when an in-flight message reaches a crashed
+  /// destination (counted, message discarded).
+  void note_dropped_at_delivery() { ++stats_.dropped_node_down; }
+
+  /// Schedule `node`'s scripted crash/restart events on the simulator,
+  /// invoking the hooks at the right virtual times. The experiment harness
+  /// wires these to ObjectServer::crash()/restart().
+  struct NodeHooks {
+    std::function<void()> on_crash;
+    std::function<void()> on_restart;
+  };
+  void install(Simulator& sim, SiteId node, NodeHooks hooks);
+
+  const FaultPlan& plan() const { return plan_; }
+  const FaultStats& stats() const { return stats_; }
+
+ private:
+  FaultPlan plan_;
+  Rng rng_;
+  FaultStats stats_;
+};
+
+}  // namespace timedc

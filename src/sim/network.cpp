@@ -1,5 +1,7 @@
 #include "sim/network.hpp"
 
+#include "sim/faults.hpp"
+
 namespace timedc {
 
 Network::Network(Simulator& sim, std::size_t num_nodes,
@@ -25,17 +27,47 @@ void Network::send(SiteId from, SiteId to, std::shared_ptr<void> payload,
   TIMEDC_ASSERT(to.value < handlers_.size());
   ++stats_.messages_sent;
   stats_.bytes_sent += bytes;
+  FaultInjector::Decision fault;
+  if (injector_ != nullptr) fault = injector_->on_send(from, to, sim_.now());
+  if (fault.drop) {
+    ++stats_.messages_dropped;
+    return;
+  }
   if (config_.drop_probability > 0 && rng_.bernoulli(config_.drop_probability)) {
     ++stats_.messages_dropped;
     return;
   }
-  SimTime deliver_at = sim_.now() + latency_->sample(from, to, rng_);
+  SimTime deliver_at =
+      sim_.now() + latency_->sample(from, to, rng_) + fault.extra_latency;
   if (config_.fifo_links) {
     SimTime& last = last_delivery_[from.value][to.value];
     deliver_at = max(deliver_at, last);
     last = deliver_at;
   }
-  sim_.schedule_at(deliver_at, [this, from, to, payload = std::move(payload)]() {
+  schedule_delivery(from, to, deliver_at, payload);
+  if (fault.duplicate) {
+    ++stats_.messages_duplicated;
+    SimTime dup_at =
+        sim_.now() + latency_->sample(from, to, rng_) + fault.extra_latency;
+    if (config_.fifo_links) {
+      SimTime& last = last_delivery_[from.value][to.value];
+      dup_at = max(dup_at, last);
+      last = dup_at;
+    }
+    schedule_delivery(from, to, dup_at, payload);
+  }
+}
+
+void Network::schedule_delivery(SiteId from, SiteId to, SimTime deliver_at,
+                                const std::shared_ptr<void>& payload) {
+  sim_.schedule_at(deliver_at, [this, from, to, payload]() {
+    // A destination that crashed while the message was in flight loses it:
+    // crash wipes any state the delivery would have touched anyway.
+    if (injector_ != nullptr && injector_->node_down(to, sim_.now())) {
+      ++stats_.messages_dropped;
+      injector_->note_dropped_at_delivery();
+      return;
+    }
     ++stats_.messages_delivered;
     TIMEDC_ASSERT(handlers_[to.value] != nullptr);
     handlers_[to.value](from, payload);

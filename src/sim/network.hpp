@@ -78,10 +78,14 @@ struct NetworkConfig {
 
 struct NetworkStats {
   std::uint64_t messages_sent = 0;
+  // delivered counts arrivals, so with duplication it can exceed sent.
   std::uint64_t messages_delivered = 0;
   std::uint64_t messages_dropped = 0;
+  std::uint64_t messages_duplicated = 0;  // extra copies injected by faults
   std::uint64_t bytes_sent = 0;
 };
+
+class FaultInjector;
 
 /// Type-erased network: payloads are delivered to a per-node handler as
 /// (from, payload). Payload ownership transfers via shared_ptr<void>; the
@@ -102,14 +106,22 @@ class Network {
   void send(SiteId from, SiteId to, std::shared_ptr<void> payload,
             std::size_t bytes);
 
+  /// Route every send through `injector` (drops, partitions, duplication,
+  /// latency spikes, crashed destinations). Pass nullptr to detach. The
+  /// injector must outlive the network while attached.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
   const NetworkStats& stats() const { return stats_; }
   LatencyModel& latency() { return *latency_; }
   std::size_t num_nodes() const { return handlers_.size(); }
 
  private:
+  void schedule_delivery(SiteId from, SiteId to, SimTime deliver_at,
+                         const std::shared_ptr<void>& payload);
   Simulator& sim_;
   std::unique_ptr<LatencyModel> latency_;
   NetworkConfig config_;
+  FaultInjector* injector_ = nullptr;
   Rng rng_;
   std::vector<Handler> handlers_;
   // Last scheduled delivery time per (from, to), for FIFO links.

@@ -1,0 +1,274 @@
+// Fault injection and reliable RPC: the robustness claims.
+//
+// - The FaultInjector executes its plan deterministically: partitions cut
+//   links both ways and heal, crash intervals silence a node, windows
+//   drop/duplicate exactly per plan and seed.
+// - A full experiment under 5% background loss COMPLETES (this used to
+//   strand clients forever on a lost reply) — the retry layer makes every
+//   operation finish or be explicitly abandoned.
+// - Same seed + same FaultPlan = bit-identical ExperimentResult.
+// - The acceptance scenario: >=5% drops, a healed partition, and one
+//   mid-run crash/restart of each server — all operations complete,
+//   admitted reads are never late (late_fraction == 0), faults show up
+//   as retries/failovers instead.
+#include <gtest/gtest.h>
+
+#include "core/trace_io.hpp"
+#include "protocol/experiment.hpp"
+#include "sim/faults.hpp"
+
+namespace timedc {
+namespace {
+
+SimTime ms(std::int64_t n) { return SimTime::millis(n); }
+
+TEST(FaultInjectorTest, PartitionCutsBothDirectionsAndHeals) {
+  FaultPlan plan;
+  Partition cut;
+  cut.start = ms(10);
+  cut.heal = ms(20);
+  cut.side_a = {SiteId{0}, SiteId{1}};
+  cut.side_b = {SiteId{2}};
+  plan.partitions.push_back(cut);
+  FaultInjector inj(plan, Rng(1));
+
+  EXPECT_FALSE(inj.link_cut(SiteId{0}, SiteId{2}, ms(5)));   // before
+  EXPECT_TRUE(inj.link_cut(SiteId{0}, SiteId{2}, ms(15)));   // during
+  EXPECT_TRUE(inj.link_cut(SiteId{2}, SiteId{0}, ms(15)));   // both ways
+  EXPECT_TRUE(inj.link_cut(SiteId{1}, SiteId{2}, ms(15)));
+  EXPECT_FALSE(inj.link_cut(SiteId{0}, SiteId{1}, ms(15)));  // same side
+  EXPECT_FALSE(inj.link_cut(SiteId{0}, SiteId{2}, ms(20)));  // healed
+}
+
+TEST(FaultInjectorTest, CrashIntervalSilencesNode) {
+  FaultPlan plan;
+  plan.crashes.push_back(ServerCrash{SiteId{3}, ms(10), ms(30)});
+  FaultInjector inj(plan, Rng(1));
+
+  EXPECT_FALSE(inj.node_down(SiteId{3}, ms(9)));
+  EXPECT_TRUE(inj.node_down(SiteId{3}, ms(10)));
+  EXPECT_TRUE(inj.node_down(SiteId{3}, ms(29)));
+  EXPECT_FALSE(inj.node_down(SiteId{3}, ms(30)));  // restarted
+  EXPECT_FALSE(inj.node_down(SiteId{4}, ms(15)));  // other nodes unaffected
+
+  // Messages to or from a down node are dropped.
+  EXPECT_TRUE(inj.on_send(SiteId{0}, SiteId{3}, ms(15)).drop);
+  EXPECT_TRUE(inj.on_send(SiteId{3}, SiteId{0}, ms(15)).drop);
+  EXPECT_FALSE(inj.on_send(SiteId{0}, SiteId{3}, ms(31)).drop);
+  EXPECT_EQ(inj.stats().dropped_node_down, 2u);
+}
+
+TEST(FaultInjectorTest, DropWindowIsScopedAndCounted) {
+  FaultPlan plan;
+  DropWindow w;
+  w.start = ms(1);
+  w.end = ms(2);
+  w.probability = 1.0;
+  w.from = 0;
+  w.to = 1;
+  plan.drops.push_back(w);
+  FaultInjector inj(plan, Rng(7));
+
+  EXPECT_TRUE(inj.on_send(SiteId{0}, SiteId{1}, ms(1)).drop);
+  EXPECT_FALSE(inj.on_send(SiteId{1}, SiteId{0}, ms(1)).drop);  // directional
+  EXPECT_FALSE(inj.on_send(SiteId{0}, SiteId{1}, ms(2)).drop);  // window over
+  EXPECT_EQ(inj.stats().dropped_by_window, 1u);
+}
+
+TEST(FaultInjectorTest, DecisionStreamIsDeterministic) {
+  FaultPlan plan;
+  DropWindow w;
+  w.start = SimTime::zero();
+  w.end = ms(100);
+  w.probability = 0.5;
+  plan.drops.push_back(w);
+  DuplicateWindow d;
+  d.start = SimTime::zero();
+  d.end = ms(100);
+  d.probability = 0.5;
+  plan.duplications.push_back(d);
+
+  FaultInjector a(plan, Rng(42));
+  FaultInjector b(plan, Rng(42));
+  for (int i = 0; i < 200; ++i) {
+    const auto da = a.on_send(SiteId{0}, SiteId{1}, ms(i % 100));
+    const auto db = b.on_send(SiteId{0}, SiteId{1}, ms(i % 100));
+    ASSERT_EQ(da.drop, db.drop);
+    ASSERT_EQ(da.duplicate, db.duplicate);
+  }
+  EXPECT_EQ(a.stats().dropped_by_window, b.stats().dropped_by_window);
+  EXPECT_EQ(a.stats().duplicated, b.stats().duplicated);
+}
+
+ExperimentConfig lossy_config(ProtocolKind kind) {
+  ExperimentConfig config;
+  config.kind = kind;
+  config.delta = ms(20);
+  config.workload.num_clients = 4;
+  config.workload.num_objects = 8;
+  config.workload.write_ratio = 0.2;
+  config.workload.mean_think_time = ms(4);
+  config.workload.horizon = ms(500);
+  config.seed = 5;
+  config.drop_probability = 0.05;
+  return config;
+}
+
+// Regression: a lost reply used to strand the client forever (the
+// experiment's op-count assertion fired, or the run returned short).
+// With the retry layer, 5% uniform loss completes every operation.
+TEST(FaultExperimentTest, CompletesUnderBackgroundLoss) {
+  for (const auto kind :
+       {ProtocolKind::kTimedSerial, ProtocolKind::kTimedCausal}) {
+    const auto r = run_experiment(lossy_config(kind));
+    EXPECT_GT(r.operations, 100u) << to_cstring(kind);
+    EXPECT_GT(r.network.messages_dropped, 0u) << to_cstring(kind);
+    EXPECT_GT(r.cache.retries, 0u) << to_cstring(kind);
+    // Loss never makes an admitted read late — expiry is local.
+    EXPECT_EQ(r.late_fraction, 0.0) << to_cstring(kind);
+  }
+}
+
+ExperimentConfig hostile_config(ProtocolKind kind) {
+  ExperimentConfig config;
+  config.kind = kind;
+  config.delta = ms(25);
+  config.workload.num_clients = 4;
+  config.workload.num_objects = 8;
+  config.workload.write_ratio = 0.25;
+  config.workload.mean_think_time = ms(5);
+  config.workload.horizon = SimTime::seconds(1);
+  config.num_servers = 2;
+  config.seed = 9;
+  config.drop_probability = 0.05;
+  // Clients are sites 0..3; servers are 4 and 5.
+  Partition cut;
+  cut.start = ms(200);
+  cut.heal = ms(320);
+  cut.side_a = {SiteId{0}, SiteId{1}};
+  cut.side_b = {SiteId{4}, SiteId{5}};
+  config.faults.partitions.push_back(cut);
+  config.faults.crashes.push_back(ServerCrash{SiteId{4}, ms(400), ms(480)});
+  config.faults.crashes.push_back(ServerCrash{SiteId{5}, ms(600), ms(680)});
+  DuplicateWindow dup;
+  dup.start = ms(750);
+  dup.end = ms(850);
+  dup.probability = 0.5;
+  config.faults.duplications.push_back(dup);
+  return config;
+}
+
+// The issue's acceptance scenario: >=5% drops, one mid-run crash/restart
+// of each server, one healed partition. Every operation completes or is
+// explicitly abandoned (run_experiment asserts completed == planned), and
+// the lifetime caches report late_fraction == 0 for admitted reads.
+TEST(FaultExperimentTest, AcceptanceScenarioSurvivesDropsCrashesPartition) {
+  for (const auto kind :
+       {ProtocolKind::kTimedSerial, ProtocolKind::kTimedCausal}) {
+    const auto r = run_experiment(hostile_config(kind));
+    EXPECT_GT(r.operations, 100u) << to_cstring(kind);
+    EXPECT_EQ(r.faults.crashes, 2u) << to_cstring(kind);
+    EXPECT_EQ(r.faults.restarts, 2u) << to_cstring(kind);
+    EXPECT_EQ(r.server.crashes, 2u) << to_cstring(kind);
+    EXPECT_EQ(r.server.restarts, 2u) << to_cstring(kind);
+    EXPECT_GT(r.faults.dropped_by_partition + r.faults.dropped_node_down, 0u)
+        << to_cstring(kind);
+    EXPECT_GT(r.faults.duplicated, 0u) << to_cstring(kind);
+    EXPECT_GT(r.cache.retries, 0u) << to_cstring(kind);
+    // Duplicated replies were suppressed, duplicated writes deduped.
+    EXPECT_GT(r.cache.duplicate_replies + r.server.duplicate_writes, 0u)
+        << to_cstring(kind);
+    // The robustness headline: no admitted read was ever late.
+    EXPECT_EQ(r.late_fraction, 0.0) << to_cstring(kind);
+  }
+}
+
+// Push-mode clients degrade gracefully across a server crash: the crash
+// wipes the cacher set (soft state), but finite Delta forces the clients
+// back to validate, which re-subscribes them.
+TEST(FaultExperimentTest, PushClientsDegradeToPullAcrossCrash) {
+  auto config = hostile_config(ProtocolKind::kTimedSerial);
+  config.push = PushPolicy::kInvalidate;
+  const auto r = run_experiment(config);
+  EXPECT_GT(r.server.pushes, 0u);
+  EXPECT_EQ(r.late_fraction, 0.0);
+}
+
+TEST(FaultExperimentTest, SameSeedSamePlanIsBitReproducible) {
+  const auto a = run_experiment(hostile_config(ProtocolKind::kTimedSerial));
+  const auto b = run_experiment(hostile_config(ProtocolKind::kTimedSerial));
+  EXPECT_EQ(a.operations, b.operations);
+  EXPECT_EQ(a.ops_abandoned, b.ops_abandoned);
+  EXPECT_EQ(a.cache.retries, b.cache.retries);
+  EXPECT_EQ(a.cache.failovers, b.cache.failovers);
+  EXPECT_EQ(a.cache.duplicate_replies, b.cache.duplicate_replies);
+  EXPECT_EQ(a.cache.cache_hits, b.cache.cache_hits);
+  EXPECT_EQ(a.server.writes_applied, b.server.writes_applied);
+  EXPECT_EQ(a.server.duplicate_writes, b.server.duplicate_writes);
+  EXPECT_EQ(a.network.messages_sent, b.network.messages_sent);
+  EXPECT_EQ(a.network.messages_dropped, b.network.messages_dropped);
+  EXPECT_EQ(a.network.messages_duplicated, b.network.messages_duplicated);
+  EXPECT_EQ(a.faults.dropped_by_partition, b.faults.dropped_by_partition);
+  EXPECT_EQ(a.faults.dropped_node_down, b.faults.dropped_node_down);
+  EXPECT_EQ(a.faults.duplicated, b.faults.duplicated);
+  EXPECT_EQ(a.mean_staleness_us, b.mean_staleness_us);
+  EXPECT_EQ(a.max_staleness, b.max_staleness);
+  EXPECT_EQ(a.unavailable_fraction, b.unavailable_fraction);
+  // The recorded executions are identical operation for operation.
+  EXPECT_EQ(write_trace(a.history), write_trace(b.history));
+}
+
+// A server that crashes and never comes back: clients burn their retry
+// budget, abandon explicitly, and the run still terminates — no client
+// hangs. Abandoned ops are excluded from the recorded history.
+TEST(FaultExperimentTest, PermanentCrashAbandonsInsteadOfHanging) {
+  ExperimentConfig config;
+  config.kind = ProtocolKind::kTimedSerial;
+  config.delta = ms(20);
+  config.workload.num_clients = 2;
+  config.workload.num_objects = 4;
+  config.workload.write_ratio = 0.2;
+  config.workload.mean_think_time = ms(4);
+  config.workload.horizon = ms(300);
+  config.seed = 3;
+  config.faults.crashes.push_back(
+      ServerCrash{SiteId{2}, ms(100)});  // never restarts
+  config.retry.max_attempts = 4;
+  config.retry.base_timeout = ms(2);
+  const auto r = run_experiment(config);
+  EXPECT_GT(r.operations, 0u);
+  EXPECT_GT(r.ops_abandoned, 0u);
+  EXPECT_GT(r.unavailable_fraction, 0.0);
+  // Every op either succeeded before the crash or was abandoned; the
+  // recorded history holds only the former.
+  EXPECT_LT(r.history.size(), r.operations);
+  EXPECT_EQ(r.late_fraction, 0.0);
+}
+
+// Duplication alone (no loss): the network delivers some messages twice;
+// clients suppress duplicate replies, the server dedups retransmitted
+// writes, and the run's answers are unaffected.
+TEST(FaultExperimentTest, DuplicationIsSuppressed) {
+  ExperimentConfig config;
+  config.kind = ProtocolKind::kTimedSerial;
+  config.delta = ms(20);
+  config.workload.num_clients = 3;
+  config.workload.num_objects = 6;
+  config.workload.mean_think_time = ms(4);
+  config.workload.horizon = ms(400);
+  config.seed = 13;
+  DuplicateWindow dup;
+  dup.start = SimTime::zero();
+  dup.end = ms(400);
+  dup.probability = 0.4;
+  config.faults.duplications.push_back(dup);
+  const auto r = run_experiment(config);
+  EXPECT_GT(r.network.messages_duplicated, 0u);
+  EXPECT_GT(r.cache.duplicate_replies, 0u);
+  EXPECT_EQ(r.ops_abandoned, 0u);
+  EXPECT_EQ(r.late_fraction, 0.0);
+  EXPECT_GT(r.network.messages_delivered, r.network.messages_sent);
+}
+
+}  // namespace
+}  // namespace timedc

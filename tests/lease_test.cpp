@@ -122,6 +122,31 @@ TEST_F(LeaseFixture, LeasedReadsAreNeverStale) {
   EXPECT_EQ(read_now(0, ObjectId{0}), Value{9});
 }
 
+TEST_F(LeaseFixture, CrashedServerHonorsForgottenLeasesViaGraceWindow) {
+  // Leases are soft state: a crash forgets who holds them. The restarted
+  // server must still keep the promise it made, so it defers ALL writes
+  // for one full lease_duration after restart — by then every lease it
+  // could have granted has expired on its own.
+  init(ms(1), ms(20));
+  EXPECT_EQ(read_now(0, ObjectId{0}), Value{0});  // client 0 holds a lease
+  server_->crash();
+  EXPECT_FALSE(server_->is_up());
+  server_->restart();
+  EXPECT_TRUE(server_->is_up());
+  const SimTime restarted_at = sim_.now();
+  // Client 1's write arrives right after the restart: the server no longer
+  // remembers client 0's lease, but the grace window defers it anyway.
+  const SimTime latency = write_timed(1, ObjectId{0}, Value{5});
+  EXPECT_GT(latency, ms(15));
+  EXPECT_GE(server_->stats().writes_deferred, 1u);
+  EXPECT_EQ(server_->stats().crashes, 1u);
+  EXPECT_EQ(server_->stats().restarts, 1u);
+  // The deferred write landed only after restart + lease_duration.
+  EXPECT_GE(sim_.now(), restarted_at + ms(20));
+  advance(ms(3));
+  EXPECT_EQ(read_now(0, ObjectId{0}), Value{5});
+}
+
 TEST(LeaseExperimentTest, LeasesTradeWriteLatencyForReadCheapness) {
   ExperimentConfig base;
   base.kind = ProtocolKind::kTimedSerial;

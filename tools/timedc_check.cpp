@@ -111,6 +111,14 @@ int main(int argc, char** argv) {
     return 2;
   }
   const History& h = *parsed.history;
+  if (h.size() == 0) {
+    // An empty history is vacuously consistent under every check, so a
+    // truncated or empty input would otherwise "pass" silently.
+    std::fprintf(stderr,
+                 "timedc-check: trace contains no operations (empty or "
+                 "truncated input?)\n");
+    return 2;
+  }
   std::printf("trace: %zu operations, %zu sites\n", h.size(), h.num_sites());
   if (render) std::printf("\n%s\n", render_timeline(h).c_str());
 
