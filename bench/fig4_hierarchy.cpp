@@ -3,115 +3,41 @@
 // empirically over thousands of generated histories; (b) the effect of
 // varying Delta: Delta = 0 recovers LIN-like strictness, Delta = infinity
 // recovers SC/CC.
+//
+// The audit itself lives in core/hierarchy_audit.{hpp,cpp}; rounds run on
+// the deterministic thread pool (TIMEDC_THREADS to override the worker
+// count), with counters bit-identical at any thread count.
 #include <cstdio>
 
-#include "core/checkers.hpp"
-#include "core/history_gen.hpp"
+#include "common/parallel.hpp"
+#include "core/hierarchy_audit.hpp"
 
 using namespace timedc;
 
 int main() {
-  constexpr int kRounds = 1500;
-  Rng rng(20240601);
+  HierarchyAuditConfig config;
+  const HierarchyAuditResult r = run_hierarchy_audit(config);
 
-  // Membership counters for Figure 4a.
-  int n_lin = 0, n_sc = 0, n_cc = 0, n_timed = 0, n_tsc = 0, n_tcc = 0;
-  int violations = 0;
-  const SimTime delta = SimTime::micros(60);
-
-  // Delta sweep accumulators for Figure 4b.
-  const std::int64_t sweep[] = {0, 10, 20, 40, 80, 160, 320, 640};
-  int accept_tsc[8] = {0};
-  int accept_tcc[8] = {0};
-
-  for (int round = 0; round < kRounds; ++round) {
-    History h = [&]() {
-      if (round % 2 == 0) {
-        RandomHistoryParams p;
-        p.num_ops = 12;
-        p.num_sites = 3;
-        p.num_objects = 2;
-        return random_history(p, rng);
-      }
-      ReplicaHistoryParams p;
-      p.num_ops = 16;
-      p.num_sites = 3;
-      p.num_objects = 2;
-      p.max_delay_micros = 120;
-      return replica_history(p, rng);
-    }();
-
-    const bool lin = check_lin(h).ok();
-    const bool sc = check_sc(h).ok();
-    const bool cc = check_cc(h).ok();
-    const bool timed =
-        reads_on_time(h, TimedSpecEpsilon{delta, SimTime::zero()}).all_on_time;
-    const bool tsc = check_tsc(h, TimedSpecEpsilon{delta, SimTime::zero()}).ok();
-    const bool tcc = check_tcc(h, TimedSpecEpsilon{delta, SimTime::zero()}).ok();
-
-    n_lin += lin;
-    n_sc += sc;
-    n_cc += cc;
-    n_timed += timed;
-    n_tsc += tsc;
-    n_tcc += tcc;
-
-    // The paper's set identities, checked per history.
-    if (lin && !sc) ++violations;                    // LIN ⊆ SC
-    if (sc && !cc) ++violations;                     // SC ⊆ CC
-    if (tsc != (timed && sc)) ++violations;          // TSC = T ∩ SC
-    if (tcc != (timed && cc)) ++violations;          // TCC = T ∩ CC
-    if ((tcc && sc) != tsc) ++violations;            // TCC ∩ SC = TSC
-    if (tsc && !tcc) ++violations;                   // TSC ⊆ TCC
-
-    for (int k = 0; k < 8; ++k) {
-      const TimedSpecEpsilon spec{SimTime::micros(sweep[k]), SimTime::zero()};
-      accept_tsc[k] += check_tsc(h, spec).ok();
-      accept_tcc[k] += check_tcc(h, spec).ok();
-    }
-  }
-
-  std::printf("Figure 4a: hierarchy audit over %d generated histories\n", kRounds);
-  std::printf("  (Delta = %s for the timed models)\n\n", delta.to_string().c_str());
-  std::printf("  |LIN| = %4d   |TSC| = %4d   |SC| = %4d\n", n_lin, n_tsc, n_sc);
-  std::printf("  |TCC| = %4d   |CC|  = %4d   |T|  = %4d\n", n_tcc, n_cc, n_timed);
+  std::printf("Figure 4a: hierarchy audit over %d generated histories\n", r.rounds);
+  std::printf("  (Delta = %s for the timed models, %zu worker threads)\n\n",
+              config.delta.to_string().c_str(), ThreadPool(config.num_threads).num_threads());
+  std::printf("  |LIN| = %4d   |TSC| = %4d   |SC| = %4d\n", r.n_lin, r.n_tsc, r.n_sc);
+  std::printf("  |TCC| = %4d   |CC|  = %4d   |T|  = %4d\n", r.n_tcc, r.n_cc, r.n_timed);
   std::printf("\n  set-identity violations (LIN⊆SC, SC⊆CC, TSC=T∩SC, TCC=T∩CC,\n"
-              "  TCC∩SC=TSC, TSC⊆TCC): %d (paper: 0)\n\n", violations);
+              "  TCC∩SC=TSC, TSC⊆TCC): %d (paper: 0)\n", r.violations);
+  std::printf("  rounds hitting the search node budget: %d (expected: 0)\n\n",
+              r.limit_rounds);
 
-  std::printf("Figure 4b: varying Delta (acceptance counts out of %d)\n\n", kRounds);
+  std::printf("Figure 4b: varying Delta (acceptance counts out of %d)\n\n", r.rounds);
   std::printf("  %10s %8s %8s\n", "Delta", "TSC", "TCC");
-  for (int k = 0; k < 8; ++k) {
-    std::printf("  %8lldus %8d %8d\n", (long long)sweep[k], accept_tsc[k],
-                accept_tcc[k]);
+  for (std::size_t k = 0; k < config.sweep_micros.size(); ++k) {
+    std::printf("  %8lldus %8d %8d\n", (long long)config.sweep_micros[k],
+                r.accept_tsc[k], r.accept_tcc[k]);
   }
-  {
-    int tsc_inf = 0, tcc_inf = 0;
-    Rng rng2(20240601);
-    for (int round = 0; round < kRounds; ++round) {
-      History h = [&]() {
-        if (round % 2 == 0) {
-          RandomHistoryParams p;
-          p.num_ops = 12;
-          p.num_sites = 3;
-          p.num_objects = 2;
-          return random_history(p, rng2);
-        }
-        ReplicaHistoryParams p;
-        p.num_ops = 16;
-        p.num_sites = 3;
-        p.num_objects = 2;
-        p.max_delay_micros = 120;
-        return replica_history(p, rng2);
-      }();
-      const TimedSpecEpsilon inf{SimTime::infinity(), SimTime::zero()};
-      tsc_inf += check_tsc(h, inf).ok();
-      tcc_inf += check_tcc(h, inf).ok();
-    }
-    std::printf("  %10s %8d %8d   <- equals |SC|, |CC|: TSC(inf)=SC, TCC(inf)=CC\n",
-                "inf", tsc_inf, tcc_inf);
-  }
+  std::printf("  %10s %8d %8d   <- equals |SC|, |CC|: TSC(inf)=SC, TCC(inf)=CC\n",
+              "inf", r.tsc_inf, r.tcc_inf);
   std::printf(
       "\nAcceptance grows monotonically with Delta, from LIN-strictness at\n"
       "Delta = 0 to exactly SC / CC at Delta = infinity — Figure 4b's arrow.\n");
-  return violations == 0 ? 0 : 1;
+  return r.ok() ? 0 : 1;
 }

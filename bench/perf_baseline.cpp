@@ -1,0 +1,349 @@
+// PERF — the recorded performance baseline behind BENCH_checkers.json.
+//
+// Measures, on fixed-seed inputs:
+//   * the consistency checkers (LIN/SC/CC) with fast paths on vs off:
+//     ns/op and backtracking nodes expanded — the constant-factor and
+//     pruning wins of the forced-order constraint graph, the packed memo
+//     key and the seed-order pass;
+//   * the timed predicate (Def 2): the O(R log W) sorted-scan vs the naive
+//     O(R x W) reference scan (reimplemented here for comparison);
+//   * the Figure 4 hierarchy audit at thread counts {1, 2, 4, 8}: wall
+//     clock, speedup vs 1 thread, and a determinism self-check (counters
+//     must be bit-identical at every thread count — the engine's contract).
+//
+// Usage: perf_baseline [--quick] [--out FILE.json]
+//   --quick   CI-sized run (fewer rounds/reps); exit non-zero on any
+//             determinism failure or unwritable output.
+//   --out     where to write the JSON report (default: BENCH_checkers.json
+//             in the current directory).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "clocks/physical_clock.hpp"
+#include "common/parallel.hpp"
+#include "core/checkers.hpp"
+#include "core/hierarchy_audit.hpp"
+#include "core/history_gen.hpp"
+#include "core/timed.hpp"
+
+using namespace timedc;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+std::vector<History> fig4_shaped_histories(int n, std::uint64_t seed) {
+  std::vector<History> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    Rng rng = Rng::stream(seed, static_cast<std::uint64_t>(i));
+    if (i % 2 == 0) {
+      RandomHistoryParams p;
+      p.num_ops = 12;
+      p.num_sites = 3;
+      p.num_objects = 2;
+      out.push_back(random_history(p, rng));
+    } else {
+      ReplicaHistoryParams p;
+      p.num_ops = 16;
+      p.num_sites = 3;
+      p.num_objects = 2;
+      p.max_delay_micros = 120;
+      out.push_back(replica_history(p, rng));
+    }
+  }
+  return out;
+}
+
+struct CheckerSample {
+  double ns_per_history = 0;
+  std::uint64_t nodes = 0;
+  int yes = 0;  // cross-mode agreement check
+};
+
+template <typename CheckFn>
+CheckerSample time_checker(const std::vector<History>& hs, int reps, CheckFn&& fn) {
+  CheckerSample s;
+  const auto t0 = Clock::now();
+  for (int rep = 0; rep < reps; ++rep) {
+    for (const History& h : hs) {
+      const auto r = fn(h);
+      if (rep == 0) {
+        s.nodes += r.nodes;
+        s.yes += r.verdict == Verdict::kYes;
+      }
+    }
+  }
+  s.ns_per_history =
+      seconds_since(t0) * 1e9 / (static_cast<double>(reps) * hs.size());
+  return s;
+}
+
+/// The pre-optimization Def 2 scan: every (read, write) pair probed.
+TimedCheckResult naive_reads_on_time(const History& h, const TimedSpecEpsilon& spec) {
+  TimedCheckResult result;
+  for (const Operation& r : h.operations()) {
+    if (!r.is_read()) continue;
+    const auto src = h.forced_source(r.index);
+    std::vector<OpIndex> w_r;
+    for (OpIndex w2 : h.writes_to(r.object)) {
+      if (src && w2 == *src) continue;
+      const bool newer =
+          !src || definitely_before(h.op(*src).time, h.op(w2).time, spec.eps);
+      const bool stale =
+          definitely_before(h.op(w2).time, r.time - spec.delta, spec.eps);
+      if (newer && stale) w_r.push_back(w2);
+    }
+    if (!w_r.empty()) {
+      result.all_on_time = false;
+      result.late_reads.push_back(LateRead{r.index, src, std::move(w_r)});
+    }
+  }
+  return result;
+}
+
+std::string json_escape_free(double v) {  // plain finite numbers only
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_checkers.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out FILE.json]\n", argv[0]);
+      return 2;
+    }
+  }
+
+#ifndef NDEBUG
+  std::fprintf(stderr,
+               "WARNING: this is a Debug/assert-enabled build; the recorded "
+               "numbers will not be representative. Configure with "
+               "-DCMAKE_BUILD_TYPE=Release before committing a baseline.\n");
+#endif
+
+  const int micro_histories = quick ? 120 : 600;
+  const int micro_reps = quick ? 3 : 20;
+  const int audit_rounds = quick ? 300 : 1500;
+  const unsigned hw = std::thread::hardware_concurrency();
+
+  std::printf("PERF: checker + parallel-audit baseline (%s mode, %u hw threads)\n\n",
+              quick ? "quick" : "full", hw);
+
+  // --- checker micro: fast paths on vs off --------------------------------
+  const auto hs = fig4_shaped_histories(micro_histories, 20240601);
+  SearchLimits fast, slow;
+  fast.fast_paths = true;
+  slow.fast_paths = false;
+
+  struct NamedChecker {
+    const char* name;
+    CheckerSample on, off;
+  };
+  std::vector<NamedChecker> checkers;
+  checkers.push_back(
+      {"lin",
+       time_checker(hs, micro_reps, [&](const History& h) { return check_lin(h, fast); }),
+       time_checker(hs, micro_reps, [&](const History& h) { return check_lin(h, slow); })});
+  checkers.push_back(
+      {"sc",
+       time_checker(hs, micro_reps, [&](const History& h) { return check_sc(h, fast); }),
+       time_checker(hs, micro_reps, [&](const History& h) { return check_sc(h, slow); })});
+  checkers.push_back(
+      {"cc",
+       time_checker(hs, micro_reps, [&](const History& h) { return check_cc(h, fast); }),
+       time_checker(hs, micro_reps, [&](const History& h) { return check_cc(h, slow); })});
+
+  bool agree = true;
+  std::printf("  checker      ns/hist(fast)  ns/hist(exh)  speedup   nodes(fast)  nodes(exh)\n");
+  for (const auto& c : checkers) {
+    if (c.on.yes != c.off.yes) agree = false;
+    std::printf("  %-10s %14.0f %13.0f %8.2fx %12llu %11llu\n", c.name,
+                c.on.ns_per_history, c.off.ns_per_history,
+                c.off.ns_per_history / c.on.ns_per_history,
+                (unsigned long long)c.on.nodes, (unsigned long long)c.off.nodes);
+  }
+  std::printf("  verdict agreement fast vs exhaustive: %s\n\n", agree ? "yes" : "NO (BUG)");
+
+  // --- timed predicate micro: sorted-scan vs naive ------------------------
+  const TimedSpecEpsilon tspec{SimTime::micros(60), SimTime::zero()};
+  double timed_fast_ns = 0, timed_naive_ns = 0;
+  bool timed_agree = true;
+  {
+    const int reps = micro_reps * 5;
+    auto t0 = Clock::now();
+    int on_time = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+      for (const History& h : hs) on_time += reads_on_time(h, tspec).all_on_time;
+    }
+    timed_fast_ns = seconds_since(t0) * 1e9 / (static_cast<double>(reps) * hs.size());
+    t0 = Clock::now();
+    int on_time_naive = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+      for (const History& h : hs) on_time_naive += naive_reads_on_time(h, tspec).all_on_time;
+    }
+    timed_naive_ns = seconds_since(t0) * 1e9 / (static_cast<double>(reps) * hs.size());
+    timed_agree = on_time == on_time_naive;
+  }
+  std::printf("  reads_on_time (fig4-sized): %0.0f ns/hist sorted-scan vs %0.0f "
+              "ns/hist naive (%.2fx), agreement: %s\n",
+              timed_fast_ns, timed_naive_ns, timed_naive_ns / timed_fast_ns,
+              timed_agree ? "yes" : "NO (BUG)");
+
+  // Large histories are where O(R log W) vs O(R x W) separates: many writes
+  // per object, many reads.
+  double timed_fast_big_ns = 0, timed_naive_big_ns = 0;
+  bool timed_big_agree = true;
+  {
+    std::vector<History> big;
+    const int n_big = quick ? 8 : 32;
+    for (int i = 0; i < n_big; ++i) {
+      Rng rng = Rng::stream(777, static_cast<std::uint64_t>(i));
+      ReplicaHistoryParams p;
+      p.num_ops = 2000;
+      p.num_sites = 6;
+      p.num_objects = 4;
+      p.max_delay_micros = 900;
+      big.push_back(replica_history(p, rng));
+    }
+    const int reps = quick ? 2 : 5;
+    auto t0 = Clock::now();
+    std::size_t late_fast = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+      for (const History& h : big) late_fast += reads_on_time(h, tspec).late_reads.size();
+    }
+    timed_fast_big_ns = seconds_since(t0) * 1e9 / (static_cast<double>(reps) * big.size());
+    t0 = Clock::now();
+    std::size_t late_naive = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+      for (const History& h : big) late_naive += naive_reads_on_time(h, tspec).late_reads.size();
+    }
+    timed_naive_big_ns = seconds_since(t0) * 1e9 / (static_cast<double>(reps) * big.size());
+    timed_big_agree = late_fast == late_naive;
+  }
+  std::printf("  reads_on_time (2000-op histories): %0.0f ns/hist sorted-scan vs "
+              "%0.0f ns/hist naive (%.2fx), agreement: %s\n\n",
+              timed_fast_big_ns, timed_naive_big_ns,
+              timed_naive_big_ns / timed_fast_big_ns,
+              timed_big_agree ? "yes" : "NO (BUG)");
+
+  // --- hierarchy audit scaling --------------------------------------------
+  HierarchyAuditConfig audit_config;
+  audit_config.rounds = audit_rounds;
+  const int thread_counts[] = {1, 2, 4, 8};
+  struct AuditPoint {
+    int threads;
+    double seconds;
+  };
+  std::vector<AuditPoint> points;
+  HierarchyAuditResult reference;
+  bool deterministic = true, audit_clean = true;
+  std::printf("  hierarchy audit (%d rounds): wall clock by thread count\n", audit_rounds);
+  for (int t : thread_counts) {
+    audit_config.num_threads = t;
+    const auto t0 = Clock::now();
+    const HierarchyAuditResult r = run_hierarchy_audit(audit_config);
+    const double secs = seconds_since(t0);
+    points.push_back({t, secs});
+    if (t == 1) {
+      reference = r;
+    } else if (r.n_lin != reference.n_lin || r.n_sc != reference.n_sc ||
+               r.n_cc != reference.n_cc || r.n_tsc != reference.n_tsc ||
+               r.n_tcc != reference.n_tcc || r.n_timed != reference.n_timed ||
+               r.accept_tsc != reference.accept_tsc ||
+               r.accept_tcc != reference.accept_tcc) {
+      deterministic = false;
+    }
+    if (!r.ok()) audit_clean = false;
+    std::printf("    threads=%d  %.3fs  speedup %.2fx\n", t, secs,
+                points.front().seconds / secs);
+  }
+  std::printf("  determinism across thread counts: %s; violations/limits clean: %s\n\n",
+              deterministic ? "yes" : "NO (BUG)", audit_clean ? "yes" : "NO (BUG)");
+
+  // --- JSON report --------------------------------------------------------
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"checkers+parallel-audit\",\n");
+  std::fprintf(f, "  \"mode\": \"%s\",\n", quick ? "quick" : "full");
+#ifdef NDEBUG
+  std::fprintf(f, "  \"build\": \"release\",\n");
+#else
+  std::fprintf(f, "  \"build\": \"debug\",\n");
+#endif
+  std::fprintf(f, "  \"hardware_threads\": %u,\n", hw);
+  std::fprintf(f, "  \"micro_histories\": %d,\n", micro_histories);
+  std::fprintf(f, "  \"checkers\": {\n");
+  for (std::size_t i = 0; i < checkers.size(); ++i) {
+    const auto& c = checkers[i];
+    std::fprintf(f,
+                 "    \"%s\": {\"ns_per_history_fast\": %s, "
+                 "\"ns_per_history_exhaustive\": %s, \"speedup\": %s, "
+                 "\"nodes_fast\": %llu, \"nodes_exhaustive\": %llu}%s\n",
+                 c.name, json_escape_free(c.on.ns_per_history).c_str(),
+                 json_escape_free(c.off.ns_per_history).c_str(),
+                 json_escape_free(c.off.ns_per_history / c.on.ns_per_history).c_str(),
+                 (unsigned long long)c.on.nodes, (unsigned long long)c.off.nodes,
+                 i + 1 < checkers.size() ? "," : "");
+  }
+  std::fprintf(f, "  },\n");
+  std::fprintf(f,
+               "  \"reads_on_time\": {\"ns_per_history_fast\": %s, "
+               "\"ns_per_history_naive\": %s, \"speedup\": %s},\n",
+               json_escape_free(timed_fast_ns).c_str(),
+               json_escape_free(timed_naive_ns).c_str(),
+               json_escape_free(timed_naive_ns / timed_fast_ns).c_str());
+  std::fprintf(f,
+               "  \"reads_on_time_2000op\": {\"ns_per_history_fast\": %s, "
+               "\"ns_per_history_naive\": %s, \"speedup\": %s},\n",
+               json_escape_free(timed_fast_big_ns).c_str(),
+               json_escape_free(timed_naive_big_ns).c_str(),
+               json_escape_free(timed_naive_big_ns / timed_fast_big_ns).c_str());
+  std::fprintf(f, "  \"audit\": {\n");
+  std::fprintf(f, "    \"rounds\": %d,\n", audit_rounds);
+  std::fprintf(f, "    \"by_threads\": [\n");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    std::fprintf(f,
+                 "      {\"threads\": %d, \"seconds\": %s, \"speedup\": %s}%s\n",
+                 points[i].threads, json_escape_free(points[i].seconds).c_str(),
+                 json_escape_free(points.front().seconds / points[i].seconds).c_str(),
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "    ],\n");
+  std::fprintf(f, "    \"deterministic_across_threads\": %s,\n",
+               deterministic ? "true" : "false");
+  std::fprintf(f, "    \"violations\": %d,\n", reference.violations);
+  std::fprintf(f, "    \"limit_rounds\": %d\n", reference.limit_rounds);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"checker_verdicts_agree\": %s,\n", agree ? "true" : "false");
+  std::fprintf(f, "  \"timed_verdicts_agree\": %s\n",
+               timed_agree && timed_big_agree ? "true" : "false");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  return (agree && timed_agree && timed_big_agree && deterministic && audit_clean)
+             ? 0
+             : 1;
+}

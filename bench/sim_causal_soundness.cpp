@@ -13,6 +13,7 @@
 // paper's "unnecessary invalidations" remark quantitative.
 #include <cstdio>
 
+#include "common/parallel.hpp"
 #include "core/causal.hpp"
 #include "protocol/experiment.hpp"
 
@@ -28,22 +29,7 @@ struct Audit {
   double bytes_per_op = 0;
 };
 
-Audit run(CausalEvictionRule rule, std::uint64_t seed) {
-  ExperimentConfig config;
-  config.kind = ProtocolKind::kTimedCausal;
-  config.delta = SimTime::infinity();  // pure CC: the causal rules do all work
-  config.eviction = rule;
-  config.workload.num_clients = 10;
-  config.workload.num_objects = 24;
-  config.workload.write_ratio = 0.25;
-  config.workload.mean_think_time = SimTime::millis(6);
-  config.workload.zipf_exponent = 0.7;
-  config.workload.horizon = SimTime::seconds(12);
-  config.min_latency = SimTime::micros(300);
-  config.max_latency = SimTime::millis(2);
-  config.seed = seed;
-  const auto r = run_experiment(config);
-
+Audit audit_run(const ExperimentResult& r) {
   Audit audit;
   audit.reads = r.cache.reads;
   audit.hit = r.cache.hit_ratio();
@@ -84,13 +70,34 @@ int main() {
       "sound context-bounded (10 clients, 24 objects, Delta = inf, 12s)\n\n");
   std::printf("%-18s %6s %9s %9s %12s %16s\n", "rule", "seed", "hit",
               "valid/op", "bytes/op", "causal-violations");
-  for (const std::uint64_t seed : {101, 202, 303}) {
-    for (const auto& [name, rule] :
-         {std::pair{"server-knowledge", CausalEvictionRule::kServerKnowledge},
-          std::pair{"context-bounded", CausalEvictionRule::kContextDominates}}) {
-      const Audit a = run(rule, seed);
-      std::printf("%-18s %6llu %8.1f%% %9.3f %12.0f %10llu / %llu\n", name,
-                  (unsigned long long)seed, 100.0 * a.hit,
+  // 3 seeds x 2 rules: run the multi-seed replication for each rule on the
+  // thread pool, audit the recorded histories, then print interleaved.
+  const std::vector<std::uint64_t> seeds = {101, 202, 303};
+  const std::pair<const char*, CausalEvictionRule> rules[] = {
+      {"server-knowledge", CausalEvictionRule::kServerKnowledge},
+      {"context-bounded", CausalEvictionRule::kContextDominates}};
+  std::vector<Audit> audits[2];
+  for (std::size_t ri = 0; ri < 2; ++ri) {
+    ExperimentConfig config;
+    config.kind = ProtocolKind::kTimedCausal;
+    config.delta = SimTime::infinity();  // pure CC: the causal rules do all work
+    config.eviction = rules[ri].second;
+    config.workload.num_clients = 10;
+    config.workload.num_objects = 24;
+    config.workload.write_ratio = 0.25;
+    config.workload.mean_think_time = SimTime::millis(6);
+    config.workload.zipf_exponent = 0.7;
+    config.workload.horizon = SimTime::seconds(12);
+    config.min_latency = SimTime::micros(300);
+    config.max_latency = SimTime::millis(2);
+    const auto results = run_experiment_seeds(config, seeds);
+    for (const auto& r : results) audits[ri].push_back(audit_run(r));
+  }
+  for (std::size_t si = 0; si < seeds.size(); ++si) {
+    for (std::size_t ri = 0; ri < 2; ++ri) {
+      const Audit& a = audits[ri][si];
+      std::printf("%-18s %6llu %8.1f%% %9.3f %12.0f %10llu / %llu\n",
+                  rules[ri].first, (unsigned long long)seeds[si], 100.0 * a.hit,
                   a.validations_per_op, a.bytes_per_op,
                   (unsigned long long)a.hidden_write_reads,
                   (unsigned long long)a.reads);

@@ -9,11 +9,18 @@
 // ratio, fresher reads; Delta -> infinity recovers plain SC/CC costs.
 #include <cstdio>
 
+#include "common/parallel.hpp"
 #include "protocol/experiment.hpp"
 
 using namespace timedc;
 
 namespace {
+
+constexpr std::int64_t kDeltasMs[] = {1, 2, 5, 10, 20, 50, 100, 500, -1};
+
+SimTime to_delta(std::int64_t delta_ms) {
+  return delta_ms < 0 ? SimTime::infinity() : SimTime::millis(delta_ms);
+}
 
 ExperimentConfig base(ProtocolKind kind, SimTime delta) {
   ExperimentConfig config;
@@ -32,17 +39,16 @@ ExperimentConfig base(ProtocolKind kind, SimTime delta) {
   return config;
 }
 
-void sweep(ProtocolKind kind) {
+void sweep(ProtocolKind kind, const std::vector<ExperimentResult>& results) {
   std::printf("%s protocol (Delta = inf is plain %s):\n\n",
               to_cstring(kind),
               kind == ProtocolKind::kTimedSerial ? "SC" : "CC");
   std::printf("  %10s %9s %9s %9s %11s %11s %11s %9s\n", "Delta", "hit",
               "msgs/op", "bytes/op", "churn/op", "mean-stale", "max-stale",
               ">Delta");
-  for (const std::int64_t delta_ms : {1, 2, 5, 10, 20, 50, 100, 500, -1}) {
-    const SimTime delta =
-        delta_ms < 0 ? SimTime::infinity() : SimTime::millis(delta_ms);
-    const auto r = run_experiment(base(kind, delta));
+  for (std::size_t k = 0; k < std::size(kDeltasMs); ++k) {
+    const std::int64_t delta_ms = kDeltasMs[k];
+    const ExperimentResult& r = results[k];
     const double churn =
         static_cast<double>(r.cache.invalidations + r.cache.marked_old) /
         static_cast<double>(r.operations);
@@ -67,8 +73,17 @@ int main() {
   std::printf(
       "SIM-A: cost of timeliness vs Delta\n"
       "(6 clients, 24 objects, Zipf 0.8, 20%% writes, 20s simulated)\n\n");
-  sweep(ProtocolKind::kTimedSerial);
-  sweep(ProtocolKind::kTimedCausal);
+  // All 2 kinds x 9 Delta points are independent simulations: fan the full
+  // grid over the thread pool (deterministic — each cell depends only on
+  // its config), then print in order.
+  constexpr std::size_t kN = std::size(kDeltasMs);
+  const auto grid = parallel_map(2 * kN, [&](std::size_t i) {
+    const ProtocolKind kind =
+        i < kN ? ProtocolKind::kTimedSerial : ProtocolKind::kTimedCausal;
+    return run_experiment(base(kind, to_delta(kDeltasMs[i % kN])));
+  });
+  sweep(ProtocolKind::kTimedSerial, {grid.begin(), grid.begin() + kN});
+  sweep(ProtocolKind::kTimedCausal, {grid.begin() + kN, grid.end()});
   std::printf(
       "Shape check: as Delta shrinks, hit ratio falls and messages/op rise\n"
       "while staleness falls — the tradeoff of the paper's Section 6. The\n"

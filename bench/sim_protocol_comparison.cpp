@@ -6,7 +6,9 @@
 // Expected shape (Section 5.3): under the same Delta, TCC invalidates more
 // than CC but less than TSC; SC/CC (Delta = inf) are cheapest and stalest.
 #include <cstdio>
+#include <vector>
 
+#include "common/parallel.hpp"
 #include "protocol/experiment.hpp"
 
 using namespace timedc;
@@ -46,35 +48,41 @@ int main() {
   std::printf("  %-14s %9s %9s %9s %11s %13s %11s\n", "protocol", "hit",
               "msgs/op", "bytes/op", "churn/op", "mean-stale", "max-stale");
 
-  ExperimentResult tsc, tcc, sc, cc;
-  {
+  // All 13 runs (family + three ablations) are independent simulations:
+  // collect the configs, fan them over the deterministic thread pool, then
+  // print the tables in order.
+  std::vector<ExperimentConfig> configs;
+  const auto push_config = [&](ProtocolKind kind, SimTime d) -> ExperimentConfig& {
     auto c = base();
-    c.kind = ProtocolKind::kTimedSerial;
-    c.delta = SimTime::infinity();
-    sc = run_experiment(c);
-    row("SC   (D=inf)", sc);
+    c.kind = kind;
+    c.delta = d;
+    configs.push_back(c);
+    return configs.back();
+  };
+  push_config(ProtocolKind::kTimedSerial, SimTime::infinity());  // 0: SC
+  push_config(ProtocolKind::kTimedSerial, delta);                // 1: TSC
+  push_config(ProtocolKind::kTimedCausal, SimTime::infinity());  // 2: CC
+  push_config(ProtocolKind::kTimedCausal, delta);                // 3: TCC
+  push_config(ProtocolKind::kTimedSerial, delta).mark_old = true;    // 4
+  push_config(ProtocolKind::kTimedSerial, delta).mark_old = false;   // 5
+  push_config(ProtocolKind::kTimedSerial, delta).push = PushPolicy::kNone;        // 6
+  push_config(ProtocolKind::kTimedSerial, delta).push = PushPolicy::kInvalidate;  // 7
+  push_config(ProtocolKind::kTimedSerial, delta).push = PushPolicy::kUpdate;      // 8
+  const std::int64_t lease_ms[] = {0, 2, 10, 50};
+  for (std::int64_t l : lease_ms) {
+    push_config(ProtocolKind::kTimedSerial, delta).lease = SimTime::millis(l);  // 9..12
   }
-  {
-    auto c = base();
-    c.kind = ProtocolKind::kTimedSerial;
-    c.delta = delta;
-    tsc = run_experiment(c);
-    row("TSC  (D=5ms)", tsc);
-  }
-  {
-    auto c = base();
-    c.kind = ProtocolKind::kTimedCausal;
-    c.delta = SimTime::infinity();
-    cc = run_experiment(c);
-    row("CC   (D=inf)", cc);
-  }
-  {
-    auto c = base();
-    c.kind = ProtocolKind::kTimedCausal;
-    c.delta = delta;
-    tcc = run_experiment(c);
-    row("TCC  (D=5ms)", tcc);
-  }
+  const auto results =
+      parallel_map(configs.size(), [&](std::size_t i) { return run_experiment(configs[i]); });
+
+  const ExperimentResult& sc = results[0];
+  const ExperimentResult& tsc = results[1];
+  const ExperimentResult& cc = results[2];
+  const ExperimentResult& tcc = results[3];
+  row("SC   (D=inf)", sc);
+  row("TSC  (D=5ms)", tsc);
+  row("CC   (D=inf)", cc);
+  row("TCC  (D=5ms)", tcc);
 
   const auto churn = [](const ExperimentResult& r) {
     return r.cache.invalidations + r.cache.marked_old;
@@ -89,31 +97,17 @@ int main() {
   std::printf("\nAblation 1 — Section 5.2 optimization, TSC at Delta = 5ms:\n\n");
   std::printf("  %-14s %9s %9s %9s %11s %13s %11s\n", "stale entries", "hit",
               "msgs/op", "bytes/op", "churn/op", "mean-stale", "max-stale");
-  {
-    auto c = base();
-    c.kind = ProtocolKind::kTimedSerial;
-    c.delta = delta;
-    c.mark_old = true;
-    row("mark-old", run_experiment(c));
-    c.mark_old = false;
-    row("drop", run_experiment(c));
-  }
+  row("mark-old", results[4]);
+  row("drop", results[5]);
   std::printf("  (mark-old converts full refetches into cheap 304-style\n"
               "   validations — fewer bytes for the same timeliness)\n");
 
   std::printf("\nAblation 2 — push policies, TSC at Delta = 5ms:\n\n");
   std::printf("  %-14s %9s %9s %9s %11s %13s %11s\n", "push", "hit",
               "msgs/op", "bytes/op", "churn/op", "mean-stale", "max-stale");
-  for (const auto& [name, push] :
-       {std::pair{"none", PushPolicy::kNone},
-        std::pair{"invalidate", PushPolicy::kInvalidate},
-        std::pair{"update", PushPolicy::kUpdate}}) {
-    auto c = base();
-    c.kind = ProtocolKind::kTimedSerial;
-    c.delta = delta;
-    c.push = push;
-    row(name, run_experiment(c));
-  }
+  row("none", results[6]);
+  row("invalidate", results[7]);
+  row("update", results[8]);
   std::printf("  (\"the faster a recent update reaches the caches, the more\n"
               "   efficient the system becomes; correctness never depends on\n"
               "   it\" — Section 5.2)\n");
@@ -122,14 +116,10 @@ int main() {
               "TSC at Delta = 5ms:\n\n");
   std::printf("  %-14s %9s %9s %9s %12s %14s\n", "lease", "hit", "msgs/op",
               "bytes/op", "deferred-wr", "mean-stale");
-  for (const std::int64_t lease_ms : {0, 2, 10, 50}) {
-    auto c = base();
-    c.kind = ProtocolKind::kTimedSerial;
-    c.delta = delta;
-    c.lease = SimTime::millis(lease_ms);
-    const auto r = run_experiment(c);
+  for (std::size_t k = 0; k < std::size(lease_ms); ++k) {
+    const ExperimentResult& r = results[9 + k];
     std::printf("  %12lldms %8.1f%% %9.2f %9.0f %12llu %12.0fus\n",
-                (long long)lease_ms, 100.0 * r.cache.hit_ratio(),
+                (long long)lease_ms[k], 100.0 * r.cache.hit_ratio(),
                 r.messages_per_op, r.bytes_per_op,
                 (unsigned long long)r.server.writes_deferred,
                 r.mean_staleness_us);

@@ -1,0 +1,87 @@
+#include "common/parallel.hpp"
+
+#include <cstdlib>
+
+namespace timedc {
+
+std::size_t ThreadPool::default_threads() {
+  if (const char* env = std::getenv("TIMEDC_THREADS")) {
+    const long n = std::strtol(env, nullptr, 10);
+    if (n >= 1) return static_cast<std::size_t>(n);
+    return 1;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) num_threads = default_threads();
+  if (num_threads <= 1) return;  // inline mode
+  workers_.reserve(num_threads);
+  for (std::size_t t = 0; t < num_threads; ++t) {
+    workers_.emplace_back([this] { worker(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::for_each_index(std::size_t n,
+                                const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty()) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  job_ = &fn;
+  batch_n_ = n;
+  next_index_ = 0;
+  remaining_ = n;
+  error_ = nullptr;
+  ++generation_;
+  work_cv_.notify_all();
+  done_cv_.wait(lk, [this] { return remaining_ == 0; });
+  job_ = nullptr;
+  batch_n_ = 0;
+  if (error_) {
+    std::exception_ptr e = error_;
+    error_ = nullptr;
+    lk.unlock();
+    std::rethrow_exception(e);
+  }
+}
+
+void ThreadPool::worker() {
+  std::unique_lock<std::mutex> lk(mu_);
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    work_cv_.wait(lk, [&] {
+      return stop_ || (generation_ != seen_generation && next_index_ < batch_n_);
+    });
+    if (stop_) return;
+    seen_generation = generation_;
+    while (next_index_ < batch_n_) {
+      const std::size_t i = next_index_++;
+      const auto* job = job_;
+      lk.unlock();
+      try {
+        (*job)(i);
+      } catch (...) {
+        lk.lock();
+        if (!error_) error_ = std::current_exception();
+        lk.unlock();
+      }
+      lk.lock();
+      if (--remaining_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace timedc

@@ -1,0 +1,91 @@
+// Deterministic parallel experiment engine.
+//
+// The bench suite's hot loops are embarrassingly parallel: thousands of
+// independent (seed, history) tasks whose results are reduced at the end.
+// ThreadPool + parallel_map fan those tasks over a fixed set of worker
+// threads while keeping the contract every experiment here depends on:
+// results are **bit-identical to the serial loop at any thread count**,
+// because each task's output is a pure function of its index (tasks derive
+// their randomness from Rng::stream(seed, index), never from a shared
+// stream) and parallel_map stores result i at slot i regardless of which
+// worker computed it.
+//
+// Scheduling is dynamic (workers claim the next unclaimed index), so
+// uneven task costs — e.g. the NP-complete SC checks — balance without
+// affecting determinism. Claims are handed out under a mutex: tasks here
+// are coarse (whole histories, whole simulated runs), so claim overhead is
+// noise, and the pool stays trivially race-free under ThreadSanitizer.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace timedc {
+
+class ThreadPool {
+ public:
+  /// 0 = default_threads(). A pool of size <= 1 runs tasks inline on the
+  /// calling thread (no workers are spawned).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of threads executing tasks (>= 1; 1 means inline/serial).
+  std::size_t num_threads() const { return workers_.empty() ? 1 : workers_.size(); }
+
+  /// Runs fn(0) ... fn(n-1), each exactly once, and returns when all are
+  /// done. Not reentrant: do not call from inside a task of the same pool.
+  /// If a task throws, the first exception is rethrown here after the
+  /// batch drains.
+  void for_each_index(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Worker count used by pools constructed with 0: the TIMEDC_THREADS
+  /// environment variable if set (clamped to >= 1), otherwise
+  /// std::thread::hardware_concurrency().
+  static std::size_t default_threads();
+
+ private:
+  void worker();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  // Current batch, all guarded by mu_.
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t batch_n_ = 0;
+  std::size_t next_index_ = 0;
+  std::size_t remaining_ = 0;
+  std::uint64_t generation_ = 0;
+  std::exception_ptr error_;
+  bool stop_ = false;
+};
+
+/// parallel_map over [0, n): returns {fn(0), ..., fn(n-1)} with result i at
+/// index i. The result type must be default-constructible and movable.
+template <typename Fn>
+auto parallel_map(ThreadPool& pool, std::size_t n, Fn&& fn)
+    -> std::vector<std::decay_t<decltype(fn(std::size_t{0}))>> {
+  using R = std::decay_t<decltype(fn(std::size_t{0}))>;
+  std::vector<R> out(n);
+  pool.for_each_index(n, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+/// Convenience overload with a transient pool. num_threads = 0 uses
+/// ThreadPool::default_threads(); 1 is the serial loop.
+template <typename Fn>
+auto parallel_map(std::size_t n, Fn&& fn, std::size_t num_threads = 0)
+    -> std::vector<std::decay_t<decltype(fn(std::size_t{0}))>> {
+  ThreadPool pool(num_threads);
+  return parallel_map(pool, n, std::forward<Fn>(fn));
+}
+
+}  // namespace timedc

@@ -73,6 +73,16 @@ Rng Rng::split() {
   return Rng(next_u64());
 }
 
+Rng Rng::stream(std::uint64_t seed, std::uint64_t index) {
+  // Finalize the index through the SplitMix64 mixer before combining, so
+  // consecutive indices land in well-separated seed states.
+  std::uint64_t z = index + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return Rng(seed ^ z);
+}
+
 ZipfDistribution::ZipfDistribution(std::size_t n, double exponent) {
   TIMEDC_ASSERT(n > 0);
   cdf_.resize(n);

@@ -34,6 +34,12 @@ class Rng {
   /// Split off an independent stream; deterministic given the parent state.
   Rng split();
 
+  /// An independent stream for task `index` of a run seeded with `seed`:
+  /// a pure function of (seed, index), so parallel_map tasks that seed
+  /// themselves this way produce bit-identical results at any thread
+  /// count — the per-index RNG split of the parallel experiment engine.
+  static Rng stream(std::uint64_t seed, std::uint64_t index);
+
  private:
   std::uint64_t s_[4];
 };

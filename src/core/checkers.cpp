@@ -1,6 +1,7 @@
 #include "core/checkers.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -11,13 +12,21 @@ namespace {
 
 /// Backtracking search for a legal serialization of a subset of operations
 /// under a precedence partial order, with memoization of failed states.
+///
+/// Precedence constraints are bitset predecessor rows over the subset's
+/// local indices: ready(j) is a word-parallel subset test against the
+/// placed bitset, so adding the (dense) transitive closure of a constraint
+/// order costs nothing per node. The memo key packs the placed bitset with
+/// an incrementally-maintained per-object value fingerprint — exact for
+/// subsets of <= 64 operations (one word of placed bits), hashed above.
 class Searcher {
  public:
   Searcher(const History& h, const std::vector<OpIndex>& subset,
            const SearchLimits& limits)
       : h_(h), ops_(subset), limits_(limits) {
     const std::size_t m = ops_.size();
-    preds_.assign(m, {});
+    words_ = (m + 63) / 64;
+    preds_.assign(m, Row(words_, 0));
     local_of_.clear();
     for (std::size_t j = 0; j < m; ++j) local_of_[ops_[j].value] = j;
   }
@@ -28,52 +37,139 @@ class Searcher {
     const auto ia = local_of_.find(a.value);
     const auto ib = local_of_.find(b.value);
     if (ia == local_of_.end() || ib == local_of_.end()) return;
-    preds_[ib->second].push_back(ia->second);
+    set_bit(preds_[ib->second], ia->second);
   }
 
-  CheckResult run() {
+  /// Effective-time precedence over the whole subset: every op must come
+  /// after all ops with strictly smaller effective time. Encoded as dense
+  /// predecessor rows via one sorted prefix sweep (equal times unordered).
+  void must_respect_effective_time() {
     const std::size_t m = ops_.size();
-    placed_.assign(m, false);
-    num_placed_ = 0;
-    order_.clear();
-    order_.reserve(m);
-    current_.clear();
-    nodes_ = 0;
-    limit_hit_ = false;
-    failed_states_.clear();
-
-    // Deterministic candidate heuristic: try operations in effective-time
-    // order first; realistic histories almost always admit a witness close
-    // to the real-time order, which keeps the search shallow.
-    try_order_.resize(m);
-    for (std::size_t j = 0; j < m; ++j) try_order_[j] = j;
-    std::sort(try_order_.begin(), try_order_.end(), [&](std::size_t a, std::size_t b) {
-      return h_.op(ops_[a]).time < h_.op(ops_[b]).time;
+    std::vector<std::size_t> by_time(m);
+    for (std::size_t j = 0; j < m; ++j) by_time[j] = j;
+    std::sort(by_time.begin(), by_time.end(), [&](std::size_t a, std::size_t b) {
+      const SimTime ta = h_.op(ops_[a]).time, tb = h_.op(ops_[b]).time;
+      return ta != tb ? ta < tb : a < b;
     });
+    Row earlier(words_, 0);
+    std::size_t k = 0;
+    while (k < m) {
+      std::size_t e = k;
+      const SimTime t = h_.op(ops_[by_time[k]]).time;
+      while (e < m && h_.op(ops_[by_time[e]]).time == t) ++e;
+      for (std::size_t i = k; i < e; ++i) or_into(preds_[by_time[i]], earlier);
+      for (std::size_t i = k; i < e; ++i) set_bit(earlier, by_time[i]);
+      k = e;
+    }
+  }
 
+  /// Seed-order pass alone: place the subset in effective-time order and
+  /// accept iff that is a legal, constraint-respecting serialization —
+  /// O(n log n), no backtracking. nullopt = inconclusive (run() decides).
+  std::optional<CheckResult> try_seed_order() {
+    prepare();
     CheckResult result;
+    if (seed_attempt()) {
+      result.verdict = Verdict::kYes;
+      result.fast_path = true;
+      result.witness.reserve(ops_.size());
+      for (std::size_t j : order_) result.witness.push_back(ops_[j]);
+      return result;
+    }
+    return std::nullopt;
+  }
+
+  CheckResult run(bool try_seed) {
+    prepare();
+    CheckResult result;
+    if (try_seed && seed_attempt()) {
+      result.verdict = Verdict::kYes;
+      result.fast_path = true;
+      result.witness.reserve(ops_.size());
+      for (std::size_t j : order_) result.witness.push_back(ops_[j]);
+      return result;
+    }
+
     if (dfs()) {
       result.verdict = Verdict::kYes;
-      result.witness.reserve(m);
+      result.witness.reserve(ops_.size());
       for (std::size_t j : order_) result.witness.push_back(ops_[j]);
     } else {
       result.verdict = limit_hit_ ? Verdict::kLimit : Verdict::kNo;
     }
+    result.nodes = nodes_;
     return result;
   }
 
  private:
+  using Row = std::vector<std::uint64_t>;
+
+  static bool get_bit(const Row& row, std::size_t i) {
+    return (row[i >> 6] >> (i & 63)) & 1;
+  }
+  static void set_bit(Row& row, std::size_t i) { row[i >> 6] |= 1ULL << (i & 63); }
+  static void clear_bit(Row& row, std::size_t i) { row[i >> 6] &= ~(1ULL << (i & 63)); }
+  static void or_into(Row& dst, const Row& src) {
+    for (std::size_t k = 0; k < dst.size(); ++k) dst[k] |= src[k];
+  }
+
+  void prepare() {
+    const std::size_t m = ops_.size();
+    reset_state();
+    // Deterministic candidate heuristic: try operations in effective-time
+    // order first (ties by subset position); realistic histories almost
+    // always admit a witness close to the real-time order, which keeps the
+    // search shallow.
+    try_order_.resize(m);
+    for (std::size_t j = 0; j < m; ++j) try_order_[j] = j;
+    std::sort(try_order_.begin(), try_order_.end(), [&](std::size_t a, std::size_t b) {
+      const SimTime ta = h_.op(ops_[a]).time, tb = h_.op(ops_[b]).time;
+      return ta != tb ? ta < tb : a < b;
+    });
+  }
+
+  void reset_state() {
+    placed_.assign(words_, 0);
+    num_placed_ = 0;
+    order_.clear();
+    order_.reserve(ops_.size());
+    current_.clear();
+    fingerprint_ = 0;
+    nodes_ = 0;
+    limit_hit_ = false;
+    failed_states_.clear();
+  }
+
+  /// The O(n log n) fast path: place the operations in effective-time order
+  /// outright. Only accepts (returns a complete legal, constraint-respecting
+  /// order); any failure falls through to the full search.
+  bool seed_attempt() {
+    for (std::size_t j : try_order_) {
+      if (!preds_ready(j)) { reset_state(); return false; }
+      const Operation& op = h_.op(ops_[j]);
+      if (op.is_read()) {
+        const auto it = current_.find(op.object);
+        const Value v = it == current_.end() ? kInitialValue : it->second;
+        if (v != op.value) { reset_state(); return false; }
+      } else {
+        apply_write(op);
+      }
+      place(j);
+    }
+    return true;
+  }
+
   bool dfs() {
     if (num_placed_ == ops_.size()) return true;
     if (++nodes_ > limits_.max_nodes) {
       limit_hit_ = true;
       return false;
     }
-    const std::uint64_t key = state_key();
+    const StateKey key = state_key();
     if (failed_states_.contains(key)) return false;
 
     for (std::size_t j : try_order_) {
-      if (placed_[j]) continue;
+      if (get_bit(placed_, j)) continue;
       if (!preds_ready(j)) continue;
       const Operation& op = h_.op(ops_[j]);
       if (op.is_read()) {
@@ -82,19 +178,16 @@ class Searcher {
         if (v != op.value) continue;
         place(j);
         if (dfs()) return true;
-        unplace_read(j);
+        unplace(j);
       } else {
         const auto it = current_.find(op.object);
         const bool had = it != current_.end();
         const Value prev = had ? it->second : kInitialValue;
         place(j);
-        current_[op.object] = op.value;
+        apply_write(op);
         if (dfs()) return true;
-        if (had)
-          current_[op.object] = prev;
-        else
-          current_.erase(op.object);
-        unplace_read(j);
+        undo_write(op, had, prev);
+        unplace(j);
       }
       if (limit_hit_) return false;
     }
@@ -103,67 +196,100 @@ class Searcher {
   }
 
   bool preds_ready(std::size_t j) const {
-    for (std::size_t p : preds_[j]) {
-      if (!placed_[p]) return false;
+    const Row& need = preds_[j];
+    for (std::size_t k = 0; k < words_; ++k) {
+      if (need[k] & ~placed_[k]) return false;
     }
     return true;
   }
 
   void place(std::size_t j) {
-    placed_[j] = true;
+    set_bit(placed_, j);
     ++num_placed_;
     order_.push_back(j);
   }
 
-  void unplace_read(std::size_t j) {
-    placed_[j] = false;
+  void unplace(std::size_t j) {
+    clear_bit(placed_, j);
     --num_placed_;
     order_.pop_back();
   }
 
-  /// Hash of (placed set, per-object current value). Failure from a state is
-  /// a function of exactly these two, so memoizing on them is sound.
-  std::uint64_t state_key() const {
+  void apply_write(const Operation& op) {
+    const auto it = current_.find(op.object);
+    if (it != current_.end()) {
+      fingerprint_ ^= value_mix(op.object, it->second);
+      it->second = op.value;
+    } else {
+      current_.emplace(op.object, op.value);
+    }
+    fingerprint_ ^= value_mix(op.object, op.value);
+  }
+
+  void undo_write(const Operation& op, bool had, Value prev) {
+    fingerprint_ ^= value_mix(op.object, op.value);
+    if (had) {
+      fingerprint_ ^= value_mix(op.object, prev);
+      current_[op.object] = prev;
+    } else {
+      current_.erase(op.object);
+    }
+  }
+
+  /// Mix of one (object, current value) pair; the per-object map fingerprint
+  /// is the XOR over all pairs, maintained incrementally by apply/undo.
+  static std::uint64_t value_mix(ObjectId obj, Value val) {
+    std::uint64_t e = (static_cast<std::uint64_t>(obj.value) << 32) ^
+                      static_cast<std::uint64_t>(val.value);
+    e *= 0xbf58476d1ce4e5b9ULL;
+    e ^= e >> 29;
+    e *= 0x94d049bb133111ebULL;
+    e ^= e >> 32;
+    return e;
+  }
+
+  /// (placed set, per-object current value). Failure from a state is a
+  /// function of exactly these two, so memoizing on them is sound. For
+  /// subsets of <= 64 ops the placed half is the exact bitmask; above, it
+  /// is a hash of the placed words.
+  struct StateKey {
+    std::uint64_t placed;
+    std::uint64_t values;
+    bool operator==(const StateKey&) const = default;
+  };
+  struct StateKeyHash {
+    std::size_t operator()(const StateKey& k) const {
+      std::uint64_t h = k.placed * 0x9e3779b97f4a7c15ULL;
+      h ^= k.values + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  StateKey state_key() const {
+    if (words_ == 1) return StateKey{placed_[0], fingerprint_};
     std::uint64_t hash = 0xcbf29ce484222325ULL;
-    auto mix = [&hash](std::uint64_t v) {
-      hash ^= v + 0x9e3779b97f4a7c15ULL + (hash << 6) + (hash >> 2);
-    };
-    std::uint64_t word = 0;
-    for (std::size_t j = 0; j < placed_.size(); ++j) {
-      if (placed_[j]) word |= 1ULL << (j & 63);
-      if ((j & 63) == 63) {
-        mix(word);
-        word = 0;
-      }
+    for (std::uint64_t word : placed_) {
+      hash ^= word + 0x9e3779b97f4a7c15ULL + (hash << 6) + (hash >> 2);
     }
-    mix(word);
-    // Order-independent accumulation over the current-value map.
-    std::uint64_t acc = 0;
-    for (const auto& [obj, val] : current_) {
-      std::uint64_t e = (static_cast<std::uint64_t>(obj.value) << 32) ^
-                        static_cast<std::uint64_t>(val.value);
-      e *= 0xbf58476d1ce4e5b9ULL;
-      e ^= e >> 29;
-      acc += e;
-    }
-    mix(acc);
-    return hash;
+    return StateKey{hash, fingerprint_};
   }
 
   const History& h_;
   std::vector<OpIndex> ops_;
   SearchLimits limits_;
+  std::size_t words_ = 1;
   std::unordered_map<std::uint32_t, std::size_t> local_of_;
-  std::vector<std::vector<std::size_t>> preds_;
+  std::vector<Row> preds_;
   std::vector<std::size_t> try_order_;
 
-  std::vector<bool> placed_;
+  Row placed_;
   std::size_t num_placed_ = 0;
   std::vector<std::size_t> order_;
   std::unordered_map<ObjectId, Value> current_;
+  std::uint64_t fingerprint_ = 0;
   std::uint64_t nodes_ = 0;
   bool limit_hit_ = false;
-  std::unordered_set<std::uint64_t> failed_states_;
+  std::unordered_set<StateKey, StateKeyHash> failed_states_;
 };
 
 std::vector<OpIndex> all_ops(const History& h) {
@@ -171,6 +297,47 @@ std::vector<OpIndex> all_ops(const History& h) {
   ops.reserve(h.size());
   for (std::uint32_t i = 0; i < h.size(); ++i) ops.push_back(OpIndex{i});
   return ops;
+}
+
+void add_program_order(const History& h, Searcher& searcher) {
+  for (std::size_t s = 0; s < h.num_sites(); ++s) {
+    const auto& ops = h.site_ops(SiteId{static_cast<std::uint32_t>(s)});
+    for (std::size_t k = 1; k < ops.size(); ++k)
+      searcher.must_precede(ops[k - 1], ops[k]);
+  }
+}
+
+/// The forced-order constraint graph: precedence constraints every *legal*
+/// serialization of the subset must satisfy, derived once per history from
+/// the forced reads-from relation and the transitive closure `co` of
+/// (program order ∪ reads-from). For a read r with source write w and any
+/// other write b to the same object:
+///   * w → r            (a read follows its source),
+///   * b → w  if b → r in co   (b cannot land between w and r),
+///   * r → b  if w → b in co   (ditto, from the other side),
+///   * r → b  for all b when r reads the initial value.
+/// Sound for LIN, SC and CC searches alike: co-edges hold in every legal
+/// serialization that respects program order or causality, and the derived
+/// edges only encode "no write may sit between a read and its source".
+void add_forced_order_edges(const History& h, const std::vector<OpIndex>& subset,
+                            const CausalOrder& co, Searcher& searcher) {
+  for (OpIndex r : subset) {
+    const Operation& op = h.op(r);
+    if (!op.is_read()) continue;
+    const auto src = h.forced_source(r);
+    for (OpIndex b : h.writes_to(op.object)) {
+      if (!src) {
+        searcher.must_precede(r, b);
+        continue;
+      }
+      if (b == *src) {
+        searcher.must_precede(b, r);
+        continue;
+      }
+      if (co.precedes(b, r)) searcher.must_precede(b, *src);
+      if (co.precedes(*src, b)) searcher.must_precede(r, b);
+    }
+  }
 }
 
 }  // namespace
@@ -182,20 +349,8 @@ CheckResult find_serialization(const History& h,
                                bool effective_time_constraint,
                                const SearchLimits& limits) {
   Searcher searcher(h, subset, limits);
-  if (program_order_constraint) {
-    for (std::size_t s = 0; s < h.num_sites(); ++s) {
-      const auto& ops = h.site_ops(SiteId{static_cast<std::uint32_t>(s)});
-      for (std::size_t k = 1; k < ops.size(); ++k)
-        searcher.must_precede(ops[k - 1], ops[k]);
-    }
-  }
-  if (effective_time_constraint) {
-    for (OpIndex a : subset) {
-      for (OpIndex b : subset) {
-        if (h.op(a).time < h.op(b).time) searcher.must_precede(a, b);
-      }
-    }
-  }
+  if (program_order_constraint) add_program_order(h, searcher);
+  if (effective_time_constraint) searcher.must_respect_effective_time();
   if (causal_constraint != nullptr) {
     for (OpIndex a : subset) {
       for (OpIndex b : subset) {
@@ -203,21 +358,55 @@ CheckResult find_serialization(const History& h,
       }
     }
   }
-  return searcher.run();
+  return searcher.run(limits.fast_paths);
 }
 
+namespace {
+
+}  // namespace
+
 CheckResult check_lin(const History& h, const SearchLimits& limits) {
-  if (h.has_thin_air_read()) return {Verdict::kNo, {}};
-  return find_serialization(h, all_ops(h), nullptr,
-                            /*program_order=*/false,
-                            /*effective_time=*/true, limits);
+  if (h.has_thin_air_read()) return {};
+  // LIN needs no constraint-graph stage: the effective-time order is
+  // already a near-total precedence order, so the plain search runs in
+  // essentially linear time; the seed-order pass just short-circuits the
+  // accepting case. (The forced-order graph pays off for SC/CC, whose
+  // base constraints are far weaker.)
+  Searcher searcher(h, all_ops(h), limits);
+  searcher.must_respect_effective_time();
+  return searcher.run(/*try_seed=*/limits.fast_paths);
 }
 
 CheckResult check_sc(const History& h, const SearchLimits& limits) {
-  if (h.has_thin_air_read()) return {Verdict::kNo, {}};
-  return find_serialization(h, all_ops(h), nullptr,
-                            /*program_order=*/true,
-                            /*effective_time=*/false, limits);
+  if (h.has_thin_air_read()) return {};
+  if (!limits.fast_paths) {
+    return find_serialization(h, all_ops(h), nullptr,
+                              /*program_order=*/true,
+                              /*effective_time=*/false, limits);
+  }
+  const std::vector<OpIndex> subset = all_ops(h);
+  // Stage 1: the O(n log n) seed-order pass with only program order — no
+  // causal-order build, which costs more than the whole answer on the
+  // consistent histories that dominate realistic workloads.
+  {
+    Searcher seeder(h, subset, limits);
+    add_program_order(h, seeder);
+    if (auto seeded = seeder.try_seed_order()) return *seeded;
+  }
+  // Stage 2: polynomial bad-pattern prefilters (SC ⊂ CC, so the CC
+  // necessary conditions apply), then the pruned search under the
+  // forced-order constraint graph.
+  const CausalOrder co = CausalOrder::build(h);
+  if (!passes_cc_fast_checks(h, co)) {
+    CheckResult r;
+    r.fast_path = true;
+    return r;
+  }
+  Searcher searcher(h, subset, limits);
+  add_program_order(h, searcher);
+  add_forced_order_edges(h, subset, co, searcher);
+  // The seed order already failed above; extra edges cannot make it legal.
+  return searcher.run(/*try_seed=*/false);
 }
 
 CcCheckResult check_cc(const History& h, const SearchLimits& limits) {
@@ -236,9 +425,15 @@ CcCheckResult check_cc(const History& h, const SearchLimits& limits) {
       if (h.op(i).is_read()) subset.push_back(i);
     }
     std::sort(subset.begin(), subset.end());
-    const CheckResult site = find_serialization(h, subset, &co,
-                                                /*program_order=*/false,
-                                                /*effective_time=*/false, limits);
+    Searcher searcher(h, subset, limits);
+    for (OpIndex a : subset) {
+      for (OpIndex b : subset) {
+        if (a != b && co.precedes(a, b)) searcher.must_precede(a, b);
+      }
+    }
+    if (limits.fast_paths) add_forced_order_edges(h, subset, co, searcher);
+    const CheckResult site = searcher.run(limits.fast_paths);
+    result.nodes += site.nodes;
     if (!site.ok()) {
       result.verdict = site.verdict;
       result.failing_site = s;

@@ -12,6 +12,22 @@
 //   TSC  =  every read on time (Defs 1/2)  AND  SC,
 //   TCC  =  every read on time             AND  CC,
 // exactly the paper's TSC = T ∩ SC and TCC = T ∩ CC.
+//
+// Most histories never reach the backtracking engine. With fast paths on
+// (the default; SearchLimits::fast_paths):
+//   * necessary-condition prefilters — the polynomial bad-pattern checks of
+//     causal.hpp apply to SC and LIN too (LIN ⊂ SC ⊂ CC), rejecting most
+//     inconsistent histories without any search;
+//   * a forced-order constraint graph — program order ∪ reads-from, closed
+//     transitively (CausalOrder), plus the write-ordering edges it forces
+//     (a write known to precede a read cannot land between the read's
+//     source and the read) — is precomputed once per history and handed to
+//     the search as bitset predecessor rows, pruning the candidate set at
+//     every node;
+//   * a seed-order pass tries the effective-time order outright, accepting
+//     realistic histories in O(n log n) with zero backtracking nodes.
+// Verdicts are unchanged (equivalence is property-tested against the
+// pruned-free engine); only witnesses may differ.
 #pragma once
 
 #include <cstdint>
@@ -37,11 +53,17 @@ inline const char* to_cstring(Verdict v) {
 
 struct SearchLimits {
   std::uint64_t max_nodes = 4'000'000;
+  /// Prefilters + forced-order pruning + seed-order pass (see file header).
+  /// Off = the plain exhaustive engine; same verdicts (property-tested),
+  /// kept reachable for the equivalence tests and perf baselines.
+  bool fast_paths = true;
 };
 
 struct CheckResult {
   Verdict verdict = Verdict::kNo;
   std::vector<OpIndex> witness;  // a satisfying serialization, when kYes
+  std::uint64_t nodes = 0;       // backtracking nodes expanded
+  bool fast_path = false;        // verdict reached without backtracking
   bool ok() const { return verdict == Verdict::kYes; }
 };
 
@@ -51,6 +73,7 @@ struct CcCheckResult {
   std::vector<std::vector<OpIndex>> per_site_witness;
   // Site whose serialization search failed, when kNo.
   std::uint32_t failing_site = 0;
+  std::uint64_t nodes = 0;  // backtracking nodes, summed over sites
   bool ok() const { return verdict == Verdict::kYes; }
 };
 

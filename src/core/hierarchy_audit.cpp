@@ -1,0 +1,111 @@
+#include "core/hierarchy_audit.hpp"
+
+#include "common/parallel.hpp"
+#include "core/history_gen.hpp"
+#include "core/timed.hpp"
+
+namespace timedc {
+namespace {
+
+struct RoundResult {
+  bool lin = false, sc = false, cc = false, timed = false;
+  bool tsc = false, tcc = false;
+  bool limit = false;
+  int violations = 0;
+  std::vector<bool> on_time_at;  // per sweep point
+  std::uint64_t nodes = 0;
+};
+
+History generate_round(std::uint64_t seed, int round) {
+  Rng rng = Rng::stream(seed, static_cast<std::uint64_t>(round));
+  if (round % 2 == 0) {
+    RandomHistoryParams p;
+    p.num_ops = 12;
+    p.num_sites = 3;
+    p.num_objects = 2;
+    return random_history(p, rng);
+  }
+  ReplicaHistoryParams p;
+  p.num_ops = 16;
+  p.num_sites = 3;
+  p.num_objects = 2;
+  p.max_delay_micros = 120;
+  return replica_history(p, rng);
+}
+
+RoundResult run_round(const HierarchyAuditConfig& config, int round) {
+  const History h = generate_round(config.seed, round);
+  const TimedSpecEpsilon main_spec{config.delta, SimTime::zero()};
+
+  RoundResult r;
+  const CheckResult lin = check_lin(h, config.limits);
+  const CheckResult sc = check_sc(h, config.limits);
+  const CcCheckResult cc = check_cc(h, config.limits);
+  const TscResult tsc = check_tsc(h, main_spec, config.limits);
+  const TccResult tcc = check_tcc(h, main_spec, config.limits);
+  r.nodes = lin.nodes + sc.nodes + cc.nodes + tsc.sc.nodes + tcc.cc.nodes;
+  r.limit = lin.verdict == Verdict::kLimit || sc.verdict == Verdict::kLimit ||
+            cc.verdict == Verdict::kLimit;
+  r.lin = lin.ok();
+  r.sc = sc.ok();
+  r.cc = cc.ok();
+  r.timed = reads_on_time(h, main_spec).all_on_time;
+  r.tsc = tsc.ok();
+  r.tcc = tcc.ok();
+
+  // The paper's set identities. A kLimit round is "don't know" — excluded
+  // here and tallied by the caller instead of miscounted as a violation.
+  if (!r.limit) {
+    if (r.lin && !r.sc) ++r.violations;          // LIN ⊆ SC
+    if (r.sc && !r.cc) ++r.violations;           // SC ⊆ CC
+    if (r.tsc != (r.timed && r.sc)) ++r.violations;  // TSC = T ∩ SC
+    if (r.tcc != (r.timed && r.cc)) ++r.violations;  // TCC = T ∩ CC
+    if ((r.tcc && r.sc) != r.tsc) ++r.violations;    // TCC ∩ SC = TSC
+    if (r.tsc && !r.tcc) ++r.violations;             // TSC ⊆ TCC
+  }
+
+  // Figure 4b sweep: only the (polynomial) timed predicate varies with
+  // Delta; the search half is the identity just audited at the main Delta.
+  r.on_time_at.reserve(config.sweep_micros.size());
+  for (std::int64_t d : config.sweep_micros) {
+    const TimedSpecEpsilon spec{SimTime::micros(d), SimTime::zero()};
+    r.on_time_at.push_back(reads_on_time(h, spec).all_on_time);
+  }
+  return r;
+}
+
+}  // namespace
+
+HierarchyAuditResult run_hierarchy_audit(const HierarchyAuditConfig& config) {
+  const std::vector<RoundResult> rounds = parallel_map(
+      static_cast<std::size_t>(config.rounds),
+      [&config](std::size_t i) { return run_round(config, static_cast<int>(i)); },
+      static_cast<std::size_t>(config.num_threads));
+
+  HierarchyAuditResult out;
+  out.rounds = config.rounds;
+  out.accept_tsc.assign(config.sweep_micros.size(), 0);
+  out.accept_tcc.assign(config.sweep_micros.size(), 0);
+  for (const RoundResult& r : rounds) {
+    out.n_lin += r.lin;
+    out.n_sc += r.sc;
+    out.n_cc += r.cc;
+    out.n_timed += r.timed;
+    out.n_tsc += r.tsc;
+    out.n_tcc += r.tcc;
+    out.violations += r.violations;
+    out.limit_rounds += r.limit;
+    out.nodes += r.nodes;
+    for (std::size_t k = 0; k < r.on_time_at.size(); ++k) {
+      out.accept_tsc[k] += r.on_time_at[k] && r.sc;
+      out.accept_tcc[k] += r.on_time_at[k] && r.cc;
+    }
+    // Delta = infinity: every read is trivially on time, so TSC(inf) = SC
+    // and TCC(inf) = CC — Figure 4b's right edge.
+    out.tsc_inf += r.sc;
+    out.tcc_inf += r.cc;
+  }
+  return out;
+}
+
+}  // namespace timedc

@@ -1,0 +1,64 @@
+// The Figure 4 hierarchy audit (LIN ⊂ TSC ⊂ SC ⊂ CC, TSC = T ∩ SC,
+// TCC = T ∩ CC), factored out of the bench so tests can run small audits
+// and the perf baseline can time large ones at several thread counts.
+//
+// Each round generates one history (even rounds: random_history, odd
+// rounds: replica_history), runs the exact LIN/SC/CC checkers once, the
+// timed predicate at the main Delta and at every sweep Delta, and checks
+// the paper's set identities. Rounds are independent: round i draws from
+// Rng::stream(seed, i), so the audit is embarrassingly parallel and its
+// counters are bit-identical at any thread count.
+//
+// Per-round TSC/TCC at the main Delta come from one real check_tsc /
+// check_tcc call (both parts computed, feeding the identity audit); the
+// sweep columns then compose the audited identity — accept(Delta) =
+// on_time(Delta) AND sc — instead of re-running the NP-hard search per
+// sweep point, turning 16 serialization searches per round into 2.
+//
+// A round where any exact checker returns Verdict::kLimit is excluded from
+// the identity checks and tallied in `limit_rounds` — a budget blowout is
+// "don't know", not "not a member" (the bench asserts the tally is zero).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/sim_time.hpp"
+#include "core/checkers.hpp"
+
+namespace timedc {
+
+struct HierarchyAuditConfig {
+  int rounds = 1500;
+  std::uint64_t seed = 20240601;
+  /// Delta for the Figure 4a timed-model columns.
+  SimTime delta = SimTime::micros(60);
+  /// Figure 4b sweep points (microseconds).
+  std::vector<std::int64_t> sweep_micros = {0, 10, 20, 40, 80, 160, 320, 640};
+  /// Worker threads; 0 = ThreadPool::default_threads().
+  int num_threads = 0;
+  SearchLimits limits;
+};
+
+struct HierarchyAuditResult {
+  int rounds = 0;
+  // Figure 4a membership counters.
+  int n_lin = 0, n_sc = 0, n_cc = 0, n_timed = 0, n_tsc = 0, n_tcc = 0;
+  /// Set-identity violations (0 expected).
+  int violations = 0;
+  /// Rounds where an exact checker hit the node budget (0 expected);
+  /// excluded from the identity checks rather than miscounted as "no".
+  int limit_rounds = 0;
+  // Figure 4b acceptance counts, one per sweep_micros entry, plus the
+  /// Delta = infinity column (which must equal n_sc / n_cc).
+  std::vector<int> accept_tsc, accept_tcc;
+  int tsc_inf = 0, tcc_inf = 0;
+  /// Backtracking nodes expanded across all rounds (perf telemetry).
+  std::uint64_t nodes = 0;
+
+  bool ok() const { return violations == 0 && limit_rounds == 0; }
+};
+
+HierarchyAuditResult run_hierarchy_audit(const HierarchyAuditConfig& config);
+
+}  // namespace timedc

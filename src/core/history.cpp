@@ -1,5 +1,7 @@
 #include "core/history.hpp"
 
+#include <algorithm>
+
 #include "common/assert.hpp"
 
 namespace timedc {
@@ -22,6 +24,12 @@ const std::vector<OpIndex>& History::writes_to(ObjectId object) const {
   static const std::vector<OpIndex> kEmpty;
   const auto it = writes_by_object_.find(object);
   return it == writes_by_object_.end() ? kEmpty : it->second;
+}
+
+const std::vector<OpIndex>& History::writes_to_by_time(ObjectId object) const {
+  static const std::vector<OpIndex> kEmpty;
+  const auto it = writes_by_object_time_.find(object);
+  return it == writes_by_object_time_.end() ? kEmpty : it->second;
 }
 
 std::string History::to_string() const {
@@ -93,6 +101,14 @@ History HistoryBuilder::build() {
         !h_.writer_of(op.object, op.value).has_value()) {
       h_.thin_air_ = true;
     }
+  }
+  for (const auto& [object, writes] : h_.writes_by_object_) {
+    auto sorted = writes;
+    std::sort(sorted.begin(), sorted.end(), [this](OpIndex a, OpIndex b) {
+      const SimTime ta = h_.ops_[a.value].time, tb = h_.ops_[b.value].time;
+      return ta != tb ? ta < tb : a < b;
+    });
+    h_.writes_by_object_time_.emplace(object, std::move(sorted));
   }
   return std::move(h_);
 }

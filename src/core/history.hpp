@@ -54,6 +54,10 @@ class History {
   /// All writes to `object`, in history (append) order.
   const std::vector<OpIndex>& writes_to(ObjectId object) const;
 
+  /// All writes to `object`, sorted by (effective time, index). Precomputed
+  /// at build() for the timed checkers' binary-search fast path.
+  const std::vector<OpIndex>& writes_to_by_time(ObjectId object) const;
+
   /// All write operations in H, in history order (the "+w" of H_{i+w}).
   const std::vector<OpIndex>& all_writes() const { return writes_; }
 
@@ -70,6 +74,7 @@ class History {
   std::vector<std::vector<OpIndex>> per_site_;
   std::vector<OpIndex> writes_;
   std::unordered_map<ObjectId, std::vector<OpIndex>> writes_by_object_;
+  std::unordered_map<ObjectId, std::vector<OpIndex>> writes_by_object_time_;
   // (object, value) -> writer op. Keyed by object then value.
   std::unordered_map<ObjectId, std::unordered_map<Value, OpIndex>> writer_;
   std::vector<VectorTimestamp> logical_;

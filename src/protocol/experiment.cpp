@@ -4,6 +4,7 @@
 #include <deque>
 
 #include "common/assert.hpp"
+#include "common/parallel.hpp"
 #include "protocol/timed_causal_cache.hpp"
 #include "protocol/timed_serial_cache.hpp"
 
@@ -297,6 +298,19 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   }
   result.history = record.build();
   return result;
+}
+
+std::vector<ExperimentResult> run_experiment_seeds(
+    const ExperimentConfig& config, const std::vector<std::uint64_t>& seeds,
+    std::size_t num_threads) {
+  return parallel_map(
+      seeds.size(),
+      [&](std::size_t i) {
+        ExperimentConfig c = config;
+        c.seed = seeds[i];
+        return run_experiment(c);
+      },
+      num_threads);
 }
 
 }  // namespace timedc

@@ -100,4 +100,13 @@ struct ExperimentResult {
 
 ExperimentResult run_experiment(const ExperimentConfig& config);
 
+/// Multi-seed replication on the deterministic thread pool: runs `config`
+/// once per entry of `seeds` (config.seed replaced), result i at slot i.
+/// Each run is a pure function of its config, so the output is
+/// bit-identical to the serial loop at any thread count (num_threads = 0
+/// uses ThreadPool::default_threads(), 1 forces serial).
+std::vector<ExperimentResult> run_experiment_seeds(
+    const ExperimentConfig& config, const std::vector<std::uint64_t>& seeds,
+    std::size_t num_threads = 0);
+
 }  // namespace timedc

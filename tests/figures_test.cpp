@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "core/checkers.hpp"
+#include "core/hierarchy_audit.hpp"
 #include "core/paper_figures.hpp"
 #include "core/render.hpp"
 #include "core/serialization.hpp"
@@ -152,6 +153,25 @@ TEST(RenderTest, TimelineMentionsEverySite) {
   for (int s = 0; s < 5; ++s) {
     EXPECT_NE(art.find("site" + std::to_string(s)), std::string::npos);
   }
+}
+
+// A scaled-down Figure 4 audit: every set identity must hold and no round
+// may hit the search node budget (a kLimit is "don't know", and the audit
+// must never silently fold it into "not a member").
+TEST(Figure4Test, SmallAuditCleanNoLimits) {
+  HierarchyAuditConfig config;
+  config.rounds = 120;
+  config.num_threads = 2;
+  const HierarchyAuditResult r = run_hierarchy_audit(config);
+  EXPECT_EQ(r.violations, 0);
+  EXPECT_EQ(r.limit_rounds, 0);
+  // Delta = infinity columns coincide with the untimed models.
+  EXPECT_EQ(r.tsc_inf, r.n_sc);
+  EXPECT_EQ(r.tcc_inf, r.n_cc);
+  // Hierarchy: LIN ⊆ TSC ⊆ SC ⊆ CC in counts.
+  EXPECT_LE(r.n_lin, r.n_tsc);
+  EXPECT_LE(r.n_tsc, r.n_sc);
+  EXPECT_LE(r.n_sc, r.n_cc);
 }
 
 TEST(RenderTest, TimedResultRendering) {

@@ -300,6 +300,25 @@ TEST(ExperimentTest, DeterministicForSeed) {
   EXPECT_EQ(a.mean_staleness_us, b.mean_staleness_us);
 }
 
+TEST(ExperimentTest, MultiSeedReplicationMatchesSerialRuns) {
+  // run_experiment_seeds fans seeds over the thread pool; each run must be
+  // bit-identical to calling run_experiment with that seed serially.
+  const auto config = small_config(ProtocolKind::kTimedSerial, ms(10), 0);
+  const std::vector<std::uint64_t> seeds = {3, 14, 159, 2653};
+  const auto parallel = run_experiment_seeds(config, seeds, 4);
+  ASSERT_EQ(parallel.size(), seeds.size());
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    auto c = config;
+    c.seed = seeds[i];
+    const auto serial = run_experiment(c);
+    EXPECT_EQ(parallel[i].network.messages_sent, serial.network.messages_sent);
+    EXPECT_EQ(parallel[i].network.bytes_sent, serial.network.bytes_sent);
+    EXPECT_EQ(parallel[i].cache.cache_hits, serial.cache.cache_hits);
+    EXPECT_EQ(parallel[i].mean_staleness_us, serial.mean_staleness_us);
+    EXPECT_EQ(parallel[i].history.to_string(), serial.history.to_string());
+  }
+}
+
 TEST(ExperimentTest, TscStalenessBoundedByDeltaPlusSlack) {
   // The TSC protocol promise: a read never returns a value that has been
   // replaced for more than Delta (+ messaging slack: the value may be
