@@ -29,6 +29,7 @@
 #include "core/hierarchy_audit.hpp"
 #include "core/history_gen.hpp"
 #include "core/timed.hpp"
+#include "protocol/experiment.hpp"
 
 using namespace timedc;
 
@@ -278,6 +279,40 @@ int main(int argc, char** argv) {
   std::printf("  determinism across thread counts: %s; violations/limits clean: %s\n\n",
               deterministic ? "yes" : "NO (BUG)", audit_clean ? "yes" : "NO (BUG)");
 
+  // --- tracer overhead ----------------------------------------------------
+  // The same small TSC experiment with tracing off vs on. "Off" is the
+  // default config (null Tracer*: one pointer test per potential event), so
+  // this measures exactly what every untraced simulation pays for the
+  // instrumentation, and what a fully-traced run costs on top.
+  double tracer_off_us = 0, tracer_on_us = 0;
+  std::uint64_t tracer_events = 0;
+  {
+    ExperimentConfig tc;
+    tc.kind = ProtocolKind::kTimedSerial;
+    tc.delta = SimTime::millis(5);
+    tc.workload.num_clients = 4;
+    tc.workload.num_objects = 16;
+    tc.workload.horizon = SimTime::seconds(2);
+    tc.seed = 99;
+    const int reps = quick ? 3 : 10;
+    const auto time_runs = [&](bool traced) {
+      ExperimentConfig c = tc;
+      c.trace.enabled = traced;
+      const auto t0 = Clock::now();
+      for (int rep = 0; rep < reps; ++rep) {
+        const ExperimentResult r = run_experiment(c);
+        if (traced) tracer_events = r.trace.size();
+      }
+      return seconds_since(t0) * 1e6 / reps;
+    };
+    tracer_off_us = time_runs(false);
+    tracer_on_us = time_runs(true);
+  }
+  std::printf("  tracer overhead (2s TSC experiment): %.0fus off, %.0fus on "
+              "(%.2fx), %llu events/run\n\n",
+              tracer_off_us, tracer_on_us, tracer_on_us / tracer_off_us,
+              (unsigned long long)tracer_events);
+
   // --- JSON report --------------------------------------------------------
   FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
@@ -336,6 +371,14 @@ int main(int argc, char** argv) {
   std::fprintf(f, "    \"violations\": %d,\n", reference.violations);
   std::fprintf(f, "    \"limit_rounds\": %d\n", reference.limit_rounds);
   std::fprintf(f, "  },\n");
+  std::fprintf(f,
+               "  \"tracer\": {\"experiment_us_off\": %s, "
+               "\"experiment_us_on\": %s, \"overhead_ratio\": %s, "
+               "\"events_per_run\": %llu},\n",
+               json_escape_free(tracer_off_us).c_str(),
+               json_escape_free(tracer_on_us).c_str(),
+               json_escape_free(tracer_on_us / tracer_off_us).c_str(),
+               (unsigned long long)tracer_events);
   std::fprintf(f, "  \"checker_verdicts_agree\": %s,\n", agree ? "true" : "false");
   std::fprintf(f, "  \"timed_verdicts_agree\": %s\n",
                timed_agree && timed_big_agree ? "true" : "false");

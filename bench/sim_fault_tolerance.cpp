@@ -18,8 +18,14 @@
 // vs the TSC cache at the same Delta: the broadcast store's late% grows
 // with the drop rate while the cache's stays 0 — it pays in retries
 // instead (the reliability cost curve).
+// Flags:
+//   --trace-out <path>    JSONL event stream of the first hostile run
+//   --chrome-out <path>   same trace in Chrome trace_event format — load it
+//                         in ui.perfetto.dev to see the fault timeline
+//   --metrics-out <path>  that run's metrics JSON (both histograms included)
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -72,7 +78,7 @@ FaultPlan hostile_plan() {
   return plan;
 }
 
-ExperimentResult run_hostile(ProtocolKind kind, PushPolicy push) {
+ExperimentConfig hostile_config(ProtocolKind kind, PushPolicy push) {
   ExperimentConfig config;
   config.kind = kind;
   config.delta = SimTime::millis(25);
@@ -82,15 +88,21 @@ ExperimentResult run_hostile(ProtocolKind kind, PushPolicy push) {
   config.drop_probability = 0.05;
   config.faults = hostile_plan();
   config.seed = 11;
-  return run_experiment(config);
+  return config;
+}
+
+ExperimentResult run_hostile(ProtocolKind kind, PushPolicy push) {
+  return run_experiment(hostile_config(kind, push));
 }
 
 void print_hostile_row(const char* name, const ExperimentResult& r) {
-  std::printf("  %-22s %6llu %6llu %8.2f %6llu %7llu %7.3f%% %8.2f%%\n", name,
-              (unsigned long long)r.operations,
+  std::printf("  %-22s %6llu %6llu %8.2f %6llu %7llu %6llu %5llu %7.3f%% %8.2f%%\n",
+              name, (unsigned long long)r.operations,
               (unsigned long long)r.ops_abandoned, r.retries_per_op,
               (unsigned long long)r.cache.failovers,
               (unsigned long long)r.server.duplicate_writes,
+              (unsigned long long)r.messages_dropped,
+              (unsigned long long)r.messages_duplicated,
               100.0 * r.late_fraction, 100.0 * r.unavailable_fraction);
 }
 
@@ -168,7 +180,29 @@ BroadcastPoint run_broadcast(const WorkloadParams& workload, SimTime delta,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_out;
+  std::string chrome_out;
+  std::string metrics_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (arg == "--trace-out") {
+      if (const char* v = next()) trace_out = v;
+    } else if (arg == "--chrome-out") {
+      if (const char* v = next()) chrome_out = v;
+    } else if (arg == "--metrics-out") {
+      if (const char* v = next()) metrics_out = v;
+    } else {
+      std::fprintf(stderr,
+                   "usage: sim_fault_tolerance [--trace-out PATH] "
+                   "[--chrome-out PATH] [--metrics-out PATH]\n");
+      return 2;
+    }
+  }
+
   std::printf(
       "SIM-J: fault tolerance — 4 clients, 2 servers, Delta = 25ms, 2s.\n"
       "Faults: 5%% uniform loss, 200ms partition ({c0,c1} vs servers,\n"
@@ -176,9 +210,15 @@ int main() {
       "for 100ms, 30%% duplication for 100ms. Retry: 8 attempts,\n"
       "exponential backoff, failover across the cluster.\n\n");
 
-  std::printf("  %-22s %6s %6s %8s %6s %7s %8s %9s\n", "protocol", "ops",
-              "aband", "retry/op", "failov", "dupW", "late%", "unavail%");
-  const auto serial = run_hostile(ProtocolKind::kTimedSerial, PushPolicy::kNone);
+  std::printf("  %-22s %6s %6s %8s %6s %7s %6s %5s %8s %9s\n", "protocol",
+              "ops", "aband", "retry/op", "failov", "dupW", "drops", "dups",
+              "late%", "unavail%");
+  // The first hostile run is the one the observability flags export.
+  ExperimentConfig serial_config =
+      hostile_config(ProtocolKind::kTimedSerial, PushPolicy::kNone);
+  serial_config.trace.enabled =
+      !trace_out.empty() || !chrome_out.empty();
+  const auto serial = run_experiment(serial_config);
   print_hostile_row("timed-serial (pull)", serial);
   const auto causal = run_hostile(ProtocolKind::kTimedCausal, PushPolicy::kNone);
   print_hostile_row("timed-causal (pull)", causal);
@@ -237,5 +277,21 @@ int main() {
       "pays for loss in retries and messages — consistency is enforced\n"
       "by local expiry, so the network can only make it slower, not\n"
       "wrong.\n");
+
+  if (!trace_out.empty()) {
+    write_text_file(trace_out, trace_to_jsonl(serial.trace));
+    std::printf("\ntrace: %zu events -> %s\n", serial.trace.size(),
+                trace_out.c_str());
+  }
+  if (!chrome_out.empty()) {
+    write_text_file(chrome_out, trace_to_chrome(serial.trace));
+    std::printf("chrome trace -> %s (load in ui.perfetto.dev)\n",
+                chrome_out.c_str());
+  }
+  if (!metrics_out.empty()) {
+    write_text_file(metrics_out,
+                    experiment_metrics(serial_config, serial).to_json(2));
+    std::printf("metrics -> %s\n", metrics_out.c_str());
+  }
   return 0;
 }

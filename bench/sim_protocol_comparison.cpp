@@ -5,7 +5,14 @@
 //
 // Expected shape (Section 5.3): under the same Delta, TCC invalidates more
 // than CC but less than TSC; SC/CC (Delta = inf) are cheapest and stalest.
+// Flags:
+//   --quick               2s horizon instead of 20s (CI smoke runs)
+//   --trace-out <path>    write the TSC run's event stream as JSONL
+//   --chrome-out <path>   same trace in Chrome trace_event format
+//   --metrics-out <path>  per-protocol metrics JSON {sc, tsc, cc, tcc}
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "common/parallel.hpp"
@@ -15,6 +22,8 @@ using namespace timedc;
 
 namespace {
 
+SimTime g_horizon = SimTime::seconds(20);
+
 ExperimentConfig base() {
   ExperimentConfig config;
   config.workload.num_clients = 6;
@@ -22,7 +31,7 @@ ExperimentConfig base() {
   config.workload.write_ratio = 0.2;
   config.workload.mean_think_time = SimTime::millis(8);
   config.workload.zipf_exponent = 0.8;
-  config.workload.horizon = SimTime::seconds(20);
+  config.workload.horizon = g_horizon;
   config.min_latency = SimTime::micros(300);
   config.max_latency = SimTime::millis(2);
   config.eviction = CausalEvictionRule::kServerKnowledge;
@@ -42,7 +51,32 @@ void row(const char* name, const ExperimentResult& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_out;
+  std::string chrome_out;
+  std::string metrics_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (arg == "--quick") {
+      g_horizon = SimTime::seconds(2);
+    } else if (arg == "--trace-out") {
+      if (const char* v = next()) trace_out = v;
+    } else if (arg == "--chrome-out") {
+      if (const char* v = next()) chrome_out = v;
+    } else if (arg == "--metrics-out") {
+      if (const char* v = next()) metrics_out = v;
+    } else {
+      std::fprintf(stderr,
+                   "usage: sim_protocol_comparison [--quick] "
+                   "[--trace-out PATH] [--chrome-out PATH] "
+                   "[--metrics-out PATH]\n");
+      return 2;
+    }
+  }
+
   const SimTime delta = SimTime::millis(5);
   std::printf("SIM-B: the lifetime protocol family at Delta = 5ms\n\n");
   std::printf("  %-14s %9s %9s %9s %11s %13s %11s\n", "protocol", "hit",
@@ -72,6 +106,9 @@ int main() {
   for (std::int64_t l : lease_ms) {
     push_config(ProtocolKind::kTimedSerial, delta).lease = SimTime::millis(l);  // 9..12
   }
+  // Only the TSC run (index 1) is traced: one protocol's full event stream
+  // is what the trace/chrome exports document.
+  if (!trace_out.empty() || !chrome_out.empty()) configs[1].trace.enabled = true;
   const auto results =
       parallel_map(configs.size(), [&](std::size_t i) { return run_experiment(configs[i]); });
 
@@ -83,6 +120,20 @@ int main() {
   row("TSC  (D=5ms)", tsc);
   row("CC   (D=inf)", cc);
   row("TCC  (D=5ms)", tcc);
+
+  // Fault-path delivery counters (all zero on this lossless workload, but
+  // the columns exist so a lossy variant shows up immediately).
+  std::printf(
+      "\n  delivery: dropped %llu/%llu/%llu/%llu, duplicated "
+      "%llu/%llu/%llu/%llu (SC/TSC/CC/TCC)\n",
+      (unsigned long long)sc.messages_dropped,
+      (unsigned long long)tsc.messages_dropped,
+      (unsigned long long)cc.messages_dropped,
+      (unsigned long long)tcc.messages_dropped,
+      (unsigned long long)sc.messages_duplicated,
+      (unsigned long long)tsc.messages_duplicated,
+      (unsigned long long)cc.messages_duplicated,
+      (unsigned long long)tcc.messages_duplicated);
 
   const auto churn = [](const ExperimentResult& r) {
     return r.cache.invalidations + r.cache.marked_old;
@@ -127,5 +178,27 @@ int main() {
   std::printf("  (leases convert read validations into local hits and move\n"
               "   the cost onto writers, who wait out live leases; reads can\n"
               "   never be stale while a lease is held)\n");
+
+  if (!trace_out.empty()) {
+    write_text_file(trace_out, trace_to_jsonl(tsc.trace));
+    std::printf("\ntrace: %zu events -> %s\n", tsc.trace.size(),
+                trace_out.c_str());
+  }
+  if (!chrome_out.empty()) {
+    write_text_file(chrome_out, trace_to_chrome(tsc.trace));
+    std::printf("chrome trace -> %s\n", chrome_out.c_str());
+  }
+  if (!metrics_out.empty()) {
+    std::string json = "{\n";
+    const char* names[] = {"sc", "tsc", "cc", "tcc"};
+    for (std::size_t k = 0; k < 4; ++k) {
+      json += "\"" + std::string(names[k]) + "\": " +
+              experiment_metrics(configs[k], results[k]).to_json(2);
+      json += k + 1 < 4 ? ",\n" : "\n";
+    }
+    json += "}\n";
+    write_text_file(metrics_out, json);
+    std::printf("metrics -> %s\n", metrics_out.c_str());
+  }
   return 0;
 }

@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Schema validation for the observability exports, used by CI.
+
+Validates any combination of:
+  --jsonl FILE    canonical JSONL trace (one event object per line)
+  --chrome FILE   Chrome trace_event document (chrome://tracing / Perfetto)
+  --metrics FILE  metrics JSON: either one registry document
+                  {"counters","gauges","histograms"} or a map of named
+                  registries (e.g. {"sc": {...}, "tsc": {...}})
+
+Exits non-zero with a message on the first violation.
+"""
+
+import argparse
+import json
+import sys
+
+# Must match to_cstring(TraceEventType) in src/obs/trace.cpp.
+EVENT_TYPES = {
+    "op.issue", "op.retry", "op.reply", "op.abandon",
+    "cache.hit", "cache.miss", "cache.validate",
+    "lease.grant", "lease.expire", "push.invalidate", "push.update",
+    "write.apply", "write.defer", "server.crash", "server.restart",
+    "net.send", "net.drop", "net.dup", "net.deliver",
+    "partition.open", "partition.heal",
+    "bcast.send", "bcast.deliver", "bcast.discard",
+    "check.enter", "check.fastpath", "check.prune", "check.verdict",
+}
+EVENT_KEYS = {"t", "type", "site", "obj", "op", "a", "b"}
+
+
+def fail(msg):
+    sys.exit(f"validate_trace: {msg}")
+
+
+def validate_jsonl(path):
+    prev_t = None
+    count = 0
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                fail(f"{path}:{lineno}: blank line")
+            try:
+                ev = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(f"{path}:{lineno}: not JSON ({e})")
+            if set(ev) != EVENT_KEYS:
+                fail(f"{path}:{lineno}: keys {sorted(ev)} != {sorted(EVENT_KEYS)}")
+            if ev["type"] not in EVENT_TYPES:
+                fail(f"{path}:{lineno}: unknown event type {ev['type']!r}")
+            for k in ("t", "site", "obj", "op", "a", "b"):
+                if not isinstance(ev[k], int):
+                    fail(f"{path}:{lineno}: field {k!r} is not an integer")
+            if ev["site"] < 0 or ev["op"] < 0:
+                fail(f"{path}:{lineno}: negative site/op")
+            if ev["obj"] < -1:
+                fail(f"{path}:{lineno}: obj below the -1 sentinel")
+            if prev_t is not None and ev["t"] < prev_t:
+                fail(f"{path}:{lineno}: timestamps decrease ({ev['t']} < {prev_t})")
+            prev_t = ev["t"]
+            count += 1
+    if count == 0:
+        fail(f"{path}: empty trace")
+    print(f"validate_trace: {path}: {count} events OK")
+
+
+def validate_chrome(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if "traceEvents" not in doc:
+        fail(f"{path}: missing traceEvents")
+    events = doc["traceEvents"]
+    if not events:
+        fail(f"{path}: no trace events")
+    begins = sum(1 for e in events if e.get("ph") == "B")
+    ends = sum(1 for e in events if e.get("ph") == "E")
+    if begins != ends:
+        fail(f"{path}: unbalanced spans ({begins} B vs {ends} E)")
+    for e in events:
+        if "ph" not in e or "pid" not in e:
+            fail(f"{path}: event missing ph/pid: {e}")
+        if e["ph"] in ("B", "E", "i") and "ts" not in e:
+            fail(f"{path}: timed event missing ts: {e}")
+    print(f"validate_trace: {path}: {len(events)} chrome events OK "
+          f"({begins} spans)")
+
+
+def validate_registry(name, reg, require_histograms):
+    for section in ("counters", "gauges", "histograms"):
+        if section not in reg:
+            fail(f"{name}: missing {section!r} section")
+    for hname in require_histograms:
+        if hname not in reg["histograms"]:
+            fail(f"{name}: missing histogram {hname!r}")
+    for hname, h in reg["histograms"].items():
+        for key in ("count", "sum", "min", "max", "buckets"):
+            if key not in h:
+                fail(f"{name}: histogram {hname!r} missing {key!r}")
+        if h["buckets"][-1]["le"] != "inf":
+            fail(f"{name}: histogram {hname!r} last bucket is not overflow")
+        total = sum(b["count"] for b in h["buckets"])
+        if total != h["count"]:
+            fail(f"{name}: histogram {hname!r} bucket sum {total} != "
+                 f"count {h['count']}")
+
+
+def validate_metrics(path, require_histograms):
+    with open(path) as f:
+        doc = json.load(f)
+    if "histograms" in doc:
+        registries = {path: doc}
+    else:
+        registries = {f"{path}[{k}]": v for k, v in doc.items()}
+        if not registries:
+            fail(f"{path}: empty metrics document")
+    for name, reg in registries.items():
+        validate_registry(name, reg, require_histograms)
+    print(f"validate_trace: {path}: {len(registries)} metrics "
+          f"registr{'y' if len(registries) == 1 else 'ies'} OK")
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--jsonl")
+    parser.add_argument("--chrome")
+    parser.add_argument("--metrics")
+    parser.add_argument(
+        "--require-histogram", action="append", default=[],
+        help="histogram name that must exist in every metrics registry")
+    args = parser.parse_args()
+    if not (args.jsonl or args.chrome or args.metrics):
+        fail("nothing to validate (pass --jsonl/--chrome/--metrics)")
+    if args.jsonl:
+        validate_jsonl(args.jsonl)
+    if args.chrome:
+        validate_chrome(args.chrome)
+    if args.metrics:
+        validate_metrics(args.metrics, args.require_histogram)
+
+
+if __name__ == "__main__":
+    main()

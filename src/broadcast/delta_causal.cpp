@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "obs/trace.hpp"
 
 namespace timedc {
 
@@ -45,8 +46,16 @@ void DeltaCausalEndpoint::broadcast(std::uint64_t payload,
   m.deadline = delta_.is_infinite() ? SimTime::infinity() : sim_.now() + delta_;
   m.vt = delivered_;
   ++stats_.sent;
+  if (obs_ != nullptr) {
+    obs_->emit(TraceEventType::kBcastSend, sim_.now(), self_, kNoObject,
+               payload);
+  }
   deliver_(m, sim_.now());
   ++stats_.delivered;
+  if (obs_ != nullptr) {
+    obs_->emit(TraceEventType::kBcastDeliver, sim_.now(), self_, kNoObject,
+               payload, self_.value, 0);
+  }
 
   const auto shared = std::make_shared<BroadcastMessage>(m);
   for (std::uint32_t peer = 0; peer < group_size_; ++peer) {
@@ -73,6 +82,11 @@ void DeltaCausalEndpoint::expire(SimTime now) {
       pending_.begin(), pending_.end(), [&](const BroadcastMessage& m) {
         if (m.deadline > now) return false;
         ++stats_.discarded_late;
+        if (obs_ != nullptr) {
+          obs_->emit(TraceEventType::kBcastDiscard, now, self_, kNoObject,
+                     m.payload, m.sender.value,
+                     (now - m.deadline).as_micros());
+        }
         const std::uint32_t j = m.sender.value;
         delivered_[j] = std::max(delivered_[j], m.vt[j]);
         return true;
@@ -87,6 +101,10 @@ void DeltaCausalEndpoint::on_message(const std::shared_ptr<void>& payload) {
   if (m->deadline <= now) {
     // Arrived already dead: never delivered (the Delta-causal rule).
     ++stats_.discarded_late;
+    if (obs_ != nullptr) {
+      obs_->emit(TraceEventType::kBcastDiscard, now, self_, kNoObject,
+                 m->payload, m->sender.value, (now - m->deadline).as_micros());
+    }
     delivered_[m->sender.value] =
         std::max(delivered_[m->sender.value], m->vt[m->sender.value]);
     try_deliver();
@@ -135,6 +153,11 @@ void DeltaCausalEndpoint::try_deliver() {
         pending_.erase(it);
         delivered_[m.sender.value] = m.vt[m.sender.value];
         ++stats_.delivered;
+        if (obs_ != nullptr) {
+          obs_->emit(TraceEventType::kBcastDeliver, sim_.now(), self_,
+                     kNoObject, m.payload, m.sender.value,
+                     (sim_.now() - m.sent_at).as_micros());
+        }
         deliver_(m, sim_.now());
         progressed = true;
         break;

@@ -31,6 +31,8 @@
 
 namespace timedc {
 
+class Tracer;
+
 struct BroadcastMessage {
   SiteId sender;
   std::uint64_t payload = 0;
@@ -64,6 +66,9 @@ class DeltaCausalEndpoint {
   void broadcast(std::uint64_t payload,
                  std::shared_ptr<const void> data = nullptr);
 
+  /// Emit bcast.send/deliver/discard events to `tracer` (nullptr = off).
+  void set_tracer(Tracer* tracer) { obs_ = tracer; }
+
   const DeltaBroadcastStats& stats() const { return stats_; }
   const std::vector<std::uint64_t>& delivered_vector() const {
     return delivered_;
@@ -86,6 +91,7 @@ class DeltaCausalEndpoint {
   std::vector<std::uint64_t> sent_seq_;       // own vector clock of broadcasts
   std::vector<std::uint64_t> delivered_;      // delivered-or-skipped per sender
   std::vector<BroadcastMessage> pending_;
+  Tracer* obs_ = nullptr;
   DeltaBroadcastStats stats_;
 };
 

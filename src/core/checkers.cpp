@@ -6,9 +6,53 @@
 #include <unordered_set>
 
 #include "common/assert.hpp"
+#include "obs/trace.hpp"
 
 namespace timedc {
 namespace {
+
+// Checker telemetry vocabulary: every check.* event carries the model in
+// `a` and one of these codes in `b` (prune / fastpath) or `op` (verdict).
+constexpr std::int64_t kModelLin = 0;
+constexpr std::int64_t kModelSc = 1;
+constexpr std::int64_t kModelCc = 2;
+constexpr std::int64_t kPruneThinAir = 0;
+constexpr std::int64_t kPruneBadPattern = 1;
+constexpr std::int64_t kPruneCyclicCausal = 2;
+constexpr std::int64_t kPruneNodeBudget = 3;
+constexpr std::int64_t kFastSeedOrder = 0;
+constexpr std::int64_t kFastPrefilter = 1;
+
+void trace_enter(const SearchLimits& limits, std::int64_t model,
+                 std::size_t ops) {
+  if (limits.tracer == nullptr) return;
+  limits.tracer->emit(TraceEventType::kCheckEnter, SimTime::zero(), SiteId{0},
+                      kNoObject, 0, model, static_cast<std::int64_t>(ops));
+}
+
+void trace_prune(const SearchLimits& limits, std::int64_t model,
+                 std::int64_t reason) {
+  if (limits.tracer == nullptr) return;
+  limits.tracer->emit(TraceEventType::kCheckPrune, SimTime::zero(), SiteId{0},
+                      kNoObject, 0, model, reason);
+}
+
+void trace_fastpath(const SearchLimits& limits, std::int64_t model,
+                    std::int64_t reason) {
+  if (limits.tracer == nullptr) return;
+  limits.tracer->emit(TraceEventType::kCheckFastPath, SimTime::zero(),
+                      SiteId{0}, kNoObject, 0, model, reason);
+}
+
+void trace_verdict(const SearchLimits& limits, std::int64_t model, Verdict v,
+                   std::uint64_t nodes) {
+  if (limits.tracer == nullptr) return;
+  if (v == Verdict::kLimit) trace_prune(limits, model, kPruneNodeBudget);
+  limits.tracer->emit(TraceEventType::kCheckVerdict, SimTime::zero(),
+                      SiteId{0}, kNoObject,
+                      static_cast<std::uint64_t>(v), model,
+                      static_cast<std::int64_t>(nodes));
+}
 
 /// Backtracking search for a legal serialization of a subset of operations
 /// under a precedence partial order, with memoization of failed states.
@@ -366,7 +410,12 @@ namespace {
 }  // namespace
 
 CheckResult check_lin(const History& h, const SearchLimits& limits) {
-  if (h.has_thin_air_read()) return {};
+  trace_enter(limits, kModelLin, h.operations().size());
+  if (h.has_thin_air_read()) {
+    trace_prune(limits, kModelLin, kPruneThinAir);
+    trace_verdict(limits, kModelLin, Verdict::kNo, 0);
+    return {};
+  }
   // LIN needs no constraint-graph stage: the effective-time order is
   // already a near-total precedence order, so the plain search runs in
   // essentially linear time; the seed-order pass just short-circuits the
@@ -374,15 +423,25 @@ CheckResult check_lin(const History& h, const SearchLimits& limits) {
   // base constraints are far weaker.)
   Searcher searcher(h, all_ops(h), limits);
   searcher.must_respect_effective_time();
-  return searcher.run(/*try_seed=*/limits.fast_paths);
+  const CheckResult r = searcher.run(/*try_seed=*/limits.fast_paths);
+  if (r.fast_path) trace_fastpath(limits, kModelLin, kFastSeedOrder);
+  trace_verdict(limits, kModelLin, r.verdict, r.nodes);
+  return r;
 }
 
 CheckResult check_sc(const History& h, const SearchLimits& limits) {
-  if (h.has_thin_air_read()) return {};
+  trace_enter(limits, kModelSc, h.operations().size());
+  if (h.has_thin_air_read()) {
+    trace_prune(limits, kModelSc, kPruneThinAir);
+    trace_verdict(limits, kModelSc, Verdict::kNo, 0);
+    return {};
+  }
   if (!limits.fast_paths) {
-    return find_serialization(h, all_ops(h), nullptr,
-                              /*program_order=*/true,
-                              /*effective_time=*/false, limits);
+    const CheckResult r = find_serialization(h, all_ops(h), nullptr,
+                                             /*program_order=*/true,
+                                             /*effective_time=*/false, limits);
+    trace_verdict(limits, kModelSc, r.verdict, r.nodes);
+    return r;
   }
   const std::vector<OpIndex> subset = all_ops(h);
   // Stage 1: the O(n log n) seed-order pass with only program order — no
@@ -391,13 +450,20 @@ CheckResult check_sc(const History& h, const SearchLimits& limits) {
   {
     Searcher seeder(h, subset, limits);
     add_program_order(h, seeder);
-    if (auto seeded = seeder.try_seed_order()) return *seeded;
+    if (auto seeded = seeder.try_seed_order()) {
+      trace_fastpath(limits, kModelSc, kFastSeedOrder);
+      trace_verdict(limits, kModelSc, seeded->verdict, seeded->nodes);
+      return *seeded;
+    }
   }
   // Stage 2: polynomial bad-pattern prefilters (SC ⊂ CC, so the CC
   // necessary conditions apply), then the pruned search under the
   // forced-order constraint graph.
   const CausalOrder co = CausalOrder::build(h);
   if (!passes_cc_fast_checks(h, co)) {
+    trace_fastpath(limits, kModelSc, kFastPrefilter);
+    trace_prune(limits, kModelSc, kPruneBadPattern);
+    trace_verdict(limits, kModelSc, Verdict::kNo, 0);
     CheckResult r;
     r.fast_path = true;
     return r;
@@ -406,16 +472,31 @@ CheckResult check_sc(const History& h, const SearchLimits& limits) {
   add_program_order(h, searcher);
   add_forced_order_edges(h, subset, co, searcher);
   // The seed order already failed above; extra edges cannot make it legal.
-  return searcher.run(/*try_seed=*/false);
+  const CheckResult r = searcher.run(/*try_seed=*/false);
+  trace_verdict(limits, kModelSc, r.verdict, r.nodes);
+  return r;
 }
 
 CcCheckResult check_cc(const History& h, const SearchLimits& limits) {
+  trace_enter(limits, kModelCc, h.operations().size());
   CcCheckResult result;
-  if (h.has_thin_air_read()) return result;
+  if (h.has_thin_air_read()) {
+    trace_prune(limits, kModelCc, kPruneThinAir);
+    trace_verdict(limits, kModelCc, Verdict::kNo, 0);
+    return result;
+  }
   const CausalOrder co = CausalOrder::build(h);
-  if (co.cyclic()) return result;
+  if (co.cyclic()) {
+    trace_prune(limits, kModelCc, kPruneCyclicCausal);
+    trace_verdict(limits, kModelCc, Verdict::kNo, 0);
+    return result;
+  }
   // Fail fast on the polynomial necessary conditions before searching.
-  if (!passes_cc_fast_checks(h, co)) return result;
+  if (!passes_cc_fast_checks(h, co)) {
+    trace_prune(limits, kModelCc, kPruneBadPattern);
+    trace_verdict(limits, kModelCc, Verdict::kNo, 0);
+    return result;
+  }
 
   result.per_site_witness.resize(h.num_sites());
   for (std::uint32_t s = 0; s < h.num_sites(); ++s) {
@@ -438,11 +519,13 @@ CcCheckResult check_cc(const History& h, const SearchLimits& limits) {
       result.verdict = site.verdict;
       result.failing_site = s;
       result.per_site_witness.clear();
+      trace_verdict(limits, kModelCc, result.verdict, result.nodes);
       return result;
     }
     result.per_site_witness[s] = site.witness;
   }
   result.verdict = Verdict::kYes;
+  trace_verdict(limits, kModelCc, result.verdict, result.nodes);
   return result;
 }
 

@@ -40,6 +40,8 @@
 
 namespace timedc {
 
+class Tracer;
+
 enum class Verdict { kYes, kNo, kLimit };
 
 inline const char* to_cstring(Verdict v) {
@@ -57,6 +59,9 @@ struct SearchLimits {
   /// Off = the plain exhaustive engine; same verdicts (property-tested),
   /// kept reachable for the equivalence tests and perf baselines.
   bool fast_paths = true;
+  /// Search telemetry sink (check.enter/fastpath/prune/verdict events;
+  /// a = model 0/1/2 = LIN/SC/CC). nullptr = off — one branch per event.
+  Tracer* tracer = nullptr;
 };
 
 struct CheckResult {

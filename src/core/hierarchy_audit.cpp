@@ -1,8 +1,11 @@
 #include "core/hierarchy_audit.hpp"
 
+#include <optional>
+
 #include "common/parallel.hpp"
 #include "core/history_gen.hpp"
 #include "core/timed.hpp"
+#include "obs/trace.hpp"
 
 namespace timedc {
 namespace {
@@ -14,6 +17,8 @@ struct RoundResult {
   int violations = 0;
   std::vector<bool> on_time_at;  // per sweep point
   std::uint64_t nodes = 0;
+  std::uint64_t fast_paths = 0;
+  std::vector<TraceEvent> events;  // this round's checker telemetry
 };
 
 History generate_round(std::uint64_t seed, int round) {
@@ -38,12 +43,24 @@ RoundResult run_round(const HierarchyAuditConfig& config, int round) {
   const TimedSpecEpsilon main_spec{config.delta, SimTime::zero()};
 
   RoundResult r;
-  const CheckResult lin = check_lin(h, config.limits);
-  const CheckResult sc = check_sc(h, config.limits);
-  const CcCheckResult cc = check_cc(h, config.limits);
-  const TscResult tsc = check_tsc(h, main_spec, config.limits);
-  const TccResult tcc = check_tcc(h, main_spec, config.limits);
+  // Rounds run in parallel, so each traces into its own Tracer; the caller
+  // adopts the flushed traces in round order (deterministic at any thread
+  // count).
+  std::optional<Tracer> local;
+  SearchLimits limits = config.limits;
+  if (config.tracer != nullptr) {
+    local.emplace(config.tracer->config());
+    limits.tracer = &*local;
+  }
+  const CheckResult lin = check_lin(h, limits);
+  const CheckResult sc = check_sc(h, limits);
+  const CcCheckResult cc = check_cc(h, limits);
+  const TscResult tsc = check_tsc(h, main_spec, limits);
+  const TccResult tcc = check_tcc(h, main_spec, limits);
   r.nodes = lin.nodes + sc.nodes + cc.nodes + tsc.sc.nodes + tcc.cc.nodes;
+  r.fast_paths = static_cast<std::uint64_t>(lin.fast_path) + sc.fast_path +
+                 tsc.sc.fast_path;
+  if (local) r.events = local->flush();
   r.limit = lin.verdict == Verdict::kLimit || sc.verdict == Verdict::kLimit ||
             cc.verdict == Verdict::kLimit;
   r.lin = lin.ok();
@@ -96,6 +113,8 @@ HierarchyAuditResult run_hierarchy_audit(const HierarchyAuditConfig& config) {
     out.violations += r.violations;
     out.limit_rounds += r.limit;
     out.nodes += r.nodes;
+    out.fast_paths += r.fast_paths;
+    if (config.tracer != nullptr) config.tracer->append_flushed(r.events);
     for (std::size_t k = 0; k < r.on_time_at.size(); ++k) {
       out.accept_tsc[k] += r.on_time_at[k] && r.sc;
       out.accept_tcc[k] += r.on_time_at[k] && r.cc;

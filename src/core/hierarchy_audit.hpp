@@ -38,6 +38,11 @@ struct HierarchyAuditConfig {
   /// Worker threads; 0 = ThreadPool::default_threads().
   int num_threads = 0;
   SearchLimits limits;
+  /// Sink for checker telemetry across all rounds. Each round traces into
+  /// its own local Tracer (rounds run in parallel); the flushed per-round
+  /// traces are adopted here in round-index order, so the combined trace is
+  /// identical at any thread count. Overrides limits.tracer.
+  Tracer* tracer = nullptr;
 };
 
 struct HierarchyAuditResult {
@@ -55,6 +60,9 @@ struct HierarchyAuditResult {
   int tsc_inf = 0, tcc_inf = 0;
   /// Backtracking nodes expanded across all rounds (perf telemetry).
   std::uint64_t nodes = 0;
+  /// LIN/SC searches (incl. the SC half of TSC) settled without
+  /// backtracking — seed order or prefilter.
+  std::uint64_t fast_paths = 0;
 
   bool ok() const { return violations == 0 && limit_rounds == 0; }
 };

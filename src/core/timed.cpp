@@ -163,4 +163,22 @@ std::vector<SimTime> staleness_gaps(const History& h) {
   return gaps;
 }
 
+std::vector<ReadStaleness> per_read_staleness(const History& h) {
+  std::vector<ReadStaleness> out;
+  for (const Operation& r : h.operations()) {
+    if (!r.is_read()) continue;
+    ReadStaleness rs{r.index, SimTime::zero()};
+    const std::optional<OpIndex> src = h.forced_source(r.index);
+    for (OpIndex w2 : h.writes_to(r.object)) {
+      if (src && w2 == *src) continue;
+      const SimTime t_w2 = h.op(w2).time;
+      if (src && t_w2 <= h.op(*src).time) continue;
+      const SimTime gap = r.time - t_w2;
+      if (gap > rs.staleness) rs.staleness = gap;
+    }
+    out.push_back(rs);
+  }
+  return out;
+}
+
 }  // namespace timedc

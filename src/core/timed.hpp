@@ -87,4 +87,15 @@ SimTime min_timed_delta(const History& h, SimTime eps);
 /// the figure benches.
 std::vector<SimTime> staleness_gaps(const History& h);
 
+/// One entry per read of h: the observed age of the read's value under
+/// Definition 1 — the largest T(r) - T(w') over writes w' newer than the
+/// forced source (zero when the source is the newest write before the
+/// read). A history satisfies Definition 1 at Delta iff every entry's
+/// staleness <= Delta; this is the staleness-histogram feed.
+struct ReadStaleness {
+  OpIndex read;
+  SimTime staleness = SimTime::zero();
+};
+std::vector<ReadStaleness> per_read_staleness(const History& h);
+
 }  // namespace timedc

@@ -1,0 +1,166 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/assert.hpp"
+
+namespace timedc {
+
+Histogram::Histogram(std::vector<std::int64_t> upper_bounds)
+    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1, 0) {
+  TIMEDC_ASSERT(!bounds_.empty());
+  // Strictly increasing bounds: sorted and free of duplicates.
+  TIMEDC_ASSERT(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                    bounds_.end());
+}
+
+Histogram Histogram::time_us() {
+  return Histogram({0,      1,      2,      5,       10,      20,     50,
+                    100,    200,    500,    1000,    2000,    5000,   10000,
+                    20000,  50000,  100000, 200000,  500000,  1000000,
+                    2000000, 5000000, 10000000});
+}
+
+std::size_t Histogram::bucket_index(std::int64_t v) const {
+  // First bound >= v: bucket i covers bounds[i-1] < v <= bounds[i].
+  return static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+}
+
+void Histogram::record(std::int64_t v) {
+  ++counts_[bucket_index(v)];
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+}
+
+Histogram& Histogram::operator+=(const Histogram& other) {
+  TIMEDC_ASSERT(bounds_ == other.bounds_);
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  if (other.count_ > 0) {
+    min_ = count_ == 0 ? other.min_ : std::min(min_, other.min_);
+    max_ = count_ == 0 ? other.max_ : std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  return *this;
+}
+
+std::string Histogram::to_json() const {
+  std::string out;
+  char buf[96];
+  std::snprintf(buf, sizeof buf,
+                "{\"count\":%" PRIu64 ",\"sum\":%" PRId64 ",\"min\":%" PRId64
+                ",\"max\":%" PRId64 ",\"buckets\":[",
+                count_, sum_, min(), max());
+  out += buf;
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    std::snprintf(buf, sizeof buf, "%s{\"le\":%" PRId64 ",\"count\":%" PRIu64 "}",
+                  i == 0 ? "" : ",", bounds_[i], counts_[i]);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof buf, ",{\"le\":\"inf\",\"count\":%" PRIu64 "}]}",
+                counts_.back());
+  out += buf;
+  return out;
+}
+
+void MetricsRegistry::set_counter(std::string_view name, std::uint64_t value) {
+  for (auto& [n, v] : counters_) {
+    if (n == name) {
+      v = value;
+      return;
+    }
+  }
+  counters_.emplace_back(std::string(name), value);
+}
+
+void MetricsRegistry::add_counter(std::string_view name, std::uint64_t delta) {
+  for (auto& [n, v] : counters_) {
+    if (n == name) {
+      v += delta;
+      return;
+    }
+  }
+  counters_.emplace_back(std::string(name), delta);
+}
+
+void MetricsRegistry::set_gauge(std::string_view name, double value) {
+  for (auto& [n, v] : gauges_) {
+    if (n == name) {
+      v = value;
+      return;
+    }
+  }
+  gauges_.emplace_back(std::string(name), value);
+}
+
+void MetricsRegistry::add_histogram(std::string_view name,
+                                    Histogram histogram) {
+  for (auto& [n, h] : histograms_) {
+    if (n == name) {
+      h += histogram;
+      return;
+    }
+  }
+  histograms_.emplace_back(std::string(name), std::move(histogram));
+}
+
+std::uint64_t MetricsRegistry::counter(std::string_view name) const {
+  for (const auto& [n, v] : counters_) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+const Histogram* MetricsRegistry::histogram(std::string_view name) const {
+  for (const auto& [n, h] : histograms_) {
+    if (n == name) return &h;
+  }
+  return nullptr;
+}
+
+std::string MetricsRegistry::to_json(int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  const std::string nl = indent > 0 ? "\n" : "";
+  const std::string inner = indent > 0 ? pad + pad : "";
+  std::string out = "{" + nl;
+  char buf[64];
+
+  out += pad + "\"counters\":{" + nl;
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    std::snprintf(buf, sizeof buf, "%" PRIu64, counters_[i].second);
+    out += inner + "\"" + counters_[i].first + "\":" + buf;
+    out += (i + 1 < counters_.size() ? "," : "") + nl;
+  }
+  out += pad + "}," + nl;
+
+  out += pad + "\"gauges\":{" + nl;
+  for (std::size_t i = 0; i < gauges_.size(); ++i) {
+    std::snprintf(buf, sizeof buf, "%.6f", gauges_[i].second);
+    out += inner + "\"" + gauges_[i].first + "\":" + buf;
+    out += (i + 1 < gauges_.size() ? "," : "") + nl;
+  }
+  out += pad + "}," + nl;
+
+  out += pad + "\"histograms\":{" + nl;
+  for (std::size_t i = 0; i < histograms_.size(); ++i) {
+    out += inner + "\"" + histograms_[i].first +
+           "\":" + histograms_[i].second.to_json();
+    out += (i + 1 < histograms_.size() ? "," : "") + nl;
+  }
+  out += pad + "}" + nl;
+  out += "}";
+  return out;
+}
+
+}  // namespace timedc

@@ -1,0 +1,87 @@
+// The unified metrics registry: counters, gauges and fixed-bucket
+// histograms with a stable JSON export.
+//
+// The paper's evaluation quantities live here as first-class distributions
+// rather than end-of-run averages: the *staleness histogram* (observed age
+// of every read's value, to be judged against its Delta budget) and the
+// *visibility-latency histogram* (server apply time minus client issue
+// time, per accepted write). The existing *Stats structs stay the hot-path
+// counters; stats_bridge.hpp publishes them into a registry under stable
+// names at snapshot time, so aggregation costs nothing per event.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace timedc {
+
+/// Fixed-bucket histogram over int64 samples. Bucket i counts samples v
+/// with bounds[i-1] < v <= bounds[i] (upper bounds inclusive); one implicit
+/// overflow bucket takes v > bounds.back(). Sum/min/max are exact.
+class Histogram {
+ public:
+  /// `upper_bounds` must be non-empty and strictly increasing.
+  explicit Histogram(std::vector<std::int64_t> upper_bounds);
+
+  /// The canonical microsecond time scale: 0, 1, 2, 5, ... 10s, +overflow.
+  static Histogram time_us();
+
+  void record(std::int64_t v);
+
+  /// Index of the bucket `v` falls into (bounds().size() = overflow).
+  std::size_t bucket_index(std::int64_t v) const;
+
+  std::uint64_t count() const { return count_; }
+  std::int64_t sum() const { return sum_; }
+  std::int64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::int64_t max() const { return count_ == 0 ? 0 : max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  const std::vector<std::int64_t>& bounds() const { return bounds_; }
+  /// Per-bucket counts; size bounds().size() + 1 (last = overflow).
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+
+  /// Merge `other` into this histogram (bucket layouts must match).
+  Histogram& operator+=(const Histogram& other);
+
+  /// {"count":N,"sum":S,"min":m,"max":M,"buckets":[{"le":0,"count":0},...,
+  ///  {"le":"inf","count":k}]}
+  std::string to_json() const;
+
+ private:
+  std::vector<std::int64_t> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  std::int64_t sum_ = 0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+};
+
+/// Insertion-ordered name -> value store; to_json() output is therefore
+/// deterministic for a fixed publish sequence.
+class MetricsRegistry {
+ public:
+  void set_counter(std::string_view name, std::uint64_t value);
+  void add_counter(std::string_view name, std::uint64_t delta);
+  void set_gauge(std::string_view name, double value);
+  void add_histogram(std::string_view name, Histogram histogram);
+
+  std::uint64_t counter(std::string_view name) const;  // 0 when absent
+  const Histogram* histogram(std::string_view name) const;
+
+  /// {"counters":{...},"gauges":{...},"histograms":{...}} with entries in
+  /// insertion order. `indent` = 0 emits one line.
+  std::string to_json(int indent = 0) const;
+
+ private:
+  std::vector<std::pair<std::string, std::uint64_t>> counters_;
+  std::vector<std::pair<std::string, double>> gauges_;
+  std::vector<std::pair<std::string, Histogram>> histograms_;
+};
+
+}  // namespace timedc

@@ -1,0 +1,87 @@
+#include "obs/stats_bridge.hpp"
+
+#include <string>
+
+#include "broadcast/delta_causal.hpp"
+#include "protocol/server.hpp"
+#include "protocol/stats.hpp"
+#include "sim/faults.hpp"
+#include "sim/network.hpp"
+
+namespace timedc {
+namespace {
+
+std::string key(std::string_view prefix, std::string_view field) {
+  std::string k(prefix);
+  k += '.';
+  k += field;
+  return k;
+}
+
+}  // namespace
+
+void publish_cache_stats(MetricsRegistry& reg, std::string_view prefix,
+                         const CacheStats& stats) {
+  reg.add_counter(key(prefix, "reads"), stats.reads);
+  reg.add_counter(key(prefix, "writes"), stats.writes);
+  reg.add_counter(key(prefix, "cache_hits"), stats.cache_hits);
+  reg.add_counter(key(prefix, "cache_misses"), stats.cache_misses);
+  reg.add_counter(key(prefix, "validations"), stats.validations);
+  reg.add_counter(key(prefix, "validations_ok"), stats.validations_ok);
+  reg.add_counter(key(prefix, "invalidations"), stats.invalidations);
+  reg.add_counter(key(prefix, "marked_old"), stats.marked_old);
+  reg.add_counter(key(prefix, "push_updates"), stats.push_updates);
+  reg.add_counter(key(prefix, "push_invalidations"), stats.push_invalidations);
+  reg.add_counter(key(prefix, "retries"), stats.retries);
+  reg.add_counter(key(prefix, "failovers"), stats.failovers);
+  reg.add_counter(key(prefix, "ops_abandoned"), stats.ops_abandoned);
+  reg.add_counter(key(prefix, "duplicate_replies"), stats.duplicate_replies);
+  reg.add_counter(key(prefix, "unavailable_us"), stats.unavailable_us);
+}
+
+void publish_server_stats(MetricsRegistry& reg, std::string_view prefix,
+                          const ServerStats& stats) {
+  reg.add_counter(key(prefix, "fetches"), stats.fetches);
+  reg.add_counter(key(prefix, "writes_applied"), stats.writes_applied);
+  reg.add_counter(key(prefix, "validations"), stats.validations);
+  reg.add_counter(key(prefix, "validations_ok"), stats.validations_ok);
+  reg.add_counter(key(prefix, "pushes"), stats.pushes);
+  reg.add_counter(key(prefix, "forwarded"), stats.forwarded);
+  reg.add_counter(key(prefix, "writes_deferred"), stats.writes_deferred);
+  reg.add_counter(key(prefix, "duplicate_writes"), stats.duplicate_writes);
+  reg.add_counter(key(prefix, "crashes"), stats.crashes);
+  reg.add_counter(key(prefix, "restarts"), stats.restarts);
+}
+
+void publish_network_stats(MetricsRegistry& reg, std::string_view prefix,
+                           const NetworkStats& stats) {
+  reg.add_counter(key(prefix, "messages_sent"), stats.messages_sent);
+  reg.add_counter(key(prefix, "messages_delivered"), stats.messages_delivered);
+  reg.add_counter(key(prefix, "messages_dropped"), stats.messages_dropped);
+  reg.add_counter(key(prefix, "messages_duplicated"),
+                  stats.messages_duplicated);
+  reg.add_counter(key(prefix, "bytes_sent"), stats.bytes_sent);
+}
+
+void publish_fault_stats(MetricsRegistry& reg, std::string_view prefix,
+                         const FaultStats& stats) {
+  reg.add_counter(key(prefix, "dropped_by_window"), stats.dropped_by_window);
+  reg.add_counter(key(prefix, "dropped_by_partition"),
+                  stats.dropped_by_partition);
+  reg.add_counter(key(prefix, "dropped_node_down"), stats.dropped_node_down);
+  reg.add_counter(key(prefix, "duplicated"), stats.duplicated);
+  reg.add_counter(key(prefix, "delayed"), stats.delayed);
+  reg.add_counter(key(prefix, "crashes"), stats.crashes);
+  reg.add_counter(key(prefix, "restarts"), stats.restarts);
+}
+
+void publish_broadcast_stats(MetricsRegistry& reg, std::string_view prefix,
+                             const DeltaBroadcastStats& stats) {
+  reg.add_counter(key(prefix, "sent"), stats.sent);
+  reg.add_counter(key(prefix, "delivered"), stats.delivered);
+  reg.add_counter(key(prefix, "discarded_late"), stats.discarded_late);
+  reg.add_counter(key(prefix, "delivered_out_of_band"),
+                  stats.delivered_out_of_band);
+}
+
+}  // namespace timedc

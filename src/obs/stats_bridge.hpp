@@ -1,0 +1,33 @@
+// Compatibility facade between the legacy *Stats structs and the metrics
+// registry. The structs stay the hot-path counters each subsystem bumps;
+// these publishers copy them into a MetricsRegistry under stable prefixed
+// names at snapshot time. Header keeps only forward declarations so that
+// timedc_obs never links against the protocol/sim/broadcast libraries.
+#pragma once
+
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace timedc {
+
+struct CacheStats;
+struct ServerStats;
+struct NetworkStats;
+struct FaultStats;
+struct DeltaBroadcastStats;
+
+/// Each publisher adds (not sets) counters named `<prefix>.<field>`, so
+/// calling one repeatedly aggregates across clients / servers / rounds.
+void publish_cache_stats(MetricsRegistry& reg, std::string_view prefix,
+                         const CacheStats& stats);
+void publish_server_stats(MetricsRegistry& reg, std::string_view prefix,
+                          const ServerStats& stats);
+void publish_network_stats(MetricsRegistry& reg, std::string_view prefix,
+                           const NetworkStats& stats);
+void publish_fault_stats(MetricsRegistry& reg, std::string_view prefix,
+                         const FaultStats& stats);
+void publish_broadcast_stats(MetricsRegistry& reg, std::string_view prefix,
+                             const DeltaBroadcastStats& stats);
+
+}  // namespace timedc

@@ -1,0 +1,287 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/assert.hpp"
+
+namespace timedc {
+namespace {
+
+struct TypeInfo {
+  const char* name;
+  TraceCategory category;
+};
+
+// Indexed by TraceEventType; order must match the enum exactly.
+constexpr TypeInfo kTypeInfo[kNumTraceEventTypes] = {
+    {"op.issue", TraceCategory::kOps},
+    {"op.retry", TraceCategory::kOps},
+    {"op.reply", TraceCategory::kOps},
+    {"op.abandon", TraceCategory::kOps},
+    {"cache.hit", TraceCategory::kCache},
+    {"cache.miss", TraceCategory::kCache},
+    {"cache.validate", TraceCategory::kCache},
+    {"lease.grant", TraceCategory::kServer},
+    {"lease.expire", TraceCategory::kServer},
+    {"push.invalidate", TraceCategory::kServer},
+    {"push.update", TraceCategory::kServer},
+    {"write.apply", TraceCategory::kServer},
+    {"write.defer", TraceCategory::kServer},
+    {"server.crash", TraceCategory::kServer},
+    {"server.restart", TraceCategory::kServer},
+    {"net.send", TraceCategory::kNetwork},
+    {"net.drop", TraceCategory::kNetwork},
+    {"net.dup", TraceCategory::kNetwork},
+    {"net.deliver", TraceCategory::kNetwork},
+    {"partition.open", TraceCategory::kFaults},
+    {"partition.heal", TraceCategory::kFaults},
+    {"bcast.send", TraceCategory::kBroadcast},
+    {"bcast.deliver", TraceCategory::kBroadcast},
+    {"bcast.discard", TraceCategory::kBroadcast},
+    {"check.enter", TraceCategory::kChecker},
+    {"check.fastpath", TraceCategory::kChecker},
+    {"check.prune", TraceCategory::kChecker},
+    {"check.verdict", TraceCategory::kChecker},
+};
+
+}  // namespace
+
+const char* to_cstring(TraceEventType type) {
+  return kTypeInfo[static_cast<std::size_t>(type)].name;
+}
+
+std::optional<TraceEventType> trace_event_type_from(std::string_view name) {
+  for (std::size_t i = 0; i < kNumTraceEventTypes; ++i) {
+    if (name == kTypeInfo[i].name) return static_cast<TraceEventType>(i);
+  }
+  return std::nullopt;
+}
+
+TraceCategory category_of(TraceEventType type) {
+  return kTypeInfo[static_cast<std::size_t>(type)].category;
+}
+
+const char* to_cstring(TraceCategory category) {
+  switch (category) {
+    case TraceCategory::kOps: return "ops";
+    case TraceCategory::kCache: return "cache";
+    case TraceCategory::kServer: return "server";
+    case TraceCategory::kNetwork: return "network";
+    case TraceCategory::kFaults: return "faults";
+    case TraceCategory::kBroadcast: return "broadcast";
+    case TraceCategory::kChecker: return "checker";
+  }
+  return "?";
+}
+
+Tracer::Tracer(TraceConfig config) : config_(config) {}
+
+void Tracer::emit(TraceEventType type, SimTime at, SiteId site,
+                  ObjectId object, std::uint64_t op, std::int64_t a,
+                  std::int64_t b) {
+  if (!wants(category_of(type))) return;
+  if (total_ >= config_.max_events) {
+    ++dropped_;
+    return;
+  }
+  if (site.value >= lanes_.size()) lanes_.resize(site.value + 1);
+  lanes_[site.value].push_back(TraceEvent{at, type, site, object, op, a, b});
+  ++total_;
+}
+
+std::vector<TraceEvent> Tracer::flush() const {
+  std::vector<TraceEvent> out;
+  out.reserve(adopted_.size() + total_);
+  out.insert(out.end(), adopted_.begin(), adopted_.end());
+  const std::size_t own_start = out.size();
+  for (const auto& lane : lanes_) {
+    out.insert(out.end(), lane.begin(), lane.end());
+  }
+  // Canonical order over this tracer's own events: (time, site, per-site
+  // emission sequence). The sort is stable and the lanes were concatenated
+  // in site order with per-lane emission order intact, so ties on
+  // (time, site) keep emission order — the merge-sort contract.
+  std::stable_sort(out.begin() + own_start, out.end(),
+                   [](const TraceEvent& x, const TraceEvent& y) {
+                     if (x.at != y.at) return x.at < y.at;
+                     return x.site.value < y.site.value;
+                   });
+  return out;
+}
+
+void Tracer::append_flushed(std::vector<TraceEvent> events) {
+  adopted_.insert(adopted_.end(), events.begin(), events.end());
+}
+
+// --- exporters -----------------------------------------------------------
+
+std::string trace_to_jsonl(const std::vector<TraceEvent>& events) {
+  std::string out;
+  out.reserve(events.size() * 72);
+  char line[192];
+  for (const TraceEvent& e : events) {
+    const std::int64_t obj =
+        e.object == kNoObject ? -1 : static_cast<std::int64_t>(e.object.value);
+    std::snprintf(line, sizeof line,
+                  "{\"t\":%" PRId64 ",\"type\":\"%s\",\"site\":%u,"
+                  "\"obj\":%" PRId64 ",\"op\":%" PRIu64 ",\"a\":%" PRId64
+                  ",\"b\":%" PRId64 "}\n",
+                  e.at.as_micros(), to_cstring(e.type), e.site.value, obj,
+                  e.op, e.a, e.b);
+    out += line;
+  }
+  return out;
+}
+
+namespace {
+
+/// Locate `"key":` in `line` and return the text immediately after the
+/// colon, or nullopt when the key is missing.
+std::optional<std::string_view> value_after(std::string_view line,
+                                            std::string_view key) {
+  std::string pattern = "\"";
+  pattern += key;
+  pattern += "\":";
+  const std::size_t at = line.find(pattern);
+  if (at == std::string_view::npos) return std::nullopt;
+  return line.substr(at + pattern.size());
+}
+
+std::optional<std::int64_t> parse_int(std::string_view text) {
+  char* end = nullptr;
+  std::string buf(text.substr(0, 32));
+  const long long v = std::strtoll(buf.c_str(), &end, 10);
+  if (end == buf.c_str()) return std::nullopt;
+  return static_cast<std::int64_t>(v);
+}
+
+std::optional<std::string_view> parse_string(std::string_view text) {
+  if (text.empty() || text[0] != '"') return std::nullopt;
+  const std::size_t close = text.find('"', 1);
+  if (close == std::string_view::npos) return std::nullopt;
+  return text.substr(1, close - 1);
+}
+
+std::optional<TraceEvent> parse_event_line(std::string_view line) {
+  TraceEvent e;
+  const auto t = value_after(line, "t");
+  const auto type = value_after(line, "type");
+  const auto site = value_after(line, "site");
+  const auto obj = value_after(line, "obj");
+  const auto op = value_after(line, "op");
+  const auto a = value_after(line, "a");
+  const auto b = value_after(line, "b");
+  if (!t || !type || !site || !obj || !op || !a || !b) return std::nullopt;
+  const auto tv = parse_int(*t);
+  const auto sv = parse_int(*site);
+  const auto ov = parse_int(*obj);
+  const auto opv = parse_int(*op);
+  const auto av = parse_int(*a);
+  const auto bv = parse_int(*b);
+  const auto name = parse_string(*type);
+  if (!tv || !sv || !ov || !opv || !av || !bv || !name) return std::nullopt;
+  const auto tt = trace_event_type_from(*name);
+  if (!tt || *sv < 0 || *ov < -1) return std::nullopt;
+  e.at = SimTime::micros(*tv);
+  e.type = *tt;
+  e.site = SiteId{static_cast<std::uint32_t>(*sv)};
+  e.object = *ov < 0 ? kNoObject : ObjectId{static_cast<std::uint32_t>(*ov)};
+  e.op = static_cast<std::uint64_t>(*opv);
+  e.a = *av;
+  e.b = *bv;
+  return e;
+}
+
+}  // namespace
+
+std::optional<std::vector<TraceEvent>> parse_trace_jsonl(
+    std::string_view text, std::size_t* error_line) {
+  std::vector<TraceEvent> out;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    const std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+    if (line.empty()) continue;
+    const auto e = parse_event_line(line);
+    if (!e) {
+      if (error_line != nullptr) *error_line = line_no;
+      return std::nullopt;
+    }
+    out.push_back(*e);
+  }
+  return out;
+}
+
+std::string trace_to_chrome(const std::vector<TraceEvent>& events) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  char line[256];
+  bool first = true;
+  const auto append = [&](const char* text) {
+    if (!first) out += ",\n";
+    first = false;
+    out += text;
+  };
+  // Name the per-site tracks once (metadata events, ts-less).
+  std::vector<bool> seen;
+  for (const TraceEvent& e : events) {
+    if (e.site.value >= seen.size()) seen.resize(e.site.value + 1, false);
+    if (seen[e.site.value]) continue;
+    seen[e.site.value] = true;
+    std::snprintf(line, sizeof line,
+                  "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":0,"
+                  "\"tid\":%u,\"args\":{\"name\":\"site %u\"}}",
+                  e.site.value, e.site.value);
+    append(line);
+  }
+  for (const TraceEvent& e : events) {
+    const std::int64_t obj =
+        e.object == kNoObject ? -1 : static_cast<std::int64_t>(e.object.value);
+    if (e.type == TraceEventType::kOpIssue) {
+      std::snprintf(line, sizeof line,
+                    "{\"ph\":\"B\",\"name\":\"%s\",\"cat\":\"ops\",\"pid\":0,"
+                    "\"tid\":%u,\"ts\":%" PRId64
+                    ",\"args\":{\"obj\":%" PRId64 ",\"op\":%" PRIu64 "}}",
+                    e.a != 0 ? "write" : "read", e.site.value,
+                    e.at.as_micros(), obj, e.op);
+      append(line);
+      continue;
+    }
+    if (e.type == TraceEventType::kOpReply) {
+      std::snprintf(line, sizeof line,
+                    "{\"ph\":\"E\",\"name\":\"%s\",\"cat\":\"ops\",\"pid\":0,"
+                    "\"tid\":%u,\"ts\":%" PRId64 "}",
+                    e.a != 0 ? "write" : "read", e.site.value,
+                    e.at.as_micros());
+      append(line);
+      continue;
+    }
+    std::snprintf(line, sizeof line,
+                  "{\"ph\":\"i\",\"name\":\"%s\",\"cat\":\"%s\",\"pid\":0,"
+                  "\"tid\":%u,\"ts\":%" PRId64 ",\"s\":\"t\","
+                  "\"args\":{\"obj\":%" PRId64 ",\"op\":%" PRIu64
+                  ",\"a\":%" PRId64 ",\"b\":%" PRId64 "}}",
+                  to_cstring(e.type), to_cstring(category_of(e.type)),
+                  e.site.value, e.at.as_micros(), obj, e.op, e.a, e.b);
+    append(line);
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool write_text_file(const std::string& path, const std::string& content) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const bool ok = written == content.size() && std::fclose(f) == 0;
+  if (written != content.size()) std::fclose(f);
+  return ok;
+}
+
+}  // namespace timedc

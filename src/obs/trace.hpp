@@ -1,0 +1,179 @@
+// Structured event tracing for the protocol / simulation / checker stack.
+//
+// A Tracer collects typed TraceEvents — op issue/retry/reply/abandon, cache
+// hit/miss/validate, lease grant/expiry, pushes, server crash/restart,
+// network send/drop/dup/deliver, partition open/heal, broadcast traffic and
+// checker search telemetry — each stamped with sim-time, site id, object id
+// and op id. Events are buffered per site (one append, no locking) and
+// merge-sorted at flush into the canonical order (time, site, per-site
+// sequence), so the flushed byte stream is a pure function of the run.
+//
+// Determinism rule: a Tracer belongs to ONE deterministic run (one
+// Simulator, or one checker invocation). Cross-run parallelism — the
+// thread pool fanning run_experiment_seeds or hierarchy-audit rounds over
+// TIMEDC_THREADS workers — uses one Tracer per run and concatenates the
+// flushed traces in run-index order (append_flushed), which is why trace
+// output is bit-identical at any thread count: each run is a pure function
+// of its config, and the merge order never depends on scheduling.
+//
+// Overhead rule: disabled tracing is a null Tracer* — every instrumented
+// site costs exactly one pointer test per potential event. TraceConfig
+// gates categories when tracing IS on; nothing is ever formatted until
+// flush/export.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/sim_time.hpp"
+#include "common/types.hpp"
+
+namespace timedc {
+
+/// Sentinel object id for events not about any particular object.
+inline constexpr ObjectId kNoObject{0xffffffffu};
+
+enum class TraceEventType : std::uint8_t {
+  // Client operations (a: 0 = read, 1 = write; b: duration / detail us).
+  kOpIssue,
+  kOpRetry,    // a: attempt number, b: target site
+  kOpReply,    // a: 0 read / 1 write, b: op duration us
+  kOpAbandon,  // b: time spent before giving up, us
+  // Cache decisions at begin_read.
+  kCacheHit,
+  kCacheMiss,
+  kCacheValidate,
+  // Server side.
+  kLeaseGrant,   // a: client site, b: lease duration us
+  kLeaseExpire,  // a: client site, b: us past expiry when pruned
+  kPushInvalidate,  // a: cacher site
+  kPushUpdate,      // a: cacher site
+  kWriteApply,      // a: value, b: 1 accepted / 0 lost LWW race
+  kWriteDefer,      // a: writer site, b: deferral us
+  kServerCrash,
+  kServerRestart,  // b: lease grace window us
+  // Network.
+  kNetSend,       // a: destination site, b: bytes
+  kNetDrop,       // a: destination site, b: 0 at send / 1 at delivery
+  kNetDuplicate,  // a: destination site
+  kNetDeliver,    // a: source site
+  // Fault timeline markers.
+  kPartitionOpen,  // a: partition index, b: |side_a| * 1000 + |side_b|
+  kPartitionHeal,  // a: partition index
+  // Delta-causal broadcast.
+  kBcastSend,     // op: payload
+  kBcastDeliver,  // op: payload, a: sender, b: delivery latency us
+  kBcastDiscard,  // op: payload, a: sender, b: us past the deadline
+  // Checker search telemetry (a: model 0=LIN 1=SC 2=CC).
+  kCheckEnter,     // b: operation count
+  kCheckFastPath,  // b: 0 seed-order, 1 prefilter
+  kCheckPrune,     // b: reason (see kPrune* in checkers.cpp)
+  kCheckVerdict,   // op: verdict (0 yes / 1 no / 2 limit), b: nodes
+};
+
+inline constexpr std::size_t kNumTraceEventTypes =
+    static_cast<std::size_t>(TraceEventType::kCheckVerdict) + 1;
+
+/// Stable dotted name ("net.send", "check.verdict", ...) used by every
+/// exporter; parse_trace_jsonl round-trips through it.
+const char* to_cstring(TraceEventType type);
+std::optional<TraceEventType> trace_event_type_from(std::string_view name);
+
+/// Category bits for TraceConfig::categories gating.
+enum class TraceCategory : std::uint32_t {
+  kOps = 1u << 0,
+  kCache = 1u << 1,
+  kServer = 1u << 2,
+  kNetwork = 1u << 3,
+  kFaults = 1u << 4,
+  kBroadcast = 1u << 5,
+  kChecker = 1u << 6,
+};
+TraceCategory category_of(TraceEventType type);
+const char* to_cstring(TraceCategory category);
+
+struct TraceEvent {
+  SimTime at = SimTime::zero();
+  TraceEventType type = TraceEventType::kOpIssue;
+  SiteId site;              // the emitting site
+  ObjectId object = kNoObject;
+  std::uint64_t op = 0;     // per-client op sequence / request id; 0 = none
+  std::int64_t a = 0;       // per-type detail, see the enum comments
+  std::int64_t b = 0;
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+struct TraceConfig {
+  bool enabled = false;
+  /// Bitmask over TraceCategory; default = everything.
+  std::uint32_t categories = 0xffffffffu;
+  /// Hard cap on buffered events; excess is counted in dropped(), not kept.
+  std::size_t max_events = 1u << 20;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(TraceConfig config = TraceConfig{true});
+
+  const TraceConfig& config() const { return config_; }
+
+  bool wants(TraceCategory category) const {
+    return config_.enabled &&
+           (config_.categories & static_cast<std::uint32_t>(category)) != 0;
+  }
+
+  /// Append one event to the emitting site's lane. Category gating happens
+  /// here, so call sites only pay the null-pointer test when tracing is off.
+  void emit(TraceEventType type, SimTime at, SiteId site,
+            ObjectId object = kNoObject, std::uint64_t op = 0,
+            std::int64_t a = 0, std::int64_t b = 0);
+
+  /// All events in canonical order: stable-sorted by (time, site, per-site
+  /// emission sequence), preceded by any adopted sub-run traces in adoption
+  /// order. Idempotent; does not clear the buffers.
+  std::vector<TraceEvent> flush() const;
+
+  /// Adopt an already-flushed trace (e.g. one audit round's events). The
+  /// adopted block keeps its internal order and precedes this tracer's own
+  /// lanes in flush(); adoption order is the caller's determinism contract.
+  void append_flushed(std::vector<TraceEvent> events);
+
+  /// Events discarded because max_events was hit.
+  std::uint64_t dropped() const { return dropped_; }
+  std::size_t size() const { return total_ + adopted_.size(); }
+
+ private:
+  TraceConfig config_;
+  // One lane per emitting site, each in emission order.
+  std::vector<std::vector<TraceEvent>> lanes_;
+  std::vector<TraceEvent> adopted_;
+  std::size_t total_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+// --- exporters -----------------------------------------------------------
+
+/// One JSON object per line:
+///   {"t":1234,"type":"net.send","site":0,"obj":3,"op":17,"a":4,"b":56}
+/// obj is -1 for kNoObject. This is the canonical parse-back format.
+std::string trace_to_jsonl(const std::vector<TraceEvent>& events);
+
+/// Parse trace_to_jsonl output back into events (strict: every line must
+/// carry every key with a known type name). Returns nullopt on any
+/// malformed line, with the offending line number in *error_line if given.
+std::optional<std::vector<TraceEvent>> parse_trace_jsonl(
+    std::string_view text, std::size_t* error_line = nullptr);
+
+/// Chrome trace_event JSON (one document), loadable in chrome://tracing and
+/// https://ui.perfetto.dev. Client ops become B/E duration spans per site
+/// track (issue opens, reply closes); everything else is an instant event.
+std::string trace_to_chrome(const std::vector<TraceEvent>& events);
+
+/// Write `content` to `path`; false (and errno preserved) on failure.
+bool write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace timedc

@@ -80,6 +80,8 @@ void CacheClient::read(ObjectId object, ReadCallback done) {
   pending_op_object_ = object;
   op_started_at_ = sim_.now();
   op_abandoned_ = false;
+  ++op_seq_;
+  trace(TraceEventType::kOpIssue, object, 0);
   begin_read(object);
 }
 
@@ -90,6 +92,8 @@ void CacheClient::write(ObjectId object, Value value, WriteCallback done) {
   pending_op_object_ = object;
   op_started_at_ = sim_.now();
   op_abandoned_ = false;
+  ++op_seq_;
+  trace(TraceEventType::kOpIssue, object, 1);
   begin_write(object, value);
 }
 
@@ -157,6 +161,8 @@ void CacheClient::on_rpc_timeout() {
     rpc_->timeouts_at_target = 0;
     ++stats_.failovers;
   }
+  trace(TraceEventType::kOpRetry, rpc_->object, rpc_->attempt,
+        rpc_->target.value);
   transmit();
 }
 
@@ -165,6 +171,8 @@ void CacheClient::abandon_op() {
   stats_.unavailable_us +=
       static_cast<std::uint64_t>((sim_.now() - op_started_at_).as_micros());
   op_abandoned_ = true;
+  trace(TraceEventType::kOpAbandon, pending_op_object_, 0,
+        (sim_.now() - op_started_at_).as_micros());
   rpc_.reset();
   if (pending_read_) {
     finish_read(degraded_read_value(pending_op_object_));
@@ -177,6 +185,8 @@ Value CacheClient::degraded_read_value(ObjectId) const { return kInitialValue; }
 
 void CacheClient::finish_read(Value value) {
   TIMEDC_ASSERT(pending_read_);
+  trace(TraceEventType::kOpReply, pending_op_object_, 0,
+        (sim_.now() - op_started_at_).as_micros());
   ReadCallback cb = std::move(pending_read_);
   pending_read_ = nullptr;
   cb(value, sim_.now());
@@ -184,6 +194,8 @@ void CacheClient::finish_read(Value value) {
 
 void CacheClient::finish_write() {
   TIMEDC_ASSERT(pending_write_);
+  trace(TraceEventType::kOpReply, pending_op_object_, 1,
+        (sim_.now() - op_started_at_).as_micros());
   WriteCallback cb = std::move(pending_write_);
   pending_write_ = nullptr;
   cb(sim_.now());

@@ -22,6 +22,7 @@
 
 #include "clocks/physical_clock.hpp"
 #include "common/rng.hpp"
+#include "obs/trace.hpp"
 #include "protocol/messages.hpp"
 #include "protocol/stats.hpp"
 #include "sim/network.hpp"
@@ -101,6 +102,9 @@ class CacheClient {
   SimTime delta() const { return delta_; }
   const CacheStats& stats() const { return stats_; }
 
+  /// Emit op/cache events to `tracer` (nullptr = off).
+  void set_tracer(Tracer* tracer) { obs_ = tracer; }
+
  protected:
   /// The client's local clock reading (site time t_i, possibly skewed).
   SimTime local_time() const { return clock_->read(sim_.now()); }
@@ -113,6 +117,12 @@ class CacheClient {
   /// Best-effort value for an abandoned read (no server reachable): the
   /// cached copy if any, however stale. Default: the initial value.
   virtual Value degraded_read_value(ObjectId object) const;
+
+  /// One branch when tracing is off; op id = the client's op sequence.
+  void trace(TraceEventType type, ObjectId object, std::int64_t a = 0,
+             std::int64_t b = 0) {
+    if (obs_ != nullptr) obs_->emit(type, sim_.now(), self_, object, op_seq_, a, b);
+  }
 
   // Protocol hooks.
   virtual void begin_read(ObjectId object) = 0;
@@ -128,6 +138,9 @@ class CacheClient {
   bool mark_old_;
   MessageSizes sizes_;
   CacheStats stats_;
+  Tracer* obs_ = nullptr;
+  // Monotone per-client operation sequence, stamped on op.* trace events.
+  std::uint64_t op_seq_ = 0;
 
  private:
   struct InFlightRpc {

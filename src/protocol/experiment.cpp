@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <deque>
+#include <unordered_map>
 
 #include "common/assert.hpp"
 #include "common/parallel.hpp"
+#include "obs/stats_bridge.hpp"
 #include "protocol/timed_causal_cache.hpp"
 #include "protocol/timed_serial_cache.hpp"
 
@@ -108,6 +110,14 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
                                                config.max_latency),
               net_config, rng.split());
 
+  // One Tracer per run: run_experiment is a pure function of its config, so
+  // the flushed trace is bit-identical however many runs execute in
+  // parallel around it.
+  std::optional<Tracer> tracer;
+  if (config.trace.enabled) tracer.emplace(config.trace);
+  Tracer* obs = tracer ? &*tracer : nullptr;
+  net.set_tracer(obs);
+
   // The injector gets its own rng stream, derived from the seed but NOT
   // from the shared split sequence: adding faults must not perturb the
   // latency/workload streams of the fault-free baseline.
@@ -115,6 +125,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   if (!config.faults.empty()) {
     injector.emplace(config.faults, Rng(config.seed ^ 0xFA017ull));
     net.set_fault_injector(&*injector);
+    if (obs != nullptr) injector->emit_partition_markers(*obs);
   }
 
   std::vector<std::unique_ptr<ObjectServer>> servers;
@@ -122,6 +133,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     servers.push_back(std::make_unique<ObjectServer>(
         sim, net, site, num_clients, config.push, config.sizes, cluster,
         ServerConfig{config.lease}));
+    servers.back()->set_tracer(obs);
     servers.back()->attach();
     if (injector) {
       ObjectServer* srv = servers.back().get();
@@ -166,6 +178,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
           config.drop_probability > 0.0 || !config.faults.empty();
       retry.max_attempts = faulty ? 8 : 1;
     }
+    clients.back()->set_tracer(obs);
     clients.back()->configure_reliability(retry, cluster,
                                           config.seed * 2654435761ULL + c);
     if (config.routing == Routing::kDirect) {
@@ -284,9 +297,11 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     for (SimTime s : staleness) {
       sum += static_cast<double>(s.as_micros());
       result.max_staleness = max(result.max_staleness, s);
+      result.staleness_us.record(s.as_micros());
       if (!config.delta.is_infinite() && s > config.delta) ++late;
     }
     result.mean_staleness_us = sum / static_cast<double>(staleness.size());
+    result.reads_late = late;
     result.late_fraction =
         static_cast<double>(late) / static_cast<double>(staleness.size());
   }
@@ -296,8 +311,57 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     result.bytes_per_op = static_cast<double>(result.network.bytes_sent) /
                           static_cast<double>(result.operations);
   }
+  result.messages_dropped = result.network.messages_dropped;
+  result.messages_duplicated = result.network.messages_duplicated;
   result.history = record.build();
+
+  // Visibility latency per accepted write: server apply time minus client
+  // issue time. Written values are globally unique, so the recorded history
+  // pairs each server-side arrival with its issuing operation.
+  {
+    std::unordered_map<std::int64_t, SimTime> issued_at;
+    for (const Operation& op : result.history.operations()) {
+      if (op.is_write()) issued_at.emplace(op.value.value, op.time);
+    }
+    for (const auto& srv : servers) {
+      for (const auto& [object, writes] : srv->write_history()) {
+        (void)object;
+        for (const auto& w : writes) {
+          if (!w.accepted) continue;
+          const auto it = issued_at.find(w.value.value);
+          if (it == issued_at.end()) continue;  // abandoned, not recorded
+          result.visibility_us.record((w.applied_at - it->second).as_micros());
+        }
+      }
+    }
+  }
+
+  if (tracer) result.trace = tracer->flush();
   return result;
+}
+
+MetricsRegistry experiment_metrics(const ExperimentConfig& config,
+                                   const ExperimentResult& result) {
+  MetricsRegistry reg;
+  reg.set_gauge("delta_us", config.delta.is_infinite()
+                                ? -1.0
+                                : static_cast<double>(config.delta.as_micros()));
+  reg.set_counter("operations", result.operations);
+  reg.set_counter("ops_abandoned", result.ops_abandoned);
+  reg.set_counter("reads_late", result.reads_late);
+  reg.set_gauge("late_fraction", result.late_fraction);
+  reg.set_gauge("mean_staleness_us", result.mean_staleness_us);
+  reg.set_gauge("messages_per_op", result.messages_per_op);
+  reg.set_gauge("bytes_per_op", result.bytes_per_op);
+  reg.set_gauge("retries_per_op", result.retries_per_op);
+  reg.set_gauge("unavailable_fraction", result.unavailable_fraction);
+  publish_cache_stats(reg, "cache", result.cache);
+  publish_server_stats(reg, "server", result.server);
+  publish_network_stats(reg, "network", result.network);
+  publish_fault_stats(reg, "faults", result.faults);
+  reg.add_histogram("staleness_us", result.staleness_us);
+  reg.add_histogram("visibility_latency_us", result.visibility_us);
+  return reg;
 }
 
 std::vector<ExperimentResult> run_experiment_seeds(

@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "core/history.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "protocol/server.hpp"
 #include "protocol/timed_causal_cache.hpp"
 #include "protocol/stats.hpp"
@@ -71,6 +73,10 @@ struct ExperimentConfig {
   /// (8 attempts) iff the run injects faults or background drops, so
   /// lossless configs behave exactly as before.
   RetryPolicy retry;
+  /// Structured tracing (off by default). When enabled, the run owns one
+  /// Tracer wired through network/servers/clients/faults and the flushed
+  /// canonical event stream lands in ExperimentResult::trace.
+  TraceConfig trace;
 };
 
 struct ExperimentResult {
@@ -84,8 +90,20 @@ struct ExperimentResult {
   SimTime max_staleness = SimTime::zero();
   /// Fraction of reads whose staleness exceeded the configured Delta.
   double late_fraction = 0;
+  /// Count behind late_fraction (reads with staleness > Delta).
+  std::uint64_t reads_late = 0;
   double messages_per_op = 0;
   double bytes_per_op = 0;
+  // Network fault-path counters, mirrored from `network` so bench tables
+  // and metrics exports can report them without reaching into the struct.
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t messages_duplicated = 0;
+  /// Distribution of oracle-measured read staleness (us), one sample per
+  /// non-abandoned read — mean/max above are summaries of this.
+  Histogram staleness_us = Histogram::time_us();
+  /// Per accepted write: server apply time minus client issue time (us),
+  /// the write's visibility latency.
+  Histogram visibility_us = Histogram::time_us();
   // --- availability under faults -------------------------------------
   FaultStats faults;  // what the injector actually did
   /// Operations the retry layer gave up on (they completed degraded and
@@ -96,6 +114,8 @@ struct ExperimentResult {
   /// the run's aggregate unavailability window.
   double unavailable_fraction = 0;
   History history;  // the recorded execution
+  /// Canonical event stream (empty unless config.trace.enabled).
+  std::vector<TraceEvent> trace;
 };
 
 ExperimentResult run_experiment(const ExperimentConfig& config);
@@ -108,5 +128,11 @@ ExperimentResult run_experiment(const ExperimentConfig& config);
 std::vector<ExperimentResult> run_experiment_seeds(
     const ExperimentConfig& config, const std::vector<std::uint64_t>& seeds,
     std::size_t num_threads = 0);
+
+/// The run's metrics JSON block: every *Stats counter under a stable
+/// prefixed name (cache.*, server.*, network.*, faults.*), the derived
+/// per-op gauges, and the staleness / visibility-latency histograms.
+MetricsRegistry experiment_metrics(const ExperimentConfig& config,
+                                   const ExperimentResult& result);
 
 }  // namespace timedc

@@ -1,8 +1,14 @@
 #include "protocol/server.hpp"
 
 #include "common/assert.hpp"
+#include "obs/trace.hpp"
 
 namespace timedc {
+
+void ObjectServer::trace(TraceEventType type, ObjectId object,
+                         std::uint64_t op, std::int64_t a, std::int64_t b) {
+  if (obs_ != nullptr) obs_->emit(type, sim_.now(), self_, object, op, a, b);
+}
 
 ObjectServer::ObjectServer(Simulator& sim, Network& net, SiteId self,
                            std::size_t num_sites, PushPolicy push,
@@ -47,6 +53,7 @@ void ObjectServer::crash() {
   up_ = false;
   ++epoch_;
   ++stats_.crashes;
+  trace(TraceEventType::kServerCrash, kNoObject);
   // Soft state dies with the process; durable object state and the write
   // dedup log survive (see the header).
   for (auto& [object, s] : objects_) {
@@ -70,6 +77,8 @@ void ObjectServer::restart() {
     // writes until then preserves the promise made to forgotten readers.
     lease_grace_until_ = sim_.now() + config_.lease_duration;
   }
+  trace(TraceEventType::kServerRestart, kNoObject, 0, 0,
+        config_.lease_duration.as_micros());
 }
 
 ObjectServer::Stored& ObjectServer::stored(ObjectId object) {
@@ -98,10 +107,13 @@ void ObjectServer::on_message(SiteId from, const std::shared_ptr<void>& payload)
   }
 }
 
-SimTime ObjectServer::lease_horizon(Stored& s, SiteId writer) {
+SimTime ObjectServer::lease_horizon(Stored& s, ObjectId object,
+                                    SiteId writer) {
   SimTime horizon = SimTime::zero();
   for (auto it = s.leases.begin(); it != s.leases.end();) {
     if (it->second <= sim_.now()) {
+      trace(TraceEventType::kLeaseExpire, object, 0, it->first,
+            (sim_.now() - it->second).as_micros());
       it = s.leases.erase(it);
       continue;
     }
@@ -111,11 +123,13 @@ SimTime ObjectServer::lease_horizon(Stored& s, SiteId writer) {
   return horizon;
 }
 
-SimTime ObjectServer::grant_lease(Stored& s, SiteId client) {
+SimTime ObjectServer::grant_lease(Stored& s, ObjectId object, SiteId client) {
   if (config_.lease_duration == SimTime::zero() || s.write_pending) {
     return SimTime::zero();
   }
   s.leases[client.value] = sim_.now() + config_.lease_duration;
+  trace(TraceEventType::kLeaseGrant, object, 0, client.value,
+        config_.lease_duration.as_micros());
   return config_.lease_duration;
 }
 
@@ -141,7 +155,7 @@ void ObjectServer::handle_fetch(const FetchRequest& req) {
   ++stats_.fetches;
   Stored& s = stored(req.object);
   s.cachers.insert(req.reply_to.value);
-  const SimTime granted = grant_lease(s, req.reply_to);
+  const SimTime granted = grant_lease(s, req.object, req.reply_to);
   send(req.reply_to,
        Message{FetchReply{copy_of(req.object, granted), req.request_id}});
 }
@@ -175,9 +189,11 @@ void ObjectServer::defer_or_apply(const WriteRequest& req) {
   // lease expires. The writer's own lease never blocks it. After a restart
   // the grace window stands in for every forgotten lease.
   const SimTime horizon =
-      max(lease_horizon(s, req.reply_to), lease_grace_until_);
+      max(lease_horizon(s, req.object, req.reply_to), lease_grace_until_);
   if (horizon > sim_.now()) {
     ++stats_.writes_deferred;
+    trace(TraceEventType::kWriteDefer, req.object, req.request_id,
+          req.reply_to.value, (horizon - sim_.now()).as_micros());
     s.write_pending = true;  // freeze lease grants until this write lands
     const WriteRequest deferred = req;
     const std::uint64_t epoch = epoch_;
@@ -203,6 +219,8 @@ void ObjectServer::apply_write(const WriteRequest& req) {
   if (s.version > 0 && req.client_time < s.alpha) {
     history_[req.object].push_back(
         AppliedWrite{req.value, sim_.now(), /*accepted=*/false});
+    trace(TraceEventType::kWriteApply, req.object, req.request_id,
+          req.value.value, 0);
     // Version 0 in the ack marks the write as superseded: the writer's
     // provisional cache entry keeps version 0 and will fail validation,
     // fetching the winning value instead.
@@ -222,6 +240,8 @@ void ObjectServer::apply_write(const WriteRequest& req) {
                        : PlausibleTimestamp::merge_max(logical_now_, req.write_ts);
   }
   history_[req.object].push_back(AppliedWrite{req.value, sim_.now()});
+  trace(TraceEventType::kWriteApply, req.object, req.request_id,
+        req.value.value, 1);
   const WriteAck ack{req.object, s.version, req.request_id};
   record_completed(req, ack);
   send(from, Message{ack});
@@ -231,8 +251,10 @@ void ObjectServer::apply_write(const WriteRequest& req) {
     if (cacher == from.value) continue;
     ++stats_.pushes;
     if (push_ == PushPolicy::kInvalidate) {
+      trace(TraceEventType::kPushInvalidate, req.object, 0, cacher);
       send(SiteId{cacher}, Message{Invalidate{req.object, s.version}});
     } else {
+      trace(TraceEventType::kPushUpdate, req.object, 0, cacher);
       send(SiteId{cacher}, Message{PushUpdate{copy_of(req.object)}});
     }
   }
@@ -254,7 +276,7 @@ void ObjectServer::handle_validate(const ValidateRequest& req) {
   ++stats_.validations;
   Stored& s = stored(req.object);
   s.cachers.insert(from.value);
-  const SimTime granted = grant_lease(s, from);
+  const SimTime granted = grant_lease(s, req.object, from);
   ValidateReply reply;
   reply.object = req.object;
   reply.still_valid = (s.version == req.version);

@@ -8,6 +8,7 @@
 // invalidation or full update propagation, Section 5.2's optimizations).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
@@ -19,6 +20,8 @@
 #include "sim/simulator.hpp"
 
 namespace timedc {
+
+enum class TraceEventType : std::uint8_t;
 
 enum class PushPolicy {
   kNone,        // pure pull: clients validate/fetch on demand
@@ -83,6 +86,9 @@ class ObjectServer {
   SiteId site() const { return self_; }
   const ServerStats& stats() const { return stats_; }
 
+  /// Emit lease/push/write/crash events to `tracer` (nullptr = off).
+  void set_tracer(Tracer* tracer) { obs_ = tracer; }
+
   /// The server owning `object` under this deployment's partitioning.
   SiteId primary_of(ObjectId object) const;
 
@@ -96,6 +102,13 @@ class ObjectServer {
     bool accepted = true;
   };
   const std::vector<AppliedWrite>& applied_writes(ObjectId object) const;
+
+  /// Every object's write arrivals (oracle access, e.g. for the
+  /// visibility-latency histogram).
+  const std::unordered_map<ObjectId, std::vector<AppliedWrite>>&
+  write_history() const {
+    return history_;
+  }
 
  private:
   struct Stored {
@@ -132,10 +145,12 @@ class ObjectServer {
   void record_completed(const WriteRequest& req, const WriteAck& ack);
   /// Latest lease expiry held by any client other than `writer` (zero when
   /// none). Expired entries are pruned as a side effect.
-  SimTime lease_horizon(Stored& s, SiteId writer);
+  SimTime lease_horizon(Stored& s, ObjectId object, SiteId writer);
   /// Returns the granted lease duration (zero when leases are disabled or
   /// a write is pending on the object).
-  SimTime grant_lease(Stored& s, SiteId client);
+  SimTime grant_lease(Stored& s, ObjectId object, SiteId client);
+  void trace(TraceEventType type, ObjectId object, std::uint64_t op = 0,
+             std::int64_t a = 0, std::int64_t b = 0);
   /// True if the request was relayed to the owning server.
   bool forward_if_not_owner(ObjectId object, const Message& m);
   /// `lease_extension` stretches omega past "now" — only for replies to
@@ -164,6 +179,7 @@ class ObjectServer {
   // stale to a client whose context grew only through this server.
   PlausibleTimestamp logical_now_;
   std::unordered_map<ObjectId, std::vector<AppliedWrite>> history_;
+  Tracer* obs_ = nullptr;
   ServerStats stats_;
 };
 

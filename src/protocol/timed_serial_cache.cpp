@@ -46,16 +46,19 @@ void TimedSerialCache::begin_read(ObjectId object) {
   const auto it = cache_.find(object);
   if (it != cache_.end() && !it->second.old) {
     ++stats_.cache_hits;
+    trace(TraceEventType::kCacheHit, object);
     finish_read(it->second.value);
     return;
   }
   pending_object_ = object;
   if (it != cache_.end()) {
     ++stats_.validations;
+    trace(TraceEventType::kCacheValidate, object);
     send_to_server(Message{ValidateRequest{object, it->second.version, self_}},
                    object);
   } else {
     ++stats_.cache_misses;
+    trace(TraceEventType::kCacheMiss, object);
     send_to_server(Message{FetchRequest{object, self_}}, object);
   }
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "obs/trace.hpp"
 
 namespace timedc {
 namespace {
@@ -100,6 +101,21 @@ void FaultInjector::install(Simulator& sim, SiteId node, NodeHooks hooks) {
         ++stats_.restarts;
         fn();
       });
+    }
+  }
+}
+
+void FaultInjector::emit_partition_markers(Tracer& tracer) const {
+  for (std::size_t i = 0; i < plan_.partitions.size(); ++i) {
+    const Partition& p = plan_.partitions[i];
+    const std::int64_t sides =
+        static_cast<std::int64_t>(p.side_a.size()) * 1000 +
+        static_cast<std::int64_t>(p.side_b.size());
+    tracer.emit(TraceEventType::kPartitionOpen, p.start, SiteId{0}, kNoObject,
+                0, static_cast<std::int64_t>(i), sides);
+    if (!p.heal.is_infinite()) {
+      tracer.emit(TraceEventType::kPartitionHeal, p.heal, SiteId{0}, kNoObject,
+                  0, static_cast<std::int64_t>(i), 0);
     }
   }
 }

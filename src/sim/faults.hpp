@@ -27,6 +27,8 @@
 
 namespace timedc {
 
+class Tracer;
+
 /// Wildcard for DropWindow/DuplicateWindow/LatencySpike endpoints.
 inline constexpr std::uint32_t kAnySite = 0xffffffffu;
 
@@ -137,6 +139,11 @@ class FaultInjector {
     std::function<void()> on_restart;
   };
   void install(Simulator& sim, SiteId node, NodeHooks hooks);
+
+  /// Emit partition.open/heal markers for every scripted partition. The
+  /// timestamps are the scripted times, which may lie in the tracer's
+  /// future — flush() sorts by time, so markers land where they belong.
+  void emit_partition_markers(Tracer& tracer) const;
 
   const FaultPlan& plan() const { return plan_; }
   const FaultStats& stats() const { return stats_; }

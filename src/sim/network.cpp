@@ -1,5 +1,6 @@
 #include "sim/network.hpp"
 
+#include "obs/trace.hpp"
 #include "sim/faults.hpp"
 
 namespace timedc {
@@ -27,14 +28,26 @@ void Network::send(SiteId from, SiteId to, std::shared_ptr<void> payload,
   TIMEDC_ASSERT(to.value < handlers_.size());
   ++stats_.messages_sent;
   stats_.bytes_sent += bytes;
+  if (tracer_ != nullptr) {
+    tracer_->emit(TraceEventType::kNetSend, sim_.now(), from, kNoObject, 0,
+                  to.value, static_cast<std::int64_t>(bytes));
+  }
   FaultInjector::Decision fault;
   if (injector_ != nullptr) fault = injector_->on_send(from, to, sim_.now());
   if (fault.drop) {
     ++stats_.messages_dropped;
+    if (tracer_ != nullptr) {
+      tracer_->emit(TraceEventType::kNetDrop, sim_.now(), from, kNoObject, 0,
+                    to.value, 0);
+    }
     return;
   }
   if (config_.drop_probability > 0 && rng_.bernoulli(config_.drop_probability)) {
     ++stats_.messages_dropped;
+    if (tracer_ != nullptr) {
+      tracer_->emit(TraceEventType::kNetDrop, sim_.now(), from, kNoObject, 0,
+                    to.value, 0);
+    }
     return;
   }
   SimTime deliver_at =
@@ -47,6 +60,10 @@ void Network::send(SiteId from, SiteId to, std::shared_ptr<void> payload,
   schedule_delivery(from, to, deliver_at, payload);
   if (fault.duplicate) {
     ++stats_.messages_duplicated;
+    if (tracer_ != nullptr) {
+      tracer_->emit(TraceEventType::kNetDuplicate, sim_.now(), from, kNoObject,
+                    0, to.value, 0);
+    }
     SimTime dup_at =
         sim_.now() + latency_->sample(from, to, rng_) + fault.extra_latency;
     if (config_.fifo_links) {
@@ -66,9 +83,17 @@ void Network::schedule_delivery(SiteId from, SiteId to, SimTime deliver_at,
     if (injector_ != nullptr && injector_->node_down(to, sim_.now())) {
       ++stats_.messages_dropped;
       injector_->note_dropped_at_delivery();
+      if (tracer_ != nullptr) {
+        tracer_->emit(TraceEventType::kNetDrop, sim_.now(), to, kNoObject, 0,
+                      to.value, 1);
+      }
       return;
     }
     ++stats_.messages_delivered;
+    if (tracer_ != nullptr) {
+      tracer_->emit(TraceEventType::kNetDeliver, sim_.now(), to, kNoObject, 0,
+                    from.value, 0);
+    }
     TIMEDC_ASSERT(handlers_[to.value] != nullptr);
     handlers_[to.value](from, payload);
   });

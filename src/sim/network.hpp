@@ -86,6 +86,7 @@ struct NetworkStats {
 };
 
 class FaultInjector;
+class Tracer;
 
 /// Type-erased network: payloads are delivered to a per-node handler as
 /// (from, payload). Payload ownership transfers via shared_ptr<void>; the
@@ -111,6 +112,9 @@ class Network {
   /// injector must outlive the network while attached.
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
 
+  /// Emit net.send/drop/dup/deliver events to `tracer` (nullptr = off).
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
   const NetworkStats& stats() const { return stats_; }
   LatencyModel& latency() { return *latency_; }
   std::size_t num_nodes() const { return handlers_.size(); }
@@ -122,6 +126,7 @@ class Network {
   std::unique_ptr<LatencyModel> latency_;
   NetworkConfig config_;
   FaultInjector* injector_ = nullptr;
+  Tracer* tracer_ = nullptr;
   Rng rng_;
   std::vector<Handler> handlers_;
   // Last scheduled delivery time per (from, to), for FIFO links.

@@ -1,0 +1,285 @@
+// Tests for the observability layer: histogram bucket math, metrics
+// registry JSON, tracer canonical ordering / capping / gating, exporter
+// round-trips, and the two end-to-end properties the layer exists for —
+// trace determinism across thread counts and the Definition-1 staleness
+// bound on a fault-free lifetime-cache run.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/timed.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "protocol/experiment.hpp"
+
+namespace timedc {
+namespace {
+
+TEST(Histogram, BucketBoundariesAreUpperInclusive) {
+  const Histogram h = Histogram::time_us();
+  const auto& bounds = h.bounds();
+  ASSERT_FALSE(bounds.empty());
+  EXPECT_EQ(bounds.front(), 0);
+  EXPECT_EQ(bounds.back(), 10000000);
+
+  // Bucket i counts bounds[i-1] < v <= bounds[i].
+  EXPECT_EQ(h.bucket_index(0), 0u);
+  EXPECT_EQ(h.bucket_index(1), 1u);
+  EXPECT_EQ(h.bucket_index(2), 2u);
+  EXPECT_EQ(h.bucket_index(3), 3u);  // 2 < 3 <= 5
+  EXPECT_EQ(h.bucket_index(5), 3u);  // on the bound -> that bucket
+  EXPECT_EQ(h.bucket_index(6), 4u);
+  EXPECT_EQ(h.bucket_index(10000000), bounds.size() - 1);
+  EXPECT_EQ(h.bucket_index(10000001), bounds.size());  // overflow
+}
+
+TEST(Histogram, RecordAndSummaries) {
+  Histogram h({10, 100, 1000});
+  EXPECT_EQ(h.min(), 0);  // empty histogram reports 0, not INT64_MAX
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+
+  h.record(10);
+  h.record(11);
+  h.record(5000);  // overflow bucket
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 5021);
+  EXPECT_EQ(h.min(), 10);
+  EXPECT_EQ(h.max(), 5000);
+  ASSERT_EQ(h.counts().size(), 4u);
+  EXPECT_EQ(h.counts()[0], 1u);  // v = 10
+  EXPECT_EQ(h.counts()[1], 1u);  // v = 11
+  EXPECT_EQ(h.counts()[2], 0u);
+  EXPECT_EQ(h.counts()[3], 1u);  // overflow
+}
+
+TEST(Histogram, MergeAddsBucketsAndSummaries) {
+  Histogram a({10, 100});
+  Histogram b({10, 100});
+  a.record(5);
+  b.record(50);
+  b.record(7000);
+  a += b;
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.min(), 5);
+  EXPECT_EQ(a.max(), 7000);
+  EXPECT_EQ(a.counts()[0], 1u);
+  EXPECT_EQ(a.counts()[1], 1u);
+  EXPECT_EQ(a.counts()[2], 1u);
+}
+
+TEST(MetricsRegistry, JsonHasAllSectionsInInsertionOrder) {
+  MetricsRegistry reg;
+  reg.set_counter("zebra", 1);
+  reg.add_counter("apple", 2);
+  reg.add_counter("apple", 3);
+  reg.set_gauge("ratio", 0.5);
+  Histogram h({10});
+  h.record(4);
+  reg.add_histogram("lat_us", h);
+
+  EXPECT_EQ(reg.counter("apple"), 5u);
+  EXPECT_EQ(reg.counter("missing"), 0u);
+  ASSERT_NE(reg.histogram("lat_us"), nullptr);
+  EXPECT_EQ(reg.histogram("lat_us")->count(), 1u);
+
+  const std::string json = reg.to_json();
+  // Insertion order preserved: zebra before apple.
+  EXPECT_LT(json.find("\"zebra\""), json.find("\"apple\""));
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+TEST(Tracer, FlushSortsByTimeThenSitePreservingEmissionOrder) {
+  Tracer t;
+  const SimTime t1 = SimTime::micros(10);
+  const SimTime t2 = SimTime::micros(20);
+  // Emitted out of time order, across two sites, with a same-(t,site) pair.
+  t.emit(TraceEventType::kNetSend, t2, SiteId{1});
+  t.emit(TraceEventType::kNetSend, t1, SiteId{1});
+  t.emit(TraceEventType::kNetDeliver, t1, SiteId{1});  // tie with previous
+  t.emit(TraceEventType::kNetSend, t1, SiteId{0});
+
+  const auto events = t.flush();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].site, SiteId{0});
+  EXPECT_EQ(events[0].at, t1);
+  EXPECT_EQ(events[1].site, SiteId{1});
+  EXPECT_EQ(events[1].type, TraceEventType::kNetSend);  // emission order kept
+  EXPECT_EQ(events[2].type, TraceEventType::kNetDeliver);
+  EXPECT_EQ(events[3].at, t2);
+  // flush is idempotent.
+  EXPECT_EQ(t.flush(), events);
+}
+
+TEST(Tracer, AdoptedBlocksPrecedeOwnLanesInAdoptionOrder) {
+  Tracer sub1;
+  sub1.emit(TraceEventType::kCheckEnter, SimTime::zero(), SiteId{0}, kNoObject,
+            0, 7, 0);
+  Tracer sub2;
+  sub2.emit(TraceEventType::kCheckEnter, SimTime::zero(), SiteId{0}, kNoObject,
+            0, 8, 0);
+
+  Tracer main;
+  main.emit(TraceEventType::kNetSend, SimTime::zero(), SiteId{0});
+  main.append_flushed(sub1.flush());
+  main.append_flushed(sub2.flush());
+
+  const auto events = main.flush();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].a, 7);  // adopted blocks first, in adoption order
+  EXPECT_EQ(events[1].a, 8);
+  EXPECT_EQ(events[2].type, TraceEventType::kNetSend);
+  EXPECT_EQ(main.size(), 3u);
+}
+
+TEST(Tracer, CapCountsDroppedEvents) {
+  TraceConfig cfg;
+  cfg.enabled = true;
+  cfg.max_events = 2;
+  Tracer t(cfg);
+  for (int i = 0; i < 5; ++i) {
+    t.emit(TraceEventType::kNetSend, SimTime::micros(i), SiteId{0});
+  }
+  EXPECT_EQ(t.flush().size(), 2u);
+  EXPECT_EQ(t.dropped(), 3u);
+}
+
+TEST(Tracer, CategoryMaskGatesEmission) {
+  TraceConfig cfg;
+  cfg.enabled = true;
+  cfg.categories = static_cast<std::uint32_t>(TraceCategory::kNetwork);
+  Tracer t(cfg);
+  t.emit(TraceEventType::kCacheHit, SimTime::zero(), SiteId{0});  // gated out
+  t.emit(TraceEventType::kNetSend, SimTime::zero(), SiteId{0});
+  const auto events = t.flush();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].type, TraceEventType::kNetSend);
+  EXPECT_EQ(t.dropped(), 0u);  // gated != dropped
+}
+
+TEST(TraceExport, JsonlRoundTripsExactly) {
+  Tracer t;
+  t.emit(TraceEventType::kOpIssue, SimTime::micros(5), SiteId{2}, ObjectId{9},
+         17, 1, 0);
+  t.emit(TraceEventType::kCheckVerdict, SimTime::zero(), SiteId{0}, kNoObject,
+         2, 1, 42);
+  t.emit(TraceEventType::kNetDrop, SimTime::micros(99), SiteId{3}, ObjectId{1},
+         0, 4, -12);
+  const auto events = t.flush();
+
+  const std::string jsonl = trace_to_jsonl(events);
+  const auto parsed = parse_trace_jsonl(jsonl);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, events);
+}
+
+TEST(TraceExport, JsonlParserRejectsUnknownTypeWithLineNumber) {
+  const std::string good =
+      "{\"t\":0,\"type\":\"net.send\",\"site\":0,\"obj\":-1,\"op\":0,\"a\":0,"
+      "\"b\":0}\n";
+  const std::string bad =
+      "{\"t\":0,\"type\":\"bogus.event\",\"site\":0,\"obj\":-1,\"op\":0,"
+      "\"a\":0,\"b\":0}\n";
+  std::size_t line = 0;
+  EXPECT_FALSE(parse_trace_jsonl(good + bad, &line).has_value());
+  EXPECT_EQ(line, 2u);
+}
+
+ExperimentConfig small_traced_config() {
+  ExperimentConfig config;
+  config.kind = ProtocolKind::kTimedSerial;
+  config.delta = SimTime::millis(25);
+  config.workload.num_clients = 3;
+  config.workload.num_objects = 8;
+  config.workload.horizon = SimTime::millis(300);
+  config.workload.mean_think_time = SimTime::millis(5);
+  config.trace.enabled = true;
+  return config;
+}
+
+TEST(TraceExport, ChromeExportBalancesSpansAndLoads) {
+  ExperimentConfig config = small_traced_config();
+  config.seed = 7;
+  const ExperimentResult result = run_experiment(config);
+  ASSERT_FALSE(result.trace.empty());
+
+  const std::string chrome = trace_to_chrome(result.trace);
+  EXPECT_NE(chrome.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"displayTimeUnit\""), std::string::npos);
+
+  auto count = [&chrome](const std::string& needle) {
+    std::size_t n = 0;
+    for (std::size_t pos = chrome.find(needle); pos != std::string::npos;
+         pos = chrome.find(needle, pos + needle.size())) {
+      ++n;
+    }
+    return n;
+  };
+  const std::size_t begins = count("\"ph\":\"B\"");
+  const std::size_t ends = count("\"ph\":\"E\"");
+  EXPECT_GT(begins, 0u);
+  EXPECT_EQ(begins, ends);
+}
+
+TEST(TraceDeterminism, SeedFanOutIsByteIdenticalAcrossThreadCounts) {
+  const ExperimentConfig config = small_traced_config();
+  const std::vector<std::uint64_t> seeds = {11, 12, 13, 14, 15, 16};
+
+  auto serialize = [](const std::vector<ExperimentResult>& results) {
+    std::string all;
+    for (const ExperimentResult& r : results) all += trace_to_jsonl(r.trace);
+    return all;
+  };
+  const std::string serial = serialize(run_experiment_seeds(config, seeds, 1));
+  const std::string two = serialize(run_experiment_seeds(config, seeds, 2));
+  const std::string eight = serialize(run_experiment_seeds(config, seeds, 8));
+
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, two);
+  EXPECT_EQ(serial, eight);
+}
+
+TEST(TraceDeterminism, OpIssueCountMatchesOperations) {
+  ExperimentConfig config = small_traced_config();
+  config.seed = 21;
+  const ExperimentResult result = run_experiment(config);
+  std::uint64_t issues = 0;
+  for (const TraceEvent& e : result.trace) {
+    issues += e.type == TraceEventType::kOpIssue;
+  }
+  EXPECT_EQ(issues, result.operations);
+}
+
+// The property the timed-serial ("lifetime") cache guarantees: with no
+// faults and no clock skew, every read's Definition-1 staleness is within
+// the configured Delta, both in the oracle histogram and in the recorded
+// history via per_read_staleness.
+TEST(StalenessProperty, FaultFreeLifetimeCacheStaysWithinDelta) {
+  ExperimentConfig config = small_traced_config();
+  config.seed = 33;
+  config.lease = SimTime::millis(5);
+  const ExperimentResult result = run_experiment(config);
+  ASSERT_GT(result.operations, 0u);
+
+  EXPECT_EQ(result.reads_late, 0u);
+  EXPECT_LE(result.max_staleness, config.delta);
+  for (const ReadStaleness& rs : per_read_staleness(result.history)) {
+    EXPECT_LE(rs.staleness, config.delta)
+        << "read " << rs.read.value << " is stale beyond Delta";
+  }
+
+  const MetricsRegistry reg = experiment_metrics(config, result);
+  EXPECT_EQ(reg.counter("operations"), result.operations);
+  ASSERT_NE(reg.histogram("staleness_us"), nullptr);
+  ASSERT_NE(reg.histogram("visibility_latency_us"), nullptr);
+  EXPECT_GT(reg.histogram("visibility_latency_us")->count(), 0u);
+  EXPECT_EQ(reg.histogram("staleness_us")->count(),
+            result.staleness_us.count());
+}
+
+}  // namespace
+}  // namespace timedc

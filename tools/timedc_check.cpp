@@ -12,6 +12,12 @@
 //   --xdelta <real>    the xi-difference threshold for --xi (default 1.0)
 //   --render           print the execution as an ASCII timeline
 //   --witness          print the serializations found
+//   --trace-out <path> write the checker's search/verdict telemetry plus a
+//                      per-read staleness summary as JSONL trace events (in
+//                      this output, op.reply's b field carries the read's
+//                      Definition-1 staleness in us, not an op duration)
+//   --metrics          print the metrics JSON block (operation counts,
+//                      checker nodes/fast-paths, staleness histogram)
 //
 // Exit status: 0 if every requested check passes, 1 otherwise, 2 on usage
 // or parse errors.
@@ -20,14 +26,18 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/checkers.hpp"
 #include "core/history_gen.hpp"
 #include "core/render.hpp"
 #include "core/serialization.hpp"
 #include "core/trace_io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 using namespace timedc;
 
@@ -36,7 +46,8 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: timedc-check [--delta US] [--eps US] [--xi sum|norm] "
-               "[--xdelta X] [--render] [--witness] [trace-file]\n");
+               "[--xdelta X] [--render] [--witness] [--trace-out PATH] "
+               "[--metrics] [trace-file]\n");
   return 2;
 }
 
@@ -55,6 +66,8 @@ int main(int argc, char** argv) {
   double xdelta = 1.0;
   bool render = false;
   bool show_witness = false;
+  bool metrics = false;
+  std::string trace_out;
   std::string path;
 
   for (int i = 1; i < argc; ++i) {
@@ -83,6 +96,12 @@ int main(int argc, char** argv) {
       render = true;
     } else if (arg == "--witness") {
       show_witness = true;
+    } else if (arg == "--trace-out") {
+      const char* v = next();
+      if (!v) return usage();
+      trace_out = v;
+    } else if (arg == "--metrics") {
+      metrics = true;
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -123,9 +142,15 @@ int main(int argc, char** argv) {
   if (render) std::printf("\n%s\n", render_timeline(h).c_str());
 
   bool all_ok = true;
-  const auto lin = check_lin(h);
-  const auto sc = check_sc(h);
-  const auto cc = check_cc(h);
+  std::optional<Tracer> tracer;
+  SearchLimits limits;
+  if (!trace_out.empty()) {
+    tracer.emplace();
+    limits.tracer = &*tracer;
+  }
+  const auto lin = check_lin(h, limits);
+  const auto sc = check_sc(h, limits);
+  const auto cc = check_cc(h, limits);
   std::printf("LIN: %s\n", to_cstring(lin.verdict));
   std::printf("SC:  %s\n", to_cstring(sc.verdict));
   std::printf("CC:  %s\n", to_cstring(cc.verdict));
@@ -134,8 +159,8 @@ int main(int argc, char** argv) {
                 serialization_to_string(h, sc.witness).c_str());
   }
 
-  std::printf("min timed Delta (Def 1): %s\n",
-              min_timed_delta(h).to_string().c_str());
+  const SimTime min_delta = min_timed_delta(h);
+  std::printf("min timed Delta (Def 1): %s\n", min_delta.to_string().c_str());
   if (eps > SimTime::zero()) {
     std::printf("min timed Delta (Def 2, eps=%s): %s\n", eps.to_string().c_str(),
                 min_timed_delta(h, eps).to_string().c_str());
@@ -143,8 +168,8 @@ int main(int argc, char** argv) {
 
   if (!delta.is_infinite()) {
     const TimedSpecEpsilon spec{delta, eps};
-    const auto tsc = check_tsc(h, spec);
-    const auto tcc = check_tcc(h, spec);
+    const auto tsc = check_tsc(h, spec, limits);
+    const auto tcc = check_tcc(h, spec, limits);
     std::printf("TSC(Delta=%s, eps=%s): %s\n", delta.to_string().c_str(),
                 eps.to_string().c_str(), to_cstring(tsc.verdict()));
     std::printf("TCC(Delta=%s, eps=%s): %s\n", delta.to_string().c_str(),
@@ -168,6 +193,50 @@ int main(int argc, char** argv) {
       std::printf("%s", render_timed_result(annotated, timing).c_str());
     }
     all_ok = all_ok && timing.all_on_time;
+  }
+
+  const std::vector<ReadStaleness> staleness = per_read_staleness(h);
+
+  if (tracer) {
+    // Append the per-read staleness summary: one op.reply per read, stamped
+    // at the read's effective time, with b = Definition-1 staleness (us).
+    for (const ReadStaleness& rs : staleness) {
+      const Operation& r = h.op(rs.read);
+      tracer->emit(TraceEventType::kOpReply, r.time, r.site, r.object,
+                   static_cast<std::uint64_t>(rs.read.value), 0,
+                   rs.staleness.as_micros());
+    }
+    const std::vector<TraceEvent> events = tracer->flush();
+    write_text_file(trace_out, trace_to_jsonl(events));
+    std::printf("checker trace: %zu events -> %s\n", events.size(),
+                trace_out.c_str());
+  }
+
+  if (metrics) {
+    MetricsRegistry reg;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    for (const Operation& op : h.operations()) {
+      (op.is_read() ? reads : writes) += 1;
+    }
+    reg.set_counter("operations", h.size());
+    reg.set_counter("reads", reads);
+    reg.set_counter("writes", writes);
+    reg.set_counter("checker.lin.nodes", lin.nodes);
+    reg.set_counter("checker.sc.nodes", sc.nodes);
+    reg.set_counter("checker.cc.nodes", cc.nodes);
+    reg.set_counter("checker.fast_paths",
+                    static_cast<std::uint64_t>(lin.fast_path) + sc.fast_path);
+    reg.set_gauge("min_timed_delta_us",
+                  min_delta.is_infinite()
+                      ? -1.0
+                      : static_cast<double>(min_delta.as_micros()));
+    Histogram stale = Histogram::time_us();
+    for (const ReadStaleness& rs : staleness) {
+      stale.record(rs.staleness.as_micros());
+    }
+    reg.add_histogram("staleness_us", stale);
+    std::printf("%s\n", reg.to_json(2).c_str());
   }
 
   return all_ok ? 0 : 1;
