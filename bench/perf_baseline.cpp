@@ -9,7 +9,10 @@
 //     O(R x W) reference scan (reimplemented here for comparison);
 //   * the Figure 4 hierarchy audit at thread counts {1, 2, 4, 8}: wall
 //     clock, speedup vs 1 thread, and a determinism self-check (counters
-//     must be bit-identical at every thread count — the engine's contract).
+//     must be bit-identical at every thread count — the engine's contract);
+//   * the net stack: wire-codec encode/decode ns/msg over a representative
+//     message mix, and the TCP loopback request/reply RTT between two
+//     EventLoop threads (the floor under every timedc-load latency).
 //
 // Usage: perf_baseline [--quick] [--out FILE.json]
 //   --quick   CI-sized run (fewer rounds/reps); exit non-zero on any
@@ -29,6 +32,9 @@
 #include "core/hierarchy_audit.hpp"
 #include "core/history_gen.hpp"
 #include "core/timed.hpp"
+#include "net/event_loop.hpp"
+#include "net/tcp_transport.hpp"
+#include "net/wire.hpp"
 #include "protocol/experiment.hpp"
 
 using namespace timedc;
@@ -313,6 +319,93 @@ int main(int argc, char** argv) {
               tracer_off_us, tracer_on_us, tracer_on_us / tracer_off_us,
               (unsigned long long)tracer_events);
 
+  // --- net: wire codec + loopback RTT -------------------------------------
+  double codec_encode_ns = 0, codec_decode_ns = 0;
+  {
+    // A representative mix: every message type once, copies carrying
+    // 3-entry plausible timestamps (the common REV width in the benches).
+    const PlausibleTimestamp ts3({4, 9, 2}, SiteId{1});
+    ObjectCopy copy{ObjectId{7}, Value{42}, 5, SimTime::micros(100),
+                    SimTime::micros(900), SimTime::micros(400), ts3, ts3};
+    std::vector<Message> msgs = {
+        FetchRequest{ObjectId{7}, SiteId{1}, 11},
+        FetchReply{copy, 11},
+        WriteRequest{ObjectId{7}, Value{43}, SimTime::micros(150), ts3,
+                     SiteId{1}, 12},
+        WriteAck{ObjectId{7}, 6, 12},
+        ValidateRequest{ObjectId{7}, 5, SiteId{1}, 13},
+        ValidateReply{ObjectId{7}, true, copy, 13},
+        Invalidate{ObjectId{7}, 6},
+        PushUpdate{copy},
+    };
+    const int reps = quick ? 20000 : 200000;
+    std::vector<std::uint8_t> buf;
+    auto t0 = Clock::now();
+    for (int rep = 0; rep < reps; ++rep) {
+      for (const Message& m : msgs) {
+        buf.clear();
+        wire::encode_frame(SiteId{1}, SiteId{2}, m, buf);
+      }
+    }
+    codec_encode_ns =
+        seconds_since(t0) * 1e9 / (static_cast<double>(reps) * msgs.size());
+
+    std::vector<std::vector<std::uint8_t>> frames;
+    for (const Message& m : msgs) {
+      frames.emplace_back();
+      wire::encode_frame(SiteId{1}, SiteId{2}, m, frames.back());
+    }
+    std::size_t decoded_ok = 0;
+    t0 = Clock::now();
+    for (int rep = 0; rep < reps; ++rep) {
+      for (const auto& fbuf : frames) {
+        decoded_ok += wire::decode_frame(fbuf).ok();
+      }
+    }
+    codec_decode_ns =
+        seconds_since(t0) * 1e9 / (static_cast<double>(reps) * frames.size());
+    if (decoded_ok != static_cast<std::size_t>(reps) * frames.size()) {
+      std::fprintf(stderr, "BUG: codec decode failures in the bench mix\n");
+      return 1;
+    }
+  }
+
+  double loopback_rtt_us = 0;
+  {
+    const int pings = quick ? 2000 : 20000;
+    net::EventLoop server_loop;
+    net::TcpTransport server_tx(server_loop);
+    const std::uint16_t port = server_tx.listen(0);
+    server_tx.register_site(SiteId{0},
+                            [&](SiteId from, const Message& m) {
+                              server_tx.send_message(SiteId{0}, from, m, 64);
+                            });
+    std::thread server_thread([&] { server_loop.run(); });
+
+    net::EventLoop client_loop;
+    net::TcpTransport client_tx(client_loop);
+    client_tx.add_route(SiteId{0}, "127.0.0.1", port);
+    int done = 0;
+    client_tx.register_site(SiteId{1}, [&](SiteId, const Message& m) {
+      if (++done == pings) {
+        client_loop.stop();
+        return;
+      }
+      client_tx.send_message(SiteId{1}, SiteId{0}, m, 64);
+    });
+    const Message ping = FetchRequest{ObjectId{1}, SiteId{1}, 1};
+    const auto t0 = Clock::now();  // includes the dial, amortized over pings
+    client_loop.post(
+        [&] { client_tx.send_message(SiteId{1}, SiteId{0}, ping, 64); });
+    client_loop.run();
+    loopback_rtt_us = seconds_since(t0) * 1e6 / pings;
+    server_loop.stop();
+    server_thread.join();
+  }
+  std::printf("  net: codec %.0f ns/msg encode, %.0f ns/msg decode; "
+              "TCP loopback RTT %.1f us\n\n",
+              codec_encode_ns, codec_decode_ns, loopback_rtt_us);
+
   // --- JSON report --------------------------------------------------------
   FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
@@ -379,6 +472,12 @@ int main(int argc, char** argv) {
                json_escape_free(tracer_on_us).c_str(),
                json_escape_free(tracer_on_us / tracer_off_us).c_str(),
                (unsigned long long)tracer_events);
+  std::fprintf(f,
+               "  \"net\": {\"codec_encode_ns_per_msg\": %s, "
+               "\"codec_decode_ns_per_msg\": %s, \"loopback_rtt_us\": %s},\n",
+               json_escape_free(codec_encode_ns).c_str(),
+               json_escape_free(codec_decode_ns).c_str(),
+               json_escape_free(loopback_rtt_us).c_str());
   std::fprintf(f, "  \"checker_verdicts_agree\": %s,\n", agree ? "true" : "false");
   std::fprintf(f, "  \"timed_verdicts_agree\": %s\n",
                timed_agree && timed_big_agree ? "true" : "false");

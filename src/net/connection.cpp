@@ -1,0 +1,184 @@
+#include "net/connection.hpp"
+
+#include <errno.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/assert.hpp"
+
+namespace timedc::net {
+namespace {
+
+constexpr std::size_t kReadChunk = 64 * 1024;
+
+}  // namespace
+
+Connection::Connection(EventLoop& loop, int fd, bool connecting)
+    : loop_(loop), fd_(fd), connecting_(connecting) {
+  TIMEDC_ASSERT(fd_ >= 0);
+}
+
+Connection::~Connection() {
+  if (fd_ >= 0) {
+    // Destroyed without close(): silent teardown (owner is shutting down),
+    // no callback.
+    loop_.remove_fd(fd_);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Connection::start(FrameHandler on_frame, CloseHandler on_close) {
+  on_frame_ = std::move(on_frame);
+  on_close_ = std::move(on_close);
+  interest_ = connecting_ ? EPOLLOUT : EPOLLIN;
+  loop_.add_fd(fd_, interest_, [this](std::uint32_t ev) { handle_events(ev); });
+}
+
+void Connection::update_interest() {
+  if (closed()) return;
+  std::uint32_t want = 0;
+  if (!connecting_ && !reading_paused_) want |= EPOLLIN;
+  if (connecting_ || pending_write_bytes() > 0) want |= EPOLLOUT;
+  if (want != interest_) {
+    interest_ = want;
+    loop_.modify_fd(fd_, want);
+  }
+}
+
+void Connection::close(const char* reason) {
+  if (closed()) return;
+  loop_.remove_fd(fd_);
+  ::close(fd_);
+  fd_ = -1;
+  if (on_close_) {
+    // Move the handler out: it may destroy captured state including this
+    // function object.
+    CloseHandler h = std::move(on_close_);
+    on_close_ = nullptr;
+    h(*this, reason);
+  }
+}
+
+void Connection::handle_events(std::uint32_t events) {
+  if (closed()) return;
+  if (events & (EPOLLERR | EPOLLHUP)) {
+    // Flush any readable remainder first so a peer that wrote-then-closed
+    // still gets its last frames processed.
+    if (events & EPOLLIN) handle_readable();
+    if (!closed()) close("socket error/hangup");
+    return;
+  }
+  if (events & EPOLLOUT) handle_writable();
+  if (closed()) return;
+  if (events & EPOLLIN) handle_readable();
+  if (closed()) return;
+  update_interest();
+}
+
+void Connection::handle_writable() {
+  if (connecting_) {
+    int err = 0;
+    socklen_t len = sizeof(err);
+    getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      close("connect failed");
+      return;
+    }
+    connecting_ = false;
+  }
+  flush();
+}
+
+void Connection::flush() {
+  if (closed() || connecting_) return;
+  while (wsent_ < wbuf_.size()) {
+    const ssize_t n =
+        ::send(fd_, wbuf_.data() + wsent_, wbuf_.size() - wsent_, MSG_NOSIGNAL);
+    if (n > 0) {
+      wsent_ += static_cast<std::size_t>(n);
+      stats_.bytes_written += static_cast<std::uint64_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    close("write error");
+    return;
+  }
+  if (wsent_ == wbuf_.size()) {
+    wbuf_.clear();
+    wsent_ = 0;
+  } else if (wsent_ > kHighWatermark) {
+    wbuf_.erase(wbuf_.begin(), wbuf_.begin() + static_cast<std::ptrdiff_t>(wsent_));
+    wsent_ = 0;
+  }
+  if (reading_paused_ && pending_write_bytes() < kLowWatermark) {
+    reading_paused_ = false;
+  }
+  update_interest();
+}
+
+void Connection::send_frame(SiteId from, SiteId to, const Message& m) {
+  if (closed()) return;
+  wire::encode_frame(from, to, m, wbuf_);
+  ++stats_.frames_sent;
+  flush();
+  if (pending_write_bytes() > kHighWatermark && !reading_paused_) {
+    // Backpressure: stop accepting input from a peer we cannot answer.
+    reading_paused_ = true;
+    update_interest();
+  }
+}
+
+void Connection::handle_readable() {
+  for (;;) {
+    const std::size_t old_size = rbuf_.size();
+    rbuf_.resize(old_size + kReadChunk);
+    const ssize_t n = ::recv(fd_, rbuf_.data() + old_size, kReadChunk, 0);
+    if (n > 0) {
+      rbuf_.resize(old_size + static_cast<std::size_t>(n));
+      stats_.bytes_read += static_cast<std::uint64_t>(n);
+      if (static_cast<std::size_t>(n) < kReadChunk) break;
+      continue;
+    }
+    rbuf_.resize(old_size);
+    if (n == 0) {
+      decode_buffered();
+      if (!closed()) close("peer closed");
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    close("read error");
+    return;
+  }
+  decode_buffered();
+}
+
+void Connection::decode_buffered() {
+  while (!closed() && rconsumed_ < rbuf_.size()) {
+    const std::span<const std::uint8_t> pending(rbuf_.data() + rconsumed_,
+                                                rbuf_.size() - rconsumed_);
+    wire::DecodedFrame frame = wire::decode_frame(pending);
+    if (frame.status == wire::DecodeStatus::kNeedMore) break;
+    if (!frame.ok()) {
+      decode_failure_ = frame.status;
+      close(wire::to_cstring(frame.status));
+      return;
+    }
+    rconsumed_ += frame.consumed;
+    ++stats_.frames_decoded;
+    if (on_frame_) on_frame_(*this, frame);
+  }
+  if (closed()) return;
+  if (rconsumed_ == rbuf_.size()) {
+    rbuf_.clear();
+    rconsumed_ = 0;
+  } else if (rconsumed_ > kReadChunk) {
+    rbuf_.erase(rbuf_.begin(), rbuf_.begin() + static_cast<std::ptrdiff_t>(rconsumed_));
+    rconsumed_ = 0;
+  }
+}
+
+}  // namespace timedc::net

@@ -1,0 +1,91 @@
+// One non-blocking TCP connection carrying wire-codec frames.
+//
+// The connection owns its fd and two byte buffers. Reads are drained into
+// the input buffer and decoded frame-by-frame; writes append to the output
+// buffer and flush opportunistically, falling back to EPOLLOUT when the
+// socket would block. Backpressure is per connection: when the unsent
+// output exceeds the high watermark the connection stops reading (no new
+// requests are accepted from a peer we cannot answer) until the buffer
+// drains below the low watermark.
+//
+// All methods are loop-thread only. A Connection never deletes itself; the
+// owner (TcpTransport) decides its lifetime from the close callback.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/event_loop.hpp"
+#include "net/wire.hpp"
+
+namespace timedc::net {
+
+struct ConnectionStats {
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t frames_decoded = 0;
+  std::uint64_t frames_sent = 0;
+};
+
+class Connection {
+ public:
+  /// Frames are handed to the owner as decoded (kOk) frames only.
+  using FrameHandler = std::function<void(Connection&, wire::DecodedFrame&)>;
+  /// Fired exactly once, on EOF, socket error, decode error or close().
+  using CloseHandler = std::function<void(Connection&, const char* reason)>;
+
+  static constexpr std::size_t kHighWatermark = 4u << 20;
+  static constexpr std::size_t kLowWatermark = 512u << 10;
+
+  /// Takes ownership of `fd` (already non-blocking). `connecting` marks an
+  /// in-progress non-blocking connect(): writes buffer until it completes.
+  Connection(EventLoop& loop, int fd, bool connecting);
+  ~Connection();
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  /// Register with the loop and start delivering frames.
+  void start(FrameHandler on_frame, CloseHandler on_close);
+
+  /// Queue one frame; flushes as far as the socket allows.
+  void send_frame(SiteId from, SiteId to, const Message& m);
+
+  /// Deregister and close the fd; fires the close handler (once).
+  void close(const char* reason);
+
+  bool closed() const { return fd_ < 0; }
+  std::size_t pending_write_bytes() const { return wbuf_.size() - wsent_; }
+  const ConnectionStats& stats() const { return stats_; }
+  int fd() const { return fd_; }
+
+  /// Non-kOk iff the connection was torn down by a codec error (the typed
+  /// DecodeStatus the close reason string names).
+  wire::DecodeStatus decode_failure() const { return decode_failure_; }
+
+ private:
+  void handle_events(std::uint32_t events);
+  void handle_readable();
+  void handle_writable();
+  void decode_buffered();
+  void flush();
+  void update_interest();
+
+  EventLoop& loop_;
+  int fd_;
+  bool connecting_;
+  bool reading_paused_ = false;
+  std::uint32_t interest_ = 0;
+
+  std::vector<std::uint8_t> rbuf_;
+  std::size_t rconsumed_ = 0;  // decoded prefix of rbuf_, compacted lazily
+  std::vector<std::uint8_t> wbuf_;
+  std::size_t wsent_ = 0;  // flushed prefix of wbuf_, compacted lazily
+
+  FrameHandler on_frame_;
+  CloseHandler on_close_;
+  ConnectionStats stats_;
+  wire::DecodeStatus decode_failure_ = wire::DecodeStatus::kOk;
+};
+
+}  // namespace timedc::net

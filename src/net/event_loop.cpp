@@ -1,0 +1,160 @@
+#include "net/event_loop.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/assert.hpp"
+
+namespace timedc::net {
+namespace {
+
+std::int64_t clock_us(clockid_t clock) {
+  timespec ts;
+  clock_gettime(clock, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1000000 + ts.tv_nsec / 1000;
+}
+
+}  // namespace
+
+EventLoop::EventLoop() {
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  TIMEDC_ASSERT(epoll_fd_ >= 0);
+  wake_fd_ = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  TIMEDC_ASSERT(wake_fd_ >= 0);
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  const int rc = epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+  TIMEDC_ASSERT(rc == 0);
+  loop_thread_ = std::this_thread::get_id();
+}
+
+EventLoop::~EventLoop() {
+  ::close(wake_fd_);
+  ::close(epoll_fd_);
+}
+
+std::int64_t EventLoop::steady_now_us() { return clock_us(CLOCK_MONOTONIC); }
+
+SimTime EventLoop::now() const { return SimTime::micros(clock_us(CLOCK_REALTIME)); }
+
+void EventLoop::add_fd(int fd, std::uint32_t events, FdCallback cb) {
+  TIMEDC_ASSERT(fds_.find(fd) == fds_.end());
+  fds_[fd] = std::move(cb);
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  const int rc = epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+  TIMEDC_ASSERT(rc == 0);
+}
+
+void EventLoop::modify_fd(int fd, std::uint32_t events) {
+  TIMEDC_ASSERT(fds_.find(fd) != fds_.end());
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  const int rc = epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+  TIMEDC_ASSERT(rc == 0);
+}
+
+void EventLoop::remove_fd(int fd) {
+  if (fds_.erase(fd) == 0) return;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+void EventLoop::wake() {
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void EventLoop::post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    posted_.push_back(std::move(fn));
+  }
+  wake();
+}
+
+void EventLoop::run_after(SimTime delay, std::function<void()> fn) {
+  TIMEDC_ASSERT(!delay.is_infinite());
+  const std::int64_t deadline = steady_now_us() + std::max<std::int64_t>(0, delay.as_micros());
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    timers_.push(Timer{deadline, next_timer_seq_++, std::move(fn)});
+  }
+  wake();
+}
+
+void EventLoop::stop() {
+  stop_.store(true, std::memory_order_release);
+  wake();
+}
+
+void EventLoop::drain_posted() {
+  std::vector<std::function<void()>> tasks;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks.swap(posted_);
+  }
+  for (auto& t : tasks) t();
+}
+
+void EventLoop::fire_due_timers() {
+  const std::int64_t now = steady_now_us();
+  for (;;) {
+    std::function<void()> fn;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (timers_.empty() || timers_.top().deadline_steady_us > now) return;
+      fn = std::move(const_cast<Timer&>(timers_.top()).fn);
+      timers_.pop();
+    }
+    fn();
+  }
+}
+
+int EventLoop::wait_timeout_ms() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!timers_.empty()) {
+    const std::int64_t us = timers_.top().deadline_steady_us - steady_now_us();
+    if (us <= 0) return 0;
+    return static_cast<int>((us + 999) / 1000);
+  }
+  return -1;
+}
+
+void EventLoop::run() {
+  loop_thread_ = std::this_thread::get_id();
+  epoll_event events[64];
+  while (!stop_.load(std::memory_order_acquire)) {
+    const int n = epoll_wait(epoll_fd_, events, 64, wait_timeout_ms());
+    if (n < 0) {
+      TIMEDC_ASSERT(errno == EINTR);
+      continue;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        std::uint64_t drained;
+        while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        continue;
+      }
+      // Look up at dispatch time (an earlier callback this round may have
+      // removed this fd) and invoke a copy, so a callback that removes its
+      // own registration does not destroy the function mid-call.
+      const auto it = fds_.find(fd);
+      if (it == fds_.end()) continue;
+      FdCallback cb = it->second;
+      cb(events[i].events);
+    }
+    fire_due_timers();
+    drain_posted();
+  }
+}
+
+}  // namespace timedc::net

@@ -1,0 +1,102 @@
+// A single-threaded, non-blocking epoll event loop.
+//
+// One EventLoop drives every socket of a TcpTransport plus its timers and
+// cross-thread posted tasks. It is the real-world stand-in for the
+// discrete-event Simulator: protocol code written against Transport sees
+// "now" and "run this later" here exactly as it does there, except that
+// time is CLOCK_REALTIME and callbacks race with the outside world.
+//
+// Threading: run() executes on exactly one thread (the loop thread); every
+// fd callback, timer and posted task fires there. post(), run_after() and
+// stop() are safe from any thread; add_fd/modify_fd/remove_fd are loop-
+// thread only.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/sim_time.hpp"
+
+namespace timedc::net {
+
+class EventLoop {
+ public:
+  using FdCallback = std::function<void(std::uint32_t epoll_events)>;
+
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Watch `fd` for the EPOLL* events in `events`. The callback may close
+  /// other fds, add new ones, or remove itself.
+  void add_fd(int fd, std::uint32_t events, FdCallback cb);
+  void modify_fd(int fd, std::uint32_t events);
+  void remove_fd(int fd);
+
+  /// Run `fn` on the loop thread as soon as possible. Thread-safe; wakes a
+  /// blocked epoll_wait.
+  void post(std::function<void()> fn);
+
+  /// Run `fn` once, `delay` from now, on the loop thread. Thread-safe.
+  /// Deadlines are tracked on CLOCK_MONOTONIC so wall-clock jumps cannot
+  /// fire timers early or stall them.
+  void run_after(SimTime delay, std::function<void()> fn);
+
+  /// Wall-clock time (CLOCK_REALTIME) in microseconds. Real deployments of
+  /// the timed protocols compare timestamps across processes, so the time
+  /// source must be one every process shares.
+  SimTime now() const;
+
+  /// Process events until stop(). Must be called from exactly one thread.
+  void run();
+
+  /// Ask run() to return after the current iteration. Thread-safe.
+  void stop();
+
+  bool running_in_loop_thread() const {
+    return std::this_thread::get_id() == loop_thread_;
+  }
+
+ private:
+  struct Timer {
+    std::int64_t deadline_steady_us;
+    std::uint64_t seq;  // insertion order breaks deadline ties
+    std::function<void()> fn;
+  };
+  struct TimerLater {
+    bool operator()(const Timer& a, const Timer& b) const {
+      if (a.deadline_steady_us != b.deadline_steady_us) {
+        return a.deadline_steady_us > b.deadline_steady_us;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  static std::int64_t steady_now_us();
+  void wake();
+  void drain_posted();
+  void fire_due_timers();
+  /// epoll_wait timeout until the nearest timer (ms, rounded up), or -1.
+  int wait_timeout_ms();
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd written by post()/stop()
+  std::atomic<bool> stop_{false};
+  std::thread::id loop_thread_;
+
+  std::unordered_map<int, FdCallback> fds_;
+
+  std::mutex mutex_;  // guards posted_ and timers_
+  std::vector<std::function<void()>> posted_;
+  std::priority_queue<Timer, std::vector<Timer>, TimerLater> timers_;
+  std::uint64_t next_timer_seq_ = 0;
+};
+
+}  // namespace timedc::net

@@ -1,0 +1,194 @@
+#include "net/tcp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace timedc::net {
+namespace {
+
+int make_tcp_socket() {
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  TIMEDC_ASSERT(fd >= 0);
+  // The protocols are request/response with small frames: Nagle's algorithm
+  // would serialize them behind delayed acks and destroy loopback RTT.
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+sockaddr_in loopback_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const int rc = inet_pton(AF_INET, host.c_str(), &addr.sin_addr);
+  TIMEDC_ASSERT(rc == 1 && "host must be a dotted-quad IPv4 address");
+  return addr;
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(EventLoop& loop, SimTime latency_bound)
+    : loop_(loop), latency_bound_(latency_bound) {}
+
+TcpTransport::~TcpTransport() {
+  // Silent teardown: the Connection destructor deregisters and closes
+  // without firing callbacks into this (dying) transport.
+  conns_.clear();
+  if (listen_fd_ >= 0) {
+    loop_.remove_fd(listen_fd_);
+    ::close(listen_fd_);
+  }
+}
+
+std::uint16_t TcpTransport::listen(std::uint16_t port) {
+  TIMEDC_ASSERT(listen_fd_ < 0 && "listen() may be called once");
+  listen_fd_ = make_tcp_socket();
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = loopback_addr("127.0.0.1", port);
+  int rc = ::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  TIMEDC_ASSERT(rc == 0 && "bind failed");
+  rc = ::listen(listen_fd_, 128);
+  TIMEDC_ASSERT(rc == 0);
+  socklen_t len = sizeof(addr);
+  getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  listen_port_ = ntohs(addr.sin_port);
+  loop_.add_fd(listen_fd_, EPOLLIN, [this](std::uint32_t) { accept_ready(); });
+  return listen_port_;
+}
+
+void TcpTransport::accept_ready() {
+  for (;;) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      return;  // transient accept errors (e.g. ECONNABORTED): keep listening
+    }
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    ++stats_.connections_accepted;
+    adopt(std::make_shared<Connection>(loop_, fd, /*connecting=*/false));
+  }
+}
+
+void TcpTransport::adopt(std::shared_ptr<Connection> conn) {
+  Connection* raw = conn.get();
+  conns_.emplace(raw, std::move(conn));
+  raw->start(
+      [this](Connection& c, wire::DecodedFrame& f) { on_frame(c, f); },
+      [this](Connection& c, const char* reason) { on_close(c, reason); });
+}
+
+void TcpTransport::add_route(SiteId site, std::string host,
+                             std::uint16_t port) {
+  routes_[site.value] = Route{std::move(host), port};
+}
+
+void TcpTransport::register_site(SiteId self, MessageHandler handler) {
+  handlers_[self.value] = std::move(handler);
+}
+
+Connection* TcpTransport::dial(const Route& route, SiteId site) {
+  const int fd = make_tcp_socket();
+  sockaddr_in addr = loopback_addr(route.host, route.port);
+  const int rc =
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    ::close(fd);
+    return nullptr;
+  }
+  ++stats_.connections_dialed;
+  auto conn = std::make_shared<Connection>(loop_, fd, /*connecting=*/rc != 0);
+  Connection* raw = conn.get();
+  adopt(std::move(conn));
+  peer_conn_[site.value] = raw;
+  return raw;
+}
+
+Connection* TcpTransport::connection_to(SiteId to) {
+  const auto it = peer_conn_.find(to.value);
+  if (it != peer_conn_.end() && !it->second->closed()) return it->second;
+  const auto route = routes_.find(to.value);
+  if (route == routes_.end()) return nullptr;
+  return dial(route->second, to);
+}
+
+void TcpTransport::send_message(SiteId from, SiteId to, Message m,
+                                std::size_t bytes) {
+  (void)bytes;  // the sim cost model; real byte counts live in Connection
+  const auto local = handlers_.find(to.value);
+  if (local != handlers_.end()) {
+    // Both endpoints live on this transport. Deliver through the loop so
+    // the handler never runs inside send_message (Transport contract).
+    ++stats_.local_deliveries;
+    loop_.post([this, from, to, msg = std::move(m)]() {
+      const auto h = handlers_.find(to.value);
+      if (h != handlers_.end()) h->second(from, msg);
+    });
+    return;
+  }
+  Connection* conn = connection_to(to);
+  if (conn == nullptr) {
+    ++stats_.unroutable;
+    return;
+  }
+  ++stats_.frames_sent;
+  conn->send_frame(from, to, m);
+}
+
+void TcpTransport::on_frame(Connection& conn, wire::DecodedFrame& frame) {
+  ++stats_.frames_received;
+  // Learn the return path: replies to frame.from leave through this
+  // connection (latest arrival wins, so a reconnecting peer takes over).
+  peer_conn_[frame.from.value] = &conn;
+  const auto h = handlers_.find(frame.to.value);
+  if (h == handlers_.end()) {
+    ++stats_.unroutable;
+    return;
+  }
+  h->second(frame.from, frame.message);
+}
+
+void TcpTransport::on_close(Connection& conn, const char* reason) {
+  (void)reason;
+  ++stats_.connections_closed;
+  if (conn.decode_failure() != wire::DecodeStatus::kOk) ++stats_.decode_errors;
+  for (auto it = peer_conn_.begin(); it != peer_conn_.end();) {
+    it = (it->second == &conn) ? peer_conn_.erase(it) : std::next(it);
+  }
+  const auto it = conns_.find(&conn);
+  if (it != conns_.end()) {
+    // We may be inside this connection's own event callback: defer the
+    // actual destruction until the stack unwinds.
+    std::shared_ptr<Connection> keep_alive = std::move(it->second);
+    conns_.erase(it);
+    loop_.post([keep_alive]() {});
+  }
+}
+
+void TcpTransport::close_all() {
+  // close() mutates conns_ through on_close; iterate over a snapshot.
+  std::vector<Connection*> open;
+  open.reserve(conns_.size());
+  for (const auto& [raw, conn] : conns_) open.push_back(raw);
+  for (Connection* c : open) c->close("shutdown");
+  if (listen_fd_ >= 0) {
+    loop_.remove_fd(listen_fd_);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+}  // namespace timedc::net

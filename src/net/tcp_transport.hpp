@@ -1,0 +1,103 @@
+// The real-socket Transport: wire-codec frames over non-blocking TCP,
+// driven by one EventLoop.
+//
+// Routing model. Every frame carries (from, to) site ids, so one TCP
+// connection can multiplex any number of sites — the load generator runs
+// hundreds of client sites over a handful of connections. Outgoing routes
+// are configured with add_route(site -> host:port) and dialed lazily; for
+// everything else the transport *learns* return paths: when a frame from
+// site S arrives on connection C, replies addressed to S leave through C.
+// A server therefore needs no client addresses at all, exactly like the
+// sim Network needs none.
+//
+// Threading: all Transport methods are loop-thread only (the contract in
+// net/transport.hpp); drive cross-thread work through EventLoop::post.
+// Construction and destruction happen while the loop is not running.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "net/connection.hpp"
+#include "net/event_loop.hpp"
+#include "net/transport.hpp"
+
+namespace timedc::net {
+
+struct TcpTransportStats {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t local_deliveries = 0;  // both endpoints on this transport
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_dialed = 0;
+  std::uint64_t connections_closed = 0;
+  std::uint64_t decode_errors = 0;  // connections torn down by bad frames
+  std::uint64_t unroutable = 0;     // frames dropped: no route to site
+};
+
+class TcpTransport final : public Transport {
+ public:
+  /// `latency_bound` is what latency_upper_bound() reports: the RPC layer
+  /// budgets retry timeouts against it (default: no promise).
+  explicit TcpTransport(EventLoop& loop,
+                        SimTime latency_bound = SimTime::infinity());
+  ~TcpTransport() override;
+
+  /// Bind + listen on 127.0.0.1:`port` (0 picks an ephemeral port).
+  /// Returns the bound port.
+  std::uint16_t listen(std::uint16_t port);
+
+  /// Frames addressed to `site` go over a (lazily dialed) connection to
+  /// host:port. Replaces any previous route for `site`.
+  void add_route(SiteId site, std::string host, std::uint16_t port);
+
+  /// Close every connection and the listener. Loop-thread only; used for
+  /// orderly shutdown before the loop stops.
+  void close_all();
+
+  // Transport:
+  void register_site(SiteId self, MessageHandler handler) override;
+  void send_message(SiteId from, SiteId to, Message m,
+                    std::size_t bytes) override;
+  SimTime now() const override { return loop_.now(); }
+  void run_after(SimTime delay, std::function<void()> fn) override {
+    loop_.run_after(delay, std::move(fn));
+  }
+  SimTime latency_upper_bound() const override { return latency_bound_; }
+  bool requires_sequenced_requests() const override { return true; }
+
+  EventLoop& loop() { return loop_; }
+  const TcpTransportStats& stats() const { return stats_; }
+  std::uint16_t listen_port() const { return listen_port_; }
+
+ private:
+  struct Route {
+    std::string host;
+    std::uint16_t port = 0;
+  };
+
+  void accept_ready();
+  void adopt(std::shared_ptr<Connection> conn);
+  void on_frame(Connection& conn, wire::DecodedFrame& frame);
+  void on_close(Connection& conn, const char* reason);
+  /// The connection frames to `to` should use: learned peer, open route
+  /// connection, or a fresh dial. Null when unroutable.
+  Connection* connection_to(SiteId to);
+  Connection* dial(const Route& route, SiteId site);
+
+  EventLoop& loop_;
+  SimTime latency_bound_;
+  int listen_fd_ = -1;
+  std::uint16_t listen_port_ = 0;
+
+  std::unordered_map<std::uint32_t, MessageHandler> handlers_;
+  std::unordered_map<std::uint32_t, Route> routes_;
+  // Where frames addressed to a site currently leave (dialed or learned).
+  std::unordered_map<std::uint32_t, Connection*> peer_conn_;
+  std::unordered_map<Connection*, std::shared_ptr<Connection>> conns_;
+  TcpTransportStats stats_;
+};
+
+}  // namespace timedc::net

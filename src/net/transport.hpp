@@ -1,0 +1,62 @@
+// The message transport abstraction: how protocol messages move between
+// sites, and where "now" and timers come from.
+//
+// Two implementations exist:
+//   * the deterministic in-process sim Network (src/sim/network.hpp), whose
+//     clock and timers are the discrete-event Simulator — every experiment
+//     stays bit-for-bit reproducible;
+//   * the real TcpTransport (src/net/tcp_transport.hpp), which frames
+//     messages with the wire codec over non-blocking sockets driven by an
+//     epoll EventLoop, with CLOCK_REALTIME as the time source.
+// ObjectServer and both CacheClient families are written against this
+// interface only, so the Section 5 protocols run unchanged over either.
+//
+// Threading contract: every method is called from the transport's dispatch
+// context (the simulator run loop, or the owning EventLoop's thread).
+// Handlers are invoked from that same context.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "common/sim_time.hpp"
+#include "common/types.hpp"
+#include "protocol/messages.hpp"
+
+namespace timedc {
+
+class Transport {
+ public:
+  /// Invoked for each delivered message as (sender site, message).
+  using MessageHandler = std::function<void(SiteId from, const Message&)>;
+
+  virtual ~Transport() = default;
+
+  /// Install `handler` as the protocol endpoint for local site `self`.
+  virtual void register_site(SiteId self, MessageHandler handler) = 0;
+
+  /// Send `m` from -> to. `bytes` is the accounted message size (the sim
+  /// cost model); real transports also track actual encoded bytes.
+  /// Delivery is asynchronous: the handler never runs inside this call.
+  virtual void send_message(SiteId from, SiteId to, Message m,
+                            std::size_t bytes) = 0;
+
+  /// The transport's time source: simulated time on the sim network, real
+  /// (CLOCK_REALTIME) microseconds on TCP. All protocol timestamps
+  /// (lifetimes, leases, Delta budgets) are read through this.
+  virtual SimTime now() const = 0;
+
+  /// Run `fn` once, `delay` from now, in the dispatch context.
+  virtual void run_after(SimTime delay, std::function<void()> fn) = 0;
+
+  /// An upper bound on one-way delivery latency, used to budget RPC
+  /// timeouts (infinite when the transport cannot promise one).
+  virtual SimTime latency_upper_bound() const = 0;
+
+  /// True when requests reach servers through the wire codec, in which case
+  /// the server rejects requests with request_id == 0 ("unsequenced" is a
+  /// raw in-process test convention, never a legal wire value).
+  virtual bool requires_sequenced_requests() const { return false; }
+};
+
+}  // namespace timedc

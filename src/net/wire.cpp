@@ -1,0 +1,391 @@
+#include "net/wire.hpp"
+
+#include <cstring>
+
+#include "common/assert.hpp"
+
+namespace timedc::wire {
+namespace {
+
+// --- encoding ---------------------------------------------------------------
+
+class Writer {
+ public:
+  explicit Writer(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) {
+    out_.push_back(static_cast<std::uint8_t>(v));
+    out_.push_back(static_cast<std::uint8_t>(v >> 8));
+  }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void time(SimTime t) { i64(t.as_micros()); }
+  void timestamp(const PlausibleTimestamp& ts) {
+    TIMEDC_ASSERT(ts.num_entries() <= kMaxClockEntries);
+    u32(ts.origin().value);
+    u32(static_cast<std::uint32_t>(ts.num_entries()));
+    for (std::uint64_t e : ts.entries()) u64(e);
+  }
+  void copy(const ObjectCopy& c) {
+    u32(c.object.value);
+    i64(c.value.value);
+    u64(c.version);
+    time(c.alpha);
+    time(c.omega);
+    time(c.beta);
+    timestamp(c.alpha_l);
+    timestamp(c.omega_l);
+  }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+};
+
+std::size_t timestamp_size(const PlausibleTimestamp& ts) {
+  return 8 + 8 * ts.num_entries();
+}
+
+std::size_t copy_size(const ObjectCopy& c) {
+  return 4 + 8 + 8 + 3 * 8 + timestamp_size(c.alpha_l) + timestamp_size(c.omega_l);
+}
+
+struct TypeAndSize {
+  MsgType type;
+  std::size_t body;
+};
+
+TypeAndSize type_and_size(const Message& m) {
+  struct Visitor {
+    TypeAndSize operator()(const FetchRequest&) const {
+      return {MsgType::kFetchRequest, 4 + 4 + 8};
+    }
+    TypeAndSize operator()(const FetchReply& r) const {
+      return {MsgType::kFetchReply, copy_size(r.copy) + 8};
+    }
+    TypeAndSize operator()(const WriteRequest& r) const {
+      return {MsgType::kWriteRequest, 4 + 8 + 8 + timestamp_size(r.write_ts) + 4 + 8};
+    }
+    TypeAndSize operator()(const WriteAck&) const {
+      return {MsgType::kWriteAck, 4 + 8 + 8};
+    }
+    TypeAndSize operator()(const ValidateRequest&) const {
+      return {MsgType::kValidateRequest, 4 + 8 + 4 + 8};
+    }
+    TypeAndSize operator()(const ValidateReply& r) const {
+      return {MsgType::kValidateReply, 4 + 1 + copy_size(r.copy) + 8};
+    }
+    TypeAndSize operator()(const Invalidate&) const {
+      return {MsgType::kInvalidate, 4 + 8};
+    }
+    TypeAndSize operator()(const PushUpdate& p) const {
+      return {MsgType::kPushUpdate, copy_size(p.copy)};
+    }
+  };
+  return std::visit(Visitor{}, m);
+}
+
+void encode_body(Writer& w, const Message& m) {
+  struct Visitor {
+    Writer& w;
+    void operator()(const FetchRequest& r) const {
+      w.u32(r.object.value);
+      w.u32(r.reply_to.value);
+      w.u64(r.request_id);
+    }
+    void operator()(const FetchReply& r) const {
+      w.copy(r.copy);
+      w.u64(r.request_id);
+    }
+    void operator()(const WriteRequest& r) const {
+      w.u32(r.object.value);
+      w.i64(r.value.value);
+      w.time(r.client_time);
+      w.timestamp(r.write_ts);
+      w.u32(r.reply_to.value);
+      w.u64(r.request_id);
+    }
+    void operator()(const WriteAck& a) const {
+      w.u32(a.object.value);
+      w.u64(a.version);
+      w.u64(a.request_id);
+    }
+    void operator()(const ValidateRequest& r) const {
+      w.u32(r.object.value);
+      w.u64(r.version);
+      w.u32(r.reply_to.value);
+      w.u64(r.request_id);
+    }
+    void operator()(const ValidateReply& r) const {
+      w.u32(r.object.value);
+      w.u8(r.still_valid ? 1 : 0);
+      w.copy(r.copy);
+      w.u64(r.request_id);
+    }
+    void operator()(const Invalidate& i) const {
+      w.u32(i.object.value);
+      w.u64(i.version);
+    }
+    void operator()(const PushUpdate& p) const { w.copy(p.copy); }
+  };
+  std::visit(Visitor{w}, m);
+}
+
+// --- decoding ---------------------------------------------------------------
+
+/// Cursor over the frame body only; every read is bounds-checked and a
+/// failed read poisons the reader (subsequent reads return zeros), so one
+/// status check at the end of the body suffices.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> body) : body_(body) {}
+
+  std::uint8_t u8() {
+    if (!take(1)) return 0;
+    return body_[at_++];
+  }
+  std::uint16_t u16() {
+    if (!take(2)) return 0;
+    std::uint16_t v = static_cast<std::uint16_t>(body_[at_]) |
+                      static_cast<std::uint16_t>(body_[at_ + 1]) << 8;
+    at_ += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    if (!take(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(body_[at_ + i]) << (8 * i);
+    at_ += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    if (!take(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(body_[at_ + i]) << (8 * i);
+    at_ += 8;
+    return v;
+  }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  SimTime time() { return SimTime::micros(i64()); }
+
+  PlausibleTimestamp timestamp() {
+    const SiteId origin{u32()};
+    const std::uint32_t n = u32();
+    if (n > kMaxClockEntries) {
+      fail(DecodeStatus::kOversizedClock);
+      return {};
+    }
+    // The entry bytes must already be present before anything is allocated
+    // (take() only checks bounds; the u64() loop below does the advancing).
+    if (!take(std::size_t{8} * n)) return {};
+    std::vector<std::uint64_t> entries(n);
+    for (std::uint32_t i = 0; i < n; ++i) entries[i] = u64();
+    return PlausibleTimestamp(std::move(entries), origin);
+  }
+
+  ObjectCopy copy() {
+    ObjectCopy c;
+    c.object = ObjectId{u32()};
+    c.value = Value{i64()};
+    c.version = u64();
+    c.alpha = time();
+    c.omega = time();
+    c.beta = time();
+    c.alpha_l = timestamp();
+    c.omega_l = timestamp();
+    return c;
+  }
+
+  bool boolean() {
+    const std::uint8_t v = u8();
+    if (v > 1) {
+      fail(DecodeStatus::kBadField);
+      return false;
+    }
+    return v == 1;
+  }
+
+  void fail(DecodeStatus why) {
+    if (status_ == DecodeStatus::kOk) status_ = why;
+  }
+  DecodeStatus status() const { return status_; }
+  bool exhausted() const { return at_ == body_.size(); }
+
+ private:
+  bool take(std::size_t n) {
+    if (status_ != DecodeStatus::kOk || body_.size() - at_ < n) {
+      fail(DecodeStatus::kShortBody);
+      return false;
+    }
+    return true;
+  }
+
+  std::span<const std::uint8_t> body_;
+  std::size_t at_ = 0;
+  DecodeStatus status_ = DecodeStatus::kOk;
+};
+
+Message decode_body(MsgType type, Reader& r) {
+  switch (type) {
+    case MsgType::kFetchRequest: {
+      FetchRequest m;
+      m.object = ObjectId{r.u32()};
+      m.reply_to = SiteId{r.u32()};
+      m.request_id = r.u64();
+      return m;
+    }
+    case MsgType::kFetchReply: {
+      FetchReply m;
+      m.copy = r.copy();
+      m.request_id = r.u64();
+      return m;
+    }
+    case MsgType::kWriteRequest: {
+      WriteRequest m;
+      m.object = ObjectId{r.u32()};
+      m.value = Value{r.i64()};
+      m.client_time = r.time();
+      m.write_ts = r.timestamp();
+      m.reply_to = SiteId{r.u32()};
+      m.request_id = r.u64();
+      return m;
+    }
+    case MsgType::kWriteAck: {
+      WriteAck m;
+      m.object = ObjectId{r.u32()};
+      m.version = r.u64();
+      m.request_id = r.u64();
+      return m;
+    }
+    case MsgType::kValidateRequest: {
+      ValidateRequest m;
+      m.object = ObjectId{r.u32()};
+      m.version = r.u64();
+      m.reply_to = SiteId{r.u32()};
+      m.request_id = r.u64();
+      return m;
+    }
+    case MsgType::kValidateReply: {
+      ValidateReply m;
+      m.object = ObjectId{r.u32()};
+      m.still_valid = r.boolean();
+      m.copy = r.copy();
+      m.request_id = r.u64();
+      return m;
+    }
+    case MsgType::kInvalidate: {
+      Invalidate m;
+      m.object = ObjectId{r.u32()};
+      m.version = r.u64();
+      return m;
+    }
+    case MsgType::kPushUpdate: {
+      PushUpdate m;
+      m.copy = r.copy();
+      return m;
+    }
+  }
+  TIMEDC_ASSERT(false && "unreachable: type validated before decode_body");
+  return FetchRequest{};
+}
+
+std::uint32_t read_u32_at(std::span<const std::uint8_t> buf, std::size_t at) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(buf[at + i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+const char* to_cstring(DecodeStatus s) {
+  switch (s) {
+    case DecodeStatus::kOk: return "ok";
+    case DecodeStatus::kNeedMore: return "need-more";
+    case DecodeStatus::kBadMagic: return "bad-magic";
+    case DecodeStatus::kBadVersion: return "bad-version";
+    case DecodeStatus::kBadType: return "bad-type";
+    case DecodeStatus::kOversizedBody: return "oversized-body";
+    case DecodeStatus::kOversizedClock: return "oversized-clock";
+    case DecodeStatus::kShortBody: return "short-body";
+    case DecodeStatus::kTrailingBytes: return "trailing-bytes";
+    case DecodeStatus::kBadField: return "bad-field";
+  }
+  return "unknown";
+}
+
+std::size_t encoded_frame_size(const Message& m) {
+  return kHeaderBytes + type_and_size(m).body;
+}
+
+void encode_frame(SiteId from, SiteId to, const Message& m,
+                  std::vector<std::uint8_t>& out) {
+  const TypeAndSize ts = type_and_size(m);
+  TIMEDC_ASSERT(ts.body <= kMaxBodyBytes);
+  out.reserve(out.size() + kHeaderBytes + ts.body);
+  Writer w(out);
+  w.u16(kMagic);
+  w.u8(kVersion);
+  w.u8(static_cast<std::uint8_t>(ts.type));
+  w.u32(from.value);
+  w.u32(to.value);
+  w.u32(static_cast<std::uint32_t>(ts.body));
+  const std::size_t body_start = out.size();
+  encode_body(w, m);
+  TIMEDC_ASSERT(out.size() - body_start == ts.body);
+}
+
+DecodedFrame decode_frame(std::span<const std::uint8_t> buf) {
+  DecodedFrame frame;
+  // Fail fast on a corrupt stream: magic/version/type are validated as soon
+  // as their bytes are present, without waiting for a full header.
+  if (buf.size() < 2) return frame;  // kNeedMore
+  const std::uint16_t magic = static_cast<std::uint16_t>(buf[0]) |
+                              static_cast<std::uint16_t>(buf[1]) << 8;
+  if (magic != kMagic) {
+    frame.status = DecodeStatus::kBadMagic;
+    return frame;
+  }
+  if (buf.size() < 3) return frame;
+  if (buf[2] != kVersion) {
+    frame.status = DecodeStatus::kBadVersion;
+    return frame;
+  }
+  if (buf.size() < 4) return frame;
+  const std::uint8_t raw_type = buf[3];
+  if (raw_type < static_cast<std::uint8_t>(MsgType::kFetchRequest) ||
+      raw_type > static_cast<std::uint8_t>(MsgType::kPushUpdate)) {
+    frame.status = DecodeStatus::kBadType;
+    return frame;
+  }
+  if (buf.size() < kHeaderBytes) return frame;
+  frame.from = SiteId{read_u32_at(buf, 4)};
+  frame.to = SiteId{read_u32_at(buf, 8)};
+  const std::uint32_t body_len = read_u32_at(buf, 12);
+  if (body_len > kMaxBodyBytes) {
+    frame.status = DecodeStatus::kOversizedBody;
+    return frame;
+  }
+  if (buf.size() < kHeaderBytes + body_len) return frame;
+
+  Reader r(buf.subspan(kHeaderBytes, body_len));
+  Message m = decode_body(static_cast<MsgType>(raw_type), r);
+  if (r.status() != DecodeStatus::kOk) {
+    frame.status = r.status();
+    return frame;
+  }
+  if (!r.exhausted()) {
+    frame.status = DecodeStatus::kTrailingBytes;
+    return frame;
+  }
+  frame.status = DecodeStatus::kOk;
+  frame.consumed = kHeaderBytes + body_len;
+  frame.message = std::move(m);
+  return frame;
+}
+
+}  // namespace timedc::wire

@@ -1,0 +1,93 @@
+// The binary wire codec: length-prefixed, versioned framing for every
+// protocol message in src/protocol/messages.hpp.
+//
+// Frame layout (all integers little-endian):
+//
+//   offset  size  field
+//   0       2     magic 0x5443 ("TC")
+//   2       1     codec version (kVersion)
+//   3       1     message type (MsgType)
+//   4       4     from site id
+//   8       4     to site id
+//   12      4     body length in bytes (<= kMaxBodyBytes)
+//   16      n     body (per-type field layout, see wire.cpp)
+//
+// The (from, to) routing header is what lets one TCP connection multiplex
+// many client sites (the load generator) and lets a server reply over
+// whichever connection the request arrived on.
+//
+// Decoding is strict and bounds-checked: a decoder never reads past the
+// supplied buffer, never allocates more than the buffer could justify, and
+// classifies every malformed input as a typed DecodeStatus instead of
+// crashing — the property test in tests/wire_test.cpp sweeps truncations,
+// corrupted length fields and random byte flips over every message type.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "protocol/messages.hpp"
+
+namespace timedc::wire {
+
+inline constexpr std::uint16_t kMagic = 0x5443;  // "TC"
+inline constexpr std::uint8_t kVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 16;
+/// Upper bound on a frame body. Generous: the largest legitimate message is
+/// an ObjectCopy with two kMaxClockEntries-wide timestamps (~64 KiB).
+inline constexpr std::uint32_t kMaxBodyBytes = 1u << 20;
+/// Upper bound on PlausibleTimestamp width accepted off the wire; a forged
+/// count can then never force a large allocation or a long copy loop.
+inline constexpr std::uint32_t kMaxClockEntries = 4096;
+
+enum class MsgType : std::uint8_t {
+  kFetchRequest = 1,
+  kFetchReply = 2,
+  kWriteRequest = 3,
+  kWriteAck = 4,
+  kValidateRequest = 5,
+  kValidateReply = 6,
+  kInvalidate = 7,
+  kPushUpdate = 8,
+};
+
+enum class DecodeStatus : std::uint8_t {
+  kOk = 0,
+  kNeedMore,        // buffer holds a valid prefix; wait for more bytes
+  kBadMagic,        // not a frame boundary — the stream is corrupt
+  kBadVersion,      // peer speaks a different codec version
+  kBadType,         // unknown MsgType
+  kOversizedBody,   // declared body length exceeds kMaxBodyBytes
+  kOversizedClock,  // timestamp entry count exceeds kMaxClockEntries
+  kShortBody,       // body ended before the message's fields did
+  kTrailingBytes,   // body longer than the message's fields
+  kBadField,        // a field holds an illegal value (e.g. bool not 0/1)
+};
+
+const char* to_cstring(DecodeStatus s);
+
+/// Append one encoded frame carrying `m` routed from -> to onto `out`.
+void encode_frame(SiteId from, SiteId to, const Message& m,
+                  std::vector<std::uint8_t>& out);
+
+/// The exact number of bytes encode_frame appends for `m`.
+std::size_t encoded_frame_size(const Message& m);
+
+struct DecodedFrame {
+  DecodeStatus status = DecodeStatus::kNeedMore;
+  std::size_t consumed = 0;  // frame bytes to drop from the buffer when kOk
+  SiteId from;
+  SiteId to;
+  Message message;
+
+  bool ok() const { return status == DecodeStatus::kOk; }
+};
+
+/// Try to decode one frame from the front of `buf`. kNeedMore means the
+/// buffer is a valid proper prefix (read more and retry); every other
+/// non-kOk status is a permanent protocol error for this stream.
+DecodedFrame decode_frame(std::span<const std::uint8_t> buf);
+
+}  // namespace timedc::wire

@@ -51,6 +51,8 @@ void publish_server_stats(MetricsRegistry& reg, std::string_view prefix,
   reg.add_counter(key(prefix, "duplicate_writes"), stats.duplicate_writes);
   reg.add_counter(key(prefix, "crashes"), stats.crashes);
   reg.add_counter(key(prefix, "restarts"), stats.restarts);
+  reg.add_counter(key(prefix, "rejected_unsequenced"),
+                  stats.rejected_unsequenced);
 }
 
 void publish_network_stats(MetricsRegistry& reg, std::string_view prefix,

@@ -30,11 +30,10 @@ std::optional<std::uint64_t> reply_request_id(const Message& m) {
 
 }  // namespace
 
-CacheClient::CacheClient(Simulator& sim, Network& net, SiteId self,
-                         SiteId server, const PhysicalClockModel* clock,
-                         SimTime delta, bool mark_old, MessageSizes sizes)
-    : sim_(sim),
-      net_(net),
+CacheClient::CacheClient(Transport& net, SiteId self, SiteId server,
+                         const PhysicalClockModel* clock, SimTime delta,
+                         bool mark_old, MessageSizes sizes)
+    : net_(net),
       self_(self),
       server_(server),
       clock_(clock),
@@ -42,6 +41,14 @@ CacheClient::CacheClient(Simulator& sim, Network& net, SiteId self,
       mark_old_(mark_old),
       sizes_(sizes) {
   TIMEDC_ASSERT(clock != nullptr);
+}
+
+CacheClient::CacheClient(Simulator& sim, Network& net, SiteId self,
+                         SiteId server, const PhysicalClockModel* clock,
+                         SimTime delta, bool mark_old, MessageSizes sizes)
+    : CacheClient(static_cast<Transport&>(net), self, server, clock, delta,
+                  mark_old, sizes) {
+  (void)sim;  // the transport's clock IS this simulator's clock
 }
 
 void CacheClient::configure_reliability(RetryPolicy policy,
@@ -53,8 +60,8 @@ void CacheClient::configure_reliability(RetryPolicy policy,
 }
 
 void CacheClient::attach() {
-  net_.set_handler(self_, [this](SiteId, const std::shared_ptr<void>& p) {
-    on_network_message(*std::static_pointer_cast<Message>(p));
+  net_.register_site(self_, [this](SiteId, const Message& m) {
+    on_network_message(m);
   });
 }
 
@@ -78,7 +85,7 @@ void CacheClient::read(ObjectId object, ReadCallback done) {
   ++stats_.reads;
   pending_read_ = std::move(done);
   pending_op_object_ = object;
-  op_started_at_ = sim_.now();
+  op_started_at_ = net_.now();
   op_abandoned_ = false;
   ++op_seq_;
   trace(TraceEventType::kOpIssue, object, 0);
@@ -90,7 +97,7 @@ void CacheClient::write(ObjectId object, Value value, WriteCallback done) {
   ++stats_.writes;
   pending_write_ = std::move(done);
   pending_op_object_ = object;
-  op_started_at_ = sim_.now();
+  op_started_at_ = net_.now();
   op_abandoned_ = false;
   ++op_seq_;
   trace(TraceEventType::kOpIssue, object, 1);
@@ -105,15 +112,15 @@ void CacheClient::send_to_server(Message m, ObjectId object) {
 }
 
 void CacheClient::transmit() {
-  net_.send(self_, rpc_->target, std::make_shared<Message>(rpc_->request),
-            sizes_.of(rpc_->request));
+  net_.send_message(self_, rpc_->target, rpc_->request,
+                    sizes_.of(rpc_->request));
   if (retry_.enabled()) arm_timeout();
 }
 
 SimTime CacheClient::timeout_for_attempt(int attempt) {
   SimTime base = retry_.base_timeout;
   if (base == SimTime::zero()) {
-    const SimTime one_way = net_.latency().upper_bound();
+    const SimTime one_way = net_.latency_upper_bound();
     // Request hop + possible forward hop + reply hop, plus server-side
     // slack. An unbounded latency model cannot be budgeted; fall back to a
     // generous constant.
@@ -135,7 +142,7 @@ SimTime CacheClient::timeout_for_attempt(int attempt) {
 void CacheClient::arm_timeout() {
   const std::uint64_t id = rpc_->id;
   const int attempt = rpc_->attempt;
-  sim_.schedule_after(timeout_for_attempt(attempt), [this, id, attempt] {
+  net_.run_after(timeout_for_attempt(attempt), [this, id, attempt] {
     if (rpc_ && rpc_->id == id && rpc_->attempt == attempt) on_rpc_timeout();
   });
 }
@@ -169,10 +176,10 @@ void CacheClient::on_rpc_timeout() {
 void CacheClient::abandon_op() {
   ++stats_.ops_abandoned;
   stats_.unavailable_us +=
-      static_cast<std::uint64_t>((sim_.now() - op_started_at_).as_micros());
+      static_cast<std::uint64_t>((net_.now() - op_started_at_).as_micros());
   op_abandoned_ = true;
   trace(TraceEventType::kOpAbandon, pending_op_object_, 0,
-        (sim_.now() - op_started_at_).as_micros());
+        (net_.now() - op_started_at_).as_micros());
   rpc_.reset();
   if (pending_read_) {
     finish_read(degraded_read_value(pending_op_object_));
@@ -186,19 +193,19 @@ Value CacheClient::degraded_read_value(ObjectId) const { return kInitialValue; }
 void CacheClient::finish_read(Value value) {
   TIMEDC_ASSERT(pending_read_);
   trace(TraceEventType::kOpReply, pending_op_object_, 0,
-        (sim_.now() - op_started_at_).as_micros());
+        (net_.now() - op_started_at_).as_micros());
   ReadCallback cb = std::move(pending_read_);
   pending_read_ = nullptr;
-  cb(value, sim_.now());
+  cb(value, net_.now());
 }
 
 void CacheClient::finish_write() {
   TIMEDC_ASSERT(pending_write_);
   trace(TraceEventType::kOpReply, pending_op_object_, 1,
-        (sim_.now() - op_started_at_).as_micros());
+        (net_.now() - op_started_at_).as_micros());
   WriteCallback cb = std::move(pending_write_);
   pending_write_ = nullptr;
-  cb(sim_.now());
+  cb(net_.now());
 }
 
 }  // namespace timedc

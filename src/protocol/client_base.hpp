@@ -22,6 +22,7 @@
 
 #include "clocks/physical_clock.hpp"
 #include "common/rng.hpp"
+#include "net/transport.hpp"
 #include "obs/trace.hpp"
 #include "protocol/messages.hpp"
 #include "protocol/stats.hpp"
@@ -59,6 +60,13 @@ class CacheClient {
   /// Called when a write completes (server ack received).
   using WriteCallback = std::function<void(SimTime)>;
 
+  /// The client runs over any Transport: the deterministic sim Network or
+  /// a real TcpTransport (clock and timers come from the transport).
+  CacheClient(Transport& net, SiteId self, SiteId server,
+              const PhysicalClockModel* clock, SimTime delta, bool mark_old,
+              MessageSizes sizes);
+
+  /// Sim-era convenience: `sim` must be the simulator `net` runs on.
   CacheClient(Simulator& sim, Network& net, SiteId self, SiteId server,
               const PhysicalClockModel* clock, SimTime delta, bool mark_old,
               MessageSizes sizes);
@@ -107,7 +115,7 @@ class CacheClient {
 
  protected:
   /// The client's local clock reading (site time t_i, possibly skewed).
-  SimTime local_time() const { return clock_->read(sim_.now()); }
+  SimTime local_time() const { return clock_->read(net_.now()); }
 
   void send_to_server(Message m, ObjectId object);
   void finish_read(Value value);
@@ -121,7 +129,7 @@ class CacheClient {
   /// One branch when tracing is off; op id = the client's op sequence.
   void trace(TraceEventType type, ObjectId object, std::int64_t a = 0,
              std::int64_t b = 0) {
-    if (obs_ != nullptr) obs_->emit(type, sim_.now(), self_, object, op_seq_, a, b);
+    if (obs_ != nullptr) obs_->emit(type, net_.now(), self_, object, op_seq_, a, b);
   }
 
   // Protocol hooks.
@@ -129,8 +137,7 @@ class CacheClient {
   virtual void begin_write(ObjectId object, Value value) = 0;
   virtual void handle(const Message& message) = 0;
 
-  Simulator& sim_;
-  Network& net_;
+  Transport& net_;
   SiteId self_;
   SiteId server_;
   const PhysicalClockModel* clock_;

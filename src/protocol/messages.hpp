@@ -31,13 +31,18 @@ struct ObjectCopy {
   PlausibleTimestamp alpha_l;  // logical start time
   PlausibleTimestamp omega_l;  // logical ending time: the server's merged
                                // knowledge when it vouched for this value
+
+  bool operator==(const ObjectCopy&) const = default;
 };
 
 // Every request carries a per-client monotone request_id; the reply echoes
 // it. The reliable-RPC layer keys retransmissions, duplicate-reply
 // suppression and server-side write dedup on (reply_to, request_id), so a
-// retried request is idempotent end to end. 0 means "unsequenced" (raw
-// protocol messages built by hand in tests).
+// retried request is idempotent end to end. 0 means "unsequenced" — a
+// convention for raw protocol messages built by hand in tests, valid only
+// inside the in-process sim. Servers REJECT id-0 requests arriving over a
+// framed transport (Transport::requires_sequenced_requests), counting them
+// in ServerStats::rejected_unsequenced; real clients always stamp ids >= 1.
 
 struct FetchRequest {
   ObjectId object;
@@ -46,11 +51,15 @@ struct FetchRequest {
   /// the reply takes one hop back instead of retracing the forward path.
   SiteId reply_to;
   std::uint64_t request_id = 0;
+
+  bool operator==(const FetchRequest&) const = default;
 };
 
 struct FetchReply {
   ObjectCopy copy;
   std::uint64_t request_id = 0;
+
+  bool operator==(const FetchReply&) const = default;
 };
 
 struct WriteRequest {
@@ -60,12 +69,16 @@ struct WriteRequest {
   PlausibleTimestamp write_ts;  // logical timestamp of the write (TCC)
   SiteId reply_to;
   std::uint64_t request_id = 0;
+
+  bool operator==(const WriteRequest&) const = default;
 };
 
 struct WriteAck {
   ObjectId object;
   std::uint64_t version;
   std::uint64_t request_id = 0;
+
+  bool operator==(const WriteAck&) const = default;
 };
 
 /// If-modified-since: "is version v of X still current?"
@@ -74,6 +87,8 @@ struct ValidateRequest {
   std::uint64_t version;
   SiteId reply_to;
   std::uint64_t request_id = 0;
+
+  bool operator==(const ValidateRequest&) const = default;
 };
 
 struct ValidateReply {
@@ -83,17 +98,23 @@ struct ValidateReply {
   /// otherwise a full fresh copy (like an HTTP 200 after a failed 304).
   ObjectCopy copy;
   std::uint64_t request_id = 0;
+
+  bool operator==(const ValidateReply&) const = default;
 };
 
 /// Server-initiated invalidation (Cao-Liu style strong consistency).
 struct Invalidate {
   ObjectId object;
   std::uint64_t version;  // versions < this are dead
+
+  bool operator==(const Invalidate&) const = default;
 };
 
 /// Server-initiated push of a fresh copy (update propagation, Section 5.2).
 struct PushUpdate {
   ObjectCopy copy;
+
+  bool operator==(const PushUpdate&) const = default;
 };
 
 using Message = std::variant<FetchRequest, FetchReply, WriteRequest, WriteAck,

@@ -7,15 +7,22 @@ namespace timedc {
 
 void ObjectServer::trace(TraceEventType type, ObjectId object,
                          std::uint64_t op, std::int64_t a, std::int64_t b) {
-  if (obs_ != nullptr) obs_->emit(type, sim_.now(), self_, object, op, a, b);
+  if (obs_ != nullptr) obs_->emit(type, net_.now(), self_, object, op, a, b);
 }
 
 ObjectServer::ObjectServer(Simulator& sim, Network& net, SiteId self,
                            std::size_t num_sites, PushPolicy push,
                            MessageSizes sizes, std::vector<SiteId> cluster,
                            ServerConfig config)
-    : sim_(sim),
-      net_(net),
+    : ObjectServer(static_cast<Transport&>(net), self, num_sites, push, sizes,
+                   std::move(cluster), config) {
+  (void)sim;  // the transport's clock IS this simulator's clock
+}
+
+ObjectServer::ObjectServer(Transport& net, SiteId self, std::size_t num_sites,
+                           PushPolicy push, MessageSizes sizes,
+                           std::vector<SiteId> cluster, ServerConfig config)
+    : net_(net),
       self_(self),
       num_sites_(num_sites),
       push_(push),
@@ -38,13 +45,13 @@ bool ObjectServer::forward_if_not_owner(ObjectId object, const Message& m) {
   const SiteId owner = primary_of(object);
   if (owner == self_) return false;
   ++stats_.forwarded;
-  net_.send(self_, owner, std::make_shared<Message>(m), sizes_.of(m));
+  net_.send_message(self_, owner, m, sizes_.of(m));
   return true;
 }
 
 void ObjectServer::attach() {
-  net_.set_handler(self_, [this](SiteId from, const std::shared_ptr<void>& p) {
-    on_message(from, p);
+  net_.register_site(self_, [this](SiteId from, const Message& m) {
+    on_message(from, m);
   });
 }
 
@@ -75,7 +82,7 @@ void ObjectServer::restart() {
     // Conservative lease recovery (Gray-Cheriton): every lease granted
     // before the crash expires by now + lease_duration, so deferring all
     // writes until then preserves the promise made to forgotten readers.
-    lease_grace_until_ = sim_.now() + config_.lease_duration;
+    lease_grace_until_ = net_.now() + config_.lease_duration;
   }
   trace(TraceEventType::kServerRestart, kNoObject, 0, 0,
         config_.lease_duration.as_micros());
@@ -92,18 +99,33 @@ const std::vector<ObjectServer::AppliedWrite>& ObjectServer::applied_writes(
   return it == history_.end() ? kEmpty : it->second;
 }
 
-void ObjectServer::on_message(SiteId from, const std::shared_ptr<void>& payload) {
+bool ObjectServer::reject_unsequenced(std::uint64_t request_id) {
+  // Over a framed transport every legal request carries a client-stamped
+  // id >= 1 (messages.hpp); id 0 is the raw in-process test convention and
+  // must never be honored off the wire — the reliable-RPC dedup would have
+  // no key for it.
+  if (request_id != 0 || !net_.requires_sequenced_requests()) return false;
+  ++stats_.rejected_unsequenced;
+  return true;
+}
+
+void ObjectServer::on_message(SiteId from, const Message& msg) {
   (void)from;
   if (!up_) return;  // a crashed server is silent; clients retry elsewhere
-  const auto msg = std::static_pointer_cast<Message>(payload);
-  if (const auto* fetch = std::get_if<FetchRequest>(msg.get())) {
-    if (!forward_if_not_owner(fetch->object, *msg)) handle_fetch(*fetch);
-  } else if (const auto* write = std::get_if<WriteRequest>(msg.get())) {
-    if (!forward_if_not_owner(write->object, *msg)) handle_write(*write);
-  } else if (const auto* validate = std::get_if<ValidateRequest>(msg.get())) {
-    if (!forward_if_not_owner(validate->object, *msg)) handle_validate(*validate);
+  if (const auto* fetch = std::get_if<FetchRequest>(&msg)) {
+    if (reject_unsequenced(fetch->request_id)) return;
+    if (!forward_if_not_owner(fetch->object, msg)) handle_fetch(*fetch);
+  } else if (const auto* write = std::get_if<WriteRequest>(&msg)) {
+    if (reject_unsequenced(write->request_id)) return;
+    if (!forward_if_not_owner(write->object, msg)) handle_write(*write);
+  } else if (const auto* validate = std::get_if<ValidateRequest>(&msg)) {
+    if (reject_unsequenced(validate->request_id)) return;
+    if (!forward_if_not_owner(validate->object, msg)) handle_validate(*validate);
   } else {
-    TIMEDC_ASSERT(false && "unexpected message at server");
+    // A raw sim harness sending a reply-type message at a server is a test
+    // bug; a framed peer doing so is just a misbehaving client.
+    TIMEDC_ASSERT(net_.requires_sequenced_requests() &&
+                  "unexpected message at server");
   }
 }
 
@@ -111,9 +133,9 @@ SimTime ObjectServer::lease_horizon(Stored& s, ObjectId object,
                                     SiteId writer) {
   SimTime horizon = SimTime::zero();
   for (auto it = s.leases.begin(); it != s.leases.end();) {
-    if (it->second <= sim_.now()) {
+    if (it->second <= net_.now()) {
       trace(TraceEventType::kLeaseExpire, object, 0, it->first,
-            (sim_.now() - it->second).as_micros());
+            (net_.now() - it->second).as_micros());
       it = s.leases.erase(it);
       continue;
     }
@@ -127,7 +149,7 @@ SimTime ObjectServer::grant_lease(Stored& s, ObjectId object, SiteId client) {
   if (config_.lease_duration == SimTime::zero() || s.write_pending) {
     return SimTime::zero();
   }
-  s.leases[client.value] = sim_.now() + config_.lease_duration;
+  s.leases[client.value] = net_.now() + config_.lease_duration;
   trace(TraceEventType::kLeaseGrant, object, 0, client.value,
         config_.lease_duration.as_micros());
   return config_.lease_duration;
@@ -144,8 +166,8 @@ ObjectCopy ObjectServer::copy_of(ObjectId object,
   // The server's current value is valid right now — and, when the caller
   // holds a lease, until the lease expires (writes are deferred past it).
   // beta is the instant the server vouched.
-  copy.omega = sim_.now() + lease_extension;
-  copy.beta = sim_.now();
+  copy.omega = net_.now() + lease_extension;
+  copy.beta = net_.now();
   copy.alpha_l = s.alpha_l;
   copy.omega_l = logical_now_;
   return copy;
@@ -190,14 +212,14 @@ void ObjectServer::defer_or_apply(const WriteRequest& req) {
   // the grace window stands in for every forgotten lease.
   const SimTime horizon =
       max(lease_horizon(s, req.object, req.reply_to), lease_grace_until_);
-  if (horizon > sim_.now()) {
+  if (horizon > net_.now()) {
     ++stats_.writes_deferred;
     trace(TraceEventType::kWriteDefer, req.object, req.request_id,
-          req.reply_to.value, (horizon - sim_.now()).as_micros());
+          req.reply_to.value, (horizon - net_.now()).as_micros());
     s.write_pending = true;  // freeze lease grants until this write lands
     const WriteRequest deferred = req;
     const std::uint64_t epoch = epoch_;
-    sim_.schedule_at(horizon, [this, deferred, epoch] {
+    net_.run_after(horizon - net_.now(), [this, deferred, epoch] {
       // The deferral was soft state: a crash in the meantime voids it.
       if (epoch != epoch_ || !up_) return;
       defer_or_apply(deferred);
@@ -218,7 +240,7 @@ void ObjectServer::apply_write(const WriteRequest& req) {
   // exact ties.
   if (s.version > 0 && req.client_time < s.alpha) {
     history_[req.object].push_back(
-        AppliedWrite{req.value, sim_.now(), /*accepted=*/false});
+        AppliedWrite{req.value, net_.now(), /*accepted=*/false});
     trace(TraceEventType::kWriteApply, req.object, req.request_id,
           req.value.value, 0);
     // Version 0 in the ack marks the write as superseded: the writer's
@@ -239,7 +261,7 @@ void ObjectServer::apply_write(const WriteRequest& req) {
                        ? req.write_ts
                        : PlausibleTimestamp::merge_max(logical_now_, req.write_ts);
   }
-  history_[req.object].push_back(AppliedWrite{req.value, sim_.now()});
+  history_[req.object].push_back(AppliedWrite{req.value, net_.now()});
   trace(TraceEventType::kWriteApply, req.object, req.request_id,
         req.value.value, 1);
   const WriteAck ack{req.object, s.version, req.request_id};
@@ -288,7 +310,7 @@ void ObjectServer::handle_validate(const ValidateRequest& req) {
 
 void ObjectServer::send(SiteId to, Message m) {
   const std::size_t bytes = sizes_.of(m);
-  net_.send(self_, to, std::make_shared<Message>(std::move(m)), bytes);
+  net_.send_message(self_, to, std::move(m), bytes);
 }
 
 }  // namespace timedc

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/history.hpp"
+#include "net/transport.hpp"
 #include "protocol/messages.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
@@ -51,6 +52,10 @@ struct ServerStats {
   std::uint64_t duplicate_writes = 0; // retransmitted writes deduplicated
   std::uint64_t crashes = 0;
   std::uint64_t restarts = 0;
+  // Framed-transport requests carrying request_id == 0: "unsequenced" is a
+  // raw in-process test convention, never a legal wire value (see
+  // messages.hpp), so such requests are rejected, not served.
+  std::uint64_t rejected_unsequenced = 0;
 };
 
 class ObjectServer {
@@ -60,6 +65,14 @@ class ObjectServer {
   /// partitioning). Empty means this server owns everything. A request
   /// arriving at a non-owner is forwarded to the owner, which replies to
   /// the client directly (one extra hop, not two).
+  ///
+  /// The server runs over any Transport: the deterministic sim Network or
+  /// a real TcpTransport (clock and timers come from the transport).
+  ObjectServer(Transport& net, SiteId self, std::size_t num_sites,
+               PushPolicy push, MessageSizes sizes,
+               std::vector<SiteId> cluster = {}, ServerConfig config = {});
+
+  /// Sim-era convenience: `sim` must be the simulator `net` runs on.
   ObjectServer(Simulator& sim, Network& net, SiteId self, std::size_t num_sites,
                PushPolicy push, MessageSizes sizes,
                std::vector<SiteId> cluster = {}, ServerConfig config = {});
@@ -134,7 +147,9 @@ class ObjectServer {
     std::uint64_t deferred_id = 0;   // request currently lease-deferred
   };
 
-  void on_message(SiteId from, const std::shared_ptr<void>& payload);
+  void on_message(SiteId from, const Message& msg);
+  /// The request_id == 0 gate for framed transports. True when rejected.
+  bool reject_unsequenced(std::uint64_t request_id);
   void handle_fetch(const FetchRequest& req);
   void handle_write(const WriteRequest& req);
   void handle_validate(const ValidateRequest& req);
@@ -159,8 +174,7 @@ class ObjectServer {
   void send(SiteId to, Message m);
   Stored& stored(ObjectId object);
 
-  Simulator& sim_;
-  Network& net_;
+  Transport& net_;
   SiteId self_;
   std::size_t num_sites_;
   PushPolicy push_;

@@ -4,6 +4,19 @@
 
 namespace timedc {
 
+TimedCausalCache::TimedCausalCache(Transport& net, SiteId self, SiteId server,
+                                   const PhysicalClockModel* clock,
+                                   SimTime delta, bool mark_old,
+                                   MessageSizes sizes, std::size_t num_clients,
+                                   std::size_t clock_entries,
+                                   CausalEvictionRule eviction)
+    : CacheClient(net, self, server, clock, delta, mark_old, sizes),
+      eviction_(eviction),
+      clock_(clock_entries == 0 ? num_clients : clock_entries, self),
+      context_l_(std::vector<std::uint64_t>(
+                     clock_entries == 0 ? num_clients : clock_entries, 0),
+                 self) {}
+
 TimedCausalCache::TimedCausalCache(Simulator& sim, Network& net, SiteId self,
                                    SiteId server,
                                    const PhysicalClockModel* clock,
@@ -11,12 +24,11 @@ TimedCausalCache::TimedCausalCache(Simulator& sim, Network& net, SiteId self,
                                    MessageSizes sizes, std::size_t num_clients,
                                    std::size_t clock_entries,
                                    CausalEvictionRule eviction)
-    : CacheClient(sim, net, self, server, clock, delta, mark_old, sizes),
-      eviction_(eviction),
-      clock_(clock_entries == 0 ? num_clients : clock_entries, self),
-      context_l_(std::vector<std::uint64_t>(
-                     clock_entries == 0 ? num_clients : clock_entries, 0),
-                 self) {}
+    : TimedCausalCache(static_cast<Transport&>(net), self, server, clock,
+                       delta, mark_old, sizes, num_clients, clock_entries,
+                       eviction) {
+  (void)sim;
+}
 
 PlausibleTimestamp TimedCausalCache::normalize(
     const PlausibleTimestamp& ts) const {

@@ -56,6 +56,14 @@ class TimedCausalCache final : public CacheClient {
   /// `clock_entries` is the logical clock width R: pass num_clients for
   /// exact vector-clock TCC (the default when 0), or fewer for REV
   /// plausible clocks.
+  TimedCausalCache(Transport& net, SiteId self, SiteId server,
+                   const PhysicalClockModel* clock, SimTime delta,
+                   bool mark_old, MessageSizes sizes, std::size_t num_clients,
+                   std::size_t clock_entries = 0,
+                   CausalEvictionRule eviction =
+                       CausalEvictionRule::kContextDominates);
+
+  /// Sim-era convenience: `sim` must be the simulator `net` runs on.
   TimedCausalCache(Simulator& sim, Network& net, SiteId self, SiteId server,
                    const PhysicalClockModel* clock, SimTime delta,
                    bool mark_old, MessageSizes sizes, std::size_t num_clients,

@@ -22,6 +22,13 @@ void Network::set_handler(SiteId node, Handler handler) {
   handlers_[node.value] = std::move(handler);
 }
 
+void Network::register_site(SiteId self, MessageHandler handler) {
+  set_handler(self, [handler = std::move(handler)](
+                        SiteId from, const std::shared_ptr<void>& payload) {
+    handler(from, *std::static_pointer_cast<Message>(payload));
+  });
+}
+
 void Network::send(SiteId from, SiteId to, std::shared_ptr<void> payload,
                    std::size_t bytes) {
   TIMEDC_ASSERT(from.value < handlers_.size());

@@ -13,6 +13,7 @@
 #include "common/rng.hpp"
 #include "common/sim_time.hpp"
 #include "common/types.hpp"
+#include "net/transport.hpp"
 #include "sim/simulator.hpp"
 
 namespace timedc {
@@ -91,7 +92,12 @@ class Tracer;
 /// Type-erased network: payloads are delivered to a per-node handler as
 /// (from, payload). Payload ownership transfers via shared_ptr<void>; the
 /// protocol layers wrap/unwrap their concrete message structs.
-class Network {
+///
+/// Network is also the deterministic Transport implementation: the typed
+/// register_site/send_message entry points wrap the raw shared_ptr<void>
+/// paths one-to-one (same allocations, same scheduling), so protocol code
+/// moved onto Transport produces bit-identical simulations.
+class Network final : public Transport {
  public:
   using Handler =
       std::function<void(SiteId from, const std::shared_ptr<void>& payload)>;
@@ -106,6 +112,21 @@ class Network {
   /// delivered after the sampled latency too (loopback is not free).
   void send(SiteId from, SiteId to, std::shared_ptr<void> payload,
             std::size_t bytes);
+
+  // Transport: typed wrappers over the raw paths above, plus the sim's
+  // clock and timer wheel as the protocol time source.
+  void register_site(SiteId self, MessageHandler handler) override;
+  void send_message(SiteId from, SiteId to, Message m,
+                    std::size_t bytes) override {
+    send(from, to, std::make_shared<Message>(std::move(m)), bytes);
+  }
+  SimTime now() const override { return sim_.now(); }
+  void run_after(SimTime delay, std::function<void()> fn) override {
+    sim_.schedule_after(delay, std::move(fn));
+  }
+  SimTime latency_upper_bound() const override {
+    return latency_->upper_bound();
+  }
 
   /// Route every send through `injector` (drops, partitions, duplication,
   /// latency spikes, crashed destinations). Pass nullptr to detach. The

@@ -1,0 +1,448 @@
+// timedc-load: closed-loop multi-threaded load generator for timedc-server.
+//
+// Each worker thread owns one EventLoop + TcpTransport and drives a set of
+// TimedSerialCache (TSC, Section 5) clients in a closed loop: every client
+// keeps exactly one operation in flight, issuing the next as soon as the
+// previous completes. The mix is --write-pct writes over a Zipf-distributed
+// object population, with the timeliness bound --delta-us configuring the
+// caches' Context advance (rule 3).
+//
+// Reporting: throughput (ops/s), exact p50/p99/max operation latency, and
+// the Def-1 per-read staleness histogram computed from the captured global
+// history — the same `per_read_staleness` feed the sim experiments use —
+// all exported through obs::MetricsRegistry JSON (--metrics-out). The
+// captured history itself can be stored with --history-out in the
+// timedc-check trace format, closing the loop: a real-socket run is
+// checkable against TSC exactly like a simulated one.
+//
+// History conventions match src/protocol/experiment.cpp: writes are
+// recorded at their ISSUE time (the client_time the server orders by),
+// reads at their COMPLETION time; equal-microsecond collisions per site are
+// bumped by +1us to satisfy the History invariant.
+//
+// Usage:
+//   timedc-load --ports p0[,p1,...] [--threads 2] [--clients 8]
+//               [--duration-s 5 | --ops N] [--write-pct 10] [--objects 64]
+//               [--zipf 0.9] [--delta-us 20000] [--think-us 0] [--seed 42]
+//               [--metrics-out FILE] [--history-out FILE]
+//               [--min-ops-per-sec X]
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "clocks/physical_clock.hpp"
+#include "common/rng.hpp"
+#include "core/history.hpp"
+#include "core/timed.hpp"
+#include "core/trace_io.hpp"
+#include "net/event_loop.hpp"
+#include "net/tcp_transport.hpp"
+#include "obs/metrics.hpp"
+#include "obs/stats_bridge.hpp"
+#include "protocol/timed_serial_cache.hpp"
+
+namespace {
+
+using namespace timedc;
+
+// Client network site ids. Shard sites are 0..S-1 and must not collide;
+// beyond that, a fresh invocation must not RE-USE site ids a previous run
+// presented to the same server: write dedup is keyed by (site, request_id),
+// so a new process restarting request ids at 1 under an old identity looks
+// like a stream of stale retransmissions and is silently dropped. Each run
+// therefore claims a pid-derived 4096-wide band by default (--site-base
+// overrides, e.g. to make captured traces reproducible byte-for-byte).
+constexpr std::uint32_t kClientSiteBase = 1000;
+
+std::uint32_t auto_site_base() {
+  return kClientSiteBase +
+         (static_cast<std::uint32_t>(::getpid()) & 0xFFFF) * 4096;
+}
+
+struct Options {
+  std::vector<std::uint16_t> ports;
+  std::size_t threads = 2;
+  std::size_t clients = 8;  // per thread
+  std::int64_t duration_s = 5;
+  std::uint64_t ops = 0;  // per client; 0 = run for duration
+  int write_pct = 10;
+  std::size_t objects = 64;
+  // First object id. A capture run (--history-out) meant for an EXACT
+  // timedc-check verdict must target objects no other client ever wrote:
+  // a read returning an untraced writer's value has no writer inside the
+  // captured history and can serialize nowhere. Point --object-base at a
+  // fresh range (or use a fresh server) for checkable traces.
+  std::uint32_t object_base = 0;
+  double zipf = 0.9;
+  std::int64_t delta_us = 20000;
+  std::int64_t think_us = 0;
+  std::uint64_t seed = 42;
+  std::uint32_t site_base = 0;  // 0 = derive from pid (auto_site_base)
+  std::string metrics_out;
+  std::string history_out;
+  double min_ops_per_sec = 0;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --ports p0[,p1,...] [--threads T] [--clients C]\n"
+      "          [--duration-s S | --ops N] [--write-pct P] [--objects K]\n"
+      "          [--object-base B]\n"
+      "          [--zipf E] [--delta-us D] [--think-us U] [--seed S]\n"
+      "          [--site-base B] [--metrics-out FILE] [--history-out FILE]\n"
+      "          [--min-ops-per-sec X]\n",
+      argv0);
+  return 2;
+}
+
+bool parse_ports(const std::string& arg, std::vector<std::uint16_t>& out) {
+  std::size_t at = 0;
+  while (at < arg.size()) {
+    std::size_t comma = arg.find(',', at);
+    if (comma == std::string::npos) comma = arg.size();
+    const int port = std::atoi(arg.substr(at, comma - at).c_str());
+    if (port <= 0 || port > 65535) return false;
+    out.push_back(static_cast<std::uint16_t>(port));
+    at = comma + 1;
+  }
+  return !out.empty();
+}
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--ports") {
+      if ((v = next()) == nullptr || !parse_ports(v, opt.ports)) return false;
+    } else if (arg == "--threads") {
+      if ((v = next()) == nullptr) return false;
+      opt.threads = static_cast<std::size_t>(std::atol(v));
+    } else if (arg == "--clients") {
+      if ((v = next()) == nullptr) return false;
+      opt.clients = static_cast<std::size_t>(std::atol(v));
+    } else if (arg == "--duration-s") {
+      if ((v = next()) == nullptr) return false;
+      opt.duration_s = std::atoll(v);
+    } else if (arg == "--ops") {
+      if ((v = next()) == nullptr) return false;
+      opt.ops = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--write-pct") {
+      if ((v = next()) == nullptr) return false;
+      opt.write_pct = std::atoi(v);
+    } else if (arg == "--objects") {
+      if ((v = next()) == nullptr) return false;
+      opt.objects = static_cast<std::size_t>(std::atol(v));
+    } else if (arg == "--object-base") {
+      if ((v = next()) == nullptr) return false;
+      opt.object_base = static_cast<std::uint32_t>(std::atoll(v));
+    } else if (arg == "--zipf") {
+      if ((v = next()) == nullptr) return false;
+      opt.zipf = std::atof(v);
+    } else if (arg == "--delta-us") {
+      if ((v = next()) == nullptr) return false;
+      opt.delta_us = std::atoll(v);
+    } else if (arg == "--think-us") {
+      if ((v = next()) == nullptr) return false;
+      opt.think_us = std::atoll(v);
+    } else if (arg == "--seed") {
+      if ((v = next()) == nullptr) return false;
+      opt.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--site-base") {
+      if ((v = next()) == nullptr) return false;
+      opt.site_base = static_cast<std::uint32_t>(std::atoll(v));
+    } else if (arg == "--metrics-out") {
+      if ((v = next()) == nullptr) return false;
+      opt.metrics_out = v;
+    } else if (arg == "--history-out") {
+      if ((v = next()) == nullptr) return false;
+      opt.history_out = v;
+    } else if (arg == "--min-ops-per-sec") {
+      if ((v = next()) == nullptr) return false;
+      opt.min_ops_per_sec = std::atof(v);
+    } else {
+      return false;
+    }
+  }
+  return !opt.ports.empty() && opt.threads >= 1 && opt.clients >= 1 &&
+         opt.objects >= 1 && opt.write_pct >= 0 && opt.write_pct <= 100 &&
+         (opt.duration_s > 0 || opt.ops > 0) &&
+         (opt.site_base == 0 || opt.site_base >= opt.ports.size());
+}
+
+/// One recorded operation of the global history.
+struct OpRecord {
+  std::uint32_t site;  // global client index (history site)
+  bool is_write;
+  ObjectId object;
+  Value value;
+  std::int64_t time_us;  // issue time (writes) / completion time (reads)
+};
+
+/// One worker thread: an EventLoop, a TcpTransport and `clients` closed-loop
+/// TSC clients. All mutable state is loop-thread-confined; main reads it
+/// only after join().
+class Worker {
+ public:
+  Worker(const Options& opt, std::size_t index)
+      : opt_(opt),
+        index_(index),
+        transport_(loop_, SimTime::millis(100)),
+        zipf_(opt.objects, opt.zipf) {
+    for (std::size_t s = 0; s < opt_.ports.size(); ++s) {
+      transport_.add_route(SiteId{static_cast<std::uint32_t>(s)}, "127.0.0.1",
+                           opt_.ports[s]);
+    }
+    const std::size_t num_shards = opt_.ports.size();
+    clients_.reserve(opt_.clients);
+    state_.resize(opt_.clients);
+    for (std::size_t k = 0; k < opt_.clients; ++k) {
+      const std::uint32_t global = global_index(k);
+      auto client = std::make_unique<TimedSerialCache>(
+          transport_, SiteId{opt_.site_base + global}, SiteId{0}, &clock_,
+          SimTime::micros(opt_.delta_us), /*mark_old=*/true, MessageSizes{});
+      client->set_route([num_shards](ObjectId object) {
+        return SiteId{
+            static_cast<std::uint32_t>(object.value % num_shards)};
+      });
+      client->attach();
+      state_[k].rng = Rng::stream(opt_.seed, global);
+      clients_.push_back(std::move(client));
+    }
+  }
+
+  void start() {
+    thread_ = std::thread([this] {
+      deadline_ = loop_.now() + SimTime::seconds(
+                                    opt_.duration_s > 0 ? opt_.duration_s
+                                                        : 3600);
+      for (std::size_t k = 0; k < opt_.clients; ++k) issue(k);
+      loop_.run();
+    });
+  }
+
+  void join() { thread_.join(); }
+
+  const std::vector<OpRecord>& records() const { return records_; }
+  const std::vector<std::int64_t>& latencies() const { return latencies_; }
+  CacheStats total_cache_stats() const {
+    CacheStats total;
+    for (const auto& c : clients_) total += c->stats();
+    return total;
+  }
+  const net::TcpTransportStats& transport_stats() const {
+    return transport_.stats();
+  }
+
+ private:
+  struct ClientState {
+    Rng rng{0};
+    std::uint64_t issued = 0;
+    std::uint64_t value_seq = 0;
+    std::int64_t issued_at_us = 0;
+    bool done = false;
+  };
+
+  std::uint32_t global_index(std::size_t k) const {
+    return static_cast<std::uint32_t>(index_ * opt_.clients + k);
+  }
+
+  void issue(std::size_t k) {
+    ClientState& st = state_[k];
+    if ((opt_.ops > 0 && st.issued >= opt_.ops) ||
+        (opt_.duration_s > 0 && loop_.now() >= deadline_)) {
+      st.done = true;
+      if (++done_clients_ == opt_.clients) loop_.stop();
+      return;
+    }
+    ++st.issued;
+    const ObjectId object{
+        opt_.object_base + static_cast<std::uint32_t>(zipf_.sample(st.rng))};
+    const bool is_write =
+        st.rng.uniform_int(0, 99) < static_cast<std::int64_t>(opt_.write_pct);
+    st.issued_at_us = loop_.now().as_micros();
+    const std::uint32_t site = global_index(k);
+    if (is_write) {
+      const Value value{
+          (static_cast<std::int64_t>(site + 1) << 32) +
+          static_cast<std::int64_t>(++st.value_seq)};
+      clients_[k]->write(object, value, [this, k, site, object, value](SimTime) {
+        // Writes enter the history at issue time: that is the client_time
+        // the server's last-writer-wins ordering used.
+        complete(k, OpRecord{site, true, object, value, state_[k].issued_at_us});
+      });
+    } else {
+      clients_[k]->read(object, [this, k, site, object](Value v, SimTime at) {
+        complete(k, OpRecord{site, false, object, v, at.as_micros()});
+      });
+    }
+  }
+
+  void complete(std::size_t k, OpRecord record) {
+    latencies_.push_back(loop_.now().as_micros() - state_[k].issued_at_us);
+    records_.push_back(record);
+    // Re-issue through the loop, never synchronously: a chain of cache hits
+    // would otherwise recurse completion -> issue -> completion unboundedly.
+    if (opt_.think_us > 0) {
+      loop_.run_after(SimTime::micros(opt_.think_us), [this, k] { issue(k); });
+    } else {
+      loop_.post([this, k] { issue(k); });
+    }
+  }
+
+  const Options& opt_;
+  std::size_t index_;
+  net::EventLoop loop_;
+  net::TcpTransport transport_;
+  PerfectClock clock_;
+  ZipfDistribution zipf_;
+  std::vector<std::unique_ptr<TimedSerialCache>> clients_;
+  std::vector<ClientState> state_;
+  std::vector<OpRecord> records_;
+  std::vector<std::int64_t> latencies_;
+  SimTime deadline_;
+  std::size_t done_clients_ = 0;
+  std::thread thread_;
+};
+
+std::int64_t percentile(std::vector<std::int64_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const std::size_t at = std::min(
+      sorted.size() - 1,
+      static_cast<std::size_t>(p * static_cast<double>(sorted.size())));
+  return sorted[at];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) return usage(argv[0]);
+  if (opt.site_base == 0) opt.site_base = auto_site_base();
+
+  std::vector<std::unique_ptr<Worker>> workers;
+  workers.reserve(opt.threads);
+  for (std::size_t t = 0; t < opt.threads; ++t) {
+    workers.push_back(std::make_unique<Worker>(opt, t));
+  }
+  timespec t0;
+  clock_gettime(CLOCK_MONOTONIC, &t0);
+  for (auto& w : workers) w->start();
+  for (auto& w : workers) w->join();
+  timespec t1;
+  clock_gettime(CLOCK_MONOTONIC, &t1);
+  const double elapsed_s =
+      static_cast<double>(t1.tv_sec - t0.tv_sec) +
+      static_cast<double>(t1.tv_nsec - t0.tv_nsec) / 1e9;
+
+  // Merge per-thread op records into the global history. Each history site
+  // is owned by exactly one thread, so per-site order is append order;
+  // equal-microsecond neighbors are bumped to keep per-site times strictly
+  // increasing (History invariant).
+  const std::size_t num_clients = opt.threads * opt.clients;
+  std::uint64_t total_ops = 0;
+  HistoryBuilder builder(num_clients);
+  std::vector<std::int64_t> last_time(num_clients, -1);
+  for (const auto& w : workers) {
+    for (const OpRecord& r : w->records()) {
+      ++total_ops;
+      std::int64_t t = std::max(r.time_us, last_time[r.site] + 1);
+      last_time[r.site] = t;
+      if (r.is_write) {
+        builder.write(SiteId{r.site}, r.object, r.value, SimTime::micros(t));
+      } else {
+        builder.read(SiteId{r.site}, r.object, r.value, SimTime::micros(t));
+      }
+    }
+  }
+  const History history = builder.build();
+
+  std::vector<std::int64_t> latencies;
+  for (const auto& w : workers) {
+    latencies.insert(latencies.end(), w->latencies().begin(),
+                     w->latencies().end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const double ops_per_sec =
+      elapsed_s > 0 ? static_cast<double>(total_ops) / elapsed_s : 0;
+
+  // Def-1 staleness of every read, judged against the configured Delta.
+  const std::vector<ReadStaleness> staleness = per_read_staleness(history);
+  Histogram staleness_hist = Histogram::time_us();
+  std::uint64_t late_reads = 0;
+  for (const ReadStaleness& s : staleness) {
+    staleness_hist.record(s.staleness.as_micros());
+    if (s.staleness > SimTime::micros(opt.delta_us)) ++late_reads;
+  }
+  Histogram latency_hist = Histogram::time_us();
+  for (const std::int64_t l : latencies) latency_hist.record(l);
+
+  MetricsRegistry reg;
+  reg.set_counter("load.ops", total_ops);
+  reg.set_counter("load.reads", staleness.size());
+  reg.set_counter("load.writes", total_ops - staleness.size());
+  reg.set_counter("load.reads_late", late_reads);
+  CacheStats cache_total;
+  net::TcpTransportStats net_total;
+  for (const auto& w : workers) {
+    const CacheStats cs = w->total_cache_stats();
+    cache_total += cs;
+    const net::TcpTransportStats& ts = w->transport_stats();
+    net_total.frames_sent += ts.frames_sent;
+    net_total.frames_received += ts.frames_received;
+    net_total.connections_dialed += ts.connections_dialed;
+    net_total.decode_errors += ts.decode_errors;
+    net_total.unroutable += ts.unroutable;
+  }
+  publish_cache_stats(reg, "client", cache_total);
+  reg.set_counter("net.frames_sent", net_total.frames_sent);
+  reg.set_counter("net.frames_received", net_total.frames_received);
+  reg.set_counter("net.connections_dialed", net_total.connections_dialed);
+  reg.set_counter("net.decode_errors", net_total.decode_errors);
+  reg.set_counter("net.unroutable", net_total.unroutable);
+  reg.set_gauge("load.ops_per_sec", ops_per_sec);
+  reg.set_gauge("load.elapsed_s", elapsed_s);
+  reg.set_gauge("load.delta_us", static_cast<double>(opt.delta_us));
+  reg.add_histogram("latency_us", latency_hist);
+  reg.add_histogram("staleness_us", staleness_hist);
+
+  if (!opt.metrics_out.empty()) {
+    std::ofstream out(opt.metrics_out);
+    out << reg.to_json(2) << "\n";
+  }
+  if (!opt.history_out.empty()) {
+    std::ofstream out(opt.history_out);
+    out << write_trace(history);
+  }
+
+  std::printf(
+      "timedc-load: %llu ops in %.2fs = %.0f ops/s | latency p50 %lld us "
+      "p99 %lld us max %lld us | reads %zu late %llu (Delta %lld us) | "
+      "hit ratio %.2f\n",
+      static_cast<unsigned long long>(total_ops), elapsed_s, ops_per_sec,
+      static_cast<long long>(percentile(latencies, 0.50)),
+      static_cast<long long>(percentile(latencies, 0.99)),
+      static_cast<long long>(latencies.empty() ? 0 : latencies.back()),
+      staleness.size(), static_cast<unsigned long long>(late_reads),
+      static_cast<long long>(opt.delta_us), cache_total.hit_ratio());
+
+  if (opt.min_ops_per_sec > 0 && ops_per_sec < opt.min_ops_per_sec) {
+    std::fprintf(stderr, "FAIL: %.0f ops/s below the %.0f ops/s floor\n",
+                 ops_per_sec, opt.min_ops_per_sec);
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,201 @@
+// timedc-server: the lifetime-cache ObjectServer on real TCP ports.
+//
+// Hosts one or more ObjectServer shards (hash-partitioned object ownership,
+// exactly the cluster layout of the sim experiments), each on its own
+// 127.0.0.1 port with its own EventLoop thread and TcpTransport. Clients
+// route requests to the owning shard by object id (object % shards);
+// inter-shard routes exist so a misrouted request is forwarded server-side
+// just as in the sim.
+//
+// Prints "LISTENING <port0> <port1> ..." on stdout once all shards are
+// bound — harnesses (tests/net_loopback_test.cpp, ci) parse this line.
+// Runs until SIGINT/SIGTERM or --duration-s, then writes a metrics JSON
+// snapshot (per-shard ServerStats + transport counters) to --metrics-out.
+//
+// Usage:
+//   timedc-server [--port 0] [--shards 1] [--lease-us 0]
+//                 [--push none|invalidate|update] [--duration-s 0]
+//                 [--metrics-out FILE]
+#include <signal.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/event_loop.hpp"
+#include "net/tcp_transport.hpp"
+#include "obs/metrics.hpp"
+#include "obs/stats_bridge.hpp"
+#include "protocol/server.hpp"
+
+namespace {
+
+using namespace timedc;
+
+struct Options {
+  std::uint16_t port = 0;  // base port; 0 = ephemeral per shard
+  std::size_t shards = 1;
+  std::int64_t lease_us = 0;
+  PushPolicy push = PushPolicy::kNone;
+  std::int64_t duration_s = 0;  // 0 = until SIGINT/SIGTERM
+  std::string metrics_out;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--port P] [--shards N] [--lease-us L]\n"
+               "          [--push none|invalidate|update] [--duration-s S]\n"
+               "          [--metrics-out FILE]\n",
+               argv0);
+  return 2;
+}
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (arg == "--port") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.port = static_cast<std::uint16_t>(std::atoi(v));
+    } else if (arg == "--shards") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.shards = static_cast<std::size_t>(std::atol(v));
+    } else if (arg == "--lease-us") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.lease_us = std::atoll(v);
+    } else if (arg == "--push") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      if (std::strcmp(v, "none") == 0) {
+        opt.push = PushPolicy::kNone;
+      } else if (std::strcmp(v, "invalidate") == 0) {
+        opt.push = PushPolicy::kInvalidate;
+      } else if (std::strcmp(v, "update") == 0) {
+        opt.push = PushPolicy::kUpdate;
+      } else {
+        return false;
+      }
+    } else if (arg == "--duration-s") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.duration_s = std::atoll(v);
+    } else if (arg == "--metrics-out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.metrics_out = v;
+    } else {
+      return false;
+    }
+  }
+  return opt.shards >= 1;
+}
+
+struct Shard {
+  std::unique_ptr<net::EventLoop> loop;
+  std::unique_ptr<net::TcpTransport> transport;
+  std::unique_ptr<ObjectServer> server;
+  std::thread thread;
+  std::uint16_t port = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) return usage(argv[0]);
+
+  // Block the shutdown signals before any thread exists so every loop
+  // thread inherits the mask and only main consumes them.
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGINT);
+  sigaddset(&sigs, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+  std::vector<SiteId> cluster;
+  cluster.reserve(opt.shards);
+  for (std::size_t i = 0; i < opt.shards; ++i) {
+    cluster.push_back(SiteId{static_cast<std::uint32_t>(i)});
+  }
+
+  ServerConfig config;
+  config.lease_duration = SimTime::micros(opt.lease_us);
+
+  // Bind every shard first (the loops are not running yet), so ephemeral
+  // ports are known before inter-shard routes are added.
+  std::vector<Shard> shards(opt.shards);
+  for (std::size_t i = 0; i < opt.shards; ++i) {
+    Shard& s = shards[i];
+    s.loop = std::make_unique<net::EventLoop>();
+    s.transport = std::make_unique<net::TcpTransport>(*s.loop);
+    const std::uint16_t want =
+        opt.port == 0 ? 0 : static_cast<std::uint16_t>(opt.port + i);
+    s.port = s.transport->listen(want);
+    s.server = std::make_unique<ObjectServer>(
+        *s.transport, cluster[i], opt.shards, opt.push, MessageSizes{},
+        opt.shards > 1 ? cluster : std::vector<SiteId>{}, config);
+    s.server->attach();
+  }
+  for (std::size_t i = 0; i < opt.shards; ++i) {
+    for (std::size_t j = 0; j < opt.shards; ++j) {
+      if (i == j) continue;
+      shards[i].transport->add_route(cluster[j], "127.0.0.1", shards[j].port);
+    }
+  }
+
+  for (Shard& s : shards) {
+    s.thread = std::thread([&s] { s.loop->run(); });
+  }
+
+  std::printf("LISTENING");
+  for (const Shard& s : shards) std::printf(" %u", s.port);
+  std::printf("\n");
+  std::fflush(stdout);
+
+  if (opt.duration_s > 0) {
+    timespec deadline{opt.duration_s, 0};
+    sigtimedwait(&sigs, nullptr, &deadline);  // early signal also stops us
+  } else {
+    int got = 0;
+    sigwait(&sigs, &got);
+  }
+
+  for (Shard& s : shards) {
+    net::TcpTransport* transport = s.transport.get();
+    s.loop->post([transport] { transport->close_all(); });
+    s.loop->stop();
+    s.thread.join();
+  }
+
+  MetricsRegistry reg;
+  for (std::size_t i = 0; i < opt.shards; ++i) {
+    const std::string prefix = "server." + std::to_string(i);
+    publish_server_stats(reg, prefix, shards[i].server->stats());
+    const net::TcpTransportStats& t = shards[i].transport->stats();
+    reg.add_counter(prefix + ".net.frames_received", t.frames_received);
+    reg.add_counter(prefix + ".net.frames_sent", t.frames_sent);
+    reg.add_counter(prefix + ".net.connections_accepted",
+                    t.connections_accepted);
+    reg.add_counter(prefix + ".net.decode_errors", t.decode_errors);
+    reg.add_counter(prefix + ".net.unroutable", t.unroutable);
+  }
+  const std::string json = reg.to_json(2);
+  if (!opt.metrics_out.empty()) {
+    std::ofstream out(opt.metrics_out);
+    out << json << "\n";
+  } else {
+    std::cout << json << "\n";
+  }
+  return 0;
+}
