@@ -5,6 +5,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cstdio>
+
 #include "common/assert.hpp"
 
 namespace timedc::net {
@@ -87,6 +89,12 @@ void Connection::handle_writable() {
       return;
     }
     connecting_ = false;
+    if (on_connected_) {
+      ConnectedHandler h = std::move(on_connected_);
+      on_connected_ = nullptr;
+      h(*this);
+      if (closed()) return;
+    }
   }
   flush();
 }
@@ -123,6 +131,18 @@ void Connection::send_frame(SiteId from, SiteId to, const Message& m) {
   if (closed()) return;
   wire::encode_frame(from, to, m, wbuf_);
   ++stats_.frames_sent;
+  append_and_flush();
+}
+
+void Connection::send_heartbeat(SiteId from, SiteId to,
+                                const wire::Heartbeat& hb) {
+  if (closed()) return;
+  wire::encode_heartbeat_frame(from, to, hb, wbuf_);
+  ++stats_.frames_sent;
+  append_and_flush();
+}
+
+void Connection::append_and_flush() {
   flush();
   if (pending_write_bytes() > kHighWatermark && !reading_paused_) {
     // Backpressure: stop accepting input from a peer we cannot answer.
@@ -164,6 +184,7 @@ void Connection::decode_buffered() {
     if (frame.status == wire::DecodeStatus::kNeedMore) break;
     if (!frame.ok()) {
       decode_failure_ = frame.status;
+      log_decode_failure(frame.status, pending);
       close(wire::to_cstring(frame.status));
       return;
     }
@@ -179,6 +200,33 @@ void Connection::decode_buffered() {
     rbuf_.erase(rbuf_.begin(), rbuf_.begin() + static_cast<std::ptrdiff_t>(rconsumed_));
     rconsumed_ = 0;
   }
+}
+
+void Connection::log_decode_failure(wire::DecodeStatus status,
+                                    std::span<const std::uint8_t> bad) const {
+  // Best-effort header fields from whatever bytes are present; a decode
+  // failure closes the connection, so this fires at most once per
+  // connection. The values are read defensively — they may be garbage,
+  // that is the point of printing them.
+  auto u16_at = [&](std::size_t at) -> unsigned {
+    return bad.size() >= at + 2
+        ? static_cast<unsigned>(bad[at]) | static_cast<unsigned>(bad[at + 1]) << 8
+        : 0u;
+  };
+  auto u32_at = [&](std::size_t at) -> unsigned long {
+    if (bad.size() < at + 4) return 0;
+    unsigned long v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<unsigned long>(bad[at + i]) << (8 * i);
+    return v;
+  };
+  std::fprintf(stderr,
+               "timedc-net: fd %d decode error %s "
+               "(magic=0x%04x version=%u type=%u from=%lu to=%lu body_len=%lu "
+               "buffered=%zu)\n",
+               fd_, wire::to_cstring(status), u16_at(0),
+               bad.size() >= 3 ? static_cast<unsigned>(bad[2]) : 0u,
+               bad.size() >= 4 ? static_cast<unsigned>(bad[3]) : 0u,
+               u32_at(4), u32_at(8), u32_at(12), bad.size());
 }
 
 }  // namespace timedc::net

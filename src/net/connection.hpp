@@ -34,6 +34,9 @@ class Connection {
   using FrameHandler = std::function<void(Connection&, wire::DecodedFrame&)>;
   /// Fired exactly once, on EOF, socket error, decode error or close().
   using CloseHandler = std::function<void(Connection&, const char* reason)>;
+  /// Fired once when an in-progress non-blocking connect() completes
+  /// successfully (never for already-connected fds; see set_connected_handler).
+  using ConnectedHandler = std::function<void(Connection&)>;
 
   static constexpr std::size_t kHighWatermark = 4u << 20;
   static constexpr std::size_t kLowWatermark = 512u << 10;
@@ -48,13 +51,25 @@ class Connection {
   /// Register with the loop and start delivering frames.
   void start(FrameHandler on_frame, CloseHandler on_close);
 
+  /// Observe successful completion of a non-blocking connect(). Only
+  /// meaningful on connections constructed with connecting=true; must be
+  /// set before the connect can complete (i.e. right after start()).
+  void set_connected_handler(ConnectedHandler on_connected) {
+    on_connected_ = std::move(on_connected);
+  }
+
   /// Queue one frame; flushes as far as the socket allows.
   void send_frame(SiteId from, SiteId to, const Message& m);
+
+  /// Queue one transport-level heartbeat frame.
+  void send_heartbeat(SiteId from, SiteId to, const wire::Heartbeat& hb);
 
   /// Deregister and close the fd; fires the close handler (once).
   void close(const char* reason);
 
   bool closed() const { return fd_ < 0; }
+  bool connecting() const { return connecting_; }
+  bool reading_paused() const { return reading_paused_; }
   std::size_t pending_write_bytes() const { return wbuf_.size() - wsent_; }
   const ConnectionStats& stats() const { return stats_; }
   int fd() const { return fd_; }
@@ -68,8 +83,11 @@ class Connection {
   void handle_readable();
   void handle_writable();
   void decode_buffered();
+  void log_decode_failure(wire::DecodeStatus status,
+                          std::span<const std::uint8_t> bad) const;
   void flush();
   void update_interest();
+  void append_and_flush();
 
   EventLoop& loop_;
   int fd_;
@@ -84,6 +102,7 @@ class Connection {
 
   FrameHandler on_frame_;
   CloseHandler on_close_;
+  ConnectedHandler on_connected_;
   ConnectionStats stats_;
   wire::DecodeStatus decode_failure_ = wire::DecodeStatus::kOk;
 };

@@ -79,14 +79,23 @@ void EventLoop::post(std::function<void()> fn) {
   wake();
 }
 
-void EventLoop::run_after(SimTime delay, std::function<void()> fn) {
+EventLoop::TimerId EventLoop::run_after(SimTime delay, std::function<void()> fn) {
   TIMEDC_ASSERT(!delay.is_infinite());
   const std::int64_t deadline = steady_now_us() + std::max<std::int64_t>(0, delay.as_micros());
+  TimerId id;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    timers_.push(Timer{deadline, next_timer_seq_++, std::move(fn)});
+    id = next_timer_seq_++;
+    timers_.push(Timer{deadline, id, std::move(fn)});
+    live_timers_.insert(id);
   }
   wake();
+  return id;
+}
+
+bool EventLoop::cancel_timer(TimerId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return live_timers_.erase(id) != 0;
 }
 
 void EventLoop::stop() {
@@ -110,10 +119,16 @@ void EventLoop::fire_due_timers() {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (timers_.empty() || timers_.top().deadline_steady_us > now) return;
-      fn = std::move(const_cast<Timer&>(timers_.top()).fn);
+      const std::uint64_t seq = timers_.top().seq;
+      // A seq no longer in live_timers_ was cancelled; drop it unfired. The
+      // timer is marked fired (erased) before its callback runs, so a timer
+      // cancelling itself from inside its own callback is a clean no-op.
+      if (live_timers_.erase(seq) != 0) {
+        fn = std::move(const_cast<Timer&>(timers_.top()).fn);
+      }
       timers_.pop();
     }
-    fn();
+    if (fn) fn();
   }
 }
 

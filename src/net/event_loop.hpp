@@ -19,6 +19,7 @@
 #include <queue>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/sim_time.hpp"
@@ -44,10 +45,22 @@ class EventLoop {
   /// blocked epoll_wait.
   void post(std::function<void()> fn);
 
+  /// Identifies one pending run_after timer. Never reused.
+  using TimerId = std::uint64_t;
+
   /// Run `fn` once, `delay` from now, on the loop thread. Thread-safe.
   /// Deadlines are tracked on CLOCK_MONOTONIC so wall-clock jumps cannot
-  /// fire timers early or stall them.
-  void run_after(SimTime delay, std::function<void()> fn);
+  /// fire timers early or stall them. The returned id cancels the timer via
+  /// cancel_timer(); it stays valid (as a no-op) after the timer fires.
+  TimerId run_after(SimTime delay, std::function<void()> fn);
+
+  /// Prevent a pending timer from firing. Returns true if the timer was
+  /// still pending (it will now never run), false if it already fired or
+  /// was already cancelled. Thread-safe, and safe from inside the timer's
+  /// own callback (a timer cancelling itself mid-fire returns false — it is
+  /// no longer pending by then). Cancellation is lazy: the heap entry stays
+  /// until its deadline, where it pops as a no-op.
+  bool cancel_timer(TimerId id);
 
   /// Wall-clock time (CLOCK_REALTIME) in microseconds. Real deployments of
   /// the timed protocols compare timestamps across processes, so the time
@@ -93,9 +106,12 @@ class EventLoop {
 
   std::unordered_map<int, FdCallback> fds_;
 
-  std::mutex mutex_;  // guards posted_ and timers_
+  std::mutex mutex_;  // guards posted_, timers_ and live_timers_
   std::vector<std::function<void()>> posted_;
   std::priority_queue<Timer, std::vector<Timer>, TimerLater> timers_;
+  /// Seqs of timers that are pending and not cancelled; a popped entry
+  /// absent from this set was cancelled and is skipped.
+  std::unordered_set<std::uint64_t> live_timers_;
   std::uint64_t next_timer_seq_ = 0;
 };
 

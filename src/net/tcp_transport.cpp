@@ -8,6 +8,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstring>
 #include <utility>
 
@@ -37,6 +38,16 @@ sockaddr_in loopback_addr(const std::string& host, std::uint16_t port) {
 }
 
 }  // namespace
+
+const char* to_cstring(ConnectionState s) {
+  switch (s) {
+    case ConnectionState::kConnecting: return "connecting";
+    case ConnectionState::kHealthy: return "healthy";
+    case ConnectionState::kBackoff: return "backoff";
+    case ConnectionState::kDead: return "dead";
+  }
+  return "unknown";
+}
 
 TcpTransport::TcpTransport(EventLoop& loop, SimTime latency_bound)
     : loop_(loop), latency_bound_(latency_bound) {}
@@ -96,6 +107,40 @@ void TcpTransport::add_route(SiteId site, std::string host,
   routes_[site.value] = Route{std::move(host), port};
 }
 
+void TcpTransport::set_supervision(SupervisionConfig config) {
+  TIMEDC_ASSERT(config.backoff_jitter >= 0.0 && config.backoff_jitter < 1.0);
+  TIMEDC_ASSERT(config.dead_after_failures >= 1);
+  supervision_ = std::move(config);
+  backoff_rng_ = Rng(supervision_.seed);
+}
+
+SimTime TcpTransport::liveness_timeout() const {
+  if (supervision_.liveness_timeout > SimTime::zero()) {
+    return supervision_.liveness_timeout;
+  }
+  // Two missed ping/pong round trips. An infinite (unpromised) latency
+  // bound is clamped so the deadline stays finite.
+  const SimTime lat = latency_bound_.is_infinite()
+      ? SimTime::seconds(1)
+      : std::min(latency_bound_, SimTime::seconds(1));
+  return SimTime::micros(2 * supervision_.heartbeat_interval.as_micros() +
+                         2 * lat.as_micros());
+}
+
+ConnectionState TcpTransport::connection_state(SiteId site) const {
+  const auto it = peers_.find(site.value);
+  if (it == peers_.end()) return ConnectionState::kHealthy;
+  return it->second.state;
+}
+
+const TcpTransportStats& TcpTransport::stats() const {
+  stats_.peers_by_state = {};
+  for (const auto& [site, peer] : peers_) {
+    ++stats_.peers_by_state[static_cast<std::size_t>(peer.state)];
+  }
+  return stats_;
+}
+
 void TcpTransport::register_site(SiteId self, MessageHandler handler) {
   handlers_[self.value] = std::move(handler);
 }
@@ -139,6 +184,10 @@ void TcpTransport::send_message(SiteId from, SiteId to, Message m,
     });
     return;
   }
+  if (supervision_.enabled && routes_.find(to.value) != routes_.end()) {
+    supervised_send(from, to, std::move(m));
+    return;
+  }
   Connection* conn = connection_to(to);
   if (conn == nullptr) {
     ++stats_.unroutable;
@@ -148,7 +197,213 @@ void TcpTransport::send_message(SiteId from, SiteId to, Message m,
   conn->send_frame(from, to, m);
 }
 
+// --- supervision ------------------------------------------------------------
+
+void TcpTransport::transition(SiteId site, Peer& peer, ConnectionState next) {
+  if (peer.state == next) return;
+  const ConnectionState prev = peer.state;
+  peer.state = next;
+  if (next == ConnectionState::kDead) ++stats_.peers_marked_dead;
+  if (on_peer_state_) on_peer_state_(site, prev, next);
+}
+
+void TcpTransport::supervised_send(SiteId from, SiteId to, Message m) {
+  auto [it, created] = peers_.try_emplace(to.value);
+  Peer& peer = it->second;
+  if (created) {
+    start_dial(to);
+  }
+  switch (peer.state) {
+    case ConnectionState::kHealthy:
+      ++stats_.frames_sent;
+      peer.conn->send_frame(from, to, m);
+      return;
+    case ConnectionState::kConnecting:
+    case ConnectionState::kBackoff:
+      enqueue_frame(peer, from, to, std::move(m));
+      return;
+    case ConnectionState::kDead:
+      // The caller was told via peer_reachable(); anything still sent here
+      // is dropped so a dead replica cannot absorb the retry budget.
+      ++stats_.frames_dropped_peer_dead;
+      return;
+  }
+}
+
+void TcpTransport::enqueue_frame(Peer& peer, SiteId from, SiteId to,
+                                 Message m) {
+  if (peer.queue.size() >= supervision_.max_queued_frames) {
+    // Drop the oldest: its RPC timeout has the best chance of already
+    // having fired, and the retry layer re-issues it if not.
+    peer.queue.pop_front();
+    ++stats_.frames_dropped_queue_full;
+  }
+  peer.queue.push_back(QueuedFrame{from, to, std::move(m)});
+  ++stats_.frames_queued;
+}
+
+void TcpTransport::start_dial(SiteId site) {
+  Peer& peer = peers_.at(site.value);
+  const auto route_it = routes_.find(site.value);
+  TIMEDC_ASSERT(route_it != routes_.end());
+  transition(site, peer, ConnectionState::kConnecting);
+  const std::uint64_t generation = ++peer.generation;
+  if (peer.failures > 0) ++stats_.reconnect_attempts;
+
+  const int fd = make_tcp_socket();
+  sockaddr_in addr = loopback_addr(route_it->second.host, route_it->second.port);
+  const int rc =
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    ::close(fd);
+    ++peer.failures;
+    schedule_backoff(site);
+    return;
+  }
+  ++stats_.connections_dialed;
+  const bool connecting = rc != 0;
+  auto conn = std::make_shared<Connection>(loop_, fd, connecting);
+  Connection* raw = conn.get();
+  adopt(std::move(conn));
+  conn_site_[raw] = site.value;
+  peer.conn = raw;
+  if (!connecting) {
+    on_supervised_connected(site);
+    return;
+  }
+  raw->set_connected_handler(
+      [this, site](Connection&) { on_supervised_connected(site); });
+  loop_.run_after(supervision_.dial_timeout, [this, site, generation]() {
+    const auto it = peers_.find(site.value);
+    if (it == peers_.end()) return;
+    Peer& p = it->second;
+    if (p.generation != generation ||
+        p.state != ConnectionState::kConnecting || p.conn == nullptr ||
+        !p.conn->connecting()) {
+      return;
+    }
+    ++stats_.dial_timeouts;
+    p.conn->close("dial timeout");  // failure path continues in on_close
+  });
+}
+
+void TcpTransport::on_supervised_connected(SiteId site) {
+  Peer& peer = peers_.at(site.value);
+  if (peer.failures > 0) ++stats_.reconnects;
+  transition(site, peer, ConnectionState::kHealthy);
+  // Fresh liveness epoch: the deadline measures silence on *this*
+  // connection, not the outage that preceded it.
+  peer.last_rx_us = loop_.now().as_micros();
+  while (!peer.queue.empty() && peer.conn != nullptr &&
+         !peer.conn->closed()) {
+    QueuedFrame f = std::move(peer.queue.front());
+    peer.queue.pop_front();
+    ++stats_.frames_sent;
+    ++stats_.frames_requeued;
+    peer.conn->send_frame(f.from, f.to, f.message);
+  }
+  schedule_heartbeat(site, peer.generation);
+}
+
+void TcpTransport::schedule_heartbeat(SiteId site, std::uint64_t generation) {
+  loop_.run_after(supervision_.heartbeat_interval, [this, site, generation]() {
+    const auto it = peers_.find(site.value);
+    if (it == peers_.end()) return;
+    Peer& peer = it->second;
+    if (peer.generation != generation ||
+        peer.state != ConnectionState::kHealthy || peer.conn == nullptr ||
+        peer.conn->closed()) {
+      return;  // superseded: a newer connection runs its own ticker
+    }
+    const std::int64_t now_us = loop_.now().as_micros();
+    if (now_us - peer.last_rx_us > liveness_timeout().as_micros()) {
+      ++stats_.liveness_expiries;
+      peer.conn->close("liveness expired");  // failure path in on_close
+      return;
+    }
+    wire::Heartbeat hb;
+    hb.seq = peer.next_hb_seq++;
+    hb.send_time_us = now_us;
+    hb.reply = false;
+    peer.conn->send_heartbeat(SiteId{0}, site, hb);
+    ++stats_.heartbeats_sent;
+    schedule_heartbeat(site, generation);
+  });
+}
+
+void TcpTransport::schedule_backoff(SiteId site) {
+  Peer& peer = peers_.at(site.value);
+  peer.conn = nullptr;
+  if (shutting_down_) return;
+  const std::uint64_t generation = ++peer.generation;
+  if (peer.failures >= supervision_.dead_after_failures) {
+    transition(site, peer, ConnectionState::kDead);
+    stats_.frames_dropped_peer_dead += peer.queue.size();
+    peer.queue.clear();
+    // A dead peer is still probed, at the backoff cap's cadence, so a
+    // healed partition or restarted server is eventually rediscovered.
+    loop_.run_after(supervision_.backoff_cap, [this, site, generation]() {
+      const auto it = peers_.find(site.value);
+      if (it == peers_.end()) return;
+      Peer& p = it->second;
+      if (p.generation != generation || p.state != ConnectionState::kDead) {
+        return;
+      }
+      start_dial(site);
+    });
+    return;
+  }
+  transition(site, peer, ConnectionState::kBackoff);
+  const int exponent = std::min(std::max(0, peer.failures - 1), 20);
+  std::int64_t delay_us = supervision_.backoff_base.as_micros() << exponent;
+  delay_us = std::min(delay_us, supervision_.backoff_cap.as_micros());
+  if (supervision_.backoff_jitter > 0 && delay_us > 0) {
+    const double f = 1.0 + supervision_.backoff_jitter *
+                               (2.0 * backoff_rng_.uniform01() - 1.0);
+    delay_us = static_cast<std::int64_t>(static_cast<double>(delay_us) * f);
+  }
+  loop_.run_after(SimTime::micros(delay_us), [this, site, generation]() {
+    const auto it = peers_.find(site.value);
+    if (it == peers_.end()) return;
+    Peer& p = it->second;
+    if (p.generation != generation || p.state != ConnectionState::kBackoff) {
+      return;
+    }
+    start_dial(site);
+  });
+}
+
+void TcpTransport::on_supervised_close(SiteId site, Connection& conn) {
+  Peer& peer = peers_.at(site.value);
+  if (peer.conn != &conn) return;  // an older connection's close, already
+                                   // superseded by a newer dial
+  ++peer.failures;
+  schedule_backoff(site);
+}
+
 void TcpTransport::on_frame(Connection& conn, wire::DecodedFrame& frame) {
+  // Any received frame is proof of liveness for the supervised peer this
+  // connection belongs to — and the only thing that resets its
+  // consecutive-failure count (a bare connect success is not proof: a
+  // black-holing peer accepts and then says nothing).
+  const auto sup = conn_site_.find(&conn);
+  if (sup != conn_site_.end()) {
+    const auto peer_it = peers_.find(sup->second);
+    if (peer_it != peers_.end()) {
+      peer_it->second.last_rx_us = loop_.now().as_micros();
+      peer_it->second.failures = 0;
+    }
+  }
+  if (frame.is_heartbeat) {
+    ++stats_.heartbeats_received;
+    if (!frame.heartbeat.reply) {
+      wire::Heartbeat pong = frame.heartbeat;
+      pong.reply = true;
+      conn.send_heartbeat(frame.to, frame.from, pong);
+    }
+    // Transport-internal: no return-path learning, no handler dispatch.
+    return;
+  }
   ++stats_.frames_received;
   // Learn the return path: replies to frame.from leave through this
   // connection (latest arrival wins, so a reconnecting peer takes over).
@@ -164,9 +419,23 @@ void TcpTransport::on_frame(Connection& conn, wire::DecodedFrame& frame) {
 void TcpTransport::on_close(Connection& conn, const char* reason) {
   (void)reason;
   ++stats_.connections_closed;
-  if (conn.decode_failure() != wire::DecodeStatus::kOk) ++stats_.decode_errors;
+  if (conn.decode_failure() != wire::DecodeStatus::kOk) {
+    ++stats_.decode_errors;
+    ++stats_.decode_errors_by_status[static_cast<std::size_t>(
+        conn.decode_failure())];
+  }
+  // Purge every learned return path through this connection: a send to one
+  // of these sites must re-dial or re-learn, never touch a dead pointer.
   for (auto it = peer_conn_.begin(); it != peer_conn_.end();) {
     it = (it->second == &conn) ? peer_conn_.erase(it) : std::next(it);
+  }
+  const auto sup = conn_site_.find(&conn);
+  if (sup != conn_site_.end()) {
+    const SiteId site{sup->second};
+    conn_site_.erase(sup);
+    if (peers_.find(site.value) != peers_.end()) {
+      on_supervised_close(site, conn);
+    }
   }
   const auto it = conns_.find(&conn);
   if (it != conns_.end()) {
@@ -178,17 +447,21 @@ void TcpTransport::on_close(Connection& conn, const char* reason) {
   }
 }
 
+void TcpTransport::stop_listening() {
+  if (listen_fd_ < 0) return;
+  loop_.remove_fd(listen_fd_);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
 void TcpTransport::close_all() {
+  shutting_down_ = true;  // supervised closes must not schedule re-dials
   // close() mutates conns_ through on_close; iterate over a snapshot.
   std::vector<Connection*> open;
   open.reserve(conns_.size());
   for (const auto& [raw, conn] : conns_) open.push_back(raw);
   for (Connection* c : open) c->close("shutdown");
-  if (listen_fd_ >= 0) {
-    loop_.remove_fd(listen_fd_);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
+  stop_listening();
 }
 
 }  // namespace timedc::net

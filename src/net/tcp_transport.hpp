@@ -15,16 +15,67 @@
 // Construction and destruction happen while the loop is not running.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <string>
 #include <unordered_map>
 
+#include "common/rng.hpp"
 #include "net/connection.hpp"
 #include "net/event_loop.hpp"
 #include "net/transport.hpp"
 
 namespace timedc::net {
+
+/// Where a supervised route currently stands. The state machine:
+///
+///   kConnecting --connect ok--> kHealthy --close/liveness--> kBackoff
+///   kConnecting --timeout/refused--> kBackoff --delay--> kConnecting
+///   kBackoff/kConnecting --dead_after_failures consecutive--> kDead
+///   kDead --probe every backoff_cap--> kConnecting
+///
+/// The consecutive-failure counter resets only on the first frame *received*
+/// from the peer (proof of liveness), never on a bare connect success — a
+/// black-holing peer that accepts and then says nothing must still go kDead.
+enum class ConnectionState : std::uint8_t {
+  kConnecting = 0,
+  kHealthy = 1,
+  kBackoff = 2,
+  kDead = 3,
+};
+
+const char* to_cstring(ConnectionState s);
+
+/// Reconnect/heartbeat policy for routed peers. Off by default: with
+/// enabled=false the transport behaves exactly like the pre-supervision
+/// lazy-dial code path.
+struct SupervisionConfig {
+  bool enabled = false;
+  /// A non-blocking connect() still pending after this long is failed.
+  SimTime dial_timeout = SimTime::millis(500);
+  /// Reconnect backoff: base * 2^(failures-1), capped, then jittered by a
+  /// uniform factor in [1-jitter, 1+jitter].
+  SimTime backoff_base = SimTime::millis(50);
+  SimTime backoff_cap = SimTime::seconds(2);
+  double backoff_jitter = 0.25;
+  /// Consecutive failures (without one received frame) before kDead.
+  int dead_after_failures = 6;
+  /// Ping cadence on healthy connections; also the liveness-check cadence.
+  SimTime heartbeat_interval = SimTime::millis(200);
+  /// No frame received for this long closes the connection as dead. Zero
+  /// derives it from the transport's latency_upper_bound():
+  ///   2 * heartbeat_interval + 2 * min(latency_bound, 1s)
+  /// i.e. two missed ping/pong round trips — a known slice of the Delta
+  /// budget rather than an unbounded TCP stall.
+  SimTime liveness_timeout = SimTime::zero();
+  /// Frames buffered per peer while not kHealthy; beyond it the oldest
+  /// queued frame is dropped (the RPC retry layer re-issues it anyway).
+  std::size_t max_queued_frames = 1024;
+  /// Seed for backoff jitter.
+  std::uint64_t seed = 0x7443;
+};
 
 struct TcpTransportStats {
   std::uint64_t frames_sent = 0;
@@ -35,6 +86,24 @@ struct TcpTransportStats {
   std::uint64_t connections_closed = 0;
   std::uint64_t decode_errors = 0;  // connections torn down by bad frames
   std::uint64_t unroutable = 0;     // frames dropped: no route to site
+  /// decode_errors split by wire::DecodeStatus (index = status value); the
+  /// stats bridge publishes these as net.decode_error.<status>.
+  std::array<std::uint64_t, wire::kDecodeStatusCount> decode_errors_by_status{};
+  // Supervision (all zero while SupervisionConfig.enabled is false):
+  std::uint64_t reconnect_attempts = 0;  // re-dials after at least 1 failure
+  std::uint64_t reconnects = 0;          // re-dials that reached kHealthy
+  std::uint64_t dial_timeouts = 0;
+  std::uint64_t heartbeats_sent = 0;
+  std::uint64_t heartbeats_received = 0;
+  std::uint64_t liveness_expiries = 0;   // connections closed as silent
+  std::uint64_t peers_marked_dead = 0;
+  std::uint64_t frames_queued = 0;       // buffered while not kHealthy
+  std::uint64_t frames_requeued = 0;     // flushed after a reconnect
+  std::uint64_t frames_dropped_queue_full = 0;
+  std::uint64_t frames_dropped_peer_dead = 0;
+  /// Current number of supervised peers in each ConnectionState
+  /// (index = state value); refreshed by TcpTransport::stats().
+  std::array<std::uint64_t, 4> peers_by_state{};
 };
 
 class TcpTransport final : public Transport {
@@ -53,8 +122,29 @@ class TcpTransport final : public Transport {
   /// host:port. Replaces any previous route for `site`.
   void add_route(SiteId site, std::string host, std::uint16_t port);
 
+  /// Enable connection supervision (reconnect, heartbeats, liveness) for
+  /// every routed site. Call before traffic flows; loop-thread only.
+  void set_supervision(SupervisionConfig config);
+  const SupervisionConfig& supervision() const { return supervision_; }
+
+  /// The supervised state of the route to `site`. Unsupervised or unknown
+  /// sites report kHealthy (optimistic, matching peer_reachable()).
+  ConnectionState connection_state(SiteId site) const;
+
+  /// Observe supervised state transitions: (site, old, new). For tests and
+  /// tools; fired on the loop thread.
+  using PeerStateHandler =
+      std::function<void(SiteId, ConnectionState, ConnectionState)>;
+  void set_peer_state_handler(PeerStateHandler h) {
+    on_peer_state_ = std::move(h);
+  }
+
+  /// Stop accepting new connections (existing ones keep running). Part of
+  /// graceful drain; loop-thread only.
+  void stop_listening();
+
   /// Close every connection and the listener. Loop-thread only; used for
-  /// orderly shutdown before the loop stops.
+  /// orderly shutdown before the loop stops. Disables reconnection.
   void close_all();
 
   // Transport:
@@ -67,15 +157,39 @@ class TcpTransport final : public Transport {
   }
   SimTime latency_upper_bound() const override { return latency_bound_; }
   bool requires_sequenced_requests() const override { return true; }
+  bool peer_reachable(SiteId to) const override {
+    return connection_state(to) != ConnectionState::kDead;
+  }
 
   EventLoop& loop() { return loop_; }
-  const TcpTransportStats& stats() const { return stats_; }
+  /// Refreshes the peers_by_state gauges, then returns the counters.
+  const TcpTransportStats& stats() const;
   std::uint16_t listen_port() const { return listen_port_; }
 
  private:
   struct Route {
     std::string host;
     std::uint16_t port = 0;
+  };
+
+  struct QueuedFrame {
+    SiteId from;
+    SiteId to;
+    Message message;
+  };
+
+  /// One supervised routed peer (exists only while supervision is enabled
+  /// and traffic has touched the route).
+  struct Peer {
+    ConnectionState state = ConnectionState::kConnecting;
+    Connection* conn = nullptr;
+    /// Consecutive connection failures with no frame received in between.
+    int failures = 0;
+    /// Bumped on every dial/backoff so stale timers recognise themselves.
+    std::uint64_t generation = 0;
+    std::uint64_t next_hb_seq = 1;
+    std::int64_t last_rx_us = 0;  // loop_.now() at the last received frame
+    std::deque<QueuedFrame> queue;
   };
 
   void accept_ready();
@@ -87,6 +201,17 @@ class TcpTransport final : public Transport {
   Connection* connection_to(SiteId to);
   Connection* dial(const Route& route, SiteId site);
 
+  // Supervision internals (loop-thread only):
+  void supervised_send(SiteId from, SiteId to, Message m);
+  void enqueue_frame(Peer& peer, SiteId from, SiteId to, Message m);
+  void start_dial(SiteId site);
+  void on_supervised_connected(SiteId site);
+  void on_supervised_close(SiteId site, Connection& conn);
+  void schedule_backoff(SiteId site);
+  void schedule_heartbeat(SiteId site, std::uint64_t generation);
+  void transition(SiteId site, Peer& peer, ConnectionState next);
+  SimTime liveness_timeout() const;
+
   EventLoop& loop_;
   SimTime latency_bound_;
   int listen_fd_ = -1;
@@ -97,7 +222,16 @@ class TcpTransport final : public Transport {
   // Where frames addressed to a site currently leave (dialed or learned).
   std::unordered_map<std::uint32_t, Connection*> peer_conn_;
   std::unordered_map<Connection*, std::shared_ptr<Connection>> conns_;
-  TcpTransportStats stats_;
+
+  SupervisionConfig supervision_;
+  std::unordered_map<std::uint32_t, Peer> peers_;
+  // Reverse map: which supervised site a dialed connection belongs to.
+  std::unordered_map<const Connection*, std::uint32_t> conn_site_;
+  PeerStateHandler on_peer_state_;
+  Rng backoff_rng_;
+  bool shutting_down_ = false;
+
+  mutable TcpTransportStats stats_;
 };
 
 }  // namespace timedc::net

@@ -57,6 +57,13 @@ class Transport {
   /// the server rejects requests with request_id == 0 ("unsequenced" is a
   /// raw in-process test convention, never a legal wire value).
   virtual bool requires_sequenced_requests() const { return false; }
+
+  /// False when the transport has positive evidence that `to` is currently
+  /// unreachable (e.g. a supervised TCP peer whose connection is DEAD).
+  /// Advisory only — true means "no evidence against", never a delivery
+  /// guarantee. The sim Network keeps the default: its fault model decides
+  /// delivery per message, and the RPC layer's timeouts see the effects.
+  virtual bool peer_reachable(SiteId /*to*/) const { return true; }
 };
 
 }  // namespace timedc

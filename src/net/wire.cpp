@@ -1,5 +1,6 @@
 #include "net/wire.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/assert.hpp"
@@ -289,6 +290,8 @@ Message decode_body(MsgType type, Reader& r) {
       m.copy = r.copy();
       return m;
     }
+    case MsgType::kHeartbeat:
+      break;  // handled in decode_frame, never reaches decode_body
   }
   TIMEDC_ASSERT(false && "unreachable: type validated before decode_body");
   return FetchRequest{};
@@ -300,33 +303,41 @@ std::uint32_t read_u32_at(std::span<const std::uint8_t> buf, std::size_t at) {
   return v;
 }
 
-}  // namespace
-
-const char* to_cstring(DecodeStatus s) {
-  switch (s) {
-    case DecodeStatus::kOk: return "ok";
-    case DecodeStatus::kNeedMore: return "need-more";
-    case DecodeStatus::kBadMagic: return "bad-magic";
-    case DecodeStatus::kBadVersion: return "bad-version";
-    case DecodeStatus::kBadType: return "bad-type";
-    case DecodeStatus::kOversizedBody: return "oversized-body";
-    case DecodeStatus::kOversizedClock: return "oversized-clock";
-    case DecodeStatus::kShortBody: return "short-body";
-    case DecodeStatus::kTrailingBytes: return "trailing-bytes";
-    case DecodeStatus::kBadField: return "bad-field";
-  }
-  return "unknown";
+// reserve() to an exact size reallocates every time the buffer is already
+// full, turning appends to a backlogged write buffer into O(n^2) copying.
+// Grow geometrically instead, like push_back would.
+void grow_for_append(std::vector<std::uint8_t>& out, std::size_t extra) {
+  const std::size_t need = out.size() + extra;
+  if (need > out.capacity()) out.reserve(std::max(need, out.capacity() * 2));
 }
+
+}  // namespace
 
 std::size_t encoded_frame_size(const Message& m) {
   return kHeaderBytes + type_and_size(m).body;
+}
+
+void encode_heartbeat_frame(SiteId from, SiteId to, const Heartbeat& hb,
+                            std::vector<std::uint8_t>& out) {
+  constexpr std::size_t kBody = 8 + 8 + 1;
+  grow_for_append(out, kHeaderBytes + kBody);
+  Writer w(out);
+  w.u16(kMagic);
+  w.u8(kVersion);
+  w.u8(static_cast<std::uint8_t>(MsgType::kHeartbeat));
+  w.u32(from.value);
+  w.u32(to.value);
+  w.u32(kBody);
+  w.u64(hb.seq);
+  w.i64(hb.send_time_us);
+  w.u8(hb.reply ? 1 : 0);
 }
 
 void encode_frame(SiteId from, SiteId to, const Message& m,
                   std::vector<std::uint8_t>& out) {
   const TypeAndSize ts = type_and_size(m);
   TIMEDC_ASSERT(ts.body <= kMaxBodyBytes);
-  out.reserve(out.size() + kHeaderBytes + ts.body);
+  grow_for_append(out, kHeaderBytes + ts.body);
   Writer w(out);
   w.u16(kMagic);
   w.u8(kVersion);
@@ -351,14 +362,20 @@ DecodedFrame decode_frame(std::span<const std::uint8_t> buf) {
     return frame;
   }
   if (buf.size() < 3) return frame;
-  if (buf[2] != kVersion) {
+  const std::uint8_t version = buf[2];
+  if (version < kMinVersion || version > kVersion) {
     frame.status = DecodeStatus::kBadVersion;
     return frame;
   }
   if (buf.size() < 4) return frame;
   const std::uint8_t raw_type = buf[3];
+  // kHeartbeat only exists from codec version 2 on; a version-1 frame
+  // declaring it is malformed, not merely new.
+  const std::uint8_t max_type = version >= 2
+      ? static_cast<std::uint8_t>(MsgType::kHeartbeat)
+      : static_cast<std::uint8_t>(MsgType::kPushUpdate);
   if (raw_type < static_cast<std::uint8_t>(MsgType::kFetchRequest) ||
-      raw_type > static_cast<std::uint8_t>(MsgType::kPushUpdate)) {
+      raw_type > max_type) {
     frame.status = DecodeStatus::kBadType;
     return frame;
   }
@@ -373,6 +390,25 @@ DecodedFrame decode_frame(std::span<const std::uint8_t> buf) {
   if (buf.size() < kHeaderBytes + body_len) return frame;
 
   Reader r(buf.subspan(kHeaderBytes, body_len));
+  if (static_cast<MsgType>(raw_type) == MsgType::kHeartbeat) {
+    Heartbeat hb;
+    hb.seq = r.u64();
+    hb.send_time_us = r.i64();
+    hb.reply = r.boolean();
+    if (r.status() != DecodeStatus::kOk) {
+      frame.status = r.status();
+      return frame;
+    }
+    if (!r.exhausted()) {
+      frame.status = DecodeStatus::kTrailingBytes;
+      return frame;
+    }
+    frame.status = DecodeStatus::kOk;
+    frame.consumed = kHeaderBytes + body_len;
+    frame.is_heartbeat = true;
+    frame.heartbeat = hb;
+    return frame;
+  }
   Message m = decode_body(static_cast<MsgType>(raw_type), r);
   if (r.status() != DecodeStatus::kOk) {
     frame.status = r.status();

@@ -33,7 +33,13 @@
 namespace timedc::wire {
 
 inline constexpr std::uint16_t kMagic = 0x5443;  // "TC"
-inline constexpr std::uint8_t kVersion = 1;
+/// Current codec version. Version 2 added the transport-level Heartbeat
+/// frame; every version-1 frame is still accepted unchanged (the version
+/// byte gates which MsgTypes are legal, not the field layouts, which are
+/// identical across both versions).
+inline constexpr std::uint8_t kVersion = 2;
+/// Oldest codec version this decoder still accepts.
+inline constexpr std::uint8_t kMinVersion = 1;
 inline constexpr std::size_t kHeaderBytes = 16;
 /// Upper bound on a frame body. Generous: the largest legitimate message is
 /// an ObjectCopy with two kMaxClockEntries-wide timestamps (~64 KiB).
@@ -51,6 +57,10 @@ enum class MsgType : std::uint8_t {
   kValidateReply = 6,
   kInvalidate = 7,
   kPushUpdate = 8,
+  /// Transport-level liveness probe (codec version >= 2). Never surfaced to
+  /// the protocol layer: TcpTransport answers pings and consumes pongs
+  /// itself, so `Message` stays exactly the eight protocol types.
+  kHeartbeat = 9,
 };
 
 enum class DecodeStatus : std::uint8_t {
@@ -66,11 +76,44 @@ enum class DecodeStatus : std::uint8_t {
   kBadField,        // a field holds an illegal value (e.g. bool not 0/1)
 };
 
-const char* to_cstring(DecodeStatus s);
+/// Number of DecodeStatus values, for per-status counter arrays.
+inline constexpr std::size_t kDecodeStatusCount =
+    static_cast<std::size_t>(DecodeStatus::kBadField) + 1;
+
+/// Inline so header-only consumers (the stats bridge names its
+/// net.decode_error.<status> counters with this) need not link timedc_net.
+inline const char* to_cstring(DecodeStatus s) {
+  switch (s) {
+    case DecodeStatus::kOk: return "ok";
+    case DecodeStatus::kNeedMore: return "need-more";
+    case DecodeStatus::kBadMagic: return "bad-magic";
+    case DecodeStatus::kBadVersion: return "bad-version";
+    case DecodeStatus::kBadType: return "bad-type";
+    case DecodeStatus::kOversizedBody: return "oversized-body";
+    case DecodeStatus::kOversizedClock: return "oversized-clock";
+    case DecodeStatus::kShortBody: return "short-body";
+    case DecodeStatus::kTrailingBytes: return "trailing-bytes";
+    case DecodeStatus::kBadField: return "bad-field";
+  }
+  return "unknown";
+}
+
+/// Transport-level liveness probe carried in a kHeartbeat frame. `reply`
+/// distinguishes ping (false) from pong (true); a pong echoes the ping's
+/// seq and send_time_us so the sender can match it and measure RTT.
+struct Heartbeat {
+  std::uint64_t seq = 0;
+  std::int64_t send_time_us = 0;
+  bool reply = false;
+};
 
 /// Append one encoded frame carrying `m` routed from -> to onto `out`.
 void encode_frame(SiteId from, SiteId to, const Message& m,
                   std::vector<std::uint8_t>& out);
+
+/// Append one encoded kHeartbeat frame onto `out`.
+void encode_heartbeat_frame(SiteId from, SiteId to, const Heartbeat& hb,
+                            std::vector<std::uint8_t>& out);
 
 /// The exact number of bytes encode_frame appends for `m`.
 std::size_t encoded_frame_size(const Message& m);
@@ -81,6 +124,10 @@ struct DecodedFrame {
   SiteId from;
   SiteId to;
   Message message;
+  /// Set for kHeartbeat frames; `message` is then a default FetchRequest
+  /// and must not be interpreted.
+  bool is_heartbeat = false;
+  Heartbeat heartbeat;
 
   bool ok() const { return status == DecodeStatus::kOk; }
 };

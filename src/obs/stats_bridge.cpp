@@ -3,6 +3,7 @@
 #include <string>
 
 #include "broadcast/delta_causal.hpp"
+#include "net/tcp_transport.hpp"
 #include "protocol/server.hpp"
 #include "protocol/stats.hpp"
 #include "sim/faults.hpp"
@@ -84,6 +85,54 @@ void publish_broadcast_stats(MetricsRegistry& reg, std::string_view prefix,
   reg.add_counter(key(prefix, "discarded_late"), stats.discarded_late);
   reg.add_counter(key(prefix, "delivered_out_of_band"),
                   stats.delivered_out_of_band);
+}
+
+void publish_tcp_transport_stats(MetricsRegistry& reg, std::string_view prefix,
+                                 const net::TcpTransportStats& stats) {
+  reg.add_counter(key(prefix, "frames_sent"), stats.frames_sent);
+  reg.add_counter(key(prefix, "frames_received"), stats.frames_received);
+  reg.add_counter(key(prefix, "local_deliveries"), stats.local_deliveries);
+  reg.add_counter(key(prefix, "connections_accepted"),
+                  stats.connections_accepted);
+  reg.add_counter(key(prefix, "connections_dialed"), stats.connections_dialed);
+  reg.add_counter(key(prefix, "connections_closed"), stats.connections_closed);
+  reg.add_counter(key(prefix, "decode_errors"), stats.decode_errors);
+  reg.add_counter(key(prefix, "unroutable"), stats.unroutable);
+  // One named counter per DecodeStatus; kOk and kNeedMore are not errors
+  // and are skipped.
+  for (std::size_t s = 0; s < wire::kDecodeStatusCount; ++s) {
+    const auto status = static_cast<wire::DecodeStatus>(s);
+    if (status == wire::DecodeStatus::kOk ||
+        status == wire::DecodeStatus::kNeedMore) {
+      continue;
+    }
+    reg.add_counter(key(prefix, std::string("decode_error.") +
+                                    wire::to_cstring(status)),
+                    stats.decode_errors_by_status[s]);
+  }
+  reg.add_counter(key(prefix, "reconnect_attempts"), stats.reconnect_attempts);
+  reg.add_counter(key(prefix, "reconnects"), stats.reconnects);
+  reg.add_counter(key(prefix, "dial_timeouts"), stats.dial_timeouts);
+  reg.add_counter(key(prefix, "heartbeats_sent"), stats.heartbeats_sent);
+  reg.add_counter(key(prefix, "heartbeats_received"),
+                  stats.heartbeats_received);
+  reg.add_counter(key(prefix, "liveness_expiries"), stats.liveness_expiries);
+  reg.add_counter(key(prefix, "peers_marked_dead"), stats.peers_marked_dead);
+  reg.add_counter(key(prefix, "frames_queued"), stats.frames_queued);
+  reg.add_counter(key(prefix, "frames_requeued"), stats.frames_requeued);
+  reg.add_counter(key(prefix, "frames_dropped_queue_full"),
+                  stats.frames_dropped_queue_full);
+  reg.add_counter(key(prefix, "frames_dropped_peer_dead"),
+                  stats.frames_dropped_peer_dead);
+  // Current supervised connection states (index = ConnectionState value).
+  reg.set_gauge(key(prefix, "peers_connecting"),
+                static_cast<double>(stats.peers_by_state[0]));
+  reg.set_gauge(key(prefix, "peers_healthy"),
+                static_cast<double>(stats.peers_by_state[1]));
+  reg.set_gauge(key(prefix, "peers_backoff"),
+                static_cast<double>(stats.peers_by_state[2]));
+  reg.set_gauge(key(prefix, "peers_dead"),
+                static_cast<double>(stats.peers_by_state[3]));
 }
 
 }  // namespace timedc

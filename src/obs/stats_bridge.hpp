@@ -16,6 +16,9 @@ struct ServerStats;
 struct NetworkStats;
 struct FaultStats;
 struct DeltaBroadcastStats;
+namespace net {
+struct TcpTransportStats;
+}  // namespace net
 
 /// Each publisher adds (not sets) counters named `<prefix>.<field>`, so
 /// calling one repeatedly aggregates across clients / servers / rounds.
@@ -29,5 +32,10 @@ void publish_fault_stats(MetricsRegistry& reg, std::string_view prefix,
                          const FaultStats& stats);
 void publish_broadcast_stats(MetricsRegistry& reg, std::string_view prefix,
                              const DeltaBroadcastStats& stats);
+/// Publishes the TCP transport counters, the per-status decode-error
+/// counters (`<prefix>.decode_error.<status>`), and the supervision
+/// connection-state gauges (`<prefix>.peers_<state>`).
+void publish_tcp_transport_stats(MetricsRegistry& reg, std::string_view prefix,
+                                 const net::TcpTransportStats& stats);
 
 }  // namespace timedc

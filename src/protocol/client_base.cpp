@@ -112,6 +112,29 @@ void CacheClient::send_to_server(Message m, ObjectId object) {
 }
 
 void CacheClient::transmit() {
+  // Transport-generic failover: when the transport has positive evidence
+  // the target is unreachable (a supervised TCP peer gone DEAD), rotate to
+  // a reachable replica *before* burning a timeout on it. The sim Network
+  // always reports reachable, so sim behaviour is unchanged — there the
+  // timeout path below does the rotating.
+  if (retry_.enabled() && failover_.size() > 1 &&
+      !net_.peer_reachable(rpc_->target)) {
+    std::size_t at = 0;
+    for (std::size_t i = 0; i < failover_.size(); ++i) {
+      if (failover_[i] == rpc_->target) at = i;
+    }
+    for (std::size_t step = 1; step < failover_.size(); ++step) {
+      const SiteId candidate = failover_[(at + step) % failover_.size()];
+      if (net_.peer_reachable(candidate)) {
+        rpc_->target = candidate;
+        rpc_->timeouts_at_target = 0;
+        ++stats_.failovers;
+        break;
+      }
+    }
+    // All replicas unreachable: keep the current target and let the
+    // timeout/abandonment path decide.
+  }
   net_.send_message(self_, rpc_->target, rpc_->request,
                     sizes_.of(rpc_->request));
   if (retry_.enabled()) arm_timeout();

@@ -88,6 +88,53 @@ void ObjectServer::restart() {
         config_.lease_duration.as_micros());
 }
 
+void ObjectServer::restore_write(const WriteRequest& req,
+                                 std::uint64_t version) {
+  ++stats_.writes_restored;
+  const bool accepted = version != 0;
+  if (accepted) {
+    Stored& s = stored(req.object);
+    s.value = req.value;
+    s.version = version;
+    s.alpha = req.client_time;
+    if (req.write_ts.num_entries() != 0) {
+      s.alpha_l = req.write_ts;
+      logical_now_ = logical_now_.num_entries() == 0
+                         ? req.write_ts
+                         : PlausibleTimestamp::merge_max(logical_now_,
+                                                        req.write_ts);
+    }
+  }
+  history_[req.object].push_back(AppliedWrite{req.value, net_.now(), accepted});
+  // Rebuild the dedup slot with the recorded ack, so a client whose ack was
+  // lost in the crash gets the same answer when it retransmits.
+  if (req.request_id != 0) {
+    WriteDedup& d = write_dedup_[req.reply_to.value];
+    if (req.request_id >= d.completed_id) {
+      d.completed_id = req.request_id;
+      d.ack = WriteAck{req.object, version, req.request_id};
+    }
+  }
+}
+
+void ObjectServer::arm_restart_grace() {
+  if (config_.lease_duration == SimTime::zero()) return;
+  lease_grace_until_ = net_.now() + config_.lease_duration;
+}
+
+void ObjectServer::begin_drain() {
+  if (draining_) return;
+  draining_ = true;
+  ++stats_.drains;
+  lease_grace_until_ = SimTime::zero();
+  for (auto& [object, s] : objects_) {
+    for (const auto& [client, expiry] : s.leases) {
+      trace(TraceEventType::kLeaseExpire, object, 0, client, 0);
+    }
+    s.leases.clear();
+  }
+}
+
 ObjectServer::Stored& ObjectServer::stored(ObjectId object) {
   return objects_.try_emplace(object).first->second;
 }
@@ -146,7 +193,9 @@ SimTime ObjectServer::lease_horizon(Stored& s, ObjectId object,
 }
 
 SimTime ObjectServer::grant_lease(Stored& s, ObjectId object, SiteId client) {
-  if (config_.lease_duration == SimTime::zero() || s.write_pending) {
+  if (config_.lease_duration == SimTime::zero() || s.write_pending ||
+      draining_) {
+    // A draining server makes no promises it cannot keep past shutdown.
     return SimTime::zero();
   }
   s.leases[client.value] = net_.now() + config_.lease_duration;
@@ -247,6 +296,7 @@ void ObjectServer::apply_write(const WriteRequest& req) {
     // provisional cache entry keeps version 0 and will fail validation,
     // fetching the winning value instead.
     const WriteAck ack{req.object, 0, req.request_id};
+    if (write_log_) write_log_(req, 0);  // durable before the ack leaves
     record_completed(req, ack);
     send(from, Message{ack});
     return;
@@ -265,6 +315,7 @@ void ObjectServer::apply_write(const WriteRequest& req) {
   trace(TraceEventType::kWriteApply, req.object, req.request_id,
         req.value.value, 1);
   const WriteAck ack{req.object, s.version, req.request_id};
+  if (write_log_) write_log_(req, s.version);  // durable before the ack leaves
   record_completed(req, ack);
   send(from, Message{ack});
 

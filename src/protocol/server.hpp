@@ -52,6 +52,8 @@ struct ServerStats {
   std::uint64_t duplicate_writes = 0; // retransmitted writes deduplicated
   std::uint64_t crashes = 0;
   std::uint64_t restarts = 0;
+  std::uint64_t writes_restored = 0;  // WAL records replayed at startup
+  std::uint64_t drains = 0;           // begin_drain() calls
   // Framed-transport requests carrying request_id == 0: "unsequenced" is a
   // raw in-process test convention, never a legal wire value (see
   // messages.hpp), so such requests are rejected, not served.
@@ -93,6 +95,33 @@ class ObjectServer {
   /// forgotten who holds leases, but every lease it ever granted expires
   /// within that window, so no reader's promise is broken.
   void restart();
+
+  /// Durable write-ahead logging across *process* restarts. The hook fires
+  /// for every write decision just before its ack is sent — version is the
+  /// version the write got, 0 when it lost the last-writer-wins race — and
+  /// the owner must make the record durable before the ack can leave (the
+  /// ack is the promise). A fresh process replays the records in log order
+  /// through restore_write() before attach(): object values, versions,
+  /// alphas, the merged logical clock and the write-dedup slots (with their
+  /// stored acks, so in-doubt retransmissions re-ack instead of re-apply)
+  /// are all reconstructed.
+  using WriteLog =
+      std::function<void(const WriteRequest&, std::uint64_t version)>;
+  void set_write_log(WriteLog log) { write_log_ = std::move(log); }
+  void restore_write(const WriteRequest& req, std::uint64_t version);
+
+  /// Arm the post-restart lease grace window on a *freshly constructed*
+  /// server that restored durable state (the process-restart analogue of
+  /// restart()'s window): writes defer for one lease_duration because the
+  /// previous incarnation's granted leases are unknown. No-op with leases
+  /// disabled.
+  void arm_restart_grace();
+
+  /// Graceful drain (SIGTERM): stop granting leases and release every
+  /// outstanding one, so deferred writes can apply and their acks flush
+  /// before the process exits. The caller is responsible for giving the
+  /// event loop a moment to flush those replies before closing sockets.
+  void begin_drain();
 
   bool is_up() const { return up_; }
 
@@ -182,6 +211,7 @@ class ObjectServer {
   std::vector<SiteId> cluster_;
   ServerConfig config_;
   bool up_ = true;
+  bool draining_ = false;  // begin_drain(): no new leases are granted
   // Bumped on crash so scheduled continuations (lease deferrals) from the
   // previous incarnation die instead of touching the restarted server.
   std::uint64_t epoch_ = 0;
@@ -193,6 +223,7 @@ class ObjectServer {
   // stale to a client whose context grew only through this server.
   PlausibleTimestamp logical_now_;
   std::unordered_map<ObjectId, std::vector<AppliedWrite>> history_;
+  WriteLog write_log_;
   Tracer* obs_ = nullptr;
   ServerStats stats_;
 };

@@ -1,0 +1,161 @@
+// EventLoop timer edge cases (zero delay, same-deadline ordering, lazy
+// cancellation, self-cancellation from inside the firing callback) and the
+// Connection write-side backpressure contract: a peer that never drains its
+// socket pauses our reading at the high watermark and resumes below the low
+// watermark once the bytes finally move.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "net/connection.hpp"
+#include "net/event_loop.hpp"
+#include "protocol/messages.hpp"
+
+namespace timedc {
+namespace {
+
+/// Runs `fn` on the loop thread and returns its value (the loop must be
+/// running on another thread).
+template <typename F>
+auto on_loop(net::EventLoop& loop, F fn) -> decltype(fn()) {
+  std::promise<decltype(fn())> result;
+  auto fut = result.get_future();
+  loop.post([&] { result.set_value(fn()); });
+  return fut.get();
+}
+
+TEST(EventLoopTimers, ZeroDelayTimerFiresOnNextIteration) {
+  net::EventLoop loop;
+  int fired = 0;
+  loop.run_after(SimTime::zero(), [&] {
+    ++fired;
+    loop.stop();
+  });
+  loop.run_after(SimTime::seconds(30), [&] { loop.stop(); });  // hang guard
+  loop.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventLoopTimers, SameDeadlineFiresInInsertionOrder) {
+  net::EventLoop loop;
+  std::vector<int> order;
+  // Identical delays computed before either is inserted: deadline ties must
+  // break by insertion sequence, deterministically.
+  loop.run_after(SimTime::millis(1), [&] { order.push_back(1); });
+  loop.run_after(SimTime::millis(1), [&] { order.push_back(2); });
+  loop.run_after(SimTime::millis(1), [&] {
+    order.push_back(3);
+    loop.stop();
+  });
+  loop.run_after(SimTime::seconds(30), [&] { loop.stop(); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventLoopTimers, CancelledTimerNeverFires) {
+  net::EventLoop loop;
+  bool cancelled_fired = false;
+  const net::EventLoop::TimerId id =
+      loop.run_after(SimTime::millis(1), [&] { cancelled_fired = true; });
+  EXPECT_TRUE(loop.cancel_timer(id));
+  EXPECT_FALSE(loop.cancel_timer(id));  // second cancel: no longer pending
+  // A later timer at a later deadline proves the loop ran past the
+  // cancelled deadline without firing it.
+  loop.run_after(SimTime::millis(5), [&] { loop.stop(); });
+  loop.run_after(SimTime::seconds(30), [&] { loop.stop(); });
+  loop.run();
+  EXPECT_FALSE(cancelled_fired);
+}
+
+TEST(EventLoopTimers, CallbackCancellingItselfReturnsFalse) {
+  net::EventLoop loop;
+  net::EventLoop::TimerId self = 0;
+  bool self_cancel_result = true;
+  self = loop.run_after(SimTime::zero(), [&] {
+    // By the time the callback runs the timer is no longer pending, so the
+    // cancel must report false and must not break the loop.
+    self_cancel_result = loop.cancel_timer(self);
+    loop.stop();
+  });
+  loop.run_after(SimTime::seconds(30), [&] { loop.stop(); });
+  loop.run();
+  EXPECT_FALSE(self_cancel_result);
+}
+
+TEST(EventLoopTimers, CallbackCancellingSameDeadlineSiblingSuppressesIt) {
+  net::EventLoop loop;
+  bool sibling_fired = false;
+  net::EventLoop::TimerId sibling = 0;
+  bool cancel_result = false;
+  loop.run_after(SimTime::millis(1), [&] {
+    // The sibling shares this deadline and is already due; cancelling it
+    // from inside the earlier-inserted callback must still suppress it.
+    cancel_result = loop.cancel_timer(sibling);
+  });
+  sibling = loop.run_after(SimTime::millis(1), [&] { sibling_fired = true; });
+  loop.run_after(SimTime::millis(5), [&] { loop.stop(); });
+  loop.run_after(SimTime::seconds(30), [&] { loop.stop(); });
+  loop.run();
+  EXPECT_TRUE(cancel_result);
+  EXPECT_FALSE(sibling_fired);
+}
+
+TEST(ConnectionBackpressure, PausesReadingAtHighWatermarkAndResumes) {
+  // A unix socketpair stands in for TCP: Connection is stream-agnostic.
+  // Tiny send buffer so the kernel absorbs almost nothing and queued bytes
+  // land in the Connection's write buffer.
+  int sv[2] = {-1, -1};
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK, 0, sv), 0);
+  const int sndbuf = 8 * 1024;
+  ASSERT_EQ(setsockopt(sv[0], SOL_SOCKET, SO_SNDBUF, &sndbuf, sizeof(sndbuf)),
+            0);
+
+  net::EventLoop loop;
+  std::thread loop_thread([&] { loop.run(); });
+  std::unique_ptr<net::Connection> conn;
+  const Message msg{FetchRequest{ObjectId{1}, SiteId{7}, 1}};
+
+  const bool paused = on_loop(loop, [&] {
+    conn = std::make_unique<net::Connection>(loop, sv[0], false);
+    conn->start([](net::Connection&, wire::DecodedFrame&) {},
+                [](net::Connection&, const char*) {});
+    // The peer never reads: keep queueing frames until the high watermark
+    // pauses our read side (bounded: ~5MiB of frames clears 4MiB + sndbuf).
+    for (int i = 0; i < 400000 && !conn->reading_paused(); ++i) {
+      conn->send_frame(SiteId{7}, SiteId{0}, msg);
+    }
+    return conn->reading_paused();
+  });
+  EXPECT_TRUE(paused);
+  EXPECT_GE(on_loop(loop, [&] { return conn->pending_write_bytes(); }),
+            net::Connection::kHighWatermark);
+
+  // Now drain the peer side until the connection's buffer falls under the
+  // low watermark and reading resumes.
+  std::vector<char> sink(256 * 1024);
+  bool resumed = false;
+  for (int spin = 0; spin < 20000 && !resumed; ++spin) {
+    while (read(sv[1], sink.data(), sink.size()) > 0) {
+    }
+    resumed = on_loop(loop, [&] { return !conn->reading_paused(); });
+  }
+  EXPECT_TRUE(resumed);
+
+  on_loop(loop, [&] {
+    conn->close("test done");
+    conn.reset();
+    return true;
+  });
+  loop.stop();
+  loop_thread.join();
+  close(sv[1]);
+}
+
+}  // namespace
+}  // namespace timedc

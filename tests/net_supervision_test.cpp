@@ -1,0 +1,387 @@
+// Connection supervision over real sockets: learned-return-path purging on
+// close (the killed-peer regression), reconnect with queued-frame flush,
+// heartbeat liveness marking a black-holing peer DEAD, per-status decode
+// error counters through the stats bridge, transmit-time client failover to
+// a live replica, and the bounded per-peer frame queue's drop policy.
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "clocks/physical_clock.hpp"
+#include "net/event_loop.hpp"
+#include "net/tcp_transport.hpp"
+#include "obs/metrics.hpp"
+#include "obs/stats_bridge.hpp"
+#include "protocol/server.hpp"
+#include "protocol/timed_serial_cache.hpp"
+
+namespace timedc {
+namespace {
+
+template <typename F>
+auto on_loop(net::EventLoop& loop, F fn) -> decltype(fn()) {
+  std::promise<decltype(fn())> result;
+  auto fut = result.get_future();
+  loop.post([&] { result.set_value(fn()); });
+  return fut.get();
+}
+
+/// Polls `pred` (evaluated on the loop thread) for up to ~10s.
+template <typename F>
+bool poll_loop(net::EventLoop& loop, F pred) {
+  for (int spin = 0; spin < 2000; ++spin) {
+    if (on_loop(loop, pred)) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return false;
+}
+
+/// A transport on its own loop thread, listening on an ephemeral port.
+class NetNode {
+ public:
+  explicit NetNode(SimTime latency_bound = SimTime::millis(100))
+      : transport_(loop_, latency_bound) {
+    port_ = transport_.listen(0);
+  }
+  ~NetNode() {
+    if (thread_.joinable()) stop();
+  }
+
+  void start() {
+    thread_ = std::thread([this] { loop_.run(); });
+  }
+  void stop() {
+    net::TcpTransport* t = &transport_;
+    loop_.post([t] { t->close_all(); });
+    loop_.stop();
+    thread_.join();
+  }
+
+  net::EventLoop& loop() { return loop_; }
+  net::TcpTransport& transport() { return transport_; }
+  std::uint16_t port() const { return port_; }
+
+ private:
+  net::EventLoop loop_;
+  net::TcpTransport transport_;
+  std::thread thread_;
+  std::uint16_t port_ = 0;
+};
+
+TEST(NetSupervision, LearnedReturnPathIsPurgedWhenPeerDies) {
+  NetNode server;
+  int server_got = 0;
+  server.transport().register_site(
+      SiteId{0}, [&](SiteId, const Message&) { ++server_got; });
+  server.start();
+
+  // A client connects, sends one frame, and the server learns that replies
+  // to site 100 go down this connection.
+  auto client = std::make_unique<NetNode>();
+  client->transport().add_route(SiteId{0}, "127.0.0.1", server.port());
+  client->start();
+  on_loop(client->loop(), [&] {
+    client->transport().send_message(SiteId{100}, SiteId{0},
+                                     Message{FetchRequest{ObjectId{1}, SiteId{100}, 1}},
+                                     64);
+    return true;
+  });
+  ASSERT_TRUE(poll_loop(server.loop(), [&] { return server_got == 1; }));
+
+  // Kill the client. The server must notice the close and purge the
+  // learned path: a reply addressed to site 100 is now unroutable, not a
+  // write into a dead connection object.
+  client->stop();
+  client.reset();
+  ASSERT_TRUE(poll_loop(server.loop(), [&] {
+    return server.transport().stats().connections_closed >= 1;
+  }));
+  const std::uint64_t unroutable = on_loop(server.loop(), [&] {
+    server.transport().send_message(
+        SiteId{0}, SiteId{100}, Message{FetchRequest{ObjectId{1}, SiteId{0}, 2}},
+        64);
+    return server.transport().stats().unroutable;
+  });
+  EXPECT_EQ(unroutable, 1u);
+  server.stop();
+}
+
+TEST(NetSupervision, ReconnectAfterRefusalFlushesQueuedFrames) {
+  // Reserve a port, then free it so the first dials are refused.
+  std::uint16_t port = 0;
+  {
+    net::EventLoop tmp_loop;
+    net::TcpTransport tmp(tmp_loop);
+    port = tmp.listen(0);
+  }
+
+  NetNode client;
+  client.transport().add_route(SiteId{0}, "127.0.0.1", port);
+  net::SupervisionConfig sup;
+  sup.enabled = true;
+  sup.backoff_base = SimTime::millis(10);
+  sup.backoff_cap = SimTime::millis(50);
+  sup.dead_after_failures = 1000;  // never give up in this test
+  sup.heartbeat_interval = SimTime::millis(50);
+  client.transport().set_supervision(sup);
+  client.start();
+
+  constexpr int kFrames = 5;
+  on_loop(client.loop(), [&] {
+    for (int i = 0; i < kFrames; ++i) {
+      client.transport().send_message(
+          SiteId{100}, SiteId{0},
+          Message{FetchRequest{ObjectId{1}, SiteId{100},
+                               static_cast<std::uint64_t>(i + 1)}},
+          64);
+    }
+    return true;
+  });
+  // Let a few refused dials accumulate before the server appears.
+  ASSERT_TRUE(poll_loop(client.loop(), [&] {
+    return client.transport().stats().reconnect_attempts >= 2;
+  }));
+  const net::ConnectionState mid = on_loop(client.loop(), [&] {
+    return client.transport().connection_state(SiteId{0});
+  });
+  // Between refusals the peer is either waiting out a backoff or mid-dial.
+  EXPECT_TRUE(mid == net::ConnectionState::kBackoff ||
+              mid == net::ConnectionState::kConnecting)
+      << to_cstring(mid);
+
+  // The server comes up on the very same port: the next re-dial succeeds
+  // and the queued frames flush in order.
+  net::EventLoop server_loop;
+  net::TcpTransport server_tx(server_loop);
+  ASSERT_EQ(server_tx.listen(port), port);
+  int server_got = 0;
+  std::uint64_t last_request_id = 0;
+  server_tx.register_site(SiteId{0}, [&](SiteId, const Message& m) {
+    ++server_got;
+    last_request_id = std::get<FetchRequest>(m).request_id;
+  });
+  std::thread server_thread([&] { server_loop.run(); });
+
+  EXPECT_TRUE(poll_loop(server_loop, [&] { return server_got == kFrames; }));
+  EXPECT_EQ(on_loop(server_loop, [&] { return last_request_id; }),
+            static_cast<std::uint64_t>(kFrames));
+  const net::TcpTransportStats stats =
+      on_loop(client.loop(), [&] { return client.transport().stats(); });
+  EXPECT_GE(stats.reconnects, 1u);
+  EXPECT_EQ(stats.frames_queued, static_cast<std::uint64_t>(kFrames));
+  EXPECT_EQ(stats.frames_requeued, static_cast<std::uint64_t>(kFrames));
+  EXPECT_EQ(stats.frames_dropped_queue_full, 0u);
+  EXPECT_EQ(on_loop(client.loop(), [&] {
+    return client.transport().connection_state(SiteId{0});
+  }), net::ConnectionState::kHealthy);
+
+  net::TcpTransport* t = &server_tx;
+  server_loop.post([t] { t->close_all(); });
+  server_loop.stop();
+  server_thread.join();
+  client.stop();
+}
+
+TEST(NetSupervision, BlackholingPeerGoesDeadByLivenessExpiry) {
+  // A listener whose backlog completes TCP handshakes but that never reads
+  // or writes: connects "succeed", yet no frame ever arrives. Only the
+  // heartbeat liveness deadline can unmask it.
+  const int blackhole = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  ASSERT_GE(blackhole, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(blackhole, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(blackhole, 64), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(blackhole, reinterpret_cast<sockaddr*>(&addr), &len),
+            0);
+  const std::uint16_t port = ntohs(addr.sin_port);
+
+  NetNode client(SimTime::millis(5));  // liveness = 2*20ms + 2*5ms = 50ms
+  client.transport().add_route(SiteId{0}, "127.0.0.1", port);
+  net::SupervisionConfig sup;
+  sup.enabled = true;
+  sup.heartbeat_interval = SimTime::millis(20);
+  sup.backoff_base = SimTime::millis(10);
+  sup.backoff_cap = SimTime::millis(50);
+  sup.dead_after_failures = 2;
+  client.transport().set_supervision(sup);
+  client.start();
+
+  on_loop(client.loop(), [&] {
+    client.transport().send_message(SiteId{100}, SiteId{0},
+                                    Message{FetchRequest{ObjectId{1}, SiteId{100}, 1}},
+                                    64);
+    return true;
+  });
+  // DEAD peers are re-probed, so the state can oscillate: take state,
+  // counters and reachability in one loop-thread snapshot.
+  net::TcpTransportStats stats;
+  bool reachable = true;
+  ASSERT_TRUE(poll_loop(client.loop(), [&] {
+    stats = client.transport().stats();
+    reachable = client.transport().peer_reachable(SiteId{0});
+    return client.transport().connection_state(SiteId{0}) ==
+           net::ConnectionState::kDead;
+  }));
+  EXPECT_GE(stats.heartbeats_sent, 1u);
+  EXPECT_GE(stats.liveness_expiries, 1u);
+  EXPECT_GE(stats.peers_marked_dead, 1u);
+  EXPECT_EQ(stats.peers_by_state[static_cast<int>(net::ConnectionState::kDead)],
+            1u);
+  EXPECT_FALSE(reachable);
+  client.stop();
+  ::close(blackhole);
+}
+
+TEST(NetSupervision, DecodeErrorsAreCountedByStatusAndPublished) {
+  NetNode server;
+  server.transport().register_site(SiteId{0}, [](SiteId, const Message&) {});
+  server.start();
+
+  // A raw socket speaking garbage: the first 16 bytes fail the magic check.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  const char garbage[32] = "this is not a timedc frame!";
+  ASSERT_EQ(::write(fd, garbage, sizeof(garbage)),
+            static_cast<ssize_t>(sizeof(garbage)));
+
+  ASSERT_TRUE(poll_loop(server.loop(), [&] {
+    return server.transport().stats().decode_errors >= 1;
+  }));
+  const net::TcpTransportStats stats =
+      on_loop(server.loop(), [&] { return server.transport().stats(); });
+  EXPECT_EQ(stats.decode_errors, 1u);
+  EXPECT_EQ(stats.decode_errors_by_status[static_cast<std::size_t>(
+                wire::DecodeStatus::kBadMagic)],
+            1u);
+
+  // Through the stats bridge the failure shows up as a named counter.
+  MetricsRegistry reg;
+  publish_tcp_transport_stats(reg, "net", stats);
+  EXPECT_EQ(reg.counter("net.decode_error.bad-magic"), 1u);
+  EXPECT_EQ(reg.counter("net.decode_error.bad-version"), 0u);
+
+  ::close(fd);
+  server.stop();
+}
+
+TEST(NetSupervision, ClientFailsOverToReplicaWhenPrimaryIsDead) {
+  // Replica server on site 1 (single-server mode: it owns every object).
+  net::EventLoop replica_loop;
+  net::TcpTransport replica_tx(replica_loop);
+  const std::uint16_t replica_port = replica_tx.listen(0);
+  ObjectServer replica(replica_tx, SiteId{1}, 4, PushPolicy::kNone,
+                       MessageSizes{});
+  replica.attach();
+  std::thread replica_thread([&] { replica_loop.run(); });
+
+  // The primary (site 0) is a dead port: reserve one, then free it.
+  std::uint16_t dead_port = 0;
+  {
+    net::EventLoop tmp_loop;
+    net::TcpTransport tmp(tmp_loop);
+    dead_port = tmp.listen(0);
+  }
+
+  net::EventLoop loop;
+  net::TcpTransport tx(loop, SimTime::millis(50));
+  tx.add_route(SiteId{0}, "127.0.0.1", dead_port);
+  tx.add_route(SiteId{1}, "127.0.0.1", replica_port);
+  net::SupervisionConfig sup;
+  sup.enabled = true;
+  sup.backoff_base = SimTime::millis(5);
+  sup.backoff_cap = SimTime::millis(20);
+  sup.dead_after_failures = 2;
+  sup.heartbeat_interval = SimTime::millis(50);
+  tx.set_supervision(sup);
+  PerfectClock clock;
+  TimedSerialCache client(tx, SiteId{100}, SiteId{0}, &clock,
+                          SimTime::millis(20), /*mark_old=*/true,
+                          MessageSizes{});
+  RetryPolicy policy;
+  policy.max_attempts = 8;
+  policy.base_timeout = SimTime::millis(50);
+  client.configure_reliability(policy, {SiteId{0}, SiteId{1}}, 7);
+  client.attach();
+
+  Value got{-1};
+  bool done = false;
+  loop.post([&] {
+    client.read(ObjectId{3}, [&](Value v, SimTime) {
+      got = v;
+      done = true;
+      loop.stop();
+    });
+  });
+  loop.run_after(SimTime::seconds(30), [&] { loop.stop(); });  // hang guard
+  std::thread client_thread([&] { loop.run(); });
+  client_thread.join();
+
+  EXPECT_TRUE(done);
+  EXPECT_EQ(got, Value{0});  // the replica's initial value, a real answer
+  EXPECT_GE(client.stats().failovers, 1u);
+  EXPECT_EQ(client.stats().ops_abandoned, 0u);
+  // The dead primary is re-probed forever, so it may be mid-probe
+  // (kConnecting) at shutdown — but it can never look healthy.
+  EXPECT_NE(tx.connection_state(SiteId{0}), net::ConnectionState::kHealthy);
+
+  net::TcpTransport* rt = &replica_tx;
+  replica_loop.post([rt] { rt->close_all(); });
+  replica_loop.stop();
+  replica_thread.join();
+}
+
+TEST(NetSupervision, BoundedQueueDropsOldestWhenFull) {
+  std::uint16_t dead_port = 0;
+  {
+    net::EventLoop tmp_loop;
+    net::TcpTransport tmp(tmp_loop);
+    dead_port = tmp.listen(0);
+  }
+
+  NetNode client;
+  client.transport().add_route(SiteId{9}, "127.0.0.1", dead_port);
+  net::SupervisionConfig sup;
+  sup.enabled = true;
+  sup.max_queued_frames = 3;
+  sup.dead_after_failures = 1000;
+  sup.backoff_base = SimTime::millis(50);
+  client.transport().set_supervision(sup);
+  client.start();
+
+  constexpr int kSends = 8;
+  const net::TcpTransportStats stats = on_loop(client.loop(), [&] {
+    for (int i = 0; i < kSends; ++i) {
+      client.transport().send_message(
+          SiteId{100}, SiteId{9},
+          Message{FetchRequest{ObjectId{1}, SiteId{100},
+                               static_cast<std::uint64_t>(i + 1)}},
+          64);
+    }
+    return client.transport().stats();
+  });
+  EXPECT_EQ(stats.frames_queued, static_cast<std::uint64_t>(kSends));
+  EXPECT_EQ(stats.frames_dropped_queue_full,
+            static_cast<std::uint64_t>(kSends - 3));
+  client.stop();
+}
+
+}  // namespace
+}  // namespace timedc

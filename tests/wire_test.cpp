@@ -157,12 +157,70 @@ TEST(WireCodec, RejectsBadMagicVersionAndType) {
   bad = buf;
   bad[2] = wire::kVersion + 1;
   EXPECT_EQ(wire::decode_frame(bad).status, wire::DecodeStatus::kBadVersion);
+  bad[2] = wire::kMinVersion - 1;
+  EXPECT_EQ(wire::decode_frame(bad).status, wire::DecodeStatus::kBadVersion);
 
   bad = buf;
   bad[3] = 0;  // below the MsgType range
   EXPECT_EQ(wire::decode_frame(bad).status, wire::DecodeStatus::kBadType);
-  bad[3] = 9;  // above it
+  bad[3] = 10;  // above it
   EXPECT_EQ(wire::decode_frame(bad).status, wire::DecodeStatus::kBadType);
+}
+
+TEST(WireCodec, AcceptsVersionOneFramesButNotVersionOneHeartbeats) {
+  // A v1 peer's protocol frames decode unchanged — field layouts are
+  // identical across versions, only the legal MsgType range differs.
+  Rng rng(31);
+  for (int type = 0; type < kNumTypes; ++type) {
+    const Message m = random_message(rng, type);
+    std::vector<std::uint8_t> buf = encode(SiteId{1}, SiteId{2}, m);
+    buf[2] = 1;
+    const wire::DecodedFrame frame = wire::decode_frame(buf);
+    ASSERT_TRUE(frame.ok()) << wire::to_cstring(frame.status);
+    EXPECT_EQ(frame.message, m);
+  }
+
+  // kHeartbeat on a v1 header is malformed, not merely newer.
+  std::vector<std::uint8_t> hb;
+  wire::encode_heartbeat_frame(SiteId{1}, SiteId{2}, wire::Heartbeat{}, hb);
+  hb[2] = 1;
+  EXPECT_EQ(wire::decode_frame(hb).status, wire::DecodeStatus::kBadType);
+}
+
+TEST(WireCodec, HeartbeatRoundTrip) {
+  Rng rng(37);
+  for (int iter = 0; iter < 200; ++iter) {
+    wire::Heartbeat hb;
+    hb.seq = rng.next_u64();
+    hb.send_time_us = static_cast<std::int64_t>(rng.next_u64() >> 4);
+    hb.reply = rng.bernoulli(0.5);
+    const SiteId from{static_cast<std::uint32_t>(rng.uniform_int(0, 5000))};
+    const SiteId to{static_cast<std::uint32_t>(rng.uniform_int(0, 5000))};
+
+    std::vector<std::uint8_t> buf;
+    wire::encode_heartbeat_frame(from, to, hb, buf);
+    for (std::size_t len = 0; len < buf.size(); ++len) {
+      EXPECT_EQ(wire::decode_frame(
+                    std::span<const std::uint8_t>(buf.data(), len)).status,
+                wire::DecodeStatus::kNeedMore);
+    }
+
+    const wire::DecodedFrame frame = wire::decode_frame(buf);
+    ASSERT_TRUE(frame.ok()) << wire::to_cstring(frame.status);
+    ASSERT_TRUE(frame.is_heartbeat);
+    EXPECT_EQ(frame.consumed, buf.size());
+    EXPECT_EQ(frame.from, from);
+    EXPECT_EQ(frame.to, to);
+    EXPECT_EQ(frame.heartbeat.seq, hb.seq);
+    EXPECT_EQ(frame.heartbeat.send_time_us, hb.send_time_us);
+    EXPECT_EQ(frame.heartbeat.reply, hb.reply);
+  }
+
+  // An illegal bool in the reply byte (absolute offset 16 + 16) is caught.
+  std::vector<std::uint8_t> buf;
+  wire::encode_heartbeat_frame(SiteId{1}, SiteId{2}, wire::Heartbeat{}, buf);
+  buf[32] = 2;
+  EXPECT_EQ(wire::decode_frame(buf).status, wire::DecodeStatus::kBadField);
 }
 
 // The body-length field lives at offset 12 (little-endian u32).

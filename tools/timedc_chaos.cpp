@@ -1,0 +1,666 @@
+// timedc-chaos: a fault-injecting TCP proxy, the real-socket counterpart of
+// the simulator's FaultPlan (src/sim/faults.hpp).
+//
+// Sits between timedc-load and timedc-server (or between servers) and
+// applies a scheduled fault plan to the byte streams flowing through it:
+//
+//   * --latency-ms / --jitter-ms   one-way forwarding delay, uniform jitter,
+//                                  FIFO-preserving per direction (a delayed
+//                                  chunk can never overtake an earlier one)
+//   * --throttle-kbps              token-bucket bandwidth cap per direction
+//   * --reset-every-ms             periodically RST one random active link
+//                                  (SO_LINGER{1,0} close: the peer sees
+//                                  ECONNRESET, not a clean FIN)
+//   * --reset-at-ms                RST every active link at a fixed offset
+//   * --partition-ms S:E           network partition from S to E ms after
+//                                  start: established links stop moving
+//                                  bytes (TCP backpressure, exactly like a
+//                                  blackholed path — connect() still
+//                                  succeeds, so clients must detect silence
+//                                  by heartbeat, not by refusal); at heal
+//                                  every zombie link is RST so endpoints
+//                                  reconnect over the healthy path
+//
+// All randomness is seeded (--seed): a chaos schedule is reproducible
+// modulo kernel timing. Per-link buffering is capped; a full buffer pauses
+// reading from the source socket so memory stays bounded under throttle.
+//
+// Usage:
+//   timedc-chaos --route lport:rhost:rport [--route ...]
+//                [--latency-ms 0] [--jitter-ms 0] [--throttle-kbps 0]
+//                [--reset-every-ms 0] [--reset-at-ms T]...
+//                [--partition-ms S:E]... [--seed 42] [--duration-s 0]
+//                [--metrics-out FILE]
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <signal.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <iostream>
+#include <iterator>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/event_loop.hpp"
+#include "obs/metrics.hpp"
+
+namespace {
+
+using namespace timedc;
+
+constexpr std::size_t kReadChunk = 64 * 1024;
+/// Per-direction cap on bytes held inside the proxy (delayed + unwritten).
+/// Above it the source socket stops being read: TCP backpressure propagates
+/// to the sender, as a real slow link would.
+constexpr std::size_t kMaxBuffered = 4 * 1024 * 1024;
+
+struct RouteSpec {
+  std::uint16_t lport = 0;
+  std::string rhost;
+  std::uint16_t rport = 0;
+};
+
+struct Window {
+  std::int64_t start_ms = 0;
+  std::int64_t end_ms = 0;
+};
+
+struct Options {
+  std::vector<RouteSpec> routes;
+  std::int64_t latency_ms = 0;
+  std::int64_t jitter_ms = 0;
+  std::int64_t throttle_kbps = 0;
+  std::int64_t reset_every_ms = 0;
+  std::vector<std::int64_t> reset_at_ms;
+  std::vector<Window> partitions;
+  std::uint64_t seed = 42;
+  std::int64_t duration_s = 0;
+  std::string metrics_out;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --route lport:rhost:rport [--route ...]\n"
+      "          [--latency-ms L] [--jitter-ms J] [--throttle-kbps K]\n"
+      "          [--reset-every-ms M] [--reset-at-ms T]...\n"
+      "          [--partition-ms S:E]... [--seed S] [--duration-s D]\n"
+      "          [--metrics-out FILE]\n",
+      argv0);
+  return 2;
+}
+
+bool parse_route(const char* spec, RouteSpec& route) {
+  const char* c1 = std::strchr(spec, ':');
+  const char* c2 = std::strrchr(spec, ':');
+  if (c1 == nullptr || c2 == c1) return false;
+  route.lport = static_cast<std::uint16_t>(std::atoi(spec));
+  route.rhost.assign(c1 + 1, c2);
+  route.rport = static_cast<std::uint16_t>(std::atoi(c2 + 1));
+  return route.lport != 0 && !route.rhost.empty() && route.rport != 0;
+}
+
+bool parse_window(const char* spec, Window& w) {
+  const char* colon = std::strchr(spec, ':');
+  if (colon == nullptr) return false;
+  w.start_ms = std::atoll(spec);
+  w.end_ms = std::atoll(colon + 1);
+  return w.end_ms > w.start_ms && w.start_ms >= 0;
+}
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--route") {
+      RouteSpec route;
+      if ((v = next()) == nullptr || !parse_route(v, route)) return false;
+      opt.routes.push_back(std::move(route));
+    } else if (arg == "--latency-ms") {
+      if ((v = next()) == nullptr) return false;
+      opt.latency_ms = std::atoll(v);
+    } else if (arg == "--jitter-ms") {
+      if ((v = next()) == nullptr) return false;
+      opt.jitter_ms = std::atoll(v);
+    } else if (arg == "--throttle-kbps") {
+      if ((v = next()) == nullptr) return false;
+      opt.throttle_kbps = std::atoll(v);
+    } else if (arg == "--reset-every-ms") {
+      if ((v = next()) == nullptr) return false;
+      opt.reset_every_ms = std::atoll(v);
+    } else if (arg == "--reset-at-ms") {
+      if ((v = next()) == nullptr) return false;
+      opt.reset_at_ms.push_back(std::atoll(v));
+    } else if (arg == "--partition-ms") {
+      Window w;
+      if ((v = next()) == nullptr || !parse_window(v, w)) return false;
+      opt.partitions.push_back(w);
+    } else if (arg == "--seed") {
+      if ((v = next()) == nullptr) return false;
+      opt.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--duration-s") {
+      if ((v = next()) == nullptr) return false;
+      opt.duration_s = std::atoll(v);
+    } else if (arg == "--metrics-out") {
+      if ((v = next()) == nullptr) return false;
+      opt.metrics_out = v;
+    } else {
+      return false;
+    }
+  }
+  return !opt.routes.empty() && opt.latency_ms >= 0 && opt.jitter_ms >= 0 &&
+         opt.throttle_kbps >= 0 && opt.reset_every_ms >= 0;
+}
+
+struct ChaosStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_closed = 0;
+  std::uint64_t dial_failures = 0;
+  std::uint64_t bytes_forwarded = 0;
+  std::uint64_t chunks_delayed = 0;
+  std::uint64_t resets_injected = 0;
+  std::uint64_t partitions_started = 0;
+  std::uint64_t partitions_healed = 0;
+  std::uint64_t accepted_while_partitioned = 0;
+};
+
+class Proxy;
+
+/// One proxied TCP link: downstream client fd `a`, upstream server fd `b`,
+/// and a delayed/throttled byte pipe per direction.
+struct Link {
+  struct Chunk {
+    std::vector<std::uint8_t> data;
+    std::int64_t release_us = 0;  // steady deadline when it may move on
+  };
+  struct Pipe {
+    std::deque<Chunk> delayed;   // read but not yet released
+    std::vector<std::uint8_t> out;  // released but not yet written
+    std::size_t out_at = 0;
+    std::size_t buffered = 0;    // delayed + (out.size() - out_at)
+    std::int64_t last_release_us = 0;  // FIFO floor for the next chunk
+    double tokens = 0;           // throttle bucket, in bytes
+    std::int64_t tokens_at_us = 0;
+    bool src_paused = false;
+    bool flush_pending = false;  // a release timer is already armed
+  };
+
+  std::uint64_t id = 0;
+  int a = -1;
+  int b = -1;
+  bool b_connected = false;
+  Pipe a_to_b;  // reads from a, writes to b
+  Pipe b_to_a;
+  bool zombie = false;  // accepted during a partition; never dialed upstream
+};
+
+class Proxy {
+ public:
+  Proxy(const Options& opt, net::EventLoop& loop)
+      : opt_(opt), loop_(loop), rng_(opt.seed) {}
+
+  ChaosStats& stats() { return stats_; }
+
+  /// Binds every route. Returns false (after perror) on failure.
+  bool start() {
+    for (const RouteSpec& route : opt_.routes) {
+      const int fd = listen_on(route.lport);
+      if (fd < 0) return false;
+      listeners_.push_back(fd);
+      const RouteSpec* spec = &route;
+      loop_.add_fd(fd, EPOLLIN, [this, fd, spec](std::uint32_t) {
+        accept_ready(fd, *spec);
+      });
+    }
+    for (const Window& w : opt_.partitions) {
+      loop_.run_after(SimTime::millis(w.start_ms), [this] { partition_start(); });
+      loop_.run_after(SimTime::millis(w.end_ms), [this] { partition_heal(); });
+    }
+    for (const std::int64_t t : opt_.reset_at_ms) {
+      loop_.run_after(SimTime::millis(t), [this] { reset_all("scheduled"); });
+    }
+    if (opt_.reset_every_ms > 0) schedule_random_reset();
+    return true;
+  }
+
+  void shutdown() {
+    for (const int fd : listeners_) {
+      loop_.remove_fd(fd);
+      ::close(fd);
+    }
+    listeners_.clear();
+    while (!links_.empty()) destroy(links_.begin()->second.get(), false);
+  }
+
+ private:
+  static std::int64_t steady_us() {
+    timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return ts.tv_sec * 1000000 + ts.tv_nsec / 1000;
+  }
+
+  static int listen_on(std::uint16_t port) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+    if (fd < 0) {
+      std::perror("timedc-chaos: socket");
+      return -1;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+        ::listen(fd, 128) != 0) {
+      std::perror("timedc-chaos: bind/listen");
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  }
+
+  void accept_ready(int listen_fd, const RouteSpec& route) {
+    for (;;) {
+      const int a = ::accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK);
+      if (a < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        if (errno == EINTR) continue;
+        return;
+      }
+      ++stats_.connections_accepted;
+      const int one = 1;
+      ::setsockopt(a, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      auto link = std::make_unique<Link>();
+      link->id = next_link_id_++;
+      link->a = a;
+      Link* l = link.get();
+      links_[l->id] = std::move(link);
+      if (partitioned_) {
+        // Blackhole: the TCP handshake succeeds (the kernel completed it
+        // before accept), but no upstream dial happens and no byte will
+        // ever move. The client must notice via heartbeat silence.
+        ++stats_.accepted_while_partitioned;
+        l->zombie = true;
+        loop_.add_fd(a, 0, [this, l](std::uint32_t ev) { on_a_event(l, ev); });
+        continue;
+      }
+      if (!dial_upstream(l, route)) {
+        ++stats_.dial_failures;
+        destroy(l, true);
+        continue;
+      }
+      loop_.add_fd(a, EPOLLIN, [this, l](std::uint32_t ev) { on_a_event(l, ev); });
+    }
+  }
+
+  bool dial_upstream(Link* l, const RouteSpec& route) {
+    const int b = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+    if (b < 0) return false;
+    const int one = 1;
+    ::setsockopt(b, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(route.rport);
+    if (inet_pton(AF_INET, route.rhost.c_str(), &addr.sin_addr) != 1) {
+      ::close(b);
+      return false;
+    }
+    const int rc =
+        ::connect(b, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    if (rc != 0 && errno != EINPROGRESS) {
+      ::close(b);
+      return false;
+    }
+    l->b = b;
+    l->b_connected = (rc == 0);
+    loop_.add_fd(b, l->b_connected ? EPOLLIN : (EPOLLIN | EPOLLOUT),
+                 [this, l](std::uint32_t ev) { on_b_event(l, ev); });
+    return true;
+  }
+
+  // --- data movement --------------------------------------------------------
+
+  bool alive(std::uint64_t id) const { return links_.find(id) != links_.end(); }
+
+  void on_a_event(Link* l, std::uint32_t ev) {
+    const std::uint64_t id = l->id;  // destroy() frees l; re-check via id
+    if ((ev & (EPOLLERR | EPOLLHUP)) != 0) {
+      destroy(l, true);
+      return;
+    }
+    if ((ev & EPOLLIN) != 0) read_side(l, /*from_a=*/true);
+    if ((ev & EPOLLOUT) != 0 && alive(id)) write_side(l, /*to_a=*/true);
+  }
+
+  void on_b_event(Link* l, std::uint32_t ev) {
+    const std::uint64_t id = l->id;
+    if ((ev & (EPOLLERR | EPOLLHUP)) != 0) {
+      destroy(l, true);
+      return;
+    }
+    if (!l->b_connected && (ev & EPOLLOUT) != 0) {
+      int err = 0;
+      socklen_t len = sizeof(err);
+      ::getsockopt(l->b, SOL_SOCKET, SO_ERROR, &err, &len);
+      if (err != 0) {
+        ++stats_.dial_failures;
+        destroy(l, true);
+        return;
+      }
+      l->b_connected = true;
+      update_interest(l);
+      flush(l, /*to_a=*/false);
+      if (!alive(id)) return;
+    }
+    if ((ev & EPOLLIN) != 0) read_side(l, /*from_a=*/false);
+    if ((ev & EPOLLOUT) != 0 && alive(id) && l->b_connected) {
+      write_side(l, /*to_a=*/false);
+    }
+  }
+
+  void read_side(Link* l, bool from_a) {
+    Link::Pipe& pipe = from_a ? l->a_to_b : l->b_to_a;
+    std::uint8_t buf[kReadChunk];
+    for (;;) {
+      const ssize_t n = ::read(from_a ? l->a : l->b, buf, sizeof(buf));
+      if (n == 0) {
+        destroy(l, true);  // graceful peer close tears the whole link down
+        return;
+      }
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        if (errno == EINTR) continue;
+        destroy(l, true);
+        return;
+      }
+      Link::Chunk chunk;
+      chunk.data.assign(buf, buf + n);
+      const std::int64_t now = steady_us();
+      std::int64_t delay_us = opt_.latency_ms * 1000;
+      if (opt_.jitter_ms > 0) {
+        delay_us += rng_.uniform_int(0, opt_.jitter_ms * 1000);
+        ++stats_.chunks_delayed;
+      } else if (delay_us > 0) {
+        ++stats_.chunks_delayed;
+      }
+      // FIFO floor: jitter may not reorder chunks within a direction.
+      chunk.release_us = std::max(pipe.last_release_us, now + delay_us);
+      pipe.last_release_us = chunk.release_us;
+      pipe.buffered += chunk.data.size();
+      pipe.delayed.push_back(std::move(chunk));
+      if (pipe.buffered >= kMaxBuffered) break;
+    }
+    if (pipe.buffered >= kMaxBuffered) pipe.src_paused = true;
+    update_interest(l);
+    flush(l, /*to_a=*/!from_a);
+  }
+
+  /// Moves released chunks of the pipe feeding `to_a ? a : b` into the
+  /// write buffer (respecting delay schedule and token bucket), writes what
+  /// the socket accepts, and arms a timer for the next release.
+  void flush(Link* l, bool to_a) {
+    if (partitioned_ || l->zombie) return;  // nothing moves during an outage
+    Link::Pipe& pipe = to_a ? l->b_to_a : l->a_to_b;
+    if (!to_a && !l->b_connected) return;
+    const std::int64_t now = steady_us();
+    refill_tokens(pipe, now);
+    std::int64_t next_wake_us = -1;
+    while (!pipe.delayed.empty()) {
+      Link::Chunk& chunk = pipe.delayed.front();
+      if (chunk.release_us > now) {
+        next_wake_us = chunk.release_us - now;
+        break;
+      }
+      if (opt_.throttle_kbps > 0 &&
+          pipe.tokens < static_cast<double>(chunk.data.size())) {
+        const double deficit =
+            static_cast<double>(chunk.data.size()) - pipe.tokens;
+        const double rate = static_cast<double>(opt_.throttle_kbps) * 125.0;
+        next_wake_us = static_cast<std::int64_t>(deficit / rate * 1e6) + 1;
+        break;
+      }
+      if (opt_.throttle_kbps > 0) {
+        pipe.tokens -= static_cast<double>(chunk.data.size());
+      }
+      pipe.out.insert(pipe.out.end(), chunk.data.begin(), chunk.data.end());
+      pipe.delayed.pop_front();
+    }
+    const std::uint64_t id = l->id;
+    write_side(l, to_a);  // may destroy the link on a write error
+    if (!alive(id)) return;
+    if (next_wake_us >= 0 && !pipe.flush_pending) {
+      pipe.flush_pending = true;
+      const std::uint64_t id = l->id;
+      loop_.run_after(SimTime::micros(next_wake_us), [this, id, to_a] {
+        auto it = links_.find(id);
+        if (it == links_.end()) return;
+        Link* link = it->second.get();
+        (to_a ? link->b_to_a : link->a_to_b).flush_pending = false;
+        flush(link, to_a);
+      });
+    }
+  }
+
+  void refill_tokens(Link::Pipe& pipe, std::int64_t now) {
+    if (opt_.throttle_kbps <= 0) return;
+    if (pipe.tokens_at_us == 0) pipe.tokens_at_us = now;
+    // 1 kbps = 125 bytes/s.
+    const double rate = static_cast<double>(opt_.throttle_kbps) * 125.0;
+    pipe.tokens += rate * static_cast<double>(now - pipe.tokens_at_us) / 1e6;
+    const double burst = rate / 4;  // at most 250ms worth of burst
+    if (pipe.tokens > burst) pipe.tokens = burst;
+    pipe.tokens_at_us = now;
+  }
+
+  void write_side(Link* l, bool to_a) {
+    Link::Pipe& pipe = to_a ? l->b_to_a : l->a_to_b;
+    const int fd = to_a ? l->a : l->b;
+    while (pipe.out_at < pipe.out.size()) {
+      const ssize_t n = ::write(fd, pipe.out.data() + pipe.out_at,
+                                pipe.out.size() - pipe.out_at);
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        if (errno == EINTR) continue;
+        destroy(l, true);
+        return;
+      }
+      pipe.out_at += static_cast<std::size_t>(n);
+      pipe.buffered -= static_cast<std::size_t>(n);
+      stats_.bytes_forwarded += static_cast<std::uint64_t>(n);
+    }
+    if (pipe.out_at == pipe.out.size()) {
+      pipe.out.clear();
+      pipe.out_at = 0;
+    }
+    if (pipe.src_paused && pipe.buffered < kMaxBuffered / 2) {
+      pipe.src_paused = false;
+    }
+    update_interest(l);
+  }
+
+  /// Recomputes both fds' epoll interest from pipe state. Reading from a
+  /// socket stops while its pipe is over the buffer cap or a partition is
+  /// active; EPOLLOUT is armed only while its write buffer is non-empty.
+  void update_interest(Link* l) {
+    const bool blackhole = partitioned_ || l->zombie;
+    std::uint32_t a_ev = 0;
+    if (!blackhole && !l->a_to_b.src_paused) a_ev |= EPOLLIN;
+    if (l->b_to_a.out_at < l->b_to_a.out.size()) a_ev |= EPOLLOUT;
+    loop_.modify_fd(l->a, a_ev);
+    if (l->b >= 0) {
+      std::uint32_t b_ev = 0;
+      if (!l->b_connected) {
+        b_ev = EPOLLIN | EPOLLOUT;  // waiting for connect completion
+      } else {
+        if (!blackhole && !l->b_to_a.src_paused) b_ev |= EPOLLIN;
+        if (l->a_to_b.out_at < l->a_to_b.out.size()) b_ev |= EPOLLOUT;
+      }
+      loop_.modify_fd(l->b, b_ev);
+    }
+  }
+
+  // --- faults ---------------------------------------------------------------
+
+  static void hard_reset(int fd) {
+    // Arm an RST-on-close: the peer observes ECONNRESET, the signature of a
+    // crashed process or middlebox, rather than an orderly FIN.
+    linger lg{1, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+  }
+
+  void destroy(Link* l, bool reset) {
+    if (l->a >= 0) {
+      if (reset) hard_reset(l->a);
+      loop_.remove_fd(l->a);
+      ::close(l->a);
+    }
+    if (l->b >= 0) {
+      if (reset) hard_reset(l->b);
+      loop_.remove_fd(l->b);
+      ::close(l->b);
+    }
+    ++stats_.connections_closed;
+    links_.erase(l->id);
+  }
+
+  void reset_all(const char* why) {
+    if (links_.empty()) return;
+    std::fprintf(stderr, "timedc-chaos: resetting %zu links (%s)\n",
+                 links_.size(), why);
+    while (!links_.empty()) {
+      ++stats_.resets_injected;
+      destroy(links_.begin()->second.get(), true);
+    }
+  }
+
+  void schedule_random_reset() {
+    // Uniform in [0.5, 1.5) x the period, so resets decorrelate from any
+    // client-side timer with the same nominal rate.
+    const std::int64_t base_us = opt_.reset_every_ms * 1000;
+    const std::int64_t delay =
+        base_us / 2 + rng_.uniform_int(0, std::max<std::int64_t>(base_us, 1));
+    loop_.run_after(SimTime::micros(delay), [this] {
+      if (!links_.empty() && !partitioned_) {
+        auto it = links_.begin();
+        std::advance(it, static_cast<std::ptrdiff_t>(rng_.uniform_int(
+                             0, static_cast<std::int64_t>(links_.size()) - 1)));
+        ++stats_.resets_injected;
+        std::fprintf(stderr, "timedc-chaos: injecting reset on link %llu\n",
+                     static_cast<unsigned long long>(it->second->id));
+        destroy(it->second.get(), true);
+      }
+      schedule_random_reset();
+    });
+  }
+
+  void partition_start() {
+    if (partitioned_) return;
+    partitioned_ = true;
+    ++stats_.partitions_started;
+    std::fprintf(stderr, "timedc-chaos: partition start (%zu links stalled)\n",
+                 links_.size());
+    // Established links stay open but go silent: stop reading both ends.
+    for (auto& [id, l] : links_) update_interest(l.get());
+  }
+
+  void partition_heal() {
+    if (!partitioned_) return;
+    partitioned_ = false;
+    ++stats_.partitions_healed;
+    // Every stalled link is RST at heal: its endpoints have likely already
+    // given up on it (liveness expiry), and a fresh dial over the healthy
+    // path is the clean way back.
+    reset_all("partition healed");
+  }
+
+  const Options& opt_;
+  net::EventLoop& loop_;
+  Rng rng_;
+  ChaosStats stats_;
+  std::vector<int> listeners_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Link>> links_;
+  std::uint64_t next_link_id_ = 1;
+  bool partitioned_ = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) return usage(argv[0]);
+
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGINT);
+  sigaddset(&sigs, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+  net::EventLoop loop;
+  Proxy proxy(opt, loop);
+  bool ok = true;
+  loop.post([&] {
+    if (!proxy.start()) {
+      ok = false;
+      loop.stop();
+      return;
+    }
+    std::printf("PROXYING");
+    for (const RouteSpec& r : opt.routes) {
+      std::printf(" %u->%s:%u", r.lport, r.rhost.c_str(), r.rport);
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  });
+
+  std::thread loop_thread([&] { loop.run(); });
+  if (opt.duration_s > 0) {
+    timespec deadline{opt.duration_s, 0};
+    sigtimedwait(&sigs, nullptr, &deadline);
+  } else {
+    int got = 0;
+    sigwait(&sigs, &got);
+  }
+  loop.post([&] { proxy.shutdown(); });
+  loop.stop();
+  loop_thread.join();
+  if (!ok) return 1;
+
+  const ChaosStats& st = proxy.stats();
+  MetricsRegistry reg;
+  reg.set_counter("chaos.connections_accepted", st.connections_accepted);
+  reg.set_counter("chaos.connections_closed", st.connections_closed);
+  reg.set_counter("chaos.dial_failures", st.dial_failures);
+  reg.set_counter("chaos.bytes_forwarded", st.bytes_forwarded);
+  reg.set_counter("chaos.chunks_delayed", st.chunks_delayed);
+  reg.set_counter("chaos.resets_injected", st.resets_injected);
+  reg.set_counter("chaos.partitions_started", st.partitions_started);
+  reg.set_counter("chaos.partitions_healed", st.partitions_healed);
+  reg.set_counter("chaos.accepted_while_partitioned",
+                  st.accepted_while_partitioned);
+  const std::string json = reg.to_json(2);
+  if (!opt.metrics_out.empty()) {
+    std::ofstream out(opt.metrics_out);
+    out << json << "\n";
+  } else {
+    std::cout << json << "\n";
+  }
+  return 0;
+}

@@ -20,12 +20,23 @@
 // reads at their COMPLETION time; equal-microsecond collisions per site are
 // bumped by +1us to satisfy the History invariant.
 //
+// Reliability: --max-attempts > 1 turns on the client retry layer
+// (exponential backoff, deterministic jitter, failover across every shard
+// when the current target keeps timing out or its connection is DEAD).
+// Operations the retry layer abandons are excluded from the history and the
+// staleness oracle and counted in load.ops_abandoned; --max-abandoned gates
+// the exit status on that count. SIGINT/SIGTERM stop the workers early but
+// still flush --metrics-out/--history-out and print the summary, so an
+// interrupted run keeps its data.
+//
 // Usage:
 //   timedc-load --ports p0[,p1,...] [--threads 2] [--clients 8]
 //               [--duration-s 5 | --ops N] [--write-pct 10] [--objects 64]
 //               [--zipf 0.9] [--delta-us 20000] [--think-us 0] [--seed 42]
-//               [--metrics-out FILE] [--history-out FILE]
+//               [--max-attempts 1] [--retry-base-ms 0] [--max-abandoned -1]
+//               [--heartbeat-ms 0] [--metrics-out FILE] [--history-out FILE]
 //               [--min-ops-per-sec X]
+#include <signal.h>
 #include <time.h>
 #include <unistd.h>
 
@@ -88,9 +99,22 @@ struct Options {
   std::int64_t think_us = 0;
   std::uint64_t seed = 42;
   std::uint32_t site_base = 0;  // 0 = derive from pid (auto_site_base)
+  // Reliability. max_attempts 1 keeps the seed behavior (one send, wait
+  // forever). heartbeat_ms 0 = auto: connection supervision (reconnect,
+  // heartbeats, DEAD detection) is enabled at 200ms exactly when retries
+  // are on — failover needs peer_reachable() to mean something.
+  int max_attempts = 1;
+  std::int64_t retry_base_ms = 0;  // 0 = derive from the latency bound
+  std::int64_t max_abandoned = -1;  // >= 0: exit 1 when exceeded
+  std::int64_t heartbeat_ms = 0;
   std::string metrics_out;
   std::string history_out;
   double min_ops_per_sec = 0;
+
+  bool supervised() const { return heartbeat_ms > 0 || max_attempts > 1; }
+  std::int64_t effective_heartbeat_ms() const {
+    return heartbeat_ms > 0 ? heartbeat_ms : 200;
+  }
 };
 
 int usage(const char* argv0) {
@@ -100,6 +124,8 @@ int usage(const char* argv0) {
       "          [--duration-s S | --ops N] [--write-pct P] [--objects K]\n"
       "          [--object-base B]\n"
       "          [--zipf E] [--delta-us D] [--think-us U] [--seed S]\n"
+      "          [--max-attempts A] [--retry-base-ms MS] [--max-abandoned N]\n"
+      "          [--heartbeat-ms MS]\n"
       "          [--site-base B] [--metrics-out FILE] [--history-out FILE]\n"
       "          [--min-ops-per-sec X]\n",
       argv0);
@@ -164,6 +190,18 @@ bool parse_args(int argc, char** argv, Options& opt) {
     } else if (arg == "--site-base") {
       if ((v = next()) == nullptr) return false;
       opt.site_base = static_cast<std::uint32_t>(std::atoll(v));
+    } else if (arg == "--max-attempts") {
+      if ((v = next()) == nullptr) return false;
+      opt.max_attempts = std::atoi(v);
+    } else if (arg == "--retry-base-ms") {
+      if ((v = next()) == nullptr) return false;
+      opt.retry_base_ms = std::atoll(v);
+    } else if (arg == "--max-abandoned") {
+      if ((v = next()) == nullptr) return false;
+      opt.max_abandoned = std::atoll(v);
+    } else if (arg == "--heartbeat-ms") {
+      if ((v = next()) == nullptr) return false;
+      opt.heartbeat_ms = std::atoll(v);
     } else if (arg == "--metrics-out") {
       if ((v = next()) == nullptr) return false;
       opt.metrics_out = v;
@@ -178,6 +216,7 @@ bool parse_args(int argc, char** argv, Options& opt) {
     }
   }
   return !opt.ports.empty() && opt.threads >= 1 && opt.clients >= 1 &&
+         opt.max_attempts >= 1 &&
          opt.objects >= 1 && opt.write_pct >= 0 && opt.write_pct <= 100 &&
          (opt.duration_s > 0 || opt.ops > 0) &&
          (opt.site_base == 0 || opt.site_base >= opt.ports.size());
@@ -202,9 +241,17 @@ class Worker {
         index_(index),
         transport_(loop_, SimTime::millis(100)),
         zipf_(opt.objects, opt.zipf) {
+    std::vector<SiteId> shard_sites;
     for (std::size_t s = 0; s < opt_.ports.size(); ++s) {
-      transport_.add_route(SiteId{static_cast<std::uint32_t>(s)}, "127.0.0.1",
-                           opt_.ports[s]);
+      shard_sites.push_back(SiteId{static_cast<std::uint32_t>(s)});
+      transport_.add_route(shard_sites.back(), "127.0.0.1", opt_.ports[s]);
+    }
+    if (opt_.supervised()) {
+      net::SupervisionConfig sup;
+      sup.enabled = true;
+      sup.heartbeat_interval = SimTime::millis(opt_.effective_heartbeat_ms());
+      sup.seed = opt_.seed + 0x10ad + index;
+      transport_.set_supervision(sup);
     }
     const std::size_t num_shards = opt_.ports.size();
     clients_.reserve(opt_.clients);
@@ -218,6 +265,13 @@ class Worker {
         return SiteId{
             static_cast<std::uint32_t>(object.value % num_shards)};
       });
+      if (opt_.max_attempts > 1) {
+        RetryPolicy policy;
+        policy.max_attempts = opt_.max_attempts;
+        policy.base_timeout = SimTime::millis(opt_.retry_base_ms);
+        client->configure_reliability(policy, shard_sites,
+                                      opt_.seed + 0x5eed + global);
+      }
       client->attach();
       state_[k].rng = Rng::stream(opt_.seed, global);
       clients_.push_back(std::move(client));
@@ -236,8 +290,20 @@ class Worker {
 
   void join() { thread_.join(); }
 
+  /// Early shutdown (SIGINT/SIGTERM): stop issuing, give in-flight
+  /// operations a short grace to resolve through the retry layer, then
+  /// force the loop down so main can still flush histograms and the trace.
+  void request_stop() {
+    loop_.post([this] {
+      if (stop_requested_) return;
+      stop_requested_ = true;
+      loop_.run_after(SimTime::millis(500), [this] { loop_.stop(); });
+    });
+  }
+
   const std::vector<OpRecord>& records() const { return records_; }
   const std::vector<std::int64_t>& latencies() const { return latencies_; }
+  std::uint64_t abandoned() const { return abandoned_; }
   CacheStats total_cache_stats() const {
     CacheStats total;
     for (const auto& c : clients_) total += c->stats();
@@ -262,7 +328,7 @@ class Worker {
 
   void issue(std::size_t k) {
     ClientState& st = state_[k];
-    if ((opt_.ops > 0 && st.issued >= opt_.ops) ||
+    if (stop_requested_ || (opt_.ops > 0 && st.issued >= opt_.ops) ||
         (opt_.duration_s > 0 && loop_.now() >= deadline_)) {
       st.done = true;
       if (++done_clients_ == opt_.clients) loop_.stop();
@@ -292,8 +358,15 @@ class Worker {
   }
 
   void complete(std::size_t k, OpRecord record) {
-    latencies_.push_back(loop_.now().as_micros() - state_[k].issued_at_us);
-    records_.push_back(record);
+    // An abandoned operation's result is a degraded local guess, not a
+    // server answer: it must stay out of the history (its value could
+    // serialize nowhere) and out of the latency distribution.
+    if (clients_[k]->last_op_abandoned()) {
+      ++abandoned_;
+    } else {
+      latencies_.push_back(loop_.now().as_micros() - state_[k].issued_at_us);
+      records_.push_back(record);
+    }
     // Re-issue through the loop, never synchronously: a chain of cache hits
     // would otherwise recurse completion -> issue -> completion unboundedly.
     if (opt_.think_us > 0) {
@@ -315,6 +388,8 @@ class Worker {
   std::vector<std::int64_t> latencies_;
   SimTime deadline_;
   std::size_t done_clients_ = 0;
+  std::uint64_t abandoned_ = 0;
+  bool stop_requested_ = false;
   std::thread thread_;
 };
 
@@ -333,15 +408,38 @@ int main(int argc, char** argv) {
   if (!parse_args(argc, argv, opt)) return usage(argv[0]);
   if (opt.site_base == 0) opt.site_base = auto_site_base();
 
+  // Block SIGINT/SIGTERM in every thread; a dedicated watcher consumes
+  // them and asks the workers to stop, so an interrupted run still flows
+  // through the normal reporting/flush path below. SIGUSR2 is the private
+  // "run finished naturally, watcher can exit" wake-up.
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGINT);
+  sigaddset(&sigs, SIGTERM);
+  sigaddset(&sigs, SIGUSR2);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
   std::vector<std::unique_ptr<Worker>> workers;
   workers.reserve(opt.threads);
   for (std::size_t t = 0; t < opt.threads; ++t) {
     workers.push_back(std::make_unique<Worker>(opt, t));
   }
+  bool interrupted = false;
+  std::thread watcher([&] {
+    int got = 0;
+    sigwait(&sigs, &got);
+    if (got == SIGUSR2) return;
+    interrupted = true;
+    std::fprintf(stderr, "timedc-load: signal %d, draining and flushing\n",
+                 got);
+    for (auto& w : workers) w->request_stop();
+  });
   timespec t0;
   clock_gettime(CLOCK_MONOTONIC, &t0);
   for (auto& w : workers) w->start();
   for (auto& w : workers) w->join();
+  kill(getpid(), SIGUSR2);
+  watcher.join();
   timespec t1;
   clock_gettime(CLOCK_MONOTONIC, &t1);
   const double elapsed_s =
@@ -390,29 +488,25 @@ int main(int argc, char** argv) {
   Histogram latency_hist = Histogram::time_us();
   for (const std::int64_t l : latencies) latency_hist.record(l);
 
+  std::uint64_t total_abandoned = 0;
+  for (const auto& w : workers) total_abandoned += w->abandoned();
+
   MetricsRegistry reg;
   reg.set_counter("load.ops", total_ops);
   reg.set_counter("load.reads", staleness.size());
   reg.set_counter("load.writes", total_ops - staleness.size());
   reg.set_counter("load.reads_late", late_reads);
+  reg.set_counter("load.ops_abandoned", total_abandoned);
+  reg.set_counter("load.interrupted", interrupted ? 1 : 0);
   CacheStats cache_total;
-  net::TcpTransportStats net_total;
   for (const auto& w : workers) {
-    const CacheStats cs = w->total_cache_stats();
-    cache_total += cs;
-    const net::TcpTransportStats& ts = w->transport_stats();
-    net_total.frames_sent += ts.frames_sent;
-    net_total.frames_received += ts.frames_received;
-    net_total.connections_dialed += ts.connections_dialed;
-    net_total.decode_errors += ts.decode_errors;
-    net_total.unroutable += ts.unroutable;
+    cache_total += w->total_cache_stats();
+    // Publishers add counters, so calling once per worker aggregates the
+    // full transport counter set (reconnects, heartbeats, per-status
+    // decode errors, queue drops, ...) under one "net" prefix.
+    publish_tcp_transport_stats(reg, "net", w->transport_stats());
   }
   publish_cache_stats(reg, "client", cache_total);
-  reg.set_counter("net.frames_sent", net_total.frames_sent);
-  reg.set_counter("net.frames_received", net_total.frames_received);
-  reg.set_counter("net.connections_dialed", net_total.connections_dialed);
-  reg.set_counter("net.decode_errors", net_total.decode_errors);
-  reg.set_counter("net.unroutable", net_total.unroutable);
   reg.set_gauge("load.ops_per_sec", ops_per_sec);
   reg.set_gauge("load.elapsed_s", elapsed_s);
   reg.set_gauge("load.delta_us", static_cast<double>(opt.delta_us));
@@ -431,17 +525,29 @@ int main(int argc, char** argv) {
   std::printf(
       "timedc-load: %llu ops in %.2fs = %.0f ops/s | latency p50 %lld us "
       "p99 %lld us max %lld us | reads %zu late %llu (Delta %lld us) | "
-      "hit ratio %.2f\n",
+      "hit ratio %.2f | retries %llu failovers %llu abandoned %llu%s\n",
       static_cast<unsigned long long>(total_ops), elapsed_s, ops_per_sec,
       static_cast<long long>(percentile(latencies, 0.50)),
       static_cast<long long>(percentile(latencies, 0.99)),
       static_cast<long long>(latencies.empty() ? 0 : latencies.back()),
       staleness.size(), static_cast<unsigned long long>(late_reads),
-      static_cast<long long>(opt.delta_us), cache_total.hit_ratio());
+      static_cast<long long>(opt.delta_us), cache_total.hit_ratio(),
+      static_cast<unsigned long long>(cache_total.retries),
+      static_cast<unsigned long long>(cache_total.failovers),
+      static_cast<unsigned long long>(total_abandoned),
+      interrupted ? " | INTERRUPTED" : "");
 
   if (opt.min_ops_per_sec > 0 && ops_per_sec < opt.min_ops_per_sec) {
     std::fprintf(stderr, "FAIL: %.0f ops/s below the %.0f ops/s floor\n",
                  ops_per_sec, opt.min_ops_per_sec);
+    return 1;
+  }
+  if (opt.max_abandoned >= 0 &&
+      total_abandoned > static_cast<std::uint64_t>(opt.max_abandoned)) {
+    std::fprintf(stderr,
+                 "FAIL: %llu abandoned operations exceed the budget of %lld\n",
+                 static_cast<unsigned long long>(total_abandoned),
+                 static_cast<long long>(opt.max_abandoned));
     return 1;
   }
   return 0;

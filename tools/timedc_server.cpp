@@ -3,18 +3,35 @@
 // Hosts one or more ObjectServer shards (hash-partitioned object ownership,
 // exactly the cluster layout of the sim experiments), each on its own
 // 127.0.0.1 port with its own EventLoop thread and TcpTransport. Clients
-// route requests to the owning shard by object id (object % shards);
-// inter-shard routes exist so a misrouted request is forwarded server-side
-// just as in the sim.
+// route requests to the owning shard by object id (object % cluster size);
+// inter-shard and --peer routes exist so a misrouted request is forwarded
+// server-side just as in the sim.
+//
+// Replication topology: --site-base and --cluster-size let several
+// timedc-server *processes* form one cluster (each process hosts a
+// contiguous band of sites), with --peer SITE:HOST:PORT naming the remote
+// members. Peer routes are supervised: reconnect with capped backoff,
+// heartbeats, DEAD detection (src/net/tcp_transport.hpp).
+//
+// Durability: --state-file FILE keeps a per-shard write-ahead log
+// (FILE.<site>). Every write decision is appended and flushed before its
+// ack leaves; a restarted process replays the log before listening, so
+// object values, versions and the write-dedup slots (retransmission acks)
+// all survive a kill -9. With leases enabled the restart arms the
+// Gray-Cheriton grace window.
 //
 // Prints "LISTENING <port0> <port1> ..." on stdout once all shards are
 // bound — harnesses (tests/net_loopback_test.cpp, ci) parse this line.
-// Runs until SIGINT/SIGTERM or --duration-s, then writes a metrics JSON
-// snapshot (per-shard ServerStats + transport counters) to --metrics-out.
+// Runs until SIGINT/SIGTERM or --duration-s. Shutdown is a graceful drain:
+// stop accepting, release leases (begin_drain), give in-flight replies
+// --drain-ms to flush, then close. Metrics JSON (per-shard ServerStats +
+// full transport/supervision counters) goes to --metrics-out.
 //
 // Usage:
 //   timedc-server [--port 0] [--shards 1] [--lease-us 0]
 //                 [--push none|invalidate|update] [--duration-s 0]
+//                 [--site-base 0] [--cluster-size N] [--peer SITE:HOST:PORT]
+//                 [--state-file FILE] [--drain-ms 200] [--heartbeat-ms 200]
 //                 [--metrics-out FILE]
 #include <signal.h>
 
@@ -38,6 +55,12 @@ namespace {
 
 using namespace timedc;
 
+struct PeerSpec {
+  std::uint32_t site = 0;
+  std::string host;
+  std::uint16_t port = 0;
+};
+
 struct Options {
   std::uint16_t port = 0;  // base port; 0 = ephemeral per shard
   std::size_t shards = 1;
@@ -45,15 +68,36 @@ struct Options {
   PushPolicy push = PushPolicy::kNone;
   std::int64_t duration_s = 0;  // 0 = until SIGINT/SIGTERM
   std::string metrics_out;
+  std::uint32_t site_base = 0;
+  std::size_t cluster_size = 0;  // 0 = local shards only
+  std::vector<PeerSpec> peers;
+  std::string state_file;  // WAL base path; empty = no durability
+  std::int64_t drain_ms = 200;
+  std::int64_t heartbeat_ms = 200;
 };
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--port P] [--shards N] [--lease-us L]\n"
                "          [--push none|invalidate|update] [--duration-s S]\n"
+               "          [--site-base B] [--cluster-size C]\n"
+               "          [--peer SITE:HOST:PORT]... [--state-file FILE]\n"
+               "          [--drain-ms MS] [--heartbeat-ms MS]\n"
                "          [--metrics-out FILE]\n",
                argv0);
   return 2;
+}
+
+bool parse_peer(const char* spec, PeerSpec& peer) {
+  // SITE:HOST:PORT, HOST a dotted quad.
+  const char* c1 = std::strchr(spec, ':');
+  if (c1 == nullptr) return false;
+  const char* c2 = std::strrchr(spec, ':');
+  if (c2 == c1) return false;
+  peer.site = static_cast<std::uint32_t>(std::atol(spec));
+  peer.host.assign(c1 + 1, c2);
+  peer.port = static_cast<std::uint16_t>(std::atoi(c2 + 1));
+  return !peer.host.empty() && peer.port != 0;
 }
 
 bool parse_args(int argc, char** argv, Options& opt) {
@@ -94,11 +138,144 @@ bool parse_args(int argc, char** argv, Options& opt) {
       const char* v = next();
       if (v == nullptr) return false;
       opt.metrics_out = v;
+    } else if (arg == "--site-base") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.site_base = static_cast<std::uint32_t>(std::atol(v));
+    } else if (arg == "--cluster-size") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.cluster_size = static_cast<std::size_t>(std::atol(v));
+    } else if (arg == "--peer") {
+      const char* v = next();
+      PeerSpec peer;
+      if (v == nullptr || !parse_peer(v, peer)) return false;
+      opt.peers.push_back(std::move(peer));
+    } else if (arg == "--state-file") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.state_file = v;
+    } else if (arg == "--drain-ms") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.drain_ms = std::atoll(v);
+    } else if (arg == "--heartbeat-ms") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.heartbeat_ms = std::atoll(v);
     } else {
       return false;
     }
   }
-  return opt.shards >= 1;
+  if (opt.cluster_size == 0) opt.cluster_size = opt.shards;
+  return opt.shards >= 1 && opt.site_base + opt.shards <= opt.cluster_size +
+                                opt.site_base  // no overflow nonsense
+         && opt.shards <= opt.cluster_size;
+}
+
+// --- write-ahead log --------------------------------------------------------
+//
+// One text record per write decision:
+//   W <object> <value> <version> <alpha_us> <writer> <request_id>
+//     <ts_origin> <ts_n> <entry>...
+// version 0 records a write that lost the last-writer-wins race (its dedup
+// ack must still be reconstructable). Records are flushed before the ack is
+// sent; on load, parsing stops at the first torn record (a kill -9 mid-
+// append) and the file is rewritten with only the complete prefix.
+
+struct WalRecord {
+  WriteRequest request;
+  std::uint64_t version = 0;
+};
+
+bool parse_wal_line(const std::string& line, WalRecord& rec) {
+  if (line.empty() || line[0] != 'W') return false;
+  const char* p = line.c_str() + 1;
+  char* end = nullptr;
+  auto u64 = [&](std::uint64_t& out) {
+    out = std::strtoull(p, &end, 10);
+    const bool ok = end != p;
+    p = end;
+    return ok;
+  };
+  auto i64 = [&](std::int64_t& out) {
+    out = std::strtoll(p, &end, 10);
+    const bool ok = end != p;
+    p = end;
+    return ok;
+  };
+  std::uint64_t object = 0, version = 0, writer = 0, request_id = 0;
+  std::uint64_t ts_origin = 0, ts_n = 0;
+  std::int64_t value = 0, alpha_us = 0;
+  if (!u64(object) || !i64(value) || !u64(version) || !i64(alpha_us) ||
+      !u64(writer) || !u64(request_id) || !u64(ts_origin) || !u64(ts_n)) {
+    return false;
+  }
+  if (ts_n > 4096) return false;
+  std::vector<std::uint64_t> entries(ts_n);
+  for (std::uint64_t k = 0; k < ts_n; ++k) {
+    if (!u64(entries[k])) return false;
+  }
+  rec.request.object = ObjectId{static_cast<std::uint32_t>(object)};
+  rec.request.value = Value{value};
+  rec.request.client_time = SimTime::micros(alpha_us);
+  rec.request.write_ts = ts_n == 0
+      ? PlausibleTimestamp{}
+      : PlausibleTimestamp(std::move(entries),
+                           SiteId{static_cast<std::uint32_t>(ts_origin)});
+  rec.request.reply_to = SiteId{static_cast<std::uint32_t>(writer)};
+  rec.request.request_id = request_id;
+  rec.version = version;
+  return true;
+}
+
+void append_wal_record(std::FILE* f, const WriteRequest& req,
+                       std::uint64_t version) {
+  std::fprintf(f, "W %u %lld %llu %lld %u %llu %u %u",
+               req.object.value, static_cast<long long>(req.value.value),
+               static_cast<unsigned long long>(version),
+               static_cast<long long>(req.client_time.as_micros()),
+               req.reply_to.value,
+               static_cast<unsigned long long>(req.request_id),
+               req.write_ts.origin().value,
+               static_cast<unsigned>(req.write_ts.num_entries()));
+  for (const std::uint64_t e : req.write_ts.entries()) {
+    std::fprintf(f, " %llu", static_cast<unsigned long long>(e));
+  }
+  std::fputc('\n', f);
+  // The ack is the durability promise: the record must reach the kernel
+  // before the reply can leave (the page cache survives a process kill).
+  std::fflush(f);
+}
+
+/// Replays FILE into `server`, rewrites FILE to its parseable prefix, and
+/// returns the handle left open for appending. Returns the replayed count
+/// through `restored`.
+std::FILE* load_and_open_wal(const std::string& path, ObjectServer& server,
+                             std::size_t& restored) {
+  std::vector<std::string> good_lines;
+  {
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+      WalRecord rec;
+      if (!parse_wal_line(line, rec)) break;  // torn tail: stop here
+      server.restore_write(rec.request, rec.version);
+      good_lines.push_back(line);
+    }
+  }
+  restored = good_lines.size();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "timedc-server: cannot open WAL %s\n", path.c_str());
+    std::exit(1);
+  }
+  for (const std::string& line : good_lines) {
+    std::fputs(line.c_str(), f);
+    std::fputc('\n', f);
+  }
+  std::fflush(f);
+  return f;
 }
 
 struct Shard {
@@ -107,6 +284,8 @@ struct Shard {
   std::unique_ptr<ObjectServer> server;
   std::thread thread;
   std::uint16_t port = 0;
+  SiteId site{0};
+  std::FILE* wal = nullptr;
 };
 
 }  // namespace
@@ -123,9 +302,11 @@ int main(int argc, char** argv) {
   sigaddset(&sigs, SIGTERM);
   pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
 
+  // The full cluster (all processes): sites 0..cluster_size-1 own objects
+  // by hash partition. This process hosts sites site_base..site_base+shards-1.
   std::vector<SiteId> cluster;
-  cluster.reserve(opt.shards);
-  for (std::size_t i = 0; i < opt.shards; ++i) {
+  cluster.reserve(opt.cluster_size);
+  for (std::size_t i = 0; i < opt.cluster_size; ++i) {
     cluster.push_back(SiteId{static_cast<std::uint32_t>(i)});
   }
 
@@ -135,23 +316,60 @@ int main(int argc, char** argv) {
   // Bind every shard first (the loops are not running yet), so ephemeral
   // ports are known before inter-shard routes are added.
   std::vector<Shard> shards(opt.shards);
+  std::size_t total_restored = 0;
   for (std::size_t i = 0; i < opt.shards; ++i) {
     Shard& s = shards[i];
+    s.site = SiteId{opt.site_base + static_cast<std::uint32_t>(i)};
     s.loop = std::make_unique<net::EventLoop>();
     s.transport = std::make_unique<net::TcpTransport>(*s.loop);
     const std::uint16_t want =
         opt.port == 0 ? 0 : static_cast<std::uint16_t>(opt.port + i);
     s.port = s.transport->listen(want);
     s.server = std::make_unique<ObjectServer>(
-        *s.transport, cluster[i], opt.shards, opt.push, MessageSizes{},
-        opt.shards > 1 ? cluster : std::vector<SiteId>{}, config);
+        *s.transport, s.site, opt.cluster_size, opt.push, MessageSizes{},
+        opt.cluster_size > 1 ? cluster : std::vector<SiteId>{}, config);
+    if (!opt.state_file.empty()) {
+      const std::string path =
+          opt.state_file + "." + std::to_string(s.site.value);
+      std::size_t restored = 0;
+      s.wal = load_and_open_wal(path, *s.server, restored);
+      total_restored += restored;
+      if (restored > 0) s.server->arm_restart_grace();
+      std::FILE* wal = s.wal;
+      s.server->set_write_log(
+          [wal](const WriteRequest& req, std::uint64_t version) {
+            append_wal_record(wal, req, version);
+          });
+    }
     s.server->attach();
   }
+  // Routes to the other local shards and to every --peer process, all
+  // supervised: a crashed/partitioned member is re-dialed with backoff and
+  // detected DEAD by heartbeat silence.
   for (std::size_t i = 0; i < opt.shards; ++i) {
+    bool any_route = false;
     for (std::size_t j = 0; j < opt.shards; ++j) {
       if (i == j) continue;
-      shards[i].transport->add_route(cluster[j], "127.0.0.1", shards[j].port);
+      shards[i].transport->add_route(shards[j].site, "127.0.0.1",
+                                     shards[j].port);
+      any_route = true;
     }
+    for (const PeerSpec& peer : opt.peers) {
+      shards[i].transport->add_route(SiteId{peer.site}, peer.host, peer.port);
+      any_route = true;
+    }
+    if (any_route) {
+      net::SupervisionConfig sup;
+      sup.enabled = true;
+      sup.heartbeat_interval = SimTime::millis(opt.heartbeat_ms);
+      sup.seed = 0x5eed0000 + shards[i].site.value;
+      shards[i].transport->set_supervision(sup);
+    }
+  }
+
+  if (total_restored > 0) {
+    std::fprintf(stderr, "timedc-server: restored %zu WAL records\n",
+                 total_restored);
   }
 
   for (Shard& s : shards) {
@@ -171,24 +389,34 @@ int main(int argc, char** argv) {
     sigwait(&sigs, &got);
   }
 
+  // Graceful drain: stop accepting and release leases on every shard, let
+  // in-flight replies flush for --drain-ms, then close the sockets.
+  for (Shard& s : shards) {
+    net::TcpTransport* transport = s.transport.get();
+    ObjectServer* server = s.server.get();
+    s.loop->post([transport, server] {
+      transport->stop_listening();
+      server->begin_drain();
+    });
+  }
+  if (opt.drain_ms > 0) {
+    timespec drain{opt.drain_ms / 1000, (opt.drain_ms % 1000) * 1000000};
+    nanosleep(&drain, nullptr);
+  }
   for (Shard& s : shards) {
     net::TcpTransport* transport = s.transport.get();
     s.loop->post([transport] { transport->close_all(); });
     s.loop->stop();
     s.thread.join();
+    if (s.wal != nullptr) std::fclose(s.wal);
   }
 
   MetricsRegistry reg;
   for (std::size_t i = 0; i < opt.shards; ++i) {
-    const std::string prefix = "server." + std::to_string(i);
+    const std::string prefix = "server." + std::to_string(shards[i].site.value);
     publish_server_stats(reg, prefix, shards[i].server->stats());
-    const net::TcpTransportStats& t = shards[i].transport->stats();
-    reg.add_counter(prefix + ".net.frames_received", t.frames_received);
-    reg.add_counter(prefix + ".net.frames_sent", t.frames_sent);
-    reg.add_counter(prefix + ".net.connections_accepted",
-                    t.connections_accepted);
-    reg.add_counter(prefix + ".net.decode_errors", t.decode_errors);
-    reg.add_counter(prefix + ".net.unroutable", t.unroutable);
+    publish_tcp_transport_stats(reg, prefix + ".net",
+                                shards[i].transport->stats());
   }
   const std::string json = reg.to_json(2);
   if (!opt.metrics_out.empty()) {
