@@ -11,8 +11,10 @@
 //     clock, speedup vs 1 thread, and a determinism self-check (counters
 //     must be bit-identical at every thread count — the engine's contract);
 //   * the net stack: wire-codec encode/decode ns/msg over a representative
-//     message mix, and the TCP loopback request/reply RTT between two
-//     EventLoop threads (the floor under every timedc-load latency).
+//     message mix, the TCP loopback request/reply RTT between two
+//     EventLoop threads (the floor under every timedc-load latency), and
+//     the time-sync round-trip (one Cristian kTimeRequest/kTimeReply
+//     exchange — the overhead a TimeSyncClient adds per resync).
 //
 // Usage: perf_baseline [--quick] [--out FILE.json]
 //   --quick   CI-sized run (fewer rounds/reps); exit non-zero on any
@@ -22,6 +24,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <functional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -371,6 +374,7 @@ int main(int argc, char** argv) {
   }
 
   double loopback_rtt_us = 0;
+  double time_sync_round_us = 0;
   {
     const int pings = quick ? 2000 : 20000;
     net::EventLoop server_loop;
@@ -402,9 +406,50 @@ int main(int argc, char** argv) {
     server_loop.stop();
     server_thread.join();
   }
+
+  // Time-sync round-trip: one Cristian exchange (kTimeRequest out,
+  // kTimeReply back, answered at the transport layer) per round — the
+  // per-round cost a TimeSyncClient adds on top of protocol traffic.
+  {
+    const int rounds = quick ? 2000 : 20000;
+    net::EventLoop server_loop;
+    net::TcpTransport server_tx(server_loop);
+    const std::uint16_t port = server_tx.listen(0);
+    std::thread server_thread([&] { server_loop.run(); });
+
+    net::EventLoop client_loop;
+    net::TcpTransport client_tx(client_loop);
+    client_tx.add_route(SiteId{0}, "127.0.0.1", port);
+    int done = 0;
+    auto send_request = [&](std::uint64_t seq) {
+      wire::TimeSync req;
+      req.seq = seq;
+      req.client_send_us = client_loop.now().as_micros();
+      return client_tx.send_time_sync(SiteId{1}, SiteId{0}, req);
+    };
+    client_tx.set_time_sync_handler([&](SiteId, const wire::TimeSync& ts) {
+      if (++done == rounds) {
+        client_loop.stop();
+        return;
+      }
+      send_request(ts.seq + 1);
+    });
+    // The first send races the dial; retry on a short timer until the
+    // connection is up, then the reply handler drives the rest.
+    std::function<void()> kick = [&] {
+      if (!send_request(1)) client_loop.run_after(SimTime::millis(1), kick);
+    };
+    const auto t0 = Clock::now();  // includes the dial, amortized over rounds
+    client_loop.post(kick);
+    client_loop.run();
+    time_sync_round_us = seconds_since(t0) * 1e6 / rounds;
+    server_loop.stop();
+    server_thread.join();
+  }
   std::printf("  net: codec %.0f ns/msg encode, %.0f ns/msg decode; "
-              "TCP loopback RTT %.1f us\n\n",
-              codec_encode_ns, codec_decode_ns, loopback_rtt_us);
+              "TCP loopback RTT %.1f us; time-sync round %.1f us\n\n",
+              codec_encode_ns, codec_decode_ns, loopback_rtt_us,
+              time_sync_round_us);
 
   // --- JSON report --------------------------------------------------------
   FILE* f = std::fopen(out_path.c_str(), "w");
@@ -474,10 +519,12 @@ int main(int argc, char** argv) {
                (unsigned long long)tracer_events);
   std::fprintf(f,
                "  \"net\": {\"codec_encode_ns_per_msg\": %s, "
-               "\"codec_decode_ns_per_msg\": %s, \"loopback_rtt_us\": %s},\n",
+               "\"codec_decode_ns_per_msg\": %s, \"loopback_rtt_us\": %s, "
+               "\"time_sync_round_us\": %s},\n",
                json_escape_free(codec_encode_ns).c_str(),
                json_escape_free(codec_decode_ns).c_str(),
-               json_escape_free(loopback_rtt_us).c_str());
+               json_escape_free(loopback_rtt_us).c_str(),
+               json_escape_free(time_sync_round_us).c_str());
   std::fprintf(f, "  \"checker_verdicts_agree\": %s,\n", agree ? "true" : "false");
   std::fprintf(f, "  \"timed_verdicts_agree\": %s\n",
                timed_agree && timed_big_agree ? "true" : "false");

@@ -25,8 +25,27 @@ EVENT_TYPES = {
     "partition.open", "partition.heal",
     "bcast.send", "bcast.deliver", "bcast.discard",
     "check.enter", "check.fastpath", "check.prune", "check.verdict",
+    "clock.sync", "clock.reject", "clock.eps",
+    "delta.adapt",
 }
 EVENT_KEYS = {"t", "type", "site", "obj", "op", "a", "b"}
+
+
+def check_event_schema(ev, where):
+    """Per-type field constraints beyond the generic key/type checks."""
+    t, a, b = ev["type"], ev["a"], ev["b"]
+    if t == "clock.sync" and b < 0:
+        fail(f"{where}: clock.sync RTT (b) must be >= 0, got {b}")
+    if t == "clock.reject":
+        if a not in (0, 1):
+            fail(f"{where}: clock.reject reason (a) must be 0|1, got {a}")
+        if b < 0:
+            fail(f"{where}: clock.reject RTT (b) must be >= 0, got {b}")
+    if t == "clock.eps" and b < -1:
+        fail(f"{where}: clock.eps bound (b) below the -1 sentinel, got {b}")
+    if t == "delta.adapt" and (a < 0 or b < 0):
+        fail(f"{where}: delta.adapt effective/shed (a/b) must be >= 0, "
+             f"got {a}/{b}")
 
 
 def fail(msg):
@@ -58,6 +77,7 @@ def validate_jsonl(path):
                 fail(f"{path}:{lineno}: obj below the -1 sentinel")
             if prev_t is not None and ev["t"] < prev_t:
                 fail(f"{path}:{lineno}: timestamps decrease ({ev['t']} < {prev_t})")
+            check_event_schema(ev, f"{path}:{lineno}")
             prev_t = ev["t"]
             count += 1
     if count == 0:

@@ -1,0 +1,75 @@
+#include "clocks/sync_estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace timedc {
+
+SyncEstimator::SyncEstimator(const SyncEstimatorConfig& config)
+    : config_(config) {
+  TIMEDC_ASSERT(config.drift_ppm >= 0.0);
+  TIMEDC_ASSERT(config.rtt_window > 0);
+}
+
+SimTime SyncEstimator::rtt_threshold() const {
+  if (config_.outlier_percentile >= 1.0) return SimTime::infinity();
+  if (window_.size() < config_.min_samples_for_rejection) {
+    return SimTime::infinity();
+  }
+  if (consecutive_rejects_ >= config_.max_consecutive_rejects) {
+    return SimTime::infinity();  // fail open: re-train on the next round
+  }
+  std::vector<std::int64_t> sorted(window_.begin(), window_.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double rank =
+      std::ceil(config_.outlier_percentile * static_cast<double>(sorted.size()));
+  const std::size_t idx = static_cast<std::size_t>(std::max(1.0, rank)) - 1;
+  return SimTime::micros(sorted[std::min(idx, sorted.size() - 1)]);
+}
+
+bool SyncEstimator::on_reply(const SyncSample& sample) {
+  const SimTime rtt = sample.receive_hw - sample.request_sent_hw;
+  TIMEDC_ASSERT(rtt >= SimTime::zero());
+  if (rtt > rtt_threshold()) {
+    ++rejected_;
+    ++consecutive_rejects_;
+    last_rtt_ = rtt;  // observable even for rejected rounds
+    return false;
+  }
+
+  // Cristian's estimate: the server stamped its time somewhere within the
+  // round trip; assume the midpoint. The RTT is measured on the local
+  // hardware clock (drift over one RTT is negligible at ppm rates).
+  const SimTime estimated_server_now = sample.server_time + rtt / 2;
+  const SimTime new_correction = estimated_server_now - sample.receive_hw;
+
+  ++accepted_;
+  consecutive_rejects_ = 0;
+  last_rtt_ = rtt;
+  max_rtt_ = max(max_rtt_, rtt);
+  const SimTime shift = new_correction - correction_;
+  last_correction_shift_ =
+      shift < SimTime::zero() ? SimTime::zero() - shift : shift;
+  correction_ = new_correction;
+  last_accept_receive_hw_ = sample.receive_hw;
+  // Midpoint error is at most rtt/2; round up so the bound stays sound for
+  // odd-microsecond RTTs.
+  eps_base_ = (rtt + SimTime::micros(1)) / 2;
+
+  window_.push_back(rtt.as_micros());
+  while (window_.size() > config_.rtt_window) window_.pop_front();
+  return true;
+}
+
+SimTime SyncEstimator::error_bound(SimTime hardware_now) const {
+  if (!synced()) return SimTime::infinity();
+  const SimTime elapsed = max(SimTime::zero(), hardware_now - last_accept_receive_hw_);
+  const double drift =
+      static_cast<double>(elapsed.as_micros()) * config_.drift_ppm / 1e6;
+  return eps_base_ + SimTime::micros(static_cast<std::int64_t>(std::ceil(drift)));
+}
+
+}  // namespace timedc

@@ -1,0 +1,124 @@
+// Shared Cristian-style clock synchronization estimator (Section 3.2, after
+// Cristian [12] and NTP [28, 29]).
+//
+// Both clock-sync substrates — the deterministic simulator
+// (sim/clock_sync.hpp) and the real TCP transport (net/time_sync.hpp) — feed
+// the same raw observations into this estimator: a request send time and a
+// reply receive time, both read on the local free-running hardware clock,
+// plus the server timestamp carried by the reply. The estimator owns all of
+// the offset/epsilon math so the two substrates cannot diverge:
+//
+//   rtt        = receive_hw - request_sent_hw
+//   server_now ~= server_time + rtt/2           (Cristian's midpoint)
+//   correction = server_now - receive_hw
+//   |error|    <= rtt/2 + drift accumulated since the sample was taken
+//
+// The error_bound() accessor is the continuously maintained *measured
+// epsilon* contribution of this clock: it starts at rtt/2 after each
+// accepted round and grows at the configured drift rate until the next
+// accepted round, so losing the time server widens the bound instead of
+// letting it go silently stale. The system-wide pairwise bound between two
+// synchronized sites is the sum of their error_bound()s.
+//
+// Rounds whose RTT is anomalously large (a retransmit, a latency spike)
+// carry a weak midpoint estimate; when outlier rejection is enabled they
+// are discarded if the RTT exceeds a configured percentile of recent
+// accepted rounds. Rejection fails open: after max_consecutive_rejects
+// discarded rounds in a row the next round is accepted regardless, so a
+// genuine persistent RTT shift (a rerouted path, a congested link) re-trains
+// the window instead of starving the clock forever.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+
+#include "common/sim_time.hpp"
+
+namespace timedc {
+
+struct SyncEstimatorConfig {
+  /// Assumed worst-case drift rate of the local hardware oscillator,
+  /// in parts per million. Governs how fast error_bound() widens between
+  /// accepted rounds.
+  double drift_ppm = 200.0;
+
+  /// Rounds whose RTT exceeds this percentile of the recent accepted-RTT
+  /// window are rejected. Values >= 1.0 disable rejection (every round is
+  /// accepted) — the simulator substrate's default, whose tests account for
+  /// every exchange.
+  double outlier_percentile = 1.0;
+
+  /// How many accepted RTTs the percentile is computed over.
+  std::size_t rtt_window = 16;
+
+  /// No rejection until the window holds at least this many samples.
+  std::size_t min_samples_for_rejection = 4;
+
+  /// Fail-open bound: after this many consecutive rejections the next
+  /// round is accepted unconditionally so a persistent RTT shift re-trains
+  /// the window.
+  std::size_t max_consecutive_rejects = 8;
+};
+
+/// One completed request/reply exchange, all times in the local hardware
+/// timebase except server_time (the server's own reading).
+struct SyncSample {
+  SimTime request_sent_hw;
+  SimTime server_time;
+  SimTime receive_hw;
+};
+
+class SyncEstimator {
+ public:
+  SyncEstimator() = default;
+  explicit SyncEstimator(const SyncEstimatorConfig& config);
+
+  /// Feed one completed exchange. Returns true when the sample was accepted
+  /// (correction and epsilon base updated), false when it was rejected as
+  /// an RTT outlier.
+  bool on_reply(const SyncSample& sample);
+
+  /// True once at least one sample has been accepted.
+  bool synced() const { return accepted_ > 0; }
+
+  /// Additive correction: hardware reading + correction() ~= server time.
+  SimTime correction() const { return correction_; }
+
+  /// Corrected reading of the given hardware time.
+  SimTime now(SimTime hardware_now) const { return hardware_now + correction_; }
+
+  /// One-sided measured error bound at the given hardware time: rtt/2 of
+  /// the last accepted round plus drift accumulated since it. Infinity
+  /// until the first accepted round — an unsynchronized clock has no bound.
+  SimTime error_bound(SimTime hardware_now) const;
+
+  SimTime last_rtt() const { return last_rtt_; }
+  SimTime max_rtt() const { return max_rtt_; }
+  /// |correction delta| applied by the most recent accepted round.
+  SimTime last_correction_shift() const { return last_correction_shift_; }
+
+  std::uint64_t accepted() const { return accepted_; }
+  std::uint64_t rejected() const { return rejected_; }
+
+  const SyncEstimatorConfig& config() const { return config_; }
+
+ private:
+  /// The rejection threshold implied by the current window, or infinity
+  /// when rejection cannot apply (disabled, window too small, fail-open).
+  SimTime rtt_threshold() const;
+
+  SyncEstimatorConfig config_;
+  SimTime correction_ = SimTime::zero();
+  SimTime last_rtt_ = SimTime::zero();
+  SimTime max_rtt_ = SimTime::zero();
+  SimTime last_correction_shift_ = SimTime::zero();
+  SimTime last_accept_receive_hw_ = SimTime::zero();
+  SimTime eps_base_ = SimTime::infinity();
+  std::uint64_t accepted_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::size_t consecutive_rejects_ = 0;
+  std::deque<std::int64_t> window_;
+};
+
+}  // namespace timedc

@@ -35,6 +35,10 @@ bool parse_number(std::string_view token, T& out) {
   return ec == std::errc{} && ptr == end;
 }
 
+TraceParseResult parse_failure(std::string message) {
+  return TraceParseResult{std::nullopt, std::move(message), std::nullopt};
+}
+
 std::vector<std::string_view> split(std::string_view line) {
   std::vector<std::string_view> tokens;
   std::size_t i = 0;
@@ -49,6 +53,17 @@ std::vector<std::string_view> split(std::string_view line) {
 }
 
 }  // namespace
+
+std::string write_trace(const History& h, SimTime measured_eps) {
+  std::string out = write_trace(h);
+  if (!measured_eps.is_infinite() && measured_eps >= SimTime::zero()) {
+    // Insert after the header lines so the directive stays near the top.
+    const std::size_t sites_eol = out.find('\n', out.find("sites "));
+    out.insert(sites_eol + 1,
+               "eps " + std::to_string(measured_eps.as_micros()) + "\n");
+  }
+  return out;
+}
 
 std::string write_trace(const History& h) {
   std::string out = "# timedc trace\nsites " + std::to_string(h.num_sites()) + "\n";
@@ -81,12 +96,12 @@ TraceParseResult parse_trace(std::string_view text) {
   };
   std::vector<Parsed> ops;
   std::optional<std::size_t> num_sites;
+  std::optional<SimTime> measured_eps;
 
   std::size_t line_no = 0;
   std::size_t pos = 0;
   auto fail = [&](const std::string& what) {
-    return TraceParseResult{std::nullopt,
-                            "line " + std::to_string(line_no) + ": " + what};
+    return parse_failure("line " + std::to_string(line_no) + ": " + what);
   };
   while (pos <= text.size()) {
     const std::size_t eol = std::min(text.find('\n', pos), text.size());
@@ -108,6 +123,15 @@ TraceParseResult parse_trace(std::string_view text) {
         return fail("invalid site count '" + std::string(tokens[1]) + "'");
       }
       num_sites = n;
+      continue;
+    }
+    if (tokens[0] == "eps") {
+      if (tokens.size() != 2) return fail("expected: eps <us>");
+      std::int64_t micros = 0;
+      if (!parse_number(tokens[1], micros) || micros < 0) {
+        return fail("invalid eps '" + std::string(tokens[1]) + "'");
+      }
+      measured_eps = SimTime::micros(micros);
       continue;
     }
     if (tokens[0] == "w" || tokens[0] == "r") {
@@ -135,14 +159,13 @@ TraceParseResult parse_trace(std::string_view text) {
   }
 
   if (!num_sites) {
-    return TraceParseResult{std::nullopt, "missing 'sites <N>' header"};
+    return parse_failure("missing 'sites <N>' header");
   }
   for (std::size_t k = 0; k < ops.size(); ++k) {
     if (ops[k].site.value >= *num_sites) {
-      return TraceParseResult{
-          std::nullopt, "operation " + std::to_string(k) + " names site " +
-                            std::to_string(ops[k].site.value) + " but sites = " +
-                            std::to_string(*num_sites)};
+      return parse_failure("operation " + std::to_string(k) + " names site " +
+                           std::to_string(ops[k].site.value) + " but sites = " +
+                           std::to_string(*num_sites));
     }
   }
   // Append in (time, original order): per-site strict monotonicity checked
@@ -156,12 +179,10 @@ TraceParseResult parse_trace(std::string_view text) {
   for (std::size_t k : order) {
     const Parsed& op = ops[k];
     if (op.time <= last[op.site.value]) {
-      return TraceParseResult{
-          std::nullopt,
-          "site " + std::to_string(op.site.value) +
-              " has two operations at/before t=" +
-              std::to_string(op.time.as_micros()) +
-              "us (per-site times must strictly increase)"};
+      return parse_failure("site " + std::to_string(op.site.value) +
+                           " has two operations at/before t=" +
+                           std::to_string(op.time.as_micros()) +
+                           "us (per-site times must strictly increase)");
     }
     last[op.site.value] = op.time;
   }
@@ -171,14 +192,12 @@ TraceParseResult parse_trace(std::string_view text) {
     for (const Parsed& op : ops) {
       if (!op.is_write) continue;
       if (op.value == kInitialValue) {
-        return TraceParseResult{std::nullopt,
-                                "writes of the initial value 0 are not allowed"};
+        return parse_failure("writes of the initial value 0 are not allowed");
       }
       if (++seen[op.object][op.value] > 1) {
-        return TraceParseResult{
-            std::nullopt, "value " + std::to_string(op.value.value) +
-                              " written twice to object " +
-                              format_object(op.object)};
+        return parse_failure("value " + std::to_string(op.value.value) +
+                             " written twice to object " +
+                             format_object(op.object));
       }
     }
   }
@@ -192,7 +211,7 @@ TraceParseResult parse_trace(std::string_view text) {
       builder.read(op.site, op.object, op.value, op.time);
     }
   }
-  return TraceParseResult{builder.build(), ""};
+  return TraceParseResult{builder.build(), "", measured_eps};
 }
 
 }  // namespace timedc

@@ -4,6 +4,7 @@
 // Format (one operation per line, '#' comments, blank lines ignored):
 //
 //   sites <N>
+//   eps <us>                 (optional: measured pairwise clock-skew bound)
 //   w <site> <object> <value> <time_us>
 //   r <site> <object> <value> <time_us>
 //
@@ -11,6 +12,12 @@
 // "obj<N>". Lines may appear in any order; operations are appended per site
 // in increasing time order, so per-site times must be strictly increasing
 // (the History invariant).
+//
+// The `eps` directive records the *measured* epsilon of the run that
+// produced the trace (Definition 2's skew bound): the largest pairwise
+// clock-error bound any two sites exhibited while the history was captured.
+// timedc-check auto-ingests it so checked staleness matches what the
+// approximately-synchronized sites could actually observe.
 #pragma once
 
 #include <optional>
@@ -24,9 +31,15 @@ namespace timedc {
 /// Serialize a history to the trace format (stable, round-trippable).
 std::string write_trace(const History& h);
 
+/// As above, additionally recording the run's measured pairwise skew bound
+/// as an `eps` directive (negative values are not written).
+std::string write_trace(const History& h, SimTime measured_eps);
+
 struct TraceParseResult {
   std::optional<History> history;
   std::string error;  // empty on success; contains line number otherwise
+  /// The trace's recorded `eps` directive, when present.
+  std::optional<SimTime> measured_eps;
   bool ok() const { return history.has_value(); }
 };
 

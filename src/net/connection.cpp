@@ -142,6 +142,14 @@ void Connection::send_heartbeat(SiteId from, SiteId to,
   append_and_flush();
 }
 
+void Connection::send_time_sync(SiteId from, SiteId to,
+                                const wire::TimeSync& ts) {
+  if (closed()) return;
+  wire::encode_time_sync_frame(from, to, ts, wbuf_);
+  ++stats_.frames_sent;
+  append_and_flush();
+}
+
 void Connection::append_and_flush() {
   flush();
   if (pending_write_bytes() > kHighWatermark && !reading_paused_) {

@@ -64,6 +64,9 @@ class Connection {
   /// Queue one transport-level heartbeat frame.
   void send_heartbeat(SiteId from, SiteId to, const wire::Heartbeat& hb);
 
+  /// Queue one transport-level clock-sync frame.
+  void send_time_sync(SiteId from, SiteId to, const wire::TimeSync& ts);
+
   /// Deregister and close the fd; fires the close handler (once).
   void close(const char* reason);
 

@@ -197,6 +197,43 @@ void TcpTransport::send_message(SiteId from, SiteId to, Message m,
   conn->send_frame(from, to, m);
 }
 
+bool TcpTransport::send_time_sync(SiteId from, SiteId to,
+                                  const wire::TimeSync& ts) {
+  const auto local = handlers_.find(to.value);
+  if (local != handlers_.end() && !ts.reply) {
+    // The time server lives on this transport: answer through the loop so
+    // the sync client's handler never runs inside its own send.
+    loop_.post([this, from, to, ts]() {
+      wire::TimeSync reply = ts;
+      reply.reply = true;
+      reply.server_time_us = (loop_.now() + time_source_offset_).as_micros();
+      ++stats_.time_requests_served;
+      ++stats_.time_replies_received;
+      if (on_time_sync_) on_time_sync_(to, reply);
+    });
+    ++stats_.time_requests_sent;
+    return true;
+  }
+  Connection* conn = nullptr;
+  if (supervision_.enabled && routes_.find(to.value) != routes_.end()) {
+    const auto it = peers_.find(to.value);
+    if (it == peers_.end()) {
+      // No traffic has touched this route yet; start it like a send would.
+      peers_.try_emplace(to.value);
+      start_dial(to);
+      return false;
+    }
+    if (it->second.state != ConnectionState::kHealthy) return false;
+    conn = it->second.conn;
+  } else {
+    conn = connection_to(to);
+  }
+  if (conn == nullptr || conn->closed()) return false;
+  if (!ts.reply) ++stats_.time_requests_sent;
+  conn->send_time_sync(from, to, ts);
+  return true;
+}
+
 // --- supervision ------------------------------------------------------------
 
 void TcpTransport::transition(SiteId site, Peer& peer, ConnectionState next) {
@@ -402,6 +439,21 @@ void TcpTransport::on_frame(Connection& conn, wire::DecodedFrame& frame) {
       conn.send_heartbeat(frame.to, frame.from, pong);
     }
     // Transport-internal: no return-path learning, no handler dispatch.
+    return;
+  }
+  if (frame.is_time_sync) {
+    // Transport-internal, like heartbeats: requests are answered with this
+    // process's reference clock, replies go to the registered sync client.
+    if (!frame.time_sync.reply) {
+      wire::TimeSync reply = frame.time_sync;
+      reply.reply = true;
+      reply.server_time_us = (loop_.now() + time_source_offset_).as_micros();
+      conn.send_time_sync(frame.to, frame.from, reply);
+      ++stats_.time_requests_served;
+    } else {
+      ++stats_.time_replies_received;
+      if (on_time_sync_) on_time_sync_(frame.from, frame.time_sync);
+    }
     return;
   }
   ++stats_.frames_received;

@@ -95,6 +95,10 @@ struct TcpTransportStats {
   std::uint64_t dial_timeouts = 0;
   std::uint64_t heartbeats_sent = 0;
   std::uint64_t heartbeats_received = 0;
+  // Clock synchronization (transport-level, like heartbeats):
+  std::uint64_t time_requests_sent = 0;
+  std::uint64_t time_requests_served = 0;
+  std::uint64_t time_replies_received = 0;
   std::uint64_t liveness_expiries = 0;   // connections closed as silent
   std::uint64_t peers_marked_dead = 0;
   std::uint64_t frames_queued = 0;       // buffered while not kHealthy
@@ -138,6 +142,27 @@ class TcpTransport final : public Transport {
   void set_peer_state_handler(PeerStateHandler h) {
     on_peer_state_ = std::move(h);
   }
+
+  /// Observe kTimeReply frames addressed to this transport's sites. The
+  /// first argument is the replying peer (the time server's site). One
+  /// handler per transport: clock sync is per-process, not per-site.
+  using TimeSyncHandler = std::function<void(SiteId, const wire::TimeSync&)>;
+  void set_time_sync_handler(TimeSyncHandler h) {
+    on_time_sync_ = std::move(h);
+  }
+
+  /// Send one clock-sync frame (ts.reply selects request vs reply). Returns
+  /// false when no route/connection exists — the caller's round times out
+  /// and its epsilon keeps widening, which is the intended degradation.
+  /// Unlike send_message, nothing is queued: a delayed sync request would
+  /// only yield a stale, wide-RTT sample.
+  bool send_time_sync(SiteId from, SiteId to, const wire::TimeSync& ts);
+
+  /// Shift the reference clock this transport serves to kTimeRequest
+  /// frames: answers carry loop.now() + offset. Tests and experiments use
+  /// it to emulate a skewed or authoritative time server.
+  void set_time_source_offset(SimTime offset) { time_source_offset_ = offset; }
+  SimTime time_source_offset() const { return time_source_offset_; }
 
   /// Stop accepting new connections (existing ones keep running). Part of
   /// graceful drain; loop-thread only.
@@ -228,6 +253,8 @@ class TcpTransport final : public Transport {
   // Reverse map: which supervised site a dialed connection belongs to.
   std::unordered_map<const Connection*, std::uint32_t> conn_site_;
   PeerStateHandler on_peer_state_;
+  TimeSyncHandler on_time_sync_;
+  SimTime time_source_offset_ = SimTime::zero();
   Rng backoff_rng_;
   bool shutting_down_ = false;
 

@@ -1,0 +1,127 @@
+#include "net/time_sync.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace timedc::net {
+
+TimeSyncClient::TimeSyncClient(TcpTransport& transport, SiteId self,
+                               SiteId server,
+                               const PhysicalClockModel* hardware,
+                               TimeSyncConfig config, Tracer* tracer)
+    : transport_(transport),
+      self_(self),
+      server_(server),
+      hardware_(hardware),
+      config_(config),
+      tracer_(tracer),
+      estimator_(config.estimator) {
+  TIMEDC_ASSERT(hardware != nullptr);
+  TIMEDC_ASSERT(config.period > SimTime::zero());
+}
+
+SimTime TimeSyncClient::timeout() const {
+  if (config_.timeout > SimTime::zero()) return config_.timeout;
+  const SimTime lat = transport_.latency_upper_bound().is_infinite()
+                          ? SimTime::seconds(1)
+                          : transport_.latency_upper_bound();
+  return min(config_.period, min(lat * 2, SimTime::seconds(1)));
+}
+
+void TimeSyncClient::start() {
+  TIMEDC_ASSERT(!running_);
+  running_ = true;
+  ++generation_;
+  transport_.set_time_sync_handler(
+      [this](SiteId, const wire::TimeSync& ts) { on_reply(ts); });
+  send_round();
+}
+
+void TimeSyncClient::stop() {
+  running_ = false;
+  ++generation_;
+  outstanding_seq_ = 0;
+}
+
+void TimeSyncClient::send_round() {
+  if (!running_) return;
+  const std::uint64_t generation = generation_;
+  transport_.run_after(config_.period, [this, generation]() {
+    if (generation == generation_) send_round();
+  });
+
+  wire::TimeSync request;
+  request.seq = next_seq_++;
+  request.client_send_us = hardware_now().as_micros();
+  request_sent_hw_ = SimTime::micros(request.client_send_us);
+  outstanding_seq_ = request.seq;
+  if (!transport_.send_time_sync(self_, server_, request)) {
+    ++stats_.send_failures;
+    outstanding_seq_ = 0;
+    return;  // epsilon keeps widening; the next period retries
+  }
+  ++stats_.rounds_sent;
+
+  const std::uint64_t seq = request.seq;
+  transport_.run_after(timeout(), [this, generation, seq]() {
+    if (generation != generation_ || outstanding_seq_ != seq) return;
+    outstanding_seq_ = 0;
+    ++stats_.rounds_timed_out;
+    if (tracer_) {
+      tracer_->emit(TraceEventType::kClockReject, transport_.now(), self_,
+                    kNoObject, seq, /*a=*/1, /*b=*/0);
+    }
+  });
+}
+
+void TimeSyncClient::on_reply(const wire::TimeSync& ts) {
+  // Only the newest outstanding round is usable: request_sent_hw_ belongs
+  // to it, so an older (slower) reply would compute a bogus RTT.
+  if (!running_ || ts.seq != outstanding_seq_) return;
+  outstanding_seq_ = 0;
+  const SimTime receive_hw = hardware_now();
+  const bool accepted = estimator_.on_reply(
+      {request_sent_hw_, SimTime::micros(ts.server_time_us), receive_hw});
+  if (accepted) {
+    ++stats_.rounds_accepted;
+  } else {
+    ++stats_.rounds_rejected;
+  }
+  if (tracer_) {
+    const SimTime at = transport_.now();
+    if (accepted) {
+      tracer_->emit(TraceEventType::kClockSync, at, self_, kNoObject, ts.seq,
+                    estimator_.correction().as_micros(),
+                    estimator_.last_rtt().as_micros());
+    } else {
+      tracer_->emit(TraceEventType::kClockReject, at, self_, kNoObject, ts.seq,
+                    /*a=*/0, estimator_.last_rtt().as_micros());
+    }
+    const SimTime eps = epsilon();
+    tracer_->emit(TraceEventType::kClockEps, at, self_, kNoObject, ts.seq, 0,
+                  eps.is_infinite() ? -1 : eps.as_micros());
+  }
+}
+
+TimeSyncStats TimeSyncClient::stats() const {
+  TimeSyncStats s = stats_;
+  s.last_rtt_us = estimator_.last_rtt().as_micros();
+  s.offset_us = estimator_.correction().as_micros();
+  const SimTime eps = epsilon();
+  s.eps_us = eps.is_infinite() ? -1 : eps.as_micros();
+  return s;
+}
+
+SimTime AdaptiveDelta::effective(SimTime configured) const {
+  if (configured.is_infinite()) return configured;  // plain SC: no budget
+  const SimTime eps = sync_->epsilon();
+  if (eps.is_infinite()) return SimTime::zero();  // unknown skew: no budget
+  const double margin_us = config_.rtt_margin_factor *
+                           static_cast<double>(sync_->estimator().last_rtt().as_micros());
+  const SimTime shed = eps + SimTime::micros(static_cast<std::int64_t>(margin_us));
+  const SimTime effective = configured - shed;
+  return std::clamp(effective, SimTime::zero(), configured);
+}
+
+}  // namespace timedc::net

@@ -1,0 +1,168 @@
+// Cristian-style clock synchronization over the real TCP transport
+// (Section 3.2, S12; the real-network counterpart of sim/clock_sync.hpp).
+//
+// A TimeSyncClient owns one site's synchronization against a time server
+// reachable through a TcpTransport route. Every `period` it sends a
+// kTimeRequest stamped with its hardware clock, pairs the kTimeReply by
+// sequence number, and feeds the exchange into the shared SyncEstimator
+// (clocks/sync_estimator.hpp) — the same offset/epsilon math the simulator
+// substrate uses, so the two cannot diverge. Rounds whose RTT exceeds a
+// percentile of recent accepted rounds are rejected as outliers (a latency
+// spike yields a weak midpoint estimate), and rounds with no reply within
+// `timeout` are abandoned.
+//
+// The epsilon contract: epsilon() is this clock's *measured* one-sided
+// error bound right now — RTT/2 of the last accepted round plus drift-rate
+// growth since it. When the time server becomes unreachable no estimate is
+// ever reused silently: epsilon simply keeps widening at the assumed drift
+// rate, which is exactly the graceful degradation Definition 2's skew bound
+// needs. The pairwise bound between two synced sites is the sum of their
+// epsilons.
+//
+// AdaptiveDelta turns the measured bounds into a Maxwait-style effective
+// Delta budget: the configured Delta is an upper bound the adaptation can
+// only tighten (shed over-waiting), never exceed — correctness is preserved
+// by construction, and the budget floors at zero when epsilon alone
+// swallows it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "clocks/physical_clock.hpp"
+#include "clocks/sync_estimator.hpp"
+#include "net/tcp_transport.hpp"
+#include "obs/trace.hpp"
+
+namespace timedc::net {
+
+struct TimeSyncConfig {
+  /// Resync cadence; the first request fires immediately on start().
+  SimTime period = SimTime::millis(250);
+  /// A round with no reply within this window is abandoned. Zero derives
+  /// min(period, 2 * transport latency bound, 1s).
+  SimTime timeout = SimTime::zero();
+  /// Offset/epsilon estimation. The net default enables outlier rejection
+  /// at the 90th percentile (unlike the sim substrate, real RTTs spike).
+  SyncEstimatorConfig estimator{.outlier_percentile = 0.9};
+};
+
+struct TimeSyncStats {
+  std::uint64_t rounds_sent = 0;
+  std::uint64_t rounds_accepted = 0;
+  std::uint64_t rounds_rejected = 0;   // RTT outliers
+  std::uint64_t rounds_timed_out = 0;  // no reply within the timeout
+  std::uint64_t send_failures = 0;     // transport had no usable connection
+  std::int64_t last_rtt_us = 0;
+  std::int64_t offset_us = 0;   // current correction (signed)
+  std::int64_t eps_us = -1;     // one-sided bound now; -1 = unsynchronized
+};
+
+class TimeSyncClient {
+ public:
+  /// Syncs `self`'s clock against the transport-level time service of the
+  /// process hosting `server` (any TcpTransport answers kTimeRequest).
+  /// `hardware` is the local free-running oscillator; pass a PerfectClock
+  /// to sync a well-behaved host, a DriftingClock to emulate skew. All
+  /// methods are loop-thread only.
+  TimeSyncClient(TcpTransport& transport, SiteId self, SiteId server,
+                 const PhysicalClockModel* hardware, TimeSyncConfig config = {},
+                 Tracer* tracer = nullptr);
+
+  /// Register the transport handler and begin periodic rounds.
+  void start();
+  /// Stop issuing rounds (in-flight replies are ignored).
+  void stop();
+
+  /// Corrected clock reading: hardware + estimated offset.
+  SimTime now() const { return estimator_.now(hardware_now()); }
+  /// Current correction (what now() adds to the hardware reading).
+  SimTime offset() const { return estimator_.correction(); }
+  /// One-sided measured error bound right now; infinity until the first
+  /// accepted round, widening at the drift rate while the server is away.
+  SimTime epsilon() const { return estimator_.error_bound(hardware_now()); }
+  bool synced() const { return estimator_.synced(); }
+
+  const SyncEstimator& estimator() const { return estimator_; }
+  /// Counters plus eps/offset gauges sampled at call time.
+  TimeSyncStats stats() const;
+
+ private:
+  SimTime hardware_now() const { return hardware_->read(transport_.now()); }
+  SimTime timeout() const;
+  void send_round();
+  void on_reply(const wire::TimeSync& ts);
+
+  TcpTransport& transport_;
+  SiteId self_;
+  SiteId server_;
+  const PhysicalClockModel* hardware_;
+  TimeSyncConfig config_;
+  Tracer* tracer_;
+  SyncEstimator estimator_;
+  TimeSyncStats stats_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t outstanding_seq_ = 0;  // 0 = none
+  SimTime request_sent_hw_ = SimTime::zero();
+  /// Bumped by start()/stop() so stale timers recognise themselves.
+  std::uint64_t generation_ = 0;
+  bool running_ = false;
+};
+
+/// A PhysicalClockModel view over a TimeSyncClient: read(t) is the hardware
+/// reading at t corrected by the current estimate, so protocol code that
+/// takes a clock model (CacheClient) transparently follows the sync.
+class CorrectedClock final : public PhysicalClockModel {
+ public:
+  CorrectedClock(const PhysicalClockModel* hardware,
+                 const TimeSyncClient* sync)
+      : hardware_(hardware), sync_(sync) {}
+
+  SimTime read(SimTime true_time) const override {
+    return hardware_->read(true_time) + sync_->offset();
+  }
+  /// The honest bound is the live measured epsilon, not a static constant.
+  SimTime max_offset() const override { return sync_->epsilon(); }
+
+ private:
+  const PhysicalClockModel* hardware_;
+  const TimeSyncClient* sync_;
+};
+
+/// Maxwait-style adaptive Delta policy: how much of the configured budget
+/// to shed against measured conditions.
+struct AdaptiveDeltaConfig {
+  /// Fraction of the last measured sync RTT additionally shed, as margin
+  /// for in-flight staleness.
+  double rtt_margin_factor = 0.5;
+  /// Only adaptations that move the effective Delta by at least this much
+  /// emit a delta.adapt trace event (the bound drifts every microsecond).
+  SimTime trace_quantum = SimTime::millis(1);
+};
+
+/// Computes the effective Delta budget for a cache client:
+///
+///   effective = clamp(configured - epsilon - rtt_margin, 0, configured)
+///
+/// Tightening is always safe: a smaller Delta only makes rule 3 advance
+/// the cache context further, shedding staleness the measured clock error
+/// could otherwise hide. The budget never exceeds the configured Delta and
+/// floors at zero when epsilon alone exceeds it (the cache then behaves
+/// like Delta = 0 and always revalidates). Unsynchronized (epsilon
+/// infinite) likewise yields zero: an unknown skew gets no staleness
+/// budget.
+class AdaptiveDelta {
+ public:
+  AdaptiveDelta(const TimeSyncClient* sync, AdaptiveDeltaConfig config = {})
+      : sync_(sync), config_(config) {}
+
+  SimTime effective(SimTime configured) const;
+
+  const AdaptiveDeltaConfig& config() const { return config_; }
+
+ private:
+  const TimeSyncClient* sync_;
+  AdaptiveDeltaConfig config_;
+};
+
+}  // namespace timedc::net

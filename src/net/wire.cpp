@@ -291,6 +291,8 @@ Message decode_body(MsgType type, Reader& r) {
       return m;
     }
     case MsgType::kHeartbeat:
+    case MsgType::kTimeRequest:
+    case MsgType::kTimeReply:
       break;  // handled in decode_frame, never reaches decode_body
   }
   TIMEDC_ASSERT(false && "unreachable: type validated before decode_body");
@@ -333,6 +335,23 @@ void encode_heartbeat_frame(SiteId from, SiteId to, const Heartbeat& hb,
   w.u8(hb.reply ? 1 : 0);
 }
 
+void encode_time_sync_frame(SiteId from, SiteId to, const TimeSync& ts,
+                            std::vector<std::uint8_t>& out) {
+  constexpr std::size_t kBody = 8 + 8 + 8;
+  grow_for_append(out, kHeaderBytes + kBody);
+  Writer w(out);
+  w.u16(kMagic);
+  w.u8(kVersion);
+  w.u8(static_cast<std::uint8_t>(ts.reply ? MsgType::kTimeReply
+                                          : MsgType::kTimeRequest));
+  w.u32(from.value);
+  w.u32(to.value);
+  w.u32(kBody);
+  w.u64(ts.seq);
+  w.i64(ts.client_send_us);
+  w.i64(ts.server_time_us);
+}
+
 void encode_frame(SiteId from, SiteId to, const Message& m,
                   std::vector<std::uint8_t>& out) {
   const TypeAndSize ts = type_and_size(m);
@@ -369,11 +388,13 @@ DecodedFrame decode_frame(std::span<const std::uint8_t> buf) {
   }
   if (buf.size() < 4) return frame;
   const std::uint8_t raw_type = buf[3];
-  // kHeartbeat only exists from codec version 2 on; a version-1 frame
-  // declaring it is malformed, not merely new.
-  const std::uint8_t max_type = version >= 2
-      ? static_cast<std::uint8_t>(MsgType::kHeartbeat)
-      : static_cast<std::uint8_t>(MsgType::kPushUpdate);
+  // Each transport-level type only exists from the codec version that
+  // introduced it on (kHeartbeat: 2, kTimeRequest/kTimeReply: 3); an older
+  // frame declaring a newer type is malformed, not merely new.
+  const std::uint8_t max_type =
+      version >= 3   ? static_cast<std::uint8_t>(MsgType::kTimeReply)
+      : version == 2 ? static_cast<std::uint8_t>(MsgType::kHeartbeat)
+                     : static_cast<std::uint8_t>(MsgType::kPushUpdate);
   if (raw_type < static_cast<std::uint8_t>(MsgType::kFetchRequest) ||
       raw_type > max_type) {
     frame.status = DecodeStatus::kBadType;
@@ -407,6 +428,27 @@ DecodedFrame decode_frame(std::span<const std::uint8_t> buf) {
     frame.consumed = kHeaderBytes + body_len;
     frame.is_heartbeat = true;
     frame.heartbeat = hb;
+    return frame;
+  }
+  if (static_cast<MsgType>(raw_type) == MsgType::kTimeRequest ||
+      static_cast<MsgType>(raw_type) == MsgType::kTimeReply) {
+    TimeSync ts;
+    ts.seq = r.u64();
+    ts.client_send_us = r.i64();
+    ts.server_time_us = r.i64();
+    ts.reply = static_cast<MsgType>(raw_type) == MsgType::kTimeReply;
+    if (r.status() != DecodeStatus::kOk) {
+      frame.status = r.status();
+      return frame;
+    }
+    if (!r.exhausted()) {
+      frame.status = DecodeStatus::kTrailingBytes;
+      return frame;
+    }
+    frame.status = DecodeStatus::kOk;
+    frame.consumed = kHeaderBytes + body_len;
+    frame.is_time_sync = true;
+    frame.time_sync = ts;
     return frame;
   }
   Message m = decode_body(static_cast<MsgType>(raw_type), r);

@@ -34,10 +34,11 @@ namespace timedc::wire {
 
 inline constexpr std::uint16_t kMagic = 0x5443;  // "TC"
 /// Current codec version. Version 2 added the transport-level Heartbeat
-/// frame; every version-1 frame is still accepted unchanged (the version
-/// byte gates which MsgTypes are legal, not the field layouts, which are
-/// identical across both versions).
-inline constexpr std::uint8_t kVersion = 2;
+/// frame; version 3 added the TimeRequest/TimeReply clock-synchronization
+/// frames. Every older frame is still accepted unchanged (the version byte
+/// gates which MsgTypes are legal, not the field layouts, which are
+/// identical across all versions).
+inline constexpr std::uint8_t kVersion = 3;
 /// Oldest codec version this decoder still accepts.
 inline constexpr std::uint8_t kMinVersion = 1;
 inline constexpr std::size_t kHeaderBytes = 16;
@@ -61,6 +62,12 @@ enum class MsgType : std::uint8_t {
   /// the protocol layer: TcpTransport answers pings and consumes pongs
   /// itself, so `Message` stays exactly the eight protocol types.
   kHeartbeat = 9,
+  /// Transport-level Cristian clock-sync exchange (codec version >= 3).
+  /// Like heartbeats, these never reach the protocol layer: TcpTransport
+  /// answers requests with its reference time and hands replies to the
+  /// registered TimeSyncClient.
+  kTimeRequest = 10,
+  kTimeReply = 11,
 };
 
 enum class DecodeStatus : std::uint8_t {
@@ -107,12 +114,29 @@ struct Heartbeat {
   bool reply = false;
 };
 
+/// One leg of a Cristian clock-sync exchange, carried in a kTimeRequest or
+/// kTimeReply frame (`reply` selects the MsgType). The client stamps
+/// client_send_us from its own hardware clock; the server echoes seq and
+/// client_send_us and fills server_time_us with its reference clock, so the
+/// client can pair the reply and compute RTT without per-request state.
+struct TimeSync {
+  std::uint64_t seq = 0;
+  std::int64_t client_send_us = 0;
+  std::int64_t server_time_us = 0;  // meaningful in replies only
+  bool reply = false;
+};
+
 /// Append one encoded frame carrying `m` routed from -> to onto `out`.
 void encode_frame(SiteId from, SiteId to, const Message& m,
                   std::vector<std::uint8_t>& out);
 
 /// Append one encoded kHeartbeat frame onto `out`.
 void encode_heartbeat_frame(SiteId from, SiteId to, const Heartbeat& hb,
+                            std::vector<std::uint8_t>& out);
+
+/// Append one encoded kTimeRequest/kTimeReply frame (per ts.reply) onto
+/// `out`.
+void encode_time_sync_frame(SiteId from, SiteId to, const TimeSync& ts,
                             std::vector<std::uint8_t>& out);
 
 /// The exact number of bytes encode_frame appends for `m`.
@@ -128,6 +152,9 @@ struct DecodedFrame {
   /// and must not be interpreted.
   bool is_heartbeat = false;
   Heartbeat heartbeat;
+  /// Set for kTimeRequest/kTimeReply frames; `message` is likewise inert.
+  bool is_time_sync = false;
+  TimeSync time_sync;
 
   bool ok() const { return status == DecodeStatus::kOk; }
 };

@@ -4,6 +4,7 @@
 
 #include "broadcast/delta_causal.hpp"
 #include "net/tcp_transport.hpp"
+#include "net/time_sync.hpp"
 #include "protocol/server.hpp"
 #include "protocol/stats.hpp"
 #include "sim/faults.hpp"
@@ -38,6 +39,7 @@ void publish_cache_stats(MetricsRegistry& reg, std::string_view prefix,
   reg.add_counter(key(prefix, "ops_abandoned"), stats.ops_abandoned);
   reg.add_counter(key(prefix, "duplicate_replies"), stats.duplicate_replies);
   reg.add_counter(key(prefix, "unavailable_us"), stats.unavailable_us);
+  reg.add_counter(key(prefix, "delta_adaptations"), stats.delta_adaptations);
 }
 
 void publish_server_stats(MetricsRegistry& reg, std::string_view prefix,
@@ -116,6 +118,12 @@ void publish_tcp_transport_stats(MetricsRegistry& reg, std::string_view prefix,
   reg.add_counter(key(prefix, "heartbeats_sent"), stats.heartbeats_sent);
   reg.add_counter(key(prefix, "heartbeats_received"),
                   stats.heartbeats_received);
+  reg.add_counter(key(prefix, "time_requests_sent"),
+                  stats.time_requests_sent);
+  reg.add_counter(key(prefix, "time_requests_served"),
+                  stats.time_requests_served);
+  reg.add_counter(key(prefix, "time_replies_received"),
+                  stats.time_replies_received);
   reg.add_counter(key(prefix, "liveness_expiries"), stats.liveness_expiries);
   reg.add_counter(key(prefix, "peers_marked_dead"), stats.peers_marked_dead);
   reg.add_counter(key(prefix, "frames_queued"), stats.frames_queued);
@@ -133,6 +141,20 @@ void publish_tcp_transport_stats(MetricsRegistry& reg, std::string_view prefix,
                 static_cast<double>(stats.peers_by_state[2]));
   reg.set_gauge(key(prefix, "peers_dead"),
                 static_cast<double>(stats.peers_by_state[3]));
+}
+
+void publish_time_sync_stats(MetricsRegistry& reg, std::string_view prefix,
+                             const net::TimeSyncStats& stats) {
+  reg.add_counter(key(prefix, "rounds_sent"), stats.rounds_sent);
+  reg.add_counter(key(prefix, "rounds_accepted"), stats.rounds_accepted);
+  reg.add_counter(key(prefix, "rounds_rejected"), stats.rounds_rejected);
+  reg.add_counter(key(prefix, "rounds_timed_out"), stats.rounds_timed_out);
+  reg.add_counter(key(prefix, "send_failures"), stats.send_failures);
+  reg.set_gauge(key(prefix, "last_rtt_us"),
+                static_cast<double>(stats.last_rtt_us));
+  reg.set_gauge(key(prefix, "offset_us"),
+                static_cast<double>(stats.offset_us));
+  reg.set_gauge(key(prefix, "eps_us"), static_cast<double>(stats.eps_us));
 }
 
 }  // namespace timedc

@@ -18,6 +18,7 @@ struct FaultStats;
 struct DeltaBroadcastStats;
 namespace net {
 struct TcpTransportStats;
+struct TimeSyncStats;
 }  // namespace net
 
 /// Each publisher adds (not sets) counters named `<prefix>.<field>`, so
@@ -37,5 +38,11 @@ void publish_broadcast_stats(MetricsRegistry& reg, std::string_view prefix,
 /// connection-state gauges (`<prefix>.peers_<state>`).
 void publish_tcp_transport_stats(MetricsRegistry& reg, std::string_view prefix,
                                  const net::TcpTransportStats& stats);
+/// Publishes one TimeSyncClient's round counters plus its current
+/// offset/epsilon/RTT as gauges (`<prefix>.eps_us` is the peer's measured
+/// one-sided bound, -1 while unsynchronized). Call once per syncing peer
+/// with a per-peer prefix for the per-peer epsilon export.
+void publish_time_sync_stats(MetricsRegistry& reg, std::string_view prefix,
+                             const net::TimeSyncStats& stats);
 
 }  // namespace timedc

@@ -45,6 +45,10 @@ constexpr TypeInfo kTypeInfo[kNumTraceEventTypes] = {
     {"check.fastpath", TraceCategory::kChecker},
     {"check.prune", TraceCategory::kChecker},
     {"check.verdict", TraceCategory::kChecker},
+    {"clock.sync", TraceCategory::kClock},
+    {"clock.reject", TraceCategory::kClock},
+    {"clock.eps", TraceCategory::kClock},
+    {"delta.adapt", TraceCategory::kCache},
 };
 
 }  // namespace
@@ -73,6 +77,7 @@ const char* to_cstring(TraceCategory category) {
     case TraceCategory::kFaults: return "faults";
     case TraceCategory::kBroadcast: return "broadcast";
     case TraceCategory::kChecker: return "checker";
+    case TraceCategory::kClock: return "clock";
   }
   return "?";
 }

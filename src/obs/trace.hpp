@@ -72,10 +72,16 @@ enum class TraceEventType : std::uint8_t {
   kCheckFastPath,  // b: 0 seed-order, 1 prefilter
   kCheckPrune,     // b: reason (see kPrune* in checkers.cpp)
   kCheckVerdict,   // op: verdict (0 yes / 1 no / 2 limit), b: nodes
+  // Clock synchronization (site = the syncing client).
+  kClockSync,    // a: correction us (signed), b: round RTT us
+  kClockReject,  // a: 0 RTT outlier / 1 timeout, b: round RTT us (0 if timeout)
+  kClockEps,     // b: one-sided measured error bound us
+  // Adaptive Delta (site = the adapting cache client).
+  kDeltaAdapt,  // a: effective Delta us, b: shed us (configured - effective)
 };
 
 inline constexpr std::size_t kNumTraceEventTypes =
-    static_cast<std::size_t>(TraceEventType::kCheckVerdict) + 1;
+    static_cast<std::size_t>(TraceEventType::kDeltaAdapt) + 1;
 
 /// Stable dotted name ("net.send", "check.verdict", ...) used by every
 /// exporter; parse_trace_jsonl round-trips through it.
@@ -91,6 +97,7 @@ enum class TraceCategory : std::uint32_t {
   kFaults = 1u << 4,
   kBroadcast = 1u << 5,
   kChecker = 1u << 6,
+  kClock = 1u << 7,
 };
 TraceCategory category_of(TraceEventType type);
 const char* to_cstring(TraceCategory category);

@@ -59,6 +59,29 @@ void CacheClient::configure_reliability(RetryPolicy policy,
   rpc_rng_ = Rng(rpc_seed);
 }
 
+SimTime CacheClient::effective_delta() {
+  if (!delta_provider_) return delta_;
+  SimTime effective = delta_provider_(delta_);
+  // Tighten-only clamp: adaptation may shed over-waiting, never loosen the
+  // configured bound, and the budget floors at zero (no negative waits even
+  // when the measured epsilon exceeds Delta).
+  if (effective < SimTime::zero()) effective = SimTime::zero();
+  if (effective > delta_) effective = delta_;
+  // The bound drifts every microsecond (epsilon grows between resyncs);
+  // only decisions that moved at least 1ms are adaptation events.
+  const SimTime moved = effective > last_effective_delta_
+                            ? effective - last_effective_delta_
+                            : last_effective_delta_ - effective;
+  if (!effective_delta_seen_ || moved >= SimTime::millis(1)) {
+    effective_delta_seen_ = true;
+    last_effective_delta_ = effective;
+    ++stats_.delta_adaptations;
+    trace(TraceEventType::kDeltaAdapt, kNoObject, effective.as_micros(),
+          (delta_ - effective).as_micros());
+  }
+  return effective;
+}
+
 void CacheClient::attach() {
   net_.register_site(self_, [this](SiteId, const Message& m) {
     on_network_message(m);

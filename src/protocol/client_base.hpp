@@ -110,6 +110,23 @@ class CacheClient {
   SimTime delta() const { return delta_; }
   const CacheStats& stats() const { return stats_; }
 
+  /// Maxwait-style adaptive Delta: when set, the provider maps the
+  /// configured Delta to the effective budget for the next operation. The
+  /// contract is tighten-only — the cache clamps the returned value into
+  /// [0, configured Delta], so adaptation can shed over-waiting but never
+  /// loosen the user's bound (a larger Delta could admit staleness the
+  /// configured spec forbids).
+  using DeltaProvider = std::function<SimTime(SimTime configured)>;
+  void set_delta_provider(DeltaProvider provider) {
+    delta_provider_ = std::move(provider);
+  }
+
+  /// The Delta budget in force right now: the provider's clamped answer,
+  /// or the configured Delta when no provider is set. Emits a delta.adapt
+  /// trace event and bumps stats().delta_adaptations when the value moved
+  /// by at least 1ms (or to/from a budget edge) since the last decision.
+  SimTime effective_delta();
+
   /// Emit op/cache events to `tracer` (nullptr = off).
   void set_tracer(Tracer* tracer) { obs_ = tracer; }
 
@@ -165,6 +182,10 @@ class CacheClient {
   void on_rpc_timeout();
   void abandon_op();
   SimTime timeout_for_attempt(int attempt);
+
+  DeltaProvider delta_provider_;
+  SimTime last_effective_delta_ = SimTime::infinity();  // last traced decision
+  bool effective_delta_seen_ = false;
 
   std::function<SiteId(ObjectId)> route_;
   ReadCallback pending_read_;

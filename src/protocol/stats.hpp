@@ -24,6 +24,8 @@ struct CacheStats {
   std::uint64_t ops_abandoned = 0;      // retry budget exhausted
   std::uint64_t duplicate_replies = 0;  // replies suppressed by request id
   std::uint64_t unavailable_us = 0;     // time spent inside abandoned ops
+  // Adaptive Delta (zero without a DeltaProvider).
+  std::uint64_t delta_adaptations = 0;  // effective-Delta moves >= 1ms
 
   double hit_ratio() const {
     return reads == 0 ? 0.0 : static_cast<double>(cache_hits) / reads;
@@ -45,6 +47,7 @@ struct CacheStats {
     ops_abandoned += o.ops_abandoned;
     duplicate_replies += o.duplicate_replies;
     unavailable_us += o.unavailable_us;
+    delta_adaptations += o.delta_adaptations;
     return *this;
   }
 };

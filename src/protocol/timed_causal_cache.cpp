@@ -72,8 +72,9 @@ void TimedCausalCache::demote(std::unordered_map<ObjectId, Entry>::iterator it,
 }
 
 void TimedCausalCache::beta_sweep() {
-  if (delta_.is_infinite()) return;  // plain CC
-  const SimTime horizon = local_time() - delta_;
+  const SimTime budget = effective_delta();
+  if (budget.is_infinite()) return;  // plain CC
+  const SimTime horizon = local_time() - budget;
   for (auto it = cache_.begin(); it != cache_.end();) {
     if (!it->second.old && it->second.beta < horizon) {
       bool erased = false;

@@ -5,9 +5,10 @@
 namespace timedc {
 
 void TimedSerialCache::advance_context_for_timeliness() {
-  if (delta_.is_infinite()) return;  // plain SC: rule 3 disabled
+  const SimTime budget = effective_delta();
+  if (budget.is_infinite()) return;  // plain SC: rule 3 disabled
   const SimTime t = local_time();
-  raise_context(t - delta_);
+  raise_context(t - budget);
 }
 
 void TimedSerialCache::raise_context(SimTime candidate) {

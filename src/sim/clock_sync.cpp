@@ -25,8 +25,14 @@ void TimeServer::attach() {
 
 SyncedSiteClock::SyncedSiteClock(Simulator& sim, Network& net, SiteId self,
                                  SiteId server,
-                                 const PhysicalClockModel* hardware)
-    : sim_(sim), net_(net), self_(self), server_(server), hardware_(hardware) {
+                                 const PhysicalClockModel* hardware,
+                                 const SyncEstimatorConfig& estimator_config)
+    : sim_(sim),
+      net_(net),
+      self_(self),
+      server_(server),
+      hardware_(hardware),
+      estimator_(estimator_config) {
   TIMEDC_ASSERT(hardware != nullptr);
 }
 
@@ -43,7 +49,7 @@ void SyncedSiteClock::start(SimTime period) {
 }
 
 SimTime SyncedSiteClock::now() const {
-  return hardware_->read(sim_.now()) + correction_;
+  return estimator_.now(hardware_->read(sim_.now()));
 }
 
 void SyncedSiteClock::send_request() {
@@ -65,22 +71,15 @@ void SyncedSiteClock::on_message(const std::shared_ptr<void>& payload) {
   if (!request_outstanding_ || reply->seq != outstanding_seq_) return;
   request_outstanding_ = false;
 
-  // Cristian's estimate: the server stamped its time somewhere within the
-  // round trip; assume the midpoint. The RTT is measured on the local
-  // hardware clock (drift over one RTT is negligible at ppm rates).
   const SimTime receive_hw = hardware_->read(sim_.now());
-  const SimTime rtt = receive_hw - request_sent_hw_;
-  const SimTime estimated_server_now = reply->server_time + rtt / 2;
-  const SimTime new_correction =
-      estimated_server_now - receive_hw;
-
-  ++stats_.syncs;
-  stats_.last_rtt = rtt;
-  stats_.max_rtt = max(stats_.max_rtt, rtt);
-  const SimTime shift = new_correction - correction_;
-  stats_.last_correction =
-      shift < SimTime::zero() ? SimTime::zero() - shift : shift;
-  correction_ = new_correction;
+  if (!estimator_.on_reply(
+          {request_sent_hw_, reply->server_time, receive_hw})) {
+    return;  // rejected as an RTT outlier; stats count accepted rounds only
+  }
+  stats_.syncs = estimator_.accepted();
+  stats_.last_rtt = estimator_.last_rtt();
+  stats_.max_rtt = estimator_.max_rtt();
+  stats_.last_correction = estimator_.last_correction_shift();
 }
 
 }  // namespace timedc

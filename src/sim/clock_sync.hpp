@@ -20,6 +20,7 @@
 #include <variant>
 
 #include "clocks/physical_clock.hpp"
+#include "clocks/sync_estimator.hpp"
 #include "common/sim_time.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
@@ -62,13 +63,18 @@ struct ClockSyncStats {
 };
 
 /// One site's synchronized clock: free-running hardware plus a correction
-/// maintained by periodic Cristian exchanges.
+/// maintained by periodic Cristian exchanges. The offset/epsilon math lives
+/// in the shared SyncEstimator (clocks/sync_estimator.hpp) so the simulated
+/// and TCP substrates produce identical estimates from identical samples.
 class SyncedSiteClock {
  public:
   /// `hardware` is the site's uncorrected oscillator (typically a
   /// DriftingClock). The clock starts unsynchronized (correction 0).
+  /// The default estimator config accepts every reply (no outlier
+  /// rejection), matching the deterministic simulator's expectations.
   SyncedSiteClock(Simulator& sim, Network& net, SiteId self, SiteId server,
-                  const PhysicalClockModel* hardware);
+                  const PhysicalClockModel* hardware,
+                  const SyncEstimatorConfig& estimator_config = {});
 
   void attach();
 
@@ -83,6 +89,16 @@ class SyncedSiteClock {
 
   const ClockSyncStats& stats() const { return stats_; }
 
+  /// The underlying estimator, exposed for epsilon accounting and the
+  /// sim/net parity tests.
+  const SyncEstimator& estimator() const { return estimator_; }
+
+  /// This clock's one-sided measured error bound right now (rtt/2 of the
+  /// last accepted round plus drift since); infinity before the first sync.
+  SimTime error_bound() const {
+    return estimator_.error_bound(hardware_->read(sim_.now()));
+  }
+
  private:
   void send_request();
   void on_message(const std::shared_ptr<void>& payload);
@@ -93,11 +109,11 @@ class SyncedSiteClock {
   SiteId server_;
   const PhysicalClockModel* hardware_;
   SimTime period_ = SimTime::zero();
-  SimTime correction_ = SimTime::zero();
   SimTime request_sent_hw_ = SimTime::zero();
   std::uint64_t next_seq_ = 0;
   std::uint64_t outstanding_seq_ = 0;
   bool request_outstanding_ = false;
+  SyncEstimator estimator_;
   ClockSyncStats stats_;
 };
 

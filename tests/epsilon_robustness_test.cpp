@@ -1,0 +1,137 @@
+// Epsilon edge cases for Definition 2's shrunken interference set, property
+// tested over generated histories: growing the skew bound only ever weakens
+// the timed predicate (eps-shrunken reads_on_time is never stricter than
+// eps = 0, min_timed_delta is monotone non-increasing in eps), a large
+// enough eps dissolves every interference, and the measured-eps trace
+// directive survives a write/parse round trip.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/history.hpp"
+#include "core/history_gen.hpp"
+#include "core/timed.hpp"
+#include "core/trace_io.hpp"
+
+namespace timedc {
+namespace {
+
+SimTime us(std::int64_t n) { return SimTime::micros(n); }
+
+std::vector<History> property_histories() {
+  std::vector<History> out;
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    RandomHistoryParams p;
+    p.num_sites = 2 + seed % 3;
+    p.num_objects = 1 + seed % 3;
+    p.num_ops = 10 + static_cast<std::size_t>(seed % 7) * 4;
+    p.write_ratio = 0.3 + 0.05 * static_cast<double>(seed % 8);
+    Rng rng = Rng::stream(12345, seed);
+    out.push_back(random_history(p, rng));
+  }
+  return out;
+}
+
+// A positive eps only removes pairs from W_r (thresholds shrink, concurrent
+// writes drop out), so any history on time at eps = 0 stays on time at any
+// eps > 0, every late read at eps > 0 is also late at eps = 0, and W_r can
+// only shrink per read. The checker with a measured eps can therefore never
+// reject an execution a perfectly-synchronized checker would accept.
+TEST(EpsilonRobustness, ShrunkenPredicateNeverStricterThanEpsZero) {
+  const std::vector<SimTime> epsilons = {us(1), us(5), us(20), us(1000)};
+  for (const History& h : property_histories()) {
+    for (SimTime delta : {us(0), us(10), us(40)}) {
+      const TimedCheckResult base = reads_on_time(h, TimedSpecEpsilon{delta, us(0)});
+      for (SimTime eps : epsilons) {
+        const TimedCheckResult shrunk =
+            reads_on_time(h, TimedSpecEpsilon{delta, eps});
+        if (base.all_on_time) {
+          EXPECT_TRUE(shrunk.all_on_time)
+              << "eps=" << eps.as_micros() << "us delta=" << delta.as_micros()
+              << "us made the predicate stricter";
+        }
+        EXPECT_LE(shrunk.late_reads.size(), base.late_reads.size());
+        for (const LateRead& late : shrunk.late_reads) {
+          const std::vector<OpIndex> w0 =
+              interference_set(h, late.read, delta, us(0));
+          EXPECT_LE(late.w_r.size(), w0.size());
+        }
+      }
+    }
+  }
+}
+
+TEST(EpsilonRobustness, MinTimedDeltaMonotoneNonIncreasingInEps) {
+  for (const History& h : property_histories()) {
+    SimTime prev = min_timed_delta(h, us(0));
+    EXPECT_EQ(prev, min_timed_delta(h));  // eps = 0 is Definition 1
+    for (SimTime eps : {us(2), us(8), us(30), us(200)}) {
+      const SimTime d = min_timed_delta(h, eps);
+      EXPECT_LE(d, prev) << "eps=" << eps.as_micros() << "us";
+      prev = d;
+    }
+  }
+}
+
+// Once eps exceeds every timestamp gap in the history no write definitely
+// precedes another, Definition 2's interference sets are all empty, and the
+// execution is timed at Delta = 0 — eps larger than Delta is meaningful,
+// it simply floors the required Delta at zero rather than going negative.
+TEST(EpsilonRobustness, HugeEpsDissolvesAllInterference) {
+  for (const History& h : property_histories()) {
+    const SimTime huge = SimTime::seconds(10);
+    EXPECT_EQ(min_timed_delta(h, huge), SimTime::zero());
+    EXPECT_TRUE(reads_on_time(h, TimedSpecEpsilon{SimTime::zero(), huge})
+                    .all_on_time);
+  }
+}
+
+// The NET-C shape in miniature: a read that returns a value staler than
+// Delta under raw clocks is late at eps = 0, but a measured eps covering
+// the skew (here, all of the 60ms gap) excuses it.
+TEST(EpsilonRobustness, MeasuredEpsExcusesBoundedSkew) {
+  HistoryBuilder b(2);
+  b.write(SiteId{0}, ObjectId{0}, Value{1}, us(1000));
+  b.write(SiteId{0}, ObjectId{0}, Value{2}, us(2000));
+  // Site 1's clock runs 60ms behind: its read of the stale value 1 carries
+  // timestamp 62ms while the overwrite is stamped 2ms.
+  b.read(SiteId{1}, ObjectId{0}, Value{1}, us(62000));
+  const History h = b.build();
+
+  EXPECT_FALSE(
+      reads_on_time(h, TimedSpecEpsilon{us(10000), us(0)}).all_on_time);
+  EXPECT_TRUE(
+      reads_on_time(h, TimedSpecEpsilon{us(10000), us(60000)}).all_on_time);
+  EXPECT_GT(min_timed_delta(h, us(0)), us(10000));
+  EXPECT_LE(min_timed_delta(h, us(60000)), us(10000));
+}
+
+TEST(EpsilonRobustness, TraceEpsDirectiveRoundTrips) {
+  HistoryBuilder b(2);
+  b.write(SiteId{0}, ObjectId{0}, Value{7}, us(10));
+  b.read(SiteId{1}, ObjectId{0}, Value{7}, us(25));
+  const History h = b.build();
+
+  const std::string with_eps = write_trace(h, us(1234));
+  const TraceParseResult parsed = parse_trace(with_eps);
+  ASSERT_TRUE(parsed.history.has_value()) << parsed.error;
+  ASSERT_TRUE(parsed.measured_eps.has_value());
+  EXPECT_EQ(*parsed.measured_eps, us(1234));
+
+  // No eps recorded (or an unknown, infinite bound): directive absent.
+  const TraceParseResult plain = parse_trace(write_trace(h));
+  ASSERT_TRUE(plain.history.has_value());
+  EXPECT_FALSE(plain.measured_eps.has_value());
+  const TraceParseResult inf =
+      parse_trace(write_trace(h, SimTime::infinity()));
+  ASSERT_TRUE(inf.history.has_value());
+  EXPECT_FALSE(inf.measured_eps.has_value());
+
+  // A malformed directive is a parse error, not a silent eps = 0.
+  EXPECT_FALSE(parse_trace("sites 1\neps -5\nw 0 A 1 10\n").history.has_value());
+  EXPECT_FALSE(parse_trace("sites 1\neps\nw 0 A 1 10\n").history.has_value());
+}
+
+}  // namespace
+}  // namespace timedc

@@ -1,0 +1,156 @@
+// Tests for the shared Cristian-style SyncEstimator: the offset/epsilon
+// math, outlier rejection with its fail-open escape hatch, epsilon growth
+// while the time server is unreachable, and the sim/net parity contract —
+// the simulator substrate (sim/clock_sync.hpp) fed through a deterministic
+// network must land on bit-identical estimates to a raw estimator fed the
+// same samples directly.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "clocks/sync_estimator.hpp"
+#include "sim/clock_sync.hpp"
+
+namespace timedc {
+namespace {
+
+SimTime us(std::int64_t n) { return SimTime::micros(n); }
+SimTime ms(std::int64_t n) { return SimTime::millis(n); }
+
+SyncSample sample(std::int64_t sent_hw_us, std::int64_t server_us,
+                  std::int64_t receive_hw_us) {
+  return SyncSample{us(sent_hw_us), us(server_us), us(receive_hw_us)};
+}
+
+TEST(SyncEstimator, UnsyncedClockHasNoBound) {
+  SyncEstimator est;
+  EXPECT_FALSE(est.synced());
+  EXPECT_TRUE(est.error_bound(SimTime::seconds(5)).is_infinite());
+  EXPECT_EQ(est.correction(), SimTime::zero());
+}
+
+TEST(SyncEstimator, CristianMidpointCorrection) {
+  SyncEstimator est;
+  // Hardware runs 60ms behind: request out at hw=0 (true 60ms), server
+  // stamps 61ms, reply lands at hw=2ms (true 62ms). RTT = 2ms, midpoint
+  // estimate of "server now" = 61ms + 1ms = 62ms, correction = 60ms.
+  ASSERT_TRUE(est.on_reply(sample(0, 61000, 2000)));
+  EXPECT_TRUE(est.synced());
+  EXPECT_EQ(est.correction(), ms(60));
+  EXPECT_EQ(est.now(us(2000)), ms(62));
+  EXPECT_EQ(est.last_rtt(), ms(2));
+  // eps base = (rtt + 1us) / 2, rounded up so odd RTTs stay sound.
+  EXPECT_EQ(est.error_bound(us(2000)), us(1000));
+}
+
+TEST(SyncEstimator, ErrorBoundGrowsAtDriftRateUntilNextRound) {
+  SyncEstimatorConfig cfg;
+  cfg.drift_ppm = 200.0;
+  SyncEstimator est(cfg);
+  ASSERT_TRUE(est.on_reply(sample(0, 500, 1000)));
+  const SimTime base = est.error_bound(us(1000));
+  // 200ppm over 1s = 200us of possible extra drift.
+  EXPECT_EQ(est.error_bound(us(1000) + SimTime::seconds(1)), base + us(200));
+  // A fresh accepted round resets the bound to rtt/2 again.
+  ASSERT_TRUE(est.on_reply(sample(2000000, 2000500, 2001000)));
+  EXPECT_EQ(est.error_bound(us(2001000)), base);
+}
+
+TEST(SyncEstimator, RejectsRttOutliersOncePercentileTrained) {
+  SyncEstimatorConfig cfg;
+  cfg.outlier_percentile = 0.9;
+  cfg.min_samples_for_rejection = 4;
+  SyncEstimator est(cfg);
+  // Train the window with steady 1ms RTTs.
+  std::int64_t t = 0;
+  for (int i = 0; i < 8; ++i, t += 10000) {
+    ASSERT_TRUE(est.on_reply(sample(t, t + 500, t + 1000)));
+  }
+  const SimTime before = est.correction();
+  // A 50ms spike carries a useless midpoint: it must be discarded and the
+  // correction left untouched.
+  EXPECT_FALSE(est.on_reply(sample(t, t + 30000, t + 50000)));
+  EXPECT_EQ(est.rejected(), 1u);
+  EXPECT_EQ(est.correction(), before);
+  EXPECT_EQ(est.last_rtt(), ms(50));  // observable even when rejected
+  // A normal round right after is accepted as usual.
+  t += 10000;
+  EXPECT_TRUE(est.on_reply(sample(t, t + 500, t + 1000)));
+}
+
+TEST(SyncEstimator, FailsOpenAfterConsecutiveRejects) {
+  SyncEstimatorConfig cfg;
+  cfg.outlier_percentile = 0.9;
+  cfg.min_samples_for_rejection = 4;
+  cfg.max_consecutive_rejects = 3;
+  SyncEstimator est(cfg);
+  std::int64_t t = 0;
+  for (int i = 0; i < 6; ++i, t += 10000) {
+    ASSERT_TRUE(est.on_reply(sample(t, t + 500, t + 1000)));
+  }
+  // The path re-routes: every round now takes 20ms. The first three are
+  // rejected as outliers, the fourth fails open and re-trains the window.
+  for (int i = 0; i < 3; ++i, t += 30000) {
+    EXPECT_FALSE(est.on_reply(sample(t, t + 10000, t + 20000)));
+  }
+  EXPECT_TRUE(est.on_reply(sample(t, t + 10000, t + 20000)));
+  EXPECT_EQ(est.rejected(), 3u);
+  // The re-trained window accepts the new RTT regime immediately.
+  t += 30000;
+  EXPECT_TRUE(est.on_reply(sample(t, t + 10000, t + 20000)));
+}
+
+TEST(SyncEstimator, PercentileAtOneAcceptsEverything) {
+  SyncEstimator est;  // default config: rejection disabled
+  std::int64_t t = 0;
+  for (int i = 0; i < 10; ++i, t += 10000) {
+    ASSERT_TRUE(est.on_reply(sample(t, t + 500, t + 1000)));
+  }
+  EXPECT_TRUE(est.on_reply(sample(t, t + 300000, t + 500000)));
+  EXPECT_EQ(est.rejected(), 0u);
+}
+
+// The parity contract behind src/clocks/: the simulator substrate routed
+// through a deterministic fixed-latency network must produce bit-identical
+// estimator state to a raw SyncEstimator fed the same samples directly.
+// With latency fixed at L the sim's exchanges are fully predictable —
+// request k at t = k*P, server stamp at t+L, receive at t+2L — so the
+// samples can be reconstructed exactly from the clock model alone.
+TEST(SyncEstimator, SimSubstrateMatchesDirectlyFedEstimator) {
+  const SimTime lat = us(500);          // fixed -> RTT exactly 1ms
+  const SimTime period = ms(10);
+  const int exchanges = 11;             // t = 0, 10ms, ..., 100ms
+  const DriftingClock hw(us(1234), 150.0);
+
+  Simulator sim;
+  Network net(sim, 2, std::make_unique<UniformLatency>(lat, lat),
+              NetworkConfig{}, Rng(1));
+  PerfectClock server_clock;
+  TimeServer server(sim, net, SiteId{1}, &server_clock);
+  server.attach();
+  SyncedSiteClock clock(sim, net, SiteId{0}, SiteId{1}, &hw);
+  clock.attach();
+  clock.start(period);
+  sim.run_until(ms(105));  // last receive at 101ms, well inside
+
+  SyncEstimator direct;
+  for (int k = 0; k < exchanges; ++k) {
+    const SimTime sent = period * k;
+    direct.on_reply(SyncSample{hw.read(sent), sent + lat,
+                               hw.read(sent + lat * 2)});
+  }
+
+  ASSERT_EQ(clock.estimator().accepted(), direct.accepted());
+  EXPECT_EQ(clock.estimator().correction(), direct.correction());
+  EXPECT_EQ(clock.estimator().last_rtt(), direct.last_rtt());
+  const SimTime probe = hw.read(ms(105));
+  EXPECT_EQ(clock.estimator().error_bound(probe), direct.error_bound(probe));
+  // And the classic Cristian accuracy bound holds end to end.
+  EXPECT_LE(std::abs(clock.error().as_micros()),
+            direct.last_rtt().as_micros() / 2 + 1);
+}
+
+}  // namespace
+}  // namespace timedc

@@ -1,0 +1,155 @@
+// Loopback tests for the TCP time-sync stack: a TimeSyncClient syncing a
+// skewed hardware clock against another transport's time service over real
+// sockets, the measured-epsilon contract (widening once rounds stop), and
+// the AdaptiveDelta clamping rules (tighten only, floor at zero, no budget
+// without a bound).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <functional>
+#include <memory>
+
+#include "clocks/physical_clock.hpp"
+#include "net/event_loop.hpp"
+#include "net/tcp_transport.hpp"
+#include "net/time_sync.hpp"
+
+namespace timedc {
+namespace {
+
+using net::AdaptiveDelta;
+using net::TimeSyncClient;
+using net::TimeSyncConfig;
+
+SimTime us(std::int64_t n) { return SimTime::micros(n); }
+SimTime ms(std::int64_t n) { return SimTime::millis(n); }
+
+/// Server and client transports share one EventLoop (the client dials the
+/// server's ephemeral port over 127.0.0.1), so every TimeSyncClient method
+/// runs on the loop thread as its contract requires. `until` polls on a
+/// loop timer and stops the loop when satisfied or when the budget runs out.
+struct SyncHarness {
+  net::EventLoop loop;
+  net::TcpTransport server_tx{loop};
+  net::TcpTransport client_tx{loop};
+  std::unique_ptr<TimeSyncClient> sync;
+
+  explicit SyncHarness(const PhysicalClockModel* hardware,
+                       TimeSyncConfig config = {}) {
+    const std::uint16_t port = server_tx.listen(0);
+    client_tx.add_route(SiteId{0}, "127.0.0.1", port);
+    sync = std::make_unique<TimeSyncClient>(client_tx, SiteId{100}, SiteId{0},
+                                            hardware, config);
+  }
+
+  void run_until(const std::function<bool()>& done, int budget_polls = 3000) {
+    std::function<void(int)> poll = [&, this](int left) {
+      if (done() || left == 0) {
+        loop.stop();
+        return;
+      }
+      loop.run_after(ms(2), [&poll, left] { poll(left - 1); });
+    };
+    loop.post([this, &poll, budget_polls] {
+      sync->start();
+      poll(budget_polls);
+    });
+    loop.run();
+  }
+};
+
+TEST(TimeSync, ConvergesSkewedClockToServerTime) {
+  // Hardware runs 60ms behind real time; the server's reference clock is
+  // the loop's wall clock shifted by +250ms (set_time_source_offset), so
+  // the total correction to discover is ~310ms.
+  const DriftingClock hw(ms(-60), 0.0);
+  TimeSyncConfig cfg;
+  cfg.period = ms(5);
+  SyncHarness h(&hw, cfg);
+  h.server_tx.set_time_source_offset(ms(250));
+
+  h.run_until([&] { return h.sync->estimator().accepted() >= 5; });
+  ASSERT_TRUE(h.sync->synced());
+
+  // Probe error on the loop thread so now() and loop.now() share an instant.
+  std::int64_t err_us = 0;
+  std::int64_t eps_us = 0;
+  h.loop.post([&] {
+    err_us = (h.sync->now() - (h.loop.now() + ms(250))).as_micros();
+    eps_us = h.sync->epsilon().as_micros();
+    h.loop.stop();
+  });
+  h.loop.run();
+
+  // Cristian bound: |error| <= RTT/2 on a symmetric link; allow the full
+  // measured RTT plus slack for scheduling noise on loaded CI hosts.
+  const std::int64_t rtt_us = h.sync->estimator().max_rtt().as_micros();
+  EXPECT_LE(std::abs(err_us), rtt_us + 5000);
+  EXPECT_GE(eps_us, 0);
+  EXPECT_LT(eps_us, 50000);  // a measured bound, not a default
+
+  const net::TimeSyncStats stats = h.sync->stats();
+  EXPECT_GE(stats.rounds_sent, stats.rounds_accepted);
+  EXPECT_GE(stats.rounds_accepted, 5u);
+  EXPECT_NEAR(static_cast<double>(stats.offset_us), 310000.0, 20000.0);
+}
+
+TEST(TimeSync, EpsilonWidensOnceRoundsStop) {
+  const PerfectClock hw;
+  TimeSyncConfig cfg;
+  cfg.period = ms(5);
+  SyncHarness h(&hw, cfg);
+  h.run_until([&] { return h.sync->estimator().accepted() >= 2; });
+  ASSERT_TRUE(h.sync->synced());
+  h.loop.post([&] {
+    h.sync->stop();
+    h.loop.stop();
+  });
+  h.loop.run();
+
+  // No more rounds will be accepted: the bound at later hardware readings
+  // must keep growing at the assumed drift rate — never reporting a stale
+  // bound as current — while staying finite (graceful degradation, not
+  // reset to "unknown").
+  const SyncEstimator& est = h.sync->estimator();
+  const SimTime t0 = h.loop.now();
+  const SimTime now_bound = est.error_bound(t0);
+  const SimTime later = est.error_bound(t0 + SimTime::seconds(10));
+  ASSERT_FALSE(later.is_infinite());
+  EXPECT_GT(later, now_bound);
+  // Default drift assumption is 200ppm: 10s adds ~2ms.
+  EXPECT_GE(later - now_bound, us(1900));
+}
+
+TEST(TimeSync, AdaptiveDeltaGivesNoBudgetWhileUnsynced) {
+  const PerfectClock hw;
+  SyncHarness h(&hw);  // never started: epsilon is infinite
+  AdaptiveDelta adaptive(h.sync.get());
+  EXPECT_EQ(adaptive.effective(ms(100)), SimTime::zero());
+  // Infinite Delta means plain SC — there is no budget to adapt.
+  EXPECT_TRUE(adaptive.effective(SimTime::infinity()).is_infinite());
+}
+
+TEST(TimeSync, AdaptiveDeltaTightensButNeverExceedsConfigured) {
+  const DriftingClock hw(ms(-60), 0.0);
+  TimeSyncConfig cfg;
+  cfg.period = ms(5);
+  SyncHarness h(&hw, cfg);
+  h.run_until([&] { return h.sync->estimator().accepted() >= 3; });
+  ASSERT_TRUE(h.sync->synced());
+  AdaptiveDelta adaptive(h.sync.get());
+
+  const SimTime configured = ms(100);
+  const SimTime effective = adaptive.effective(configured);
+  // Sheds epsilon + RTT margin, both > 0 on a real link; stays positive at
+  // a Delta far above loopback conditions.
+  EXPECT_LT(effective, configured);
+  EXPECT_GT(effective, ms(50));
+  // Shedding is monotone in the budget: a tiny Delta floors at zero rather
+  // than going negative (epsilon alone can swallow it).
+  EXPECT_EQ(adaptive.effective(us(1)), SimTime::zero());
+  EXPECT_EQ(adaptive.effective(SimTime::zero()), SimTime::zero());
+}
+
+}  // namespace
+}  // namespace timedc

@@ -163,7 +163,7 @@ TEST(WireCodec, RejectsBadMagicVersionAndType) {
   bad = buf;
   bad[3] = 0;  // below the MsgType range
   EXPECT_EQ(wire::decode_frame(bad).status, wire::DecodeStatus::kBadType);
-  bad[3] = 10;  // above it
+  bad[3] = 12;  // above it (v3 ends at kTimeReply = 11)
   EXPECT_EQ(wire::decode_frame(bad).status, wire::DecodeStatus::kBadType);
 }
 
@@ -185,6 +185,42 @@ TEST(WireCodec, AcceptsVersionOneFramesButNotVersionOneHeartbeats) {
   wire::encode_heartbeat_frame(SiteId{1}, SiteId{2}, wire::Heartbeat{}, hb);
   hb[2] = 1;
   EXPECT_EQ(wire::decode_frame(hb).status, wire::DecodeStatus::kBadType);
+}
+
+TEST(WireCodec, TimeSyncRoundTrip) {
+  for (const bool reply : {false, true}) {
+    wire::TimeSync ts;
+    ts.seq = 0x0102030405060708ull;
+    ts.client_send_us = -123456789;
+    ts.server_time_us = 987654321;
+    ts.reply = reply;
+    std::vector<std::uint8_t> buf;
+    wire::encode_time_sync_frame(SiteId{7}, SiteId{3}, ts, buf);
+    const wire::DecodedFrame frame = wire::decode_frame(buf);
+    ASSERT_TRUE(frame.ok()) << wire::to_cstring(frame.status);
+    ASSERT_TRUE(frame.is_time_sync);
+    EXPECT_FALSE(frame.is_heartbeat);
+    EXPECT_EQ(frame.from, SiteId{7});
+    EXPECT_EQ(frame.to, SiteId{3});
+    EXPECT_EQ(frame.time_sync.seq, ts.seq);
+    EXPECT_EQ(frame.time_sync.client_send_us, ts.client_send_us);
+    EXPECT_EQ(frame.time_sync.server_time_us, ts.server_time_us);
+    EXPECT_EQ(frame.time_sync.reply, reply);
+    EXPECT_EQ(frame.consumed, buf.size());
+  }
+}
+
+TEST(WireCodec, TimeSyncRequiresVersionThree) {
+  // A v2 peer never agreed to time-sync frames: type 10 under a v2 (or v1)
+  // header is malformed, exactly like heartbeats under v1.
+  std::vector<std::uint8_t> buf;
+  wire::encode_time_sync_frame(SiteId{1}, SiteId{2}, wire::TimeSync{}, buf);
+  for (const std::uint8_t version : {2, 1}) {
+    std::vector<std::uint8_t> old = buf;
+    old[2] = version;
+    EXPECT_EQ(wire::decode_frame(old).status, wire::DecodeStatus::kBadType)
+        << "version " << int(version);
+  }
 }
 
 TEST(WireCodec, HeartbeatRoundTrip) {

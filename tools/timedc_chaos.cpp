@@ -7,6 +7,25 @@
 //   * --latency-ms / --jitter-ms   one-way forwarding delay, uniform jitter,
 //                                  FIFO-preserving per direction (a delayed
 //                                  chunk can never overtake an earlier one)
+//   * --latency-up-ms / --latency-down-ms (and --jitter-up-ms /
+//     --jitter-down-ms)            asymmetric per-direction overrides: "up"
+//                                  is client->server (the accepted side
+//                                  toward the dialed side), "down" the
+//                                  reverse. Unset directions fall back to
+//                                  the symmetric --latency-ms/--jitter-ms.
+//                                  Asymmetry is the worst case for
+//                                  Cristian-style sync: the RTT/2 midpoint
+//                                  estimate is off by half the asymmetry.
+//   * --storm-ms S:E               a latency storm: extra one-way delay
+//                                  ramps linearly 0 -> --storm-peak-ms at
+//                                  the window midpoint and back to 0 at E
+//                                  (triangular), plus uniform jitter of
+//                                  --storm-jitter-pct percent of the
+//                                  current extra. Applied to BOTH
+//                                  directions on top of the base delay.
+//
+// The injected one-way delay distribution is reported per direction as the
+// chaos.delay_up_us / chaos.delay_down_us histograms in the metrics JSON.
 //   * --throttle-kbps              token-bucket bandwidth cap per direction
 //   * --reset-every-ms             periodically RST one random active link
 //                                  (SO_LINGER{1,0} close: the peer sees
@@ -27,7 +46,11 @@
 //
 // Usage:
 //   timedc-chaos --route lport:rhost:rport [--route ...]
-//                [--latency-ms 0] [--jitter-ms 0] [--throttle-kbps 0]
+//                [--latency-ms 0] [--jitter-ms 0]
+//                [--latency-up-ms L] [--latency-down-ms L]
+//                [--jitter-up-ms J] [--jitter-down-ms J]
+//                [--storm-ms S:E] [--storm-peak-ms P] [--storm-jitter-pct X]
+//                [--throttle-kbps 0]
 //                [--reset-every-ms 0] [--reset-at-ms T]...
 //                [--partition-ms S:E]... [--seed 42] [--duration-s 0]
 //                [--metrics-out FILE]
@@ -83,6 +106,15 @@ struct Options {
   std::vector<RouteSpec> routes;
   std::int64_t latency_ms = 0;
   std::int64_t jitter_ms = 0;
+  // Per-direction overrides; -1 falls back to the symmetric knobs above.
+  std::int64_t latency_up_ms = -1;
+  std::int64_t latency_down_ms = -1;
+  std::int64_t jitter_up_ms = -1;
+  std::int64_t jitter_down_ms = -1;
+  // Latency storm: triangular extra delay over each window.
+  std::vector<Window> storms;
+  std::int64_t storm_peak_ms = 0;
+  std::int64_t storm_jitter_pct = 0;
   std::int64_t throttle_kbps = 0;
   std::int64_t reset_every_ms = 0;
   std::vector<std::int64_t> reset_at_ms;
@@ -96,7 +128,11 @@ int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s --route lport:rhost:rport [--route ...]\n"
-      "          [--latency-ms L] [--jitter-ms J] [--throttle-kbps K]\n"
+      "          [--latency-ms L] [--jitter-ms J]\n"
+      "          [--latency-up-ms L] [--latency-down-ms L]\n"
+      "          [--jitter-up-ms J] [--jitter-down-ms J]\n"
+      "          [--storm-ms S:E] [--storm-peak-ms P] [--storm-jitter-pct X]\n"
+      "          [--throttle-kbps K]\n"
       "          [--reset-every-ms M] [--reset-at-ms T]...\n"
       "          [--partition-ms S:E]... [--seed S] [--duration-s D]\n"
       "          [--metrics-out FILE]\n",
@@ -139,6 +175,28 @@ bool parse_args(int argc, char** argv, Options& opt) {
     } else if (arg == "--jitter-ms") {
       if ((v = next()) == nullptr) return false;
       opt.jitter_ms = std::atoll(v);
+    } else if (arg == "--latency-up-ms") {
+      if ((v = next()) == nullptr) return false;
+      opt.latency_up_ms = std::atoll(v);
+    } else if (arg == "--latency-down-ms") {
+      if ((v = next()) == nullptr) return false;
+      opt.latency_down_ms = std::atoll(v);
+    } else if (arg == "--jitter-up-ms") {
+      if ((v = next()) == nullptr) return false;
+      opt.jitter_up_ms = std::atoll(v);
+    } else if (arg == "--jitter-down-ms") {
+      if ((v = next()) == nullptr) return false;
+      opt.jitter_down_ms = std::atoll(v);
+    } else if (arg == "--storm-ms") {
+      Window w;
+      if ((v = next()) == nullptr || !parse_window(v, w)) return false;
+      opt.storms.push_back(w);
+    } else if (arg == "--storm-peak-ms") {
+      if ((v = next()) == nullptr) return false;
+      opt.storm_peak_ms = std::atoll(v);
+    } else if (arg == "--storm-jitter-pct") {
+      if ((v = next()) == nullptr) return false;
+      opt.storm_jitter_pct = std::atoll(v);
     } else if (arg == "--throttle-kbps") {
       if ((v = next()) == nullptr) return false;
       opt.throttle_kbps = std::atoll(v);
@@ -166,7 +224,9 @@ bool parse_args(int argc, char** argv, Options& opt) {
     }
   }
   return !opt.routes.empty() && opt.latency_ms >= 0 && opt.jitter_ms >= 0 &&
-         opt.throttle_kbps >= 0 && opt.reset_every_ms >= 0;
+         opt.throttle_kbps >= 0 && opt.reset_every_ms >= 0 &&
+         opt.storm_peak_ms >= 0 && opt.storm_jitter_pct >= 0 &&
+         (opt.storms.empty() || opt.storm_peak_ms > 0);
 }
 
 struct ChaosStats {
@@ -214,12 +274,19 @@ struct Link {
 class Proxy {
  public:
   Proxy(const Options& opt, net::EventLoop& loop)
-      : opt_(opt), loop_(loop), rng_(opt.seed) {}
+      : opt_(opt),
+        loop_(loop),
+        rng_(opt.seed),
+        delay_up_hist_(Histogram::time_us()),
+        delay_down_hist_(Histogram::time_us()) {}
 
   ChaosStats& stats() { return stats_; }
+  const Histogram& delay_up_hist() const { return delay_up_hist_; }
+  const Histogram& delay_down_hist() const { return delay_down_hist_; }
 
   /// Binds every route. Returns false (after perror) on failure.
   bool start() {
+    start_us_ = steady_us();
     for (const RouteSpec& route : opt_.routes) {
       const int fd = listen_on(route.lport);
       if (fd < 0) return false;
@@ -394,13 +461,9 @@ class Proxy {
       Link::Chunk chunk;
       chunk.data.assign(buf, buf + n);
       const std::int64_t now = steady_us();
-      std::int64_t delay_us = opt_.latency_ms * 1000;
-      if (opt_.jitter_ms > 0) {
-        delay_us += rng_.uniform_int(0, opt_.jitter_ms * 1000);
-        ++stats_.chunks_delayed;
-      } else if (delay_us > 0) {
-        ++stats_.chunks_delayed;
-      }
+      const std::int64_t delay_us = injected_delay_us(from_a, now);
+      if (delay_us > 0) ++stats_.chunks_delayed;
+      (from_a ? delay_up_hist_ : delay_down_hist_).record(delay_us);
       // FIFO floor: jitter may not reorder chunks within a direction.
       chunk.release_us = std::max(pipe.last_release_us, now + delay_us);
       pipe.last_release_us = chunk.release_us;
@@ -411,6 +474,47 @@ class Proxy {
     if (pipe.buffered >= kMaxBuffered) pipe.src_paused = true;
     update_interest(l);
     flush(l, /*to_a=*/!from_a);
+  }
+
+  /// The one-way delay to inject on a chunk read at `now` heading
+  /// client->server (`from_a`) or back: per-direction base latency +
+  /// per-direction jitter + the storm's current triangular extra.
+  std::int64_t injected_delay_us(bool from_a, std::int64_t now) {
+    const std::int64_t base_ms =
+        from_a ? (opt_.latency_up_ms >= 0 ? opt_.latency_up_ms : opt_.latency_ms)
+               : (opt_.latency_down_ms >= 0 ? opt_.latency_down_ms
+                                            : opt_.latency_ms);
+    const std::int64_t jitter_ms =
+        from_a ? (opt_.jitter_up_ms >= 0 ? opt_.jitter_up_ms : opt_.jitter_ms)
+               : (opt_.jitter_down_ms >= 0 ? opt_.jitter_down_ms
+                                           : opt_.jitter_ms);
+    std::int64_t delay_us = base_ms * 1000;
+    if (jitter_ms > 0) delay_us += rng_.uniform_int(0, jitter_ms * 1000);
+    const std::int64_t extra_us = storm_extra_us(now);
+    if (extra_us > 0) {
+      delay_us += extra_us;
+      if (opt_.storm_jitter_pct > 0) {
+        delay_us +=
+            rng_.uniform_int(0, extra_us * opt_.storm_jitter_pct / 100);
+      }
+    }
+    return delay_us;
+  }
+
+  /// Triangular storm profile: 0 at the window edges, --storm-peak-ms at
+  /// the midpoint, linear in between. Outside every window: 0.
+  std::int64_t storm_extra_us(std::int64_t now) const {
+    const std::int64_t elapsed_ms = (now - start_us_) / 1000;
+    for (const Window& w : opt_.storms) {
+      if (elapsed_ms < w.start_ms || elapsed_ms >= w.end_ms) continue;
+      const std::int64_t span = w.end_ms - w.start_ms;
+      const std::int64_t into = elapsed_ms - w.start_ms;
+      // ramp in [0, 1] scaled by 2: up to the midpoint then back down.
+      const std::int64_t ramp_ms =
+          opt_.storm_peak_ms * 2 * std::min(into, span - into) / span;
+      return std::min(ramp_ms, opt_.storm_peak_ms) * 1000;
+    }
+    return 0;
   }
 
   /// Moves released chunks of the pipe feeding `to_a ? a : b` into the
@@ -595,6 +699,9 @@ class Proxy {
   net::EventLoop& loop_;
   Rng rng_;
   ChaosStats stats_;
+  Histogram delay_up_hist_;
+  Histogram delay_down_hist_;
+  std::int64_t start_us_ = 0;
   std::vector<int> listeners_;
   std::unordered_map<std::uint64_t, std::unique_ptr<Link>> links_;
   std::uint64_t next_link_id_ = 1;
@@ -655,6 +762,8 @@ int main(int argc, char** argv) {
   reg.set_counter("chaos.partitions_healed", st.partitions_healed);
   reg.set_counter("chaos.accepted_while_partitioned",
                   st.accepted_while_partitioned);
+  reg.add_histogram("chaos.delay_up_us", proxy.delay_up_hist());
+  reg.add_histogram("chaos.delay_down_us", proxy.delay_down_hist());
   const std::string json = reg.to_json(2);
   if (!opt.metrics_out.empty()) {
     std::ofstream out(opt.metrics_out);

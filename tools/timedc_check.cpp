@@ -5,7 +5,10 @@
 //
 // Options:
 //   --delta <micros>   timeliness threshold Delta (default: infinity)
-//   --eps <micros>     clock skew bound for Definition 2 (default: 0)
+//   --eps <micros>     clock skew bound for Definition 2. --epsilon is an
+//                      alias. Default: the `eps` directive recorded in the
+//                      trace (the producing run's measured bound) when
+//                      present, else 0. An explicit flag always wins.
 //   --xi sum|norm      check Definition 6 with this xi map instead of
 //                      real time (logical times are reconstructed from the
 //                      trace's reads-from relation)
@@ -45,7 +48,8 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: timedc-check [--delta US] [--eps US] [--xi sum|norm] "
+               "usage: timedc-check [--delta US] [--eps|--epsilon US] "
+               "[--xi sum|norm] "
                "[--xdelta X] [--render] [--witness] [--trace-out PATH] "
                "[--metrics] [trace-file]\n");
   return 2;
@@ -62,6 +66,7 @@ std::string read_all(std::istream& in) {
 int main(int argc, char** argv) {
   SimTime delta = SimTime::infinity();
   SimTime eps = SimTime::zero();
+  bool eps_from_cli = false;
   std::string xi_name;
   double xdelta = 1.0;
   bool render = false;
@@ -79,10 +84,11 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage();
       delta = SimTime::micros(std::atoll(v));
-    } else if (arg == "--eps") {
+    } else if (arg == "--eps" || arg == "--epsilon") {
       const char* v = next();
       if (!v) return usage();
       eps = SimTime::micros(std::atoll(v));
+      eps_from_cli = true;
     } else if (arg == "--xi") {
       const char* v = next();
       if (!v) return usage();
@@ -138,7 +144,15 @@ int main(int argc, char** argv) {
                  "truncated input?)\n");
     return 2;
   }
+  if (!eps_from_cli && parsed.measured_eps.has_value()) {
+    // The producing run recorded its measured skew bound; check against
+    // what its sites could actually observe (Definition 2).
+    eps = *parsed.measured_eps;
+  }
   std::printf("trace: %zu operations, %zu sites\n", h.size(), h.num_sites());
+  if (!eps_from_cli && parsed.measured_eps.has_value()) {
+    std::printf("eps ingested from trace: %s\n", eps.to_string().c_str());
+  }
   if (render) std::printf("\n%s\n", render_timeline(h).c_str());
 
   bool all_ok = true;

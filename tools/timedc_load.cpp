@@ -29,12 +29,27 @@
 // still flush --metrics-out/--history-out and print the summary, so an
 // interrupted run keeps its data.
 //
+// Clocks: by default every worker reads the loop's monotonic clock (perfect
+// synchronization). --clock-offset-us O skews worker w's hardware clock by
+// +O/-O microseconds (sign alternates per worker, so two workers disagree by
+// 2*O); --clock-drift-ppm adds a matching rate error. --time-sync-ms MS runs
+// one Cristian-style TimeSyncClient per worker against shard 0's transport
+// time service and stamps the history with the CORRECTED clock, recording
+// the measured pairwise skew bound (2x the largest one-sided epsilon any
+// worker observed) as the trace's `eps` directive. --adaptive-delta
+// (requires --time-sync-ms) makes every cache shed measured epsilon + RTT
+// margin from its Delta budget before each operation (never exceeding the
+// configured --delta-us). --trace-out captures the merged client-side event
+// stream (op/cache/clock.sync/clock.eps/delta.adapt) as JSONL.
+//
 // Usage:
 //   timedc-load --ports p0[,p1,...] [--threads 2] [--clients 8]
 //               [--duration-s 5 | --ops N] [--write-pct 10] [--objects 64]
 //               [--zipf 0.9] [--delta-us 20000] [--think-us 0] [--seed 42]
 //               [--max-attempts 1] [--retry-base-ms 0] [--max-abandoned -1]
-//               [--heartbeat-ms 0] [--metrics-out FILE] [--history-out FILE]
+//               [--heartbeat-ms 0] [--clock-offset-us 0] [--clock-drift-ppm 0]
+//               [--time-sync-ms 0] [--adaptive-delta] [--trace-out FILE]
+//               [--metrics-out FILE] [--history-out FILE]
 //               [--min-ops-per-sec X]
 #include <signal.h>
 #include <time.h>
@@ -42,6 +57,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <optional>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -58,8 +74,10 @@
 #include "core/trace_io.hpp"
 #include "net/event_loop.hpp"
 #include "net/tcp_transport.hpp"
+#include "net/time_sync.hpp"
 #include "obs/metrics.hpp"
 #include "obs/stats_bridge.hpp"
+#include "obs/trace.hpp"
 #include "protocol/timed_serial_cache.hpp"
 
 namespace {
@@ -107,6 +125,12 @@ struct Options {
   std::int64_t retry_base_ms = 0;  // 0 = derive from the latency bound
   std::int64_t max_abandoned = -1;  // >= 0: exit 1 when exceeded
   std::int64_t heartbeat_ms = 0;
+  // Clock skew injection + synchronization (see the header comment).
+  std::int64_t clock_offset_us = 0;  // worker w gets +/-offset, alternating
+  double clock_drift_ppm = 0;
+  std::int64_t time_sync_ms = 0;  // 0 = no sync; > 0 = resync period
+  bool adaptive_delta = false;    // requires time_sync_ms > 0
+  std::string trace_out;
   std::string metrics_out;
   std::string history_out;
   double min_ops_per_sec = 0;
@@ -126,6 +150,8 @@ int usage(const char* argv0) {
       "          [--zipf E] [--delta-us D] [--think-us U] [--seed S]\n"
       "          [--max-attempts A] [--retry-base-ms MS] [--max-abandoned N]\n"
       "          [--heartbeat-ms MS]\n"
+      "          [--clock-offset-us O] [--clock-drift-ppm D]\n"
+      "          [--time-sync-ms MS] [--adaptive-delta] [--trace-out FILE]\n"
       "          [--site-base B] [--metrics-out FILE] [--history-out FILE]\n"
       "          [--min-ops-per-sec X]\n",
       argv0);
@@ -202,6 +228,20 @@ bool parse_args(int argc, char** argv, Options& opt) {
     } else if (arg == "--heartbeat-ms") {
       if ((v = next()) == nullptr) return false;
       opt.heartbeat_ms = std::atoll(v);
+    } else if (arg == "--clock-offset-us") {
+      if ((v = next()) == nullptr) return false;
+      opt.clock_offset_us = std::atoll(v);
+    } else if (arg == "--clock-drift-ppm") {
+      if ((v = next()) == nullptr) return false;
+      opt.clock_drift_ppm = std::atof(v);
+    } else if (arg == "--time-sync-ms") {
+      if ((v = next()) == nullptr) return false;
+      opt.time_sync_ms = std::atoll(v);
+    } else if (arg == "--adaptive-delta") {
+      opt.adaptive_delta = true;
+    } else if (arg == "--trace-out") {
+      if ((v = next()) == nullptr) return false;
+      opt.trace_out = v;
     } else if (arg == "--metrics-out") {
       if ((v = next()) == nullptr) return false;
       opt.metrics_out = v;
@@ -219,7 +259,11 @@ bool parse_args(int argc, char** argv, Options& opt) {
          opt.max_attempts >= 1 &&
          opt.objects >= 1 && opt.write_pct >= 0 && opt.write_pct <= 100 &&
          (opt.duration_s > 0 || opt.ops > 0) &&
-         (opt.site_base == 0 || opt.site_base >= opt.ports.size());
+         (opt.site_base == 0 || opt.site_base >= opt.ports.size()) &&
+         opt.clock_offset_us >= 0 && opt.time_sync_ms >= 0 &&
+         // Adaptation feeds on measured epsilon/RTT; without sync there is
+         // no measurement and the budget would be pinned at zero.
+         (!opt.adaptive_delta || opt.time_sync_ms > 0);
 }
 
 /// One recorded operation of the global history.
@@ -240,7 +284,19 @@ class Worker {
       : opt_(opt),
         index_(index),
         transport_(loop_, SimTime::millis(100)),
+        tracer_(TraceConfig{!opt.trace_out.empty()}),
         zipf_(opt.objects, opt.zipf) {
+    // Hardware clock: perfect unless skew is injected. The sign alternates
+    // per worker so any two adjacent workers disagree by the full 2*offset
+    // (the worst pair Definition 2's eps has to cover).
+    const std::int64_t sign = (index % 2 == 0) ? 1 : -1;
+    if (opt_.clock_offset_us != 0 || opt_.clock_drift_ppm != 0) {
+      hardware_ = std::make_unique<DriftingClock>(
+          SimTime::micros(sign * opt_.clock_offset_us),
+          sign * opt_.clock_drift_ppm);
+    } else {
+      hardware_ = std::make_unique<PerfectClock>();
+    }
     std::vector<SiteId> shard_sites;
     for (std::size_t s = 0; s < opt_.ports.size(); ++s) {
       shard_sites.push_back(SiteId{static_cast<std::uint32_t>(s)});
@@ -253,13 +309,31 @@ class Worker {
       sup.seed = opt_.seed + 0x10ad + index;
       transport_.set_supervision(sup);
     }
+    client_clock_ = hardware_.get();
+    if (opt_.time_sync_ms > 0) {
+      // One sync client per worker, against shard 0's transport-level time
+      // service, under a site id past every cache client's band.
+      const std::uint32_t sync_site =
+          opt_.site_base +
+          static_cast<std::uint32_t>(opt_.threads * opt_.clients) +
+          static_cast<std::uint32_t>(index);
+      net::TimeSyncConfig sync_config;
+      sync_config.period = SimTime::millis(opt_.time_sync_ms);
+      sync_ = std::make_unique<net::TimeSyncClient>(
+          transport_, SiteId{sync_site}, SiteId{0}, hardware_.get(),
+          sync_config, tracer());
+      corrected_ = std::make_unique<net::CorrectedClock>(hardware_.get(),
+                                                         sync_.get());
+      client_clock_ = corrected_.get();
+      if (opt_.adaptive_delta) adaptive_.emplace(sync_.get());
+    }
     const std::size_t num_shards = opt_.ports.size();
     clients_.reserve(opt_.clients);
     state_.resize(opt_.clients);
     for (std::size_t k = 0; k < opt_.clients; ++k) {
       const std::uint32_t global = global_index(k);
       auto client = std::make_unique<TimedSerialCache>(
-          transport_, SiteId{opt_.site_base + global}, SiteId{0}, &clock_,
+          transport_, SiteId{opt_.site_base + global}, SiteId{0}, client_clock_,
           SimTime::micros(opt_.delta_us), /*mark_old=*/true, MessageSizes{});
       client->set_route([num_shards](ObjectId object) {
         return SiteId{
@@ -272,6 +346,12 @@ class Worker {
         client->configure_reliability(policy, shard_sites,
                                       opt_.seed + 0x5eed + global);
       }
+      if (adaptive_) {
+        client->set_delta_provider([this](SimTime configured) {
+          return adaptive_->effective(configured);
+        });
+      }
+      client->set_tracer(tracer());
       client->attach();
       state_[k].rng = Rng::stream(opt_.seed, global);
       clients_.push_back(std::move(client));
@@ -283,8 +363,22 @@ class Worker {
       deadline_ = loop_.now() + SimTime::seconds(
                                     opt_.duration_s > 0 ? opt_.duration_s
                                                         : 3600);
-      for (std::size_t k = 0; k < opt_.clients; ++k) issue(k);
+      if (sync_) {
+        // Warm-up barrier: stamping history with a clock that is about to
+        // snap by the full injected offset would poison every later per-site
+        // timestamp, so hold the first ops until the estimator converges
+        // (capped at 5s — an unreachable time server degrades, not hangs).
+        sync_->start();
+        await_sync_then_issue(/*polls_left=*/5000);
+      } else {
+        for (std::size_t k = 0; k < opt_.clients; ++k) issue(k);
+      }
       loop_.run();
+      if (sync_) {
+        sync_->stop();
+        sample_epsilon();
+        sync_stats_ = sync_->stats();
+      }
     });
   }
 
@@ -303,6 +397,9 @@ class Worker {
 
   const std::vector<OpRecord>& records() const { return records_; }
   const std::vector<std::int64_t>& latencies() const { return latencies_; }
+  const std::vector<std::int64_t>& read_latencies() const {
+    return read_latencies_;
+  }
   std::uint64_t abandoned() const { return abandoned_; }
   CacheStats total_cache_stats() const {
     CacheStats total;
@@ -312,6 +409,14 @@ class Worker {
   const net::TcpTransportStats& transport_stats() const {
     return transport_.stats();
   }
+  bool time_synced() const { return sync_ != nullptr; }
+  const net::TimeSyncStats& sync_stats() const { return sync_stats_; }
+  /// Largest one-sided epsilon this worker measured at any op completion
+  /// (infinity when it never achieved synchronization).
+  SimTime max_epsilon() const {
+    return eps_sampled_ ? max_eps_ : SimTime::infinity();
+  }
+  std::vector<TraceEvent> flush_trace() const { return tracer_.flush(); }
 
  private:
   struct ClientState {
@@ -324,6 +429,32 @@ class Worker {
 
   std::uint32_t global_index(std::size_t k) const {
     return static_cast<std::uint32_t>(index_ * opt_.clients + k);
+  }
+
+  Tracer* tracer() { return opt_.trace_out.empty() ? nullptr : &tracer_; }
+
+  /// The history timestamp source: the clients' (possibly skewed, possibly
+  /// sync-corrected) clock — the clock the server's LWW ordering and the
+  /// TSC lifetime rules actually saw, which is what timedc-check judges.
+  std::int64_t client_clock_us() const {
+    return client_clock_->read(loop_.now()).as_micros();
+  }
+
+  void await_sync_then_issue(int polls_left) {
+    if (sync_->synced() || polls_left <= 0 || stop_requested_) {
+      for (std::size_t k = 0; k < opt_.clients; ++k) issue(k);
+      return;
+    }
+    loop_.run_after(SimTime::millis(1), [this, polls_left] {
+      await_sync_then_issue(polls_left - 1);
+    });
+  }
+
+  void sample_epsilon() {
+    if (sync_ == nullptr || !sync_->synced()) return;
+    const SimTime eps = sync_->epsilon();
+    if (!eps_sampled_ || eps > max_eps_) max_eps_ = eps;
+    eps_sampled_ = true;
   }
 
   void issue(std::size_t k) {
@@ -340,19 +471,23 @@ class Worker {
     const bool is_write =
         st.rng.uniform_int(0, 99) < static_cast<std::int64_t>(opt_.write_pct);
     st.issued_at_us = loop_.now().as_micros();
+    // Writes enter the history at their issue time AS THE CLIENT CLOCK SAW
+    // IT: that is the client_time the server's last-writer-wins ordering
+    // used (with skew injected, loop time and client time differ).
+    const std::int64_t issued_clock_us = client_clock_us();
     const std::uint32_t site = global_index(k);
     if (is_write) {
       const Value value{
           (static_cast<std::int64_t>(site + 1) << 32) +
           static_cast<std::int64_t>(++st.value_seq)};
-      clients_[k]->write(object, value, [this, k, site, object, value](SimTime) {
-        // Writes enter the history at issue time: that is the client_time
-        // the server's last-writer-wins ordering used.
-        complete(k, OpRecord{site, true, object, value, state_[k].issued_at_us});
-      });
+      clients_[k]->write(
+          object, value, [this, k, site, object, value, issued_clock_us](SimTime) {
+            complete(k, OpRecord{site, true, object, value, issued_clock_us});
+          });
     } else {
-      clients_[k]->read(object, [this, k, site, object](Value v, SimTime at) {
-        complete(k, OpRecord{site, false, object, v, at.as_micros()});
+      clients_[k]->read(object, [this, k, site, object](Value v, SimTime) {
+        // Reads are stamped at completion, again on the client clock.
+        complete(k, OpRecord{site, false, object, v, client_clock_us()});
       });
     }
   }
@@ -364,9 +499,15 @@ class Worker {
     if (clients_[k]->last_op_abandoned()) {
       ++abandoned_;
     } else {
-      latencies_.push_back(loop_.now().as_micros() - state_[k].issued_at_us);
+      const std::int64_t lat = loop_.now().as_micros() - state_[k].issued_at_us;
+      latencies_.push_back(lat);
+      if (!record.is_write) read_latencies_.push_back(lat);
       records_.push_back(record);
     }
+    // The measured bound enters the trace's eps directive as the max over
+    // the run; sampling at every completion tracks its growth between
+    // resyncs without a dedicated timer.
+    sample_epsilon();
     // Re-issue through the loop, never synchronously: a chain of cache hits
     // would otherwise recurse completion -> issue -> completion unboundedly.
     if (opt_.think_us > 0) {
@@ -380,13 +521,22 @@ class Worker {
   std::size_t index_;
   net::EventLoop loop_;
   net::TcpTransport transport_;
-  PerfectClock clock_;
+  Tracer tracer_;
+  std::unique_ptr<PhysicalClockModel> hardware_;
+  std::unique_ptr<net::TimeSyncClient> sync_;
+  std::unique_ptr<net::CorrectedClock> corrected_;
+  std::optional<net::AdaptiveDelta> adaptive_;
+  const PhysicalClockModel* client_clock_ = nullptr;
+  net::TimeSyncStats sync_stats_;
   ZipfDistribution zipf_;
   std::vector<std::unique_ptr<TimedSerialCache>> clients_;
   std::vector<ClientState> state_;
   std::vector<OpRecord> records_;
   std::vector<std::int64_t> latencies_;
+  std::vector<std::int64_t> read_latencies_;
   SimTime deadline_;
+  SimTime max_eps_ = SimTime::zero();
+  bool eps_sampled_ = false;
   std::size_t done_clients_ = 0;
   std::uint64_t abandoned_ = 0;
   bool stop_requested_ = false;
@@ -469,13 +619,41 @@ int main(int argc, char** argv) {
   const History history = builder.build();
 
   std::vector<std::int64_t> latencies;
+  std::vector<std::int64_t> read_latencies;
   for (const auto& w : workers) {
     latencies.insert(latencies.end(), w->latencies().begin(),
                      w->latencies().end());
+    read_latencies.insert(read_latencies.end(), w->read_latencies().begin(),
+                          w->read_latencies().end());
   }
   std::sort(latencies.begin(), latencies.end());
+  std::sort(read_latencies.begin(), read_latencies.end());
   const double ops_per_sec =
       elapsed_s > 0 ? static_cast<double>(total_ops) / elapsed_s : 0;
+  double read_latency_sum = 0;
+  for (const std::int64_t l : read_latencies) {
+    read_latency_sum += static_cast<double>(l);
+  }
+  const double read_latency_mean_us =
+      read_latencies.empty()
+          ? 0
+          : read_latency_sum / static_cast<double>(read_latencies.size());
+
+  // The run's measured pairwise skew bound (Definition 2's eps): each
+  // worker's one-sided bound covers |its clock - time server|, so any two
+  // workers disagree by at most the sum of theirs <= 2x the max. Unknown
+  // (and not recorded) if any worker never reached synchronization.
+  SimTime measured_eps = SimTime::infinity();
+  if (opt.time_sync_ms > 0) {
+    SimTime worst = SimTime::zero();
+    bool all_synced = true;
+    for (const auto& w : workers) {
+      const SimTime eps = w->max_epsilon();
+      if (eps.is_infinite()) all_synced = false;
+      if (all_synced && eps > worst) worst = eps;
+    }
+    if (all_synced) measured_eps = worst + worst;
+  }
 
   // Def-1 staleness of every read, judged against the configured Delta.
   const std::vector<ReadStaleness> staleness = per_read_staleness(history);
@@ -505,12 +683,23 @@ int main(int argc, char** argv) {
     // full transport counter set (reconnects, heartbeats, per-status
     // decode errors, queue drops, ...) under one "net" prefix.
     publish_tcp_transport_stats(reg, "net", w->transport_stats());
+    if (w->time_synced()) {
+      publish_time_sync_stats(reg, "client.sync", w->sync_stats());
+    }
   }
   publish_cache_stats(reg, "client", cache_total);
   reg.set_gauge("load.ops_per_sec", ops_per_sec);
   reg.set_gauge("load.elapsed_s", elapsed_s);
   reg.set_gauge("load.delta_us", static_cast<double>(opt.delta_us));
+  reg.set_gauge("load.read_latency_mean_us", read_latency_mean_us);
+  reg.set_gauge("load.eps_us",
+                measured_eps.is_infinite()
+                    ? -1.0
+                    : static_cast<double>(measured_eps.as_micros()));
   reg.add_histogram("latency_us", latency_hist);
+  Histogram read_latency_hist = Histogram::time_us();
+  for (const std::int64_t l : read_latencies) read_latency_hist.record(l);
+  reg.add_histogram("read_latency_us", read_latency_hist);
   reg.add_histogram("staleness_us", staleness_hist);
 
   if (!opt.metrics_out.empty()) {
@@ -519,23 +708,48 @@ int main(int argc, char** argv) {
   }
   if (!opt.history_out.empty()) {
     std::ofstream out(opt.history_out);
-    out << write_trace(history);
+    out << (measured_eps.is_infinite() ? write_trace(history)
+                                       : write_trace(history, measured_eps));
+  }
+  if (!opt.trace_out.empty()) {
+    // One merged client-side event stream. Workers trace independently, so
+    // re-sort globally by (time, site) to keep timestamps monotone for
+    // downstream consumers (ci/validate_trace.py).
+    std::vector<TraceEvent> events;
+    for (const auto& w : workers) {
+      std::vector<TraceEvent> part = w->flush_trace();
+      events.insert(events.end(), part.begin(), part.end());
+    }
+    std::stable_sort(events.begin(), events.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) {
+                       if (a.at != b.at) return a.at < b.at;
+                       return a.site.value < b.site.value;
+                     });
+    write_text_file(opt.trace_out, trace_to_jsonl(events));
+    std::printf("timedc-load: %zu trace events -> %s\n", events.size(),
+                opt.trace_out.c_str());
   }
 
   std::printf(
       "timedc-load: %llu ops in %.2fs = %.0f ops/s | latency p50 %lld us "
-      "p99 %lld us max %lld us | reads %zu late %llu (Delta %lld us) | "
+      "p99 %lld us max %lld us | read mean %.0f us | reads %zu late %llu "
+      "(Delta %lld us) | "
       "hit ratio %.2f | retries %llu failovers %llu abandoned %llu%s\n",
       static_cast<unsigned long long>(total_ops), elapsed_s, ops_per_sec,
       static_cast<long long>(percentile(latencies, 0.50)),
       static_cast<long long>(percentile(latencies, 0.99)),
       static_cast<long long>(latencies.empty() ? 0 : latencies.back()),
+      read_latency_mean_us,
       staleness.size(), static_cast<unsigned long long>(late_reads),
       static_cast<long long>(opt.delta_us), cache_total.hit_ratio(),
       static_cast<unsigned long long>(cache_total.retries),
       static_cast<unsigned long long>(cache_total.failovers),
       static_cast<unsigned long long>(total_abandoned),
       interrupted ? " | INTERRUPTED" : "");
+  if (opt.time_sync_ms > 0) {
+    std::printf("timedc-load: measured eps %s (pairwise, Def 2)\n",
+                measured_eps.to_string().c_str());
+  }
 
   if (opt.min_ops_per_sec > 0 && ops_per_sec < opt.min_ops_per_sec) {
     std::fprintf(stderr, "FAIL: %.0f ops/s below the %.0f ops/s floor\n",
