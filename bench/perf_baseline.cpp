@@ -323,7 +323,7 @@ int main(int argc, char** argv) {
               (unsigned long long)tracer_events);
 
   // --- net: wire codec + loopback RTT -------------------------------------
-  double codec_encode_ns = 0, codec_decode_ns = 0;
+  double codec_encode_ns = 0, codec_decode_ns = 0, codec_decode_view_ns = 0;
   {
     // A representative mix: every message type once, copies carrying
     // 3-entry plausible timestamps (the common REV width in the benches).
@@ -371,6 +371,26 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "BUG: codec decode failures in the bench mix\n");
       return 1;
     }
+
+    // The transport hot path: peek (header-only view) + decode into a
+    // REUSED DecodedFrame, no owning allocation per message. The delta
+    // against codec_decode_ns is what the FrameView refactor bought.
+    std::size_t viewed_ok = 0;
+    wire::DecodedFrame scratch;
+    t0 = Clock::now();
+    for (int rep = 0; rep < reps; ++rep) {
+      for (const auto& fbuf : frames) {
+        const wire::FrameView view = wire::peek_frame(fbuf);
+        viewed_ok += wire::decode_frame_view(view, scratch) ==
+                     wire::DecodeStatus::kOk;
+      }
+    }
+    codec_decode_view_ns =
+        seconds_since(t0) * 1e9 / (static_cast<double>(reps) * frames.size());
+    if (viewed_ok != static_cast<std::size_t>(reps) * frames.size()) {
+      std::fprintf(stderr, "BUG: codec view-decode failures in the bench mix\n");
+      return 1;
+    }
   }
 
   double loopback_rtt_us = 0;
@@ -403,6 +423,50 @@ int main(int argc, char** argv) {
         [&] { client_tx.send_message(SiteId{1}, SiteId{0}, ping, 64); });
     client_loop.run();
     loopback_rtt_us = seconds_since(t0) * 1e6 / pings;
+    server_loop.stop();
+    server_thread.join();
+  }
+
+  // Batched round trips: 16 pings in flight per round, flushed by the
+  // tick-end batching as one gather write each way. The amortized per-op
+  // figure against loopback_rtt_us is the syscall-coalescing win.
+  double batched_rtt_us = 0;
+  {
+    const int depth = 16;
+    const int rounds = quick ? 500 : 5000;
+    net::EventLoop server_loop;
+    net::TcpTransport server_tx(server_loop);
+    const std::uint16_t port = server_tx.listen(0);
+    server_tx.register_site(SiteId{0},
+                            [&](SiteId from, const Message& m) {
+                              server_tx.send_message(SiteId{0}, from, m, 64);
+                            });
+    std::thread server_thread([&] { server_loop.run(); });
+
+    net::EventLoop client_loop;
+    net::TcpTransport client_tx(client_loop);
+    client_tx.add_route(SiteId{0}, "127.0.0.1", port);
+    const Message ping = FetchRequest{ObjectId{1}, SiteId{1}, 1};
+    int got = 0, round = 0;
+    auto send_batch = [&] {
+      for (int i = 0; i < depth; ++i) {
+        client_tx.send_message(SiteId{1}, SiteId{0}, ping, 64);
+      }
+    };
+    client_tx.register_site(SiteId{1}, [&](SiteId, const Message&) {
+      if (++got < depth) return;
+      got = 0;
+      if (++round == rounds) {
+        client_loop.stop();
+        return;
+      }
+      send_batch();
+    });
+    const auto t0 = Clock::now();  // includes the dial, amortized over rounds
+    client_loop.post(send_batch);
+    client_loop.run();
+    batched_rtt_us =
+        seconds_since(t0) * 1e6 / (static_cast<double>(rounds) * depth);
     server_loop.stop();
     server_thread.join();
   }
@@ -446,10 +510,11 @@ int main(int argc, char** argv) {
     server_loop.stop();
     server_thread.join();
   }
-  std::printf("  net: codec %.0f ns/msg encode, %.0f ns/msg decode; "
-              "TCP loopback RTT %.1f us; time-sync round %.1f us\n\n",
-              codec_encode_ns, codec_decode_ns, loopback_rtt_us,
-              time_sync_round_us);
+  std::printf("  net: codec %.0f ns/msg encode, %.0f ns/msg decode "
+              "(%.0f into view); TCP loopback RTT %.1f us "
+              "(%.1f us/op batched x16); time-sync round %.1f us\n\n",
+              codec_encode_ns, codec_decode_ns, codec_decode_view_ns,
+              loopback_rtt_us, batched_rtt_us, time_sync_round_us);
 
   // --- JSON report --------------------------------------------------------
   FILE* f = std::fopen(out_path.c_str(), "w");
@@ -519,11 +584,15 @@ int main(int argc, char** argv) {
                (unsigned long long)tracer_events);
   std::fprintf(f,
                "  \"net\": {\"codec_encode_ns_per_msg\": %s, "
-               "\"codec_decode_ns_per_msg\": %s, \"loopback_rtt_us\": %s, "
+               "\"codec_decode_ns_per_msg\": %s, "
+               "\"codec_decode_view_ns_per_msg\": %s, "
+               "\"loopback_rtt_us\": %s, \"batched_rtt_us\": %s, "
                "\"time_sync_round_us\": %s},\n",
                json_escape_free(codec_encode_ns).c_str(),
                json_escape_free(codec_decode_ns).c_str(),
+               json_escape_free(codec_decode_view_ns).c_str(),
                json_escape_free(loopback_rtt_us).c_str(),
+               json_escape_free(batched_rtt_us).c_str(),
                json_escape_free(time_sync_round_us).c_str());
   std::fprintf(f, "  \"checker_verdicts_agree\": %s,\n", agree ? "true" : "false");
   std::fprintf(f, "  \"timed_verdicts_agree\": %s\n",

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Schema + floor validation for BENCH_net.json (bench/net_throughput), used
+by the net-throughput CI job.
+
+Checks:
+  * the document shape: config block, non-empty sweep, per-point fields;
+  * every sweep point hits --min-ops-per-sec (a generous floor well under
+    the recorded numbers — this catches collapse, not jitter);
+  * the steady-state hot path stayed allocation-free on every reactor
+    thread (reactor_allocs == 0) unless --allow-allocs is given;
+  * write coalescing actually happened (frames_per_sendmsg > 1).
+
+Exits non-zero with a message on the first violation.
+"""
+
+import argparse
+import json
+import sys
+
+POINT_KEYS = {
+    "reactors", "connections", "ops", "ops_per_sec", "speedup_vs_baseline",
+    "reactor_allocs", "allocs_per_op", "frames_per_sendmsg", "batch_flushes",
+    "steered_connections",
+}
+
+
+def fail(msg):
+    sys.exit(f"validate_bench_net: {msg}")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("report")
+    ap.add_argument("--min-ops-per-sec", type=float, default=150000.0)
+    ap.add_argument("--allow-allocs", action="store_true",
+                    help="skip the zero-allocation gate (open-loop runs "
+                    "idle between arrivals and may touch the heap)")
+    args = ap.parse_args()
+
+    with open(args.report) as f:
+        d = json.load(f)
+
+    if d.get("bench") != "net_throughput":
+        fail(f"not a net_throughput report: bench={d.get('bench')!r}")
+    for key in ("baseline_ops_per_sec", "config", "sweep",
+                "peak_ops_per_sec", "peak_speedup_vs_baseline"):
+        if key not in d:
+            fail(f"missing top-level key {key!r}")
+    cfg = d["config"]
+    for key in ("connections_per_reactor", "pipeline", "measure_s", "objects"):
+        if key not in cfg:
+            fail(f"missing config key {key!r}")
+    sweep = d["sweep"]
+    if not isinstance(sweep, list) or not sweep:
+        fail("sweep must be a non-empty list")
+
+    for i, p in enumerate(sweep):
+        where = f"sweep[{i}]"
+        missing = POINT_KEYS - p.keys()
+        if missing:
+            fail(f"{where}: missing keys {sorted(missing)}")
+        if p["reactors"] < 1 or p["connections"] < p["reactors"]:
+            fail(f"{where}: implausible reactors/connections")
+        if p["ops"] <= 0:
+            fail(f"{where}: no operations completed")
+        if p["ops_per_sec"] < args.min_ops_per_sec:
+            fail(f"{where}: {p['ops_per_sec']:.0f} ops/s is under the "
+                 f"{args.min_ops_per_sec:.0f} floor at "
+                 f"{p['reactors']} reactor(s)")
+        if not args.allow_allocs and p["reactor_allocs"] != 0:
+            fail(f"{where}: steady-state hot path allocated "
+                 f"{p['reactor_allocs']} times "
+                 f"({p['allocs_per_op']:.6f}/op) on reactor threads")
+        if p["frames_per_sendmsg"] <= 1.0:
+            fail(f"{where}: no write coalescing "
+                 f"({p['frames_per_sendmsg']:.2f} frames/sendmsg)")
+
+    reactors_seen = sorted(p["reactors"] for p in sweep)
+    if len(set(reactors_seen)) != len(reactors_seen):
+        fail("duplicate reactor counts in sweep")
+    peak = max(p["ops_per_sec"] for p in sweep)
+    if abs(peak - d["peak_ops_per_sec"]) > 0.5:
+        fail("peak_ops_per_sec does not match the sweep maximum")
+
+    print("bench net OK:",
+          {p["reactors"]: round(p["ops_per_sec"]) for p in sweep},
+          f"peak {d['peak_speedup_vs_baseline']:.1f}x baseline,"
+          f" coalescing {max(p['frames_per_sendmsg'] for p in sweep):.0f}"
+          " frames/sendmsg")
+
+
+if __name__ == "__main__":
+    main()

@@ -3,9 +3,11 @@
 #include <errno.h>
 #include <sys/epoll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstring>
 
 #include "common/assert.hpp"
 
@@ -63,19 +65,50 @@ void Connection::close(const char* reason) {
   }
 }
 
+int Connection::release(std::vector<std::uint8_t>& leftover) {
+  TIMEDC_ASSERT(!closed());
+  leftover.assign(rbuf_.begin() + static_cast<std::ptrdiff_t>(rconsumed_),
+                  rbuf_.end());
+  loop_.remove_fd(fd_);
+  const int fd = fd_;
+  fd_ = -1;
+  released_ = true;
+  // Neither handler may ever fire again: the fd lives on under a new owner.
+  on_close_ = nullptr;
+  on_frame_ = nullptr;
+  on_connected_ = nullptr;
+  flush_scheduler_ = nullptr;
+  rbuf_.clear();
+  rconsumed_ = 0;
+  out_.clear();
+  return fd;
+}
+
+void Connection::inject(std::vector<std::uint8_t> data) {
+  if (closed() || data.empty()) return;
+  // These bytes were already counted by the releasing connection's
+  // bytes_read; only the decode is replayed here.
+  if (rbuf_.empty()) {
+    rbuf_ = std::move(data);
+  } else {
+    rbuf_.insert(rbuf_.end(), data.begin(), data.end());
+  }
+  decode_buffered();
+}
+
 void Connection::handle_events(std::uint32_t events) {
   if (closed()) return;
   if (events & (EPOLLERR | EPOLLHUP)) {
     // Flush any readable remainder first so a peer that wrote-then-closed
     // still gets its last frames processed.
     if (events & EPOLLIN) handle_readable();
-    if (!closed()) close("socket error/hangup");
+    if (!closed() && !released_) close("socket error/hangup");
     return;
   }
   if (events & EPOLLOUT) handle_writable();
   if (closed()) return;
   if (events & EPOLLIN) handle_readable();
-  if (closed()) return;
+  if (closed() || released_) return;
   update_interest();
 }
 
@@ -101,12 +134,24 @@ void Connection::handle_writable() {
 
 void Connection::flush() {
   if (closed() || connecting_) return;
-  while (wsent_ < wbuf_.size()) {
-    const ssize_t n =
-        ::send(fd_, wbuf_.data() + wsent_, wbuf_.size() - wsent_, MSG_NOSIGNAL);
+  while (!out_.empty()) {
+    struct iovec iov[SendQueue::kMaxIov];
+    const std::size_t iovcnt = out_.gather(iov);
+    struct msghdr mh {};
+    mh.msg_iov = iov;
+    mh.msg_iovlen = iovcnt;
+    // Gather write: one syscall moves every queued frame (sendmsg is
+    // writev plus MSG_NOSIGNAL). Up to kMaxIov chunks per call; the loop
+    // continues while more is queued.
+    const ssize_t n = ::sendmsg(fd_, &mh, MSG_NOSIGNAL);
     if (n > 0) {
-      wsent_ += static_cast<std::size_t>(n);
+      // A short count is normal (socket buffer filled mid-gather): consume
+      // the sent prefix — the queue advances its cursor, nothing is
+      // copied — and retry; if the buffer is truly full the next call says
+      // EAGAIN.
+      out_.consume(static_cast<std::size_t>(n));
       stats_.bytes_written += static_cast<std::uint64_t>(n);
+      ++stats_.flush_syscalls;
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
@@ -114,44 +159,59 @@ void Connection::flush() {
     close("write error");
     return;
   }
-  if (wsent_ == wbuf_.size()) {
-    wbuf_.clear();
-    wsent_ = 0;
-  } else if (wsent_ > kHighWatermark) {
-    wbuf_.erase(wbuf_.begin(), wbuf_.begin() + static_cast<std::ptrdiff_t>(wsent_));
-    wsent_ = 0;
-  }
   if (reading_paused_ && pending_write_bytes() < kLowWatermark) {
     reading_paused_ = false;
   }
   update_interest();
 }
 
+void Connection::flush_batched() {
+  flush_armed_ = false;
+  flush();
+}
+
 void Connection::send_frame(SiteId from, SiteId to, const Message& m) {
   if (closed()) return;
-  wire::encode_frame(from, to, m, wbuf_);
+  scratch_.clear();
+  wire::encode_frame(from, to, m, scratch_);
+  out_.append(scratch_.data(), scratch_.size());
   ++stats_.frames_sent;
-  append_and_flush();
+  after_enqueue();
 }
 
 void Connection::send_heartbeat(SiteId from, SiteId to,
                                 const wire::Heartbeat& hb) {
   if (closed()) return;
-  wire::encode_heartbeat_frame(from, to, hb, wbuf_);
+  scratch_.clear();
+  wire::encode_heartbeat_frame(from, to, hb, scratch_);
+  out_.append(scratch_.data(), scratch_.size());
   ++stats_.frames_sent;
-  append_and_flush();
+  after_enqueue();
 }
 
 void Connection::send_time_sync(SiteId from, SiteId to,
                                 const wire::TimeSync& ts) {
   if (closed()) return;
-  wire::encode_time_sync_frame(from, to, ts, wbuf_);
+  scratch_.clear();
+  wire::encode_time_sync_frame(from, to, ts, scratch_);
+  out_.append(scratch_.data(), scratch_.size());
   ++stats_.frames_sent;
-  append_and_flush();
+  after_enqueue();
 }
 
-void Connection::append_and_flush() {
-  flush();
+void Connection::after_enqueue() {
+  if (flush_scheduler_ && !connecting_) {
+    if (pending_write_bytes() >= kFlushBypassBytes) {
+      // Enough queued that overlapping the kernel send with the rest of
+      // the tick beats waiting for the tick-end flush.
+      flush();
+    } else if (!flush_armed_) {
+      flush_armed_ = true;
+      flush_scheduler_(*this);
+    }
+  } else {
+    flush();
+  }
   if (pending_write_bytes() > kHighWatermark && !reading_paused_) {
     // Backpressure: stop accepting input from a peer we cannot answer.
     reading_paused_ = true;
@@ -173,7 +233,7 @@ void Connection::handle_readable() {
     rbuf_.resize(old_size);
     if (n == 0) {
       decode_buffered();
-      if (!closed()) close("peer closed");
+      if (!closed() && !released_) close("peer closed");
       return;
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) break;
@@ -188,26 +248,37 @@ void Connection::decode_buffered() {
   while (!closed() && rconsumed_ < rbuf_.size()) {
     const std::span<const std::uint8_t> pending(rbuf_.data() + rconsumed_,
                                                 rbuf_.size() - rconsumed_);
-    wire::DecodedFrame frame = wire::decode_frame(pending);
-    if (frame.status == wire::DecodeStatus::kNeedMore) break;
-    if (!frame.ok()) {
-      decode_failure_ = frame.status;
-      log_decode_failure(frame.status, pending);
-      close(wire::to_cstring(frame.status));
+    const wire::FrameView view = wire::peek_frame(pending);
+    if (view.status == wire::DecodeStatus::kNeedMore) break;
+    if (!view.ok()) {
+      fail_decode(view.status);
       return;
     }
-    rconsumed_ += frame.consumed;
     ++stats_.frames_decoded;
-    if (on_frame_) on_frame_(*this, frame);
+    if (on_frame_) on_frame_(*this, view);
+    // The handler may have closed us (body-decode failure, protocol
+    // decision) or released the fd for steering; either way the buffer —
+    // current frame included — is no longer ours to advance.
+    if (closed() || released_) return;
+    rconsumed_ += view.consumed;
   }
-  if (closed()) return;
+  if (closed() || released_) return;
   if (rconsumed_ == rbuf_.size()) {
     rbuf_.clear();
     rconsumed_ = 0;
   } else if (rconsumed_ > kReadChunk) {
-    rbuf_.erase(rbuf_.begin(), rbuf_.begin() + static_cast<std::ptrdiff_t>(rconsumed_));
+    rbuf_.erase(rbuf_.begin(),
+                rbuf_.begin() + static_cast<std::ptrdiff_t>(rconsumed_));
     rconsumed_ = 0;
   }
+}
+
+void Connection::fail_decode(wire::DecodeStatus status) {
+  if (closed()) return;
+  decode_failure_ = status;
+  log_decode_failure(
+      status, {rbuf_.data() + rconsumed_, rbuf_.size() - rconsumed_});
+  close(wire::to_cstring(status));
 }
 
 void Connection::log_decode_failure(wire::DecodeStatus status,

@@ -103,6 +103,38 @@ void EventLoop::stop() {
   wake();
 }
 
+EventLoop::HookId EventLoop::add_tick_end_hook(std::function<void()> fn) {
+  TIMEDC_ASSERT(running_in_loop_thread());
+  const HookId id = next_hook_id_++;
+  tick_end_hooks_.push_back(TickEndHook{id, std::move(fn)});
+  return id;
+}
+
+void EventLoop::remove_tick_end_hook(HookId id) {
+  // No thread assert: owners unregister from their destructors, which run
+  // after the loop thread has stopped and joined.
+  for (auto& hook : tick_end_hooks_) {
+    if (hook.id == id) {
+      hook.fn = nullptr;  // compacted after the current iteration
+      hooks_dirty_ = true;
+      return;
+    }
+  }
+}
+
+void EventLoop::run_tick_end_hooks() {
+  // Index loop: a hook may register another hook (it runs this same tick,
+  // at the end) but removal only nulls the slot, so iteration stays valid.
+  for (std::size_t i = 0; i < tick_end_hooks_.size(); ++i) {
+    if (tick_end_hooks_[i].fn) tick_end_hooks_[i].fn();
+  }
+  if (hooks_dirty_) {
+    std::erase_if(tick_end_hooks_,
+                  [](const TickEndHook& h) { return !h.fn; });
+    hooks_dirty_ = false;
+  }
+}
+
 void EventLoop::drain_posted() {
   std::vector<std::function<void()>> tasks;
   {
@@ -169,6 +201,7 @@ void EventLoop::run() {
     }
     fire_due_timers();
     drain_posted();
+    run_tick_end_hooks();
   }
 }
 

@@ -73,6 +73,21 @@ class EventLoop {
   /// Ask run() to return after the current iteration. Thread-safe.
   void stop();
 
+  /// Identifies one registered tick-end hook.
+  using HookId = std::uint64_t;
+
+  /// Register `fn` to run at the end of every loop iteration — after the
+  /// fd callbacks, due timers and posted tasks of that iteration. This is
+  /// the batching point: everything a tick queued (acks to coalesce, local
+  /// deliveries to apply) is drained in one place, once, before the loop
+  /// blocks again. Loop-thread only. Hooks run in registration order.
+  HookId add_tick_end_hook(std::function<void()> fn);
+
+  /// Unregister a tick-end hook. Loop-thread only while the loop runs
+  /// (safe from inside the hook itself — removal takes effect next
+  /// iteration); also safe after the loop has stopped and joined.
+  void remove_tick_end_hook(HookId id);
+
   bool running_in_loop_thread() const {
     return std::this_thread::get_id() == loop_thread_;
   }
@@ -96,6 +111,7 @@ class EventLoop {
   void wake();
   void drain_posted();
   void fire_due_timers();
+  void run_tick_end_hooks();
   /// epoll_wait timeout until the nearest timer (ms, rounded up), or -1.
   int wait_timeout_ms();
 
@@ -105,6 +121,16 @@ class EventLoop {
   std::thread::id loop_thread_;
 
   std::unordered_map<int, FdCallback> fds_;
+
+  /// Tick-end hooks, loop-thread only (no lock). Stable ids; removal marks
+  /// the slot and the vector is compacted outside hook iteration.
+  struct TickEndHook {
+    HookId id;
+    std::function<void()> fn;
+  };
+  std::vector<TickEndHook> tick_end_hooks_;
+  HookId next_hook_id_ = 0;
+  bool hooks_dirty_ = false;
 
   std::mutex mutex_;  // guards posted_, timers_ and live_timers_
   std::vector<std::function<void()>> posted_;

@@ -1,0 +1,77 @@
+// N single-threaded reactors sharing one listening port.
+//
+// Each reactor is an (EventLoop, TcpTransport) pair pinned to its own
+// thread. All reactors listen on the same port with SO_REUSEPORT, so the
+// kernel shards incoming accepts across them; object-hash connection
+// steering (TcpTransport::set_steering) then moves each accepted
+// connection to the reactor that owns its destination site, so after the
+// first protocol frame every connection is wholly served by one thread and
+// reactors share no protocol state — the Transport seam is unchanged and
+// protocol code cannot tell one reactor from sixteen.
+//
+// Site ownership is a function the caller provides (site -> reactor
+// index); the group wires it into every transport's steering hook. The
+// caller registers its per-reactor protocol objects between construction
+// and start() — transports are plain TcpTransports, reachable via
+// transport(i).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "net/event_loop.hpp"
+#include "net/tcp_transport.hpp"
+
+namespace timedc::net {
+
+class ReactorGroup {
+ public:
+  /// Maps a destination site to the reactor index that owns it. Must be
+  /// pure and thread-agnostic: it runs on whichever reactor accepted the
+  /// connection. Sites that return an out-of-range index stay on the
+  /// accepting reactor.
+  using SiteOwnerFn = std::function<std::size_t(SiteId)>;
+
+  /// `latency_bound` is forwarded to every TcpTransport.
+  ReactorGroup(std::size_t reactors, SiteOwnerFn site_owner,
+               SimTime latency_bound = SimTime::infinity());
+  ~ReactorGroup();
+  ReactorGroup(const ReactorGroup&) = delete;
+  ReactorGroup& operator=(const ReactorGroup&) = delete;
+
+  /// Bind every reactor to the same 127.0.0.1:`port` with SO_REUSEPORT
+  /// (port 0: the first reactor picks an ephemeral port and the rest join
+  /// it). Returns the shared port. Call before start().
+  std::uint16_t listen_shared(std::uint16_t port);
+
+  /// Launch one thread per reactor running its loop. `on_thread_start`, if
+  /// set, runs first on each reactor thread (index argument) — benchmarks
+  /// use it to tag reactor threads for allocation accounting.
+  void start(std::function<void(std::size_t)> on_thread_start = nullptr);
+
+  /// Drain and stop: each reactor closes its connections on its own loop,
+  /// then the loops stop and the threads join. Idempotent.
+  void stop();
+
+  std::size_t size() const { return reactors_.size(); }
+  EventLoop& loop(std::size_t i) { return *reactors_[i]->loop; }
+  TcpTransport& transport(std::size_t i) { return *reactors_[i]->transport; }
+  std::uint16_t shared_port() const { return shared_port_; }
+
+ private:
+  struct Reactor {
+    std::unique_ptr<EventLoop> loop;
+    std::unique_ptr<TcpTransport> transport;
+    std::thread thread;
+  };
+
+  std::vector<std::unique_ptr<Reactor>> reactors_;
+  SiteOwnerFn site_owner_;
+  std::uint16_t shared_port_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace timedc::net

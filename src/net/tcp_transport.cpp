@@ -56,17 +56,23 @@ TcpTransport::~TcpTransport() {
   // Silent teardown: the Connection destructor deregisters and closes
   // without firing callbacks into this (dying) transport.
   conns_.clear();
+  if (tick_hook_registered_) loop_.remove_tick_end_hook(tick_hook_id_);
   if (listen_fd_ >= 0) {
     loop_.remove_fd(listen_fd_);
     ::close(listen_fd_);
   }
 }
 
-std::uint16_t TcpTransport::listen(std::uint16_t port) {
+std::uint16_t TcpTransport::listen(std::uint16_t port, bool reuse_port) {
   TIMEDC_ASSERT(listen_fd_ < 0 && "listen() may be called once");
   listen_fd_ = make_tcp_socket();
   int one = 1;
   setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (reuse_port) {
+    // N reactors bind the same port; the kernel shards incoming accepts
+    // across their listening sockets.
+    setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one));
+  }
   sockaddr_in addr = loopback_addr("127.0.0.1", port);
   int rc = ::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
   TIMEDC_ASSERT(rc == 0 && "bind failed");
@@ -90,16 +96,35 @@ void TcpTransport::accept_ready() {
     int one = 1;
     setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     ++stats_.connections_accepted;
-    adopt(std::make_shared<Connection>(loop_, fd, /*connecting=*/false));
+    adopt(std::make_shared<Connection>(loop_, fd, /*connecting=*/false),
+          /*steer_candidate=*/steering_ != nullptr);
   }
 }
 
-void TcpTransport::adopt(std::shared_ptr<Connection> conn) {
+Connection* TcpTransport::adopt(std::shared_ptr<Connection> conn,
+                                bool steer_candidate) {
   Connection* raw = conn.get();
   conns_.emplace(raw, std::move(conn));
+  if (steer_candidate) steer_candidates_.insert(raw);
   raw->start(
-      [this](Connection& c, wire::DecodedFrame& f) { on_frame(c, f); },
+      [this](Connection& c, const wire::FrameView& v) { on_frame(c, v); },
       [this](Connection& c, const char* reason) { on_close(c, reason); });
+  // Every connection writes in batched mode: sends enqueue, the tick-end
+  // hook gather-flushes each dirty connection once.
+  raw->set_flush_scheduler([this](Connection& c) {
+    ensure_tick_hook();
+    dirty_conns_.push_back(&c);
+  });
+  return raw;
+}
+
+void TcpTransport::adopt_steered(int fd, std::vector<std::uint8_t> leftover) {
+  ++stats_.connections_steered_in;
+  // Never a steer candidate again: the connection already found its owner;
+  // steering it back would ping-pong.
+  Connection* raw =
+      adopt(std::make_shared<Connection>(loop_, fd, /*connecting=*/false));
+  raw->inject(std::move(leftover));
 }
 
 void TcpTransport::add_route(SiteId site, std::string host,
@@ -138,6 +163,10 @@ const TcpTransportStats& TcpTransport::stats() const {
   for (const auto& [site, peer] : peers_) {
     ++stats_.peers_by_state[static_cast<std::size_t>(peer.state)];
   }
+  stats_.flush_syscalls = closed_flush_syscalls_;
+  for (const auto& [raw, conn] : conns_) {
+    stats_.flush_syscalls += conn->stats().flush_syscalls;
+  }
   return stats_;
 }
 
@@ -175,13 +204,13 @@ void TcpTransport::send_message(SiteId from, SiteId to, Message m,
   (void)bytes;  // the sim cost model; real byte counts live in Connection
   const auto local = handlers_.find(to.value);
   if (local != handlers_.end()) {
-    // Both endpoints live on this transport. Deliver through the loop so
-    // the handler never runs inside send_message (Transport contract).
+    // Both endpoints live on this transport. Queue for the tick-end batch
+    // apply, so the handler never runs inside send_message (Transport
+    // contract) and a tick's worth of local messages is applied in one
+    // drain instead of one posted std::function allocation each.
     ++stats_.local_deliveries;
-    loop_.post([this, from, to, msg = std::move(m)]() {
-      const auto h = handlers_.find(to.value);
-      if (h != handlers_.end()) h->second(from, msg);
-    });
+    ensure_tick_hook();
+    pending_local_.push_back(LocalDelivery{from, to, std::move(m)});
     return;
   }
   if (supervision_.enabled && routes_.find(to.value) != routes_.end()) {
@@ -418,7 +447,7 @@ void TcpTransport::on_supervised_close(SiteId site, Connection& conn) {
   schedule_backoff(site);
 }
 
-void TcpTransport::on_frame(Connection& conn, wire::DecodedFrame& frame) {
+void TcpTransport::on_frame(Connection& conn, const wire::FrameView& view) {
   // Any received frame is proof of liveness for the supervised peer this
   // connection belongs to — and the only thing that resets its
   // consecutive-failure count (a bare connect success is not proof: a
@@ -431,6 +460,30 @@ void TcpTransport::on_frame(Connection& conn, wire::DecodedFrame& frame) {
       peer_it->second.failures = 0;
     }
   }
+  // Connection steering decides on the header alone, before the body is
+  // decoded: the first protocol frame names the destination site, whose
+  // owning reactor takes the fd. Transport-internal frames (heartbeat,
+  // time-sync) are answered by whichever reactor accepted and keep the
+  // connection eligible.
+  if (!steer_candidates_.empty() && view.is_protocol()) {
+    const auto cand = steer_candidates_.find(&conn);
+    if (cand != steer_candidates_.end()) {
+      steer_candidates_.erase(cand);
+      TcpTransport* owner = steering_ ? steering_(view.to) : nullptr;
+      if (owner != nullptr && owner != this) {
+        steer(conn, *owner);
+        return;
+      }
+    }
+  }
+  // Decode the body into the per-transport scratch frame (reused storage:
+  // no allocation for empty-timestamp messages, i.e. all TSC traffic).
+  if (wire::decode_frame_view(view, scratch_frame_) !=
+      wire::DecodeStatus::kOk) {
+    conn.fail_decode(scratch_frame_.status);
+    return;
+  }
+  wire::DecodedFrame& frame = scratch_frame_;
   if (frame.is_heartbeat) {
     ++stats_.heartbeats_received;
     if (!frame.heartbeat.reply) {
@@ -468,6 +521,28 @@ void TcpTransport::on_frame(Connection& conn, wire::DecodedFrame& frame) {
   h->second(frame.from, frame.message);
 }
 
+void TcpTransport::steer(Connection& conn, TcpTransport& owner) {
+  // Best-effort flush of anything already queued (e.g. a heartbeat pong
+  // from this same tick): release() drops unsent output.
+  conn.flush_batched();
+  if (conn.closed()) return;  // flush hit a write error; nothing to steer
+  std::vector<std::uint8_t> leftover;
+  const int fd = conn.release(leftover);
+  ++stats_.connections_steered_out;
+  forget_pending(&conn);
+  // The connection carried no learned return paths yet (steering happens
+  // on the first protocol frame), but purge defensively.
+  for (auto it = peer_conn_.begin(); it != peer_conn_.end();) {
+    it = (it->second == &conn) ? peer_conn_.erase(it) : std::next(it);
+  }
+  TcpTransport* target = &owner;
+  target->loop().post(
+      [target, fd, lo = std::move(leftover)]() mutable {
+        target->adopt_steered(fd, std::move(lo));
+      });
+  release_conn(conn);
+}
+
 void TcpTransport::on_close(Connection& conn, const char* reason) {
   (void)reason;
   ++stats_.connections_closed;
@@ -476,6 +551,8 @@ void TcpTransport::on_close(Connection& conn, const char* reason) {
     ++stats_.decode_errors_by_status[static_cast<std::size_t>(
         conn.decode_failure())];
   }
+  steer_candidates_.erase(&conn);
+  forget_pending(&conn);
   // Purge every learned return path through this connection: a send to one
   // of these sites must re-dial or re-learn, never touch a dead pointer.
   for (auto it = peer_conn_.begin(); it != peer_conn_.end();) {
@@ -489,6 +566,11 @@ void TcpTransport::on_close(Connection& conn, const char* reason) {
       on_supervised_close(site, conn);
     }
   }
+  release_conn(conn);
+}
+
+void TcpTransport::release_conn(Connection& conn) {
+  closed_flush_syscalls_ += conn.stats().flush_syscalls;
   const auto it = conns_.find(&conn);
   if (it != conns_.end()) {
     // We may be inside this connection's own event callback: defer the
@@ -497,6 +579,50 @@ void TcpTransport::on_close(Connection& conn, const char* reason) {
     conns_.erase(it);
     loop_.post([keep_alive]() {});
   }
+}
+
+void TcpTransport::forget_pending(Connection* conn) {
+  // Deferred destruction runs in drain_posted, which precedes the tick-end
+  // hook in the same iteration — so every pending reference must go now,
+  // from both the fill list and (when closing from inside the hook's own
+  // flush) the list currently being walked. The walk skips nulls rather
+  // than erasing, so indices stay stable.
+  std::erase(dirty_conns_, conn);
+  for (auto& c : flushing_) {
+    if (c == conn) c = nullptr;
+  }
+}
+
+void TcpTransport::ensure_tick_hook() {
+  if (tick_hook_registered_) return;
+  tick_hook_registered_ = true;
+  tick_hook_id_ = loop_.add_tick_end_hook([this]() { on_tick_end(); });
+}
+
+void TcpTransport::on_tick_end() {
+  if (pending_local_.empty() && dirty_conns_.empty()) return;
+  ++stats_.batch_flushes;
+  // Batch-apply local deliveries; applying one may enqueue more (request →
+  // reply → ...), so drain until a pass produces nothing new.
+  while (!pending_local_.empty()) {
+    local_batch_.clear();
+    local_batch_.swap(pending_local_);
+    for (LocalDelivery& d : local_batch_) {
+      const auto h = handlers_.find(d.to.value);
+      if (h != handlers_.end()) h->second(d.from, d.message);
+    }
+  }
+  // One gather write per connection that queued output this tick. Acks a
+  // shard produced while applying the batch above land in these queues, so
+  // the whole tick's replies leave in (at most) one syscall per peer.
+  while (!dirty_conns_.empty()) {
+    flushing_.clear();
+    flushing_.swap(dirty_conns_);
+    for (Connection* c : flushing_) {
+      if (c != nullptr && !c->closed() && !c->released()) c->flush_batched();
+    }
+  }
+  flushing_.clear();
 }
 
 void TcpTransport::stop_listening() {
@@ -512,7 +638,11 @@ void TcpTransport::close_all() {
   std::vector<Connection*> open;
   open.reserve(conns_.size());
   for (const auto& [raw, conn] : conns_) open.push_back(raw);
-  for (Connection* c : open) c->close("shutdown");
+  for (Connection* c : open) {
+    // Graceful: push out whatever the last tick queued before closing.
+    if (!c->closed()) c->flush_batched();
+    if (!c->closed()) c->close("shutdown");
+  }
   stop_listening();
 }
 

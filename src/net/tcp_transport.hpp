@@ -1,6 +1,16 @@
 // The real-socket Transport: wire-codec frames over non-blocking TCP,
 // driven by one EventLoop.
 //
+// Hot path. Frames arrive as non-owning wire::FrameViews and decode into a
+// per-transport scratch DecodedFrame; outgoing frames coalesce in per-
+// connection send queues and flush once per loop tick with a single gather
+// write (a tick-end hook); local deliveries batch the same way. In steady
+// state — empty-timestamp TSC traffic — a request/reply round touches the
+// allocator zero times. Multi-reactor servers run one TcpTransport per
+// EventLoop on a shared SO_REUSEPORT port with object-hash connection
+// steering (set_steering); each connection ends up wholly owned by the
+// reactor that owns its sites, so reactors share no protocol state.
+//
 // Routing model. Every frame carries (from, to) site ids, so one TCP
 // connection can multiplex any number of sites — the load generator runs
 // hundreds of client sites over a handful of connections. Outgoing routes
@@ -21,6 +31,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/rng.hpp"
 #include "net/connection.hpp"
@@ -86,6 +97,18 @@ struct TcpTransportStats {
   std::uint64_t connections_closed = 0;
   std::uint64_t decode_errors = 0;  // connections torn down by bad frames
   std::uint64_t unroutable = 0;     // frames dropped: no route to site
+  /// Accepted connections handed to another reactor's transport because
+  /// their first protocol frame addressed a site that reactor owns.
+  std::uint64_t connections_steered_out = 0;
+  /// Connections adopted from another reactor's accept.
+  std::uint64_t connections_steered_in = 0;
+  /// Batched local deliveries and tick-end gather flushes (coalescing:
+  /// compare frames_sent with flush_syscalls).
+  std::uint64_t batch_flushes = 0;
+  /// Sum of every connection's sendmsg() calls, live and closed — with
+  /// batching, frames_sent / flush_syscalls is the coalescing factor.
+  /// Refreshed by TcpTransport::stats().
+  std::uint64_t flush_syscalls = 0;
   /// decode_errors split by wire::DecodeStatus (index = status value); the
   /// stats bridge publishes these as net.decode_error.<status>.
   std::array<std::uint64_t, wire::kDecodeStatusCount> decode_errors_by_status{};
@@ -119,8 +142,26 @@ class TcpTransport final : public Transport {
   ~TcpTransport() override;
 
   /// Bind + listen on 127.0.0.1:`port` (0 picks an ephemeral port).
-  /// Returns the bound port.
-  std::uint16_t listen(std::uint16_t port);
+  /// Returns the bound port. With `reuse_port`, the socket is bound with
+  /// SO_REUSEPORT so N reactors can share one port and the kernel shards
+  /// accepts across them (the ReactorGroup's accept model).
+  std::uint16_t listen(std::uint16_t port, bool reuse_port = false);
+
+  /// Object-hash connection steering. When set, the first *protocol* frame
+  /// on an accepted connection resolves the transport that owns the frame's
+  /// destination site; if that is another reactor's transport, the fd and
+  /// every buffered byte (current frame included) move there and all
+  /// subsequent traffic is handled by the owner — one reactor per
+  /// connection, no cross-thread state. Transport-internal frames
+  /// (heartbeat, time-sync) are answered by whichever reactor accepted and
+  /// never steer. Returning nullptr or `this` keeps the connection here.
+  using SteeringFn = std::function<TcpTransport*(SiteId)>;
+  void set_steering(SteeringFn fn) { steering_ = std::move(fn); }
+
+  /// Adopt a steered-away connection (runs on this transport's loop via
+  /// post from the steering reactor). `leftover` is every byte the
+  /// releasing side had buffered, replayed as if freshly read.
+  void adopt_steered(int fd, std::vector<std::uint8_t> leftover);
 
   /// Frames addressed to `site` go over a (lazily dialed) connection to
   /// host:port. Replaces any previous route for `site`.
@@ -218,9 +259,21 @@ class TcpTransport final : public Transport {
   };
 
   void accept_ready();
-  void adopt(std::shared_ptr<Connection> conn);
-  void on_frame(Connection& conn, wire::DecodedFrame& frame);
+  Connection* adopt(std::shared_ptr<Connection> conn,
+                    bool steer_candidate = false);
+  void on_frame(Connection& conn, const wire::FrameView& view);
+  void steer(Connection& conn, TcpTransport& owner);
   void on_close(Connection& conn, const char* reason);
+  /// Drop a connection's pending deferred work (dirty-flush entries): its
+  /// deferred destruction runs in drain_posted, *before* the tick-end hook,
+  /// so a stale pointer there would dangle.
+  void forget_pending(Connection* conn);
+  void release_conn(Connection& conn);  // deferred-destruction handoff
+  /// Lazily register the tick-end hook (loop-thread only).
+  void ensure_tick_hook();
+  /// The batching point: apply queued local deliveries (draining anything
+  /// they enqueue in turn), then gather-flush every dirty connection once.
+  void on_tick_end();
   /// The connection frames to `to` should use: learned peer, open route
   /// connection, or a fresh dial. Null when unroutable.
   Connection* connection_to(SiteId to);
@@ -258,7 +311,35 @@ class TcpTransport final : public Transport {
   Rng backoff_rng_;
   bool shutting_down_ = false;
 
+  // Batching state (loop-thread only):
+  struct LocalDelivery {
+    SiteId from;
+    SiteId to;
+    Message message;
+  };
+  std::vector<LocalDelivery> pending_local_;
+  std::vector<LocalDelivery> local_batch_;  // reused swap target
+  /// Connections with queued output awaiting the tick-end gather flush.
+  std::vector<Connection*> dirty_conns_;
+  std::vector<Connection*> flushing_;  // reused swap target
+  EventLoop::HookId tick_hook_id_ = 0;
+  bool tick_hook_registered_ = false;
+
+  // Steering state (loop-thread only):
+  SteeringFn steering_;
+  /// Accepted connections whose first protocol frame has not arrived yet —
+  /// the only ones eligible to steer (a steered-in connection never
+  /// re-steers).
+  std::unordered_set<const Connection*> steer_candidates_;
+
+  /// Per-transport decode scratch: frame bodies decode into this reused
+  /// DecodedFrame, so steady-state receive dispatch never allocates.
+  wire::DecodedFrame scratch_frame_;
+
   mutable TcpTransportStats stats_;
+  /// flush_syscalls of connections already released (stats() adds the live
+  /// ones on top).
+  std::uint64_t closed_flush_syscalls_ = 0;
 };
 
 }  // namespace timedc::net

@@ -369,24 +369,24 @@ void encode_frame(SiteId from, SiteId to, const Message& m,
   TIMEDC_ASSERT(out.size() - body_start == ts.body);
 }
 
-DecodedFrame decode_frame(std::span<const std::uint8_t> buf) {
-  DecodedFrame frame;
+FrameView peek_frame(std::span<const std::uint8_t> buf) {
+  FrameView view;
   // Fail fast on a corrupt stream: magic/version/type are validated as soon
   // as their bytes are present, without waiting for a full header.
-  if (buf.size() < 2) return frame;  // kNeedMore
+  if (buf.size() < 2) return view;  // kNeedMore
   const std::uint16_t magic = static_cast<std::uint16_t>(buf[0]) |
                               static_cast<std::uint16_t>(buf[1]) << 8;
   if (magic != kMagic) {
-    frame.status = DecodeStatus::kBadMagic;
-    return frame;
+    view.status = DecodeStatus::kBadMagic;
+    return view;
   }
-  if (buf.size() < 3) return frame;
+  if (buf.size() < 3) return view;
   const std::uint8_t version = buf[2];
   if (version < kMinVersion || version > kVersion) {
-    frame.status = DecodeStatus::kBadVersion;
-    return frame;
+    view.status = DecodeStatus::kBadVersion;
+    return view;
   }
-  if (buf.size() < 4) return frame;
+  if (buf.size() < 4) return view;
   const std::uint8_t raw_type = buf[3];
   // Each transport-level type only exists from the codec version that
   // introduced it on (kHeartbeat: 2, kTimeRequest/kTimeReply: 3); an older
@@ -397,72 +397,71 @@ DecodedFrame decode_frame(std::span<const std::uint8_t> buf) {
                      : static_cast<std::uint8_t>(MsgType::kPushUpdate);
   if (raw_type < static_cast<std::uint8_t>(MsgType::kFetchRequest) ||
       raw_type > max_type) {
-    frame.status = DecodeStatus::kBadType;
-    return frame;
+    view.status = DecodeStatus::kBadType;
+    return view;
   }
-  if (buf.size() < kHeaderBytes) return frame;
-  frame.from = SiteId{read_u32_at(buf, 4)};
-  frame.to = SiteId{read_u32_at(buf, 8)};
+  if (buf.size() < kHeaderBytes) return view;
+  view.from = SiteId{read_u32_at(buf, 4)};
+  view.to = SiteId{read_u32_at(buf, 8)};
   const std::uint32_t body_len = read_u32_at(buf, 12);
   if (body_len > kMaxBodyBytes) {
-    frame.status = DecodeStatus::kOversizedBody;
-    return frame;
+    view.status = DecodeStatus::kOversizedBody;
+    return view;
   }
-  if (buf.size() < kHeaderBytes + body_len) return frame;
+  if (buf.size() < kHeaderBytes + body_len) return view;
+  view.status = DecodeStatus::kOk;
+  view.consumed = kHeaderBytes + body_len;
+  view.type = static_cast<MsgType>(raw_type);
+  view.body = buf.subspan(kHeaderBytes, body_len);
+  return view;
+}
 
-  Reader r(buf.subspan(kHeaderBytes, body_len));
-  if (static_cast<MsgType>(raw_type) == MsgType::kHeartbeat) {
+DecodeStatus decode_frame_view(const FrameView& view, DecodedFrame& out) {
+  out.status = view.status;
+  out.consumed = 0;
+  out.from = view.from;
+  out.to = view.to;
+  out.is_heartbeat = false;
+  out.is_time_sync = false;
+  if (!view.ok()) return out.status;
+
+  Reader r(view.body);
+  if (view.type == MsgType::kHeartbeat) {
     Heartbeat hb;
     hb.seq = r.u64();
     hb.send_time_us = r.i64();
     hb.reply = r.boolean();
-    if (r.status() != DecodeStatus::kOk) {
-      frame.status = r.status();
-      return frame;
-    }
-    if (!r.exhausted()) {
-      frame.status = DecodeStatus::kTrailingBytes;
-      return frame;
-    }
-    frame.status = DecodeStatus::kOk;
-    frame.consumed = kHeaderBytes + body_len;
-    frame.is_heartbeat = true;
-    frame.heartbeat = hb;
-    return frame;
+    if (r.status() != DecodeStatus::kOk) return out.status = r.status();
+    if (!r.exhausted()) return out.status = DecodeStatus::kTrailingBytes;
+    out.consumed = view.consumed;
+    out.is_heartbeat = true;
+    out.heartbeat = hb;
+    return out.status = DecodeStatus::kOk;
   }
-  if (static_cast<MsgType>(raw_type) == MsgType::kTimeRequest ||
-      static_cast<MsgType>(raw_type) == MsgType::kTimeReply) {
+  if (view.type == MsgType::kTimeRequest || view.type == MsgType::kTimeReply) {
     TimeSync ts;
     ts.seq = r.u64();
     ts.client_send_us = r.i64();
     ts.server_time_us = r.i64();
-    ts.reply = static_cast<MsgType>(raw_type) == MsgType::kTimeReply;
-    if (r.status() != DecodeStatus::kOk) {
-      frame.status = r.status();
-      return frame;
-    }
-    if (!r.exhausted()) {
-      frame.status = DecodeStatus::kTrailingBytes;
-      return frame;
-    }
-    frame.status = DecodeStatus::kOk;
-    frame.consumed = kHeaderBytes + body_len;
-    frame.is_time_sync = true;
-    frame.time_sync = ts;
-    return frame;
+    ts.reply = view.type == MsgType::kTimeReply;
+    if (r.status() != DecodeStatus::kOk) return out.status = r.status();
+    if (!r.exhausted()) return out.status = DecodeStatus::kTrailingBytes;
+    out.consumed = view.consumed;
+    out.is_time_sync = true;
+    out.time_sync = ts;
+    return out.status = DecodeStatus::kOk;
   }
-  Message m = decode_body(static_cast<MsgType>(raw_type), r);
-  if (r.status() != DecodeStatus::kOk) {
-    frame.status = r.status();
-    return frame;
-  }
-  if (!r.exhausted()) {
-    frame.status = DecodeStatus::kTrailingBytes;
-    return frame;
-  }
-  frame.status = DecodeStatus::kOk;
-  frame.consumed = kHeaderBytes + body_len;
-  frame.message = std::move(m);
+  Message m = decode_body(view.type, r);
+  if (r.status() != DecodeStatus::kOk) return out.status = r.status();
+  if (!r.exhausted()) return out.status = DecodeStatus::kTrailingBytes;
+  out.consumed = view.consumed;
+  out.message = std::move(m);
+  return out.status = DecodeStatus::kOk;
+}
+
+DecodedFrame decode_frame(std::span<const std::uint8_t> buf) {
+  DecodedFrame frame;
+  decode_frame_view(peek_frame(buf), frame);
   return frame;
 }
 

@@ -164,4 +164,45 @@ struct DecodedFrame {
 /// non-kOk status is a permanent protocol error for this stream.
 DecodedFrame decode_frame(std::span<const std::uint8_t> buf);
 
+/// A non-owning view of one wire frame sitting in a receive buffer. Only
+/// the 16-byte header has been validated; `body` aliases the buffer the
+/// view was peeked from and is valid exactly as long as those bytes stay
+/// put — the hot path hands views to handlers and recycles the buffer when
+/// the handler returns (DESIGN.md section 11 states the lifetime rule).
+///
+/// peek_frame() costs a header validation and no allocation, so transport-
+/// level routing (dispatch, connection steering) can act on (from, to,
+/// type) without materializing the message; decode_frame_view() then does
+/// the typed body decode on demand, into a caller-reused DecodedFrame.
+struct FrameView {
+  DecodeStatus status = DecodeStatus::kNeedMore;
+  std::size_t consumed = 0;  // header + body bytes when kOk
+  SiteId from;
+  SiteId to;
+  MsgType type = MsgType::kFetchRequest;  // meaningful when kOk
+  std::span<const std::uint8_t> body;
+
+  bool ok() const { return status == DecodeStatus::kOk; }
+  /// True for the eight protocol message types (the ones surfaced to
+  /// Transport handlers); false for transport-internal frames.
+  bool is_protocol() const {
+    return type >= MsgType::kFetchRequest && type <= MsgType::kPushUpdate;
+  }
+};
+
+/// Validate the header of the frame at the front of `buf` without decoding
+/// its body. Status semantics match decode_frame for every header-stage
+/// outcome (kNeedMore/kBadMagic/kBadVersion/kBadType/kOversizedBody);
+/// body-stage errors are only found by decode_frame_view.
+FrameView peek_frame(std::span<const std::uint8_t> buf);
+
+/// Decode the typed body of a kOk view into `out`, reusing out's storage
+/// (a per-connection scratch DecodedFrame keeps the hot path free of
+/// per-message allocation: every protocol message whose timestamps are
+/// empty — all TSC traffic — decodes without touching the heap). Returns
+/// out.status. The composition decode_frame_view(peek_frame(buf)) yields
+/// exactly decode_frame(buf)'s status, fields and consumed count; the
+/// property test in tests/wire_test.cpp holds the two paths equal.
+DecodeStatus decode_frame_view(const FrameView& view, DecodedFrame& out);
+
 }  // namespace timedc::wire

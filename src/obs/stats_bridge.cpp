@@ -100,6 +100,12 @@ void publish_tcp_transport_stats(MetricsRegistry& reg, std::string_view prefix,
   reg.add_counter(key(prefix, "connections_closed"), stats.connections_closed);
   reg.add_counter(key(prefix, "decode_errors"), stats.decode_errors);
   reg.add_counter(key(prefix, "unroutable"), stats.unroutable);
+  reg.add_counter(key(prefix, "connections_steered_out"),
+                  stats.connections_steered_out);
+  reg.add_counter(key(prefix, "connections_steered_in"),
+                  stats.connections_steered_in);
+  reg.add_counter(key(prefix, "batch_flushes"), stats.batch_flushes);
+  reg.add_counter(key(prefix, "flush_syscalls"), stats.flush_syscalls);
   // One named counter per DecodeStatus; kOk and kNeedMore are not errors
   // and are skipped.
   for (std::size_t s = 0; s < wire::kDecodeStatusCount; ++s) {

@@ -123,7 +123,7 @@ TEST(ConnectionBackpressure, PausesReadingAtHighWatermarkAndResumes) {
 
   const bool paused = on_loop(loop, [&] {
     conn = std::make_unique<net::Connection>(loop, sv[0], false);
-    conn->start([](net::Connection&, wire::DecodedFrame&) {},
+    conn->start([](net::Connection&, const wire::FrameView&) {},
                 [](net::Connection&, const char*) {});
     // The peer never reads: keep queueing frames until the high watermark
     // pauses our read side (bounded: ~5MiB of frames clears 4MiB + sndbuf).

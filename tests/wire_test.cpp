@@ -378,5 +378,114 @@ TEST(WireCodec, RandomGarbageNeverCrashes) {
   }
 }
 
+/// Asserts that the zero-copy path (peek_frame + decode_frame_view into a
+/// reused DecodedFrame) agrees with the owning decode_frame on every field
+/// for this buffer. `scratch` is deliberately reused across calls — the
+/// transport hot path never resets it between frames, so stale state from
+/// a previous decode must never leak through.
+void expect_view_matches_owning(std::span<const std::uint8_t> buf,
+                                wire::DecodedFrame& scratch) {
+  const wire::DecodedFrame owning = wire::decode_frame(buf);
+  const wire::FrameView view = wire::peek_frame(buf);
+  if (view.ok()) {
+    ASSERT_EQ(wire::decode_frame_view(view, scratch), scratch.status);
+    // The header fields are already authoritative on the view itself.
+    // (view.consumed is the header-claimed frame size and stays set even
+    // when the body decode below fails, so it only matches the owning
+    // count on success — scratch.consumed matches unconditionally.)
+    if (owning.ok()) {
+      EXPECT_EQ(view.from, owning.from);
+      EXPECT_EQ(view.to, owning.to);
+      EXPECT_EQ(view.consumed, owning.consumed);
+    }
+  } else {
+    // Every header-stage rejection must be the owning path's rejection.
+    ASSERT_EQ(view.status, owning.status);
+    EXPECT_EQ(view.consumed, 0u);
+    return;
+  }
+  ASSERT_EQ(scratch.status, owning.status)
+      << wire::to_cstring(scratch.status) << " vs "
+      << wire::to_cstring(owning.status);
+  EXPECT_EQ(scratch.consumed, owning.consumed);
+  if (!owning.ok()) return;
+  EXPECT_EQ(scratch.from, owning.from);
+  EXPECT_EQ(scratch.to, owning.to);
+  EXPECT_EQ(scratch.is_heartbeat, owning.is_heartbeat);
+  EXPECT_EQ(scratch.is_time_sync, owning.is_time_sync);
+  if (owning.is_heartbeat) {
+    EXPECT_EQ(scratch.heartbeat.seq, owning.heartbeat.seq);
+    EXPECT_EQ(scratch.heartbeat.send_time_us, owning.heartbeat.send_time_us);
+    EXPECT_EQ(scratch.heartbeat.reply, owning.heartbeat.reply);
+  } else if (owning.is_time_sync) {
+    EXPECT_EQ(scratch.time_sync.seq, owning.time_sync.seq);
+    EXPECT_EQ(scratch.time_sync.client_send_us,
+              owning.time_sync.client_send_us);
+    EXPECT_EQ(scratch.time_sync.server_time_us,
+              owning.time_sync.server_time_us);
+    EXPECT_EQ(scratch.time_sync.reply, owning.time_sync.reply);
+  } else {
+    EXPECT_EQ(scratch.message, owning.message);
+  }
+}
+
+TEST(WireCodec, ViewDecodeMatchesOwningDecodeOnEveryInput) {
+  // The property behind the transport's zero-copy hot path: for ANY byte
+  // buffer — valid frames of every type, heartbeats, time-sync legs,
+  // truncations, bit flips, garbage — decode_frame_view(peek_frame(buf))
+  // yields exactly decode_frame(buf)'s status, consumed count and fields.
+  Rng rng(20260807);
+  wire::DecodedFrame scratch;  // reused throughout, like a Connection's
+  for (int iter = 0; iter < 400; ++iter) {
+    for (int type = 0; type < kNumTypes; ++type) {
+      std::vector<std::uint8_t> buf =
+          encode(random_site(rng), random_site(rng), random_message(rng, type));
+      expect_view_matches_owning(buf, scratch);
+      // Every truncation.
+      for (std::size_t cut = 0; cut < buf.size(); cut += 3) {
+        expect_view_matches_owning(
+            std::span<const std::uint8_t>(buf.data(), cut), scratch);
+      }
+      // Random corruption.
+      const int flips = static_cast<int>(rng.uniform_int(1, 6));
+      for (int f = 0; f < flips; ++f) {
+        const std::size_t at = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(buf.size()) - 1));
+        buf[at] ^= static_cast<std::uint8_t>(1u << rng.uniform_int(0, 7));
+      }
+      expect_view_matches_owning(buf, scratch);
+    }
+    // Transport-internal frames, which the owning path also understands.
+    {
+      std::vector<std::uint8_t> buf;
+      wire::Heartbeat hb{rng.next_u64(),
+                         static_cast<std::int64_t>(rng.next_u64() >> 1),
+                         rng.bernoulli(0.5)};
+      wire::encode_heartbeat_frame(SiteId{1}, SiteId{2}, hb, buf);
+      expect_view_matches_owning(buf, scratch);
+      buf.clear();
+      wire::TimeSync ts{rng.next_u64(),
+                        static_cast<std::int64_t>(rng.next_u64() >> 1),
+                        static_cast<std::int64_t>(rng.next_u64() >> 1),
+                        rng.bernoulli(0.5)};
+      wire::encode_time_sync_frame(SiteId{1}, SiteId{2}, ts, buf);
+      expect_view_matches_owning(buf, scratch);
+    }
+    // Pure garbage, occasionally with a plausible header planted.
+    {
+      std::vector<std::uint8_t> buf(
+          static_cast<std::size_t>(rng.uniform_int(0, 200)));
+      for (auto& b : buf) b = static_cast<std::uint8_t>(rng.next_u64());
+      if (buf.size() >= 4 && rng.bernoulli(0.5)) {
+        buf[0] = 0x43;
+        buf[1] = 0x54;
+        buf[2] = wire::kVersion;
+        buf[3] = static_cast<std::uint8_t>(rng.uniform_int(1, 8));
+      }
+      expect_view_matches_owning(buf, scratch);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace timedc

@@ -1,11 +1,15 @@
-// timedc-load: closed-loop multi-threaded load generator for timedc-server.
+// timedc-load: multi-threaded load generator for timedc-server.
 //
 // Each worker thread owns one EventLoop + TcpTransport and drives a set of
-// TimedSerialCache (TSC, Section 5) clients in a closed loop: every client
-// keeps exactly one operation in flight, issuing the next as soon as the
-// previous completes. The mix is --write-pct writes over a Zipf-distributed
-// object population, with the timeliness bound --delta-us configuring the
-// caches' Context advance (rule 3).
+// TimedSerialCache (TSC, Section 5) clients. By default that is a closed
+// loop: every client keeps exactly one operation in flight, issuing the
+// next as soon as the previous completes (--pipeline N raises the in-flight
+// bound). --open-loop RATE switches to a fixed arrival schedule at RATE
+// aggregate ops/s, with latency charged from each op's INTENDED arrival
+// time so a slow server cannot slow the offered load and hide its own tail
+// (coordinated omission). The mix is --write-pct writes over a
+// Zipf-distributed object population, with the timeliness bound --delta-us
+// configuring the caches' Context advance (rule 3).
 //
 // Reporting: throughput (ops/s), exact p50/p99/max operation latency, and
 // the Def-1 per-read staleness histogram computed from the captured global
@@ -46,6 +50,7 @@
 //   timedc-load --ports p0[,p1,...] [--threads 2] [--clients 8]
 //               [--duration-s 5 | --ops N] [--write-pct 10] [--objects 64]
 //               [--zipf 0.9] [--delta-us 20000] [--think-us 0] [--seed 42]
+//               [--open-loop RATE] [--pipeline N]
 //               [--max-attempts 1] [--retry-base-ms 0] [--max-abandoned -1]
 //               [--heartbeat-ms 0] [--clock-offset-us 0] [--clock-drift-ppm 0]
 //               [--time-sync-ms 0] [--adaptive-delta] [--trace-out FILE]
@@ -57,6 +62,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <deque>
 #include <optional>
 #include <cstdlib>
 #include <cstring>
@@ -134,6 +140,18 @@ struct Options {
   std::string metrics_out;
   std::string history_out;
   double min_ops_per_sec = 0;
+  /// Open-loop mode: arrivals come on a fixed schedule at this aggregate
+  /// rate (ops/s across all threads) instead of as fast as completions
+  /// allow, and latency is measured from the INTENDED arrival time — so a
+  /// stalled server accrues the queueing delay it caused instead of
+  /// silently slowing the arrival schedule (coordinated omission). 0 keeps
+  /// the closed loop.
+  double open_loop = 0;
+  /// Bound on concurrently outstanding operations per worker (and thus per
+  /// connection). 0 = one per client, the closed-loop default. In open-
+  /// loop mode arrivals beyond the bound queue in a backlog, charged from
+  /// their intended time.
+  std::size_t pipeline = 0;
 
   bool supervised() const { return heartbeat_ms > 0 || max_attempts > 1; }
   std::int64_t effective_heartbeat_ms() const {
@@ -153,7 +171,7 @@ int usage(const char* argv0) {
       "          [--clock-offset-us O] [--clock-drift-ppm D]\n"
       "          [--time-sync-ms MS] [--adaptive-delta] [--trace-out FILE]\n"
       "          [--site-base B] [--metrics-out FILE] [--history-out FILE]\n"
-      "          [--min-ops-per-sec X]\n",
+      "          [--min-ops-per-sec X] [--open-loop RATE] [--pipeline N]\n",
       argv0);
   return 2;
 }
@@ -251,6 +269,12 @@ bool parse_args(int argc, char** argv, Options& opt) {
     } else if (arg == "--min-ops-per-sec") {
       if ((v = next()) == nullptr) return false;
       opt.min_ops_per_sec = std::atof(v);
+    } else if (arg == "--open-loop") {
+      if ((v = next()) == nullptr) return false;
+      opt.open_loop = std::atof(v);
+    } else if (arg == "--pipeline") {
+      if ((v = next()) == nullptr) return false;
+      opt.pipeline = static_cast<std::size_t>(std::atol(v));
     } else {
       return false;
     }
@@ -263,7 +287,11 @@ bool parse_args(int argc, char** argv, Options& opt) {
          opt.clock_offset_us >= 0 && opt.time_sync_ms >= 0 &&
          // Adaptation feeds on measured epsilon/RTT; without sync there is
          // no measurement and the budget would be pinned at zero.
-         (!opt.adaptive_delta || opt.time_sync_ms > 0);
+         (!opt.adaptive_delta || opt.time_sync_ms > 0) &&
+         // Open loop is paced by wall time; a per-client op cap has no
+         // meaning on an arrival schedule.
+         opt.open_loop >= 0 && (opt.open_loop == 0 || opt.duration_s > 0) &&
+         (opt.open_loop == 0 || opt.ops == 0);
 }
 
 /// One recorded operation of the global history.
@@ -371,7 +399,7 @@ class Worker {
         sync_->start();
         await_sync_then_issue(/*polls_left=*/5000);
       } else {
-        for (std::size_t k = 0; k < opt_.clients; ++k) issue(k);
+        begin_issuing();
       }
       loop_.run();
       if (sync_) {
@@ -401,6 +429,12 @@ class Worker {
     return read_latencies_;
   }
   std::uint64_t abandoned() const { return abandoned_; }
+  /// Deepest the open-loop backlog ever got (0 in closed-loop mode): how
+  /// far demand outran the pipeline at the worst moment.
+  std::uint64_t backlog_peak() const { return backlog_peak_; }
+  /// Open-loop arrivals still queued when the run ended — unserved demand
+  /// that would have inflated the tail had the run continued.
+  std::uint64_t arrivals_dropped() const { return arrivals_dropped_; }
   CacheStats total_cache_stats() const {
     CacheStats total;
     for (const auto& c : clients_) total += c->stats();
@@ -442,12 +476,85 @@ class Worker {
 
   void await_sync_then_issue(int polls_left) {
     if (sync_->synced() || polls_left <= 0 || stop_requested_) {
-      for (std::size_t k = 0; k < opt_.clients; ++k) issue(k);
+      begin_issuing();
       return;
     }
     loop_.run_after(SimTime::millis(1), [this, polls_left] {
       await_sync_then_issue(polls_left - 1);
     });
+  }
+
+  bool open_loop() const { return opt_.open_loop > 0; }
+
+  void begin_issuing() {
+    cap_ = opt_.pipeline == 0 ? opt_.clients
+                              : std::min(opt_.pipeline, opt_.clients);
+    for (std::size_t k = 0; k < opt_.clients; ++k) ready_.push_back(k);
+    if (open_loop()) {
+      // Each worker serves an equal slice of the aggregate arrival rate.
+      arrival_period_us_ = 1e6 * static_cast<double>(opt_.threads) /
+                           opt_.open_loop;
+      next_arrival_at_us_ = static_cast<double>(loop_.now().as_micros());
+      schedule_arrivals();
+    } else {
+      pump();
+    }
+  }
+
+  /// Enqueue every arrival whose intended time has come, dispatch, and
+  /// re-arm for the next one. Arrivals keep their schedule regardless of
+  /// completions: if the server stalls, the backlog grows and each queued
+  /// op is charged from its intended time (no coordinated omission). The
+  /// loop's ms-granularity timer can make arrivals land in small bursts;
+  /// their intended times stay exact.
+  void schedule_arrivals() {
+    if (stop_requested_ || loop_.now() >= deadline_) {
+      arrivals_done_ = true;
+      arrivals_dropped_ += backlog_.size();  // unserved demand at the bell
+      backlog_.clear();
+      check_open_finish();
+      return;
+    }
+    const double now_us = static_cast<double>(loop_.now().as_micros());
+    while (next_arrival_at_us_ <= now_us) {
+      backlog_.push_back(static_cast<std::int64_t>(next_arrival_at_us_));
+      next_arrival_at_us_ += arrival_period_us_;
+    }
+    if (backlog_.size() > backlog_peak_) backlog_peak_ = backlog_.size();
+    pump();
+    const auto delay_us = static_cast<std::int64_t>(
+        std::max(0.0, next_arrival_at_us_ - now_us));
+    loop_.run_after(SimTime::micros(delay_us), [this] { schedule_arrivals(); });
+  }
+
+  /// Dispatch as much queued work as the pipeline bound allows. Bounded by
+  /// the entry-time ready count: a synchronous completion (cache hit) puts
+  /// its client straight back into ready_, and an unbounded loop would
+  /// spin hit -> complete -> hit forever without returning to the loop.
+  void pump() {
+    if (open_loop()) {
+      std::size_t budget = std::min(ready_.size(), backlog_.size());
+      while (budget-- > 0 && outstanding_ < cap_ && !ready_.empty() &&
+             !backlog_.empty()) {
+        const std::size_t k = ready_.front();
+        ready_.pop_front();
+        const std::int64_t intended = backlog_.front();
+        backlog_.pop_front();
+        issue_open(k, intended);
+      }
+      check_open_finish();
+    } else {
+      std::size_t budget = ready_.size();
+      while (budget-- > 0 && outstanding_ < cap_ && !ready_.empty()) {
+        const std::size_t k = ready_.front();
+        ready_.pop_front();
+        issue(k);
+      }
+    }
+  }
+
+  void check_open_finish() {
+    if (arrivals_done_ && outstanding_ == 0 && backlog_.empty()) loop_.stop();
   }
 
   void sample_epsilon() {
@@ -465,12 +572,25 @@ class Worker {
       if (++done_clients_ == opt_.clients) loop_.stop();
       return;
     }
+    // Closed loop: latency is measured from the actual issue instant.
+    issue_op(k, loop_.now().as_micros());
+  }
+
+  /// Open-loop issue: the op is charged from `intended_us` — its scheduled
+  /// arrival — which is already in the past when it waited in the backlog.
+  void issue_open(std::size_t k, std::int64_t intended_us) {
+    issue_op(k, intended_us);
+  }
+
+  void issue_op(std::size_t k, std::int64_t charged_from_us) {
+    ClientState& st = state_[k];
     ++st.issued;
+    ++outstanding_;
     const ObjectId object{
         opt_.object_base + static_cast<std::uint32_t>(zipf_.sample(st.rng))};
     const bool is_write =
         st.rng.uniform_int(0, 99) < static_cast<std::int64_t>(opt_.write_pct);
-    st.issued_at_us = loop_.now().as_micros();
+    st.issued_at_us = charged_from_us;
     // Writes enter the history at their issue time AS THE CLIENT CLOCK SAW
     // IT: that is the client_time the server's last-writer-wins ordering
     // used (with skew injected, loop time and client time differ).
@@ -508,13 +628,20 @@ class Worker {
     // the run; sampling at every completion tracks its growth between
     // resyncs without a dedicated timer.
     sample_epsilon();
-    // Re-issue through the loop, never synchronously: a chain of cache hits
-    // would otherwise recurse completion -> issue -> completion unboundedly.
-    if (opt_.think_us > 0) {
-      loop_.run_after(SimTime::micros(opt_.think_us), [this, k] { issue(k); });
+    --outstanding_;
+    // Return the client to the ready pool and dispatch through the loop,
+    // never synchronously: a chain of cache hits would otherwise recurse
+    // completion -> issue -> completion unboundedly.
+    if (!open_loop() && opt_.think_us > 0) {
+      loop_.run_after(SimTime::micros(opt_.think_us), [this, k] {
+        ready_.push_back(k);
+        pump();
+      });
     } else {
-      loop_.post([this, k] { issue(k); });
+      ready_.push_back(k);
+      loop_.post([this] { pump(); });
     }
+    if (open_loop()) check_open_finish();
   }
 
   const Options& opt_;
@@ -540,6 +667,19 @@ class Worker {
   std::size_t done_clients_ = 0;
   std::uint64_t abandoned_ = 0;
   bool stop_requested_ = false;
+  // Issuing state, shared by both modes: clients rotate through ready_,
+  // at most cap_ operations are in flight, and (open loop only) arrivals
+  // that found every client busy wait in backlog_ with their intended
+  // timestamps.
+  std::deque<std::size_t> ready_;
+  std::deque<std::int64_t> backlog_;
+  std::size_t outstanding_ = 0;
+  std::size_t cap_ = 0;
+  double arrival_period_us_ = 0;
+  double next_arrival_at_us_ = 0;
+  bool arrivals_done_ = false;
+  std::uint64_t backlog_peak_ = 0;
+  std::uint64_t arrivals_dropped_ = 0;
   std::thread thread_;
 };
 
@@ -676,6 +816,16 @@ int main(int argc, char** argv) {
   reg.set_counter("load.reads_late", late_reads);
   reg.set_counter("load.ops_abandoned", total_abandoned);
   reg.set_counter("load.interrupted", interrupted ? 1 : 0);
+  if (opt.open_loop > 0) {
+    std::uint64_t backlog_peak = 0, arrivals_dropped = 0;
+    for (const auto& w : workers) {
+      backlog_peak = std::max(backlog_peak, w->backlog_peak());
+      arrivals_dropped += w->arrivals_dropped();
+    }
+    reg.set_gauge("load.open_loop_rate", opt.open_loop);
+    reg.set_gauge("load.backlog_peak", static_cast<double>(backlog_peak));
+    reg.set_counter("load.arrivals_dropped", arrivals_dropped);
+  }
   CacheStats cache_total;
   for (const auto& w : workers) {
     cache_total += w->total_cache_stats();

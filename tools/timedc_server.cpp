@@ -27,8 +27,14 @@
 // --drain-ms to flush, then close. Metrics JSON (per-shard ServerStats +
 // full transport/supervision counters) goes to --metrics-out.
 //
+// Reactor mode: --reactors N runs N shards on ONE shared SO_REUSEPORT port
+// (kernel accept sharding + object-hash connection steering) instead of N
+// separate ports — the 1M-ops/s serving layout. The LISTENING line repeats
+// the shared port once per shard, so harnesses keep their ports[i] -> site
+// mapping unchanged.
+//
 // Usage:
-//   timedc-server [--port 0] [--shards 1] [--lease-us 0]
+//   timedc-server [--port 0] [--shards 1 | --reactors N] [--lease-us 0]
 //                 [--push none|invalidate|update] [--duration-s 0]
 //                 [--site-base 0] [--cluster-size N] [--peer SITE:HOST:PORT]
 //                 [--state-file FILE] [--drain-ms 200] [--heartbeat-ms 200]
@@ -64,6 +70,12 @@ struct PeerSpec {
 struct Options {
   std::uint16_t port = 0;  // base port; 0 = ephemeral per shard
   std::size_t shards = 1;
+  /// --reactors mode: all shards share ONE SO_REUSEPORT port; the kernel
+  /// shards accepts and object-hash connection steering moves each
+  /// connection to the shard owning its destination site. The LISTENING
+  /// line repeats the shared port once per shard so load generators keep
+  /// their ports[i] -> site i mapping.
+  bool shared_port = false;
   std::int64_t lease_us = 0;
   PushPolicy push = PushPolicy::kNone;
   std::int64_t duration_s = 0;  // 0 = until SIGINT/SIGTERM
@@ -78,7 +90,7 @@ struct Options {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--port P] [--shards N] [--lease-us L]\n"
+               "usage: %s [--port P] [--shards N | --reactors N] [--lease-us L]\n"
                "          [--push none|invalidate|update] [--duration-s S]\n"
                "          [--site-base B] [--cluster-size C]\n"
                "          [--peer SITE:HOST:PORT]... [--state-file FILE]\n"
@@ -114,6 +126,11 @@ bool parse_args(int argc, char** argv, Options& opt) {
       const char* v = next();
       if (v == nullptr) return false;
       opt.shards = static_cast<std::size_t>(std::atol(v));
+    } else if (arg == "--reactors") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.shards = static_cast<std::size_t>(std::atol(v));
+      opt.shared_port = true;
     } else if (arg == "--lease-us") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -322,9 +339,16 @@ int main(int argc, char** argv) {
     s.site = SiteId{opt.site_base + static_cast<std::uint32_t>(i)};
     s.loop = std::make_unique<net::EventLoop>();
     s.transport = std::make_unique<net::TcpTransport>(*s.loop);
-    const std::uint16_t want =
-        opt.port == 0 ? 0 : static_cast<std::uint16_t>(opt.port + i);
-    s.port = s.transport->listen(want);
+    if (opt.shared_port) {
+      // All shards on one SO_REUSEPORT port: shard 0 binds (ephemeral if
+      // --port 0), the rest join its port.
+      const std::uint16_t want = i == 0 ? opt.port : shards[0].port;
+      s.port = s.transport->listen(want, /*reuse_port=*/true);
+    } else {
+      const std::uint16_t want =
+          opt.port == 0 ? 0 : static_cast<std::uint16_t>(opt.port + i);
+      s.port = s.transport->listen(want);
+    }
     s.server = std::make_unique<ObjectServer>(
         *s.transport, s.site, opt.cluster_size, opt.push, MessageSizes{},
         opt.cluster_size > 1 ? cluster : std::vector<SiteId>{}, config);
@@ -342,6 +366,24 @@ int main(int argc, char** argv) {
           });
     }
     s.server->attach();
+  }
+  // Shared-port mode: a new connection lands on whichever shard the kernel
+  // picked; its first protocol frame names the destination site, and if a
+  // different local shard owns that site the fd is steered there. Sites
+  // outside this process (clients, --peer members) stay where they landed.
+  if (opt.shared_port && opt.shards > 1) {
+    std::vector<net::TcpTransport*> local;
+    local.reserve(opt.shards);
+    for (Shard& s : shards) local.push_back(s.transport.get());
+    const std::uint32_t base = opt.site_base;
+    const std::uint32_t count = static_cast<std::uint32_t>(opt.shards);
+    for (Shard& s : shards) {
+      s.transport->set_steering(
+          [local, base, count](SiteId to) -> net::TcpTransport* {
+            if (to.value < base || to.value >= base + count) return nullptr;
+            return local[to.value - base];
+          });
+    }
   }
   // Routes to the other local shards and to every --peer process, all
   // supervised: a crashed/partitioned member is re-dialed with backoff and
