@@ -19,6 +19,12 @@
 // buffers and the dirty-connection flush lists) the serve path touches no
 // heap. CI gates on that and on a generous ops/s floor.
 //
+// The sweep runs with the FULL observability stack armed (per-reactor
+// StatsBoard, flight recorder, 1-in-64 stage sampling) — the shape
+// production serves in — and the zero-allocation gate applies unchanged.
+// One extra run of the largest point with observability off records the
+// overhead as the "flight_recorder" block of BENCH_net.json.
+//
 // Open loop: --open-loop RATE replaces the closed-loop top-up with a fixed
 // arrival schedule (blocks of `--pipeline` ops per connection, evenly
 // spaced), charging each op's latency from its INTENDED arrival time, so
@@ -256,6 +262,7 @@ struct PointResult {
   double frames_per_sendmsg = 0;  // server-side coalescing factor
   std::uint64_t steered = 0;
   std::uint64_t batch_flushes = 0;
+  std::uint64_t flight_recorded = 0;  // flight events across all reactors
   // Open loop only:
   double offered_ops_per_sec = 0;
   std::int64_t lat_p50_us = 0;
@@ -281,7 +288,12 @@ net::TcpTransportStats snapshot(net::ReactorGroup& group, std::size_t i) {
 
 /// Run one measured point: R reactors, closed-loop pipelined or open-loop
 /// scheduled, warmup then a steady-state window with allocation counting.
-PointResult run_point(const Options& opt, std::size_t reactors) {
+/// `flight_on` arms the full observability stack (per-reactor StatsBoard +
+/// flight recorder + stage sampling) — the shape production serves in; the
+/// recorded sweep runs WITH it on and the zero-allocation gate applies
+/// unchanged, which is exactly the claim the flight recorder makes.
+PointResult run_point(const Options& opt, std::size_t reactors,
+                      bool flight_on) {
   const std::size_t conns = reactors * opt.conns_per_reactor;
   // Sites 0..R-1 are the reactors' servers; anything else (the clients)
   // stays on whichever reactor accepted it.
@@ -289,11 +301,16 @@ PointResult run_point(const Options& opt, std::size_t reactors) {
       reactors, [reactors](SiteId to) -> std::size_t {
         return to.value < reactors ? to.value : reactors;
       });
+  if (flight_on) group.enable_observability(/*site_base=*/0);
   std::vector<std::unique_ptr<ObjectServer>> servers;
   for (std::size_t i = 0; i < reactors; ++i) {
     auto server = std::make_unique<ObjectServer>(
         group.transport(i), SiteId{static_cast<std::uint32_t>(i)},
         /*num_sites=*/reactors, PushPolicy::kNone, MessageSizes{});
+    if (flight_on) {
+      server->set_stats_board(group.stats_board(i));
+      server->set_flight_recorder(group.flight_recorder(i));
+    }
     server->attach();
     servers.push_back(std::move(server));
   }
@@ -439,6 +456,13 @@ PointResult run_point(const Options& opt, std::size_t reactors) {
                    : 0;
   r.batch_flushes = after.batch_flushes - before.batch_flushes;
   r.steered = after.connections_steered_out;
+  if (flight_on) {
+    for (std::size_t i = 0; i < reactors; ++i) {
+      if (const FlightRecorder* fr = group.flight_recorder(i)) {
+        r.flight_recorded += fr->recorded();
+      }
+    }
+  }
   if (open) {
     r.offered_ops_per_sec = static_cast<double>(offered - offered_at_start) *
                             static_cast<double>(opt.pipeline) * 1e6 /
@@ -516,15 +540,33 @@ int main(int argc, char** argv) {
   std::vector<PointResult> results;
   for (const std::size_t r : sweep) {
     std::fprintf(stderr, "net_throughput: reactors=%zu ...\n", r);
-    results.push_back(run_point(opt, r));
+    results.push_back(run_point(opt, r, /*flight_on=*/true));
     const PointResult& p = results.back();
     std::fprintf(stderr,
                  "  %zu reactors, %zu conns: %.0f ops/s (%.1fx baseline), "
-                 "%.1f frames/sendmsg, %llu reactor allocs\n",
+                 "%.1f frames/sendmsg, %llu reactor allocs, "
+                 "%llu flight events\n",
                  p.reactors, p.connections, p.ops_per_sec,
                  p.ops_per_sec / kBaselineOpsPerSec, p.frames_per_sendmsg,
-                 static_cast<unsigned long long>(p.reactor_allocs));
+                 static_cast<unsigned long long>(p.reactor_allocs),
+                 static_cast<unsigned long long>(p.flight_recorded));
   }
+
+  // Overhead check: re-run the largest sweep point with the observability
+  // stack off. The delta is what the flight recorder + stage sampling +
+  // board publishing cost the hot path (noise makes small negatives normal).
+  std::fprintf(stderr, "net_throughput: reactors=%zu (flight off) ...\n",
+               sweep.back());
+  const PointResult off = run_point(opt, sweep.back(), /*flight_on=*/false);
+  const PointResult& on = results.back();
+  const double overhead_pct =
+      off.ops_per_sec > 0
+          ? (off.ops_per_sec - on.ops_per_sec) * 100.0 / off.ops_per_sec
+          : 0;
+  std::fprintf(stderr,
+               "  flight off: %.0f ops/s vs on: %.0f ops/s "
+               "(overhead %.2f%%)\n",
+               off.ops_per_sec, on.ops_per_sec, overhead_pct);
 
   double peak = 0;
   for (const auto& p : results) peak = std::max(peak, p.ops_per_sec);
@@ -559,14 +601,15 @@ int main(int argc, char** argv) {
                  "\"speedup_vs_baseline\": %.2f, "
                  "\"reactor_allocs\": %llu, \"allocs_per_op\": %.6f, "
                  "\"frames_per_sendmsg\": %.2f, \"batch_flushes\": %llu, "
-                 "\"steered_connections\": %llu",
+                 "\"steered_connections\": %llu, \"flight_recorded\": %llu",
                  p.reactors, p.connections,
                  static_cast<unsigned long long>(p.ops), p.ops_per_sec,
                  p.ops_per_sec / kBaselineOpsPerSec,
                  static_cast<unsigned long long>(p.reactor_allocs),
                  p.allocs_per_op, p.frames_per_sendmsg,
                  static_cast<unsigned long long>(p.batch_flushes),
-                 static_cast<unsigned long long>(p.steered));
+                 static_cast<unsigned long long>(p.steered),
+                 static_cast<unsigned long long>(p.flight_recorded));
     if (opt.open_loop > 0) {
       std::fprintf(out,
                    ", \"offered_ops_per_sec\": %.1f, \"latency_p50_us\": %lld, "
@@ -579,6 +622,11 @@ int main(int argc, char** argv) {
     std::fprintf(out, "}%s\n", i + 1 < results.size() ? "," : "");
   }
   std::fprintf(out, "  ],\n");
+  std::fprintf(out,
+               "  \"flight_recorder\": {\"sweep_enabled\": true, "
+               "\"off_ops_per_sec\": %.1f, \"on_ops_per_sec\": %.1f, "
+               "\"overhead_pct\": %.2f},\n",
+               off.ops_per_sec, on.ops_per_sec, overhead_pct);
   std::fprintf(out, "  \"peak_ops_per_sec\": %.1f,\n", peak);
   std::fprintf(out, "  \"peak_speedup_vs_baseline\": %.2f\n",
                peak / kBaselineOpsPerSec);

@@ -8,7 +8,11 @@ Checks:
     the recorded numbers — this catches collapse, not jitter);
   * the steady-state hot path stayed allocation-free on every reactor
     thread (reactor_allocs == 0) unless --allow-allocs is given;
-  * write coalescing actually happened (frames_per_sendmsg > 1).
+  * write coalescing actually happened (frames_per_sendmsg > 1);
+  * the flight recorder was armed for the sweep and actually recorded
+    (flight_recorded > 0 per point), and the off/on overhead comparison
+    block is present — the zero-alloc and floor gates therefore hold WITH
+    observability on, which is the claim the flight recorder makes.
 
 Exits non-zero with a message on the first violation.
 """
@@ -20,8 +24,11 @@ import sys
 POINT_KEYS = {
     "reactors", "connections", "ops", "ops_per_sec", "speedup_vs_baseline",
     "reactor_allocs", "allocs_per_op", "frames_per_sendmsg", "batch_flushes",
-    "steered_connections",
+    "steered_connections", "flight_recorded",
 }
+
+FLIGHT_KEYS = {"sweep_enabled", "off_ops_per_sec", "on_ops_per_sec",
+               "overhead_pct"}
 
 
 def fail(msg):
@@ -43,9 +50,19 @@ def main():
     if d.get("bench") != "net_throughput":
         fail(f"not a net_throughput report: bench={d.get('bench')!r}")
     for key in ("baseline_ops_per_sec", "config", "sweep",
-                "peak_ops_per_sec", "peak_speedup_vs_baseline"):
+                "peak_ops_per_sec", "peak_speedup_vs_baseline",
+                "flight_recorder"):
         if key not in d:
             fail(f"missing top-level key {key!r}")
+    flight = d["flight_recorder"]
+    missing = FLIGHT_KEYS - flight.keys()
+    if missing:
+        fail(f"flight_recorder block missing keys {sorted(missing)}")
+    if flight["sweep_enabled"] is not True:
+        fail("sweep was not recorded with the flight recorder enabled")
+    if flight["off_ops_per_sec"] < args.min_ops_per_sec:
+        fail(f"flight-off control run {flight['off_ops_per_sec']:.0f} ops/s "
+             f"is under the {args.min_ops_per_sec:.0f} floor")
     cfg = d["config"]
     for key in ("connections_per_reactor", "pipeline", "measure_s", "objects"):
         if key not in cfg:
@@ -74,6 +91,9 @@ def main():
         if p["frames_per_sendmsg"] <= 1.0:
             fail(f"{where}: no write coalescing "
                  f"({p['frames_per_sendmsg']:.2f} frames/sendmsg)")
+        if p["flight_recorded"] <= 0:
+            fail(f"{where}: the flight recorder recorded nothing — the "
+                 f"observability stack was not actually armed")
 
     reactors_seen = sorted(p["reactors"] for p in sweep)
     if len(set(reactors_seen)) != len(reactors_seen):

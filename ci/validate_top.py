@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Schema + liveness validation for a `timedc-top --once --json` scrape.
+
+CI points this at a scrape taken from a live multi-reactor timedc-server
+while (or just after) timedc-load drove traffic, and asserts the wire
+introspection path end to end: every reactor board is present, the boards
+carry real serving counters (nonzero ops and ticks), the stall watchdog is
+sane, and the staleness percentiles are finite and ordered wherever reads
+flowed.
+
+Usage:
+  validate_top.py SCRAPE.json [--reactors N] [--require-ops]
+                  [--min-total-reads N]
+"""
+
+import argparse
+import json
+import sys
+
+# Keys every board must report (dotted names from StatKey::to_cstring).
+REQUIRED_KEYS = {
+    "ops_applied", "frames_in", "frames_out", "bytes_in", "bytes_out",
+    "batch_flushes", "flush_syscalls", "connections", "steered_out",
+    "steered_in", "decode_errors", "ticks", "slow_ticks", "max_tick_us",
+    "last_tick_end_us", "reads_served", "eps_us", "effective_delta_us",
+    "flight_recorded", "flight_overwritten", "last_tick_age_us",
+    "stage.decode.p99_us", "stage.apply.p99_us", "stage.enqueue.p99_us",
+    "stage.flush.p99_us",
+    "staleness.p50_us", "staleness.p95_us", "staleness.p99_us",
+    "staleness.max_us",
+}
+
+
+def fail(msg):
+    sys.exit(f"validate_top: {msg}")
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("scrape")
+    parser.add_argument("--reactors", type=int, default=0,
+                        help="exact number of boards the scrape must carry")
+    parser.add_argument("--require-ops", action="store_true",
+                        help="every board must show nonzero ops and ticks")
+    parser.add_argument("--min-total-reads", type=int, default=0,
+                        help="reads_served summed over boards must reach N")
+    args = parser.parse_args()
+
+    with open(args.scrape) as f:
+        doc = json.load(f)
+    for key in ("seq", "sites"):
+        if key not in doc:
+            fail(f"missing top-level key {key!r}")
+    sites = doc["sites"]
+    if not sites:
+        fail("scrape carries no boards")
+    if args.reactors and len(sites) != args.reactors:
+        fail(f"expected {args.reactors} boards, got {len(sites)}")
+
+    total_reads = 0
+    seen = set()
+    for entry in sites:
+        site = entry.get("site")
+        stats = entry.get("stats")
+        if site is None or not isinstance(stats, dict):
+            fail(f"malformed site entry: {entry}")
+        if site in seen:
+            fail(f"site {site} reported twice")
+        seen.add(site)
+        where = f"site {site}"
+        missing = REQUIRED_KEYS - set(stats)
+        if missing:
+            fail(f"{where}: missing keys {sorted(missing)}")
+        for key, value in stats.items():
+            if not isinstance(value, int):
+                fail(f"{where}: {key} is not an integer")
+        if stats["last_tick_age_us"] < -1:
+            fail(f"{where}: watchdog age below the -1 sentinel")
+        if stats["eps_us"] < -1 or stats["effective_delta_us"] < -1:
+            fail(f"{where}: eps/delta below the -1 sentinel")
+        if stats["flight_overwritten"] > stats["flight_recorded"]:
+            fail(f"{where}: overwritten exceeds recorded")
+        if args.require_ops:
+            if stats["ops_applied"] <= 0:
+                fail(f"{where}: ops_applied is zero under --require-ops")
+            if stats["ticks"] <= 0:
+                fail(f"{where}: ticks is zero under --require-ops")
+        reads = stats["reads_served"]
+        total_reads += reads
+        # Staleness summaries: -1 means "no reads yet"; with reads flowed
+        # they must be finite and ordered.
+        p50, p99, mx = (stats["staleness.p50_us"], stats["staleness.p99_us"],
+                        stats["staleness.max_us"])
+        for name, v in (("p50", p50), ("p99", p99), ("max", mx)):
+            if v < -1:
+                fail(f"{where}: staleness {name} below the -1 sentinel")
+        if reads > 0 and mx >= 0:
+            if p50 < 0 or p99 < 0:
+                fail(f"{where}: reads flowed but staleness percentiles "
+                     f"are not finite")
+            if not p50 <= p99 <= mx:
+                fail(f"{where}: staleness percentiles out of order "
+                     f"({p50}/{p99}/{mx})")
+
+    if total_reads < args.min_total_reads:
+        fail(f"total reads_served {total_reads} below the "
+             f"--min-total-reads {args.min_total_reads} floor")
+    print(f"validate_top: {len(sites)} boards OK "
+          f"({total_reads} reads served)")
+
+
+if __name__ == "__main__":
+    main()

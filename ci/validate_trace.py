@@ -27,7 +27,11 @@ EVENT_TYPES = {
     "check.enter", "check.fastpath", "check.prune", "check.verdict",
     "clock.sync", "clock.reject", "clock.eps",
     "delta.adapt",
+    "reactor.stage", "reactor.slowtick", "read.staleness", "stats.scrape",
 }
+
+# reactor.stage (a) indexes the Stage enum: decode/apply/enqueue/flush.
+NUM_STAGES = 4
 EVENT_KEYS = {"t", "type", "site", "obj", "op", "a", "b"}
 
 
@@ -46,6 +50,23 @@ def check_event_schema(ev, where):
     if t == "delta.adapt" and (a < 0 or b < 0):
         fail(f"{where}: delta.adapt effective/shed (a/b) must be >= 0, "
              f"got {a}/{b}")
+    if t == "reactor.stage":
+        if not 0 <= a < NUM_STAGES:
+            fail(f"{where}: reactor.stage stage (a) must be 0..{NUM_STAGES - 1}, "
+                 f"got {a}")
+        if b < 0:
+            fail(f"{where}: reactor.stage duration (b) must be >= 0, got {b}")
+    if t == "reactor.slowtick" and (b <= 0 or a < b):
+        fail(f"{where}: reactor.slowtick needs duration (a) >= threshold (b) "
+             f"> 0, got {a}/{b}")
+    if t == "read.staleness":
+        if ev["obj"] < 0:
+            fail(f"{where}: read.staleness must name the object read")
+        if b < 0:
+            fail(f"{where}: read.staleness (b) must be >= 0, got {b}")
+    if t == "stats.scrape" and (a < 0 or b <= 0):
+        fail(f"{where}: stats.scrape requester/bytes (a/b) must be "
+             f">= 0 / > 0, got {a}/{b}")
 
 
 def fail(msg):

@@ -199,6 +199,26 @@ void Connection::send_time_sync(SiteId from, SiteId to,
   after_enqueue();
 }
 
+void Connection::send_stats_request(SiteId from, SiteId to,
+                                    const wire::StatsRequest& rq) {
+  if (closed()) return;
+  scratch_.clear();
+  wire::encode_stats_request_frame(from, to, rq, scratch_);
+  out_.append(scratch_.data(), scratch_.size());
+  ++stats_.frames_sent;
+  after_enqueue();
+}
+
+void Connection::send_stats_reply(SiteId from, SiteId to, std::uint64_t seq,
+                                  std::span<const wire::StatsBoardSpan> boards) {
+  if (closed()) return;
+  scratch_.clear();
+  wire::encode_stats_reply_frame(from, to, seq, boards, scratch_);
+  out_.append(scratch_.data(), scratch_.size());
+  ++stats_.frames_sent;
+  after_enqueue();
+}
+
 void Connection::after_enqueue() {
   if (flush_scheduler_ && !connecting_) {
     if (pending_write_bytes() >= kFlushBypassBytes) {

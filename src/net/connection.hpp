@@ -99,6 +99,14 @@ class Connection {
   /// Queue one transport-level clock-sync frame.
   void send_time_sync(SiteId from, SiteId to, const wire::TimeSync& ts);
 
+  /// Queue one transport-level stats-introspection request frame.
+  void send_stats_request(SiteId from, SiteId to,
+                          const wire::StatsRequest& rq);
+
+  /// Queue one transport-level stats-introspection reply frame.
+  void send_stats_reply(SiteId from, SiteId to, std::uint64_t seq,
+                        std::span<const wire::StatsBoardSpan> boards);
+
   /// Deregister and close the fd; fires the close handler (once).
   void close(const char* reason);
 

@@ -183,6 +183,7 @@ void EventLoop::run() {
       TIMEDC_ASSERT(errno == EINTR);
       continue;
     }
+    tick_start_steady_us_ = steady_now_us();
     for (int i = 0; i < n; ++i) {
       const int fd = events[i].data.fd;
       if (fd == wake_fd_) {

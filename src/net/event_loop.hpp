@@ -92,6 +92,15 @@ class EventLoop {
     return std::this_thread::get_id() == loop_thread_;
   }
 
+  /// CLOCK_MONOTONIC stamp taken when the current iteration's epoll_wait
+  /// returned. Tick-end hooks subtract it from steady time to measure how
+  /// long the iteration's callbacks ran (the reactor stall watchdog);
+  /// excludes the blocking wait itself. Loop-thread only.
+  std::int64_t tick_start_steady_us() const { return tick_start_steady_us_; }
+  /// Current CLOCK_MONOTONIC microseconds (duration measurements only —
+  /// not comparable across processes, unlike now()).
+  static std::int64_t steady_time_us() { return steady_now_us(); }
+
  private:
   struct Timer {
     std::int64_t deadline_steady_us;
@@ -131,6 +140,7 @@ class EventLoop {
   std::vector<TickEndHook> tick_end_hooks_;
   HookId next_hook_id_ = 0;
   bool hooks_dirty_ = false;
+  std::int64_t tick_start_steady_us_ = 0;
 
   std::mutex mutex_;  // guards posted_, timers_ and live_timers_
   std::vector<std::function<void()>> posted_;

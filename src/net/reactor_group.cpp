@@ -27,7 +27,35 @@ ReactorGroup::ReactorGroup(std::size_t reactors, SiteOwnerFn site_owner,
   }
 }
 
-ReactorGroup::~ReactorGroup() { stop(); }
+ReactorGroup::~ReactorGroup() {
+  stop();
+  // The fatal-dump registry must not outlive the recorders it points at.
+  for (auto& r : reactors_) {
+    if (r->flight != nullptr) unregister_flight_recorder(r->flight.get());
+  }
+}
+
+void ReactorGroup::enable_observability(std::uint32_t site_base,
+                                        std::size_t flight_capacity) {
+  TIMEDC_ASSERT(!started_);
+  if (hub_ == nullptr) hub_ = std::make_unique<StatsHub>();
+  for (std::size_t i = 0; i < reactors_.size(); ++i) {
+    Reactor& r = *reactors_[i];
+    if (r.board == nullptr) {
+      r.board = std::make_unique<StatsBoard>(
+          site_base + static_cast<std::uint32_t>(i));
+      hub_->add(r.board.get());
+    }
+    r.transport->set_stats_board(r.board.get());
+    r.transport->set_stats_hub(hub_.get());
+    if (flight_capacity > 0 && r.flight == nullptr) {
+      r.flight = std::make_unique<FlightRecorder>(
+          site_base + static_cast<std::uint32_t>(i), flight_capacity);
+      register_flight_recorder(r.flight.get());
+      r.transport->set_flight_recorder(r.flight.get());
+    }
+  }
+}
 
 std::uint16_t ReactorGroup::listen_shared(std::uint16_t port) {
   TIMEDC_ASSERT(!started_);

@@ -56,6 +56,24 @@ class ReactorGroup {
   /// then the loops stop and the threads join. Idempotent.
   void stop();
 
+  /// Attach live observability to every reactor: a per-reactor StatsBoard
+  /// (site id = `site_base` + reactor index) and FlightRecorder, all
+  /// registered in one StatsHub so any reactor answers wire kStatsRequest
+  /// frames for the whole group. Call before start(); the group owns the
+  /// boards/recorders (they outlive the transports).
+  /// `flight_capacity` must be a power of two; 0 skips the recorders.
+  void enable_observability(std::uint32_t site_base,
+                            std::size_t flight_capacity = 1u << 14);
+
+  /// Null until enable_observability(); readable from any thread.
+  StatsBoard* stats_board(std::size_t i) {
+    return reactors_[i]->board.get();
+  }
+  FlightRecorder* flight_recorder(std::size_t i) {
+    return reactors_[i]->flight.get();
+  }
+  const StatsHub* stats_hub() const { return hub_.get(); }
+
   std::size_t size() const { return reactors_.size(); }
   EventLoop& loop(std::size_t i) { return *reactors_[i]->loop; }
   TcpTransport& transport(std::size_t i) { return *reactors_[i]->transport; }
@@ -65,11 +83,14 @@ class ReactorGroup {
   struct Reactor {
     std::unique_ptr<EventLoop> loop;
     std::unique_ptr<TcpTransport> transport;
+    std::unique_ptr<StatsBoard> board;
+    std::unique_ptr<FlightRecorder> flight;
     std::thread thread;
   };
 
   std::vector<std::unique_ptr<Reactor>> reactors_;
   SiteOwnerFn site_owner_;
+  std::unique_ptr<StatsHub> hub_;
   std::uint16_t shared_port_ = 0;
   bool started_ = false;
 };

@@ -223,7 +223,88 @@ void TcpTransport::send_message(SiteId from, SiteId to, Message m,
     return;
   }
   ++stats_.frames_sent;
-  conn->send_frame(from, to, m);
+  const bool sampled = stats_board_ != nullptr &&
+                       (++stage_samples_tx_ % kStageSamplePeriod) == 0;
+  if (sampled) {
+    const std::int64_t t0 = EventLoop::steady_time_us();
+    conn->send_frame(from, to, m);
+    const std::int64_t us = EventLoop::steady_time_us() - t0;
+    stats_board_->record_stage(Stage::kEnqueue, us);
+    if (flight_ != nullptr) {
+      flight_->record(TraceEventType::kReactorStage, loop_.now().as_micros(),
+                      kNoObject, 0,
+                      static_cast<std::int64_t>(Stage::kEnqueue), us);
+    }
+  } else {
+    conn->send_frame(from, to, m);
+  }
+}
+
+void TcpTransport::set_stats_board(StatsBoard* board) {
+  stats_board_ = board;
+  // The tick hook doubles as the board's publish cadence, so it must run
+  // even before traffic registers it.
+  if (board != nullptr) ensure_tick_hook();
+}
+
+void TcpTransport::set_flight_recorder(FlightRecorder* recorder) {
+  flight_ = recorder;
+  if (recorder != nullptr) ensure_tick_hook();
+}
+
+bool TcpTransport::send_stats_request(SiteId from, SiteId to,
+                                      const wire::StatsRequest& rq) {
+  const auto local = handlers_.find(to.value);
+  if (local != handlers_.end()) {
+    // The polled process is this one: answer through the loop, like local
+    // time-sync, so the reply handler never runs inside its own send.
+    loop_.post([this, to, rq]() {
+      std::vector<StatsEntry> entries;
+      std::vector<wire::StatsRow> rows;
+      const std::int64_t now_us = loop_.now().as_micros();
+      auto append = [&](const StatsBoard& b) {
+        entries.clear();
+        b.collect(now_us, entries);
+        for (const StatsEntry& e : entries) {
+          rows.push_back({b.site(), e.key, e.value});
+        }
+      };
+      if (stats_hub_ != nullptr) {
+        const std::size_t n = stats_hub_->size();
+        for (std::size_t i = 0; i < n; ++i) {
+          const StatsBoard* b = stats_hub_->board(i);
+          if (b != nullptr && (rq.target_site == wire::kAllSites ||
+                               b->site() == rq.target_site)) {
+            append(*b);
+          }
+        }
+      } else if (stats_board_ != nullptr &&
+                 (rq.target_site == wire::kAllSites ||
+                  stats_board_->site() == rq.target_site)) {
+        append(*stats_board_);
+      }
+      ++stats_.stats_requests_served;
+      ++stats_.stats_replies_received;
+      if (on_stats_reply_) on_stats_reply_(to, rq.seq, rows);
+    });
+    return true;
+  }
+  Connection* conn = nullptr;
+  if (supervision_.enabled && routes_.find(to.value) != routes_.end()) {
+    const auto it = peers_.find(to.value);
+    if (it == peers_.end()) {
+      peers_.try_emplace(to.value);
+      start_dial(to);
+      return false;
+    }
+    if (it->second.state != ConnectionState::kHealthy) return false;
+    conn = it->second.conn;
+  } else {
+    conn = connection_to(to);
+  }
+  if (conn == nullptr || conn->closed()) return false;
+  conn->send_stats_request(from, to, rq);
+  return true;
 }
 
 bool TcpTransport::send_time_sync(SiteId from, SiteId to,
@@ -478,10 +559,24 @@ void TcpTransport::on_frame(Connection& conn, const wire::FrameView& view) {
   }
   // Decode the body into the per-transport scratch frame (reused storage:
   // no allocation for empty-timestamp messages, i.e. all TSC traffic).
+  // 1-in-kStageSamplePeriod frames pay two extra clock reads per stage to
+  // feed the stats board's hot-path latency histograms.
+  const bool sampled = stats_board_ != nullptr &&
+                       (++stage_samples_rx_ % kStageSamplePeriod) == 0;
+  const std::int64_t decode_t0 = sampled ? EventLoop::steady_time_us() : 0;
   if (wire::decode_frame_view(view, scratch_frame_) !=
       wire::DecodeStatus::kOk) {
     conn.fail_decode(scratch_frame_.status);
     return;
+  }
+  if (sampled) {
+    const std::int64_t us = EventLoop::steady_time_us() - decode_t0;
+    stats_board_->record_stage(Stage::kDecode, us);
+    if (flight_ != nullptr) {
+      flight_->record(TraceEventType::kReactorStage, loop_.now().as_micros(),
+                      kNoObject, 0,
+                      static_cast<std::int64_t>(Stage::kDecode), us);
+    }
   }
   wire::DecodedFrame& frame = scratch_frame_;
   if (frame.is_heartbeat) {
@@ -509,6 +604,19 @@ void TcpTransport::on_frame(Connection& conn, const wire::FrameView& view) {
     }
     return;
   }
+  if (frame.is_stats_request) {
+    // Transport-internal, like heartbeats: any reactor answers, for every
+    // board the process hub knows (including stalled reactors' boards).
+    answer_stats(conn, frame.from, frame.to, frame.stats_request);
+    return;
+  }
+  if (frame.is_stats_reply) {
+    ++stats_.stats_replies_received;
+    if (on_stats_reply_) {
+      on_stats_reply_(frame.from, frame.stats_seq, frame.stats_rows);
+    }
+    return;
+  }
   ++stats_.frames_received;
   // Learn the return path: replies to frame.from leave through this
   // connection (latest arrival wins, so a reconnecting peer takes over).
@@ -518,7 +626,69 @@ void TcpTransport::on_frame(Connection& conn, const wire::FrameView& view) {
     ++stats_.unroutable;
     return;
   }
-  h->second(frame.from, frame.message);
+  if (sampled) {
+    const std::int64_t apply_t0 = EventLoop::steady_time_us();
+    h->second(frame.from, frame.message);
+    const std::int64_t us = EventLoop::steady_time_us() - apply_t0;
+    stats_board_->record_stage(Stage::kApply, us);
+    if (flight_ != nullptr) {
+      flight_->record(TraceEventType::kReactorStage, loop_.now().as_micros(),
+                      kNoObject, 0,
+                      static_cast<std::int64_t>(Stage::kApply), us);
+    }
+  } else {
+    h->second(frame.from, frame.message);
+  }
+}
+
+void TcpTransport::answer_stats(Connection& conn, SiteId requester,
+                                SiteId self, const wire::StatsRequest& rq) {
+  stats_scratch_.clear();
+  stats_spans_.clear();
+  struct Range {
+    std::uint32_t site;
+    std::size_t begin;
+    std::size_t count;
+  };
+  Range ranges[wire::kMaxStatsBoards];
+  std::size_t n_ranges = 0;
+  const std::int64_t now_us = loop_.now().as_micros();
+  auto append = [&](const StatsBoard& b) {
+    if (n_ranges >= wire::kMaxStatsBoards) return;
+    const std::size_t begin = stats_scratch_.size();
+    b.collect(now_us, stats_scratch_);
+    ranges[n_ranges++] = {b.site(), begin, stats_scratch_.size() - begin};
+  };
+  if (stats_hub_ != nullptr) {
+    const std::size_t n = stats_hub_->size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const StatsBoard* b = stats_hub_->board(i);
+      if (b != nullptr && (rq.target_site == wire::kAllSites ||
+                           b->site() == rq.target_site)) {
+        append(*b);
+      }
+    }
+  } else if (stats_board_ != nullptr &&
+             (rq.target_site == wire::kAllSites ||
+              stats_board_->site() == rq.target_site)) {
+    append(*stats_board_);
+  }
+  // Spans are built after collection: stats_scratch_ no longer reallocates.
+  for (std::size_t i = 0; i < n_ranges; ++i) {
+    stats_spans_.push_back(
+        {ranges[i].site,
+         std::span<const StatsEntry>(stats_scratch_.data() + ranges[i].begin,
+                                     ranges[i].count)});
+  }
+  ++stats_.stats_requests_served;
+  // An empty reply (no boards) still goes out so pollers never hang.
+  conn.send_stats_reply(self, requester, rq.seq, stats_spans_);
+  if (flight_ != nullptr) {
+    const std::int64_t reply_bytes = static_cast<std::int64_t>(
+        wire::kHeaderBytes + 12 + n_ranges * 8 + stats_scratch_.size() * 10);
+    flight_->record(TraceEventType::kStatsScrape, now_us, kNoObject, rq.seq,
+                    static_cast<std::int64_t>(requester.value), reply_bytes);
+  }
 }
 
 void TcpTransport::steer(Connection& conn, TcpTransport& owner) {
@@ -600,29 +770,107 @@ void TcpTransport::ensure_tick_hook() {
 }
 
 void TcpTransport::on_tick_end() {
-  if (pending_local_.empty() && dirty_conns_.empty()) return;
-  ++stats_.batch_flushes;
-  // Batch-apply local deliveries; applying one may enqueue more (request →
-  // reply → ...), so drain until a pass produces nothing new.
-  while (!pending_local_.empty()) {
-    local_batch_.clear();
-    local_batch_.swap(pending_local_);
-    for (LocalDelivery& d : local_batch_) {
-      const auto h = handlers_.find(d.to.value);
-      if (h != handlers_.end()) h->second(d.from, d.message);
+  if (!pending_local_.empty() || !dirty_conns_.empty()) {
+    ++stats_.batch_flushes;
+    // Batch-apply local deliveries; applying one may enqueue more (request →
+    // reply → ...), so drain until a pass produces nothing new.
+    while (!pending_local_.empty()) {
+      local_batch_.clear();
+      local_batch_.swap(pending_local_);
+      for (LocalDelivery& d : local_batch_) {
+        const auto h = handlers_.find(d.to.value);
+        if (h != handlers_.end()) h->second(d.from, d.message);
+      }
     }
-  }
-  // One gather write per connection that queued output this tick. Acks a
-  // shard produced while applying the batch above land in these queues, so
-  // the whole tick's replies leave in (at most) one syscall per peer.
-  while (!dirty_conns_.empty()) {
+    // One gather write per connection that queued output this tick. Acks a
+    // shard produced while applying the batch above land in these queues, so
+    // the whole tick's replies leave in (at most) one syscall per peer.
+    const bool time_flush =
+        stats_board_ != nullptr && !dirty_conns_.empty();
+    const std::int64_t flush_t0 =
+        time_flush ? EventLoop::steady_time_us() : 0;
+    while (!dirty_conns_.empty()) {
+      flushing_.clear();
+      flushing_.swap(dirty_conns_);
+      for (Connection* c : flushing_) {
+        if (c != nullptr && !c->closed() && !c->released()) c->flush_batched();
+      }
+    }
     flushing_.clear();
-    flushing_.swap(dirty_conns_);
-    for (Connection* c : flushing_) {
-      if (c != nullptr && !c->closed() && !c->released()) c->flush_batched();
+    if (time_flush) {
+      const std::int64_t us = EventLoop::steady_time_us() - flush_t0;
+      stats_board_->record_stage(Stage::kFlush, us);
+      if (flight_ != nullptr) {
+        flight_->record(TraceEventType::kReactorStage, loop_.now().as_micros(),
+                        kNoObject, 0,
+                        static_cast<std::int64_t>(Stage::kFlush), us);
+      }
     }
   }
-  flushing_.clear();
+  if (stats_board_ != nullptr || flight_ != nullptr) observe_tick();
+}
+
+void TcpTransport::observe_tick() {
+  const std::int64_t dur =
+      EventLoop::steady_time_us() - loop_.tick_start_steady_us();
+  ++ticks_;
+  if (dur > max_tick_us_) max_tick_us_ = dur;
+  if (dur >= slow_tick_threshold_us_) {
+    ++slow_ticks_;
+    if (flight_ != nullptr) {
+      flight_->record(TraceEventType::kReactorSlowTick, loop_.now().as_micros(),
+                      kNoObject, 0, dur, slow_tick_threshold_us_);
+    }
+  }
+  if (stats_board_ == nullptr) return;
+  StatsBoard& b = *stats_board_;
+  // Cheap counters every tick; the scalar stores are relaxed atomics, so
+  // this is a handful of uncontended cache-line writes.
+  b.set(StatKey::kTicks, static_cast<std::int64_t>(ticks_));
+  b.set(StatKey::kSlowTicks, static_cast<std::int64_t>(slow_ticks_));
+  b.set(StatKey::kMaxTickUs, max_tick_us_);
+  b.set(StatKey::kLastTickEndUs, loop_.now().as_micros());
+  b.set(StatKey::kFramesIn, static_cast<std::int64_t>(stats_.frames_received));
+  b.set(StatKey::kFramesOut, static_cast<std::int64_t>(stats_.frames_sent));
+  b.set(StatKey::kOpsApplied, static_cast<std::int64_t>(
+                                  stats_.frames_received +
+                                  stats_.local_deliveries));
+  b.set(StatKey::kBatchFlushes,
+        static_cast<std::int64_t>(stats_.batch_flushes));
+  b.set(StatKey::kSteeredOut,
+        static_cast<std::int64_t>(stats_.connections_steered_out));
+  b.set(StatKey::kSteeredIn,
+        static_cast<std::int64_t>(stats_.connections_steered_in));
+  b.set(StatKey::kDecodeErrors,
+        static_cast<std::int64_t>(stats_.decode_errors));
+  b.set(StatKey::kHeartbeatsSent,
+        static_cast<std::int64_t>(stats_.heartbeats_sent));
+  b.set(StatKey::kHeartbeatsReceived,
+        static_cast<std::int64_t>(stats_.heartbeats_received));
+  b.set(StatKey::kConnections, static_cast<std::int64_t>(conns_.size()));
+  if (flight_ != nullptr) {
+    b.set(StatKey::kFlightRecorded,
+          static_cast<std::int64_t>(flight_->recorded()));
+    b.set(StatKey::kFlightOverwritten,
+          static_cast<std::int64_t>(flight_->overwritten()));
+  }
+  // O(conns) aggregates are amortised: every 32 ticks ((ticks_ & 31) == 1
+  // also covers the very first tick, so boards never report zero forever).
+  if ((ticks_ & 31) == 1) {
+    std::uint64_t bytes_in = 0;
+    std::uint64_t bytes_out = 0;
+    std::uint64_t flush_syscalls = closed_flush_syscalls_;
+    for (const auto& [raw, conn] : conns_) {
+      const ConnectionStats& cs = raw->stats();
+      bytes_in += cs.bytes_read;
+      bytes_out += cs.bytes_written;
+      flush_syscalls += cs.flush_syscalls;
+    }
+    b.set(StatKey::kBytesIn, static_cast<std::int64_t>(bytes_in));
+    b.set(StatKey::kBytesOut, static_cast<std::int64_t>(bytes_out));
+    b.set(StatKey::kFlushSyscalls,
+          static_cast<std::int64_t>(flush_syscalls));
+  }
 }
 
 void TcpTransport::stop_listening() {

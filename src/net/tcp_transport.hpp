@@ -37,6 +37,8 @@
 #include "net/connection.hpp"
 #include "net/event_loop.hpp"
 #include "net/transport.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/stats_board.hpp"
 
 namespace timedc::net {
 
@@ -122,6 +124,9 @@ struct TcpTransportStats {
   std::uint64_t time_requests_sent = 0;
   std::uint64_t time_requests_served = 0;
   std::uint64_t time_replies_received = 0;
+  // Live introspection (transport-level, like heartbeats):
+  std::uint64_t stats_requests_served = 0;
+  std::uint64_t stats_replies_received = 0;
   std::uint64_t liveness_expiries = 0;   // connections closed as silent
   std::uint64_t peers_marked_dead = 0;
   std::uint64_t frames_queued = 0;       // buffered while not kHealthy
@@ -205,6 +210,47 @@ class TcpTransport final : public Transport {
   void set_time_source_offset(SimTime offset) { time_source_offset_ = offset; }
   SimTime time_source_offset() const { return time_source_offset_; }
 
+  /// Attach this reactor's live stats board. The transport publishes its
+  /// hot-path counters into the board at tick cadence and samples stage
+  /// latencies 1-in-kStageSamplePeriod into its histograms. Set before the
+  /// loop runs (or from the loop thread); the board must outlive the
+  /// transport.
+  void set_stats_board(StatsBoard* board);
+  StatsBoard* stats_board() const { return stats_board_; }
+
+  /// Attach the process-wide hub consulted when answering kStatsRequest
+  /// frames, so one connection to any reactor can scrape every reactor —
+  /// including a stalled one, whose board stays readable cross-thread.
+  /// Without a hub, only the local board (if any) is reported.
+  void set_stats_hub(const StatsHub* hub) { stats_hub_ = hub; }
+
+  /// Attach this reactor's flight recorder: slow ticks, sampled stage
+  /// latencies and stats scrapes are recorded behind its one-branch guard.
+  void set_flight_recorder(FlightRecorder* recorder);
+  FlightRecorder* flight_recorder() const { return flight_; }
+
+  /// A loop iteration whose callbacks run longer than this counts as a
+  /// slow tick (watchdog counter + flight-recorder event).
+  void set_slow_tick_threshold(SimTime t) {
+    slow_tick_threshold_us_ = t.as_micros();
+  }
+
+  /// Send one introspection poll. Same delivery contract as
+  /// send_time_sync: nothing is queued, false when no usable connection.
+  bool send_stats_request(SiteId from, SiteId to, const wire::StatsRequest& rq);
+
+  /// Observe kStatsReply frames: (replying peer, seq, flattened rows).
+  /// The rows alias decode scratch and die when the handler returns.
+  using StatsReplyHandler = std::function<void(
+      SiteId, std::uint64_t, std::span<const wire::StatsRow>)>;
+  void set_stats_reply_handler(StatsReplyHandler h) {
+    on_stats_reply_ = std::move(h);
+  }
+
+  /// Every kStageSamplePeriod-th frame pays two clock reads per stage to
+  /// feed the board's stage histograms; the rest pay one counter bump.
+  static constexpr std::uint64_t kStageSamplePeriod = 64;
+
   /// Stop accepting new connections (existing ones keep running). Part of
   /// graceful drain; loop-thread only.
   void stop_listening();
@@ -274,6 +320,13 @@ class TcpTransport final : public Transport {
   /// The batching point: apply queued local deliveries (draining anything
   /// they enqueue in turn), then gather-flush every dirty connection once.
   void on_tick_end();
+  /// Build and send a kStatsReply for `rq` on `conn` (from the hub when
+  /// set, else the local board; zero boards when neither).
+  void answer_stats(Connection& conn, SiteId from, SiteId to,
+                    const wire::StatsRequest& rq);
+  /// Tick-cadence bookkeeping: watchdog accounting plus publishing the
+  /// transport counters into the stats board.
+  void observe_tick();
   /// The connection frames to `to` should use: learned peer, open route
   /// connection, or a fresh dial. Null when unroutable.
   Connection* connection_to(SiteId to);
@@ -340,6 +393,22 @@ class TcpTransport final : public Transport {
   /// flush_syscalls of connections already released (stats() adds the live
   /// ones on top).
   std::uint64_t closed_flush_syscalls_ = 0;
+
+  // Observability wiring (loop-thread writers; boards readable anywhere):
+  StatsBoard* stats_board_ = nullptr;
+  const StatsHub* stats_hub_ = nullptr;
+  FlightRecorder* flight_ = nullptr;
+  StatsReplyHandler on_stats_reply_;
+  std::int64_t slow_tick_threshold_us_ = 20000;
+  std::uint64_t ticks_ = 0;
+  std::uint64_t slow_ticks_ = 0;
+  std::int64_t max_tick_us_ = 0;
+  std::uint64_t stage_samples_rx_ = 0;  // frames seen, for 1-in-N sampling
+  std::uint64_t stage_samples_tx_ = 0;
+  /// Stats-reply build scratch (reused: scrapes do not allocate in steady
+  /// state once capacities settle).
+  std::vector<StatsEntry> stats_scratch_;
+  std::vector<wire::StatsBoardSpan> stats_spans_;
 };
 
 }  // namespace timedc::net

@@ -293,6 +293,8 @@ Message decode_body(MsgType type, Reader& r) {
     case MsgType::kHeartbeat:
     case MsgType::kTimeRequest:
     case MsgType::kTimeReply:
+    case MsgType::kStatsRequest:
+    case MsgType::kStatsReply:
       break;  // handled in decode_frame, never reaches decode_body
   }
   TIMEDC_ASSERT(false && "unreachable: type validated before decode_body");
@@ -352,6 +354,52 @@ void encode_time_sync_frame(SiteId from, SiteId to, const TimeSync& ts,
   w.i64(ts.server_time_us);
 }
 
+void encode_stats_request_frame(SiteId from, SiteId to,
+                                const StatsRequest& rq,
+                                std::vector<std::uint8_t>& out) {
+  constexpr std::size_t kBody = 8 + 4;
+  grow_for_append(out, kHeaderBytes + kBody);
+  Writer w(out);
+  w.u16(kMagic);
+  w.u8(kVersion);
+  w.u8(static_cast<std::uint8_t>(MsgType::kStatsRequest));
+  w.u32(from.value);
+  w.u32(to.value);
+  w.u32(kBody);
+  w.u64(rq.seq);
+  w.u32(rq.target_site);
+}
+
+void encode_stats_reply_frame(SiteId from, SiteId to, std::uint64_t seq,
+                              std::span<const StatsBoardSpan> boards,
+                              std::vector<std::uint8_t>& out) {
+  TIMEDC_ASSERT(boards.size() <= kMaxStatsBoards);
+  std::size_t body = 8 + 4;
+  for (const StatsBoardSpan& b : boards) {
+    TIMEDC_ASSERT(b.entries.size() <= kMaxStatsEntries);
+    body += 4 + 4 + b.entries.size() * (2 + 8);
+  }
+  TIMEDC_ASSERT(body <= kMaxBodyBytes);
+  grow_for_append(out, kHeaderBytes + body);
+  Writer w(out);
+  w.u16(kMagic);
+  w.u8(kVersion);
+  w.u8(static_cast<std::uint8_t>(MsgType::kStatsReply));
+  w.u32(from.value);
+  w.u32(to.value);
+  w.u32(static_cast<std::uint32_t>(body));
+  w.u64(seq);
+  w.u32(static_cast<std::uint32_t>(boards.size()));
+  for (const StatsBoardSpan& b : boards) {
+    w.u32(b.site);
+    w.u32(static_cast<std::uint32_t>(b.entries.size()));
+    for (const StatsEntry& e : b.entries) {
+      w.u16(e.key);
+      w.i64(e.value);
+    }
+  }
+}
+
 void encode_frame(SiteId from, SiteId to, const Message& m,
                   std::vector<std::uint8_t>& out) {
   const TypeAndSize ts = type_and_size(m);
@@ -392,7 +440,8 @@ FrameView peek_frame(std::span<const std::uint8_t> buf) {
   // introduced it on (kHeartbeat: 2, kTimeRequest/kTimeReply: 3); an older
   // frame declaring a newer type is malformed, not merely new.
   const std::uint8_t max_type =
-      version >= 3   ? static_cast<std::uint8_t>(MsgType::kTimeReply)
+      version >= 4   ? static_cast<std::uint8_t>(MsgType::kStatsReply)
+      : version == 3 ? static_cast<std::uint8_t>(MsgType::kTimeReply)
       : version == 2 ? static_cast<std::uint8_t>(MsgType::kHeartbeat)
                      : static_cast<std::uint8_t>(MsgType::kPushUpdate);
   if (raw_type < static_cast<std::uint8_t>(MsgType::kFetchRequest) ||
@@ -423,6 +472,8 @@ DecodeStatus decode_frame_view(const FrameView& view, DecodedFrame& out) {
   out.to = view.to;
   out.is_heartbeat = false;
   out.is_time_sync = false;
+  out.is_stats_request = false;
+  out.is_stats_reply = false;
   if (!view.ok()) return out.status;
 
   Reader r(view.body);
@@ -449,6 +500,44 @@ DecodeStatus decode_frame_view(const FrameView& view, DecodedFrame& out) {
     out.consumed = view.consumed;
     out.is_time_sync = true;
     out.time_sync = ts;
+    return out.status = DecodeStatus::kOk;
+  }
+  if (view.type == MsgType::kStatsRequest) {
+    StatsRequest rq;
+    rq.seq = r.u64();
+    rq.target_site = r.u32();
+    if (r.status() != DecodeStatus::kOk) return out.status = r.status();
+    if (!r.exhausted()) return out.status = DecodeStatus::kTrailingBytes;
+    out.consumed = view.consumed;
+    out.is_stats_request = true;
+    out.stats_request = rq;
+    return out.status = DecodeStatus::kOk;
+  }
+  if (view.type == MsgType::kStatsReply) {
+    out.stats_rows.clear();
+    const std::uint64_t seq = r.u64();
+    const std::uint32_t n_boards = r.u32();
+    if (n_boards > kMaxStatsBoards) {
+      return out.status = DecodeStatus::kBadField;
+    }
+    for (std::uint32_t b = 0; b < n_boards; ++b) {
+      const std::uint32_t site = r.u32();
+      const std::uint32_t n = r.u32();
+      if (n > kMaxStatsEntries) return out.status = DecodeStatus::kBadField;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const std::uint16_t key = r.u16();
+        const std::int64_t value = r.i64();
+        if (r.status() != DecodeStatus::kOk) break;
+        out.stats_rows.push_back({site, key, value});
+      }
+      if (r.status() != DecodeStatus::kOk) break;
+    }
+    if (r.status() != DecodeStatus::kOk) return out.status = r.status();
+    if (!r.exhausted()) return out.status = DecodeStatus::kTrailingBytes;
+    out.consumed = view.consumed;
+    out.is_stats_reply = true;
+    out.stats_seq = seq;
+    out.stats_boards = n_boards;
     return out.status = DecodeStatus::kOk;
   }
   Message m = decode_body(view.type, r);

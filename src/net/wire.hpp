@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "obs/stats_board.hpp"
 #include "protocol/messages.hpp"
 
 namespace timedc::wire {
@@ -35,10 +36,11 @@ namespace timedc::wire {
 inline constexpr std::uint16_t kMagic = 0x5443;  // "TC"
 /// Current codec version. Version 2 added the transport-level Heartbeat
 /// frame; version 3 added the TimeRequest/TimeReply clock-synchronization
+/// frames; version 4 added the StatsRequest/StatsReply introspection
 /// frames. Every older frame is still accepted unchanged (the version byte
 /// gates which MsgTypes are legal, not the field layouts, which are
 /// identical across all versions).
-inline constexpr std::uint8_t kVersion = 3;
+inline constexpr std::uint8_t kVersion = 4;
 /// Oldest codec version this decoder still accepts.
 inline constexpr std::uint8_t kMinVersion = 1;
 inline constexpr std::size_t kHeaderBytes = 16;
@@ -68,6 +70,12 @@ enum class MsgType : std::uint8_t {
   /// registered TimeSyncClient.
   kTimeRequest = 10,
   kTimeReply = 11,
+  /// Transport-level live introspection (codec version >= 4). A request
+  /// names one reactor site (or kAllSites); the answering transport replies
+  /// from its lock-free StatsBoard/StatsHub snapshot without involving the
+  /// protocol layer — like heartbeats, these frames never reach handlers.
+  kStatsRequest = 12,
+  kStatsReply = 13,
 };
 
 enum class DecodeStatus : std::uint8_t {
@@ -126,6 +134,38 @@ struct TimeSync {
   bool reply = false;
 };
 
+/// `target_site` sentinel in a StatsRequest: report every board the
+/// answering process registered in its StatsHub.
+inline constexpr std::uint32_t kAllSites = 0xffffffffu;
+/// Forged-count ceilings for StatsReply decoding: a hostile header can
+/// never force a large allocation.
+inline constexpr std::uint32_t kMaxStatsBoards = 64;    // = StatsHub capacity
+inline constexpr std::uint32_t kMaxStatsEntries = 512;  // >= kNumStatKeys
+
+/// Introspection poll carried in a kStatsRequest frame. The server echoes
+/// seq in its reply so a poller can match request/response without state.
+struct StatsRequest {
+  std::uint64_t seq = 0;
+  std::uint32_t target_site = kAllSites;
+};
+
+/// One decoded row of a kStatsReply body: board site, StatKey, value. The
+/// body groups rows per board on the wire; decoding flattens them (site
+/// repeats) into a scratch-reused vector.
+struct StatsRow {
+  std::uint32_t site = 0;
+  std::uint16_t key = 0;
+  std::int64_t value = 0;
+
+  friend bool operator==(const StatsRow&, const StatsRow&) = default;
+};
+
+/// One board's entries for encode_stats_reply_frame.
+struct StatsBoardSpan {
+  std::uint32_t site = 0;
+  std::span<const StatsEntry> entries;
+};
+
 /// Append one encoded frame carrying `m` routed from -> to onto `out`.
 void encode_frame(SiteId from, SiteId to, const Message& m,
                   std::vector<std::uint8_t>& out);
@@ -138,6 +178,17 @@ void encode_heartbeat_frame(SiteId from, SiteId to, const Heartbeat& hb,
 /// `out`.
 void encode_time_sync_frame(SiteId from, SiteId to, const TimeSync& ts,
                             std::vector<std::uint8_t>& out);
+
+/// Append one encoded kStatsRequest frame onto `out`.
+void encode_stats_request_frame(SiteId from, SiteId to,
+                                const StatsRequest& rq,
+                                std::vector<std::uint8_t>& out);
+
+/// Append one encoded kStatsReply frame carrying `boards` onto `out`.
+/// Board and entry counts must respect kMaxStatsBoards/kMaxStatsEntries.
+void encode_stats_reply_frame(SiteId from, SiteId to, std::uint64_t seq,
+                              std::span<const StatsBoardSpan> boards,
+                              std::vector<std::uint8_t>& out);
 
 /// The exact number of bytes encode_frame appends for `m`.
 std::size_t encoded_frame_size(const Message& m);
@@ -155,6 +206,15 @@ struct DecodedFrame {
   /// Set for kTimeRequest/kTimeReply frames; `message` is likewise inert.
   bool is_time_sync = false;
   TimeSync time_sync;
+  /// Set for kStatsRequest frames.
+  bool is_stats_request = false;
+  StatsRequest stats_request;
+  /// Set for kStatsReply frames; rows are flattened per board into the
+  /// scratch-reused stats_rows (site repeats across a board's rows).
+  bool is_stats_reply = false;
+  std::uint64_t stats_seq = 0;
+  std::uint32_t stats_boards = 0;
+  std::vector<StatsRow> stats_rows;
 
   bool ok() const { return status == DecodeStatus::kOk; }
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 
 #include "common/assert.hpp"
@@ -43,6 +44,32 @@ void Histogram::record(std::int64_t v) {
   sum_ += v;
 }
 
+std::int64_t Histogram::percentile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the q-quantile sample, 1-based (q = 0 -> first sample).
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const std::uint64_t before = cum;
+    cum += counts_[i];
+    if (cum < rank) continue;
+    // The sample sits in bucket i: (lo, hi]. The overflow bucket has no
+    // upper bound; its samples are bounded by the exact max.
+    const std::int64_t lo = i == 0 ? min_ : bounds_[i - 1];
+    const std::int64_t hi = i < bounds_.size() ? bounds_[i] : max_;
+    const double frac = static_cast<double>(rank - before) /
+                        static_cast<double>(counts_[i]);
+    const double v = static_cast<double>(lo) +
+                     frac * static_cast<double>(hi - lo);
+    return std::min(max_, std::max(min_, static_cast<std::int64_t>(v)));
+  }
+  return max_;
+}
+
 Histogram& Histogram::operator+=(const Histogram& other) {
   TIMEDC_ASSERT(bounds_ == other.bounds_);
   for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
@@ -60,8 +87,13 @@ std::string Histogram::to_json() const {
   char buf[96];
   std::snprintf(buf, sizeof buf,
                 "{\"count\":%" PRIu64 ",\"sum\":%" PRId64 ",\"min\":%" PRId64
-                ",\"max\":%" PRId64 ",\"buckets\":[",
+                ",\"max\":%" PRId64 ",",
                 count_, sum_, min(), max());
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "\"p50\":%" PRId64 ",\"p95\":%" PRId64 ",\"p99\":%" PRId64
+                ",\"buckets\":[",
+                p50(), p95(), p99());
   out += buf;
   for (std::size_t i = 0; i < bounds_.size(); ++i) {
     std::snprintf(buf, sizeof buf, "%s{\"le\":%" PRId64 ",\"count\":%" PRIu64 "}",
@@ -160,6 +192,59 @@ std::string MetricsRegistry::to_json(int indent) const {
   }
   out += pad + "}" + nl;
   out += "}";
+  return out;
+}
+
+namespace {
+
+// Prometheus metric names allow [a-zA-Z0-9_:] only; our dotted/dashed
+// registry names map onto '_'.
+std::string prom_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_prometheus() const {
+  std::string out;
+  char buf[96];
+  for (const auto& [name, value] : counters_) {
+    const std::string n = prom_name(name);
+    out += "# TYPE " + n + " counter\n";
+    std::snprintf(buf, sizeof buf, " %" PRIu64 "\n", value);
+    out += n + buf;
+  }
+  for (const auto& [name, value] : gauges_) {
+    const std::string n = prom_name(name);
+    out += "# TYPE " + n + " gauge\n";
+    std::snprintf(buf, sizeof buf, " %g\n", value);
+    out += n + buf;
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string n = prom_name(name);
+    out += "# TYPE " + n + " histogram\n";
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+      cum += h.counts()[i];
+      std::snprintf(buf, sizeof buf, "_bucket{le=\"%" PRId64 "\"} %" PRIu64
+                    "\n", h.bounds()[i], cum);
+      out += n + buf;
+    }
+    cum += h.counts().back();
+    std::snprintf(buf, sizeof buf, "_bucket{le=\"+Inf\"} %" PRIu64 "\n", cum);
+    out += n + buf;
+    std::snprintf(buf, sizeof buf, "_sum %" PRId64 "\n", h.sum());
+    out += n + buf;
+    std::snprintf(buf, sizeof buf, "_count %" PRIu64 "\n", h.count());
+    out += n + buf;
+  }
   return out;
 }
 

@@ -42,6 +42,15 @@ class Histogram {
                        : static_cast<double>(sum_) / static_cast<double>(count_);
   }
 
+  /// Quantile estimate from the bucket counts, q in [0, 1]. The rank-q
+  /// sample is located in its bucket and linearly interpolated between the
+  /// bucket's bounds; the result is clamped to the exact [min, max] so the
+  /// tails never overshoot what was actually recorded. Empty -> 0.
+  std::int64_t percentile(double q) const;
+  std::int64_t p50() const { return percentile(0.50); }
+  std::int64_t p95() const { return percentile(0.95); }
+  std::int64_t p99() const { return percentile(0.99); }
+
   const std::vector<std::int64_t>& bounds() const { return bounds_; }
   /// Per-bucket counts; size bounds().size() + 1 (last = overflow).
   const std::vector<std::uint64_t>& counts() const { return counts_; }
@@ -49,8 +58,8 @@ class Histogram {
   /// Merge `other` into this histogram (bucket layouts must match).
   Histogram& operator+=(const Histogram& other);
 
-  /// {"count":N,"sum":S,"min":m,"max":M,"buckets":[{"le":0,"count":0},...,
-  ///  {"le":"inf","count":k}]}
+  /// {"count":N,"sum":S,"min":m,"max":M,"p50":...,"p95":...,"p99":...,
+  ///  "buckets":[{"le":0,"count":0},...,{"le":"inf","count":k}]}
   std::string to_json() const;
 
  private:
@@ -77,6 +86,11 @@ class MetricsRegistry {
   /// {"counters":{...},"gauges":{...},"histograms":{...}} with entries in
   /// insertion order. `indent` = 0 emits one line.
   std::string to_json(int indent = 0) const;
+
+  /// Prometheus text exposition (version 0.0.4): counters and gauges as-is,
+  /// histograms as cumulative `_bucket{le=...}` series plus `_sum`/`_count`.
+  /// Metric names are sanitized to [a-zA-Z0-9_:] (dots and dashes -> '_').
+  std::string to_prometheus() const;
 
  private:
   std::vector<std::pair<std::string, std::uint64_t>> counters_;

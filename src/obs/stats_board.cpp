@@ -1,0 +1,138 @@
+#include "obs/stats_board.hpp"
+
+#include <algorithm>
+
+namespace timedc {
+namespace {
+
+// Indexed by StatKey; order must match the enum exactly.
+constexpr const char* kStatKeyNames[kNumStatKeys] = {
+    "ops_applied",
+    "frames_in",
+    "frames_out",
+    "bytes_in",
+    "bytes_out",
+    "batch_flushes",
+    "flush_syscalls",
+    "connections",
+    "steered_out",
+    "steered_in",
+    "decode_errors",
+    "heartbeats_sent",
+    "heartbeats_received",
+    "ticks",
+    "slow_ticks",
+    "max_tick_us",
+    "last_tick_end_us",
+    "reads_served",
+    "eps_us",
+    "effective_delta_us",
+    "flight_recorded",
+    "flight_overwritten",
+    "last_tick_age_us",
+    "stage.decode.p50_us",
+    "stage.decode.p95_us",
+    "stage.decode.p99_us",
+    "stage.decode.max_us",
+    "stage.apply.p50_us",
+    "stage.apply.p95_us",
+    "stage.apply.p99_us",
+    "stage.apply.max_us",
+    "stage.enqueue.p50_us",
+    "stage.enqueue.p95_us",
+    "stage.enqueue.p99_us",
+    "stage.enqueue.max_us",
+    "stage.flush.p50_us",
+    "stage.flush.p95_us",
+    "stage.flush.p99_us",
+    "stage.flush.max_us",
+    "staleness.p50_us",
+    "staleness.p95_us",
+    "staleness.p99_us",
+    "staleness.max_us",
+};
+
+}  // namespace
+
+const char* to_cstring(StatKey key) {
+  const auto i = static_cast<std::size_t>(key);
+  return i < kNumStatKeys ? kStatKeyNames[i] : nullptr;
+}
+
+std::int64_t AtomicLogHistogram::percentile(double q) const {
+  const std::uint64_t total = count_.load(std::memory_order_relaxed);
+  if (total == 0) return -1;
+  q = std::min(1.0, std::max(0.0, q));
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(q * static_cast<double>(total) + 0.5));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const std::uint64_t c = counts_[i].load(std::memory_order_relaxed);
+    if (c == 0) continue;
+    const std::uint64_t before = cum;
+    cum += c;
+    if (cum < rank) continue;
+    // Bucket i covers [2^(i-1), 2^i) with bucket 0 = {<= 0} ∪ {nothing}:
+    // record() puts magnitude m in the first bucket whose 2^b exceeds it.
+    const std::int64_t lo = i == 0 ? 0 : (1ll << (i - 1));
+    const std::int64_t hi = (1ll << i) - 1;
+    const double frac = static_cast<double>(rank - before) /
+                        static_cast<double>(c);
+    const auto v = static_cast<std::int64_t>(
+        static_cast<double>(lo) + frac * static_cast<double>(hi - lo));
+    return std::min(max(), std::max<std::int64_t>(0, v));
+  }
+  return max();
+}
+
+void StatsBoard::collect(std::int64_t now_us,
+                         std::vector<StatsEntry>& out) const {
+  for (std::size_t i = 0; i < kNumPlainStats; ++i) {
+    out.push_back({static_cast<std::uint16_t>(i),
+                   plain_[i].load(std::memory_order_relaxed)});
+  }
+  const std::int64_t last_tick = get(StatKey::kLastTickEndUs);
+  out.push_back({static_cast<std::uint16_t>(StatKey::kLastTickAgeUs),
+                 last_tick == 0 ? -1
+                                : std::max<std::int64_t>(0,
+                                                         now_us - last_tick)});
+  auto push_summary = [&out](std::uint16_t first,
+                             const AtomicLogHistogram& h) {
+    out.push_back({first, h.percentile(0.50)});
+    out.push_back({static_cast<std::uint16_t>(first + 1),
+                   h.percentile(0.95)});
+    out.push_back({static_cast<std::uint16_t>(first + 2),
+                   h.percentile(0.99)});
+    out.push_back({static_cast<std::uint16_t>(first + 3),
+                   h.count() == 0 ? -1 : h.max()});
+  };
+  push_summary(static_cast<std::uint16_t>(StatKey::kStageDecodeP50Us),
+               stages_[0]);
+  push_summary(static_cast<std::uint16_t>(StatKey::kStageApplyP50Us),
+               stages_[1]);
+  push_summary(static_cast<std::uint16_t>(StatKey::kStageEnqueueP50Us),
+               stages_[2]);
+  push_summary(static_cast<std::uint16_t>(StatKey::kStageFlushP50Us),
+               stages_[3]);
+  push_summary(static_cast<std::uint16_t>(StatKey::kStalenessP50Us),
+               staleness_);
+}
+
+bool StatsHub::add(StatsBoard* board) {
+  const std::size_t i = count_.load(std::memory_order_relaxed);
+  if (i >= kMaxBoards) return false;
+  boards_[i].store(board, std::memory_order_relaxed);
+  count_.store(i + 1, std::memory_order_release);
+  return true;
+}
+
+StatsBoard* StatsHub::find(std::uint32_t site) const {
+  const std::size_t n = size();
+  for (std::size_t i = 0; i < n; ++i) {
+    StatsBoard* b = board(i);
+    if (b != nullptr && b->site() == site) return b;
+  }
+  return nullptr;
+}
+
+}  // namespace timedc

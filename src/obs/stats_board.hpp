@@ -1,0 +1,193 @@
+// Lock-free per-reactor stats boards for live wire-level introspection.
+//
+// A StatsBoard is the cross-thread-readable face of one reactor: a fixed
+// array of relaxed atomics (counters/gauges the owning reactor publishes at
+// tick cadence) plus single-writer atomic log2-bucket histograms for the
+// sampled hot-path stage latencies and per-read staleness. Every field is
+// individually atomic, so ANY thread can read a consistent-enough monitor
+// view with no locks and — critically — a *stalled* reactor's board stays
+// readable: the stall watchdog gauge (kLastTickAgeUs) is computed by the
+// READER from the victim's last published tick-end time, which is exactly
+// the value a wedged event loop can no longer refresh.
+//
+// A StatsHub is the process-wide registry (fixed capacity, append-only
+// before serving starts) that lets one reactor answer a wire kStatsRequest
+// for ALL reactors. Key identities are the wire contract: kStatsReply
+// bodies carry (StatKey as u16, i64 value) pairs, named by to_cstring for
+// tools (timedc-top) and exporters.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace timedc {
+
+/// One introspection datum, exactly as it travels in a kStatsReply body.
+struct StatsEntry {
+  std::uint16_t key = 0;  // StatKey
+  std::int64_t value = 0;
+};
+
+enum class StatKey : std::uint16_t {
+  // Plain values, published by the owning reactor (tick cadence or cheaper).
+  kOpsApplied = 0,     // protocol frames delivered to handlers
+  kFramesIn,
+  kFramesOut,
+  kBytesIn,
+  kBytesOut,
+  kBatchFlushes,
+  kFlushSyscalls,
+  kConnections,
+  kSteeredOut,
+  kSteeredIn,
+  kDecodeErrors,
+  kHeartbeatsSent,
+  kHeartbeatsReceived,
+  kTicks,
+  kSlowTicks,
+  kMaxTickUs,
+  kLastTickEndUs,      // CLOCK_REALTIME us; 0 until the first tick
+  kReadsServed,
+  kEpsUs,              // measured clock error bound; -1 unknown
+  kEffectiveDeltaUs,   // adaptive Delta in force; -1 not adapting
+  kFlightRecorded,
+  kFlightOverwritten,
+  // Derived at collect() time (not stored).
+  kLastTickAgeUs,      // reader_now - kLastTickEndUs; the stall watchdog
+  kStageDecodeP50Us, kStageDecodeP95Us, kStageDecodeP99Us, kStageDecodeMaxUs,
+  kStageApplyP50Us, kStageApplyP95Us, kStageApplyP99Us, kStageApplyMaxUs,
+  kStageEnqueueP50Us, kStageEnqueueP95Us, kStageEnqueueP99Us,
+  kStageEnqueueMaxUs,
+  kStageFlushP50Us, kStageFlushP95Us, kStageFlushP99Us, kStageFlushMaxUs,
+  kStalenessP50Us, kStalenessP95Us, kStalenessP99Us, kStalenessMaxUs,
+  kNumStatKeys,
+};
+
+inline constexpr std::size_t kNumStatKeys =
+    static_cast<std::size_t>(StatKey::kNumStatKeys);
+inline constexpr std::size_t kNumPlainStats =
+    static_cast<std::size_t>(StatKey::kFlightOverwritten) + 1;
+
+/// Stable dotted name ("stage.decode.p99_us", "ticks", ...) used by
+/// timedc-top and the Prometheus exporter. nullptr for out-of-range keys.
+const char* to_cstring(StatKey key);
+
+/// Hot-path stages whose latency is sampled 1-in-N (see
+/// TcpTransport::kStageSamplePeriod) into the board's histograms.
+enum class Stage : std::uint8_t {
+  kDecode = 0,   // FrameView -> DecodedFrame
+  kApply = 1,    // handler dispatch (server apply + reply build)
+  kEnqueue = 2,  // reply enqueue into the send queue
+  kFlush = 3,    // tick-end coalesced flush
+};
+inline constexpr std::size_t kNumStages = 4;
+
+/// Single-writer log2-bucket histogram readable from any thread. record()
+/// is one relaxed load+store per field — no RMW contention, because the
+/// producer is exactly one thread; readers tolerate torn cross-field views
+/// (monitoring data, not accounting).
+class AtomicLogHistogram {
+ public:
+  void record(std::int64_t v) {
+    const std::uint64_t mag =
+        v <= 0 ? 0 : static_cast<std::uint64_t>(v);
+    std::size_t bucket = 0;
+    while ((1ull << bucket) <= mag && bucket + 1 < kBuckets) ++bucket;
+    bump(counts_[bucket]);
+    bump(count_);
+    sum_.store(sum_.load(std::memory_order_relaxed) + v,
+               std::memory_order_relaxed);
+    if (v > max_.load(std::memory_order_relaxed)) {
+      max_.store(v, std::memory_order_relaxed);
+    }
+  }
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::int64_t max() const { return max_.load(std::memory_order_relaxed); }
+  /// Quantile estimate via linear interpolation inside the log2 bucket,
+  /// clamped to [0, max]. Empty -> -1 (distinguishes "no data" from 0 us).
+  std::int64_t percentile(double q) const;
+
+ private:
+  static constexpr std::size_t kBuckets = 40;  // covers > 15 minutes in us
+
+  static void bump(std::atomic<std::uint64_t>& c) {
+    c.store(c.load(std::memory_order_relaxed) + 1,
+            std::memory_order_relaxed);
+  }
+
+  std::atomic<std::uint64_t> counts_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::int64_t> sum_{0};
+  std::atomic<std::int64_t> max_{0};
+};
+
+class StatsBoard {
+ public:
+  explicit StatsBoard(std::uint32_t site) : site_(site) {
+    set(StatKey::kEpsUs, -1);
+    set(StatKey::kEffectiveDeltaUs, -1);
+  }
+
+  std::uint32_t site() const { return site_; }
+
+  // Writer side (the owning reactor thread only).
+  void set(StatKey key, std::int64_t value) {
+    plain_[static_cast<std::size_t>(key)].store(value,
+                                                std::memory_order_relaxed);
+  }
+  void add(StatKey key, std::int64_t delta) {
+    auto& cell = plain_[static_cast<std::size_t>(key)];
+    cell.store(cell.load(std::memory_order_relaxed) + delta,
+               std::memory_order_relaxed);
+  }
+  void record_stage(Stage stage, std::int64_t us) {
+    stages_[static_cast<std::size_t>(stage)].record(us);
+  }
+  void record_staleness(std::int64_t us) { staleness_.record(us); }
+
+  // Reader side (any thread).
+  std::int64_t get(StatKey key) const {
+    return plain_[static_cast<std::size_t>(key)].load(
+        std::memory_order_relaxed);
+  }
+  const AtomicLogHistogram& stage(Stage s) const {
+    return stages_[static_cast<std::size_t>(s)];
+  }
+  const AtomicLogHistogram& staleness() const { return staleness_; }
+
+  /// Append every StatKey in enum order as (key, value) pairs. `now_us`
+  /// feeds the kLastTickAgeUs watchdog gauge (-1 until the first tick).
+  void collect(std::int64_t now_us, std::vector<StatsEntry>& out) const;
+
+ private:
+  std::uint32_t site_;
+  std::atomic<std::int64_t> plain_[kNumPlainStats] = {};
+  AtomicLogHistogram stages_[kNumStages];
+  AtomicLogHistogram staleness_;
+};
+
+/// Process-wide board registry. Registration happens on the control thread
+/// before reactors serve; readers only ever see a prefix of fully-published
+/// boards (count is bumped with release after the slot store).
+class StatsHub {
+ public:
+  static constexpr std::size_t kMaxBoards = 64;
+
+  /// False when the hub is full (the board is then simply not announced).
+  bool add(StatsBoard* board);
+  std::size_t size() const { return count_.load(std::memory_order_acquire); }
+  StatsBoard* board(std::size_t i) const {
+    return boards_[i].load(std::memory_order_relaxed);
+  }
+  StatsBoard* find(std::uint32_t site) const;
+
+ private:
+  std::atomic<StatsBoard*> boards_[kMaxBoards] = {};
+  std::atomic<std::size_t> count_{0};
+};
+
+}  // namespace timedc

@@ -130,6 +130,10 @@ void publish_tcp_transport_stats(MetricsRegistry& reg, std::string_view prefix,
                   stats.time_requests_served);
   reg.add_counter(key(prefix, "time_replies_received"),
                   stats.time_replies_received);
+  reg.add_counter(key(prefix, "stats_requests_served"),
+                  stats.stats_requests_served);
+  reg.add_counter(key(prefix, "stats_replies_received"),
+                  stats.stats_replies_received);
   reg.add_counter(key(prefix, "liveness_expiries"), stats.liveness_expiries);
   reg.add_counter(key(prefix, "peers_marked_dead"), stats.peers_marked_dead);
   reg.add_counter(key(prefix, "frames_queued"), stats.frames_queued);

@@ -49,6 +49,10 @@ constexpr TypeInfo kTypeInfo[kNumTraceEventTypes] = {
     {"clock.reject", TraceCategory::kClock},
     {"clock.eps", TraceCategory::kClock},
     {"delta.adapt", TraceCategory::kCache},
+    {"reactor.stage", TraceCategory::kReactor},
+    {"reactor.slowtick", TraceCategory::kReactor},
+    {"read.staleness", TraceCategory::kReactor},
+    {"stats.scrape", TraceCategory::kReactor},
 };
 
 }  // namespace
@@ -78,6 +82,7 @@ const char* to_cstring(TraceCategory category) {
     case TraceCategory::kBroadcast: return "broadcast";
     case TraceCategory::kChecker: return "checker";
     case TraceCategory::kClock: return "clock";
+    case TraceCategory::kReactor: return "reactor";
   }
   return "?";
 }

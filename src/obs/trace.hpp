@@ -78,10 +78,17 @@ enum class TraceEventType : std::uint8_t {
   kClockEps,     // b: one-sided measured error bound us
   // Adaptive Delta (site = the adapting cache client).
   kDeltaAdapt,  // a: effective Delta us, b: shed us (configured - effective)
+  // Reactor / serving-path observability (site = the reactor's site id).
+  // These are the flight-recorder event vocabulary: POD, hot-path-safe.
+  kReactorStage,     // a: stage (0 decode / 1 apply / 2 enqueue / 3 flush),
+                     // b: sampled duration us
+  kReactorSlowTick,  // a: tick duration us, b: slow threshold us
+  kReadStaleness,    // obj: object read, b: Definition-1 staleness us
+  kStatsScrape,      // a: requesting site, b: reply bytes
 };
 
 inline constexpr std::size_t kNumTraceEventTypes =
-    static_cast<std::size_t>(TraceEventType::kDeltaAdapt) + 1;
+    static_cast<std::size_t>(TraceEventType::kStatsScrape) + 1;
 
 /// Stable dotted name ("net.send", "check.verdict", ...) used by every
 /// exporter; parse_trace_jsonl round-trips through it.
@@ -98,6 +105,7 @@ enum class TraceCategory : std::uint32_t {
   kBroadcast = 1u << 5,
   kChecker = 1u << 6,
   kClock = 1u << 7,
+  kReactor = 1u << 8,
 };
 TraceCategory category_of(TraceEventType type);
 const char* to_cstring(TraceCategory category);

@@ -1,6 +1,8 @@
 #include "protocol/server.hpp"
 
 #include "common/assert.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/stats_board.hpp"
 #include "obs/trace.hpp"
 
 namespace timedc {
@@ -227,6 +229,24 @@ void ObjectServer::handle_fetch(const FetchRequest& req) {
   Stored& s = stored(req.object);
   s.cachers.insert(req.reply_to.value);
   const SimTime granted = grant_lease(s, req.object, req.reply_to);
+  if (stats_board_ != nullptr) {
+    // Definition-1 staleness of the copy this read observes: how old its
+    // start time alpha is at serving time. A never-written object (alpha 0)
+    // would report wall-clock age, which is noise, so it is skipped.
+    ++reads_served_;
+    stats_board_->set(StatKey::kReadsServed,
+                      static_cast<std::int64_t>(reads_served_));
+    if (s.version > 0) {
+      const std::int64_t staleness_us = (net_.now() - s.alpha).as_micros();
+      stats_board_->record_staleness(staleness_us);
+      if (flight_ != nullptr &&
+          (reads_served_ % kStalenessSamplePeriod) == 0) {
+        flight_->record(TraceEventType::kReadStaleness,
+                        net_.now().as_micros(), req.object, req.request_id,
+                        /*a=*/0, staleness_us);
+      }
+    }
+  }
   send(req.reply_to,
        Message{FetchReply{copy_of(req.object, granted), req.request_id}});
 }

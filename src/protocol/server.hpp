@@ -23,6 +23,8 @@
 namespace timedc {
 
 enum class TraceEventType : std::uint8_t;
+class StatsBoard;
+class FlightRecorder;
 
 enum class PushPolicy {
   kNone,        // pure pull: clients validate/fetch on demand
@@ -131,6 +133,15 @@ class ObjectServer {
   /// Emit lease/push/write/crash events to `tracer` (nullptr = off).
   void set_tracer(Tracer* tracer) { obs_ = tracer; }
 
+  /// Live introspection: every served fetch records its Definition-1
+  /// staleness (now - the copy's start time alpha) into the reactor's
+  /// board, plus a kReadsServed counter; with a flight recorder attached,
+  /// sampled reads (1-in-kStalenessSamplePeriod) also leave a
+  /// kReadStaleness flight event. Loop-thread only, like all handlers.
+  void set_stats_board(StatsBoard* board) { stats_board_ = board; }
+  void set_flight_recorder(FlightRecorder* recorder) { flight_ = recorder; }
+  static constexpr std::uint64_t kStalenessSamplePeriod = 64;
+
   /// The server owning `object` under this deployment's partitioning.
   SiteId primary_of(ObjectId object) const;
 
@@ -225,6 +236,9 @@ class ObjectServer {
   std::unordered_map<ObjectId, std::vector<AppliedWrite>> history_;
   WriteLog write_log_;
   Tracer* obs_ = nullptr;
+  StatsBoard* stats_board_ = nullptr;
+  FlightRecorder* flight_ = nullptr;
+  std::uint64_t reads_served_ = 0;
   ServerStats stats_;
 };
 

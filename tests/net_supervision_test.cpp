@@ -282,6 +282,36 @@ TEST(NetSupervision, DecodeErrorsAreCountedByStatusAndPublished) {
   server.stop();
 }
 
+TEST(StatsBridge, PublishesBatchingSteeringAndIntrospectionCounters) {
+  // The serving-path counters the N-reactor stack added (steering, batched
+  // flushes, syscall coalescing) and the introspection counters must all
+  // survive the bridge into named metrics — a dropped field here silently
+  // blinds timedc-top and the metrics dumps.
+  net::TcpTransportStats stats;
+  stats.connections_steered_out = 3;
+  stats.connections_steered_in = 2;
+  stats.batch_flushes = 1000;
+  stats.flush_syscalls = 250;
+  stats.frames_sent = 4000;
+  stats.stats_requests_served = 7;
+  stats.stats_replies_received = 5;
+
+  MetricsRegistry reg;
+  publish_tcp_transport_stats(reg, "net", stats);
+  EXPECT_EQ(reg.counter("net.connections_steered_out"), 3u);
+  EXPECT_EQ(reg.counter("net.connections_steered_in"), 2u);
+  EXPECT_EQ(reg.counter("net.batch_flushes"), 1000u);
+  EXPECT_EQ(reg.counter("net.flush_syscalls"), 250u);
+  EXPECT_EQ(reg.counter("net.frames_sent"), 4000u);
+  EXPECT_EQ(reg.counter("net.stats_requests_served"), 7u);
+  EXPECT_EQ(reg.counter("net.stats_replies_received"), 5u);
+
+  // Aggregation contract: publishing a second transport's stats adds.
+  publish_tcp_transport_stats(reg, "net", stats);
+  EXPECT_EQ(reg.counter("net.connections_steered_out"), 6u);
+  EXPECT_EQ(reg.counter("net.batch_flushes"), 2000u);
+}
+
 TEST(NetSupervision, ClientFailsOverToReplicaWhenPrimaryIsDead) {
   // Replica server on site 1 (single-server mode: it owns every object).
   net::EventLoop replica_loop;

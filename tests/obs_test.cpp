@@ -70,6 +70,74 @@ TEST(Histogram, MergeAddsBucketsAndSummaries) {
   EXPECT_EQ(a.counts()[2], 1u);
 }
 
+TEST(Histogram, PercentilesInterpolateAndClampToRecordedRange) {
+  Histogram h({10, 100, 1000});
+  EXPECT_EQ(h.percentile(0.5), 0);  // empty -> 0, like min()/max()
+
+  for (int i = 1; i <= 100; ++i) h.record(i * 10);  // 10, 20, ... 1000
+  const std::int64_t p50 = h.p50();
+  const std::int64_t p95 = h.p95();
+  const std::int64_t p99 = h.p99();
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, h.max());
+  EXPECT_GE(p50, h.min());
+  // Interpolated within the (100, 1000] bucket, which holds ranks 10..100.
+  EXPECT_GT(p50, 100);
+  EXPECT_LT(p50, 1000);
+  EXPECT_GT(p99, 500);
+
+  // A single sample: every quantile IS that sample (clamping, not bucket
+  // midpoints).
+  Histogram one({10, 100, 1000});
+  one.record(42);
+  EXPECT_EQ(one.p50(), 42);
+  EXPECT_EQ(one.p99(), 42);
+
+  // Overflow-bucket samples clamp to the recorded max, never the bound.
+  Histogram over({10});
+  over.record(5000);
+  EXPECT_EQ(over.p99(), 5000);
+}
+
+TEST(Histogram, JsonCarriesPercentileSummaries) {
+  Histogram h({10, 100});
+  for (int i = 0; i < 50; ++i) h.record(7);
+  const std::string json = h.to_json();
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p95\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+  EXPECT_LT(json.find("\"p50\""), json.find("\"buckets\""));
+}
+
+TEST(MetricsRegistry, PrometheusExpositionFormat) {
+  MetricsRegistry reg;
+  reg.set_counter("net.frames_sent", 12);
+  reg.set_gauge("sync.eps_us", 250.5);
+  Histogram h({10, 100});
+  h.record(5);
+  h.record(50);
+  h.record(5000);
+  reg.add_histogram("latency_us", h);
+
+  const std::string text = reg.to_prometheus();
+  // Names are sanitized to [a-zA-Z0-9_:].
+  EXPECT_NE(text.find("net_frames_sent 12"), std::string::npos);
+  EXPECT_NE(text.find("sync_eps_us 250.5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE net_frames_sent counter"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE sync_eps_us gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE latency_us histogram"), std::string::npos);
+  // Cumulative buckets: le="10" counts 1, le="100" counts 2, +Inf counts 3.
+  EXPECT_NE(text.find("latency_us_bucket{le=\"10\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("latency_us_bucket{le=\"100\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("latency_us_bucket{le=\"+Inf\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("latency_us_sum 5055"), std::string::npos);
+  EXPECT_NE(text.find("latency_us_count 3"), std::string::npos);
+  // Exposition format 0.0.4 requires the trailing newline.
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+}
+
 TEST(MetricsRegistry, JsonHasAllSectionsInInsertionOrder) {
   MetricsRegistry reg;
   reg.set_counter("zebra", 1);

@@ -163,7 +163,7 @@ TEST(WireCodec, RejectsBadMagicVersionAndType) {
   bad = buf;
   bad[3] = 0;  // below the MsgType range
   EXPECT_EQ(wire::decode_frame(bad).status, wire::DecodeStatus::kBadType);
-  bad[3] = 12;  // above it (v3 ends at kTimeReply = 11)
+  bad[3] = 14;  // above it (v4 ends at kStatsReply = 13)
   EXPECT_EQ(wire::decode_frame(bad).status, wire::DecodeStatus::kBadType);
 }
 
@@ -220,6 +220,116 @@ TEST(WireCodec, TimeSyncRequiresVersionThree) {
     old[2] = version;
     EXPECT_EQ(wire::decode_frame(old).status, wire::DecodeStatus::kBadType)
         << "version " << int(version);
+  }
+}
+
+TEST(WireCodec, StatsRequestRoundTrip) {
+  wire::StatsRequest rq;
+  rq.seq = 0x0a0b0c0d0e0f1011ull;
+  rq.target_site = 42;
+  std::vector<std::uint8_t> buf;
+  wire::encode_stats_request_frame(SiteId{9}, SiteId{4}, rq, buf);
+  for (std::size_t len = 0; len < buf.size(); ++len) {
+    EXPECT_EQ(wire::decode_frame(
+                  std::span<const std::uint8_t>(buf.data(), len)).status,
+              wire::DecodeStatus::kNeedMore);
+  }
+  const wire::DecodedFrame frame = wire::decode_frame(buf);
+  ASSERT_TRUE(frame.ok()) << wire::to_cstring(frame.status);
+  ASSERT_TRUE(frame.is_stats_request);
+  EXPECT_FALSE(frame.is_stats_reply);
+  EXPECT_EQ(frame.from, SiteId{9});
+  EXPECT_EQ(frame.to, SiteId{4});
+  EXPECT_EQ(frame.stats_request.seq, rq.seq);
+  EXPECT_EQ(frame.stats_request.target_site, 42u);
+  EXPECT_EQ(frame.consumed, buf.size());
+}
+
+TEST(WireCodec, StatsReplyRoundTrip) {
+  const std::vector<StatsEntry> board_a = {{0, 100}, {3, -1}, {17, 999999}};
+  const std::vector<StatsEntry> board_b = {{5, 7}};
+  const std::vector<wire::StatsBoardSpan> boards = {
+      {200, board_a}, {201, board_b}};
+  std::vector<std::uint8_t> buf;
+  wire::encode_stats_reply_frame(SiteId{4}, SiteId{9}, 77, boards, buf);
+
+  const wire::DecodedFrame frame = wire::decode_frame(buf);
+  ASSERT_TRUE(frame.ok()) << wire::to_cstring(frame.status);
+  ASSERT_TRUE(frame.is_stats_reply);
+  EXPECT_EQ(frame.stats_seq, 77u);
+  EXPECT_EQ(frame.stats_boards, 2u);
+  ASSERT_EQ(frame.stats_rows.size(), 4u);
+  EXPECT_EQ(frame.stats_rows[0].site, 200u);
+  EXPECT_EQ(frame.stats_rows[0].key, 0u);
+  EXPECT_EQ(frame.stats_rows[0].value, 100);
+  EXPECT_EQ(frame.stats_rows[1].value, -1);
+  EXPECT_EQ(frame.stats_rows[2].value, 999999);
+  EXPECT_EQ(frame.stats_rows[3].site, 201u);
+  EXPECT_EQ(frame.stats_rows[3].key, 5u);
+  EXPECT_EQ(frame.consumed, buf.size());
+
+  // An empty reply (no boards: poller asked a bare process) still decodes.
+  std::vector<std::uint8_t> empty;
+  wire::encode_stats_reply_frame(SiteId{4}, SiteId{9}, 78, {}, empty);
+  const wire::DecodedFrame e = wire::decode_frame(empty);
+  ASSERT_TRUE(e.ok());
+  ASSERT_TRUE(e.is_stats_reply);
+  EXPECT_EQ(e.stats_boards, 0u);
+  EXPECT_TRUE(e.stats_rows.empty());
+
+  // Truncating anywhere inside the body is kShortBody via the reader (the
+  // header's body_len still covers the missing bytes -> kNeedMore first;
+  // shrink body_len to re-frame the truncation as a body error).
+  std::vector<std::uint8_t> bad = buf;
+  bad.resize(bad.size() - 4);
+  std::uint32_t blen;
+  std::memcpy(&blen, bad.data() + 12, sizeof(blen));
+  blen -= 4;
+  std::memcpy(bad.data() + 12, &blen, sizeof(blen));
+  EXPECT_EQ(wire::decode_frame(bad).status, wire::DecodeStatus::kShortBody);
+}
+
+TEST(WireCodec, ForgedStatsCountsCannotForceAllocation) {
+  // Body layout: seq u64, n_boards u32 at absolute offset 24, then per
+  // board (site u32, n u32 at board_start + 4, entries).
+  const std::vector<StatsEntry> entries = {{1, 2}};
+  const std::vector<wire::StatsBoardSpan> boards = {{7, entries}};
+  std::vector<std::uint8_t> buf;
+  wire::encode_stats_reply_frame(SiteId{1}, SiteId{2}, 1, boards, buf);
+
+  std::vector<std::uint8_t> bad = buf;
+  const std::uint32_t huge = 0xFFFFFFFFu;
+  std::memcpy(bad.data() + 24, &huge, sizeof(huge));  // n_boards
+  EXPECT_EQ(wire::decode_frame(bad).status, wire::DecodeStatus::kBadField);
+
+  bad = buf;
+  std::memcpy(bad.data() + 32, &huge, sizeof(huge));  // first board's n
+  EXPECT_EQ(wire::decode_frame(bad).status, wire::DecodeStatus::kBadField);
+
+  // A plausible count without its entry bytes fails bounds, not allocates.
+  bad = buf;
+  const std::uint32_t plausible = 100;
+  std::memcpy(bad.data() + 32, &plausible, sizeof(plausible));
+  EXPECT_EQ(wire::decode_frame(bad).status, wire::DecodeStatus::kShortBody);
+}
+
+TEST(WireCodec, StatsRequiresVersionFour) {
+  // A v3 (or older) peer never agreed to introspection frames: types 12/13
+  // under an older header are malformed, exactly like time-sync under v2.
+  std::vector<std::uint8_t> rq;
+  wire::encode_stats_request_frame(SiteId{1}, SiteId{2}, wire::StatsRequest{},
+                                   rq);
+  std::vector<std::uint8_t> rp;
+  wire::encode_stats_reply_frame(SiteId{1}, SiteId{2}, 1, {}, rp);
+  for (const std::uint8_t version : {3, 2, 1}) {
+    std::vector<std::uint8_t> old = rq;
+    old[2] = version;
+    EXPECT_EQ(wire::decode_frame(old).status, wire::DecodeStatus::kBadType)
+        << "request, version " << int(version);
+    old = rp;
+    old[2] = version;
+    EXPECT_EQ(wire::decode_frame(old).status, wire::DecodeStatus::kBadType)
+        << "reply, version " << int(version);
   }
 }
 
@@ -413,6 +523,25 @@ void expect_view_matches_owning(std::span<const std::uint8_t> buf,
   EXPECT_EQ(scratch.to, owning.to);
   EXPECT_EQ(scratch.is_heartbeat, owning.is_heartbeat);
   EXPECT_EQ(scratch.is_time_sync, owning.is_time_sync);
+  EXPECT_EQ(scratch.is_stats_request, owning.is_stats_request);
+  EXPECT_EQ(scratch.is_stats_reply, owning.is_stats_reply);
+  if (owning.is_stats_request) {
+    EXPECT_EQ(scratch.stats_request.seq, owning.stats_request.seq);
+    EXPECT_EQ(scratch.stats_request.target_site,
+              owning.stats_request.target_site);
+    return;
+  }
+  if (owning.is_stats_reply) {
+    EXPECT_EQ(scratch.stats_seq, owning.stats_seq);
+    EXPECT_EQ(scratch.stats_boards, owning.stats_boards);
+    ASSERT_EQ(scratch.stats_rows.size(), owning.stats_rows.size());
+    for (std::size_t i = 0; i < owning.stats_rows.size(); ++i) {
+      EXPECT_EQ(scratch.stats_rows[i].site, owning.stats_rows[i].site);
+      EXPECT_EQ(scratch.stats_rows[i].key, owning.stats_rows[i].key);
+      EXPECT_EQ(scratch.stats_rows[i].value, owning.stats_rows[i].value);
+    }
+    return;
+  }
   if (owning.is_heartbeat) {
     EXPECT_EQ(scratch.heartbeat.seq, owning.heartbeat.seq);
     EXPECT_EQ(scratch.heartbeat.send_time_us, owning.heartbeat.send_time_us);
@@ -469,6 +598,32 @@ TEST(WireCodec, ViewDecodeMatchesOwningDecodeOnEveryInput) {
                         static_cast<std::int64_t>(rng.next_u64() >> 1),
                         rng.bernoulli(0.5)};
       wire::encode_time_sync_frame(SiteId{1}, SiteId{2}, ts, buf);
+      expect_view_matches_owning(buf, scratch);
+      buf.clear();
+      wire::StatsRequest rq{rng.next_u64(),
+                            static_cast<std::uint32_t>(rng.next_u64())};
+      wire::encode_stats_request_frame(SiteId{1}, SiteId{2}, rq, buf);
+      expect_view_matches_owning(buf, scratch);
+      buf.clear();
+      std::vector<StatsEntry> entries(
+          static_cast<std::size_t>(rng.uniform_int(0, 8)));
+      for (auto& e : entries) {
+        e.key = static_cast<std::uint16_t>(rng.next_u64());
+        e.value = static_cast<std::int64_t>(rng.next_u64());
+      }
+      const std::vector<wire::StatsBoardSpan> boards = {
+          {static_cast<std::uint32_t>(rng.uniform_int(0, 500)), entries}};
+      wire::encode_stats_reply_frame(SiteId{1}, SiteId{2}, rng.next_u64(),
+                                     boards, buf);
+      expect_view_matches_owning(buf, scratch);
+      // Corrupt the stats reply too: its nested counts are the newest
+      // attack surface.
+      const int sflips = static_cast<int>(rng.uniform_int(1, 4));
+      for (int f = 0; f < sflips; ++f) {
+        const std::size_t at = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(buf.size()) - 1));
+        buf[at] ^= static_cast<std::uint8_t>(1u << rng.uniform_int(0, 7));
+      }
       expect_view_matches_owning(buf, scratch);
     }
     // Pure garbage, occasionally with a plausible header planted.

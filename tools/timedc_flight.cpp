@@ -1,0 +1,103 @@
+// timedc-flight: offline converter for binary flight-recorder dumps.
+//
+// A .fr file is the raw ring a FlightRecorder wrote — either on demand
+// (dump_to_file) or from the fatal-signal handler ("<prefix>.site<id>.fr"
+// after a SIGSEGV/SIGBUS/SIGFPE/SIGABRT). This tool parses one or more
+// dumps back into the canonical TraceEvent stream and emits it as JSONL
+// (the ci/validate_trace.py schema) or as a Chrome/Perfetto trace. Multiple
+// dumps (one per reactor) merge into a single time-sorted stream.
+//
+// Usage:
+//   timedc-flight [--chrome] [--out FILE] DUMP.fr [DUMP.fr ...]
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using namespace timedc;
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--chrome] [--out FILE] DUMP.fr [DUMP.fr ...]\n",
+               argv0);
+  return 2;
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool chrome = false;
+  std::string out_path;
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--chrome") == 0) {
+      chrome = true;
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      if (i + 1 >= argc) return usage(argv[0]);
+      out_path = argv[++i];
+    } else if (argv[i][0] == '-') {
+      return usage(argv[0]);
+    } else {
+      inputs.emplace_back(argv[i]);
+    }
+  }
+  if (inputs.empty()) return usage(argv[0]);
+
+  std::vector<TraceEvent> events;
+  std::uint64_t total_overwritten = 0;
+  for (const std::string& path : inputs) {
+    std::string bytes;
+    if (!read_file(path, bytes)) {
+      std::fprintf(stderr, "timedc-flight: cannot read %s\n", path.c_str());
+      return 1;
+    }
+    std::uint64_t overwritten = 0;
+    const std::size_t before = events.size();
+    if (!flight_to_events(bytes, &events, &overwritten)) {
+      std::fprintf(stderr, "timedc-flight: %s is not a valid flight dump\n",
+                   path.c_str());
+      return 1;
+    }
+    total_overwritten += overwritten;
+    std::fprintf(stderr,
+                 "timedc-flight: %s: %zu events (%" PRIu64
+                 " overwritten before the dump)\n",
+                 path.c_str(), events.size() - before, overwritten);
+  }
+  // Merge per-reactor rings into one stream: sort by time, ties by site so
+  // the output is deterministic across runs.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.at != b.at) return a.at < b.at;
+                     return a.site.value < b.site.value;
+                   });
+
+  const std::string text =
+      chrome ? trace_to_chrome(events) : trace_to_jsonl(events);
+  if (out_path.empty()) {
+    std::fputs(text.c_str(), stdout);
+  } else if (!write_text_file(out_path, text)) {
+    std::fprintf(stderr, "timedc-flight: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "timedc-flight: %zu events total\n", events.size());
+  return 0;
+}

@@ -683,14 +683,6 @@ class Worker {
   std::thread thread_;
 };
 
-std::int64_t percentile(std::vector<std::int64_t>& sorted, double p) {
-  if (sorted.empty()) return 0;
-  const std::size_t at = std::min(
-      sorted.size() - 1,
-      static_cast<std::size_t>(p * static_cast<double>(sorted.size())));
-  return sorted[at];
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -766,8 +758,6 @@ int main(int argc, char** argv) {
     read_latencies.insert(read_latencies.end(), w->read_latencies().begin(),
                           w->read_latencies().end());
   }
-  std::sort(latencies.begin(), latencies.end());
-  std::sort(read_latencies.begin(), read_latencies.end());
   const double ops_per_sec =
       elapsed_s > 0 ? static_cast<double>(total_ops) / elapsed_s : 0;
   double read_latency_sum = 0;
@@ -886,9 +876,10 @@ int main(int argc, char** argv) {
       "(Delta %lld us) | "
       "hit ratio %.2f | retries %llu failovers %llu abandoned %llu%s\n",
       static_cast<unsigned long long>(total_ops), elapsed_s, ops_per_sec,
-      static_cast<long long>(percentile(latencies, 0.50)),
-      static_cast<long long>(percentile(latencies, 0.99)),
-      static_cast<long long>(latencies.empty() ? 0 : latencies.back()),
+      static_cast<long long>(latency_hist.p50()),
+      static_cast<long long>(latency_hist.p99()),
+      static_cast<long long>(latency_hist.count() == 0 ? 0
+                                                       : latency_hist.max()),
       read_latency_mean_us,
       staleness.size(), static_cast<unsigned long long>(late_reads),
       static_cast<long long>(opt.delta_us), cache_total.hit_ratio(),

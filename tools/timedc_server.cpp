@@ -27,6 +27,16 @@
 // --drain-ms to flush, then close. Metrics JSON (per-shard ServerStats +
 // full transport/supervision counters) goes to --metrics-out.
 //
+// Observability: every shard gets a StatsBoard (answering wire
+// kStatsRequest scrapes from timedc-top, locally or from any reactor's
+// hub) and an allocation-free flight recorder on its hot path. SIGUSR1
+// dumps a live metrics snapshot to --metrics-out (or stdout) without
+// stopping the server; --metrics-interval-ms does the same on a timer.
+// --flight-dump PREFIX installs the fatal-signal handler that writes
+// every recorder to PREFIX.site<id>.fr on SIGSEGV/SIGBUS/SIGFPE/SIGABRT
+// (convert with timedc-flight). --segv-after-s is a test hook that
+// crashes the process on purpose so CI can validate that path.
+//
 // Reactor mode: --reactors N runs N shards on ONE shared SO_REUSEPORT port
 // (kernel accept sharding + object-hash connection steering) instead of N
 // separate ports — the 1M-ops/s serving layout. The LISTENING line repeats
@@ -38,22 +48,29 @@
 //                 [--push none|invalidate|update] [--duration-s 0]
 //                 [--site-base 0] [--cluster-size N] [--peer SITE:HOST:PORT]
 //                 [--state-file FILE] [--drain-ms 200] [--heartbeat-ms 200]
-//                 [--metrics-out FILE]
+//                 [--metrics-out FILE] [--metrics-interval-ms 0]
+//                 [--flight-dump PREFIX] [--flight-capacity 16384]
 #include <signal.h>
+#include <time.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <future>
 #include <iostream>
 #include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "net/event_loop.hpp"
 #include "net/tcp_transport.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/stats_board.hpp"
 #include "obs/stats_bridge.hpp"
 #include "protocol/server.hpp"
 
@@ -86,6 +103,10 @@ struct Options {
   std::string state_file;  // WAL base path; empty = no durability
   std::int64_t drain_ms = 200;
   std::int64_t heartbeat_ms = 200;
+  std::int64_t metrics_interval_ms = 0;  // 0 = no periodic dump
+  std::string flight_dump;               // fatal-dump prefix; empty = off
+  std::size_t flight_capacity = 1u << 14;
+  std::int64_t segv_after_s = 0;  // test hook: crash on purpose after S s
 };
 
 int usage(const char* argv0) {
@@ -95,7 +116,8 @@ int usage(const char* argv0) {
                "          [--site-base B] [--cluster-size C]\n"
                "          [--peer SITE:HOST:PORT]... [--state-file FILE]\n"
                "          [--drain-ms MS] [--heartbeat-ms MS]\n"
-               "          [--metrics-out FILE]\n",
+               "          [--metrics-out FILE] [--metrics-interval-ms MS]\n"
+               "          [--flight-dump PREFIX] [--flight-capacity N]\n",
                argv0);
   return 2;
 }
@@ -180,6 +202,24 @@ bool parse_args(int argc, char** argv, Options& opt) {
       const char* v = next();
       if (v == nullptr) return false;
       opt.heartbeat_ms = std::atoll(v);
+    } else if (arg == "--metrics-interval-ms") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.metrics_interval_ms = std::atoll(v);
+    } else if (arg == "--flight-dump") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.flight_dump = v;
+    } else if (arg == "--flight-capacity") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.flight_capacity = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--segv-after-s") {
+      // Undocumented on purpose: CI uses it to validate the fatal-signal
+      // flight dump end to end.
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.segv_after_s = std::atoll(v);
     } else {
       return false;
     }
@@ -299,11 +339,65 @@ struct Shard {
   std::unique_ptr<net::EventLoop> loop;
   std::unique_ptr<net::TcpTransport> transport;
   std::unique_ptr<ObjectServer> server;
+  std::unique_ptr<StatsBoard> board;
+  std::unique_ptr<FlightRecorder> flight;
   std::thread thread;
   std::uint16_t port = 0;
   SiteId site{0};
   std::FILE* wal = nullptr;
 };
+
+/// Per-site board gauges (watchdog age, stage/staleness percentiles, ...):
+/// the boards are lock-free, so this is safe whether the loops run or not.
+void publish_boards(MetricsRegistry& reg, const std::vector<Shard>& shards) {
+  timespec ts{};
+  clock_gettime(CLOCK_REALTIME, &ts);
+  const std::int64_t now_us =
+      static_cast<std::int64_t>(ts.tv_sec) * 1000000 + ts.tv_nsec / 1000;
+  std::vector<StatsEntry> entries;
+  for (const Shard& s : shards) {
+    entries.clear();
+    s.board->collect(now_us, entries);
+    const std::string prefix =
+        "site." + std::to_string(s.board->site()) + ".stats.";
+    for (const StatsEntry& e : entries) {
+      const char* name = to_cstring(static_cast<StatKey>(e.key));
+      if (name != nullptr) {
+        reg.set_gauge(prefix + name, static_cast<double>(e.value));
+      }
+    }
+  }
+}
+
+/// Live snapshot while the loops are serving: ServerStats/TcpTransportStats
+/// are loop-thread-owned plain structs, so each shard copies its own on its
+/// loop. A wedged loop must not wedge the dump — after one second its
+/// non-board sections are simply skipped (the boards, which is where the
+/// stall watchdog lives, are always readable).
+MetricsRegistry build_live_registry(std::vector<Shard>& shards) {
+  MetricsRegistry reg;
+  for (Shard& s : shards) {
+    // Shared, not stack-captured: if the wait below times out, the posted
+    // task may still run later and must not touch a dead promise.
+    auto prom = std::make_shared<
+        std::promise<std::pair<ServerStats, net::TcpTransportStats>>>();
+    auto fut = prom->get_future();
+    ObjectServer* server = s.server.get();
+    net::TcpTransport* transport = s.transport.get();
+    s.loop->post([prom, server, transport] {
+      prom->set_value({server->stats(), transport->stats()});
+    });
+    if (fut.wait_for(std::chrono::seconds(1)) != std::future_status::ready) {
+      continue;
+    }
+    const auto snap = fut.get();
+    const std::string prefix = "server." + std::to_string(s.site.value);
+    publish_server_stats(reg, prefix, snap.first);
+    publish_tcp_transport_stats(reg, prefix + ".net", snap.second);
+  }
+  publish_boards(reg, shards);
+  return reg;
+}
 
 }  // namespace
 
@@ -317,6 +411,7 @@ int main(int argc, char** argv) {
   sigemptyset(&sigs);
   sigaddset(&sigs, SIGINT);
   sigaddset(&sigs, SIGTERM);
+  sigaddset(&sigs, SIGUSR1);  // live metrics dump, consumed by main
   pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
 
   // The full cluster (all processes): sites 0..cluster_size-1 own objects
@@ -333,12 +428,21 @@ int main(int argc, char** argv) {
   // Bind every shard first (the loops are not running yet), so ephemeral
   // ports are known before inter-shard routes are added.
   std::vector<Shard> shards(opt.shards);
+  StatsHub hub;
   std::size_t total_restored = 0;
   for (std::size_t i = 0; i < opt.shards; ++i) {
     Shard& s = shards[i];
     s.site = SiteId{opt.site_base + static_cast<std::uint32_t>(i)};
     s.loop = std::make_unique<net::EventLoop>();
     s.transport = std::make_unique<net::TcpTransport>(*s.loop);
+    s.board = std::make_unique<StatsBoard>(s.site.value);
+    s.flight = std::make_unique<FlightRecorder>(s.site.value,
+                                                opt.flight_capacity);
+    hub.add(s.board.get());
+    register_flight_recorder(s.flight.get());
+    s.transport->set_stats_board(s.board.get());
+    s.transport->set_stats_hub(&hub);
+    s.transport->set_flight_recorder(s.flight.get());
     if (opt.shared_port) {
       // All shards on one SO_REUSEPORT port: shard 0 binds (ephemeral if
       // --port 0), the rest join its port.
@@ -365,8 +469,11 @@ int main(int argc, char** argv) {
             append_wal_record(wal, req, version);
           });
     }
+    s.server->set_stats_board(s.board.get());
+    s.server->set_flight_recorder(s.flight.get());
     s.server->attach();
   }
+  if (!opt.flight_dump.empty()) install_fatal_dump(opt.flight_dump.c_str());
   // Shared-port mode: a new connection lands on whichever shard the kernel
   // picked; its first protocol frame names the destination site, and if a
   // different local shard owns that site the fd is steered there. Sites
@@ -423,12 +530,63 @@ int main(int argc, char** argv) {
   std::printf("\n");
   std::fflush(stdout);
 
-  if (opt.duration_s > 0) {
-    timespec deadline{opt.duration_s, 0};
-    sigtimedwait(&sigs, nullptr, &deadline);  // early signal also stops us
-  } else {
+  // Main wait loop: multiplexes shutdown signals with the live-dump
+  // deadlines (SIGUSR1 is edge-triggered by the operator, --metrics-
+  // interval-ms and --segv-after-s by the clock, --duration-s ends it).
+  const auto t_start = std::chrono::steady_clock::now();
+  const auto elapsed_ms = [&t_start]() -> std::int64_t {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now() - t_start)
+        .count();
+  };
+  const auto write_live_metrics = [&](const char* why) {
+    const std::string json = build_live_registry(shards).to_json(2);
+    if (!opt.metrics_out.empty()) {
+      std::ofstream out(opt.metrics_out);
+      out << json << "\n";
+    } else {
+      std::cout << json << "\n" << std::flush;
+    }
+    std::fprintf(stderr, "timedc-server: metrics dump (%s)\n", why);
+  };
+  std::int64_t next_dump_ms =
+      opt.metrics_interval_ms > 0 ? opt.metrics_interval_ms : -1;
+  const std::int64_t end_ms = opt.duration_s > 0 ? opt.duration_s * 1000 : -1;
+  const std::int64_t segv_ms =
+      opt.segv_after_s > 0 ? opt.segv_after_s * 1000 : -1;
+  for (;;) {
+    // Earliest pending deadline; -1 = none, wait for a signal forever.
+    std::int64_t wake_ms = end_ms;
+    if (next_dump_ms >= 0 && (wake_ms < 0 || next_dump_ms < wake_ms)) {
+      wake_ms = next_dump_ms;
+    }
+    if (segv_ms >= 0 && (wake_ms < 0 || segv_ms < wake_ms)) wake_ms = segv_ms;
     int got = 0;
-    sigwait(&sigs, &got);
+    if (wake_ms < 0) {
+      sigwait(&sigs, &got);
+    } else {
+      const std::int64_t rel =
+          std::max<std::int64_t>(0, wake_ms - elapsed_ms());
+      timespec ts{rel / 1000, (rel % 1000) * 1000000};
+      got = sigtimedwait(&sigs, nullptr, &ts);  // -1 = deadline reached
+    }
+    if (got == SIGUSR1) {
+      write_live_metrics("SIGUSR1");
+      continue;
+    }
+    if (got == SIGINT || got == SIGTERM) break;
+    const std::int64_t now_ms = elapsed_ms();
+    if (segv_ms >= 0 && now_ms >= segv_ms) {
+      // Deliberate crash: CI validates that the fatal-signal handler dumps
+      // every flight recorder before the default action kills us.
+      std::fflush(nullptr);
+      ::raise(SIGSEGV);
+    }
+    if (next_dump_ms >= 0 && now_ms >= next_dump_ms) {
+      write_live_metrics("interval");
+      next_dump_ms += opt.metrics_interval_ms;
+    }
+    if (end_ms >= 0 && now_ms >= end_ms) break;
   }
 
   // Graceful drain: stop accepting and release leases on every shard, let
@@ -451,6 +609,7 @@ int main(int argc, char** argv) {
     s.loop->stop();
     s.thread.join();
     if (s.wal != nullptr) std::fclose(s.wal);
+    unregister_flight_recorder(s.flight.get());
   }
 
   MetricsRegistry reg;
@@ -460,6 +619,7 @@ int main(int argc, char** argv) {
     publish_tcp_transport_stats(reg, prefix + ".net",
                                 shards[i].transport->stats());
   }
+  publish_boards(reg, shards);
   const std::string json = reg.to_json(2);
   if (!opt.metrics_out.empty()) {
     std::ofstream out(opt.metrics_out);
