@@ -1,0 +1,172 @@
+#!/usr/bin/env bash
+# NET-E: a 3-server partitioned object space behind a chaos proxy, driven
+# by owner-aware timedc-load with deliberate misrouting. Every server owns
+# a hash slice of the object space; misrouted requests must be forwarded
+# to their owner server-to-server, misrouted fetches subscribe the
+# non-owner as a cacher so later writes are pushed to it, and gossip
+# membership must converge on all three members. The merged capped trace
+# must still satisfy TSC at the configured Delta with the measured epsilon
+# ingested, the run must abandon zero operations, and the forwarding /
+# push / membership counters must be visible through timedc-top in JSON,
+# Prometheus, and table modes.
+#
+# usage: ci/cluster_smoke.sh [build-dir] [artifact-dir]
+set -euo pipefail
+
+BUILD=${1:-build}
+OUT=${2:-cluster-artifacts}
+mkdir -p "$OUT"
+rm -f "$OUT"/[abc].wal.*
+
+A_PORT=7301 B_PORT=7302 C_PORT=7303   # real servers (sites 0, 1, 2)
+CA_PORT=7401 CB_PORT=7402 CC_PORT=7403 # chaos-proxied client-facing ports
+
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]}"; do
+    kill -KILL "$pid" 2>/dev/null || true
+  done
+}
+trap cleanup EXIT
+
+# Single-shard servers: server-to-server forwarding rides the per-reactor
+# peer connections, so each cluster member is one reactor. Membership
+# gossip piggybacks on the supervision heartbeats over the --peer routes.
+start_server() { # name site port peer1 peer2
+  local name=$1 site=$2 port=$3 peer1=$4 peer2=$5
+  "$BUILD"/tools/timedc-server --port "$port" --shards 1 \
+    --site-base "$site" --cluster --cluster-size 3 --cluster-push update \
+    --peer "$peer1" --peer "$peer2" \
+    --state-file "$OUT/$name.wal" --duration-s 120 --drain-ms 300 \
+    --metrics-out "$OUT/server_${name}_metrics.json" \
+    >"$OUT/server_${name}_out.txt" 2>"$OUT/server_${name}_err.txt" &
+  PIDS+=("$!")
+}
+
+start_server a 0 $A_PORT 1:127.0.0.1:$B_PORT 2:127.0.0.1:$C_PORT
+A_PID=${PIDS[-1]}
+start_server b 1 $B_PORT 0:127.0.0.1:$A_PORT 2:127.0.0.1:$C_PORT
+B_PID=${PIDS[-1]}
+start_server c 2 $C_PORT 0:127.0.0.1:$A_PORT 1:127.0.0.1:$B_PORT
+C_PID=${PIDS[-1]}
+
+for f in server_a_out server_b_out server_c_out; do
+  for _ in $(seq 1 50); do
+    grep -q LISTENING "$OUT/$f.txt" 2>/dev/null && break
+    sleep 0.1
+  done
+  grep -q LISTENING "$OUT/$f.txt" || { echo "FAIL: $f never listened"; exit 1; }
+done
+
+"$BUILD"/tools/timedc-chaos \
+  --route $CA_PORT:127.0.0.1:$A_PORT --route $CB_PORT:127.0.0.1:$B_PORT \
+  --route $CC_PORT:127.0.0.1:$C_PORT \
+  --latency-ms 1 --jitter-ms 2 --seed 9 --duration-s 90 \
+  --metrics-out "$OUT/chaos_metrics.json" \
+  >"$OUT/chaos_out.txt" 2>"$OUT/chaos_err.txt" &
+CHAOS_PID=$!
+PIDS+=("$CHAOS_PID")
+for _ in $(seq 1 50); do
+  grep -q PROXYING "$OUT/chaos_out.txt" 2>/dev/null && break
+  sleep 0.1
+done
+grep -q PROXYING "$OUT/chaos_out.txt" || { echo "FAIL: chaos never proxied"; exit 1; }
+
+# Owner-aware dispatch with a deliberate 25% misroute rate: the misrouted
+# quarter exercises forwarding (writes hop to the owner) and the cacher
+# path (fetches subscribe the non-owner; later owner writes push back).
+# --time-sync-ms measures epsilon against each server so the trace carries
+# the eps directive timedc-check ingests. Zipf contention keeps multiple
+# clients on the same hot objects; the op count stays modest because the
+# exhaustive TSC check is exponential in concurrent conflicting writes.
+timeout 90 "$BUILD"/tools/timedc-load \
+  --ports $CA_PORT,$CB_PORT,$CC_PORT --cluster --misroute-pct 25 \
+  --threads 2 --clients 3 --ops 40 --duration-s 0 --write-pct 40 \
+  --think-us 100000 --zipf 0.9 \
+  --objects 12 --object-base 600000 --delta-us 50000 --seed 13 \
+  --max-attempts 8 --retry-base-ms 50 --max-abandoned 0 \
+  --min-ops-per-sec 5 --time-sync-ms 250 \
+  --history-out "$OUT/cluster.trace" \
+  --metrics-out "$OUT/load_metrics.json" \
+  >"$OUT/load_out.txt" 2>"$OUT/load_err.txt" || {
+    echo "FAIL: timedc-load exited nonzero"; cat "$OUT/load_out.txt";
+    cat "$OUT/load_err.txt"; exit 1; }
+cat "$OUT/load_out.txt"
+
+# Scrape the live servers over the wire (the servers keep serving for the
+# full --duration-s): all three introspection modes of timedc-top.
+for s in a:$A_PORT b:$B_PORT c:$C_PORT; do
+  name=${s%%:*}; port=${s##*:}
+  "$BUILD"/tools/timedc-top --port "$port" --once --json \
+    >"$OUT/top_${name}.json"
+  python3 ci/validate_top.py "$OUT/top_${name}.json" --reactors 1 \
+    --require-ops --require-members 3
+done
+"$BUILD"/tools/timedc-top --port $A_PORT --once --prom >"$OUT/top_a.prom"
+for metric in timedc_site_0_frames_dropped timedc_site_0_flight_overwritten \
+              timedc_site_0_cluster_forwards_in timedc_site_0_cluster_pushes \
+              timedc_site_0_cluster_members timedc_site_0_cluster_epoch; do
+  grep -q "^$metric " "$OUT/top_a.prom" || {
+    echo "FAIL: prom scrape missing $metric"; exit 1; }
+done
+"$BUILD"/tools/timedc-top --port $A_PORT --once >"$OUT/top_a_table.txt"
+for col in DROPS OVFL FWD PUSH MEMB; do
+  grep -q "$col" "$OUT/top_a_table.txt" || {
+    echo "FAIL: table scrape missing $col column"; exit 1; }
+done
+
+kill -TERM "$A_PID" "$B_PID" "$C_PID" 2>/dev/null || true
+wait "$A_PID" 2>/dev/null || true
+wait "$B_PID" 2>/dev/null || true
+wait "$C_PID" 2>/dev/null || true
+kill -TERM "$CHAOS_PID" 2>/dev/null || true
+wait "$CHAOS_PID" 2>/dev/null || true
+PIDS=()
+
+# The merged trace must serialize with every write visible within Delta=2s
+# (proxy latency + one forwarding hop + retry backoff all fit); the eps
+# directive measured by --time-sync-ms is ingested from the trace itself.
+"$BUILD"/tools/timedc-check --delta 2000000 "$OUT/cluster.trace"
+
+python3 ci/validate_trace.py --metrics "$OUT/load_metrics.json" \
+  --require-histogram latency_us --require-histogram staleness_us
+python3 ci/validate_trace.py --metrics "$OUT/chaos_metrics.json"
+for name in a b c; do
+  python3 ci/validate_trace.py --metrics "$OUT/server_${name}_metrics.json"
+done
+
+# The cluster machinery must actually have been exercised: requests were
+# misrouted, so forwards crossed servers, fetch misses subscribed cachers,
+# owner writes pushed to them, and gossip converged (validate_top already
+# pinned cluster.members == 3 on every board).
+python3 - "$OUT" <<'EOF'
+import json, sys
+out = sys.argv[1]
+with open(f"{out}/load_metrics.json") as f:
+    load = json.load(f)["counters"]
+if load.get("load.misrouted", 0) <= 0:
+    sys.exit("expected load.misrouted > 0: ring dispatch never misrouted")
+if load.get("client.ops_abandoned", 0) != 0:
+    sys.exit("abandoned operations slipped past the --max-abandoned gate")
+
+totals = {}
+for name in ("a", "b", "c"):
+    with open(f"{out}/top_{name}.json") as f:
+        doc = json.load(f)
+    for entry in doc["sites"]:
+        for key, value in entry["stats"].items():
+            totals[key] = totals.get(key, 0) + value
+for key in ("cluster.forwards_out", "cluster.forwards_in",
+            "cluster.pushes", "cluster.membership_sent",
+            "cluster.membership_received"):
+    if totals.get(key, 0) <= 0:
+        sys.exit(f"expected summed {key} > 0, got {totals.get(key, 0)}")
+if totals.get("cluster.hops_exceeded", 0) != 0:
+    sys.exit("forwarding loop: cluster.hops_exceeded is nonzero")
+print("cluster smoke OK:",
+      {k: totals[k] for k in ("cluster.forwards_out", "cluster.forwards_in",
+                              "cluster.pushes", "cluster.replica_hits")},
+      "misrouted", load["load.misrouted"])
+EOF
+
+echo "cluster smoke passed"

@@ -23,7 +23,11 @@ REQUIRED_KEYS = {
     "batch_flushes", "flush_syscalls", "connections", "steered_out",
     "steered_in", "decode_errors", "ticks", "slow_ticks", "max_tick_us",
     "last_tick_end_us", "reads_served", "eps_us", "effective_delta_us",
-    "flight_recorded", "flight_overwritten", "last_tick_age_us",
+    "flight_recorded", "flight_overwritten", "frames_dropped",
+    "cluster.forwards_out", "cluster.forwards_in", "cluster.relayed",
+    "cluster.hops_exceeded", "cluster.membership_sent",
+    "cluster.membership_received", "cluster.members", "cluster.epoch",
+    "cluster.pushes", "cluster.replica_hits", "last_tick_age_us",
     "stage.decode.p99_us", "stage.apply.p99_us", "stage.enqueue.p99_us",
     "stage.flush.p99_us",
     "staleness.p50_us", "staleness.p95_us", "staleness.p99_us",
@@ -44,6 +48,9 @@ def main():
                         help="every board must show nonzero ops and ticks")
     parser.add_argument("--min-total-reads", type=int, default=0,
                         help="reads_served summed over boards must reach N")
+    parser.add_argument("--require-members", type=int, default=0,
+                        help="every board must report exactly N alive "
+                             "cluster members")
     args = parser.parse_args()
 
     with open(args.scrape) as f:
@@ -85,6 +92,12 @@ def main():
                 fail(f"{where}: ops_applied is zero under --require-ops")
             if stats["ticks"] <= 0:
                 fail(f"{where}: ticks is zero under --require-ops")
+        if args.require_members:
+            if stats["cluster.members"] != args.require_members:
+                fail(f"{where}: cluster.members {stats['cluster.members']} "
+                     f"!= required {args.require_members}")
+            if stats["cluster.epoch"] < 0:
+                fail(f"{where}: negative cluster.epoch")
         reads = stats["reads_served"]
         total_reads += reads
         # Staleness summaries: -1 means "no reads yet"; with reads flowed

@@ -28,6 +28,7 @@ EVENT_TYPES = {
     "clock.sync", "clock.reject", "clock.eps",
     "delta.adapt",
     "reactor.stage", "reactor.slowtick", "read.staleness", "stats.scrape",
+    "cluster.forward", "cluster.push", "cluster.member",
 }
 
 # reactor.stage (a) indexes the Stage enum: decode/apply/enqueue/flush.
@@ -67,6 +68,24 @@ def check_event_schema(ev, where):
     if t == "stats.scrape" and (a < 0 or b <= 0):
         fail(f"{where}: stats.scrape requester/bytes (a/b) must be "
              f">= 0 / > 0, got {a}/{b}")
+    if t == "cluster.forward":
+        if ev["obj"] < 0:
+            fail(f"{where}: cluster.forward must name the forwarded object")
+        if a < 0 or b < 0:
+            fail(f"{where}: cluster.forward owner/hops (a/b) must be >= 0, "
+                 f"got {a}/{b}")
+    if t == "cluster.push":
+        if ev["obj"] < 0:
+            fail(f"{where}: cluster.push must name the pushed object")
+        if a < 0:
+            fail(f"{where}: cluster.push cacher (a) must be >= 0, got {a}")
+        if b not in (0, 1):
+            fail(f"{where}: cluster.push mode (b) must be 0|1, got {b}")
+    if t == "cluster.member":
+        if a < 0:
+            fail(f"{where}: cluster.member site (a) must be >= 0, got {a}")
+        if b not in (0, 1, 2):
+            fail(f"{where}: cluster.member status (b) must be 0|1|2, got {b}")
 
 
 def fail(msg):

@@ -1,0 +1,81 @@
+#include "cluster/ring.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace timedc::cluster {
+
+std::uint64_t ring_hash(std::uint64_t x) {
+  // splitmix64 finalizer: fixed, seedless, identical in every process.
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+void HashRing::set_members(std::span<const SiteId> members) {
+  members_.assign(members.begin(), members.end());
+  std::sort(members_.begin(), members_.end(),
+            [](SiteId a, SiteId b) { return a.value < b.value; });
+  members_.erase(std::unique(members_.begin(), members_.end(),
+                             [](SiteId a, SiteId b) {
+                               return a.value == b.value;
+                             }),
+                 members_.end());
+  ++epoch_;
+  rebuild();
+}
+
+bool HashRing::add_member(SiteId site) {
+  for (SiteId m : members_) {
+    if (m.value == site.value) return false;
+  }
+  members_.push_back(site);
+  std::sort(members_.begin(), members_.end(),
+            [](SiteId a, SiteId b) { return a.value < b.value; });
+  ++epoch_;
+  rebuild();
+  return true;
+}
+
+bool HashRing::remove_member(SiteId site) {
+  const auto it = std::find_if(
+      members_.begin(), members_.end(),
+      [site](SiteId m) { return m.value == site.value; });
+  if (it == members_.end()) return false;
+  members_.erase(it);
+  ++epoch_;
+  rebuild();
+  return true;
+}
+
+void HashRing::rebuild() {
+  points_.clear();
+  points_.reserve(members_.size() * kVnodes);
+  for (SiteId m : members_) {
+    for (std::size_t v = 0; v < kVnodes; ++v) {
+      // Mix the vnode index into the high half so consecutive site ids do
+      // not produce correlated point sequences.
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(v) << 32) | m.value;
+      points_.push_back({ring_hash(key), m});
+    }
+  }
+  std::sort(points_.begin(), points_.end(),
+            [](const Point& a, const Point& b) {
+              if (a.hash != b.hash) return a.hash < b.hash;
+              return a.site.value < b.site.value;
+            });
+}
+
+SiteId HashRing::owner_of(ObjectId object) const {
+  TIMEDC_ASSERT(!points_.empty());
+  const std::uint64_t h = ring_hash(object.value);
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), h,
+      [](const Point& p, std::uint64_t key) { return p.hash < key; });
+  return it == points_.end() ? points_.front().site : it->site;
+}
+
+}  // namespace timedc::cluster

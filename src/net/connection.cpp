@@ -219,6 +219,55 @@ void Connection::send_stats_reply(SiteId from, SiteId to, std::uint64_t seq,
   after_enqueue();
 }
 
+void Connection::send_membership(SiteId from, SiteId to, std::uint64_t epoch,
+                                 std::span<const wire::MemberEntry> members) {
+  if (closed()) return;
+  scratch_.clear();
+  wire::encode_membership_frame(from, to, epoch, members, scratch_);
+  out_.append(scratch_.data(), scratch_.size());
+  ++stats_.frames_sent;
+  after_enqueue();
+}
+
+void Connection::send_forward(SiteId from, SiteId to, std::uint8_t hops,
+                              SiteId inner_from, SiteId inner_to,
+                              const Message& m) {
+  if (closed()) return;
+  scratch_.clear();
+  wire::encode_forward_frame(from, to, hops, inner_from, inner_to, m,
+                             scratch_);
+  out_.append(scratch_.data(), scratch_.size());
+  ++stats_.frames_sent;
+  after_enqueue();
+}
+
+void Connection::send_forward_raw(SiteId from, SiteId to, std::uint8_t hops,
+                                  std::span<const std::uint8_t> inner_frame) {
+  if (closed()) return;
+  scratch_.clear();
+  wire::encode_forward_frame_raw(from, to, hops, inner_frame, scratch_);
+  out_.append(scratch_.data(), scratch_.size());
+  ++stats_.frames_sent;
+  after_enqueue();
+}
+
+void Connection::send_cacher_subscribe(SiteId from, SiteId to,
+                                       const wire::CacherSubscribe& cs) {
+  if (closed()) return;
+  scratch_.clear();
+  wire::encode_cacher_subscribe_frame(from, to, cs, scratch_);
+  out_.append(scratch_.data(), scratch_.size());
+  ++stats_.frames_sent;
+  after_enqueue();
+}
+
+void Connection::send_raw_frame(std::span<const std::uint8_t> frame) {
+  if (closed()) return;
+  out_.append(frame.data(), frame.size());
+  ++stats_.frames_sent;
+  after_enqueue();
+}
+
 void Connection::after_enqueue() {
   if (flush_scheduler_ && !connecting_) {
     if (pending_write_bytes() >= kFlushBypassBytes) {

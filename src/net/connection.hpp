@@ -107,6 +107,30 @@ class Connection {
   void send_stats_reply(SiteId from, SiteId to, std::uint64_t seq,
                         std::span<const wire::StatsBoardSpan> boards);
 
+  /// Queue one cluster membership gossip frame.
+  void send_membership(SiteId from, SiteId to, std::uint64_t epoch,
+                       std::span<const wire::MemberEntry> members);
+
+  /// Queue one kForward frame re-encoding `m` as the inner frame (the
+  /// decoded-message forward path: a local ObjectServer ruled itself
+  /// non-owner).
+  void send_forward(SiteId from, SiteId to, std::uint8_t hops,
+                    SiteId inner_from, SiteId inner_to, const Message& m);
+
+  /// Queue one kForward frame wrapping an already-encoded protocol frame
+  /// verbatim (the zero-decode forward path for misrouted arrivals).
+  void send_forward_raw(SiteId from, SiteId to, std::uint8_t hops,
+                        std::span<const std::uint8_t> inner_frame);
+
+  /// Queue one cluster cacher-registration frame.
+  void send_cacher_subscribe(SiteId from, SiteId to,
+                             const wire::CacherSubscribe& cs);
+
+  /// Queue a complete, already-encoded frame verbatim (the relay path:
+  /// these bytes were peeked off another connection and keep their original
+  /// header).
+  void send_raw_frame(std::span<const std::uint8_t> frame);
+
   /// Deregister and close the fd; fires the close handler (once).
   void close(const char* reason);
 

@@ -37,6 +37,16 @@ sockaddr_in loopback_addr(const std::string& host, std::uint16_t port) {
   return addr;
 }
 
+/// The reply_to field of a client request, or null for replies/pushes. A
+/// request whose reply_to differs from the sending site is being forwarded
+/// on a client's behalf — the trigger for kForward wrapping.
+const SiteId* request_reply_to(const Message& m) {
+  if (const auto* f = std::get_if<FetchRequest>(&m)) return &f->reply_to;
+  if (const auto* w = std::get_if<WriteRequest>(&m)) return &w->reply_to;
+  if (const auto* v = std::get_if<ValidateRequest>(&m)) return &v->reply_to;
+  return nullptr;
+}
+
 }  // namespace
 
 const char* to_cstring(ConnectionState s) {
@@ -174,6 +184,52 @@ void TcpTransport::register_site(SiteId self, MessageHandler handler) {
   handlers_[self.value] = std::move(handler);
 }
 
+void TcpTransport::enable_cluster(SiteId self) {
+  cluster_enabled_ = true;
+  cluster_self_ = self;
+}
+
+void TcpTransport::prime_supervised(SiteId site) {
+  if (!supervision_.enabled || routes_.find(site.value) == routes_.end()) {
+    return;
+  }
+  const auto [it, created] = peers_.try_emplace(site.value);
+  (void)it;
+  if (created) start_dial(site);
+}
+
+bool TcpTransport::send_cacher_subscribe(SiteId from, SiteId to,
+                                         const wire::CacherSubscribe& cs) {
+  const auto local = handlers_.find(to.value);
+  if (local != handlers_.end()) {
+    // Both sites live on this transport (single-process cluster): deliver
+    // through the loop so the handler never runs inside its own send.
+    loop_.post([this, to, cs]() {
+      ++stats_.subscribes_received;
+      if (on_cacher_subscribe_) on_cacher_subscribe_(to, cs);
+    });
+    ++stats_.subscribes_sent;
+    return true;
+  }
+  Connection* conn = nullptr;
+  if (supervision_.enabled && routes_.find(to.value) != routes_.end()) {
+    const auto it = peers_.find(to.value);
+    if (it == peers_.end()) {
+      peers_.try_emplace(to.value);
+      start_dial(to);
+      return false;  // caller re-subscribes on the next miss (idempotent)
+    }
+    if (it->second.state != ConnectionState::kHealthy) return false;
+    conn = it->second.conn;
+  } else {
+    conn = connection_to(to);
+  }
+  if (conn == nullptr || conn->closed()) return false;
+  conn->send_cacher_subscribe(from, to, cs);
+  ++stats_.subscribes_sent;
+  return true;
+}
+
 Connection* TcpTransport::dial(const Route& route, SiteId site) {
   const int fd = make_tcp_socket();
   sockaddr_in addr = loopback_addr(route.host, route.port);
@@ -227,7 +283,7 @@ void TcpTransport::send_message(SiteId from, SiteId to, Message m,
                        (++stage_samples_tx_ % kStageSamplePeriod) == 0;
   if (sampled) {
     const std::int64_t t0 = EventLoop::steady_time_us();
-    conn->send_frame(from, to, m);
+    emit_or_wrap(conn, from, to, m);
     const std::int64_t us = EventLoop::steady_time_us() - t0;
     stats_board_->record_stage(Stage::kEnqueue, us);
     if (flight_ != nullptr) {
@@ -236,8 +292,29 @@ void TcpTransport::send_message(SiteId from, SiteId to, Message m,
                       static_cast<std::int64_t>(Stage::kEnqueue), us);
     }
   } else {
-    conn->send_frame(from, to, m);
+    emit_or_wrap(conn, from, to, m);
   }
+}
+
+void TcpTransport::emit_or_wrap(Connection* conn, SiteId from, SiteId to,
+                                const Message& m) {
+  if (cluster_enabled_) {
+    const SiteId* rt = request_reply_to(m);
+    if (rt != nullptr && rt->value != from.value) {
+      // A local server ruled itself non-owner and is forwarding a client's
+      // request to a peer server. Wrap it in kForward with the *client* as
+      // the inner sender: the owner's WAL dedup keys on (client, request_id)
+      // exactly as for a direct request, and its reply to the client routes
+      // back through this connection (the owner learns the path on unwrap).
+      if (dispatch_hops_ < kMaxForwardHops) {
+        conn->send_forward(cluster_self_, to, dispatch_hops_ + 1, *rt, to, m);
+        ++stats_.forwards_out;
+        return;
+      }
+      ++stats_.forward_hops_exceeded;  // send unwrapped: better late than lost
+    }
+  }
+  conn->send_frame(from, to, m);
 }
 
 void TcpTransport::set_stats_board(StatsBoard* board) {
@@ -363,7 +440,7 @@ void TcpTransport::supervised_send(SiteId from, SiteId to, Message m) {
   switch (peer.state) {
     case ConnectionState::kHealthy:
       ++stats_.frames_sent;
-      peer.conn->send_frame(from, to, m);
+      emit_or_wrap(peer.conn, from, to, m);
       return;
     case ConnectionState::kConnecting:
     case ConnectionState::kBackoff:
@@ -447,7 +524,7 @@ void TcpTransport::on_supervised_connected(SiteId site) {
     peer.queue.pop_front();
     ++stats_.frames_sent;
     ++stats_.frames_requeued;
-    peer.conn->send_frame(f.from, f.to, f.message);
+    emit_or_wrap(peer.conn, f.from, f.to, f.message);
   }
   schedule_heartbeat(site, peer.generation);
 }
@@ -474,6 +551,15 @@ void TcpTransport::schedule_heartbeat(SiteId site, std::uint64_t generation) {
     hb.reply = false;
     peer.conn->send_heartbeat(SiteId{0}, site, hb);
     ++stats_.heartbeats_sent;
+    if (cluster_enabled_ && membership_provider_) {
+      // Gossip rides the supervision ticker: one membership digest per
+      // heartbeat, to the same peer, on the same coalesced flush.
+      std::uint64_t epoch = 0;
+      membership_provider_(epoch, membership_scratch_);
+      peer.conn->send_membership(cluster_self_, site, epoch,
+                                 membership_scratch_);
+      ++stats_.membership_sent;
+    }
     schedule_heartbeat(site, generation);
   });
 }
@@ -557,26 +643,34 @@ void TcpTransport::on_frame(Connection& conn, const wire::FrameView& view) {
       }
     }
   }
-  // Decode the body into the per-transport scratch frame (reused storage:
-  // no allocation for empty-timestamp messages, i.e. all TSC traffic).
-  // 1-in-kStageSamplePeriod frames pay two extra clock reads per stage to
-  // feed the stats board's hot-path latency histograms.
-  const bool sampled = stats_board_ != nullptr &&
-                       (++stage_samples_rx_ % kStageSamplePeriod) == 0;
-  const std::int64_t decode_t0 = sampled ? EventLoop::steady_time_us() : 0;
+  if (view.type == wire::MsgType::kForward) {
+    // A peer server ruled itself non-owner and wrapped the client's frame
+    // verbatim. Validate and unwrap at the view level — the inner frame
+    // aliases this connection's read buffer, no copy, no allocation.
+    const wire::FrameView inner = wire::peek_forward_inner(view);
+    if (!inner.ok()) {
+      conn.fail_decode(inner.status);
+      return;
+    }
+    ++stats_.forwards_in;
+    // Learn the original client's return path *through the forwarder*: the
+    // reply addressed to inner.from leaves on this inter-server connection,
+    // and the forwarder relays it to the client it still holds.
+    peer_conn_[inner.from.value] = &conn;
+    dispatch_protocol(conn, inner, view.body[0]);
+    return;
+  }
+  if (view.is_protocol()) {
+    dispatch_protocol(conn, view, /*hops=*/0);
+    return;
+  }
+  // Transport-internal frame (heartbeat, time-sync, stats, membership,
+  // cacher-subscribe): decode into the reused scratch frame and answer or
+  // deliver here, without handler dispatch or return-path learning.
   if (wire::decode_frame_view(view, scratch_frame_) !=
       wire::DecodeStatus::kOk) {
     conn.fail_decode(scratch_frame_.status);
     return;
-  }
-  if (sampled) {
-    const std::int64_t us = EventLoop::steady_time_us() - decode_t0;
-    stats_board_->record_stage(Stage::kDecode, us);
-    if (flight_ != nullptr) {
-      flight_->record(TraceEventType::kReactorStage, loop_.now().as_micros(),
-                      kNoObject, 0,
-                      static_cast<std::int64_t>(Stage::kDecode), us);
-    }
   }
   wire::DecodedFrame& frame = scratch_frame_;
   if (frame.is_heartbeat) {
@@ -617,6 +711,53 @@ void TcpTransport::on_frame(Connection& conn, const wire::FrameView& view) {
     }
     return;
   }
+  if (frame.is_membership) {
+    ++stats_.membership_received;
+    if (on_membership_) {
+      on_membership_(frame.from, frame.membership_epoch, frame.members);
+    }
+    return;
+  }
+  if (frame.is_cacher_subscribe) {
+    ++stats_.subscribes_received;
+    if (on_cacher_subscribe_) {
+      on_cacher_subscribe_(frame.to, frame.cacher_subscribe);
+    }
+    return;
+  }
+}
+
+void TcpTransport::dispatch_protocol(Connection& conn,
+                                     const wire::FrameView& view,
+                                     std::uint8_t hops) {
+  // A frame for a site not hosted here is relayed or forwarded from the
+  // header alone, before any body decode: relayed replies and re-forwarded
+  // requests copy raw bytes straight from the read buffer.
+  if (cluster_enabled_ && handlers_.find(view.to.value) == handlers_.end()) {
+    if (relay_or_forward(conn, view, hops)) return;
+  }
+  // Decode the body into the per-transport scratch frame (reused storage:
+  // no allocation for empty-timestamp messages, i.e. all TSC traffic).
+  // 1-in-kStageSamplePeriod frames pay two extra clock reads per stage to
+  // feed the stats board's hot-path latency histograms.
+  const bool sampled = stats_board_ != nullptr &&
+                       (++stage_samples_rx_ % kStageSamplePeriod) == 0;
+  const std::int64_t decode_t0 = sampled ? EventLoop::steady_time_us() : 0;
+  if (wire::decode_frame_view(view, scratch_frame_) !=
+      wire::DecodeStatus::kOk) {
+    conn.fail_decode(scratch_frame_.status);
+    return;
+  }
+  if (sampled) {
+    const std::int64_t us = EventLoop::steady_time_us() - decode_t0;
+    stats_board_->record_stage(Stage::kDecode, us);
+    if (flight_ != nullptr) {
+      flight_->record(TraceEventType::kReactorStage, loop_.now().as_micros(),
+                      kNoObject, 0,
+                      static_cast<std::int64_t>(Stage::kDecode), us);
+    }
+  }
+  wire::DecodedFrame& frame = scratch_frame_;
   ++stats_.frames_received;
   // Learn the return path: replies to frame.from leave through this
   // connection (latest arrival wins, so a reconnecting peer takes over).
@@ -626,6 +767,9 @@ void TcpTransport::on_frame(Connection& conn, const wire::FrameView& view) {
     ++stats_.unroutable;
     return;
   }
+  // The handler may itself forward (ObjectServer is not the owner): expose
+  // the hop count so re-forwards deepen it instead of resetting to zero.
+  dispatch_hops_ = hops;
   if (sampled) {
     const std::int64_t apply_t0 = EventLoop::steady_time_us();
     h->second(frame.from, frame.message);
@@ -639,6 +783,50 @@ void TcpTransport::on_frame(Connection& conn, const wire::FrameView& view) {
   } else {
     h->second(frame.from, frame.message);
   }
+  dispatch_hops_ = 0;
+}
+
+bool TcpTransport::relay_or_forward(Connection& conn,
+                                    const wire::FrameView& view,
+                                    std::uint8_t hops) {
+  // Relay first: a reply travelling back to a client whose connection this
+  // process holds (learned when the client's request was forwarded out, or
+  // when a forwarded frame was unwrapped here). Raw byte copy, original
+  // header intact — the client cannot tell the reply took a hop.
+  const auto learned = peer_conn_.find(view.to.value);
+  if (learned != peer_conn_.end() && !learned->second->closed() &&
+      learned->second != &conn) {
+    learned->second->send_raw_frame(wire::frame_bytes(view));
+    ++stats_.relayed;
+    return true;
+  }
+  if (hops >= kMaxForwardHops) {
+    // Ring disagreement during an epoch change could otherwise bounce a
+    // frame between servers forever; drop it and let the client retry
+    // against a settled ring.
+    ++stats_.forward_hops_exceeded;
+    return false;
+  }
+  // Forward: wrap the frame verbatim toward the supervised peer hosting
+  // view.to (a misrouted client picked the wrong server for this object).
+  const auto peer_it = peers_.find(view.to.value);
+  if (peer_it != peers_.end() &&
+      peer_it->second.state == ConnectionState::kHealthy &&
+      peer_it->second.conn != nullptr && !peer_it->second.conn->closed()) {
+    peer_it->second.conn->send_forward_raw(cluster_self_, view.to,
+                                           static_cast<std::uint8_t>(hops + 1),
+                                           wire::frame_bytes(view));
+    ++stats_.forwards_out;
+    return true;
+  }
+  if (supervision_.enabled && peer_it == peers_.end() &&
+      routes_.find(view.to.value) != routes_.end()) {
+    // First traffic toward this peer: start the dial, drop the frame (the
+    // client's retry layer re-issues; queuing raw bytes would allocate).
+    peers_.try_emplace(view.to.value);
+    start_dial(SiteId{view.to.value});
+  }
+  return false;
 }
 
 void TcpTransport::answer_stats(Connection& conn, SiteId requester,
@@ -848,6 +1036,23 @@ void TcpTransport::observe_tick() {
   b.set(StatKey::kHeartbeatsReceived,
         static_cast<std::int64_t>(stats_.heartbeats_received));
   b.set(StatKey::kConnections, static_cast<std::int64_t>(conns_.size()));
+  b.set(StatKey::kFramesDropped,
+        static_cast<std::int64_t>(stats_.frames_dropped_queue_full +
+                                  stats_.frames_dropped_peer_dead));
+  if (cluster_enabled_) {
+    b.set(StatKey::kClusterForwardsOut,
+          static_cast<std::int64_t>(stats_.forwards_out));
+    b.set(StatKey::kClusterForwardsIn,
+          static_cast<std::int64_t>(stats_.forwards_in));
+    b.set(StatKey::kClusterRelayed,
+          static_cast<std::int64_t>(stats_.relayed));
+    b.set(StatKey::kClusterHopsExceeded,
+          static_cast<std::int64_t>(stats_.forward_hops_exceeded));
+    b.set(StatKey::kClusterMembershipSent,
+          static_cast<std::int64_t>(stats_.membership_sent));
+    b.set(StatKey::kClusterMembershipReceived,
+          static_cast<std::int64_t>(stats_.membership_received));
+  }
   if (flight_ != nullptr) {
     b.set(StatKey::kFlightRecorded,
           static_cast<std::int64_t>(flight_->recorded()));

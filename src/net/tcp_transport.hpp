@@ -127,6 +127,15 @@ struct TcpTransportStats {
   // Live introspection (transport-level, like heartbeats):
   std::uint64_t stats_requests_served = 0;
   std::uint64_t stats_replies_received = 0;
+  // Cluster (all zero until enable_cluster()):
+  std::uint64_t forwards_out = 0;   // requests wrapped in kForward and sent
+  std::uint64_t forwards_in = 0;    // kForward frames unwrapped here
+  std::uint64_t relayed = 0;        // frames relayed verbatim on a learned path
+  std::uint64_t forward_hops_exceeded = 0;
+  std::uint64_t membership_sent = 0;
+  std::uint64_t membership_received = 0;
+  std::uint64_t subscribes_sent = 0;
+  std::uint64_t subscribes_received = 0;
   std::uint64_t liveness_expiries = 0;   // connections closed as silent
   std::uint64_t peers_marked_dead = 0;
   std::uint64_t frames_queued = 0;       // buffered while not kHealthy
@@ -251,6 +260,76 @@ class TcpTransport final : public Transport {
   /// feed the board's stage histograms; the rest pay one counter bump.
   static constexpr std::uint64_t kStageSamplePeriod = 64;
 
+  // --- cluster (wire v5) ---------------------------------------------------
+  // A cluster-enabled transport turns N server processes into one object
+  // space at the frame level, without the protocol layer noticing:
+  //
+  //   forward  A protocol request addressed to a site this process does not
+  //            host, arriving over TCP or sent by a local ObjectServer that
+  //            ruled itself non-owner, is wrapped verbatim in a kForward
+  //            frame and sent over the supervised route to the owner. The
+  //            inner frame keeps the original (client, request_id) header,
+  //            so WAL dedup and reply routing work unchanged across hops.
+  //   unwrap   On kForward receipt the inner frame dispatches as if it had
+  //            arrived directly, and the transport learns inner-from ->
+  //            this connection, so the reply to the client leaves through
+  //            the forwarding server.
+  //   relay    A frame addressed to a site with no local handler but a
+  //            learned return path is copied verbatim onto that path (the
+  //            reply's trip back through the forwarder).
+  //
+  // All three ride the regular FrameView/SendQueue batched path: wrapping
+  // and relaying copy bytes into the per-connection send queue and add no
+  // per-op allocation.
+
+  /// A kForward whose hop counter reaches this is never re-wrapped: the
+  /// frame falls through to the legacy send path (and a counter bumps), so
+  /// transient ownership disagreement cannot loop frames forever.
+  static constexpr std::uint8_t kMaxForwardHops = 3;
+
+  /// Turn on forward wrapping, unwrapping and relaying. `self` names this
+  /// process in outer cluster frame headers (gossip and forwards).
+  void enable_cluster(SiteId self);
+  bool cluster_enabled() const { return cluster_enabled_; }
+
+  /// Eagerly start the supervised connection to `site` (no-op when already
+  /// started, unsupervised, or unrouted). Cluster members call this at
+  /// startup so heartbeats — and the membership gossip riding them — flow
+  /// before any request traffic. Loop-thread only.
+  void prime_supervised(SiteId site);
+
+  /// Gossip digest source, polled at heartbeat cadence: fills epoch and
+  /// entries (the vector is scratch, reused per call).
+  using MembershipProvider =
+      std::function<void(std::uint64_t&, std::vector<wire::MemberEntry>&)>;
+  void set_membership_provider(MembershipProvider p) {
+    membership_provider_ = std::move(p);
+  }
+
+  /// Observe received kMembership digests: (gossiping peer, epoch,
+  /// entries). Entries alias decode scratch and die when the handler
+  /// returns.
+  using MembershipHandler = std::function<void(
+      SiteId, std::uint64_t, std::span<const wire::MemberEntry>)>;
+  void set_membership_handler(MembershipHandler h) {
+    on_membership_ = std::move(h);
+  }
+
+  /// Observe kCacherSubscribe frames: (frame destination site, request).
+  /// The destination names the local shard owning the object.
+  using CacherSubscribeHandler =
+      std::function<void(SiteId, const wire::CacherSubscribe&)>;
+  void set_cacher_subscribe_handler(CacherSubscribeHandler h) {
+    on_cacher_subscribe_ = std::move(h);
+  }
+
+  /// Send one cacher registration to the owner site. Same delivery
+  /// contract as send_time_sync: nothing is queued, false when no usable
+  /// connection — subscriptions are re-sent on later forwards, so a drop
+  /// only delays push propagation.
+  bool send_cacher_subscribe(SiteId from, SiteId to,
+                             const wire::CacherSubscribe& cs);
+
   /// Stop accepting new connections (existing ones keep running). Part of
   /// graceful drain; loop-thread only.
   void stop_listening();
@@ -308,6 +387,22 @@ class TcpTransport final : public Transport {
   Connection* adopt(std::shared_ptr<Connection> conn,
                     bool steer_candidate = false);
   void on_frame(Connection& conn, const wire::FrameView& view);
+  /// Dispatch one kOk protocol view to its handler, or — cluster mode —
+  /// relay/forward it. `hops` is the wrapping depth the frame arrived with
+  /// (0 for direct arrivals); it propagates into re-forwards.
+  void dispatch_protocol(Connection& conn, const wire::FrameView& view,
+                         std::uint8_t hops);
+  /// Cluster fallback for a protocol view with no local handler: relay on a
+  /// learned path, or wrap in kForward toward the supervised peer hosting
+  /// view.to. Returns false when neither applies (caller counts
+  /// unroutable).
+  bool relay_or_forward(Connection& conn, const wire::FrameView& view,
+                        std::uint8_t hops);
+  /// Send `m` on `conn` — wrapped in kForward when cluster mode is on and
+  /// the message is a request being sent on another site's behalf
+  /// (reply_to != from), i.e. a local server forwarding a client request.
+  void emit_or_wrap(Connection* conn, SiteId from, SiteId to,
+                    const Message& m);
   void steer(Connection& conn, TcpTransport& owner);
   void on_close(Connection& conn, const char* reason);
   /// Drop a connection's pending deferred work (dirty-flush entries): its
@@ -360,6 +455,20 @@ class TcpTransport final : public Transport {
   std::unordered_map<const Connection*, std::uint32_t> conn_site_;
   PeerStateHandler on_peer_state_;
   TimeSyncHandler on_time_sync_;
+
+  // Cluster state (loop-thread only):
+  bool cluster_enabled_ = false;
+  SiteId cluster_self_{0};
+  MembershipProvider membership_provider_;
+  MembershipHandler on_membership_;
+  CacherSubscribeHandler on_cacher_subscribe_;
+  /// Hop depth of the kForward currently being dispatched (0 outside a
+  /// dispatch): a handler that re-sends the request mid-dispatch inherits
+  /// it, so re-forwards count against kMaxForwardHops.
+  std::uint8_t dispatch_hops_ = 0;
+  /// Gossip digest scratch, refilled per heartbeat (no steady-state
+  /// allocation once capacity settles).
+  std::vector<wire::MemberEntry> membership_scratch_;
   SimTime time_source_offset_ = SimTime::zero();
   Rng backoff_rng_;
   bool shutting_down_ = false;

@@ -295,6 +295,9 @@ Message decode_body(MsgType type, Reader& r) {
     case MsgType::kTimeReply:
     case MsgType::kStatsRequest:
     case MsgType::kStatsReply:
+    case MsgType::kMembership:
+    case MsgType::kForward:
+    case MsgType::kCacherSubscribe:
       break;  // handled in decode_frame, never reaches decode_body
   }
   TIMEDC_ASSERT(false && "unreachable: type validated before decode_body");
@@ -400,6 +403,81 @@ void encode_stats_reply_frame(SiteId from, SiteId to, std::uint64_t seq,
   }
 }
 
+void encode_membership_frame(SiteId from, SiteId to, std::uint64_t epoch,
+                             std::span<const MemberEntry> members,
+                             std::vector<std::uint8_t>& out) {
+  TIMEDC_ASSERT(members.size() <= kMaxMembers);
+  const std::size_t body = 8 + 4 + members.size() * (4 + 8 + 1);
+  grow_for_append(out, kHeaderBytes + body);
+  Writer w(out);
+  w.u16(kMagic);
+  w.u8(kVersion);
+  w.u8(static_cast<std::uint8_t>(MsgType::kMembership));
+  w.u32(from.value);
+  w.u32(to.value);
+  w.u32(static_cast<std::uint32_t>(body));
+  w.u64(epoch);
+  w.u32(static_cast<std::uint32_t>(members.size()));
+  for (const MemberEntry& m : members) {
+    w.u32(m.site);
+    w.u64(m.incarnation);
+    w.u8(m.status);
+  }
+}
+
+void encode_forward_frame_raw(SiteId from, SiteId to, std::uint8_t hops,
+                              std::span<const std::uint8_t> inner_frame,
+                              std::vector<std::uint8_t>& out) {
+  const std::size_t body = 1 + inner_frame.size();
+  TIMEDC_ASSERT(body <= kMaxBodyBytes);
+  grow_for_append(out, kHeaderBytes + body);
+  Writer w(out);
+  w.u16(kMagic);
+  w.u8(kVersion);
+  w.u8(static_cast<std::uint8_t>(MsgType::kForward));
+  w.u32(from.value);
+  w.u32(to.value);
+  w.u32(static_cast<std::uint32_t>(body));
+  w.u8(hops);
+  out.insert(out.end(), inner_frame.begin(), inner_frame.end());
+}
+
+void encode_forward_frame(SiteId from, SiteId to, std::uint8_t hops,
+                          SiteId inner_from, SiteId inner_to,
+                          const Message& inner,
+                          std::vector<std::uint8_t>& out) {
+  const std::size_t inner_size = encoded_frame_size(inner);
+  const std::size_t body = 1 + inner_size;
+  TIMEDC_ASSERT(body <= kMaxBodyBytes);
+  grow_for_append(out, kHeaderBytes + body);
+  Writer w(out);
+  w.u16(kMagic);
+  w.u8(kVersion);
+  w.u8(static_cast<std::uint8_t>(MsgType::kForward));
+  w.u32(from.value);
+  w.u32(to.value);
+  w.u32(static_cast<std::uint32_t>(body));
+  w.u8(hops);
+  encode_frame(inner_from, inner_to, inner, out);
+}
+
+void encode_cacher_subscribe_frame(SiteId from, SiteId to,
+                                   const CacherSubscribe& cs,
+                                   std::vector<std::uint8_t>& out) {
+  constexpr std::size_t kBody = 4 + 4 + 1;
+  grow_for_append(out, kHeaderBytes + kBody);
+  Writer w(out);
+  w.u16(kMagic);
+  w.u8(kVersion);
+  w.u8(static_cast<std::uint8_t>(MsgType::kCacherSubscribe));
+  w.u32(from.value);
+  w.u32(to.value);
+  w.u32(kBody);
+  w.u32(cs.object.value);
+  w.u32(cs.cacher.value);
+  w.u8(cs.mode);
+}
+
 void encode_frame(SiteId from, SiteId to, const Message& m,
                   std::vector<std::uint8_t>& out) {
   const TypeAndSize ts = type_and_size(m);
@@ -440,7 +518,8 @@ FrameView peek_frame(std::span<const std::uint8_t> buf) {
   // introduced it on (kHeartbeat: 2, kTimeRequest/kTimeReply: 3); an older
   // frame declaring a newer type is malformed, not merely new.
   const std::uint8_t max_type =
-      version >= 4   ? static_cast<std::uint8_t>(MsgType::kStatsReply)
+      version >= 5   ? static_cast<std::uint8_t>(MsgType::kCacherSubscribe)
+      : version == 4 ? static_cast<std::uint8_t>(MsgType::kStatsReply)
       : version == 3 ? static_cast<std::uint8_t>(MsgType::kTimeReply)
       : version == 2 ? static_cast<std::uint8_t>(MsgType::kHeartbeat)
                      : static_cast<std::uint8_t>(MsgType::kPushUpdate);
@@ -465,6 +544,27 @@ FrameView peek_frame(std::span<const std::uint8_t> buf) {
   return view;
 }
 
+FrameView peek_forward_inner(const FrameView& outer) {
+  FrameView inner;
+  inner.status = DecodeStatus::kBadField;
+  if (!outer.ok() || outer.type != MsgType::kForward || outer.body.empty()) {
+    return inner;
+  }
+  const std::span<const std::uint8_t> wrapped = outer.body.subspan(1);
+  FrameView peeked = peek_frame(wrapped);
+  // A forged inner length can only land here as kNeedMore (the wrapped
+  // bytes end before the declared body does) — still kBadField for the
+  // outer frame: the stream itself is complete, the frame is malformed.
+  if (!peeked.ok() || peeked.consumed != wrapped.size() ||
+      !peeked.is_protocol()) {
+    if (peeked.status == DecodeStatus::kOversizedBody) {
+      inner.status = DecodeStatus::kOversizedBody;
+    }
+    return inner;
+  }
+  return peeked;
+}
+
 DecodeStatus decode_frame_view(const FrameView& view, DecodedFrame& out) {
   out.status = view.status;
   out.consumed = 0;
@@ -474,6 +574,9 @@ DecodeStatus decode_frame_view(const FrameView& view, DecodedFrame& out) {
   out.is_time_sync = false;
   out.is_stats_request = false;
   out.is_stats_reply = false;
+  out.is_membership = false;
+  out.is_forward = false;
+  out.is_cacher_subscribe = false;
   if (!view.ok()) return out.status;
 
   Reader r(view.body);
@@ -538,6 +641,49 @@ DecodeStatus decode_frame_view(const FrameView& view, DecodedFrame& out) {
     out.is_stats_reply = true;
     out.stats_seq = seq;
     out.stats_boards = n_boards;
+    return out.status = DecodeStatus::kOk;
+  }
+  if (view.type == MsgType::kMembership) {
+    out.members.clear();
+    const std::uint64_t epoch = r.u64();
+    const std::uint32_t n = r.u32();
+    if (n > kMaxMembers) return out.status = DecodeStatus::kBadField;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      MemberEntry e;
+      e.site = r.u32();
+      e.incarnation = r.u64();
+      e.status = r.u8();
+      if (e.status > 2) return out.status = DecodeStatus::kBadField;
+      if (r.status() != DecodeStatus::kOk) break;
+      out.members.push_back(e);
+    }
+    if (r.status() != DecodeStatus::kOk) return out.status = r.status();
+    if (!r.exhausted()) return out.status = DecodeStatus::kTrailingBytes;
+    out.consumed = view.consumed;
+    out.is_membership = true;
+    out.membership_epoch = epoch;
+    return out.status = DecodeStatus::kOk;
+  }
+  if (view.type == MsgType::kForward) {
+    const FrameView inner = peek_forward_inner(view);
+    if (!inner.ok()) return out.status = inner.status;
+    out.forward_inner.assign(view.body.begin() + 1, view.body.end());
+    out.consumed = view.consumed;
+    out.is_forward = true;
+    out.forward_hops = view.body[0];
+    return out.status = DecodeStatus::kOk;
+  }
+  if (view.type == MsgType::kCacherSubscribe) {
+    CacherSubscribe cs;
+    cs.object = ObjectId{r.u32()};
+    cs.cacher = SiteId{r.u32()};
+    cs.mode = r.u8();
+    if (cs.mode > 1) return out.status = DecodeStatus::kBadField;
+    if (r.status() != DecodeStatus::kOk) return out.status = r.status();
+    if (!r.exhausted()) return out.status = DecodeStatus::kTrailingBytes;
+    out.consumed = view.consumed;
+    out.is_cacher_subscribe = true;
+    out.cacher_subscribe = cs;
     return out.status = DecodeStatus::kOk;
   }
   Message m = decode_body(view.type, r);

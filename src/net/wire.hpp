@@ -37,10 +37,11 @@ inline constexpr std::uint16_t kMagic = 0x5443;  // "TC"
 /// Current codec version. Version 2 added the transport-level Heartbeat
 /// frame; version 3 added the TimeRequest/TimeReply clock-synchronization
 /// frames; version 4 added the StatsRequest/StatsReply introspection
-/// frames. Every older frame is still accepted unchanged (the version byte
-/// gates which MsgTypes are legal, not the field layouts, which are
-/// identical across all versions).
-inline constexpr std::uint8_t kVersion = 4;
+/// frames; version 5 added the cluster frames (Membership gossip, Forward
+/// wrapping, CacherSubscribe). Every older frame is still accepted
+/// unchanged (the version byte gates which MsgTypes are legal, not the
+/// field layouts, which are identical across all versions).
+inline constexpr std::uint8_t kVersion = 5;
 /// Oldest codec version this decoder still accepts.
 inline constexpr std::uint8_t kMinVersion = 1;
 inline constexpr std::size_t kHeaderBytes = 16;
@@ -76,6 +77,19 @@ enum class MsgType : std::uint8_t {
   /// protocol layer — like heartbeats, these frames never reach handlers.
   kStatsRequest = 12,
   kStatsReply = 13,
+  /// Cluster frames (codec version >= 5). kMembership carries one node's
+  /// gossip digest (epoch + member incarnations), piggybacked on the
+  /// supervision heartbeat cadence. kForward wraps one complete protocol
+  /// frame — header and body verbatim — plus a hop counter, so a server
+  /// can hand a request for a non-owned object to the owner while
+  /// preserving the original (client, request_id) routing header the
+  /// owner's WAL dedup and reply path need. kCacherSubscribe registers the
+  /// sending server as a cacher of one object at its owner (Section 5.2
+  /// push propagation). All three are transport-level: they never surface
+  /// as a protocol Message.
+  kMembership = 14,
+  kForward = 15,
+  kCacherSubscribe = 16,
 };
 
 enum class DecodeStatus : std::uint8_t {
@@ -149,6 +163,35 @@ struct StatsRequest {
   std::uint32_t target_site = kAllSites;
 };
 
+/// Forged-count ceiling for kMembership decoding; matches the cluster
+/// size bound a single gossip digest may describe.
+inline constexpr std::uint32_t kMaxMembers = 64;
+
+/// One member row of a kMembership gossip digest. `incarnation` is the
+/// member's monotonically increasing liveness counter (a restarted process
+/// announces a higher incarnation, which dominates any stale suspicion);
+/// `status` is 0 = alive, 1 = suspect, 2 = dead.
+struct MemberEntry {
+  std::uint32_t site = 0;
+  std::uint64_t incarnation = 0;
+  std::uint8_t status = 0;
+
+  friend bool operator==(const MemberEntry&, const MemberEntry&) = default;
+};
+
+/// Cacher registration carried in a kCacherSubscribe frame: the sending
+/// server asks the owner of `object` to push writes to `cacher` from now
+/// on. `mode` is 0 = invalidate (mark-old; the cacher revalidates with an
+/// if-modified-since ValidateRequest) or 1 = update (ship the new copy).
+struct CacherSubscribe {
+  ObjectId object;
+  SiteId cacher;
+  std::uint8_t mode = 0;
+
+  friend bool operator==(const CacherSubscribe&,
+                         const CacherSubscribe&) = default;
+};
+
 /// One decoded row of a kStatsReply body: board site, StatKey, value. The
 /// body groups rows per board on the wire; decoding flattens them (site
 /// repeats) into a scratch-reused vector.
@@ -190,6 +233,33 @@ void encode_stats_reply_frame(SiteId from, SiteId to, std::uint64_t seq,
                               std::span<const StatsBoardSpan> boards,
                               std::vector<std::uint8_t>& out);
 
+/// Append one encoded kMembership frame onto `out`. Member count must
+/// respect kMaxMembers.
+void encode_membership_frame(SiteId from, SiteId to, std::uint64_t epoch,
+                             std::span<const MemberEntry> members,
+                             std::vector<std::uint8_t>& out);
+
+/// Append one encoded kForward frame wrapping `inner` (re-encoded with the
+/// given inner routing header) onto `out`. The inner from-site should be
+/// the original client so the owner's transport learns the return path.
+void encode_forward_frame(SiteId from, SiteId to, std::uint8_t hops,
+                          SiteId inner_from, SiteId inner_to,
+                          const Message& inner,
+                          std::vector<std::uint8_t>& out);
+
+/// Append one encoded kForward frame wrapping `inner_frame` — one already
+/// encoded, complete protocol frame, copied verbatim — onto `out`. This is
+/// the zero-decode path: a transport that holds a FrameView of a misrouted
+/// request wraps its bytes without materializing the message.
+void encode_forward_frame_raw(SiteId from, SiteId to, std::uint8_t hops,
+                              std::span<const std::uint8_t> inner_frame,
+                              std::vector<std::uint8_t>& out);
+
+/// Append one encoded kCacherSubscribe frame onto `out`.
+void encode_cacher_subscribe_frame(SiteId from, SiteId to,
+                                   const CacherSubscribe& cs,
+                                   std::vector<std::uint8_t>& out);
+
 /// The exact number of bytes encode_frame appends for `m`.
 std::size_t encoded_frame_size(const Message& m);
 
@@ -215,6 +285,20 @@ struct DecodedFrame {
   std::uint64_t stats_seq = 0;
   std::uint32_t stats_boards = 0;
   std::vector<StatsRow> stats_rows;
+  /// Set for kMembership frames; members reuses its storage across decodes.
+  bool is_membership = false;
+  std::uint64_t membership_epoch = 0;
+  std::vector<MemberEntry> members;
+  /// Set for kForward frames: forward_inner holds the wrapped frame's bytes
+  /// (header + body, themselves a valid protocol frame), scratch-reused.
+  /// The hot path never takes this copy — it peeks the inner frame straight
+  /// out of the view body — but owning decodes (tests, offline tools) do.
+  bool is_forward = false;
+  std::uint8_t forward_hops = 0;
+  std::vector<std::uint8_t> forward_inner;
+  /// Set for kCacherSubscribe frames.
+  bool is_cacher_subscribe = false;
+  CacherSubscribe cacher_subscribe;
 
   bool ok() const { return status == DecodeStatus::kOk; }
 };
@@ -255,6 +339,20 @@ struct FrameView {
 /// outcome (kNeedMore/kBadMagic/kBadVersion/kBadType/kOversizedBody);
 /// body-stage errors are only found by decode_frame_view.
 FrameView peek_frame(std::span<const std::uint8_t> buf);
+
+/// The complete on-wire bytes (header + body) of a kOk view. Valid exactly
+/// as long as the buffer the view was peeked from stays put: the body span
+/// aliases that buffer and the header is the kHeaderBytes preceding it.
+inline std::span<const std::uint8_t> frame_bytes(const FrameView& view) {
+  return {view.body.data() - kHeaderBytes, view.consumed};
+}
+
+/// Peek the protocol frame wrapped inside a kOk kForward view, straight out
+/// of the outer body (no copy). Returns a kBadField view when the outer
+/// body is empty, the inner bytes are not one complete frame filling the
+/// remainder, or the inner type is not a protocol message (forwarding never
+/// nests and never wraps transport frames).
+FrameView peek_forward_inner(const FrameView& outer);
 
 /// Decode the typed body of a kOk view into `out`, reusing out's storage
 /// (a per-connection scratch DecodedFrame keeps the hot path free of

@@ -29,6 +29,17 @@ constexpr const char* kStatKeyNames[kNumStatKeys] = {
     "effective_delta_us",
     "flight_recorded",
     "flight_overwritten",
+    "frames_dropped",
+    "cluster.forwards_out",
+    "cluster.forwards_in",
+    "cluster.relayed",
+    "cluster.hops_exceeded",
+    "cluster.membership_sent",
+    "cluster.membership_received",
+    "cluster.members",
+    "cluster.epoch",
+    "cluster.pushes",
+    "cluster.replica_hits",
     "last_tick_age_us",
     "stage.decode.p50_us",
     "stage.decode.p95_us",

@@ -53,6 +53,20 @@ enum class StatKey : std::uint16_t {
   kEffectiveDeltaUs,   // adaptive Delta in force; -1 not adapting
   kFlightRecorded,
   kFlightOverwritten,
+  kFramesDropped,      // supervision saturation: queue-full + dead-peer drops
+  // Cluster mode (zero on single-group servers).
+  kClusterForwardsOut,        // kForward frames sent (wrap + re-forward)
+  kClusterForwardsIn,         // kForward frames unwrapped here
+  kClusterRelayed,            // raw replies relayed on a learned path
+  kClusterHopsExceeded,       // frames past kMaxForwardHops (sent unwrapped
+                              // or dropped)
+  kClusterMembershipSent,
+  kClusterMembershipReceived,
+  kClusterMembers,            // alive members in the local table
+  kClusterEpoch,              // local membership epoch
+  kClusterPushes,             // owner-side pushes/invalidations to server
+                              // cachers
+  kClusterReplicaHits,        // fetches served from a pushed replica
   // Derived at collect() time (not stored).
   kLastTickAgeUs,      // reader_now - kLastTickEndUs; the stall watchdog
   kStageDecodeP50Us, kStageDecodeP95Us, kStageDecodeP99Us, kStageDecodeMaxUs,
@@ -67,7 +81,7 @@ enum class StatKey : std::uint16_t {
 inline constexpr std::size_t kNumStatKeys =
     static_cast<std::size_t>(StatKey::kNumStatKeys);
 inline constexpr std::size_t kNumPlainStats =
-    static_cast<std::size_t>(StatKey::kFlightOverwritten) + 1;
+    static_cast<std::size_t>(StatKey::kClusterReplicaHits) + 1;
 
 /// Stable dotted name ("stage.decode.p99_us", "ticks", ...) used by
 /// timedc-top and the Prometheus exporter. nullptr for out-of-range keys.

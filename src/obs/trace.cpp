@@ -53,6 +53,9 @@ constexpr TypeInfo kTypeInfo[kNumTraceEventTypes] = {
     {"reactor.slowtick", TraceCategory::kReactor},
     {"read.staleness", TraceCategory::kReactor},
     {"stats.scrape", TraceCategory::kReactor},
+    {"cluster.forward", TraceCategory::kCluster},
+    {"cluster.push", TraceCategory::kCluster},
+    {"cluster.member", TraceCategory::kCluster},
 };
 
 }  // namespace
@@ -83,6 +86,7 @@ const char* to_cstring(TraceCategory category) {
     case TraceCategory::kChecker: return "checker";
     case TraceCategory::kClock: return "clock";
     case TraceCategory::kReactor: return "reactor";
+    case TraceCategory::kCluster: return "cluster";
   }
   return "?";
 }

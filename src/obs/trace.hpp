@@ -85,10 +85,16 @@ enum class TraceEventType : std::uint8_t {
   kReactorSlowTick,  // a: tick duration us, b: slow threshold us
   kReadStaleness,    // obj: object read, b: Definition-1 staleness us
   kStatsScrape,      // a: requesting site, b: reply bytes
+  // Cluster: forwarding, push propagation and membership (site = the
+  // acting server).
+  kClusterForward,  // obj: forwarded object, a: owner site, b: hop depth
+  kClusterPush,     // obj: pushed object, a: cacher site,
+                    // b: 0 invalidate / 1 update
+  kClusterMember,   // a: member site, b: status (0 alive/1 suspect/2 dead)
 };
 
 inline constexpr std::size_t kNumTraceEventTypes =
-    static_cast<std::size_t>(TraceEventType::kStatsScrape) + 1;
+    static_cast<std::size_t>(TraceEventType::kClusterMember) + 1;
 
 /// Stable dotted name ("net.send", "check.verdict", ...) used by every
 /// exporter; parse_trace_jsonl round-trips through it.
@@ -106,6 +112,7 @@ enum class TraceCategory : std::uint32_t {
   kChecker = 1u << 6,
   kClock = 1u << 7,
   kReactor = 1u << 8,
+  kCluster = 1u << 9,
 };
 TraceCategory category_of(TraceEventType type);
 const char* to_cstring(TraceCategory category);

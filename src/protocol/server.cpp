@@ -39,6 +39,7 @@ ObjectServer::ObjectServer(Transport& net, SiteId self, std::size_t num_sites,
 }
 
 SiteId ObjectServer::primary_of(ObjectId object) const {
+  if (owner_fn_) return owner_fn_(object);
   if (cluster_.empty()) return self_;
   return cluster_[object.value % cluster_.size()];
 }
@@ -47,6 +48,11 @@ bool ObjectServer::forward_if_not_owner(ObjectId object, const Message& m) {
   const SiteId owner = primary_of(object);
   if (owner == self_) return false;
   ++stats_.forwarded;
+  trace(TraceEventType::kClusterForward, object, 0, owner.value, 0);
+  if (flight_ != nullptr) {
+    flight_->record(TraceEventType::kClusterForward, net_.now().as_micros(),
+                    object, 0, owner.value, 0);
+  }
   net_.send_message(self_, owner, m, sizes_.of(m));
   return true;
 }
@@ -163,18 +169,138 @@ void ObjectServer::on_message(SiteId from, const Message& msg) {
   if (!up_) return;  // a crashed server is silent; clients retry elsewhere
   if (const auto* fetch = std::get_if<FetchRequest>(&msg)) {
     if (reject_unsequenced(fetch->request_id)) return;
-    if (!forward_if_not_owner(fetch->object, msg)) handle_fetch(*fetch);
+    if (primary_of(fetch->object) != self_) {
+      // Peer-owned object: a fresh replica answers locally (no hop); a
+      // miss forwards to the owner and primes the replica for next time.
+      if (config_.cluster_replicas && serve_from_replica(*fetch)) return;
+      forward_if_not_owner(fetch->object, msg);
+      if (config_.cluster_replicas) refresh_replica(fetch->object);
+      return;
+    }
+    handle_fetch(*fetch);
   } else if (const auto* write = std::get_if<WriteRequest>(&msg)) {
     if (reject_unsequenced(write->request_id)) return;
     if (!forward_if_not_owner(write->object, msg)) handle_write(*write);
   } else if (const auto* validate = std::get_if<ValidateRequest>(&msg)) {
     if (reject_unsequenced(validate->request_id)) return;
     if (!forward_if_not_owner(validate->object, msg)) handle_validate(*validate);
+  } else if (const auto* inv = std::get_if<Invalidate>(&msg);
+             inv != nullptr && config_.cluster_replicas) {
+    handle_cluster_invalidate(*inv);
+  } else if (const auto* push = std::get_if<PushUpdate>(&msg);
+             push != nullptr && config_.cluster_replicas) {
+    handle_cluster_push_update(*push);
+  } else if (const auto* vrep = std::get_if<ValidateReply>(&msg);
+             vrep != nullptr && config_.cluster_replicas) {
+    handle_cluster_validate_reply(*vrep);
   } else {
     // A raw sim harness sending a reply-type message at a server is a test
     // bug; a framed peer doing so is just a misbehaving client.
     TIMEDC_ASSERT(net_.requires_sequenced_requests() &&
                   "unexpected message at server");
+  }
+}
+
+bool ObjectServer::serve_from_replica(const FetchRequest& req) {
+  const auto it = replicas_.find(req.object);
+  if (it == replicas_.end()) return false;
+  const Replica& r = it->second;
+  if (r.old || r.copy.version == 0) return false;
+  if (config_.replica_ttl > SimTime::zero() &&
+      net_.now() > r.installed_at + config_.replica_ttl) {
+    return false;
+  }
+  ++stats_.replica_hits;
+  ObjectCopy copy = r.copy;
+  // The subscription is the warrant: the owner pushes every accepted write
+  // here (or marks the copy old), so an un-invalidated replica is the
+  // owner's current value modulo one in-flight push — this server can
+  // vouch for it "now" exactly as the owner would.
+  copy.omega = net_.now();
+  copy.beta = net_.now();
+  if (stats_board_ != nullptr) {
+    ++reads_served_;
+    stats_board_->set(StatKey::kReadsServed,
+                      static_cast<std::int64_t>(reads_served_));
+    stats_board_->set(StatKey::kClusterReplicaHits,
+                      static_cast<std::int64_t>(stats_.replica_hits));
+    const std::int64_t staleness_us = (net_.now() - copy.alpha).as_micros();
+    stats_board_->record_staleness(staleness_us);
+  }
+  send(req.reply_to, Message{FetchReply{copy, req.request_id}});
+  return true;
+}
+
+void ObjectServer::refresh_replica(ObjectId object) {
+  Replica& r = replicas_.try_emplace(object).first->second;
+  const SiteId owner = primary_of(object);
+  if (!r.subscribed && subscribe_sender_) {
+    subscribe_sender_(owner, object, config_.cluster_push_mode);
+    r.subscribed = true;
+    ++stats_.subscribes_sent;
+  }
+  if (r.validate_inflight) return;
+  r.validate_inflight = true;
+  // If-modified-since: ask the owner whether our (possibly old) version is
+  // still current; the reply installs or refreshes the replica either way.
+  ++stats_.replica_validations;
+  ValidateRequest v;
+  v.object = object;
+  v.version = r.copy.version;
+  v.reply_to = self_;
+  v.request_id = ++self_request_id_;
+  net_.send_message(self_, owner, Message{v}, sizes_.of(Message{v}));
+}
+
+void ObjectServer::handle_cluster_invalidate(const Invalidate& inv) {
+  Replica& r = replicas_.try_emplace(inv.object).first->second;
+  // Mark-old, don't drop: the kept copy's version feeds the
+  // if-modified-since validation the next fetch triggers.
+  r.old = true;
+}
+
+void ObjectServer::handle_cluster_push_update(const PushUpdate& push) {
+  Replica& r = replicas_.try_emplace(push.copy.object).first->second;
+  r.copy = push.copy;
+  r.old = false;
+  r.installed_at = net_.now();
+}
+
+void ObjectServer::handle_cluster_validate_reply(const ValidateReply& rep) {
+  Replica& r = replicas_.try_emplace(rep.object).first->second;
+  r.validate_inflight = false;
+  r.copy = rep.copy;
+  r.old = false;
+  r.installed_at = net_.now();
+}
+
+void ObjectServer::register_server_cacher(ObjectId object, SiteId cacher,
+                                          std::uint8_t mode) {
+  if (cacher == self_) return;
+  server_cachers_[object][cacher.value] = mode;
+}
+
+void ObjectServer::push_server_cachers(const WriteRequest& req,
+                                       const Stored& s) {
+  const auto sc = server_cachers_.find(req.object);
+  if (sc == server_cachers_.end()) return;
+  for (const auto& [site, mode] : sc->second) {
+    ++stats_.server_pushes;
+    trace(TraceEventType::kClusterPush, req.object, req.request_id, site,
+          mode);
+    if (flight_ != nullptr) {
+      flight_->record(TraceEventType::kClusterPush, net_.now().as_micros(),
+                      req.object, req.request_id, site, mode);
+    }
+    if (mode == 0) {
+      send(SiteId{site}, Message{Invalidate{req.object, s.version}});
+    } else {
+      send(SiteId{site}, Message{PushUpdate{copy_of(req.object)}});
+    }
+  }
+  if (stats_board_ != nullptr) {
+    stats_board_->set(StatKey::kClusterPushes,
+                      static_cast<std::int64_t>(stats_.server_pushes));
   }
 }
 
@@ -339,6 +465,10 @@ void ObjectServer::apply_write(const WriteRequest& req) {
   record_completed(req, ack);
   send(from, Message{ack});
 
+  // Peer-server cachers are pushed on every accepted write, independent of
+  // the client push policy: the replica protocol is what lets them serve
+  // fetches without a hop.
+  push_server_cachers(req, s);
   if (push_ == PushPolicy::kNone) return;
   for (const std::uint32_t cacher : s.cachers) {
     if (cacher == from.value) continue;

@@ -41,6 +41,20 @@ enum class PushPolicy {
 /// wait.
 struct ServerConfig {
   SimTime lease_duration = SimTime::zero();  // 0 = leases disabled
+  /// Cluster-mode server-side caching (Section 5.2 push propagation between
+  /// servers): a non-owner that forwards a fetch also subscribes to the
+  /// owner's pushes and keeps a local replica; later fetches for the same
+  /// object are served from the replica while it is fresh — no hop, no
+  /// re-fetch on Delta expiry. Off by default: single-group servers and the
+  /// sim fixtures keep the pure forward-everything behavior.
+  bool cluster_replicas = false;
+  /// Push mode requested from owners: 0 = invalidate (mark-old, next fetch
+  /// revalidates if-modified-since), 1 = update (owner pushes the new copy,
+  /// replica self-refreshes).
+  std::uint8_t cluster_push_mode = 1;
+  /// Hard cap on replica age since install/refresh; zero = uncapped (serve
+  /// while subscribed and not marked old).
+  SimTime replica_ttl = SimTime::zero();
 };
 
 struct ServerStats {
@@ -50,6 +64,10 @@ struct ServerStats {
   std::uint64_t validations_ok = 0;
   std::uint64_t pushes = 0;
   std::uint64_t forwarded = 0;       // requests relayed to the owning server
+  std::uint64_t server_pushes = 0;   // pushes to subscribed cacher servers
+  std::uint64_t replica_hits = 0;    // fetches served from a local replica
+  std::uint64_t replica_validations = 0;  // if-modified-since refreshes done
+  std::uint64_t subscribes_sent = 0; // cacher subscriptions sent to owners
   std::uint64_t writes_deferred = 0; // writes that waited for a lease
   std::uint64_t duplicate_writes = 0; // retransmitted writes deduplicated
   std::uint64_t crashes = 0;
@@ -145,6 +163,31 @@ class ObjectServer {
   /// The server owning `object` under this deployment's partitioning.
   SiteId primary_of(ObjectId object) const;
 
+  /// Override the default modulo partitioning with an external ownership
+  /// map (the cluster hash ring). The function must be deterministic and
+  /// identical across every server of the deployment.
+  void set_ownership(std::function<SiteId(ObjectId)> owner_fn) {
+    owner_fn_ = std::move(owner_fn);
+  }
+
+  /// Register a peer *server* as a cacher of `object` (wire
+  /// kCacherSubscribe, routed here by the transport). Unlike client cachers
+  /// (soft state tied to PushPolicy), server cachers are pushed on every
+  /// accepted write regardless of the client push policy: mode 0 sends
+  /// Invalidate (mark-old), mode 1 sends PushUpdate (replica refresh).
+  void register_server_cacher(ObjectId object, SiteId cacher,
+                              std::uint8_t mode);
+
+  /// How this server sends its own cacher subscriptions to owners (wired
+  /// by timedc-server to TcpTransport::send_cacher_subscribe). Subscribes
+  /// are re-sent whenever a fetch forwards with no fresh replica, so a
+  /// subscription lost to an owner restart self-heals.
+  using SubscribeSender =
+      std::function<void(SiteId owner, ObjectId object, std::uint8_t mode)>;
+  void set_subscribe_sender(SubscribeSender fn) {
+    subscribe_sender_ = std::move(fn);
+  }
+
   /// Oracle access for the experiment harness: every write arrival in
   /// server order (values are unique). `accepted` is false for writes that
   /// lost the last-writer-wins race on start time alpha and never became
@@ -187,7 +230,31 @@ class ObjectServer {
     std::uint64_t deferred_id = 0;   // request currently lease-deferred
   };
 
+  /// One peer-owned object replicated here (cluster_replicas mode). The
+  /// copy is installed by PushUpdate / ValidateReply; `old` is the
+  /// mark-old bit set by Invalidate (the copy is kept for the
+  /// if-modified-since version check, but never served).
+  struct Replica {
+    ObjectCopy copy;
+    SimTime installed_at = SimTime::zero();
+    bool old = true;
+    bool subscribed = false;
+    bool validate_inflight = false;
+  };
+
   void on_message(SiteId from, const Message& msg);
+  /// Serve a fetch for a peer-owned object from the local replica iff it
+  /// is installed, not marked old, and within replica_ttl.
+  bool serve_from_replica(const FetchRequest& req);
+  /// Forwarding a fetch with no fresh replica: (re)subscribe to the
+  /// owner's pushes and issue one if-modified-since self-validation so the
+  /// replica is fresh for the next fetch.
+  void refresh_replica(ObjectId object);
+  void handle_cluster_invalidate(const Invalidate& inv);
+  void handle_cluster_push_update(const PushUpdate& push);
+  void handle_cluster_validate_reply(const ValidateReply& rep);
+  /// Push an accepted write to every subscribed cacher server.
+  void push_server_cachers(const WriteRequest& req, const Stored& s);
   /// The request_id == 0 gate for framed transports. True when rejected.
   bool reject_unsequenced(std::uint64_t request_id);
   void handle_fetch(const FetchRequest& req);
@@ -235,6 +302,15 @@ class ObjectServer {
   PlausibleTimestamp logical_now_;
   std::unordered_map<ObjectId, std::vector<AppliedWrite>> history_;
   WriteLog write_log_;
+  // Cluster seam: external ownership map, replicas of peer-owned objects,
+  // peer servers subscribed to objects owned here (site -> push mode), and
+  // the outbound subscription sender.
+  std::function<SiteId(ObjectId)> owner_fn_;
+  std::unordered_map<ObjectId, Replica> replicas_;
+  std::unordered_map<ObjectId, std::unordered_map<std::uint32_t, std::uint8_t>>
+      server_cachers_;
+  SubscribeSender subscribe_sender_;
+  std::uint64_t self_request_id_ = 0;  // ids for self-issued validations
   Tracer* obs_ = nullptr;
   StatsBoard* stats_board_ = nullptr;
   FlightRecorder* flight_ = nullptr;

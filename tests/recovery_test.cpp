@@ -185,5 +185,104 @@ TEST(Recovery, BeginDrainReleasesLeasesSoWritesApplyImmediately) {
   EXPECT_EQ(server.stats().writes_applied, 1u);
 }
 
+TEST(Recovery, ForwardedWriteIsExactlyOnceAcrossOwnerRestart) {
+  // Cluster topology: client 0, entry server A (site 2), owner B (site 3).
+  // Ownership pins every object on B, so a write sent to A always crosses
+  // one forward hop — carrying the ORIGINAL (client, request_id) — before
+  // it reaches B's WAL. B then dies with the ack possibly unflushed; the
+  // restarted B must re-ack the retransmission (which again arrives via A)
+  // from its rebuilt dedup table without applying twice, while genuinely
+  // new writes still sit out the restart grace window.
+  const auto owner_b = [](ObjectId) { return SiteId{3}; };
+  std::vector<LoggedWrite> wal;
+  {
+    Simulator sim;
+    Network net(sim, 4, std::make_unique<FixedLatency>(us(10)),
+                NetworkConfig{}, Rng(1));
+    ObjectServer a(sim, net, SiteId{2}, 4, PushPolicy::kNone, MessageSizes{},
+                   std::vector<SiteId>{}, ServerConfig{});
+    ObjectServer b(sim, net, SiteId{3}, 4, PushPolicy::kNone, MessageSizes{},
+                   std::vector<SiteId>{}, ServerConfig{});
+    a.set_ownership(owner_b);
+    b.set_ownership(owner_b);
+    b.set_write_log([&wal](const WriteRequest& req, std::uint64_t version) {
+      wal.push_back(LoggedWrite{req, version});
+    });
+    a.attach();
+    b.attach();
+    std::vector<Message> acks;
+    net.register_site(SiteId{0},
+                      [&acks](SiteId, const Message& m) { acks.push_back(m); });
+    net.send_message(SiteId{0}, SiteId{2},
+                     Message{WriteRequest{ObjectId{5}, Value{77}, us(100), {},
+                                          SiteId{0}, 1}},
+                     64);
+    sim.run_until();
+    EXPECT_EQ(a.stats().forwarded, 1u);
+    EXPECT_EQ(a.stats().writes_applied, 0u);
+    EXPECT_EQ(b.stats().writes_applied, 1u);
+    ASSERT_EQ(wal.size(), 1u);
+    // The WAL entry carries the CLIENT's identity, not the forwarder's —
+    // that is what makes dedup survive the hop.
+    EXPECT_EQ(wal[0].request.reply_to, SiteId{0});
+    EXPECT_EQ(wal[0].request.request_id, 1u);
+    ASSERT_EQ(acks.size(), 1u);  // ...and the ack went straight to 0
+  }
+
+  // Restart: a fresh owner replays the WAL and arms its grace window; the
+  // entry server also comes back cold (it holds no durable state).
+  Simulator sim;
+  Network net(sim, 4, std::make_unique<FixedLatency>(us(10)), NetworkConfig{},
+              Rng(2));
+  ObjectServer a(sim, net, SiteId{2}, 4, PushPolicy::kNone, MessageSizes{},
+                 std::vector<SiteId>{}, ServerConfig{});
+  ObjectServer b(sim, net, SiteId{3}, 4, PushPolicy::kNone, MessageSizes{},
+                 std::vector<SiteId>{}, ServerConfig{ms(20)});
+  a.set_ownership(owner_b);
+  b.set_ownership(owner_b);
+  for (const LoggedWrite& w : wal) b.restore_write(w.request, w.version);
+  b.arm_restart_grace();
+  a.attach();
+  b.attach();
+  std::vector<Message> acks;
+  net.register_site(SiteId{0},
+                    [&acks](SiteId, const Message& m) { acks.push_back(m); });
+
+  // The client never saw its ack die, so it retransmits the SAME request
+  // through the entry server. One hop later, B's rebuilt dedup slot
+  // re-acks with the pre-crash version — immediately, not grace-deferred:
+  // answering a completed write reveals nothing about dead leases.
+  const SimTime t0 = sim.now();
+  net.send_message(SiteId{0}, SiteId{2},
+                   Message{WriteRequest{ObjectId{5}, Value{77}, us(100), {},
+                                        SiteId{0}, 1}},
+                   64);
+  sim.run_until();
+  EXPECT_EQ(a.stats().forwarded, 1u);
+  EXPECT_EQ(b.stats().duplicate_writes, 1u);
+  EXPECT_EQ(b.stats().writes_applied, 0u);
+  ASSERT_EQ(acks.size(), 1u);
+  const auto* re_ack = std::get_if<WriteAck>(&acks[0]);
+  ASSERT_NE(re_ack, nullptr);
+  EXPECT_EQ(re_ack->request_id, 1u);
+  EXPECT_EQ(re_ack->version, wal[0].version);
+  EXPECT_LT(sim.now() - t0, ms(5));
+
+  // A genuinely NEW forwarded write still waits out the restart grace:
+  // the hop does not launder it past the Gray-Cheriton restart rule.
+  acks.clear();
+  net.send_message(SiteId{0}, SiteId{2},
+                   Message{WriteRequest{ObjectId{5}, Value{88}, us(200), {},
+                                        SiteId{0}, 2}},
+                   64);
+  sim.run_until();
+  EXPECT_EQ(b.stats().writes_deferred, 1u);
+  EXPECT_EQ(b.stats().writes_applied, 1u);
+  ASSERT_EQ(acks.size(), 1u);
+  // The grace window runs from arm_restart_grace (sim time zero), so the
+  // deferred write cannot complete before one full window has elapsed.
+  EXPECT_GE(sim.now(), ms(20));
+}
+
 }  // namespace
 }  // namespace timedc

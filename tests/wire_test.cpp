@@ -163,7 +163,7 @@ TEST(WireCodec, RejectsBadMagicVersionAndType) {
   bad = buf;
   bad[3] = 0;  // below the MsgType range
   EXPECT_EQ(wire::decode_frame(bad).status, wire::DecodeStatus::kBadType);
-  bad[3] = 14;  // above it (v4 ends at kStatsReply = 13)
+  bad[3] = 17;  // above it (v5 ends at kCacherSubscribe = 16)
   EXPECT_EQ(wire::decode_frame(bad).status, wire::DecodeStatus::kBadType);
 }
 
@@ -447,6 +447,228 @@ TEST(WireCodec, RejectsIllegalBoolField) {
   EXPECT_EQ(wire::decode_frame(buf).status, wire::DecodeStatus::kBadField);
 }
 
+std::vector<wire::MemberEntry> random_members(Rng& rng, std::size_t n) {
+  std::vector<wire::MemberEntry> members(n);
+  for (auto& m : members) {
+    m.site = static_cast<std::uint32_t>(rng.uniform_int(0, 1 << 20));
+    m.incarnation = rng.next_u64();
+    m.status = static_cast<std::uint8_t>(rng.uniform_int(0, 2));
+  }
+  return members;
+}
+
+TEST(WireCodec, MembershipRoundTrip) {
+  Rng rng(41);
+  for (int iter = 0; iter < 100; ++iter) {
+    const std::uint64_t epoch = rng.next_u64();
+    const std::vector<wire::MemberEntry> members = random_members(
+        rng, static_cast<std::size_t>(
+                 rng.uniform_int(0, wire::kMaxMembers)));
+    const SiteId from{static_cast<std::uint32_t>(rng.uniform_int(0, 5000))};
+    const SiteId to{static_cast<std::uint32_t>(rng.uniform_int(0, 5000))};
+
+    std::vector<std::uint8_t> buf;
+    wire::encode_membership_frame(from, to, epoch, members, buf);
+    for (std::size_t len = 0; len < buf.size(); len += 5) {
+      EXPECT_EQ(wire::decode_frame(
+                    std::span<const std::uint8_t>(buf.data(), len)).status,
+                wire::DecodeStatus::kNeedMore);
+    }
+
+    const wire::DecodedFrame frame = wire::decode_frame(buf);
+    ASSERT_TRUE(frame.ok()) << wire::to_cstring(frame.status);
+    ASSERT_TRUE(frame.is_membership);
+    EXPECT_EQ(frame.consumed, buf.size());
+    EXPECT_EQ(frame.from, from);
+    EXPECT_EQ(frame.to, to);
+    EXPECT_EQ(frame.membership_epoch, epoch);
+    ASSERT_EQ(frame.members.size(), members.size());
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      EXPECT_EQ(frame.members[i], members[i]);
+    }
+  }
+}
+
+TEST(WireCodec, ForgedMemberCountCannotForceAllocation) {
+  // Membership body: epoch u64, member count u32 at absolute offset 24,
+  // then 13-byte entries (site u32, incarnation u64, status u8).
+  Rng rng(43);
+  std::vector<std::uint8_t> buf;
+  wire::encode_membership_frame(SiteId{1}, SiteId{2}, 9,
+                                random_members(rng, 3), buf);
+
+  std::vector<std::uint8_t> bad = buf;
+  const std::uint32_t huge = 0xFFFFFFFFu;
+  std::memcpy(bad.data() + 24, &huge, sizeof(huge));
+  EXPECT_EQ(wire::decode_frame(bad).status, wire::DecodeStatus::kBadField);
+
+  // A count within kMaxMembers but past the actual bytes fails bounds.
+  bad = buf;
+  const std::uint32_t plausible = wire::kMaxMembers;
+  std::memcpy(bad.data() + 24, &plausible, sizeof(plausible));
+  EXPECT_EQ(wire::decode_frame(bad).status, wire::DecodeStatus::kShortBody);
+
+  // An out-of-range liveness status (first entry's, offset 24+4+4+8) is
+  // malformed, not clamped.
+  bad = buf;
+  bad[40] = 3;
+  EXPECT_EQ(wire::decode_frame(bad).status, wire::DecodeStatus::kBadField);
+}
+
+TEST(WireCodec, ForwardRoundTripAndRawAgree) {
+  Rng rng(47);
+  for (int iter = 0; iter < 100; ++iter) {
+    const int type = static_cast<int>(rng.uniform_int(0, kNumTypes - 1));
+    const Message inner = random_message(rng, type);
+    const SiteId client{static_cast<std::uint32_t>(rng.uniform_int(0, 5000))};
+    const SiteId owner{static_cast<std::uint32_t>(rng.uniform_int(0, 8))};
+    const auto hops = static_cast<std::uint8_t>(rng.uniform_int(0, 3));
+
+    std::vector<std::uint8_t> buf;
+    wire::encode_forward_frame(SiteId{3}, owner, hops, client, owner, inner,
+                               buf);
+    // The zero-decode path (wrap pre-encoded bytes) is bit-identical.
+    std::vector<std::uint8_t> raw;
+    wire::encode_forward_frame_raw(SiteId{3}, owner, hops,
+                                   encode(client, owner, inner), raw);
+    EXPECT_EQ(raw, buf);
+
+    for (std::size_t len = 0; len < buf.size(); len += 7) {
+      EXPECT_EQ(wire::decode_frame(
+                    std::span<const std::uint8_t>(buf.data(), len)).status,
+                wire::DecodeStatus::kNeedMore);
+    }
+
+    const wire::DecodedFrame frame = wire::decode_frame(buf);
+    ASSERT_TRUE(frame.ok()) << wire::to_cstring(frame.status);
+    ASSERT_TRUE(frame.is_forward);
+    EXPECT_EQ(frame.consumed, buf.size());
+    EXPECT_EQ(frame.forward_hops, hops);
+
+    // The wrapped bytes decode to the original inner frame, original
+    // routing header included — that is what the owner's dedup keys on.
+    const wire::DecodedFrame unwrapped =
+        wire::decode_frame(frame.forward_inner);
+    ASSERT_TRUE(unwrapped.ok());
+    EXPECT_EQ(unwrapped.from, client);
+    EXPECT_EQ(unwrapped.to, owner);
+    EXPECT_EQ(unwrapped.message, inner);
+
+    // And the view-level unwrap the transport hot path uses agrees.
+    const wire::FrameView outer = wire::peek_frame(buf);
+    ASSERT_TRUE(outer.ok());
+    const wire::FrameView iview = wire::peek_forward_inner(outer);
+    ASSERT_TRUE(iview.ok());
+    EXPECT_EQ(iview.from, client);
+    EXPECT_EQ(iview.to, owner);
+    EXPECT_EQ(iview.consumed, frame.forward_inner.size());
+  }
+}
+
+TEST(WireCodec, ForgedForwardInnerLengthCannotForceAllocation) {
+  // Forward body: hops u8 at offset 16, then a complete inner frame whose
+  // own body-length field sits at 17 + 12 = 29. Forging it cannot make the
+  // decoder allocate or read past the outer body.
+  Rng rng(53);
+  std::vector<std::uint8_t> buf;
+  wire::encode_forward_frame(SiteId{3}, SiteId{1}, 1, SiteId{9}, SiteId{1},
+                             random_message(rng, 0), buf);
+
+  // Oversized inner claim: rejected as such before any body read.
+  std::vector<std::uint8_t> bad = buf;
+  const std::uint32_t huge = 0xFFFFFFFFu;
+  std::memcpy(bad.data() + 29, &huge, sizeof(huge));
+  EXPECT_EQ(wire::decode_frame(bad).status,
+            wire::DecodeStatus::kOversizedBody);
+
+  // A plausible inner claim past the wrapped bytes: the outer frame is
+  // complete, so this is a malformed frame, never "need more stream".
+  bad = buf;
+  std::uint32_t inner_len;
+  std::memcpy(&inner_len, bad.data() + 29, sizeof(inner_len));
+  inner_len += 8;
+  std::memcpy(bad.data() + 29, &inner_len, sizeof(inner_len));
+  EXPECT_EQ(wire::decode_frame(bad).status, wire::DecodeStatus::kBadField);
+
+  // An inner frame that is not a protocol message (a wrapped heartbeat)
+  // is malformed: forwarding exists for client requests only.
+  std::vector<std::uint8_t> hb;
+  wire::encode_heartbeat_frame(SiteId{9}, SiteId{1}, wire::Heartbeat{}, hb);
+  std::vector<std::uint8_t> wrapped;
+  wire::encode_forward_frame_raw(SiteId{3}, SiteId{1}, 1, hb, wrapped);
+  EXPECT_EQ(wire::decode_frame(wrapped).status, wire::DecodeStatus::kBadField);
+
+  // A forward wrapping nothing at all (empty body would be caught by the
+  // size check; a lone hops byte leaves no room for an inner header).
+  bad = buf;
+  bad.resize(wire::kHeaderBytes + 1);
+  set_body_len(bad, 1);
+  EXPECT_EQ(wire::decode_frame(bad).status, wire::DecodeStatus::kBadField);
+}
+
+TEST(WireCodec, CacherSubscribeRoundTrip) {
+  Rng rng(59);
+  for (int iter = 0; iter < 100; ++iter) {
+    wire::CacherSubscribe cs;
+    cs.object = ObjectId{static_cast<std::uint32_t>(rng.uniform_int(0, 999))};
+    cs.cacher = SiteId{static_cast<std::uint32_t>(rng.uniform_int(0, 5000))};
+    cs.mode = static_cast<std::uint8_t>(rng.uniform_int(0, 1));
+
+    std::vector<std::uint8_t> buf;
+    wire::encode_cacher_subscribe_frame(SiteId{2}, SiteId{0}, cs, buf);
+    for (std::size_t len = 0; len < buf.size(); ++len) {
+      EXPECT_EQ(wire::decode_frame(
+                    std::span<const std::uint8_t>(buf.data(), len)).status,
+                wire::DecodeStatus::kNeedMore);
+    }
+    const wire::DecodedFrame frame = wire::decode_frame(buf);
+    ASSERT_TRUE(frame.ok()) << wire::to_cstring(frame.status);
+    ASSERT_TRUE(frame.is_cacher_subscribe);
+    EXPECT_EQ(frame.consumed, buf.size());
+    EXPECT_EQ(frame.cacher_subscribe, cs);
+  }
+
+  // Mode byte (absolute offset 16 + 4 + 4) only admits 0/1.
+  std::vector<std::uint8_t> buf;
+  wire::encode_cacher_subscribe_frame(SiteId{2}, SiteId{0},
+                                      wire::CacherSubscribe{}, buf);
+  buf[24] = 2;
+  EXPECT_EQ(wire::decode_frame(buf).status, wire::DecodeStatus::kBadField);
+}
+
+TEST(WireCodec, ClusterFramesRequireVersionFive) {
+  // A v4 client (previous release) never agreed to cluster frames: types
+  // 14/15/16 under a v4 — or any older — header are malformed, exactly
+  // like introspection under v3. This is the downgrade a mixed-version
+  // deployment exercises: the v5 server never SENDS cluster frames to a
+  // peer that spoke an older hello, and if one arrives anyway the decoder
+  // rejects it instead of guessing.
+  Rng rng(61);
+  std::vector<std::vector<std::uint8_t>> frames(3);
+  wire::encode_membership_frame(SiteId{1}, SiteId{2}, 5,
+                                random_members(rng, 2), frames[0]);
+  wire::encode_forward_frame(SiteId{1}, SiteId{2}, 1, SiteId{9}, SiteId{2},
+                             random_message(rng, 0), frames[1]);
+  wire::encode_cacher_subscribe_frame(SiteId{1}, SiteId{2},
+                                      wire::CacherSubscribe{}, frames[2]);
+  for (const auto& buf : frames) {
+    EXPECT_TRUE(wire::decode_frame(buf).ok());
+    for (const std::uint8_t version : {4, 3, 2, 1}) {
+      std::vector<std::uint8_t> old = buf;
+      old[2] = version;
+      EXPECT_EQ(wire::decode_frame(old).status, wire::DecodeStatus::kBadType)
+          << "type " << int(buf[3]) << ", version " << int(version);
+    }
+  }
+
+  // The reverse direction of the downgrade: a v4 header still carries
+  // every pre-cluster frame unchanged, so a v4 client interoperates.
+  std::vector<std::uint8_t> v4 = encode(SiteId{1}, SiteId{2},
+                                        random_message(rng, 0));
+  v4[2] = 4;
+  EXPECT_TRUE(wire::decode_frame(v4).ok());
+}
+
 TEST(WireCodec, RandomByteFlipsNeverCrashOrOverRead) {
   Rng rng(23);
   for (int iter = 0; iter < 3000; ++iter) {
@@ -525,6 +747,26 @@ void expect_view_matches_owning(std::span<const std::uint8_t> buf,
   EXPECT_EQ(scratch.is_time_sync, owning.is_time_sync);
   EXPECT_EQ(scratch.is_stats_request, owning.is_stats_request);
   EXPECT_EQ(scratch.is_stats_reply, owning.is_stats_reply);
+  EXPECT_EQ(scratch.is_membership, owning.is_membership);
+  EXPECT_EQ(scratch.is_forward, owning.is_forward);
+  EXPECT_EQ(scratch.is_cacher_subscribe, owning.is_cacher_subscribe);
+  if (owning.is_membership) {
+    EXPECT_EQ(scratch.membership_epoch, owning.membership_epoch);
+    ASSERT_EQ(scratch.members.size(), owning.members.size());
+    for (std::size_t i = 0; i < owning.members.size(); ++i) {
+      EXPECT_EQ(scratch.members[i], owning.members[i]);
+    }
+    return;
+  }
+  if (owning.is_forward) {
+    EXPECT_EQ(scratch.forward_hops, owning.forward_hops);
+    EXPECT_EQ(scratch.forward_inner, owning.forward_inner);
+    return;
+  }
+  if (owning.is_cacher_subscribe) {
+    EXPECT_EQ(scratch.cacher_subscribe, owning.cacher_subscribe);
+    return;
+  }
   if (owning.is_stats_request) {
     EXPECT_EQ(scratch.stats_request.seq, owning.stats_request.seq);
     EXPECT_EQ(scratch.stats_request.target_site,
@@ -624,6 +866,40 @@ TEST(WireCodec, ViewDecodeMatchesOwningDecodeOnEveryInput) {
             rng.uniform_int(0, static_cast<std::int64_t>(buf.size()) - 1));
         buf[at] ^= static_cast<std::uint8_t>(1u << rng.uniform_int(0, 7));
       }
+      expect_view_matches_owning(buf, scratch);
+    }
+    // Cluster frames (v5): membership digests, forwarded requests and
+    // cacher registrations, pristine then bit-flipped — the forward
+    // frame's nested length field is the newest nested-count surface.
+    {
+      std::vector<std::uint8_t> buf;
+      wire::encode_membership_frame(
+          SiteId{1}, SiteId{2}, rng.next_u64(),
+          random_members(rng,
+                         static_cast<std::size_t>(rng.uniform_int(0, 8))),
+          buf);
+      expect_view_matches_owning(buf, scratch);
+      buf.clear();
+      wire::encode_forward_frame(
+          SiteId{1}, SiteId{2},
+          static_cast<std::uint8_t>(rng.uniform_int(0, 3)), random_site(rng),
+          SiteId{2},
+          random_message(rng, static_cast<int>(
+                                  rng.uniform_int(0, kNumTypes - 1))),
+          buf);
+      expect_view_matches_owning(buf, scratch);
+      const int cflips = static_cast<int>(rng.uniform_int(1, 4));
+      for (int f = 0; f < cflips; ++f) {
+        const std::size_t at = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(buf.size()) - 1));
+        buf[at] ^= static_cast<std::uint8_t>(1u << rng.uniform_int(0, 7));
+      }
+      expect_view_matches_owning(buf, scratch);
+      buf.clear();
+      wire::CacherSubscribe cs{
+          ObjectId{static_cast<std::uint32_t>(rng.uniform_int(0, 999))},
+          random_site(rng), static_cast<std::uint8_t>(rng.uniform_int(0, 1))};
+      wire::encode_cacher_subscribe_frame(SiteId{1}, SiteId{2}, cs, buf);
       expect_view_matches_owning(buf, scratch);
     }
     // Pure garbage, occasionally with a plausible header planted.

@@ -55,7 +55,15 @@
 //               [--heartbeat-ms 0] [--clock-offset-us 0] [--clock-drift-ppm 0]
 //               [--time-sync-ms 0] [--adaptive-delta] [--trace-out FILE]
 //               [--metrics-out FILE] [--history-out FILE]
-//               [--min-ops-per-sec X]
+//               [--min-ops-per-sec X] [--cluster] [--misroute-pct P]
+//
+// Cluster mode (--cluster): each operation is dispatched to the endpoint
+// that OWNS the object under the same deterministic consistent-hash ring
+// the servers build (ports[i] serves site i), and --misroute-pct sends a
+// deliberate fraction to a wrong endpoint to exercise server-to-server
+// forwarding. Client identities are structured as one 4096-wide sub-band
+// per endpoint inside the pid-derived super-band, so repeat runs cannot
+// collide on (site, request_id) dedup keys anywhere in the group.
 #include <signal.h>
 #include <time.h>
 #include <unistd.h>
@@ -74,6 +82,7 @@
 #include <vector>
 
 #include "clocks/physical_clock.hpp"
+#include "cluster/ring.hpp"
 #include "common/rng.hpp"
 #include "core/history.hpp"
 #include "core/timed.hpp"
@@ -94,14 +103,38 @@ using namespace timedc;
 // beyond that, a fresh invocation must not RE-USE site ids a previous run
 // presented to the same server: write dedup is keyed by (site, request_id),
 // so a new process restarting request ids at 1 under an old identity looks
-// like a stream of stale retransmissions and is silently dropped. Each run
-// therefore claims a pid-derived 4096-wide band by default (--site-base
-// overrides, e.g. to make captured traces reproducible byte-for-byte).
+// like a stream of stale retransmissions and is silently dropped. With
+// clustering the stakes rise: forwarding propagates the dedup key to the
+// OWNER, so "point the rerun at a different server" no longer yields a
+// fresh dedup table — any endpoint of the group may have seen the key.
+//
+// The identity space is therefore structured in two levels. Each run
+// claims a pid-derived SUPER-BAND (--site-base overrides it, e.g. to make
+// captured traces reproducible byte-for-byte); inside the super-band every
+// ENDPOINT owns a deterministic 4096-wide sub-band, and a client is
+// numbered within its home endpoint's sub-band (home = global index mod
+// endpoints). The layout is a pure function of (site_base, endpoints,
+// threads, clients): repeat runs with --site-base fixed reproduce the
+// exact same identities, auto-derived runs land in disjoint super-bands,
+// and two invocations sharing a super-band but targeting different
+// endpoint lists still cannot cross sub-band boundaries.
 constexpr std::uint32_t kClientSiteBase = 1000;
+constexpr std::uint32_t kEndpointBand = 4096;   // identities per endpoint
+constexpr std::uint32_t kMaxEndpointBands = 16;  // sub-bands per super-band
 
 std::uint32_t auto_site_base() {
   return kClientSiteBase +
-         (static_cast<std::uint32_t>(::getpid()) & 0xFFFF) * 4096;
+         (static_cast<std::uint32_t>(::getpid()) & 0xFFFF) *
+             (kEndpointBand * kMaxEndpointBands);
+}
+
+/// Network identity of global client `global`: its home endpoint's
+/// sub-band, indexed by its slot within that endpoint's client population.
+std::uint32_t client_site(std::uint32_t site_base, std::size_t global,
+                          std::size_t num_endpoints) {
+  const auto home = static_cast<std::uint32_t>(global % num_endpoints);
+  const auto slot = static_cast<std::uint32_t>(global / num_endpoints);
+  return site_base + home * kEndpointBand + slot;
 }
 
 struct Options {
@@ -123,6 +156,14 @@ struct Options {
   std::int64_t think_us = 0;
   std::uint64_t seed = 42;
   std::uint32_t site_base = 0;  // 0 = derive from pid (auto_site_base)
+  // Cluster mode: route each operation to the endpoint that OWNS the
+  // object under the same deterministic consistent-hash ring the servers
+  // build from their --cluster list (sites 0..S-1), instead of the legacy
+  // object-id modulo. --misroute-pct deliberately sends that fraction of
+  // operations to a WRONG endpoint, exercising the server-to-server
+  // forwarding path under load.
+  bool cluster = false;
+  int misroute_pct = 0;
   // Reliability. max_attempts 1 keeps the seed behavior (one send, wait
   // forever). heartbeat_ms 0 = auto: connection supervision (reconnect,
   // heartbeats, DEAD detection) is enabled at 200ms exactly when retries
@@ -171,7 +212,8 @@ int usage(const char* argv0) {
       "          [--clock-offset-us O] [--clock-drift-ppm D]\n"
       "          [--time-sync-ms MS] [--adaptive-delta] [--trace-out FILE]\n"
       "          [--site-base B] [--metrics-out FILE] [--history-out FILE]\n"
-      "          [--min-ops-per-sec X] [--open-loop RATE] [--pipeline N]\n",
+      "          [--min-ops-per-sec X] [--open-loop RATE] [--pipeline N]\n"
+      "          [--cluster] [--misroute-pct P]\n",
       argv0);
   return 2;
 }
@@ -275,6 +317,11 @@ bool parse_args(int argc, char** argv, Options& opt) {
     } else if (arg == "--pipeline") {
       if ((v = next()) == nullptr) return false;
       opt.pipeline = static_cast<std::size_t>(std::atol(v));
+    } else if (arg == "--cluster") {
+      opt.cluster = true;
+    } else if (arg == "--misroute-pct") {
+      if ((v = next()) == nullptr) return false;
+      opt.misroute_pct = std::atoi(v);
     } else {
       return false;
     }
@@ -291,7 +338,19 @@ bool parse_args(int argc, char** argv, Options& opt) {
          // Open loop is paced by wall time; a per-client op cap has no
          // meaning on an arrival schedule.
          opt.open_loop >= 0 && (opt.open_loop == 0 || opt.duration_s > 0) &&
-         (opt.open_loop == 0 || opt.ops == 0);
+         (opt.open_loop == 0 || opt.ops == 0) &&
+         // Misrouting needs a ring to misroute against, and at least one
+         // wrong endpoint to aim at.
+         opt.misroute_pct >= 0 && opt.misroute_pct <= 100 &&
+         (opt.misroute_pct == 0 || (opt.cluster && opt.ports.size() >= 2)) &&
+         // The structured identity space must hold everything: one
+         // sub-band per endpoint, each endpoint's client share inside its
+         // sub-band, and the per-worker sync sites in band ports.size().
+         opt.ports.size() <= kMaxEndpointBands - 1 &&
+         (opt.threads * opt.clients + opt.ports.size() - 1) /
+                 opt.ports.size() <=
+             kEndpointBand &&
+         opt.threads <= kEndpointBand;
 }
 
 /// One recorded operation of the global history.
@@ -340,10 +399,11 @@ class Worker {
     client_clock_ = hardware_.get();
     if (opt_.time_sync_ms > 0) {
       // One sync client per worker, against shard 0's transport-level time
-      // service, under a site id past every cache client's band.
+      // service, in the first sub-band no endpoint claims (band S for S
+      // endpoints) so it can never shadow a cache client's identity.
       const std::uint32_t sync_site =
           opt_.site_base +
-          static_cast<std::uint32_t>(opt_.threads * opt_.clients) +
+          static_cast<std::uint32_t>(opt_.ports.size()) * kEndpointBand +
           static_cast<std::uint32_t>(index);
       net::TimeSyncConfig sync_config;
       sync_config.period = SimTime::millis(opt_.time_sync_ms);
@@ -356,17 +416,45 @@ class Worker {
       if (opt_.adaptive_delta) adaptive_.emplace(sync_.get());
     }
     const std::size_t num_shards = opt_.ports.size();
+    if (opt_.cluster) {
+      // The SAME deterministic ring the servers build from their --cluster
+      // list: ring_hash is seedless, so owner_of here and owner_of inside
+      // timedc-server agree on every object without any exchange.
+      ring_ = std::make_shared<cluster::HashRing>();
+      ring_->set_members(shard_sites);
+    }
+    route_rng_ = Rng::stream(opt_.seed + 0x707e, index_);
     clients_.reserve(opt_.clients);
     state_.resize(opt_.clients);
     for (std::size_t k = 0; k < opt_.clients; ++k) {
       const std::uint32_t global = global_index(k);
       auto client = std::make_unique<TimedSerialCache>(
-          transport_, SiteId{opt_.site_base + global}, SiteId{0}, client_clock_,
+          transport_, SiteId{client_site(opt_.site_base, global, num_shards)},
+          SiteId{0}, client_clock_,
           SimTime::micros(opt_.delta_us), /*mark_old=*/true, MessageSizes{});
-      client->set_route([num_shards](ObjectId object) {
-        return SiteId{
-            static_cast<std::uint32_t>(object.value % num_shards)};
-      });
+      if (opt_.cluster) {
+        // Owner-aware dispatch, with an optional deliberate error rate:
+        // a misrouted op lands on a uniformly chosen WRONG endpoint and
+        // must come back through the server-to-server forward path.
+        client->set_route([this, num_shards](ObjectId object) {
+          SiteId owner = ring_->owner_of(object);
+          if (opt_.misroute_pct > 0 &&
+              route_rng_.uniform_int(0, 99) <
+                  static_cast<std::int64_t>(opt_.misroute_pct)) {
+            const auto hop = static_cast<std::uint32_t>(route_rng_.uniform_int(
+                1, static_cast<std::int64_t>(num_shards) - 1));
+            owner = SiteId{(owner.value + hop) %
+                           static_cast<std::uint32_t>(num_shards)};
+            ++misrouted_;
+          }
+          return owner;
+        });
+      } else {
+        client->set_route([num_shards](ObjectId object) {
+          return SiteId{
+              static_cast<std::uint32_t>(object.value % num_shards)};
+        });
+      }
       if (opt_.max_attempts > 1) {
         RetryPolicy policy;
         policy.max_attempts = opt_.max_attempts;
@@ -429,6 +517,8 @@ class Worker {
     return read_latencies_;
   }
   std::uint64_t abandoned() const { return abandoned_; }
+  /// Operations deliberately sent to a non-owner endpoint (--misroute-pct).
+  std::uint64_t misrouted() const { return misrouted_; }
   /// Deepest the open-loop backlog ever got (0 in closed-loop mode): how
   /// far demand outran the pipeline at the worst moment.
   std::uint64_t backlog_peak() const { return backlog_peak_; }
@@ -667,6 +757,10 @@ class Worker {
   std::size_t done_clients_ = 0;
   std::uint64_t abandoned_ = 0;
   bool stop_requested_ = false;
+  // Cluster routing state (loop-thread-confined, like everything above).
+  std::shared_ptr<cluster::HashRing> ring_;
+  Rng route_rng_{0};
+  std::uint64_t misrouted_ = 0;
   // Issuing state, shared by both modes: clients rotate through ready_,
   // at most cap_ operations are in flight, and (open loop only) arrivals
   // that found every client busy wait in backlog_ with their intended
@@ -797,7 +891,11 @@ int main(int argc, char** argv) {
   for (const std::int64_t l : latencies) latency_hist.record(l);
 
   std::uint64_t total_abandoned = 0;
-  for (const auto& w : workers) total_abandoned += w->abandoned();
+  std::uint64_t total_misrouted = 0;
+  for (const auto& w : workers) {
+    total_abandoned += w->abandoned();
+    total_misrouted += w->misrouted();
+  }
 
   MetricsRegistry reg;
   reg.set_counter("load.ops", total_ops);
@@ -806,6 +904,10 @@ int main(int argc, char** argv) {
   reg.set_counter("load.reads_late", late_reads);
   reg.set_counter("load.ops_abandoned", total_abandoned);
   reg.set_counter("load.interrupted", interrupted ? 1 : 0);
+  if (opt.cluster) {
+    reg.set_counter("load.cluster", 1);
+    reg.set_counter("load.misrouted", total_misrouted);
+  }
   if (opt.open_loop > 0) {
     std::uint64_t backlog_peak = 0, arrivals_dropped = 0;
     for (const auto& w : workers) {
@@ -890,6 +992,13 @@ int main(int argc, char** argv) {
   if (opt.time_sync_ms > 0) {
     std::printf("timedc-load: measured eps %s (pairwise, Def 2)\n",
                 measured_eps.to_string().c_str());
+  }
+  if (opt.cluster) {
+    std::printf(
+        "timedc-load: ring dispatch over %zu endpoints, %llu ops misrouted "
+        "(%d%% target)\n",
+        opt.ports.size(), static_cast<unsigned long long>(total_misrouted),
+        opt.misroute_pct);
   }
 
   if (opt.min_ops_per_sec > 0 && ops_per_sec < opt.min_ops_per_sec) {

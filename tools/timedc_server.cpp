@@ -66,6 +66,8 @@
 #include <utility>
 #include <vector>
 
+#include "cluster/membership.hpp"
+#include "cluster/ring.hpp"
 #include "net/event_loop.hpp"
 #include "net/tcp_transport.hpp"
 #include "obs/flight_recorder.hpp"
@@ -107,6 +109,13 @@ struct Options {
   std::string flight_dump;               // fatal-dump prefix; empty = off
   std::size_t flight_capacity = 1u << 14;
   std::int64_t segv_after_s = 0;  // test hook: crash on purpose after S s
+  /// --cluster: full cluster mode. Ownership moves from modulo partitioning
+  /// to the consistent-hash ring, transports wrap/unwrap/relay kForward
+  /// frames, membership gossip rides the heartbeats, and non-owners keep
+  /// push-fed replicas of peer-owned objects (Section 5.2 propagation).
+  bool cluster = false;
+  std::uint8_t cluster_push_mode = 1;  // 0 invalidate / 1 update
+  std::int64_t replica_ttl_us = 0;     // 0 = uncapped
 };
 
 int usage(const char* argv0) {
@@ -117,7 +126,9 @@ int usage(const char* argv0) {
                "          [--peer SITE:HOST:PORT]... [--state-file FILE]\n"
                "          [--drain-ms MS] [--heartbeat-ms MS]\n"
                "          [--metrics-out FILE] [--metrics-interval-ms MS]\n"
-               "          [--flight-dump PREFIX] [--flight-capacity N]\n",
+               "          [--flight-dump PREFIX] [--flight-capacity N]\n"
+               "          [--cluster] [--cluster-push invalidate|update]\n"
+               "          [--replica-ttl-us N]\n",
                argv0);
   return 2;
 }
@@ -214,6 +225,22 @@ bool parse_args(int argc, char** argv, Options& opt) {
       const char* v = next();
       if (v == nullptr) return false;
       opt.flight_capacity = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--cluster") {
+      opt.cluster = true;
+    } else if (arg == "--cluster-push") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      if (std::strcmp(v, "invalidate") == 0) {
+        opt.cluster_push_mode = 0;
+      } else if (std::strcmp(v, "update") == 0) {
+        opt.cluster_push_mode = 1;
+      } else {
+        return false;
+      }
+    } else if (arg == "--replica-ttl-us") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.replica_ttl_us = std::atoll(v);
     } else if (arg == "--segv-after-s") {
       // Undocumented on purpose: CI uses it to validate the fatal-signal
       // flight dump end to end.
@@ -341,6 +368,7 @@ struct Shard {
   std::unique_ptr<ObjectServer> server;
   std::unique_ptr<StatsBoard> board;
   std::unique_ptr<FlightRecorder> flight;
+  std::unique_ptr<cluster::MembershipTable> membership;
   std::thread thread;
   std::uint16_t port = 0;
   SiteId site{0};
@@ -424,6 +452,17 @@ int main(int argc, char** argv) {
 
   ServerConfig config;
   config.lease_duration = SimTime::micros(opt.lease_us);
+  config.cluster_replicas = opt.cluster;
+  config.cluster_push_mode = opt.cluster_push_mode;
+  config.replica_ttl = SimTime::micros(opt.replica_ttl_us);
+
+  // Cluster mode: one deterministic consistent-hash ring over all
+  // configured members, shared by every shard (and recomputed identically
+  // by owner-aware clients — see cluster/ring.hpp on determinism).
+  auto ring = std::make_shared<cluster::HashRing>();
+  if (opt.cluster) {
+    ring->set_members(cluster);
+  }
 
   // Bind every shard first (the loops are not running yet), so ephemeral
   // ports are known before inter-shard routes are added.
@@ -472,6 +511,68 @@ int main(int argc, char** argv) {
     s.server->set_stats_board(s.board.get());
     s.server->set_flight_recorder(s.flight.get());
     s.server->attach();
+    if (opt.cluster) {
+      s.transport->enable_cluster(s.site);
+      s.server->set_ownership(
+          [ring](ObjectId object) { return ring->owner_of(object); });
+      net::TcpTransport* transport = s.transport.get();
+      ObjectServer* server = s.server.get();
+      const SiteId self = s.site;
+      s.server->set_subscribe_sender(
+          [transport, self](SiteId owner, ObjectId object,
+                            std::uint8_t mode) {
+            transport->send_cacher_subscribe(
+                self, owner, wire::CacherSubscribe{object, self, mode});
+          });
+      s.transport->set_cacher_subscribe_handler(
+          [server](SiteId, const wire::CacherSubscribe& cs) {
+            server->register_server_cacher(cs.object, cs.cacher, cs.mode);
+          });
+      // Incarnation from wall time: a restarted process refutes any stale
+      // suspicion of itself without persisted membership state.
+      timespec now{};
+      clock_gettime(CLOCK_REALTIME, &now);
+      s.membership = std::make_unique<cluster::MembershipTable>(
+          s.site, static_cast<std::uint64_t>(now.tv_sec));
+      for (const SiteId member : cluster) {
+        if (member != s.site) s.membership->add_configured(member);
+      }
+      cluster::MembershipTable* table = s.membership.get();
+      s.transport->set_membership_provider(
+          [table](std::uint64_t& epoch,
+                  std::vector<wire::MemberEntry>& out) {
+            table->fill_digest(out);
+            epoch = table->epoch();
+          });
+      net::EventLoop* loop = s.loop.get();
+      StatsBoard* board = s.board.get();
+      FlightRecorder* flight = s.flight.get();
+      const std::int64_t suspect_us = 3 * opt.heartbeat_ms * 1000;
+      s.transport->set_membership_handler(
+          [table, board, flight, loop, suspect_us](
+              SiteId from, std::uint64_t epoch,
+              std::span<const wire::MemberEntry> members) {
+            const std::int64_t now_us = loop->now().as_micros();
+            bool changed = table->heard_from(from.value, now_us);
+            changed |= table->merge(epoch, members, now_us);
+            changed |= table->suspect_silent(now_us, suspect_us);
+            board->set(StatKey::kClusterMembers,
+                       static_cast<std::int64_t>(table->alive_count()));
+            board->set(StatKey::kClusterEpoch,
+                       static_cast<std::int64_t>(table->epoch()));
+            if (changed && flight != nullptr) {
+              for (const cluster::Member& m : table->members()) {
+                flight->record(TraceEventType::kClusterMember, now_us,
+                               kNoObject, 0,
+                               static_cast<std::int64_t>(m.site), m.status);
+              }
+            }
+          });
+      s.board->set(StatKey::kClusterMembers,
+                   static_cast<std::int64_t>(s.membership->alive_count()));
+      s.board->set(StatKey::kClusterEpoch,
+                   static_cast<std::int64_t>(s.membership->epoch()));
+    }
   }
   if (!opt.flight_dump.empty()) install_fatal_dump(opt.flight_dump.c_str());
   // Shared-port mode: a new connection lands on whichever shard the kernel
@@ -523,6 +624,24 @@ int main(int argc, char** argv) {
 
   for (Shard& s : shards) {
     s.thread = std::thread([&s] { s.loop->run(); });
+  }
+
+  // Cluster mode: dial every routed member eagerly so heartbeats (and the
+  // membership gossip riding them) flow before any request traffic.
+  if (opt.cluster) {
+    for (std::size_t i = 0; i < opt.shards; ++i) {
+      std::vector<SiteId> targets;
+      for (std::size_t j = 0; j < opt.shards; ++j) {
+        if (i != j) targets.push_back(shards[j].site);
+      }
+      for (const PeerSpec& peer : opt.peers) {
+        targets.push_back(SiteId{peer.site});
+      }
+      net::TcpTransport* transport = shards[i].transport.get();
+      shards[i].loop->post([transport, targets]() {
+        for (const SiteId t : targets) transport->prime_supervised(t);
+      });
+    }
   }
 
   std::printf("LISTENING");

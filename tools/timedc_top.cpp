@@ -220,14 +220,19 @@ void print_prom(const BoardMap& boards) {
 }
 
 /// Interactive table. `prev`/`prev_ms` feed the ops/s column (delta over
-/// the previous poll); pass prev_ms < 0 on the first frame.
+/// the previous poll); pass prev_ms < 0 on the first frame. DROPS counts
+/// frames shed at the transport (full SendQueue or dead peer), OVFL the
+/// flight-recorder ring overwrites, FWD/PUSH/MEMB the cluster layer
+/// (forwards out+in, owner pushes, alive member count) — all zero on a
+/// standalone server.
 void print_table(const BoardMap& boards, const BoardMap& prev,
                  std::int64_t dt_ms, bool clear_screen) {
   if (clear_screen) std::fputs("\x1b[H\x1b[2J", stdout);
-  std::printf("%8s %12s %10s %10s %10s %6s %7s %8s %9s %9s %9s %9s %9s\n",
+  std::printf("%8s %12s %10s %10s %10s %6s %7s %6s %6s %7s %7s %5s %8s %9s "
+              "%9s %9s %9s %9s\n",
               "SITE", "OPS", "OPS/S", "FRAMES_IN", "FRAMES_OUT", "CONN",
-              "SLOW", "AGE_MS", "DEC_P99", "APPLY_P99", "FLUSH_P99",
-              "STALE_P50", "STALE_P99");
+              "SLOW", "DROPS", "OVFL", "FWD", "PUSH", "MEMB", "AGE_MS",
+              "DEC_P99", "APPLY_P99", "FLUSH_P99", "STALE_P50", "STALE_P99");
   for (const auto& [site, stats] : boards) {
     const std::int64_t ops = val(stats, StatKey::kOpsApplied);
     double ops_per_s = 0;
@@ -238,12 +243,19 @@ void print_table(const BoardMap& boards, const BoardMap& prev,
                   1000.0 / static_cast<double>(dt_ms);
     }
     std::printf("%8u %12" PRId64 " %10.0f %10" PRId64 " %10" PRId64
-                " %6" PRId64 " %7" PRId64 " %8.1f %9" PRId64 " %9" PRId64
-                " %9" PRId64 " %9" PRId64 " %9" PRId64 "\n",
+                " %6" PRId64 " %7" PRId64 " %6" PRId64 " %6" PRId64
+                " %7" PRId64 " %7" PRId64 " %5" PRId64 " %8.1f %9" PRId64
+                " %9" PRId64 " %9" PRId64 " %9" PRId64 " %9" PRId64 "\n",
                 site, ops, ops_per_s, val(stats, StatKey::kFramesIn),
                 val(stats, StatKey::kFramesOut),
                 val(stats, StatKey::kConnections),
                 val(stats, StatKey::kSlowTicks),
+                val(stats, StatKey::kFramesDropped),
+                val(stats, StatKey::kFlightOverwritten),
+                val(stats, StatKey::kClusterForwardsOut) +
+                    val(stats, StatKey::kClusterForwardsIn),
+                val(stats, StatKey::kClusterPushes),
+                val(stats, StatKey::kClusterMembers),
                 static_cast<double>(val(stats, StatKey::kLastTickAgeUs)) /
                     1000.0,
                 val(stats, StatKey::kStageDecodeP99Us),
