@@ -1,0 +1,266 @@
+#!/usr/bin/env bash
+# NET-F: self-healing under churn and overload. A 3-member cluster serves
+# owner-aware load; one member is SIGKILLed mid-run and gossip must
+# rebalance the ring onto the survivors without operator input. The killed
+# member then restarts from its WAL and must warm its slice back up over
+# kSliceSync (anti-entropy from the survivors) before it serves. A final
+# overload burst must trip the admission gate — reads shed with
+# kOverloaded, writes defer but never drop. Gates: zero abandoned
+# operations in every phase, nonzero rebalance / slice-sync / shed
+# counters, ring re-learning observed by the client, and the merged trace
+# of all four phases passing timedc-check TSC.
+#
+# Each phase uses its own client site band and object range, so the merged
+# history keeps per-site times strictly increasing and phase boundaries
+# cannot manufacture cross-phase staleness (a slice whose owner died takes
+# new writes under LWW; reads of never-rewritten cold objects are simply
+# not part of the workload).
+#
+# usage: ci/rebalance_smoke.sh [build-dir] [artifact-dir]
+set -euo pipefail
+
+BUILD=${1:-build}
+OUT=${2:-rebalance-artifacts}
+mkdir -p "$OUT"
+rm -f "$OUT"/[abc].wal.*
+
+A_PORT=7501 B_PORT=7502 C_PORT=7503   # sites 0, 1, 2
+
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]}"; do
+    kill -KILL "$pid" 2>/dev/null || true
+  done
+}
+trap cleanup EXIT
+
+# Fast failure detection for CI: suspect after 3 missed 100ms heartbeats,
+# dead 400ms later. Admission is armed on every member (500 ops/s, burst
+# 16) — the steady phases run far below the rate, only the burst phase
+# trips it. The killed member's restart adds --warm-up.
+start_server() { # name site port peer1 peer2 [extra flags...]
+  local name=$1 site=$2 port=$3 peer1=$4 peer2=$5
+  shift 5
+  "$BUILD"/tools/timedc-server --port "$port" --shards 1 \
+    --site-base "$site" --cluster --cluster-size 3 --cluster-push update \
+    --peer "$peer1" --peer "$peer2" \
+    --heartbeat-ms 100 --dead-grace-ms 400 \
+    --admit-rate 500 --admit-burst 16 \
+    --state-file "$OUT/$name.wal" --duration-s 240 --drain-ms 300 \
+    --metrics-out "$OUT/server_${name}_metrics.json" "$@" \
+    >>"$OUT/server_${name}_out.txt" 2>>"$OUT/server_${name}_err.txt" &
+  PIDS+=("$!")
+}
+
+: >"$OUT/server_a_out.txt"; : >"$OUT/server_b_out.txt"; : >"$OUT/server_c_out.txt"
+start_server a 0 $A_PORT 1:127.0.0.1:$B_PORT 2:127.0.0.1:$C_PORT
+A_PID=${PIDS[-1]}
+start_server b 1 $B_PORT 0:127.0.0.1:$A_PORT 2:127.0.0.1:$C_PORT
+B_PID=${PIDS[-1]}
+start_server c 2 $C_PORT 0:127.0.0.1:$A_PORT 1:127.0.0.1:$B_PORT
+C_PID=${PIDS[-1]}
+
+for f in server_a_out server_b_out server_c_out; do
+  for _ in $(seq 1 50); do
+    grep -q LISTENING "$OUT/$f.txt" 2>/dev/null && break
+    sleep 0.1
+  done
+  grep -q LISTENING "$OUT/$f.txt" || { echo "FAIL: $f never listened"; exit 1; }
+done
+
+run_load() { # phase ports extra-flags...
+  local phase=$1 ports=$2
+  shift 2
+  timeout 60 "$BUILD"/tools/timedc-load \
+    --ports "$ports" --cluster \
+    --threads 2 --duration-s 0 --delta-us 50000 \
+    --max-abandoned 0 --min-ops-per-sec 3 --time-sync-ms 250 \
+    --history-out "$OUT/phase${phase}.trace" \
+    --metrics-out "$OUT/load${phase}_metrics.json" "$@" \
+    >"$OUT/load${phase}_out.txt" 2>"$OUT/load${phase}_err.txt" || {
+      echo "FAIL: phase $phase timedc-load exited nonzero"
+      cat "$OUT/load${phase}_out.txt" "$OUT/load${phase}_err.txt"; exit 1; }
+  cat "$OUT/load${phase}_out.txt"
+}
+
+# Expects the summed value of a stat key scraped from one server's board
+# to reach a floor; polls until it does or times out.
+wait_for_stat() { # port key floor tries what
+  local port=$1 key=$2 floor=$3 tries=$4 what=$5
+  for _ in $(seq 1 "$tries"); do
+    if "$BUILD"/tools/timedc-top --port "$port" --once --json \
+        >"$OUT/poll.json" 2>/dev/null; then
+      if python3 - "$OUT/poll.json" "$key" "$floor" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+total = sum(e["stats"].get(sys.argv[2], 0) for e in doc["sites"])
+sys.exit(0 if total >= int(sys.argv[3]) else 1)
+EOF
+      then return 0; fi
+    fi
+    sleep 0.2
+  done
+  echo "FAIL: $what (never saw $key >= $floor on port $port)"
+  exit 1
+}
+
+# ---- Phase 1: healthy baseline, all three members serving -------------
+run_load 1 $A_PORT,$B_PORT,$C_PORT \
+  --clients 3 --ops 30 --write-pct 50 --think-us 50000 --zipf 0.9 \
+  --objects 18 --object-base 600000 --site-base 100 --seed 21 \
+  --max-attempts 8 --retry-base-ms 40
+
+# ---- SIGKILL member C: gossip must rebalance without operator input ---
+kill -KILL "$C_PID"
+wait "$C_PID" 2>/dev/null || true
+wait_for_stat $A_PORT cluster.rebalances 1 100 "A never rebalanced after C died"
+wait_for_stat $B_PORT cluster.rebalances 1 100 "B never rebalanced after C died"
+echo "rebalanced onto survivors"
+
+# ---- Phase 2: degraded serving on the survivors -----------------------
+# Writes-only: these objects are what the restarted C must later pull over
+# kSliceSync (the survivors own them now; roughly a third remaps to C).
+run_load 2 $A_PORT,$B_PORT \
+  --clients 3 --ops 30 --write-pct 100 --think-us 20000 \
+  --objects 24 --object-base 610000 --site-base 200 --seed 22 \
+  --max-attempts 8 --retry-base-ms 40
+
+# ---- Restart C: WAL replay + ring re-join + kSliceSync warm-up --------
+start_server c 2 $C_PORT 0:127.0.0.1:$A_PORT 1:127.0.0.1:$B_PORT \
+  --warm-up --warm-timeout-ms 10000
+C_PID=${PIDS[-1]}
+for _ in $(seq 1 100); do
+  grep -q "WARMED 2 synced" "$OUT/server_c_out.txt" 2>/dev/null && break
+  sleep 0.2
+done
+grep -q "WARMED 2 synced" "$OUT/server_c_out.txt" || {
+  echo "FAIL: restarted member never finished anti-entropy warm-up"
+  cat "$OUT/server_c_out.txt" "$OUT/server_c_err.txt"; exit 1; }
+wait_for_stat $C_PORT cluster.slices_synced 1 50 "C warmed without syncing"
+wait_for_stat $A_PORT cluster.rebalances 2 100 "A never re-added C"
+wait_for_stat $B_PORT cluster.rebalances 2 100 "B never re-added C"
+echo "member C warmed up and re-joined the ring"
+
+# ---- Phase 3: healed cluster, deliberate misrouting -------------------
+# The ring has moved off the configured baseline (epoch > 0), so misrouted
+# requests must come back with kRingUpdate hints the client adopts.
+run_load 3 $A_PORT,$B_PORT,$C_PORT \
+  --clients 3 --ops 30 --write-pct 40 --think-us 20000 --misroute-pct 30 \
+  --objects 18 --object-base 620000 --site-base 300 --seed 23 \
+  --max-attempts 8 --retry-base-ms 40
+
+# ---- Phase 4: overload burst — the admission gate must trip -----------
+# Zero think time and read-heavy: demand far exceeds 500 ops/s per member,
+# so reads shed (kOverloaded + client retry) while writes defer briefly
+# and still land. --max-abandoned 0 proves shedding never strands an op.
+run_load 4 $A_PORT,$B_PORT,$C_PORT \
+  --clients 4 --ops 60 --write-pct 20 --think-us 0 \
+  --objects 18 --object-base 630000 --site-base 400 --seed 24 \
+  --max-attempts 10 --retry-base-ms 20
+
+# ---- Scrape every board while the servers still serve -----------------
+for s in a:$A_PORT b:$B_PORT c:$C_PORT; do
+  name=${s%%:*}; port=${s##*:}
+  "$BUILD"/tools/timedc-top --port "$port" --once --json \
+    >"$OUT/top_${name}.json"
+  python3 ci/validate_top.py "$OUT/top_${name}.json" --reactors 1 \
+    --require-ops --require-members 3
+done
+"$BUILD"/tools/timedc-top --port $A_PORT --once --prom >"$OUT/top_a.prom"
+for metric in timedc_site_0_cluster_ring_epoch \
+              timedc_site_0_cluster_rebalances \
+              timedc_site_0_cluster_slices_synced \
+              timedc_site_0_cluster_reads_shed \
+              timedc_site_0_cluster_writes_deferred \
+              timedc_site_0_cluster_overloaded_replies; do
+  grep -q "^$metric " "$OUT/top_a.prom" || {
+    echo "FAIL: prom scrape missing $metric"; exit 1; }
+done
+"$BUILD"/tools/timedc-top --port $A_PORT --once >"$OUT/top_a_table.txt"
+for col in RBAL WARM SHED; do
+  grep -q "$col" "$OUT/top_a_table.txt" || {
+    echo "FAIL: table scrape missing $col column"; exit 1; }
+done
+
+kill -TERM "$A_PID" "$B_PID" "$C_PID" 2>/dev/null || true
+wait "$A_PID" 2>/dev/null || true
+wait "$B_PID" 2>/dev/null || true
+wait "$C_PID" 2>/dev/null || true
+PIDS=()
+
+# ---- Merge the four phase traces and check TSC ------------------------
+# Site bands and object ranges are disjoint per phase, so the merge is a
+# single header (max sites, max measured eps) over the union of the op
+# lines. Delta=3s covers the forwarding hop, retry backoff under shedding,
+# and the rebalance windows.
+python3 - "$OUT" <<'EOF'
+import sys
+out = sys.argv[1]
+sites, eps, ops = 0, None, []
+for phase in (1, 2, 3, 4):
+    with open(f"{out}/phase{phase}.trace") as f:
+        for line in f:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            head = line.split()
+            if head[0] == "sites":
+                sites = max(sites, int(head[1]))
+            elif head[0] == "eps":
+                eps = max(eps or 0, int(head[1]))
+            else:
+                ops.append(line)
+with open(f"{out}/merged.trace", "w") as f:
+    f.write(f"# NET-F merged trace\nsites {sites}\n")
+    if eps is not None:
+        f.write(f"eps {eps}\n")
+    f.write("\n".join(ops) + "\n")
+print(f"merged {len(ops)} ops across 4 phases (sites={sites}, eps={eps})")
+EOF
+"$BUILD"/tools/timedc-check --delta 3000000 "$OUT/merged.trace"
+
+for phase in 1 2 3 4; do
+  python3 ci/validate_trace.py --metrics "$OUT/load${phase}_metrics.json"
+done
+
+# ---- The self-healing machinery must actually have fired --------------
+python3 - "$OUT" <<'EOF'
+import json, sys
+out = sys.argv[1]
+
+loads = {}
+for phase in (1, 2, 3, 4):
+    with open(f"{out}/load{phase}_metrics.json") as f:
+        loads[phase] = json.load(f)["counters"]
+for phase, counters in loads.items():
+    if counters.get("load.ops_abandoned", 0) != 0:
+        sys.exit(f"phase {phase}: abandoned operations slipped past the gate")
+if loads[3].get("load.ring_updates", 0) <= 0:
+    sys.exit("phase 3: client never re-learned the ring from bounce hints")
+if loads[4].get("load.overloaded", 0) <= 0:
+    sys.exit("phase 4: client never saw a kOverloaded retry-after")
+
+totals = {}
+for name in ("a", "b", "c"):
+    with open(f"{out}/top_{name}.json") as f:
+        doc = json.load(f)
+    for entry in doc["sites"]:
+        for key, value in entry["stats"].items():
+            totals[key] = totals.get(key, 0) + value
+checks = {
+    "cluster.rebalances": 4,     # kill + re-join on each survivor
+    "cluster.slices_synced": 1,  # C pulled phase-2 state over kSliceSync
+    "cluster.reads_shed": 1,     # the burst tripped the admission gate
+    "cluster.overloaded_replies": 1,
+    "cluster.ring_epoch": 1,     # the ring left the configured baseline
+}
+for key, floor in checks.items():
+    if totals.get(key, 0) < floor:
+        sys.exit(f"expected summed {key} >= {floor}, got {totals.get(key, 0)}")
+if totals.get("cluster.hops_exceeded", 0) != 0:
+    sys.exit("forwarding loop: cluster.hops_exceeded is nonzero")
+print("rebalance smoke OK:",
+      {k: totals[k] for k in checks})
+EOF
+
+echo "rebalance smoke passed"

@@ -27,7 +27,10 @@ REQUIRED_KEYS = {
     "cluster.forwards_out", "cluster.forwards_in", "cluster.relayed",
     "cluster.hops_exceeded", "cluster.membership_sent",
     "cluster.membership_received", "cluster.members", "cluster.epoch",
-    "cluster.pushes", "cluster.replica_hits", "last_tick_age_us",
+    "cluster.pushes", "cluster.replica_hits", "cluster.ring_epoch",
+    "cluster.rebalances", "cluster.stale_forwards", "cluster.slices_synced",
+    "cluster.reads_shed", "cluster.writes_deferred",
+    "cluster.overloaded_replies", "last_tick_age_us",
     "stage.decode.p99_us", "stage.apply.p99_us", "stage.enqueue.p99_us",
     "stage.flush.p99_us",
     "staleness.p50_us", "staleness.p95_us", "staleness.p99_us",

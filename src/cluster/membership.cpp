@@ -67,10 +67,15 @@ bool MembershipTable::merge(std::uint64_t remote_epoch,
     const bool worse = e.incarnation == m.incarnation && e.status > m.status;
     if (!newer && !worse) continue;
     const bool was_alive = m.status == kAlive;
+    const bool was_serving = m.status < kDead;
     m.incarnation = e.incarnation;
     m.status = e.status;
     if (e.status == kAlive) m.last_heard_us = now_us;
+    // Both set boundaries version the epoch: alive-set changes (the
+    // original gossip contract) and serving-set changes (suspect -> dead at
+    // equal incarnation, which moves ownership and must rebuild the ring).
     if (was_alive != (m.status == kAlive)) changed = true;
+    if (was_serving != (m.status < kDead)) changed = true;
   }
   if (remote_epoch > epoch_) {
     epoch_ = remote_epoch;
@@ -92,6 +97,30 @@ bool MembershipTable::suspect_silent(std::int64_t now_us,
   }
   if (changed) ++epoch_;
   return changed;
+}
+
+bool MembershipTable::kill_silent(std::int64_t now_us,
+                                  std::int64_t suspect_timeout_us,
+                                  std::int64_t dead_grace_us) {
+  bool changed = false;
+  for (Member& m : members_) {
+    if (m.site == self_.value || m.status != kSuspect) continue;
+    if (m.last_heard_us != 0 &&
+        now_us - m.last_heard_us > suspect_timeout_us + dead_grace_us) {
+      m.status = kDead;
+      changed = true;
+    }
+  }
+  if (changed) ++epoch_;
+  return changed;
+}
+
+void MembershipTable::serving_members(std::vector<std::uint32_t>& out) const {
+  out.clear();
+  for (const Member& m : members_) {
+    if (m.status < kDead) out.push_back(m.site);
+  }
+  std::sort(out.begin(), out.end());
 }
 
 void MembershipTable::fill_digest(std::vector<wire::MemberEntry>& out) const {

@@ -69,6 +69,18 @@ class MembershipTable {
   /// true when the alive set changed (epoch bumped).
   bool suspect_silent(std::int64_t now_us, std::int64_t timeout_us);
 
+  /// Promote suspects to dead once silent past `suspect_timeout_us +
+  /// dead_grace_us`: suspicion alone never moves ownership (a paused or
+  /// briefly partitioned member keeps its slice), only death past the grace
+  /// does. Returns true when the serving set changed (epoch bumped).
+  bool kill_silent(std::int64_t now_us, std::int64_t suspect_timeout_us,
+                   std::int64_t dead_grace_us);
+
+  /// Fill `out` (cleared, capacity reused) with the serving set — every
+  /// member with status < kDead, self included — sorted by site id, so all
+  /// servers that agree on the table build bit-identical rings from it.
+  void serving_members(std::vector<std::uint32_t>& out) const;
+
   /// Fill `out` (cleared first, capacity reused) with this table's digest,
   /// capped at wire::kMaxMembers entries.
   void fill_digest(std::vector<wire::MemberEntry>& out) const;

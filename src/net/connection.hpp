@@ -107,24 +107,46 @@ class Connection {
   void send_stats_reply(SiteId from, SiteId to, std::uint64_t seq,
                         std::span<const wire::StatsBoardSpan> boards);
 
-  /// Queue one cluster membership gossip frame.
+  /// Queue one cluster membership gossip frame stamped with the sender's
+  /// ring epoch.
   void send_membership(SiteId from, SiteId to, std::uint64_t epoch,
+                       std::uint64_t ring_epoch,
                        std::span<const wire::MemberEntry> members);
 
   /// Queue one kForward frame re-encoding `m` as the inner frame (the
   /// decoded-message forward path: a local ObjectServer ruled itself
-  /// non-owner).
+  /// non-owner). `serve_here` marks a warm-up forward-through that the
+  /// receiver must serve locally; `ring_epoch` stamps the sender's ring.
   void send_forward(SiteId from, SiteId to, std::uint8_t hops,
+                    bool serve_here, std::uint64_t ring_epoch,
                     SiteId inner_from, SiteId inner_to, const Message& m);
 
   /// Queue one kForward frame wrapping an already-encoded protocol frame
   /// verbatim (the zero-decode forward path for misrouted arrivals).
   void send_forward_raw(SiteId from, SiteId to, std::uint8_t hops,
+                        bool serve_here, std::uint64_t ring_epoch,
                         std::span<const std::uint8_t> inner_frame);
 
   /// Queue one cluster cacher-registration frame.
   void send_cacher_subscribe(SiteId from, SiteId to,
                              const wire::CacherSubscribe& cs);
+
+  /// Queue one anti-entropy slice-sync request frame.
+  void send_slice_sync(SiteId from, SiteId to,
+                       const wire::SliceSyncRequest& rq);
+
+  /// Queue one anti-entropy slice-sync reply batch.
+  void send_slice_sync_reply(SiteId from, SiteId to, std::uint64_t seq,
+                             std::uint64_t ring_epoch, std::uint8_t status,
+                             std::uint32_t next_cursor,
+                             std::span<const wire::SliceRecord> records);
+
+  /// Queue one ring-update hint frame (ring epoch + serving member list).
+  void send_ring_update(SiteId from, SiteId to, std::uint64_t ring_epoch,
+                        std::span<const std::uint32_t> members);
+
+  /// Queue one admission-shed kOverloaded reply frame.
+  void send_overloaded(SiteId from, SiteId to, const wire::Overloaded& ov);
 
   /// Queue a complete, already-encoded frame verbatim (the relay path:
   /// these bytes were peeked off another connection and keep their original

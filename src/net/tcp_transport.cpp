@@ -307,8 +307,13 @@ void TcpTransport::emit_or_wrap(Connection* conn, SiteId from, SiteId to,
       // exactly as for a direct request, and its reply to the client routes
       // back through this connection (the owner learns the path on unwrap).
       if (dispatch_hops_ < kMaxForwardHops) {
-        conn->send_forward(cluster_self_, to, dispatch_hops_ + 1, *rt, to, m);
+        conn->send_forward(cluster_self_, to, dispatch_hops_ + 1,
+                           /*serve_here=*/false, ring_epoch_, *rt, to, m);
         ++stats_.forwards_out;
+        // The client picked the wrong server for this object: once the ring
+        // has moved off the configured baseline, hint it with the current
+        // serving ring so it re-learns instead of paying a hop per request.
+        maybe_hint_ring(*rt);
         return;
       }
       ++stats_.forward_hops_exceeded;  // send unwrapped: better late than lost
@@ -530,7 +535,14 @@ void TcpTransport::on_supervised_connected(SiteId site) {
 }
 
 void TcpTransport::schedule_heartbeat(SiteId site, std::uint64_t generation) {
-  loop_.run_after(supervision_.heartbeat_interval, [this, site, generation]() {
+  // ±10% jitter per tick: N members that booted together (or all watched
+  // the same peer die) would otherwise fire their heartbeats — and the
+  // membership digests riding them — in the same instant forever.
+  std::int64_t delay_us = supervision_.heartbeat_interval.as_micros();
+  delay_us += static_cast<std::int64_t>(
+      0.1 * static_cast<double>(delay_us) *
+      (2.0 * backoff_rng_.uniform01() - 1.0));
+  loop_.run_after(SimTime::micros(delay_us), [this, site, generation]() {
     const auto it = peers_.find(site.value);
     if (it == peers_.end()) return;
     Peer& peer = it->second;
@@ -556,7 +568,7 @@ void TcpTransport::schedule_heartbeat(SiteId site, std::uint64_t generation) {
       // heartbeat, to the same peer, on the same coalesced flush.
       std::uint64_t epoch = 0;
       membership_provider_(epoch, membership_scratch_);
-      peer.conn->send_membership(cluster_self_, site, epoch,
+      peer.conn->send_membership(cluster_self_, site, epoch, ring_epoch_,
                                  membership_scratch_);
       ++stats_.membership_sent;
     }
@@ -653,16 +665,47 @@ void TcpTransport::on_frame(Connection& conn, const wire::FrameView& view) {
       return;
     }
     ++stats_.forwards_in;
+    const wire::ForwardPrefix fp = wire::peek_forward_prefix(view);
+    if (ring_epoch_ > 0 && fp.ring_epoch < ring_epoch_ && !fp.serve_here) {
+      // The forwarder's ring is behind ours (it missed a rebalance): still
+      // process the inner frame — our own routing re-forwards if we are not
+      // the owner either — but bounce the current serving ring back so the
+      // stale sender stops forwarding into the past.
+      ++stats_.stale_forwards;
+      conn.send_ring_update(cluster_self_, view.from, ring_epoch_,
+                            ring_members_);
+      ++stats_.ring_updates_sent;
+    }
     // Learn the original client's return path *through the forwarder*: the
     // reply addressed to inner.from leaves on this inter-server connection,
     // and the forwarder relays it to the client it still holds.
     peer_conn_[inner.from.value] = &conn;
-    dispatch_protocol(conn, inner, view.body[0]);
+    // A serve-here forward (a WARMING owner's forward-through) pins the
+    // dispatch to local state: dispatch_serve_locally() reads this flag for
+    // exactly the duration of the inner dispatch.
+    dispatch_serve_here_ = fp.serve_here;
+    dispatch_protocol(conn, inner, fp.hops);
+    dispatch_serve_here_ = false;
     return;
   }
   if (view.is_protocol()) {
     dispatch_protocol(conn, view, /*hops=*/0);
     return;
+  }
+  if (cluster_enabled_ &&
+      (view.type == wire::MsgType::kOverloaded ||
+       view.type == wire::MsgType::kRingUpdate) &&
+      handlers_.find(view.to.value) == handlers_.end()) {
+    // An admission-shed reply or ring hint travelling back to a client whose
+    // connection this process holds (the request arrived here and was
+    // forwarded out): relay verbatim, exactly like protocol replies.
+    const auto learned = peer_conn_.find(view.to.value);
+    if (learned != peer_conn_.end() && !learned->second->closed() &&
+        learned->second != &conn) {
+      learned->second->send_raw_frame(wire::frame_bytes(view));
+      ++stats_.relayed;
+      return;
+    }
   }
   // Transport-internal frame (heartbeat, time-sync, stats, membership,
   // cacher-subscribe): decode into the reused scratch frame and answer or
@@ -714,7 +757,8 @@ void TcpTransport::on_frame(Connection& conn, const wire::FrameView& view) {
   if (frame.is_membership) {
     ++stats_.membership_received;
     if (on_membership_) {
-      on_membership_(frame.from, frame.membership_epoch, frame.members);
+      on_membership_(frame.from, frame.membership_epoch,
+                     frame.membership_ring_epoch, frame.members);
     }
     return;
   }
@@ -723,6 +767,45 @@ void TcpTransport::on_frame(Connection& conn, const wire::FrameView& view) {
     if (on_cacher_subscribe_) {
       on_cacher_subscribe_(frame.to, frame.cacher_subscribe);
     }
+    return;
+  }
+  if (frame.is_slice_sync) {
+    // Anti-entropy donor path: the warming requester asks for its slice of
+    // our store. Answer on the arriving connection — the requester's warm
+    // driver owns retries, so an unconfigured donor still replies (not
+    // ready) rather than black-holing the warm-up.
+    ++stats_.slice_sync_served;
+    std::uint8_t status = wire::kSliceNotReady;
+    std::uint32_t next_cursor = frame.slice_sync.cursor;
+    slice_scratch_.clear();
+    if (slice_sync_server_) {
+      status = slice_sync_server_(frame.from, frame.slice_sync,
+                                  slice_scratch_, next_cursor);
+    }
+    conn.send_slice_sync_reply(frame.to, frame.from, frame.slice_sync.seq,
+                               ring_epoch_, status, next_cursor,
+                               slice_scratch_);
+    return;
+  }
+  if (frame.is_slice_sync_reply) {
+    ++stats_.slice_sync_replies;
+    if (on_slice_sync_reply_) {
+      on_slice_sync_reply_(frame.from, frame.slice_seq, frame.slice_ring_epoch,
+                           frame.slice_status, frame.slice_next_cursor,
+                           frame.slice_records);
+    }
+    return;
+  }
+  if (frame.is_ring_update) {
+    ++stats_.ring_updates_received;
+    if (on_ring_update_) {
+      on_ring_update_(frame.from, frame.ring_update_epoch, frame.ring_members);
+    }
+    return;
+  }
+  if (frame.is_overloaded) {
+    ++stats_.overloaded_received;
+    if (on_overloaded_) on_overloaded_(frame.to, frame.overloaded);
     return;
   }
 }
@@ -815,8 +898,10 @@ bool TcpTransport::relay_or_forward(Connection& conn,
       peer_it->second.conn != nullptr && !peer_it->second.conn->closed()) {
     peer_it->second.conn->send_forward_raw(cluster_self_, view.to,
                                            static_cast<std::uint8_t>(hops + 1),
+                                           /*serve_here=*/false, ring_epoch_,
                                            wire::frame_bytes(view));
     ++stats_.forwards_out;
+    maybe_hint_ring(view.from);
     return true;
   }
   if (supervision_.enabled && peer_it == peers_.end() &&
@@ -827,6 +912,98 @@ bool TcpTransport::relay_or_forward(Connection& conn,
     start_dial(SiteId{view.to.value});
   }
   return false;
+}
+
+// --- self-healing (wire v6) -------------------------------------------------
+
+void TcpTransport::set_ring(std::uint64_t epoch,
+                            std::span<const std::uint32_t> members) {
+  ring_epoch_ = epoch;
+  ring_members_.assign(members.begin(), members.end());
+}
+
+void TcpTransport::maybe_hint_ring(SiteId client) {
+  if (ring_epoch_ == 0) return;  // baseline ring: nothing to re-learn
+  std::uint64_t& hinted = ring_hinted_[client.value];
+  if (hinted >= ring_epoch_) return;  // already told this client this epoch
+  const auto it = peer_conn_.find(client.value);
+  if (it == peer_conn_.end() || it->second->closed()) return;
+  hinted = ring_epoch_;
+  it->second->send_ring_update(cluster_self_, client, ring_epoch_,
+                               ring_members_);
+  ++stats_.ring_updates_sent;
+}
+
+void TcpTransport::purge_member(SiteId site) {
+  ++stats_.members_purged;
+  // The learned return path: a reply routed at this peer would sit in a
+  // kernel buffer (or a half-dead socket) until supervision noticed.
+  peer_conn_.erase(site.value);
+  // The pending-forward queue: frames buffered while the route was
+  // reconnecting. Gossip just proved the peer dead cluster-wide, which is
+  // strictly stronger evidence than local supervision failures — the retry
+  // layer re-issues against the rebalanced ring instead.
+  const auto it = peers_.find(site.value);
+  if (it != peers_.end() && !it->second.queue.empty()) {
+    stats_.frames_dropped_peer_dead += it->second.queue.size();
+    it->second.queue.clear();
+  }
+  ring_hinted_.erase(site.value);
+}
+
+bool TcpTransport::send_slice_sync(SiteId from, SiteId to,
+                                   const wire::SliceSyncRequest& rq) {
+  Connection* conn = nullptr;
+  if (supervision_.enabled && routes_.find(to.value) != routes_.end()) {
+    const auto it = peers_.find(to.value);
+    if (it == peers_.end()) {
+      peers_.try_emplace(to.value);
+      start_dial(to);
+      return false;  // the warm driver retries on its own cadence
+    }
+    if (it->second.state != ConnectionState::kHealthy) return false;
+    conn = it->second.conn;
+  } else {
+    conn = connection_to(to);
+  }
+  if (conn == nullptr || conn->closed()) return false;
+  conn->send_slice_sync(from, to, rq);
+  ++stats_.slice_sync_sent;
+  return true;
+}
+
+bool TcpTransport::send_overloaded(SiteId from, SiteId to,
+                                   const wire::Overloaded& ov) {
+  const auto learned = peer_conn_.find(to.value);
+  Connection* conn = (learned != peer_conn_.end() && !learned->second->closed())
+                         ? learned->second
+                         : connection_to(to);
+  if (conn == nullptr || conn->closed()) return false;
+  conn->send_overloaded(from, to, ov);
+  ++stats_.overloaded_sent;
+  return true;
+}
+
+bool TcpTransport::forward_serve_here(SiteId inner_from, SiteId donor,
+                                      const Message& m) {
+  Connection* conn = nullptr;
+  if (supervision_.enabled && routes_.find(donor.value) != routes_.end()) {
+    const auto it = peers_.find(donor.value);
+    if (it == peers_.end()) {
+      peers_.try_emplace(donor.value);
+      start_dial(donor);
+      return false;  // caller falls back to serving its (cold) local state
+    }
+    if (it->second.state != ConnectionState::kHealthy) return false;
+    conn = it->second.conn;
+  } else {
+    conn = connection_to(donor);
+  }
+  if (conn == nullptr || conn->closed()) return false;
+  conn->send_forward(cluster_self_, donor, /*hops=*/1, /*serve_here=*/true,
+                     ring_epoch_, inner_from, donor, m);
+  ++stats_.forwards_out;
+  return true;
 }
 
 void TcpTransport::answer_stats(Connection& conn, SiteId requester,
@@ -1052,6 +1229,8 @@ void TcpTransport::observe_tick() {
           static_cast<std::int64_t>(stats_.membership_sent));
     b.set(StatKey::kClusterMembershipReceived,
           static_cast<std::int64_t>(stats_.membership_received));
+    b.set(StatKey::kClusterStaleForwards,
+          static_cast<std::int64_t>(stats_.stale_forwards));
   }
   if (flight_ != nullptr) {
     b.set(StatKey::kFlightRecorded,

@@ -142,6 +142,16 @@ struct TcpTransportStats {
   std::uint64_t frames_requeued = 0;     // flushed after a reconnect
   std::uint64_t frames_dropped_queue_full = 0;
   std::uint64_t frames_dropped_peer_dead = 0;
+  // Self-healing (wire v6; all zero until the rebalance path is exercised):
+  std::uint64_t stale_forwards = 0;      // kForward arrivals with an older ring epoch
+  std::uint64_t ring_updates_sent = 0;   // kRingUpdate hints emitted
+  std::uint64_t ring_updates_received = 0;
+  std::uint64_t slice_sync_sent = 0;     // anti-entropy requests sent
+  std::uint64_t slice_sync_served = 0;   // requests answered as donor
+  std::uint64_t slice_sync_replies = 0;  // reply batches received
+  std::uint64_t overloaded_sent = 0;     // admission-shed replies emitted
+  std::uint64_t overloaded_received = 0;
+  std::uint64_t members_purged = 0;      // gossip-dead purges (paths + queues)
   /// Current number of supervised peers in each ConnectionState
   /// (index = state value); refreshed by TcpTransport::stats().
   std::array<std::uint64_t, 4> peers_by_state{};
@@ -306,14 +316,84 @@ class TcpTransport final : public Transport {
     membership_provider_ = std::move(p);
   }
 
-  /// Observe received kMembership digests: (gossiping peer, epoch,
-  /// entries). Entries alias decode scratch and die when the handler
-  /// returns.
+  /// Observe received kMembership digests: (gossiping peer, epoch, sender's
+  /// ring epoch, entries). Entries alias decode scratch and die when the
+  /// handler returns. The ring epoch is 0 from a v5 peer.
   using MembershipHandler = std::function<void(
-      SiteId, std::uint64_t, std::span<const wire::MemberEntry>)>;
+      SiteId, std::uint64_t, std::uint64_t, std::span<const wire::MemberEntry>)>;
   void set_membership_handler(MembershipHandler h) {
     on_membership_ = std::move(h);
   }
+
+  // --- self-healing (wire v6) ----------------------------------------------
+
+  /// Install the serving ring this transport stamps on outgoing kForward /
+  /// kMembership frames and advertises in kRingUpdate hints. `epoch` is the
+  /// cross-node ring epoch (the membership epoch captured at the last
+  /// serving-set change; 0 = the configured baseline ring, for which no
+  /// hints are ever sent) and `members` the serving member list the
+  /// deterministic ring is rebuilt from. Loop-thread only.
+  void set_ring(std::uint64_t epoch, std::span<const std::uint32_t> members);
+  std::uint64_t ring_epoch() const { return ring_epoch_; }
+
+  /// Satellite of the rebalance path: the moment gossip marks `site` DEAD,
+  /// drop its learned return path and every pending-forward queue entry —
+  /// today only connection death purges, so a gossip-confirmed-dead peer
+  /// could keep accumulating queued forwards until the local supervision
+  /// timer fired. Counted in frames_dropped_peer_dead + members_purged.
+  void purge_member(SiteId site);
+
+  /// Observe kRingUpdate hints: (sender, ring epoch, serving member list).
+  /// The list aliases decode scratch and dies when the handler returns.
+  using RingUpdateHandler =
+      std::function<void(SiteId, std::uint64_t, std::span<const std::uint32_t>)>;
+  void set_ring_update_handler(RingUpdateHandler h) {
+    on_ring_update_ = std::move(h);
+  }
+
+  /// Serve a kSliceSync request as donor: fill `records`/`next_cursor` for
+  /// (requester, request) and return the reply status byte (kSliceMore /
+  /// kSliceDone / kSliceNotReady). The vector is scratch, reused per call.
+  using SliceSyncServer = std::function<std::uint8_t(
+      SiteId, const wire::SliceSyncRequest&, std::vector<wire::SliceRecord>&,
+      std::uint32_t&)>;
+  void set_slice_sync_server(SliceSyncServer fn) {
+    slice_sync_server_ = std::move(fn);
+  }
+
+  /// Observe kSliceSyncReply batches: (donor, seq, donor ring epoch,
+  /// status, next cursor, records). Records alias decode scratch.
+  using SliceSyncReplyHandler = std::function<void(
+      SiteId, std::uint64_t, std::uint64_t, std::uint8_t, std::uint32_t,
+      std::span<const wire::SliceRecord>)>;
+  void set_slice_sync_reply_handler(SliceSyncReplyHandler h) {
+    on_slice_sync_reply_ = std::move(h);
+  }
+
+  /// Send one anti-entropy slice-sync request to the donor site. Same
+  /// delivery contract as send_time_sync: nothing is queued, false when no
+  /// usable connection — the warm-up driver retries on its own cadence.
+  bool send_slice_sync(SiteId from, SiteId to, const wire::SliceSyncRequest& rq);
+
+  /// Observe kOverloaded admission-shed replies addressed to local sites.
+  using OverloadedHandler = std::function<void(SiteId, const wire::Overloaded&)>;
+  void set_overloaded_handler(OverloadedHandler h) {
+    on_overloaded_ = std::move(h);
+  }
+
+  /// Send one admission-shed reply toward `to` (a client site), over its
+  /// learned return path or any open route. False when no path exists; the
+  /// client's retry timer then covers exactly as if the reply were lost.
+  bool send_overloaded(SiteId from, SiteId to, const wire::Overloaded& ov);
+
+  /// Forward `m` to `donor` flagged serve-here: the donor must answer from
+  /// local state even if its ring disagrees (the WARMING owner's
+  /// forward-through; the flag is the loop breaker). `inner_from` is the
+  /// original client, so the donor's reply relays back through here.
+  bool forward_serve_here(SiteId inner_from, SiteId donor, const Message& m);
+
+  // Transport:
+  bool dispatch_serve_locally() const override { return dispatch_serve_here_; }
 
   /// Observe kCacherSubscribe frames: (frame destination site, request).
   /// The destination names the local shard owning the object.
@@ -425,6 +505,9 @@ class TcpTransport final : public Transport {
   /// The connection frames to `to` should use: learned peer, open route
   /// connection, or a fresh dial. Null when unroutable.
   Connection* connection_to(SiteId to);
+  /// Send `client` a kRingUpdate over its learned path, once per serving
+  /// ring epoch (no-op on the baseline ring or when already hinted).
+  void maybe_hint_ring(SiteId client);
   Connection* dial(const Route& route, SiteId site);
 
   // Supervision internals (loop-thread only):
@@ -469,6 +552,22 @@ class TcpTransport final : public Transport {
   /// Gossip digest scratch, refilled per heartbeat (no steady-state
   /// allocation once capacity settles).
   std::vector<wire::MemberEntry> membership_scratch_;
+
+  // Self-healing state (loop-thread only):
+  std::uint64_t ring_epoch_ = 0;
+  /// Serving member list behind ring_epoch_, advertised in kRingUpdate.
+  std::vector<std::uint32_t> ring_members_;
+  /// True only while dispatching a serve-here kForward's inner frame.
+  bool dispatch_serve_here_ = false;
+  RingUpdateHandler on_ring_update_;
+  SliceSyncServer slice_sync_server_;
+  SliceSyncReplyHandler on_slice_sync_reply_;
+  OverloadedHandler on_overloaded_;
+  /// Slice-record scratch for serving sync requests (reused per request).
+  std::vector<wire::SliceRecord> slice_scratch_;
+  /// Ring epoch last hinted per client site: one kRingUpdate per client per
+  /// epoch, not one per misrouted request.
+  std::unordered_map<std::uint32_t, std::uint64_t> ring_hinted_;
   SimTime time_source_offset_ = SimTime::zero();
   Rng backoff_rng_;
   bool shutting_down_ = false;

@@ -64,6 +64,14 @@ class Transport {
   /// guarantee. The sim Network keeps the default: its fault model decides
   /// delivery per message, and the RPC layer's timeouts see the effects.
   virtual bool peer_reachable(SiteId /*to*/) const { return true; }
+
+  /// True while the message currently being dispatched arrived in a
+  /// kForward frame with the serve-here flag: a WARMING owner forwarded it
+  /// through to this site (its previous owner), which must answer from
+  /// local state even if its own ring disagrees — re-forwarding would
+  /// loop. Only TcpTransport ever returns true, and only for the duration
+  /// of that dispatch.
+  virtual bool dispatch_serve_locally() const { return false; }
 };
 
 }  // namespace timedc

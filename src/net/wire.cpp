@@ -298,6 +298,10 @@ Message decode_body(MsgType type, Reader& r) {
     case MsgType::kMembership:
     case MsgType::kForward:
     case MsgType::kCacherSubscribe:
+    case MsgType::kSliceSync:
+    case MsgType::kSliceSyncReply:
+    case MsgType::kOverloaded:
+    case MsgType::kRingUpdate:
       break;  // handled in decode_frame, never reaches decode_body
   }
   TIMEDC_ASSERT(false && "unreachable: type validated before decode_body");
@@ -317,6 +321,13 @@ void grow_for_append(std::vector<std::uint8_t>& out, std::size_t extra) {
   const std::size_t need = out.size() + extra;
   if (need > out.capacity()) out.reserve(std::max(need, out.capacity() * 2));
 }
+
+// v6 kForward body prefix: [flags+hops u8][ring_epoch u64]. Bit 7 of the
+// first byte is serve-here, the low 4 bits are the hop count, the bits in
+// between must be zero. A v5 body carries the bare hop byte only.
+inline constexpr std::uint8_t kForwardServeHereBit = 0x80;
+inline constexpr std::uint8_t kForwardHopsMask = 0x0f;
+inline constexpr std::size_t kForwardPrefixV6 = 1 + 8;
 
 }  // namespace
 
@@ -404,10 +415,11 @@ void encode_stats_reply_frame(SiteId from, SiteId to, std::uint64_t seq,
 }
 
 void encode_membership_frame(SiteId from, SiteId to, std::uint64_t epoch,
+                             std::uint64_t ring_epoch,
                              std::span<const MemberEntry> members,
                              std::vector<std::uint8_t>& out) {
   TIMEDC_ASSERT(members.size() <= kMaxMembers);
-  const std::size_t body = 8 + 4 + members.size() * (4 + 8 + 1);
+  const std::size_t body = 8 + 8 + 4 + members.size() * (4 + 8 + 1);
   grow_for_append(out, kHeaderBytes + body);
   Writer w(out);
   w.u16(kMagic);
@@ -417,6 +429,7 @@ void encode_membership_frame(SiteId from, SiteId to, std::uint64_t epoch,
   w.u32(to.value);
   w.u32(static_cast<std::uint32_t>(body));
   w.u64(epoch);
+  w.u64(ring_epoch);
   w.u32(static_cast<std::uint32_t>(members.size()));
   for (const MemberEntry& m : members) {
     w.u32(m.site);
@@ -426,9 +439,11 @@ void encode_membership_frame(SiteId from, SiteId to, std::uint64_t epoch,
 }
 
 void encode_forward_frame_raw(SiteId from, SiteId to, std::uint8_t hops,
+                              bool serve_here, std::uint64_t ring_epoch,
                               std::span<const std::uint8_t> inner_frame,
                               std::vector<std::uint8_t>& out) {
-  const std::size_t body = 1 + inner_frame.size();
+  TIMEDC_ASSERT(hops <= kForwardHopsMask);
+  const std::size_t body = kForwardPrefixV6 + inner_frame.size();
   TIMEDC_ASSERT(body <= kMaxBodyBytes);
   grow_for_append(out, kHeaderBytes + body);
   Writer w(out);
@@ -438,16 +453,20 @@ void encode_forward_frame_raw(SiteId from, SiteId to, std::uint8_t hops,
   w.u32(from.value);
   w.u32(to.value);
   w.u32(static_cast<std::uint32_t>(body));
-  w.u8(hops);
+  w.u8(static_cast<std::uint8_t>((serve_here ? kForwardServeHereBit : 0) |
+                                 hops));
+  w.u64(ring_epoch);
   out.insert(out.end(), inner_frame.begin(), inner_frame.end());
 }
 
 void encode_forward_frame(SiteId from, SiteId to, std::uint8_t hops,
+                          bool serve_here, std::uint64_t ring_epoch,
                           SiteId inner_from, SiteId inner_to,
                           const Message& inner,
                           std::vector<std::uint8_t>& out) {
+  TIMEDC_ASSERT(hops <= kForwardHopsMask);
   const std::size_t inner_size = encoded_frame_size(inner);
-  const std::size_t body = 1 + inner_size;
+  const std::size_t body = kForwardPrefixV6 + inner_size;
   TIMEDC_ASSERT(body <= kMaxBodyBytes);
   grow_for_append(out, kHeaderBytes + body);
   Writer w(out);
@@ -457,8 +476,96 @@ void encode_forward_frame(SiteId from, SiteId to, std::uint8_t hops,
   w.u32(from.value);
   w.u32(to.value);
   w.u32(static_cast<std::uint32_t>(body));
-  w.u8(hops);
+  w.u8(static_cast<std::uint8_t>((serve_here ? kForwardServeHereBit : 0) |
+                                 hops));
+  w.u64(ring_epoch);
   encode_frame(inner_from, inner_to, inner, out);
+}
+
+void encode_slice_sync_frame(SiteId from, SiteId to,
+                             const SliceSyncRequest& rq,
+                             std::vector<std::uint8_t>& out) {
+  constexpr std::size_t kBody = 8 + 8 + 4 + 4 + 8;
+  grow_for_append(out, kHeaderBytes + kBody);
+  Writer w(out);
+  w.u16(kMagic);
+  w.u8(kVersion);
+  w.u8(static_cast<std::uint8_t>(MsgType::kSliceSync));
+  w.u32(from.value);
+  w.u32(to.value);
+  w.u32(kBody);
+  w.u64(rq.seq);
+  w.u64(rq.ring_epoch);
+  w.u32(rq.cursor);
+  w.u32(rq.max_records);
+  w.i64(rq.if_newer_than_us);
+}
+
+void encode_slice_sync_reply_frame(SiteId from, SiteId to, std::uint64_t seq,
+                                   std::uint64_t ring_epoch,
+                                   std::uint8_t status,
+                                   std::uint32_t next_cursor,
+                                   std::span<const SliceRecord> records,
+                                   std::vector<std::uint8_t>& out) {
+  TIMEDC_ASSERT(records.size() <= kMaxSliceRecords);
+  TIMEDC_ASSERT(status <= kSliceNotReady);
+  const std::size_t body =
+      8 + 8 + 1 + 4 + 4 + records.size() * (4 + 8 + 8 + 8 + 4 + 8);
+  grow_for_append(out, kHeaderBytes + body);
+  Writer w(out);
+  w.u16(kMagic);
+  w.u8(kVersion);
+  w.u8(static_cast<std::uint8_t>(MsgType::kSliceSyncReply));
+  w.u32(from.value);
+  w.u32(to.value);
+  w.u32(static_cast<std::uint32_t>(body));
+  w.u64(seq);
+  w.u64(ring_epoch);
+  w.u8(status);
+  w.u32(next_cursor);
+  w.u32(static_cast<std::uint32_t>(records.size()));
+  for (const SliceRecord& rec : records) {
+    w.u32(rec.object);
+    w.i64(rec.value);
+    w.u64(rec.version);
+    w.i64(rec.alpha_us);
+    w.u32(rec.writer);
+    w.u64(rec.request_id);
+  }
+}
+
+void encode_ring_update_frame(SiteId from, SiteId to, std::uint64_t ring_epoch,
+                              std::span<const std::uint32_t> members,
+                              std::vector<std::uint8_t>& out) {
+  TIMEDC_ASSERT(members.size() <= kMaxMembers);
+  const std::size_t body = 8 + 4 + members.size() * 4;
+  grow_for_append(out, kHeaderBytes + body);
+  Writer w(out);
+  w.u16(kMagic);
+  w.u8(kVersion);
+  w.u8(static_cast<std::uint8_t>(MsgType::kRingUpdate));
+  w.u32(from.value);
+  w.u32(to.value);
+  w.u32(static_cast<std::uint32_t>(body));
+  w.u64(ring_epoch);
+  w.u32(static_cast<std::uint32_t>(members.size()));
+  for (std::uint32_t site : members) w.u32(site);
+}
+
+void encode_overloaded_frame(SiteId from, SiteId to, const Overloaded& ov,
+                             std::vector<std::uint8_t>& out) {
+  constexpr std::size_t kBody = 4 + 8 + 8;
+  grow_for_append(out, kHeaderBytes + kBody);
+  Writer w(out);
+  w.u16(kMagic);
+  w.u8(kVersion);
+  w.u8(static_cast<std::uint8_t>(MsgType::kOverloaded));
+  w.u32(from.value);
+  w.u32(to.value);
+  w.u32(kBody);
+  w.u32(ov.object);
+  w.u64(ov.request_id);
+  w.i64(ov.retry_after_us);
 }
 
 void encode_cacher_subscribe_frame(SiteId from, SiteId to,
@@ -518,7 +625,8 @@ FrameView peek_frame(std::span<const std::uint8_t> buf) {
   // introduced it on (kHeartbeat: 2, kTimeRequest/kTimeReply: 3); an older
   // frame declaring a newer type is malformed, not merely new.
   const std::uint8_t max_type =
-      version >= 5   ? static_cast<std::uint8_t>(MsgType::kCacherSubscribe)
+      version >= 6   ? static_cast<std::uint8_t>(MsgType::kRingUpdate)
+      : version == 5 ? static_cast<std::uint8_t>(MsgType::kCacherSubscribe)
       : version == 4 ? static_cast<std::uint8_t>(MsgType::kStatsReply)
       : version == 3 ? static_cast<std::uint8_t>(MsgType::kTimeReply)
       : version == 2 ? static_cast<std::uint8_t>(MsgType::kHeartbeat)
@@ -540,6 +648,7 @@ FrameView peek_frame(std::span<const std::uint8_t> buf) {
   view.status = DecodeStatus::kOk;
   view.consumed = kHeaderBytes + body_len;
   view.type = static_cast<MsgType>(raw_type);
+  view.version = version;
   view.body = buf.subspan(kHeaderBytes, body_len);
   return view;
 }
@@ -547,10 +656,14 @@ FrameView peek_frame(std::span<const std::uint8_t> buf) {
 FrameView peek_forward_inner(const FrameView& outer) {
   FrameView inner;
   inner.status = DecodeStatus::kBadField;
-  if (!outer.ok() || outer.type != MsgType::kForward || outer.body.empty()) {
+  // The prefix before the wrapped frame is version-gated: v6 added the
+  // ring epoch after the flags byte.
+  const std::size_t prefix = outer.version >= 6 ? kForwardPrefixV6 : 1;
+  if (!outer.ok() || outer.type != MsgType::kForward ||
+      outer.body.size() < prefix) {
     return inner;
   }
-  const std::span<const std::uint8_t> wrapped = outer.body.subspan(1);
+  const std::span<const std::uint8_t> wrapped = outer.body.subspan(prefix);
   FrameView peeked = peek_frame(wrapped);
   // A forged inner length can only land here as kNeedMore (the wrapped
   // bytes end before the declared body does) — still kBadField for the
@@ -565,6 +678,25 @@ FrameView peek_forward_inner(const FrameView& outer) {
   return peeked;
 }
 
+ForwardPrefix peek_forward_prefix(const FrameView& outer) {
+  ForwardPrefix prefix;
+  if (outer.type != MsgType::kForward || outer.body.empty()) return prefix;
+  const std::uint8_t first = outer.body[0];
+  if (outer.version >= 6) {
+    if (outer.body.size() < kForwardPrefixV6) return prefix;
+    prefix.hops = first & kForwardHopsMask;
+    prefix.serve_here = (first & kForwardServeHereBit) != 0;
+    std::uint64_t epoch = 0;
+    for (int i = 0; i < 8; ++i) {
+      epoch |= static_cast<std::uint64_t>(outer.body[1 + i]) << (8 * i);
+    }
+    prefix.ring_epoch = epoch;
+  } else {
+    prefix.hops = first;
+  }
+  return prefix;
+}
+
 DecodeStatus decode_frame_view(const FrameView& view, DecodedFrame& out) {
   out.status = view.status;
   out.consumed = 0;
@@ -577,6 +709,10 @@ DecodeStatus decode_frame_view(const FrameView& view, DecodedFrame& out) {
   out.is_membership = false;
   out.is_forward = false;
   out.is_cacher_subscribe = false;
+  out.is_slice_sync = false;
+  out.is_slice_sync_reply = false;
+  out.is_ring_update = false;
+  out.is_overloaded = false;
   if (!view.ok()) return out.status;
 
   Reader r(view.body);
@@ -646,6 +782,7 @@ DecodeStatus decode_frame_view(const FrameView& view, DecodedFrame& out) {
   if (view.type == MsgType::kMembership) {
     out.members.clear();
     const std::uint64_t epoch = r.u64();
+    const std::uint64_t ring_epoch = view.version >= 6 ? r.u64() : 0;
     const std::uint32_t n = r.u32();
     if (n > kMaxMembers) return out.status = DecodeStatus::kBadField;
     for (std::uint32_t i = 0; i < n; ++i) {
@@ -662,15 +799,100 @@ DecodeStatus decode_frame_view(const FrameView& view, DecodedFrame& out) {
     out.consumed = view.consumed;
     out.is_membership = true;
     out.membership_epoch = epoch;
+    out.membership_ring_epoch = ring_epoch;
     return out.status = DecodeStatus::kOk;
   }
   if (view.type == MsgType::kForward) {
     const FrameView inner = peek_forward_inner(view);
     if (!inner.ok()) return out.status = inner.status;
-    out.forward_inner.assign(view.body.begin() + 1, view.body.end());
+    const ForwardPrefix prefix = peek_forward_prefix(view);
+    if (view.version >= 6 &&
+        (view.body[0] & ~(kForwardServeHereBit | kForwardHopsMask)) != 0) {
+      return out.status = DecodeStatus::kBadField;
+    }
+    const std::size_t skip = view.version >= 6 ? kForwardPrefixV6 : 1;
+    out.forward_inner.assign(view.body.begin() + skip, view.body.end());
     out.consumed = view.consumed;
     out.is_forward = true;
-    out.forward_hops = view.body[0];
+    out.forward_hops = prefix.hops;
+    out.forward_serve_here = prefix.serve_here;
+    out.forward_ring_epoch = prefix.ring_epoch;
+    return out.status = DecodeStatus::kOk;
+  }
+  if (view.type == MsgType::kSliceSync) {
+    SliceSyncRequest rq;
+    rq.seq = r.u64();
+    rq.ring_epoch = r.u64();
+    rq.cursor = r.u32();
+    rq.max_records = r.u32();
+    rq.if_newer_than_us = r.i64();
+    if (rq.max_records == 0 || rq.max_records > kMaxSliceRecords) {
+      r.fail(DecodeStatus::kBadField);
+    }
+    if (r.status() != DecodeStatus::kOk) return out.status = r.status();
+    if (!r.exhausted()) return out.status = DecodeStatus::kTrailingBytes;
+    out.consumed = view.consumed;
+    out.is_slice_sync = true;
+    out.slice_sync = rq;
+    return out.status = DecodeStatus::kOk;
+  }
+  if (view.type == MsgType::kSliceSyncReply) {
+    out.slice_records.clear();
+    const std::uint64_t seq = r.u64();
+    const std::uint64_t ring_epoch = r.u64();
+    const std::uint8_t status = r.u8();
+    const std::uint32_t next_cursor = r.u32();
+    const std::uint32_t n = r.u32();
+    if (status > kSliceNotReady) return out.status = DecodeStatus::kBadField;
+    if (n > kMaxSliceRecords) return out.status = DecodeStatus::kBadField;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      SliceRecord rec;
+      rec.object = r.u32();
+      rec.value = r.i64();
+      rec.version = r.u64();
+      rec.alpha_us = r.i64();
+      rec.writer = r.u32();
+      rec.request_id = r.u64();
+      if (r.status() != DecodeStatus::kOk) break;
+      out.slice_records.push_back(rec);
+    }
+    if (r.status() != DecodeStatus::kOk) return out.status = r.status();
+    if (!r.exhausted()) return out.status = DecodeStatus::kTrailingBytes;
+    out.consumed = view.consumed;
+    out.is_slice_sync_reply = true;
+    out.slice_seq = seq;
+    out.slice_ring_epoch = ring_epoch;
+    out.slice_status = status;
+    out.slice_next_cursor = next_cursor;
+    return out.status = DecodeStatus::kOk;
+  }
+  if (view.type == MsgType::kRingUpdate) {
+    out.ring_members.clear();
+    const std::uint64_t ring_epoch = r.u64();
+    const std::uint32_t n = r.u32();
+    if (n > kMaxMembers) return out.status = DecodeStatus::kBadField;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const std::uint32_t site = r.u32();
+      if (r.status() != DecodeStatus::kOk) break;
+      out.ring_members.push_back(site);
+    }
+    if (r.status() != DecodeStatus::kOk) return out.status = r.status();
+    if (!r.exhausted()) return out.status = DecodeStatus::kTrailingBytes;
+    out.consumed = view.consumed;
+    out.is_ring_update = true;
+    out.ring_update_epoch = ring_epoch;
+    return out.status = DecodeStatus::kOk;
+  }
+  if (view.type == MsgType::kOverloaded) {
+    Overloaded ov;
+    ov.object = r.u32();
+    ov.request_id = r.u64();
+    ov.retry_after_us = r.i64();
+    if (r.status() != DecodeStatus::kOk) return out.status = r.status();
+    if (!r.exhausted()) return out.status = DecodeStatus::kTrailingBytes;
+    out.consumed = view.consumed;
+    out.is_overloaded = true;
+    out.overloaded = ov;
     return out.status = DecodeStatus::kOk;
   }
   if (view.type == MsgType::kCacherSubscribe) {

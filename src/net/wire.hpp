@@ -38,10 +38,14 @@ inline constexpr std::uint16_t kMagic = 0x5443;  // "TC"
 /// frame; version 3 added the TimeRequest/TimeReply clock-synchronization
 /// frames; version 4 added the StatsRequest/StatsReply introspection
 /// frames; version 5 added the cluster frames (Membership gossip, Forward
-/// wrapping, CacherSubscribe). Every older frame is still accepted
-/// unchanged (the version byte gates which MsgTypes are legal, not the
-/// field layouts, which are identical across all versions).
-inline constexpr std::uint8_t kVersion = 5;
+/// wrapping, CacherSubscribe); version 6 added the self-healing frames
+/// (SliceSync/SliceSyncReply anti-entropy, RingUpdate ownership hints,
+/// Overloaded admission replies) and EXTENDED two v5 body layouts — a v6
+/// kForward carries [flags+hops u8][ring_epoch u64] before the inner frame
+/// and a v6 kMembership carries the sender's ring epoch after the gossip
+/// epoch. Layout extensions are gated on the header version byte, so every
+/// older frame is still accepted with its original layout.
+inline constexpr std::uint8_t kVersion = 6;
 /// Oldest codec version this decoder still accepts.
 inline constexpr std::uint8_t kMinVersion = 1;
 inline constexpr std::size_t kHeaderBytes = 16;
@@ -90,6 +94,19 @@ enum class MsgType : std::uint8_t {
   kMembership = 14,
   kForward = 15,
   kCacherSubscribe = 16,
+  /// Self-healing frames (codec version >= 6), all transport-level.
+  /// kSliceSync asks a donor to stream the requester's hash-ring slice
+  /// (bounded, cursor-resumable, if-modified-since batched); the donor
+  /// answers with kSliceSyncReply records a warming owner installs before
+  /// flipping WARMING -> SERVING. kRingUpdate carries (ring_epoch, serving
+  /// member list) so a peer or owner-aware client that forwarded under a
+  /// stale ring can rebuild the deterministic ring locally. kOverloaded is
+  /// the admission gate's explicit shed reply: the named request was not
+  /// served; retry after the carried hint.
+  kSliceSync = 17,
+  kSliceSyncReply = 18,
+  kOverloaded = 19,
+  kRingUpdate = 20,
 };
 
 enum class DecodeStatus : std::uint8_t {
@@ -192,6 +209,61 @@ struct CacherSubscribe {
                          const CacherSubscribe&) = default;
 };
 
+/// Forged-count ceiling for kSliceSyncReply decoding: one reply batch can
+/// never force a large allocation; donors paginate with next_cursor.
+inline constexpr std::uint32_t kMaxSliceRecords = 256;
+
+/// Anti-entropy pull carried in a kSliceSync frame (codec version >= 6).
+/// The requester (frame `from`) asks the donor (frame `to`) for the
+/// objects the DONOR's current ring assigns to the requester. `cursor` is
+/// the resume point (0 = start; otherwise the last object id already
+/// received, exclusive), `if_newer_than_us` skips records whose write time
+/// is not strictly newer (0 = everything), and `ring_epoch` is the
+/// requester's ring epoch so a donor that has not yet converged on the
+/// requester owning anything can answer not-ready instead of an empty
+/// (and wrong) done.
+struct SliceSyncRequest {
+  std::uint64_t seq = 0;
+  std::uint64_t ring_epoch = 0;
+  std::uint32_t cursor = 0;
+  std::uint32_t max_records = kMaxSliceRecords;
+  std::int64_t if_newer_than_us = 0;
+
+  friend bool operator==(const SliceSyncRequest&,
+                         const SliceSyncRequest&) = default;
+};
+
+/// One (object, value, version, write-time, writer identity) record of a
+/// kSliceSyncReply. Carrying the ORIGINAL (writer, request_id) lets the
+/// requester rebuild its write-dedup slot, so exactly-once survives an
+/// ownership move exactly as it survives a WAL replay.
+struct SliceRecord {
+  std::uint32_t object = 0;
+  std::int64_t value = 0;
+  std::uint64_t version = 0;
+  std::int64_t alpha_us = 0;      // the accepted write's client time (LWW key)
+  std::uint32_t writer = 0;       // original client site of the last write
+  std::uint64_t request_id = 0;   // that client's request id
+
+  friend bool operator==(const SliceRecord&, const SliceRecord&) = default;
+};
+
+/// kSliceSyncReply status byte.
+inline constexpr std::uint8_t kSliceMore = 0;      // batch full; resume at next_cursor
+inline constexpr std::uint8_t kSliceDone = 1;      // slice exhausted
+inline constexpr std::uint8_t kSliceNotReady = 2;  // donor ring older than requester's
+
+/// Admission-shed reply carried in a kOverloaded frame (codec version >= 6):
+/// the request identified by (frame `to`, request_id) was not served; the
+/// client should retry no sooner than retry_after_us from receipt.
+struct Overloaded {
+  std::uint32_t object = 0;
+  std::uint64_t request_id = 0;
+  std::int64_t retry_after_us = 0;
+
+  friend bool operator==(const Overloaded&, const Overloaded&) = default;
+};
+
 /// One decoded row of a kStatsReply body: board site, StatKey, value. The
 /// body groups rows per board on the wire; decoding flattens them (site
 /// repeats) into a scratch-reused vector.
@@ -234,15 +306,23 @@ void encode_stats_reply_frame(SiteId from, SiteId to, std::uint64_t seq,
                               std::vector<std::uint8_t>& out);
 
 /// Append one encoded kMembership frame onto `out`. Member count must
-/// respect kMaxMembers.
+/// respect kMaxMembers. `ring_epoch` is the sender's current ring epoch
+/// (v6 layout extension; a v5 receiver-side decode reports it as 0).
 void encode_membership_frame(SiteId from, SiteId to, std::uint64_t epoch,
+                             std::uint64_t ring_epoch,
                              std::span<const MemberEntry> members,
                              std::vector<std::uint8_t>& out);
 
 /// Append one encoded kForward frame wrapping `inner` (re-encoded with the
 /// given inner routing header) onto `out`. The inner from-site should be
 /// the original client so the owner's transport learns the return path.
+/// `serve_here` forces the receiver to serve the inner request locally
+/// even if its ring says otherwise (a WARMING owner's forward-through to
+/// the previous owner — the flag is what prevents a forwarding loop);
+/// `ring_epoch` stamps the sender's ring epoch so a stale forward can be
+/// bounced with a kRingUpdate hint.
 void encode_forward_frame(SiteId from, SiteId to, std::uint8_t hops,
+                          bool serve_here, std::uint64_t ring_epoch,
                           SiteId inner_from, SiteId inner_to,
                           const Message& inner,
                           std::vector<std::uint8_t>& out);
@@ -252,8 +332,35 @@ void encode_forward_frame(SiteId from, SiteId to, std::uint8_t hops,
 /// the zero-decode path: a transport that holds a FrameView of a misrouted
 /// request wraps its bytes without materializing the message.
 void encode_forward_frame_raw(SiteId from, SiteId to, std::uint8_t hops,
+                              bool serve_here, std::uint64_t ring_epoch,
                               std::span<const std::uint8_t> inner_frame,
                               std::vector<std::uint8_t>& out);
+
+/// Append one encoded kSliceSync frame onto `out`.
+void encode_slice_sync_frame(SiteId from, SiteId to,
+                             const SliceSyncRequest& rq,
+                             std::vector<std::uint8_t>& out);
+
+/// Append one encoded kSliceSyncReply frame onto `out`. Record count must
+/// respect kMaxSliceRecords; `status` is kSliceMore/kSliceDone/
+/// kSliceNotReady and `ring_epoch` is the donor's ring epoch.
+void encode_slice_sync_reply_frame(SiteId from, SiteId to, std::uint64_t seq,
+                                   std::uint64_t ring_epoch,
+                                   std::uint8_t status,
+                                   std::uint32_t next_cursor,
+                                   std::span<const SliceRecord> records,
+                                   std::vector<std::uint8_t>& out);
+
+/// Append one encoded kRingUpdate frame onto `out`: the sender's ring
+/// epoch plus the serving member list the deterministic ring is built
+/// from. Member count must respect kMaxMembers.
+void encode_ring_update_frame(SiteId from, SiteId to, std::uint64_t ring_epoch,
+                              std::span<const std::uint32_t> members,
+                              std::vector<std::uint8_t>& out);
+
+/// Append one encoded kOverloaded frame onto `out`.
+void encode_overloaded_frame(SiteId from, SiteId to, const Overloaded& ov,
+                             std::vector<std::uint8_t>& out);
 
 /// Append one encoded kCacherSubscribe frame onto `out`.
 void encode_cacher_subscribe_frame(SiteId from, SiteId to,
@@ -286,19 +393,41 @@ struct DecodedFrame {
   std::uint32_t stats_boards = 0;
   std::vector<StatsRow> stats_rows;
   /// Set for kMembership frames; members reuses its storage across decodes.
+  /// membership_ring_epoch is 0 when the frame used the v5 layout.
   bool is_membership = false;
   std::uint64_t membership_epoch = 0;
+  std::uint64_t membership_ring_epoch = 0;
   std::vector<MemberEntry> members;
   /// Set for kForward frames: forward_inner holds the wrapped frame's bytes
   /// (header + body, themselves a valid protocol frame), scratch-reused.
   /// The hot path never takes this copy — it peeks the inner frame straight
   /// out of the view body — but owning decodes (tests, offline tools) do.
+  /// forward_serve_here / forward_ring_epoch are false/0 for v5 layouts.
   bool is_forward = false;
   std::uint8_t forward_hops = 0;
+  bool forward_serve_here = false;
+  std::uint64_t forward_ring_epoch = 0;
   std::vector<std::uint8_t> forward_inner;
   /// Set for kCacherSubscribe frames.
   bool is_cacher_subscribe = false;
   CacherSubscribe cacher_subscribe;
+  /// Set for kSliceSync frames.
+  bool is_slice_sync = false;
+  SliceSyncRequest slice_sync;
+  /// Set for kSliceSyncReply frames; slice_records reuses its storage.
+  bool is_slice_sync_reply = false;
+  std::uint64_t slice_seq = 0;
+  std::uint64_t slice_ring_epoch = 0;
+  std::uint8_t slice_status = 0;
+  std::uint32_t slice_next_cursor = 0;
+  std::vector<SliceRecord> slice_records;
+  /// Set for kRingUpdate frames; ring_members reuses its storage.
+  bool is_ring_update = false;
+  std::uint64_t ring_update_epoch = 0;
+  std::vector<std::uint32_t> ring_members;
+  /// Set for kOverloaded frames.
+  bool is_overloaded = false;
+  Overloaded overloaded;
 
   bool ok() const { return status == DecodeStatus::kOk; }
 };
@@ -324,6 +453,9 @@ struct FrameView {
   SiteId from;
   SiteId to;
   MsgType type = MsgType::kFetchRequest;  // meaningful when kOk
+  /// The frame's header version byte: v6 extended the kForward/kMembership
+  /// body layouts, so their decode is gated on the version the peer wrote.
+  std::uint8_t version = 0;
   std::span<const std::uint8_t> body;
 
   bool ok() const { return status == DecodeStatus::kOk; }
@@ -353,6 +485,17 @@ inline std::span<const std::uint8_t> frame_bytes(const FrameView& view) {
 /// remainder, or the inner type is not a protocol message (forwarding never
 /// nests and never wraps transport frames).
 FrameView peek_forward_inner(const FrameView& outer);
+
+/// The routing metadata in front of a kForward view's wrapped frame,
+/// decoded per the view's version (a v5 frame reports serve_here = false
+/// and ring_epoch = 0). Call only on a view peek_forward_inner accepted;
+/// a too-short body yields all zeros.
+struct ForwardPrefix {
+  std::uint8_t hops = 0;
+  bool serve_here = false;
+  std::uint64_t ring_epoch = 0;
+};
+ForwardPrefix peek_forward_prefix(const FrameView& outer);
 
 /// Decode the typed body of a kOk view into `out`, reusing out's storage
 /// (a per-connection scratch DecodedFrame keeps the hot path free of

@@ -40,6 +40,13 @@ constexpr const char* kStatKeyNames[kNumStatKeys] = {
     "cluster.epoch",
     "cluster.pushes",
     "cluster.replica_hits",
+    "cluster.ring_epoch",
+    "cluster.rebalances",
+    "cluster.stale_forwards",
+    "cluster.slices_synced",
+    "cluster.reads_shed",
+    "cluster.writes_deferred",
+    "cluster.overloaded_replies",
     "last_tick_age_us",
     "stage.decode.p50_us",
     "stage.decode.p95_us",

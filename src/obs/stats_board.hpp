@@ -67,6 +67,14 @@ enum class StatKey : std::uint16_t {
   kClusterPushes,             // owner-side pushes/invalidations to server
                               // cachers
   kClusterReplicaHits,        // fetches served from a pushed replica
+  // Self-healing (zero until a rebalance / warm-up / overload happens).
+  kClusterRingEpoch,          // serving-ring epoch (0 = configured baseline)
+  kClusterRebalances,         // serving-set changes that rebuilt the ring
+  kClusterStaleForwards,      // kForward arrivals stamped with an older ring
+  kClusterSlicesSynced,       // slice records installed during warm-up
+  kClusterReadsShed,          // reads refused with kOverloaded by admission
+  kClusterWritesDeferred,     // writes delayed (never dropped) by admission
+  kClusterOverloadedReplies,  // kOverloaded frames sent to clients
   // Derived at collect() time (not stored).
   kLastTickAgeUs,      // reader_now - kLastTickEndUs; the stall watchdog
   kStageDecodeP50Us, kStageDecodeP95Us, kStageDecodeP99Us, kStageDecodeMaxUs,
@@ -81,7 +89,7 @@ enum class StatKey : std::uint16_t {
 inline constexpr std::size_t kNumStatKeys =
     static_cast<std::size_t>(StatKey::kNumStatKeys);
 inline constexpr std::size_t kNumPlainStats =
-    static_cast<std::size_t>(StatKey::kClusterReplicaHits) + 1;
+    static_cast<std::size_t>(StatKey::kClusterOverloadedReplies) + 1;
 
 /// Stable dotted name ("stage.decode.p99_us", "ticks", ...) used by
 /// timedc-top and the Prometheus exporter. nullptr for out-of-range keys.

@@ -1,5 +1,7 @@
 #include "protocol/server.hpp"
 
+#include <algorithm>
+
 #include "common/assert.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/stats_board.hpp"
@@ -105,6 +107,8 @@ void ObjectServer::restore_write(const WriteRequest& req,
     s.value = req.value;
     s.version = version;
     s.alpha = req.client_time;
+    s.last_writer = req.reply_to.value;
+    s.last_request_id = req.request_id;
     if (req.write_ts.num_entries() != 0) {
       s.alpha_l = req.write_ts;
       logical_now_ = logical_now_.num_entries() == 0
@@ -167,9 +171,13 @@ bool ObjectServer::reject_unsequenced(std::uint64_t request_id) {
 void ObjectServer::on_message(SiteId from, const Message& msg) {
   (void)from;
   if (!up_) return;  // a crashed server is silent; clients retry elsewhere
+  // A serve-here forward (a warming peer's forward-through) pins the
+  // request to local state: re-checking ownership would bounce it straight
+  // back and loop.
+  const bool serve_local = net_.dispatch_serve_locally();
   if (const auto* fetch = std::get_if<FetchRequest>(&msg)) {
     if (reject_unsequenced(fetch->request_id)) return;
-    if (primary_of(fetch->object) != self_) {
+    if (!serve_local && primary_of(fetch->object) != self_) {
       // Peer-owned object: a fresh replica answers locally (no hop); a
       // miss forwards to the owner and primes the replica for next time.
       if (config_.cluster_replicas && serve_from_replica(*fetch)) return;
@@ -177,13 +185,27 @@ void ObjectServer::on_message(SiteId from, const Message& msg) {
       if (config_.cluster_replicas) refresh_replica(fetch->object);
       return;
     }
+    if (!admit_read(fetch->object, fetch->reply_to, fetch->request_id)) return;
+    if (warming_ && !serve_local && forward_warm_miss(fetch->object, msg)) {
+      return;
+    }
     handle_fetch(*fetch);
   } else if (const auto* write = std::get_if<WriteRequest>(&msg)) {
     if (reject_unsequenced(write->request_id)) return;
-    if (!forward_if_not_owner(write->object, msg)) handle_write(*write);
+    if (!serve_local && forward_if_not_owner(write->object, msg)) return;
+    handle_write(*write);
   } else if (const auto* validate = std::get_if<ValidateRequest>(&msg)) {
     if (reject_unsequenced(validate->request_id)) return;
-    if (!forward_if_not_owner(validate->object, msg)) handle_validate(*validate);
+    if (!serve_local && forward_if_not_owner(validate->object, msg)) return;
+    if (!admit_read(validate->object, validate->reply_to,
+                    validate->request_id)) {
+      return;
+    }
+    if (warming_ && !serve_local &&
+        forward_warm_miss(validate->object, msg)) {
+      return;
+    }
+    handle_validate(*validate);
   } else if (const auto* inv = std::get_if<Invalidate>(&msg);
              inv != nullptr && config_.cluster_replicas) {
     handle_cluster_invalidate(*inv);
@@ -396,7 +418,163 @@ void ObjectServer::handle_write(const WriteRequest& req) {
     }
     d.deferred_id = req.request_id;
   }
+  admit_or_defer_write(req, /*deferrals=*/0);
+}
+
+bool ObjectServer::admit_op(std::int64_t reserve_micro) {
+  const std::int64_t now_us = net_.now().as_micros();
+  const std::int64_t cap =
+      static_cast<std::int64_t>(config_.admit_burst) * kAdmitOpCostMicro;
+  if (now_us > admit_last_refill_us_) {
+    // Integer refill: elapsed microseconds times ops-per-second IS
+    // micro-tokens per microsecond, no division. The first call sees a huge
+    // elapsed span and simply starts the bucket full (the cap).
+    admit_tokens_micro_ = std::min(
+        cap, admit_tokens_micro_ +
+                 (now_us - admit_last_refill_us_) *
+                     static_cast<std::int64_t>(config_.admit_rate_per_s));
+    admit_last_refill_us_ = now_us;
+  }
+  if (admit_tokens_micro_ < kAdmitOpCostMicro + reserve_micro) return false;
+  admit_tokens_micro_ -= kAdmitOpCostMicro;
+  return true;
+}
+
+bool ObjectServer::admit_read(ObjectId object, SiteId client,
+                              std::uint64_t request_id) {
+  if (config_.admit_rate_per_s == 0) return true;  // gate disabled
+  // The reserve is what sheds reads first: a quarter of the burst stays
+  // earmarked for writes, so reads start bouncing while writes still flow.
+  const std::int64_t reserve =
+      static_cast<std::int64_t>(config_.admit_burst) * kAdmitOpCostMicro / 4;
+  if (admit_op(reserve)) return true;
+  ++stats_.admission_reads_shed;
+  const std::int64_t deficit =
+      kAdmitOpCostMicro + reserve - admit_tokens_micro_;
+  std::int64_t retry_us =
+      deficit / static_cast<std::int64_t>(config_.admit_rate_per_s);
+  retry_us = std::clamp<std::int64_t>(retry_us, 1'000, 50'000);
+  if (overloaded_sender_) {
+    overloaded_sender_(client, object, request_id, retry_us);
+    ++stats_.overloaded_replies;
+  }
+  if (stats_board_ != nullptr) {
+    stats_board_->set(StatKey::kClusterReadsShed,
+                      static_cast<std::int64_t>(stats_.admission_reads_shed));
+    stats_board_->set(StatKey::kClusterOverloadedReplies,
+                      static_cast<std::int64_t>(stats_.overloaded_replies));
+  }
+  return false;
+}
+
+void ObjectServer::admit_or_defer_write(const WriteRequest& req,
+                                        std::uint32_t deferrals) {
+  if (config_.admit_rate_per_s != 0 && !admit_op(0) &&
+      deferrals < config_.admit_max_write_deferrals) {
+    // Out of tokens: delay the write until the bucket refills one op's
+    // worth. The deferral budget is bounded — once exhausted the write
+    // applies anyway, because admission must never drop a write (the
+    // client's value would be lost while its retry re-sends the same
+    // request_id, which dedup would then swallow).
+    ++stats_.admission_writes_deferred;
+    if (stats_board_ != nullptr) {
+      stats_board_->set(
+          StatKey::kClusterWritesDeferred,
+          static_cast<std::int64_t>(stats_.admission_writes_deferred));
+    }
+    std::int64_t delay_us =
+        (kAdmitOpCostMicro - admit_tokens_micro_) /
+        static_cast<std::int64_t>(config_.admit_rate_per_s);
+    delay_us = std::clamp<std::int64_t>(delay_us, 1'000, 50'000);
+    const WriteRequest deferred = req;
+    const std::uint64_t epoch = epoch_;
+    net_.run_after(SimTime::micros(delay_us),
+                   [this, deferred, epoch, deferrals] {
+                     if (epoch != epoch_ || !up_) return;
+                     admit_or_defer_write(deferred, deferrals + 1);
+                   });
+    return;
+  }
   defer_or_apply(req);
+}
+
+bool ObjectServer::forward_warm_miss(ObjectId object, const Message& m) {
+  if (!warm_miss_forwarder_) return false;
+  const auto it = objects_.find(object);
+  if (it != objects_.end() && it->second.version > 0) return false;
+  // Cold: no write has ever landed here (neither live traffic nor sync nor
+  // WAL replay). The previous owner may hold the value — let it answer.
+  if (!warm_miss_forwarder_(object, m)) return false;
+  ++stats_.warm_forwards;
+  return true;
+}
+
+bool ObjectServer::collect_slice(SiteId requester, std::uint32_t cursor,
+                                 std::uint32_t max_records,
+                                 std::int64_t if_newer_than_us,
+                                 std::vector<wire::SliceRecord>& out,
+                                 std::uint32_t& next_cursor) {
+  out.clear();
+  slice_ids_.clear();
+  for (const auto& [object, s] : objects_) {
+    if (s.version == 0) continue;       // never written: nothing to stream
+    if (object.value < cursor) continue;  // already streamed (resumable)
+    if (s.alpha.as_micros() <= if_newer_than_us) continue;
+    // The requester's slice under the donor's CURRENT ring — the donor
+    // keeps everything else (its own slice, or a third server's).
+    if (primary_of(object) != requester) continue;
+    slice_ids_.push_back(object.value);
+  }
+  std::sort(slice_ids_.begin(), slice_ids_.end());
+  const std::size_t n =
+      std::min<std::size_t>(slice_ids_.size(), max_records);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Stored& s = objects_.at(ObjectId{slice_ids_[i]});
+    wire::SliceRecord rec;
+    rec.object = slice_ids_[i];
+    rec.value = s.value.value;
+    rec.version = s.version;
+    rec.alpha_us = s.alpha.as_micros();
+    rec.writer = s.last_writer;
+    rec.request_id = s.last_request_id;
+    out.push_back(rec);
+  }
+  const bool done = n == slice_ids_.size();
+  next_cursor = n == 0 ? cursor : slice_ids_[n - 1] + 1;
+  return done;
+}
+
+bool ObjectServer::install_sync_record(const wire::SliceRecord& rec) {
+  const ObjectId object{rec.object};
+  Stored& s = stored(object);
+  const SimTime alpha = SimTime::micros(rec.alpha_us);
+  const bool install = s.version == 0 || alpha > s.alpha;
+  if (install) {
+    s.value = Value{rec.value};
+    // Keep the local version counter monotone: a write that already landed
+    // here during warming must not see the version go backwards.
+    s.version = std::max<std::uint64_t>(rec.version, s.version + 1);
+    s.alpha = alpha;
+    s.last_writer = rec.writer;
+    s.last_request_id = rec.request_id;
+    history_[object].push_back(AppliedWrite{s.value, net_.now()});
+    ++stats_.slices_synced;
+    if (stats_board_ != nullptr) {
+      stats_board_->set(StatKey::kClusterSlicesSynced,
+                        static_cast<std::int64_t>(stats_.slices_synced));
+    }
+  }
+  // Dedup transfers even when the local copy is newer: the record proves
+  // the old owner applied (writer, request_id), so a client retransmission
+  // must re-ack with the recorded version, never apply a second time.
+  if (rec.request_id != 0) {
+    WriteDedup& d = write_dedup_[rec.writer];
+    if (rec.request_id >= d.completed_id) {
+      d.completed_id = rec.request_id;
+      d.ack = WriteAck{object, rec.version, rec.request_id};
+    }
+  }
+  return install;
 }
 
 void ObjectServer::defer_or_apply(const WriteRequest& req) {
@@ -451,6 +629,8 @@ void ObjectServer::apply_write(const WriteRequest& req) {
   s.value = req.value;
   s.version += 1;
   s.alpha = req.client_time;
+  s.last_writer = req.reply_to.value;
+  s.last_request_id = req.request_id;
   if (req.write_ts.num_entries() != 0) {
     s.alpha_l = req.write_ts;
     logical_now_ = logical_now_.num_entries() == 0

@@ -16,6 +16,7 @@
 
 #include "core/history.hpp"
 #include "net/transport.hpp"
+#include "net/wire.hpp"
 #include "protocol/messages.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
@@ -55,6 +56,18 @@ struct ServerConfig {
   /// Hard cap on replica age since install/refresh; zero = uncapped (serve
   /// while subscribed and not marked old).
   SimTime replica_ttl = SimTime::zero();
+  /// Admission control on the serving hot path. Rate 0 disables the gate
+  /// (one branch, the default). The bucket is integer micro-tokens: each
+  /// admitted op costs 1e6, refill is admit_rate_per_s * 1e6 per second,
+  /// capped at admit_burst * 1e6. Reads additionally need a quarter-burst
+  /// reserve, so under pressure reads shed first (kOverloaded with a
+  /// retry-after; the value they want is retryable by construction) while
+  /// writes defer briefly and then apply — a write is never dropped by
+  /// admission, only delayed.
+  std::uint32_t admit_rate_per_s = 0;
+  std::uint32_t admit_burst = 64;
+  /// Bounded write deferrals under overload before applying anyway.
+  std::uint32_t admit_max_write_deferrals = 2;
 };
 
 struct ServerStats {
@@ -78,6 +91,12 @@ struct ServerStats {
   // raw in-process test convention, never a legal wire value (see
   // messages.hpp), so such requests are rejected, not served.
   std::uint64_t rejected_unsequenced = 0;
+  // Self-healing (zero until a warm-up or overload happens):
+  std::uint64_t slices_synced = 0;      // anti-entropy records installed
+  std::uint64_t warm_forwards = 0;      // cold reads forwarded while warming
+  std::uint64_t admission_reads_shed = 0;
+  std::uint64_t admission_writes_deferred = 0;
+  std::uint64_t overloaded_replies = 0;  // kOverloaded replies actually sent
 };
 
 class ObjectServer {
@@ -188,6 +207,59 @@ class ObjectServer {
     subscribe_sender_ = std::move(fn);
   }
 
+  // --- self-healing: warm-up and admission --------------------------------
+
+  /// WARMING <-> SERVING. A server enters WARMING when it acquires a slice
+  /// it has no state for (fresh start after a crash, or a rebalance handed
+  /// it objects a peer owned): writes apply locally at once (safe under
+  /// last-writer-wins — their alpha decides), but a read of an object this
+  /// server has never seen a value for would return the cold initial value,
+  /// so such reads forward through to the previous owner (serve-here flag)
+  /// until the anti-entropy sync finishes and finish_warming() flips the
+  /// server to normal serving.
+  bool warming() const { return warming_; }
+  void begin_warming() { warming_ = true; }
+  void finish_warming() { warming_ = false; }
+
+  /// How a warming server forwards a cold read to its donor (wired by
+  /// timedc-server to TcpTransport::forward_serve_here). Return false when
+  /// the donor is unreachable — the server then answers from local (cold)
+  /// state rather than stalling the client.
+  using WarmMissForwarder = std::function<bool(ObjectId, const Message&)>;
+  void set_warm_miss_forwarder(WarmMissForwarder fn) {
+    warm_miss_forwarder_ = std::move(fn);
+  }
+
+  /// Donor side of anti-entropy warm-up: fill `out` with up to
+  /// `max_records` slice records for objects that (a) this server holds a
+  /// written value for, (b) the current ring assigns to `requester`, (c)
+  /// have id >= cursor and (d) were written after `if_newer_than_us`.
+  /// Records stream in ascending object-id order; `next_cursor` resumes the
+  /// scan. Returns true when the slice is exhausted (kSliceDone).
+  bool collect_slice(SiteId requester, std::uint32_t cursor,
+                     std::uint32_t max_records, std::int64_t if_newer_than_us,
+                     std::vector<wire::SliceRecord>& out,
+                     std::uint32_t& next_cursor);
+
+  /// Requester side: install one streamed record. The record wins when the
+  /// object is locally unwritten or the record's write time is newer
+  /// (last-writer-wins, same rule as apply_write). Either way the record's
+  /// (writer, request_id) refreshes the write-dedup slot, so a client
+  /// retransmission of a write the OLD owner applied re-acks here instead
+  /// of re-applying — exactly-once survives the ownership move. Returns
+  /// true when the value was installed.
+  bool install_sync_record(const wire::SliceRecord& rec);
+
+  /// How kOverloaded replies leave (wired by timedc-server to
+  /// TcpTransport::send_overloaded). Unset = shed silently; the client's
+  /// retry timer covers as if the reply were lost.
+  using OverloadedSender =
+      std::function<void(SiteId client, ObjectId object,
+                         std::uint64_t request_id, std::int64_t retry_after_us)>;
+  void set_overloaded_sender(OverloadedSender fn) {
+    overloaded_sender_ = std::move(fn);
+  }
+
   /// Oracle access for the experiment harness: every write arrival in
   /// server order (values are unique). `accepted` is false for writes that
   /// lost the last-writer-wins race on start time alpha and never became
@@ -219,6 +291,11 @@ class ObjectServer {
     // A write is waiting for leases to expire: no new leases are granted
     // (otherwise renewing readers could starve the writer forever).
     bool write_pending = false;
+    // Provenance of the current value (the accepted write's client and
+    // request id), streamed in slice-sync records so write dedup transfers
+    // across an ownership move.
+    std::uint32_t last_writer = 0;
+    std::uint64_t last_request_id = 0;
   };
 
   // Write dedup by (client, request_id): one slot per client suffices
@@ -260,6 +337,15 @@ class ObjectServer {
   void handle_fetch(const FetchRequest& req);
   void handle_write(const WriteRequest& req);
   void handle_validate(const ValidateRequest& req);
+  /// Admission gates. admit_op refills the bucket, then takes one op cost
+  /// iff `reserve_micro` extra tokens would remain; admit_read sheds
+  /// (kOverloaded) on failure, admit_or_defer_write delays then applies.
+  bool admit_op(std::int64_t reserve_micro);
+  bool admit_read(ObjectId object, SiteId client, std::uint64_t request_id);
+  void admit_or_defer_write(const WriteRequest& req, std::uint32_t deferrals);
+  /// True when a warming server forwarded this request for a locally cold
+  /// object through to its donor.
+  bool forward_warm_miss(ObjectId object, const Message& m);
   /// Lease gate: defers past live leases and the post-restart grace window.
   void defer_or_apply(const WriteRequest& req);
   void apply_write(const WriteRequest& req);
@@ -311,6 +397,14 @@ class ObjectServer {
       server_cachers_;
   SubscribeSender subscribe_sender_;
   std::uint64_t self_request_id_ = 0;  // ids for self-issued validations
+  // Self-healing state:
+  bool warming_ = false;
+  WarmMissForwarder warm_miss_forwarder_;
+  OverloadedSender overloaded_sender_;
+  static constexpr std::int64_t kAdmitOpCostMicro = 1'000'000;
+  std::int64_t admit_tokens_micro_ = 0;
+  std::int64_t admit_last_refill_us_ = 0;
+  std::vector<std::uint32_t> slice_ids_;  // collect_slice sort scratch
   Tracer* obs_ = nullptr;
   StatsBoard* stats_board_ = nullptr;
   FlightRecorder* flight_ = nullptr;

@@ -1,0 +1,243 @@
+// Membership-churn fuzz: five simulated members under random join, kill
+// and refutation, gossiping digests round-robin on a shared virtual
+// clock. After every convergence window the survivors must agree —
+// identical serving sets, identical table epochs, and (the load-bearing
+// property for rebalance) bit-identical ownership rings built
+// independently from each survivor's own serving set. Across consecutive
+// ring generations only the changed slice may remap: an object changes
+// owner only when its old owner left the serving set or its new owner
+// just joined it.
+//
+// No sockets, no threads: this drives the exact MembershipTable calls the
+// server's heartbeat path makes (heard_from / merge / suspect_silent /
+// kill_silent) with a deterministic RNG, so a convergence failure here is
+// a protocol bug, not a flake.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "cluster/membership.hpp"
+#include "cluster/ring.hpp"
+
+namespace timedc {
+namespace {
+
+using cluster::HashRing;
+using cluster::MembershipTable;
+
+constexpr std::uint32_t kMembers = 5;
+constexpr std::uint32_t kObjects = 2048;
+constexpr std::int64_t kSuspectUs = 300'000;
+constexpr std::int64_t kGraceUs = 200'000;
+constexpr std::int64_t kTickUs = 50'000;
+
+struct Node {
+  std::unique_ptr<MembershipTable> table;
+  bool up = true;
+};
+
+std::unique_ptr<MembershipTable> boot(std::uint32_t site,
+                                      std::uint64_t incarnation) {
+  auto t = std::make_unique<MembershipTable>(SiteId{site}, incarnation);
+  for (std::uint32_t peer = 0; peer < kMembers; ++peer) {
+    if (peer != site) t->add_configured(SiteId{peer});
+  }
+  return t;
+}
+
+/// One gossip tick: every live member sends its digest to every other
+/// live member (receiving a frame is direct evidence of life), then each
+/// runs its local failure-detector sweep. All members share `now`, so the
+/// simulation is fully deterministic.
+void gossip_round(std::vector<Node>& nodes, std::int64_t& now) {
+  now += kTickUs;
+  std::vector<wire::MemberEntry> digest;
+  for (std::uint32_t from = 0; from < kMembers; ++from) {
+    if (!nodes[from].up) continue;
+    nodes[from].table->fill_digest(digest);
+    const std::uint64_t epoch = nodes[from].table->epoch();
+    for (std::uint32_t to = 0; to < kMembers; ++to) {
+      if (to == from || !nodes[to].up) continue;
+      nodes[to].table->heard_from(from, now);
+      nodes[to].table->merge(epoch, digest, now);
+    }
+  }
+  for (Node& n : nodes) {
+    if (!n.up) continue;
+    n.table->suspect_silent(now, kSuspectUs);
+    n.table->kill_silent(now, kSuspectUs, kGraceUs);
+  }
+}
+
+/// Enough rounds to carry a silent member through suspicion plus the dead
+/// grace and then let the resulting epoch bump quiesce cluster-wide.
+void converge(std::vector<Node>& nodes, std::int64_t& now) {
+  const int rounds =
+      static_cast<int>((kSuspectUs + kGraceUs) / kTickUs) + 3 * kMembers;
+  for (int r = 0; r < rounds; ++r) gossip_round(nodes, now);
+}
+
+std::vector<SiteId> as_sites(const std::vector<std::uint32_t>& raw) {
+  std::vector<SiteId> out;
+  for (const std::uint32_t s : raw) out.push_back(SiteId{s});
+  return out;
+}
+
+bool contains(const std::vector<std::uint32_t>& v, std::uint32_t x) {
+  for (const std::uint32_t e : v) {
+    if (e == x) return true;
+  }
+  return false;
+}
+
+TEST(ClusterChurnTest, RandomChurnConvergesToIdenticalOwnershipEverywhere) {
+  std::mt19937 rng(0xC1D2u);
+  std::int64_t now = 1'000'000;
+  std::vector<Node> nodes;
+  std::vector<std::uint64_t> incarnation(kMembers, 1);
+  for (std::uint32_t s = 0; s < kMembers; ++s) {
+    Node n;
+    n.table = boot(s, incarnation[s]);
+    nodes.push_back(std::move(n));
+  }
+  converge(nodes, now);
+
+  std::vector<std::uint32_t> prev_serving;
+  std::vector<std::uint32_t> prev_owner(kObjects, 0);
+  bool have_prev = false;
+  int kills = 0;
+  int rejoins = 0;
+
+  for (int step = 0; step < 24; ++step) {
+    // One churn event: SIGKILL a live member (never the last one) or
+    // restart a dead one with a fresh process whose incarnation counter
+    // restarts from where ITS OWN previous life left off — the survivors
+    // may hold a HIGHER incarnation (refutations bump it), so the rejoin
+    // must work through direct contact + self-refutation, not through
+    // digest dominance alone.
+    const std::uint32_t victim = rng() % kMembers;
+    std::uint32_t up_count = 0;
+    for (const Node& n : nodes) up_count += n.up ? 1u : 0u;
+    if (nodes[victim].up && up_count > 1) {
+      nodes[victim].up = false;
+      ++kills;
+    } else if (!nodes[victim].up) {
+      incarnation[victim] += 1 + rng() % 3;
+      nodes[victim].table = boot(victim, incarnation[victim]);
+      nodes[victim].up = true;
+      ++rejoins;
+    }
+    converge(nodes, now);
+
+    // Every survivor must hold the same serving set, the same epoch, and
+    // build the same ring from its own table — seedless determinism is
+    // what lets rebalance skip any coordination protocol.
+    std::vector<std::uint32_t> expected;
+    std::uint64_t expected_epoch = 0;
+    bool first = true;
+    std::vector<std::uint32_t> serving;
+    for (std::uint32_t s = 0; s < kMembers; ++s) {
+      if (!nodes[s].up) continue;
+      nodes[s].table->serving_members(serving);
+      if (first) {
+        expected = serving;
+        expected_epoch = nodes[s].table->epoch();
+        first = false;
+        // Every live member serves; every dead one does not.
+        for (std::uint32_t m = 0; m < kMembers; ++m) {
+          EXPECT_EQ(contains(expected, m), nodes[m].up)
+              << "step " << step << " member " << m;
+        }
+      } else {
+        EXPECT_EQ(serving, expected) << "step " << step << " site " << s;
+        EXPECT_EQ(nodes[s].table->epoch(), expected_epoch)
+            << "step " << step << " site " << s;
+      }
+    }
+    ASSERT_FALSE(first);
+
+    HashRing ring;
+    ring.set_members(as_sites(expected));
+    std::vector<std::uint32_t> owner(kObjects, 0);
+    for (std::uint32_t o = 0; o < kObjects; ++o) {
+      owner[o] = ring.owner_of(ObjectId{o}).value;
+      EXPECT_TRUE(contains(expected, owner[o])) << "object " << o;
+    }
+    for (std::uint32_t s = 0; s < kMembers; ++s) {
+      if (!nodes[s].up) continue;
+      nodes[s].table->serving_members(serving);
+      HashRing mine;
+      mine.set_members(as_sites(serving));
+      for (std::uint32_t o = 0; o < kObjects; o += 7) {
+        ASSERT_EQ(mine.owner_of(ObjectId{o}).value, owner[o])
+            << "step " << step << " site " << s << " object " << o;
+      }
+    }
+
+    // Slice-only remap: an object may change owner only when its old
+    // owner left the serving set or its new owner just joined it.
+    if (have_prev && expected != prev_serving) {
+      for (std::uint32_t o = 0; o < kObjects; ++o) {
+        if (owner[o] == prev_owner[o]) continue;
+        const bool old_left = !contains(expected, prev_owner[o]);
+        const bool new_joined = !contains(prev_serving, owner[o]);
+        EXPECT_TRUE(old_left || new_joined)
+            << "step " << step << " object " << o << " moved "
+            << prev_owner[o] << " -> " << owner[o]
+            << " with both owners present in both generations";
+      }
+    }
+    prev_serving = expected;
+    prev_owner = owner;
+    have_prev = true;
+  }
+  // The RNG schedule must actually exercise both directions of churn.
+  EXPECT_GT(kills, 3);
+  EXPECT_GT(rejoins, 3);
+}
+
+TEST(ClusterChurnTest, RejoinAfterRefutationStormStillConverges) {
+  // Worst case for incarnation bookkeeping: a member that refuted several
+  // rumors (incarnation far ahead of its process counter) dies, and its
+  // replacement boots at incarnation 1. Survivors hold {dead, high-inc};
+  // the replacement's digest never dominates, so rejoining leans entirely
+  // on heard_from (direct frames) plus the SWIM self-refutation bump.
+  std::int64_t now = 1'000'000;
+  std::vector<Node> nodes;
+  for (std::uint32_t s = 0; s < kMembers; ++s) {
+    Node n;
+    n.table = boot(s, 1);
+    nodes.push_back(std::move(n));
+  }
+  converge(nodes, now);
+
+  // Pump member 4's incarnation with slander at ever-higher incarnations.
+  for (std::uint64_t inc = 1; inc <= 41; inc += 5) {
+    const wire::MemberEntry slander{4, inc, MembershipTable::kSuspect};
+    nodes[4].table->merge(nodes[0].table->epoch(), {&slander, 1}, now);
+  }
+  ASSERT_GT(nodes[4].table->self_incarnation(), 40u);
+  converge(nodes, now);  // survivors learn the high incarnation
+
+  nodes[4].up = false;
+  converge(nodes, now);
+  std::vector<std::uint32_t> serving;
+  nodes[0].table->serving_members(serving);
+  ASSERT_EQ(serving, (std::vector<std::uint32_t>{0, 1, 2, 3}));
+
+  nodes[4].table = boot(4, /*incarnation=*/1);
+  nodes[4].up = true;
+  converge(nodes, now);
+  for (std::uint32_t s = 0; s < kMembers; ++s) {
+    nodes[s].table->serving_members(serving);
+    EXPECT_EQ(serving, (std::vector<std::uint32_t>{0, 1, 2, 3, 4}))
+        << "site " << s;
+  }
+  // The reborn member's incarnation ended up past every stale rumor.
+  EXPECT_GT(nodes[4].table->self_incarnation(), 40u);
+}
+
+}  // namespace
+}  // namespace timedc

@@ -165,6 +165,72 @@ TEST(MembershipTest, SelfRefutationBumpsIncarnation) {
   EXPECT_TRUE(found_self);
 }
 
+TEST(MembershipTest, KillSilentPromotesSuspectsOnlyPastTheGrace) {
+  MembershipTable t(SiteId{0}, 10);
+  t.add_configured(SiteId{1});
+  EXPECT_FALSE(t.heard_from(1, /*now_us=*/100));
+  // Suspicion alone never moves ownership: the member stays in the
+  // serving set through the whole suspect window plus the dead grace.
+  ASSERT_TRUE(t.suspect_silent(/*now_us=*/600'000, /*timeout_us=*/500'000));
+  std::vector<std::uint32_t> serving;
+  t.serving_members(serving);
+  EXPECT_EQ(serving, (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_FALSE(t.kill_silent(/*now_us=*/900'000, /*suspect_timeout_us=*/
+                             500'000, /*dead_grace_us=*/500'000));
+  t.serving_members(serving);
+  EXPECT_EQ(serving, (std::vector<std::uint32_t>{0, 1}));
+  // Past suspect_timeout + dead_grace the suspect is promoted to dead,
+  // the serving set shrinks and the epoch bumps.
+  const std::uint64_t e0 = t.epoch();
+  EXPECT_TRUE(t.kill_silent(1'100'000, 500'000, 500'000));
+  EXPECT_GT(t.epoch(), e0);
+  t.serving_members(serving);
+  EXPECT_EQ(serving, (std::vector<std::uint32_t>{0}));
+  // Death is sticky against silence-based resurrection, but direct
+  // evidence of life (a frame from the member) brings it back.
+  EXPECT_FALSE(t.kill_silent(2'000'000, 500'000, 500'000));
+  EXPECT_TRUE(t.heard_from(1, 2'100'000));
+  t.serving_members(serving);
+  EXPECT_EQ(serving, (std::vector<std::uint32_t>{0, 1}));
+}
+
+TEST(MembershipTest, ServingMembersIsSortedAndExcludesOnlyTheDead) {
+  MembershipTable t(SiteId{3}, 10);
+  t.add_configured(SiteId{1});
+  t.add_configured(SiteId{0});
+  t.add_configured(SiteId{2});
+  std::vector<std::uint32_t> serving;
+  t.serving_members(serving);
+  EXPECT_EQ(serving, (std::vector<std::uint32_t>{0, 1, 2, 3}));
+  // A suspect member still serves (its slice must not move yet)...
+  const wire::MemberEntry suspect{1, 0, MembershipTable::kSuspect};
+  ASSERT_TRUE(t.merge(0, {&suspect, 1}, 0));
+  t.serving_members(serving);
+  EXPECT_EQ(serving, (std::vector<std::uint32_t>{0, 1, 2, 3}));
+  // ...a dead one does not.
+  const wire::MemberEntry dead{1, 0, MembershipTable::kDead};
+  ASSERT_TRUE(t.merge(0, {&dead, 1}, 0));
+  t.serving_members(serving);
+  EXPECT_EQ(serving, (std::vector<std::uint32_t>{0, 2, 3}));
+}
+
+TEST(MembershipTest, MergeReportsServingSetChangesFromGossipedDeath) {
+  // A death learned purely from gossip (no local timeout involved) must
+  // still report "changed" so the server rebuilds its ring.
+  MembershipTable t(SiteId{0}, 10);
+  t.add_configured(SiteId{1});
+  t.add_configured(SiteId{2});
+  const wire::MemberEntry dead{2, 0, MembershipTable::kDead};
+  const std::uint64_t e0 = t.epoch();
+  EXPECT_TRUE(t.merge(0, {&dead, 1}, 0));
+  EXPECT_GT(t.epoch(), e0);
+  std::vector<std::uint32_t> serving;
+  t.serving_members(serving);
+  EXPECT_EQ(serving, (std::vector<std::uint32_t>{0, 1}));
+  // Replaying the same digest is idempotent: no spurious rebalances.
+  EXPECT_FALSE(t.merge(0, {&dead, 1}, 0));
+}
+
 TEST(MembershipTest, EpochFastForwardsToRemoteAndStaysMonotone) {
   MembershipTable t(SiteId{0}, 1);
   t.add_configured(SiteId{1});

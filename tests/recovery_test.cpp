@@ -284,5 +284,192 @@ TEST(Recovery, ForwardedWriteIsExactlyOnceAcrossOwnerRestart) {
   EXPECT_GE(sim.now(), ms(20));
 }
 
+TEST(Recovery, ForwardedWriteIsExactlyOnceAcrossOwnershipMove) {
+  // The rebalance variant of the owner-restart property: the object's
+  // owner does not die, ownership MOVES — client 0, entry server A
+  // (site 2), old owner B (site 3), new owner C (site 4). After the move,
+  // anti-entropy (collect_slice -> install_sync_record) carries B's state
+  // for the slice into C, including the (writer, request_id) provenance,
+  // so a client retransmission of a write B applied re-acks at C with the
+  // original verdict instead of applying a second time.
+  Simulator sim;
+  Network net(sim, 5, std::make_unique<FixedLatency>(us(10)), NetworkConfig{},
+              Rng(1));
+  ObjectServer a(sim, net, SiteId{2}, 5, PushPolicy::kNone, MessageSizes{},
+                 std::vector<SiteId>{}, ServerConfig{});
+  ObjectServer b(sim, net, SiteId{3}, 5, PushPolicy::kNone, MessageSizes{},
+                 std::vector<SiteId>{}, ServerConfig{});
+  ObjectServer c(sim, net, SiteId{4}, 5, PushPolicy::kNone, MessageSizes{},
+                 std::vector<SiteId>{}, ServerConfig{});
+  const auto owner_b = [](ObjectId) { return SiteId{3}; };
+  a.set_ownership(owner_b);
+  b.set_ownership(owner_b);
+  c.set_ownership(owner_b);
+  a.attach();
+  b.attach();
+  c.attach();
+  std::vector<Message> acks;
+  net.register_site(SiteId{0},
+                    [&acks](SiteId, const Message& m) { acks.push_back(m); });
+
+  net.send_message(SiteId{0}, SiteId{2},
+                   Message{WriteRequest{ObjectId{5}, Value{77}, us(100), {},
+                                        SiteId{0}, 1}},
+                   64);
+  sim.run_until();
+  EXPECT_EQ(b.stats().writes_applied, 1u);
+  ASSERT_EQ(acks.size(), 1u);
+  const auto* first_ack = std::get_if<WriteAck>(&acks[0]);
+  ASSERT_NE(first_ack, nullptr);
+  const std::uint64_t version_at_b = first_ack->version;
+
+  // Ownership moves to C (the ring rebalanced); every server adopts the
+  // new table, and C pulls its slice from the previous owner.
+  const auto owner_c = [](ObjectId) { return SiteId{4}; };
+  a.set_ownership(owner_c);
+  b.set_ownership(owner_c);
+  c.set_ownership(owner_c);
+  std::vector<wire::SliceRecord> slice;
+  std::uint32_t next_cursor = 0;
+  EXPECT_TRUE(b.collect_slice(SiteId{4}, /*cursor=*/0, /*max_records=*/128,
+                              /*if_newer_than_us=*/-1, slice, next_cursor));
+  ASSERT_EQ(slice.size(), 1u);
+  // The streamed record carries the CLIENT's identity, not B's.
+  EXPECT_EQ(slice[0].writer, 0u);
+  EXPECT_EQ(slice[0].request_id, 1u);
+  EXPECT_EQ(slice[0].version, version_at_b);
+  for (const wire::SliceRecord& rec : slice) {
+    EXPECT_TRUE(c.install_sync_record(rec));
+  }
+  EXPECT_EQ(c.stats().slices_synced, 1u);
+
+  // The client's ack was lost; it retransmits through the entry server,
+  // which now forwards to C. C's synced dedup slot re-acks the pre-move
+  // verdict — nothing applies twice anywhere.
+  acks.clear();
+  net.send_message(SiteId{0}, SiteId{2},
+                   Message{WriteRequest{ObjectId{5}, Value{77}, us(100), {},
+                                        SiteId{0}, 1}},
+                   64);
+  sim.run_until();
+  EXPECT_EQ(c.stats().duplicate_writes, 1u);
+  EXPECT_EQ(c.stats().writes_applied, 0u);
+  EXPECT_EQ(b.stats().writes_applied, 1u);  // unchanged: B never saw it
+  ASSERT_EQ(acks.size(), 1u);
+  const auto* re_ack = std::get_if<WriteAck>(&acks[0]);
+  ASSERT_NE(re_ack, nullptr);
+  EXPECT_EQ(re_ack->request_id, 1u);
+  EXPECT_EQ(re_ack->version, version_at_b);
+
+  // The installed record seeded C's version counter: a genuinely new
+  // write continues past it instead of colliding at version 1.
+  acks.clear();
+  net.send_message(SiteId{0}, SiteId{2},
+                   Message{WriteRequest{ObjectId{5}, Value{88}, us(200), {},
+                                        SiteId{0}, 2}},
+                   64);
+  sim.run_until();
+  EXPECT_EQ(c.stats().writes_applied, 1u);
+  ASSERT_EQ(acks.size(), 1u);
+  const auto* new_ack = std::get_if<WriteAck>(&acks[0]);
+  ASSERT_NE(new_ack, nullptr);
+  EXPECT_EQ(new_ack->version, version_at_b + 1);
+}
+
+TEST(Admission, ReadsShedFirstWritesDeferThenApply) {
+  // admit_rate 100/s refills 100 micro-tokens per simulated microsecond
+  // (one admitted op per 10ms); burst 8 caps the bucket at 8e6 with a
+  // quarter-burst (2e6) reserve that only reads must clear. The sim clock
+  // starts at zero, so the bucket starts empty — maximal starvation.
+  ServerConfig cfg;
+  cfg.admit_rate_per_s = 100;
+  cfg.admit_burst = 8;
+  Cell cell(cfg);
+  struct Shed {
+    std::uint64_t request_id = 0;
+    std::int64_t retry_us = 0;
+  };
+  std::vector<Shed> sheds;
+  cell.server->set_overloaded_sender(
+      [&sheds](SiteId client, ObjectId object, std::uint64_t request_id,
+               std::int64_t retry_after_us) {
+        EXPECT_EQ(client.value, 0u);
+        EXPECT_EQ(object.value, 1u);
+        sheds.push_back(Shed{request_id, retry_after_us});
+      });
+  cell.server->attach();
+  std::vector<Message> replies;
+  cell.capture_replies(0, replies);
+
+  // A read against the empty bucket sheds: no FetchReply, one kOverloaded
+  // with a retry-after inside the protocol's [1ms, 50ms] clamp.
+  cell.net->send_message(SiteId{0}, SiteId{2},
+                         Message{FetchRequest{ObjectId{1}, SiteId{0}, 1}}, 64);
+  cell.sim.run_until();
+  EXPECT_TRUE(replies.empty());
+  ASSERT_EQ(sheds.size(), 1u);
+  EXPECT_EQ(sheds[0].request_id, 1u);
+  EXPECT_GE(sheds[0].retry_us, 1'000);
+  EXPECT_LE(sheds[0].retry_us, 50'000);
+  EXPECT_EQ(cell.server->stats().admission_reads_shed, 1u);
+  EXPECT_EQ(cell.server->stats().overloaded_replies, 1u);
+
+  // A write against the same starved bucket defers (bounded budget), then
+  // applies and acks — admission delays writes, it never drops them.
+  cell.send_write(0, ObjectId{1}, Value{5}, us(50), 2);
+  EXPECT_EQ(cell.server->stats().writes_applied, 1u);
+  EXPECT_GE(cell.server->stats().admission_writes_deferred, 1u);
+  ASSERT_EQ(replies.size(), 1u);
+  const auto* ack = std::get_if<WriteAck>(&replies[0]);
+  ASSERT_NE(ack, nullptr);
+  EXPECT_EQ(ack->request_id, 2u);
+
+  // Refill to the cap, then drain with reads: exactly six admit (the
+  // seventh would dip into the write reserve) and the bounce costs no
+  // tokens. A write admits immediately where the read bounced — reads
+  // shed FIRST, writes still flow.
+  cell.net->run_after(ms(200), [] {});
+  cell.sim.run_until();
+  replies.clear();
+  std::uint64_t rid = 10;
+  for (int i = 0; i < 6; ++i) {
+    cell.net->send_message(
+        SiteId{0}, SiteId{2},
+        Message{FetchRequest{ObjectId{1}, SiteId{0}, rid++}}, 64);
+    cell.sim.run_until();
+  }
+  EXPECT_EQ(replies.size(), 6u);
+  EXPECT_EQ(cell.server->stats().admission_reads_shed, 1u);
+  cell.net->send_message(SiteId{0}, SiteId{2},
+                         Message{FetchRequest{ObjectId{1}, SiteId{0}, rid++}},
+                         64);
+  cell.sim.run_until();
+  EXPECT_EQ(replies.size(), 6u);  // the seventh read bounced...
+  EXPECT_EQ(cell.server->stats().admission_reads_shed, 2u);
+  const std::uint64_t deferred_before =
+      cell.server->stats().admission_writes_deferred;
+  cell.send_write(0, ObjectId{1}, Value{6}, us(300), 3);
+  EXPECT_EQ(cell.server->stats().writes_applied, 2u);  // ...the write flowed
+  EXPECT_EQ(cell.server->stats().admission_writes_deferred, deferred_before);
+}
+
+TEST(Admission, RateZeroDisablesTheGateEntirely) {
+  Cell cell;  // default config: admit_rate_per_s == 0
+  cell.server->attach();
+  std::vector<Message> replies;
+  cell.capture_replies(0, replies);
+  // Even at sim time ~0 (where a rate-limited bucket would be empty)
+  // every read serves and nothing sheds.
+  for (std::uint64_t rid = 1; rid <= 8; ++rid) {
+    cell.net->send_message(
+        SiteId{0}, SiteId{2},
+        Message{FetchRequest{ObjectId{1}, SiteId{0}, rid}}, 64);
+    cell.sim.run_until();
+  }
+  EXPECT_EQ(replies.size(), 8u);
+  EXPECT_EQ(cell.server->stats().admission_reads_shed, 0u);
+  EXPECT_EQ(cell.server->stats().overloaded_replies, 0u);
+}
+
 }  // namespace
 }  // namespace timedc

@@ -163,7 +163,7 @@ TEST(WireCodec, RejectsBadMagicVersionAndType) {
   bad = buf;
   bad[3] = 0;  // below the MsgType range
   EXPECT_EQ(wire::decode_frame(bad).status, wire::DecodeStatus::kBadType);
-  bad[3] = 17;  // above it (v5 ends at kCacherSubscribe = 16)
+  bad[3] = 21;  // above it (v6 ends at kRingUpdate = 20)
   EXPECT_EQ(wire::decode_frame(bad).status, wire::DecodeStatus::kBadType);
 }
 
@@ -457,10 +457,43 @@ std::vector<wire::MemberEntry> random_members(Rng& rng, std::size_t n) {
   return members;
 }
 
+wire::SliceSyncRequest random_slice_sync(Rng& rng) {
+  wire::SliceSyncRequest rq;
+  rq.seq = rng.next_u64();
+  rq.ring_epoch = rng.next_u64();
+  rq.cursor = static_cast<std::uint32_t>(rng.next_u64());
+  rq.max_records = static_cast<std::uint32_t>(
+      rng.uniform_int(1, wire::kMaxSliceRecords));
+  rq.if_newer_than_us = static_cast<std::int64_t>(rng.next_u64());
+  return rq;
+}
+
+std::vector<wire::SliceRecord> random_slice_records(Rng& rng, std::size_t n) {
+  std::vector<wire::SliceRecord> records(n);
+  for (auto& r : records) {
+    r.object = static_cast<std::uint32_t>(rng.uniform_int(0, 1 << 20));
+    r.value = static_cast<std::int64_t>(rng.next_u64());
+    r.version = rng.next_u64();
+    r.alpha_us = static_cast<std::int64_t>(rng.next_u64());
+    r.writer = static_cast<std::uint32_t>(rng.uniform_int(0, 5000));
+    r.request_id = rng.next_u64();
+  }
+  return records;
+}
+
+std::vector<std::uint32_t> random_ring_members(Rng& rng, std::size_t n) {
+  std::vector<std::uint32_t> members(n);
+  for (auto& m : members) {
+    m = static_cast<std::uint32_t>(rng.uniform_int(0, 1 << 20));
+  }
+  return members;
+}
+
 TEST(WireCodec, MembershipRoundTrip) {
   Rng rng(41);
   for (int iter = 0; iter < 100; ++iter) {
     const std::uint64_t epoch = rng.next_u64();
+    const std::uint64_t ring_epoch = rng.next_u64();
     const std::vector<wire::MemberEntry> members = random_members(
         rng, static_cast<std::size_t>(
                  rng.uniform_int(0, wire::kMaxMembers)));
@@ -468,7 +501,7 @@ TEST(WireCodec, MembershipRoundTrip) {
     const SiteId to{static_cast<std::uint32_t>(rng.uniform_int(0, 5000))};
 
     std::vector<std::uint8_t> buf;
-    wire::encode_membership_frame(from, to, epoch, members, buf);
+    wire::encode_membership_frame(from, to, epoch, ring_epoch, members, buf);
     for (std::size_t len = 0; len < buf.size(); len += 5) {
       EXPECT_EQ(wire::decode_frame(
                     std::span<const std::uint8_t>(buf.data(), len)).status,
@@ -482,6 +515,7 @@ TEST(WireCodec, MembershipRoundTrip) {
     EXPECT_EQ(frame.from, from);
     EXPECT_EQ(frame.to, to);
     EXPECT_EQ(frame.membership_epoch, epoch);
+    EXPECT_EQ(frame.membership_ring_epoch, ring_epoch);
     ASSERT_EQ(frame.members.size(), members.size());
     for (std::size_t i = 0; i < members.size(); ++i) {
       EXPECT_EQ(frame.members[i], members[i]);
@@ -490,28 +524,29 @@ TEST(WireCodec, MembershipRoundTrip) {
 }
 
 TEST(WireCodec, ForgedMemberCountCannotForceAllocation) {
-  // Membership body: epoch u64, member count u32 at absolute offset 24,
-  // then 13-byte entries (site u32, incarnation u64, status u8).
+  // v6 membership body: epoch u64, ring epoch u64, member count u32 at
+  // absolute offset 32, then 13-byte entries (site u32, incarnation u64,
+  // status u8).
   Rng rng(43);
   std::vector<std::uint8_t> buf;
-  wire::encode_membership_frame(SiteId{1}, SiteId{2}, 9,
+  wire::encode_membership_frame(SiteId{1}, SiteId{2}, 9, 4,
                                 random_members(rng, 3), buf);
 
   std::vector<std::uint8_t> bad = buf;
   const std::uint32_t huge = 0xFFFFFFFFu;
-  std::memcpy(bad.data() + 24, &huge, sizeof(huge));
+  std::memcpy(bad.data() + 32, &huge, sizeof(huge));
   EXPECT_EQ(wire::decode_frame(bad).status, wire::DecodeStatus::kBadField);
 
   // A count within kMaxMembers but past the actual bytes fails bounds.
   bad = buf;
   const std::uint32_t plausible = wire::kMaxMembers;
-  std::memcpy(bad.data() + 24, &plausible, sizeof(plausible));
+  std::memcpy(bad.data() + 32, &plausible, sizeof(plausible));
   EXPECT_EQ(wire::decode_frame(bad).status, wire::DecodeStatus::kShortBody);
 
-  // An out-of-range liveness status (first entry's, offset 24+4+4+8) is
+  // An out-of-range liveness status (first entry's, offset 32+4+4+8) is
   // malformed, not clamped.
   bad = buf;
-  bad[40] = 3;
+  bad[48] = 3;
   EXPECT_EQ(wire::decode_frame(bad).status, wire::DecodeStatus::kBadField);
 }
 
@@ -523,14 +558,17 @@ TEST(WireCodec, ForwardRoundTripAndRawAgree) {
     const SiteId client{static_cast<std::uint32_t>(rng.uniform_int(0, 5000))};
     const SiteId owner{static_cast<std::uint32_t>(rng.uniform_int(0, 8))};
     const auto hops = static_cast<std::uint8_t>(rng.uniform_int(0, 3));
+    const bool serve_here = rng.bernoulli(0.3);
+    const std::uint64_t ring_epoch = rng.next_u64();
 
     std::vector<std::uint8_t> buf;
-    wire::encode_forward_frame(SiteId{3}, owner, hops, client, owner, inner,
-                               buf);
+    wire::encode_forward_frame(SiteId{3}, owner, hops, serve_here, ring_epoch,
+                               client, owner, inner, buf);
     // The zero-decode path (wrap pre-encoded bytes) is bit-identical.
     std::vector<std::uint8_t> raw;
-    wire::encode_forward_frame_raw(SiteId{3}, owner, hops,
-                                   encode(client, owner, inner), raw);
+    wire::encode_forward_frame_raw(SiteId{3}, owner, hops, serve_here,
+                                   ring_epoch, encode(client, owner, inner),
+                                   raw);
     EXPECT_EQ(raw, buf);
 
     for (std::size_t len = 0; len < buf.size(); len += 7) {
@@ -544,6 +582,8 @@ TEST(WireCodec, ForwardRoundTripAndRawAgree) {
     ASSERT_TRUE(frame.is_forward);
     EXPECT_EQ(frame.consumed, buf.size());
     EXPECT_EQ(frame.forward_hops, hops);
+    EXPECT_EQ(frame.forward_serve_here, serve_here);
+    EXPECT_EQ(frame.forward_ring_epoch, ring_epoch);
 
     // The wrapped bytes decode to the original inner frame, original
     // routing header included — that is what the owner's dedup keys on.
@@ -562,22 +602,29 @@ TEST(WireCodec, ForwardRoundTripAndRawAgree) {
     EXPECT_EQ(iview.from, client);
     EXPECT_EQ(iview.to, owner);
     EXPECT_EQ(iview.consumed, frame.forward_inner.size());
+
+    // The prefix peek the transport's bounce/serve-here path uses agrees.
+    const wire::ForwardPrefix fp = wire::peek_forward_prefix(outer);
+    EXPECT_EQ(fp.hops, hops);
+    EXPECT_EQ(fp.serve_here, serve_here);
+    EXPECT_EQ(fp.ring_epoch, ring_epoch);
   }
 }
 
 TEST(WireCodec, ForgedForwardInnerLengthCannotForceAllocation) {
-  // Forward body: hops u8 at offset 16, then a complete inner frame whose
-  // own body-length field sits at 17 + 12 = 29. Forging it cannot make the
-  // decoder allocate or read past the outer body.
+  // v6 forward body: flags+hops u8 at offset 16, ring epoch u64 at 17, then
+  // a complete inner frame whose own body-length field sits at
+  // 16 + 9 + 12 = 37. Forging it cannot make the decoder allocate or read
+  // past the outer body.
   Rng rng(53);
   std::vector<std::uint8_t> buf;
-  wire::encode_forward_frame(SiteId{3}, SiteId{1}, 1, SiteId{9}, SiteId{1},
-                             random_message(rng, 0), buf);
+  wire::encode_forward_frame(SiteId{3}, SiteId{1}, 1, false, 0, SiteId{9},
+                             SiteId{1}, random_message(rng, 0), buf);
 
   // Oversized inner claim: rejected as such before any body read.
   std::vector<std::uint8_t> bad = buf;
   const std::uint32_t huge = 0xFFFFFFFFu;
-  std::memcpy(bad.data() + 29, &huge, sizeof(huge));
+  std::memcpy(bad.data() + 37, &huge, sizeof(huge));
   EXPECT_EQ(wire::decode_frame(bad).status,
             wire::DecodeStatus::kOversizedBody);
 
@@ -585,9 +632,9 @@ TEST(WireCodec, ForgedForwardInnerLengthCannotForceAllocation) {
   // complete, so this is a malformed frame, never "need more stream".
   bad = buf;
   std::uint32_t inner_len;
-  std::memcpy(&inner_len, bad.data() + 29, sizeof(inner_len));
+  std::memcpy(&inner_len, bad.data() + 37, sizeof(inner_len));
   inner_len += 8;
-  std::memcpy(bad.data() + 29, &inner_len, sizeof(inner_len));
+  std::memcpy(bad.data() + 37, &inner_len, sizeof(inner_len));
   EXPECT_EQ(wire::decode_frame(bad).status, wire::DecodeStatus::kBadField);
 
   // An inner frame that is not a protocol message (a wrapped heartbeat)
@@ -595,14 +642,22 @@ TEST(WireCodec, ForgedForwardInnerLengthCannotForceAllocation) {
   std::vector<std::uint8_t> hb;
   wire::encode_heartbeat_frame(SiteId{9}, SiteId{1}, wire::Heartbeat{}, hb);
   std::vector<std::uint8_t> wrapped;
-  wire::encode_forward_frame_raw(SiteId{3}, SiteId{1}, 1, hb, wrapped);
+  wire::encode_forward_frame_raw(SiteId{3}, SiteId{1}, 1, false, 0, hb,
+                                 wrapped);
   EXPECT_EQ(wire::decode_frame(wrapped).status, wire::DecodeStatus::kBadField);
 
   // A forward wrapping nothing at all (empty body would be caught by the
-  // size check; a lone hops byte leaves no room for an inner header).
+  // size check; a lone flags byte leaves no room for the prefix, let alone
+  // an inner header).
   bad = buf;
   bad.resize(wire::kHeaderBytes + 1);
   set_body_len(bad, 1);
+  EXPECT_EQ(wire::decode_frame(bad).status, wire::DecodeStatus::kBadField);
+
+  // The reserved flag bits (between the serve-here bit and the hop count)
+  // are malformed, not ignored: they are the v7 extension space.
+  bad = buf;
+  bad[16] |= 0x40;
   EXPECT_EQ(wire::decode_frame(bad).status, wire::DecodeStatus::kBadField);
 }
 
@@ -645,10 +700,10 @@ TEST(WireCodec, ClusterFramesRequireVersionFive) {
   // rejects it instead of guessing.
   Rng rng(61);
   std::vector<std::vector<std::uint8_t>> frames(3);
-  wire::encode_membership_frame(SiteId{1}, SiteId{2}, 5,
+  wire::encode_membership_frame(SiteId{1}, SiteId{2}, 5, 0,
                                 random_members(rng, 2), frames[0]);
-  wire::encode_forward_frame(SiteId{1}, SiteId{2}, 1, SiteId{9}, SiteId{2},
-                             random_message(rng, 0), frames[1]);
+  wire::encode_forward_frame(SiteId{1}, SiteId{2}, 1, false, 0, SiteId{9},
+                             SiteId{2}, random_message(rng, 0), frames[1]);
   wire::encode_cacher_subscribe_frame(SiteId{1}, SiteId{2},
                                       wire::CacherSubscribe{}, frames[2]);
   for (const auto& buf : frames) {
@@ -667,6 +722,208 @@ TEST(WireCodec, ClusterFramesRequireVersionFive) {
                                         random_message(rng, 0));
   v4[2] = 4;
   EXPECT_TRUE(wire::decode_frame(v4).ok());
+}
+
+TEST(WireCodec, SliceSyncRoundTrip) {
+  Rng rng(67);
+  for (int iter = 0; iter < 100; ++iter) {
+    const wire::SliceSyncRequest rq = random_slice_sync(rng);
+    std::vector<std::uint8_t> buf;
+    wire::encode_slice_sync_frame(SiteId{4}, SiteId{1}, rq, buf);
+    for (std::size_t len = 0; len < buf.size(); ++len) {
+      EXPECT_EQ(wire::decode_frame(
+                    std::span<const std::uint8_t>(buf.data(), len)).status,
+                wire::DecodeStatus::kNeedMore);
+    }
+    const wire::DecodedFrame frame = wire::decode_frame(buf);
+    ASSERT_TRUE(frame.ok()) << wire::to_cstring(frame.status);
+    ASSERT_TRUE(frame.is_slice_sync);
+    EXPECT_EQ(frame.consumed, buf.size());
+    EXPECT_EQ(frame.slice_sync, rq);
+  }
+}
+
+TEST(WireCodec, SliceSyncReplyRoundTripAndForgedCount) {
+  Rng rng(71);
+  for (int iter = 0; iter < 100; ++iter) {
+    const std::uint64_t seq = rng.next_u64();
+    const std::uint64_t ring_epoch = rng.next_u64();
+    const auto status = static_cast<std::uint8_t>(rng.uniform_int(0, 2));
+    const auto next_cursor = static_cast<std::uint32_t>(rng.next_u64());
+    const std::vector<wire::SliceRecord> records = random_slice_records(
+        rng, static_cast<std::size_t>(rng.uniform_int(0, 12)));
+    std::vector<std::uint8_t> buf;
+    wire::encode_slice_sync_reply_frame(SiteId{1}, SiteId{4}, seq, ring_epoch,
+                                        status, next_cursor, records, buf);
+    for (std::size_t len = 0; len < buf.size(); len += 5) {
+      EXPECT_EQ(wire::decode_frame(
+                    std::span<const std::uint8_t>(buf.data(), len)).status,
+                wire::DecodeStatus::kNeedMore);
+    }
+    const wire::DecodedFrame frame = wire::decode_frame(buf);
+    ASSERT_TRUE(frame.ok()) << wire::to_cstring(frame.status);
+    ASSERT_TRUE(frame.is_slice_sync_reply);
+    EXPECT_EQ(frame.consumed, buf.size());
+    EXPECT_EQ(frame.slice_seq, seq);
+    EXPECT_EQ(frame.slice_ring_epoch, ring_epoch);
+    EXPECT_EQ(frame.slice_status, status);
+    EXPECT_EQ(frame.slice_next_cursor, next_cursor);
+    ASSERT_EQ(frame.slice_records.size(), records.size());
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      EXPECT_EQ(frame.slice_records[i], records[i]);
+    }
+  }
+
+  // Reply body: seq u64, ring epoch u64, status u8, next cursor u32, then
+  // the record count u32 at absolute offset 37. A forged count can never
+  // force a large allocation or an over-read.
+  std::vector<std::uint8_t> buf;
+  wire::encode_slice_sync_reply_frame(SiteId{1}, SiteId{4}, 1, 2, 0, 3,
+                                      random_slice_records(rng, 2), buf);
+  std::vector<std::uint8_t> bad = buf;
+  const std::uint32_t huge = 0xFFFFFFFFu;
+  std::memcpy(bad.data() + 37, &huge, sizeof(huge));
+  EXPECT_EQ(wire::decode_frame(bad).status, wire::DecodeStatus::kBadField);
+  bad = buf;
+  const std::uint32_t plausible = wire::kMaxSliceRecords;
+  std::memcpy(bad.data() + 37, &plausible, sizeof(plausible));
+  EXPECT_EQ(wire::decode_frame(bad).status, wire::DecodeStatus::kShortBody);
+  // Status bytes past kSliceNotReady are malformed, not clamped.
+  bad = buf;
+  bad[32] = 3;
+  EXPECT_EQ(wire::decode_frame(bad).status, wire::DecodeStatus::kBadField);
+}
+
+TEST(WireCodec, RingUpdateRoundTripAndForgedCount) {
+  Rng rng(73);
+  for (int iter = 0; iter < 100; ++iter) {
+    const std::uint64_t epoch = rng.next_u64();
+    const std::vector<std::uint32_t> members = random_ring_members(
+        rng, static_cast<std::size_t>(rng.uniform_int(0, wire::kMaxMembers)));
+    std::vector<std::uint8_t> buf;
+    wire::encode_ring_update_frame(SiteId{2}, SiteId{9}, epoch, members, buf);
+    for (std::size_t len = 0; len < buf.size(); len += 3) {
+      EXPECT_EQ(wire::decode_frame(
+                    std::span<const std::uint8_t>(buf.data(), len)).status,
+                wire::DecodeStatus::kNeedMore);
+    }
+    const wire::DecodedFrame frame = wire::decode_frame(buf);
+    ASSERT_TRUE(frame.ok()) << wire::to_cstring(frame.status);
+    ASSERT_TRUE(frame.is_ring_update);
+    EXPECT_EQ(frame.consumed, buf.size());
+    EXPECT_EQ(frame.ring_update_epoch, epoch);
+    ASSERT_EQ(frame.ring_members.size(), members.size());
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      EXPECT_EQ(frame.ring_members[i], members[i]);
+    }
+  }
+
+  // Body: ring epoch u64, then the member count u32 at absolute offset 24.
+  std::vector<std::uint8_t> buf;
+  wire::encode_ring_update_frame(SiteId{2}, SiteId{9}, 7,
+                                 random_ring_members(rng, 3), buf);
+  std::vector<std::uint8_t> bad = buf;
+  const std::uint32_t huge = 0xFFFFFFFFu;
+  std::memcpy(bad.data() + 24, &huge, sizeof(huge));
+  EXPECT_EQ(wire::decode_frame(bad).status, wire::DecodeStatus::kBadField);
+  bad = buf;
+  const std::uint32_t plausible = wire::kMaxMembers;
+  std::memcpy(bad.data() + 24, &plausible, sizeof(plausible));
+  EXPECT_EQ(wire::decode_frame(bad).status, wire::DecodeStatus::kShortBody);
+}
+
+TEST(WireCodec, OverloadedRoundTrip) {
+  Rng rng(79);
+  for (int iter = 0; iter < 100; ++iter) {
+    const wire::Overloaded ov{static_cast<std::uint32_t>(rng.next_u64()),
+                              rng.next_u64(),
+                              static_cast<std::int64_t>(rng.next_u64() >> 1)};
+    std::vector<std::uint8_t> buf;
+    wire::encode_overloaded_frame(SiteId{1}, SiteId{4}, ov, buf);
+    for (std::size_t len = 0; len < buf.size(); ++len) {
+      EXPECT_EQ(wire::decode_frame(
+                    std::span<const std::uint8_t>(buf.data(), len)).status,
+                wire::DecodeStatus::kNeedMore);
+    }
+    const wire::DecodedFrame frame = wire::decode_frame(buf);
+    ASSERT_TRUE(frame.ok()) << wire::to_cstring(frame.status);
+    ASSERT_TRUE(frame.is_overloaded);
+    EXPECT_EQ(frame.consumed, buf.size());
+    EXPECT_EQ(frame.overloaded, ov);
+  }
+}
+
+TEST(WireCodec, SelfHealingFramesRequireVersionSix) {
+  // Types 17-20 under a v5 — or any older — header are malformed: a v6
+  // server never sends them to a peer that spoke an older hello.
+  Rng rng(83);
+  std::vector<std::vector<std::uint8_t>> frames(4);
+  wire::encode_slice_sync_frame(SiteId{1}, SiteId{2}, random_slice_sync(rng),
+                                frames[0]);
+  wire::encode_slice_sync_reply_frame(SiteId{1}, SiteId{2}, 1, 2, 1, 0,
+                                      random_slice_records(rng, 1),
+                                      frames[1]);
+  wire::encode_ring_update_frame(SiteId{1}, SiteId{2}, 3,
+                                 random_ring_members(rng, 2), frames[2]);
+  wire::encode_overloaded_frame(SiteId{1}, SiteId{2},
+                                wire::Overloaded{1, 2, 3}, frames[3]);
+  for (const auto& buf : frames) {
+    EXPECT_TRUE(wire::decode_frame(buf).ok());
+    for (const std::uint8_t version : {5, 4, 3, 2, 1}) {
+      std::vector<std::uint8_t> old = buf;
+      old[2] = version;
+      EXPECT_EQ(wire::decode_frame(old).status, wire::DecodeStatus::kBadType)
+          << "type " << int(buf[3]) << ", version " << int(version);
+    }
+  }
+}
+
+TEST(WireCodec, VersionFiveLayoutsStillDecode) {
+  // The v5 bodies of the two extended frames must keep decoding with their
+  // original layout under a v5 header — that is what lets a mixed v5/v6
+  // cluster keep gossiping and forwarding during a rolling upgrade.
+  Rng rng(89);
+
+  // v5 membership: [epoch u64][count u32][entries] — the v6 body minus the
+  // ring-epoch u64 at body offset 8.
+  const std::uint64_t epoch = rng.next_u64();
+  const std::vector<wire::MemberEntry> members = random_members(rng, 3);
+  std::vector<std::uint8_t> v6;
+  wire::encode_membership_frame(SiteId{1}, SiteId{2}, epoch, 77, members, v6);
+  std::vector<std::uint8_t> v5(v6.begin(), v6.begin() + 24);  // header+epoch
+  v5.insert(v5.end(), v6.begin() + 32, v6.end());             // skip ring ep.
+  v5[2] = 5;
+  set_body_len(v5, static_cast<std::uint32_t>(v5.size() - wire::kHeaderBytes));
+  wire::DecodedFrame frame = wire::decode_frame(v5);
+  ASSERT_TRUE(frame.ok()) << wire::to_cstring(frame.status);
+  ASSERT_TRUE(frame.is_membership);
+  EXPECT_EQ(frame.membership_epoch, epoch);
+  EXPECT_EQ(frame.membership_ring_epoch, 0u);  // v5 has none
+  ASSERT_EQ(frame.members.size(), members.size());
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    EXPECT_EQ(frame.members[i], members[i]);
+  }
+
+  // v5 forward: [hops u8][inner] — the v6 body minus the ring-epoch u64 at
+  // body offset 1 (and the v5 hops byte carries no flag bits).
+  const Message inner = random_message(rng, 0);
+  v6.clear();
+  wire::encode_forward_frame(SiteId{3}, SiteId{1}, 2, false, 77, SiteId{9},
+                             SiteId{1}, inner, v6);
+  std::vector<std::uint8_t> v5f(v6.begin(), v6.begin() + 17);  // header+hops
+  v5f.insert(v5f.end(), v6.begin() + 25, v6.end());            // skip ring ep.
+  v5f[2] = 5;
+  set_body_len(v5f,
+               static_cast<std::uint32_t>(v5f.size() - wire::kHeaderBytes));
+  frame = wire::decode_frame(v5f);
+  ASSERT_TRUE(frame.ok()) << wire::to_cstring(frame.status);
+  ASSERT_TRUE(frame.is_forward);
+  EXPECT_EQ(frame.forward_hops, 2);
+  EXPECT_FALSE(frame.forward_serve_here);
+  EXPECT_EQ(frame.forward_ring_epoch, 0u);
+  const wire::DecodedFrame unwrapped = wire::decode_frame(frame.forward_inner);
+  ASSERT_TRUE(unwrapped.ok());
+  EXPECT_EQ(unwrapped.message, inner);
 }
 
 TEST(WireCodec, RandomByteFlipsNeverCrashOrOverRead) {
@@ -750,8 +1007,13 @@ void expect_view_matches_owning(std::span<const std::uint8_t> buf,
   EXPECT_EQ(scratch.is_membership, owning.is_membership);
   EXPECT_EQ(scratch.is_forward, owning.is_forward);
   EXPECT_EQ(scratch.is_cacher_subscribe, owning.is_cacher_subscribe);
+  EXPECT_EQ(scratch.is_slice_sync, owning.is_slice_sync);
+  EXPECT_EQ(scratch.is_slice_sync_reply, owning.is_slice_sync_reply);
+  EXPECT_EQ(scratch.is_ring_update, owning.is_ring_update);
+  EXPECT_EQ(scratch.is_overloaded, owning.is_overloaded);
   if (owning.is_membership) {
     EXPECT_EQ(scratch.membership_epoch, owning.membership_epoch);
+    EXPECT_EQ(scratch.membership_ring_epoch, owning.membership_ring_epoch);
     ASSERT_EQ(scratch.members.size(), owning.members.size());
     for (std::size_t i = 0; i < owning.members.size(); ++i) {
       EXPECT_EQ(scratch.members[i], owning.members[i]);
@@ -760,7 +1022,36 @@ void expect_view_matches_owning(std::span<const std::uint8_t> buf,
   }
   if (owning.is_forward) {
     EXPECT_EQ(scratch.forward_hops, owning.forward_hops);
+    EXPECT_EQ(scratch.forward_serve_here, owning.forward_serve_here);
+    EXPECT_EQ(scratch.forward_ring_epoch, owning.forward_ring_epoch);
     EXPECT_EQ(scratch.forward_inner, owning.forward_inner);
+    return;
+  }
+  if (owning.is_slice_sync) {
+    EXPECT_EQ(scratch.slice_sync, owning.slice_sync);
+    return;
+  }
+  if (owning.is_slice_sync_reply) {
+    EXPECT_EQ(scratch.slice_seq, owning.slice_seq);
+    EXPECT_EQ(scratch.slice_ring_epoch, owning.slice_ring_epoch);
+    EXPECT_EQ(scratch.slice_status, owning.slice_status);
+    EXPECT_EQ(scratch.slice_next_cursor, owning.slice_next_cursor);
+    ASSERT_EQ(scratch.slice_records.size(), owning.slice_records.size());
+    for (std::size_t i = 0; i < owning.slice_records.size(); ++i) {
+      EXPECT_EQ(scratch.slice_records[i], owning.slice_records[i]);
+    }
+    return;
+  }
+  if (owning.is_ring_update) {
+    EXPECT_EQ(scratch.ring_update_epoch, owning.ring_update_epoch);
+    ASSERT_EQ(scratch.ring_members.size(), owning.ring_members.size());
+    for (std::size_t i = 0; i < owning.ring_members.size(); ++i) {
+      EXPECT_EQ(scratch.ring_members[i], owning.ring_members[i]);
+    }
+    return;
+  }
+  if (owning.is_overloaded) {
+    EXPECT_EQ(scratch.overloaded, owning.overloaded);
     return;
   }
   if (owning.is_cacher_subscribe) {
@@ -868,13 +1159,13 @@ TEST(WireCodec, ViewDecodeMatchesOwningDecodeOnEveryInput) {
       }
       expect_view_matches_owning(buf, scratch);
     }
-    // Cluster frames (v5): membership digests, forwarded requests and
+    // Cluster frames (v5/v6): membership digests, forwarded requests and
     // cacher registrations, pristine then bit-flipped — the forward
     // frame's nested length field is the newest nested-count surface.
     {
       std::vector<std::uint8_t> buf;
       wire::encode_membership_frame(
-          SiteId{1}, SiteId{2}, rng.next_u64(),
+          SiteId{1}, SiteId{2}, rng.next_u64(), rng.next_u64(),
           random_members(rng,
                          static_cast<std::size_t>(rng.uniform_int(0, 8))),
           buf);
@@ -882,8 +1173,8 @@ TEST(WireCodec, ViewDecodeMatchesOwningDecodeOnEveryInput) {
       buf.clear();
       wire::encode_forward_frame(
           SiteId{1}, SiteId{2},
-          static_cast<std::uint8_t>(rng.uniform_int(0, 3)), random_site(rng),
-          SiteId{2},
+          static_cast<std::uint8_t>(rng.uniform_int(0, 3)),
+          rng.bernoulli(0.3), rng.next_u64(), random_site(rng), SiteId{2},
           random_message(rng, static_cast<int>(
                                   rng.uniform_int(0, kNumTypes - 1))),
           buf);
@@ -900,6 +1191,46 @@ TEST(WireCodec, ViewDecodeMatchesOwningDecodeOnEveryInput) {
           ObjectId{static_cast<std::uint32_t>(rng.uniform_int(0, 999))},
           random_site(rng), static_cast<std::uint8_t>(rng.uniform_int(0, 1))};
       wire::encode_cacher_subscribe_frame(SiteId{1}, SiteId{2}, cs, buf);
+      expect_view_matches_owning(buf, scratch);
+    }
+    // Self-healing frames (v6), pristine then bit-flipped — the slice
+    // reply's record count and the ring update's member count are the
+    // newest nested-count surfaces.
+    {
+      std::vector<std::uint8_t> buf;
+      wire::encode_slice_sync_frame(SiteId{1}, SiteId{2},
+                                    random_slice_sync(rng), buf);
+      expect_view_matches_owning(buf, scratch);
+      buf.clear();
+      wire::encode_slice_sync_reply_frame(
+          SiteId{1}, SiteId{2}, rng.next_u64(), rng.next_u64(),
+          static_cast<std::uint8_t>(rng.uniform_int(0, 2)),
+          static_cast<std::uint32_t>(rng.next_u64()),
+          random_slice_records(
+              rng, static_cast<std::size_t>(rng.uniform_int(0, 8))),
+          buf);
+      expect_view_matches_owning(buf, scratch);
+      const int vflips = static_cast<int>(rng.uniform_int(1, 4));
+      for (int f = 0; f < vflips; ++f) {
+        const std::size_t at = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(buf.size()) - 1));
+        buf[at] ^= static_cast<std::uint8_t>(1u << rng.uniform_int(0, 7));
+      }
+      expect_view_matches_owning(buf, scratch);
+      buf.clear();
+      wire::encode_ring_update_frame(
+          SiteId{1}, SiteId{2}, rng.next_u64(),
+          random_ring_members(
+              rng, static_cast<std::size_t>(rng.uniform_int(0, 8))),
+          buf);
+      expect_view_matches_owning(buf, scratch);
+      buf.clear();
+      wire::encode_overloaded_frame(
+          SiteId{1}, SiteId{2},
+          wire::Overloaded{static_cast<std::uint32_t>(rng.next_u64()),
+                           rng.next_u64(),
+                           static_cast<std::int64_t>(rng.next_u64() >> 1)},
+          buf);
       expect_view_matches_owning(buf, scratch);
     }
     // Pure garbage, occasionally with a plausible header planted.

@@ -422,7 +422,32 @@ class Worker {
       // timedc-server agree on every object without any exchange.
       ring_ = std::make_shared<cluster::HashRing>();
       ring_->set_members(shard_sites);
+      // Self-healing: a server that sees one of our requests stamped with a
+      // stale ring bounces a kRingUpdate hint carrying its serving set.
+      // Re-learn the ring from it (epochs only move forward), so after a
+      // rebalance our dispatch goes straight to the new owner instead of
+      // paying the forward hop on every op. Sites map to ports positionally
+      // (ports[i] serves site i), so members beyond the endpoint list —
+      // ones we could not dial anyway — are dropped.
+      transport_.set_ring_update_handler(
+          [this, num_shards](SiteId, std::uint64_t epoch,
+                             std::span<const std::uint32_t> members) {
+            if (epoch <= learned_ring_epoch_ || members.empty()) return;
+            std::vector<SiteId> sites;
+            for (const std::uint32_t site : members) {
+              if (site < num_shards) sites.push_back(SiteId{site});
+            }
+            if (sites.empty()) return;
+            learned_ring_epoch_ = epoch;
+            ring_->set_members(sites);
+            ++ring_updates_;
+          });
     }
+    // Admission-shed replies: the request was not served; the client's
+    // retry timer already covers it (the next attempt rotates endpoints),
+    // so all we do is count the explicit sheds.
+    transport_.set_overloaded_handler(
+        [this](SiteId, const wire::Overloaded&) { ++overloaded_; });
     route_rng_ = Rng::stream(opt_.seed + 0x707e, index_);
     clients_.reserve(opt_.clients);
     state_.resize(opt_.clients);
@@ -519,6 +544,10 @@ class Worker {
   std::uint64_t abandoned() const { return abandoned_; }
   /// Operations deliberately sent to a non-owner endpoint (--misroute-pct).
   std::uint64_t misrouted() const { return misrouted_; }
+  /// kRingUpdate hints that actually moved this worker's learned ring.
+  std::uint64_t ring_updates() const { return ring_updates_; }
+  /// kOverloaded admission-shed replies received.
+  std::uint64_t overloaded() const { return overloaded_; }
   /// Deepest the open-loop backlog ever got (0 in closed-loop mode): how
   /// far demand outran the pipeline at the worst moment.
   std::uint64_t backlog_peak() const { return backlog_peak_; }
@@ -761,6 +790,9 @@ class Worker {
   std::shared_ptr<cluster::HashRing> ring_;
   Rng route_rng_{0};
   std::uint64_t misrouted_ = 0;
+  std::uint64_t learned_ring_epoch_ = 0;  // newest kRingUpdate adopted
+  std::uint64_t ring_updates_ = 0;
+  std::uint64_t overloaded_ = 0;
   // Issuing state, shared by both modes: clients rotate through ready_,
   // at most cap_ operations are in flight, and (open loop only) arrivals
   // that found every client busy wait in backlog_ with their intended
@@ -892,9 +924,13 @@ int main(int argc, char** argv) {
 
   std::uint64_t total_abandoned = 0;
   std::uint64_t total_misrouted = 0;
+  std::uint64_t total_ring_updates = 0;
+  std::uint64_t total_overloaded = 0;
   for (const auto& w : workers) {
     total_abandoned += w->abandoned();
     total_misrouted += w->misrouted();
+    total_ring_updates += w->ring_updates();
+    total_overloaded += w->overloaded();
   }
 
   MetricsRegistry reg;
@@ -907,7 +943,9 @@ int main(int argc, char** argv) {
   if (opt.cluster) {
     reg.set_counter("load.cluster", 1);
     reg.set_counter("load.misrouted", total_misrouted);
+    reg.set_counter("load.ring_updates", total_ring_updates);
   }
+  reg.set_counter("load.overloaded", total_overloaded);
   if (opt.open_loop > 0) {
     std::uint64_t backlog_peak = 0, arrivals_dropped = 0;
     for (const auto& w : workers) {

@@ -53,11 +53,13 @@
 #include <signal.h>
 #include <time.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <future>
 #include <iostream>
 #include <memory>
@@ -116,6 +118,18 @@ struct Options {
   bool cluster = false;
   std::uint8_t cluster_push_mode = 1;  // 0 invalidate / 1 update
   std::int64_t replica_ttl_us = 0;     // 0 = uncapped
+  /// Self-healing knobs (cluster mode). dead_grace_ms is how long a SUSPECT
+  /// member stays in the serving set past the suspicion timeout before
+  /// gossip declares it DEAD and ownership rebalances; warm_up makes this
+  /// process start WARMING (forward-through + kSliceSync anti-entropy from
+  /// every peer) and only flip to SERVING once every donor reports done or
+  /// warm_timeout_ms expires.
+  std::int64_t dead_grace_ms = 500;
+  bool warm_up = false;
+  std::int64_t warm_timeout_ms = 3000;
+  /// Admission control (see ServerConfig): 0 = gate disabled.
+  std::uint32_t admit_rate = 0;
+  std::uint32_t admit_burst = 64;
 };
 
 int usage(const char* argv0) {
@@ -128,7 +142,9 @@ int usage(const char* argv0) {
                "          [--metrics-out FILE] [--metrics-interval-ms MS]\n"
                "          [--flight-dump PREFIX] [--flight-capacity N]\n"
                "          [--cluster] [--cluster-push invalidate|update]\n"
-               "          [--replica-ttl-us N]\n",
+               "          [--replica-ttl-us N] [--dead-grace-ms MS]\n"
+               "          [--warm-up] [--warm-timeout-ms MS]\n"
+               "          [--admit-rate OPS_PER_S] [--admit-burst N]\n",
                argv0);
   return 2;
 }
@@ -241,6 +257,24 @@ bool parse_args(int argc, char** argv, Options& opt) {
       const char* v = next();
       if (v == nullptr) return false;
       opt.replica_ttl_us = std::atoll(v);
+    } else if (arg == "--dead-grace-ms") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.dead_grace_ms = std::atoll(v);
+    } else if (arg == "--warm-up") {
+      opt.warm_up = true;
+    } else if (arg == "--warm-timeout-ms") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.warm_timeout_ms = std::atoll(v);
+    } else if (arg == "--admit-rate") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.admit_rate = static_cast<std::uint32_t>(std::atol(v));
+    } else if (arg == "--admit-burst") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.admit_burst = static_cast<std::uint32_t>(std::atol(v));
     } else if (arg == "--segv-after-s") {
       // Undocumented on purpose: CI uses it to validate the fatal-signal
       // flight dump end to end.
@@ -362,6 +396,29 @@ std::FILE* load_and_open_wal(const std::string& path, ObjectServer& server,
   return f;
 }
 
+/// Per-shard self-healing state. Written only on the shard's loop thread
+/// once serving starts (membership / ring-update / slice-sync handlers all
+/// run there), so no locks: the serving ring that decides ownership, the
+/// donor ring a WARMING shard forwards cold reads through (the previous
+/// owners: serving \ {self}), and the per-donor warm-up cursors.
+struct ShardCluster {
+  cluster::HashRing ring;        // ownership among serving members
+  cluster::HashRing donor_ring;  // serving \ {self}: warm-up donors
+  std::vector<std::uint32_t> serving;  // sorted serving member sites
+  std::vector<std::uint32_t> scratch;  // serving_members() compare buffer
+  std::uint64_t ring_epoch = 0;        // 0 = configured baseline ring
+  std::uint64_t rebalances = 0;
+  struct WarmPeer {
+    std::uint32_t site = 0;
+    std::uint32_t cursor = 0;  // resume point for the next kSliceSync
+    std::uint64_t seq = 0;     // latest request seq; older replies dropped
+    bool done = false;
+  };
+  std::vector<WarmPeer> warm_peers;
+  std::uint64_t next_seq = 1;
+  std::int64_t warm_deadline_us = 0;  // armed on the first pump tick
+};
+
 struct Shard {
   std::unique_ptr<net::EventLoop> loop;
   std::unique_ptr<net::TcpTransport> transport;
@@ -369,11 +426,60 @@ struct Shard {
   std::unique_ptr<StatsBoard> board;
   std::unique_ptr<FlightRecorder> flight;
   std::unique_ptr<cluster::MembershipTable> membership;
+  std::unique_ptr<ShardCluster> cs;
+  std::shared_ptr<std::function<void()>> warm_pump;  // posted after run()
   std::thread thread;
   std::uint16_t port = 0;
   SiteId site{0};
   std::FILE* wal = nullptr;
 };
+
+/// Rebuild both deterministic rings from the sorted serving list. Every
+/// member computes the identical ring from the identical list (seedless
+/// hash — see cluster/ring.hpp), so ownership agrees bit-for-bit cluster
+/// wide without any coordination beyond gossip convergence.
+void rebuild_rings(ShardCluster& cs, SiteId self) {
+  std::vector<SiteId> members;
+  std::vector<SiteId> donors;
+  members.reserve(cs.serving.size());
+  for (const std::uint32_t site : cs.serving) {
+    members.push_back(SiteId{site});
+    if (site != self.value) donors.push_back(SiteId{site});
+  }
+  cs.ring.set_members(members);
+  cs.donor_ring.set_members(donors);
+}
+
+/// The tentpole: gossip drives the ring. Recompute the serving set from the
+/// membership table; when it changed, purge learned paths and queued
+/// forwards for members that left (gossip-confirmed dead — queueing more at
+/// them only delays the client's retry), rebuild the rings, bump the
+/// cross-node ring epoch and stamp it into the transport so stale-epoch
+/// forwards bounce back with a kRingUpdate hint.
+void maybe_rebalance(cluster::MembershipTable& table, ShardCluster& cs,
+                     net::TcpTransport& transport, StatsBoard& board,
+                     SiteId self) {
+  table.serving_members(cs.scratch);
+  if (cs.scratch == cs.serving) return;
+  for (const std::uint32_t site : cs.serving) {
+    if (site != self.value &&
+        std::find(cs.scratch.begin(), cs.scratch.end(), site) ==
+            cs.scratch.end()) {
+      transport.purge_member(SiteId{site});
+    }
+  }
+  cs.serving.swap(cs.scratch);
+  rebuild_rings(cs, self);
+  // Monotonic bump: the membership epoch versioned the change and normally
+  // dominates, but an adopted kRingUpdate hint may have pushed us ahead.
+  cs.ring_epoch = std::max(table.epoch(), cs.ring_epoch + 1);
+  ++cs.rebalances;
+  transport.set_ring(cs.ring_epoch, cs.serving);
+  board.set(StatKey::kClusterRingEpoch,
+            static_cast<std::int64_t>(cs.ring_epoch));
+  board.set(StatKey::kClusterRebalances,
+            static_cast<std::int64_t>(cs.rebalances));
+}
 
 /// Per-site board gauges (watchdog age, stage/staleness percentiles, ...):
 /// the boards are lock-free, so this is safe whether the loops run or not.
@@ -455,14 +561,8 @@ int main(int argc, char** argv) {
   config.cluster_replicas = opt.cluster;
   config.cluster_push_mode = opt.cluster_push_mode;
   config.replica_ttl = SimTime::micros(opt.replica_ttl_us);
-
-  // Cluster mode: one deterministic consistent-hash ring over all
-  // configured members, shared by every shard (and recomputed identically
-  // by owner-aware clients — see cluster/ring.hpp on determinism).
-  auto ring = std::make_shared<cluster::HashRing>();
-  if (opt.cluster) {
-    ring->set_members(cluster);
-  }
+  config.admit_rate_per_s = opt.admit_rate;
+  config.admit_burst = opt.admit_burst;
 
   // Bind every shard first (the loops are not running yet), so ephemeral
   // ports are known before inter-shard routes are added.
@@ -511,10 +611,29 @@ int main(int argc, char** argv) {
     s.server->set_stats_board(s.board.get());
     s.server->set_flight_recorder(s.flight.get());
     s.server->attach();
+    if (opt.admit_rate > 0) {
+      // Admission shed replies: kOverloaded over the client's learned
+      // return path (or its own connection when it dialed us directly).
+      net::TcpTransport* transport = s.transport.get();
+      const SiteId self = s.site;
+      s.server->set_overloaded_sender(
+          [transport, self](SiteId client, ObjectId object,
+                            std::uint64_t request_id,
+                            std::int64_t retry_after_us) {
+            transport->send_overloaded(
+                self, client,
+                wire::Overloaded{object.value, request_id, retry_after_us});
+          });
+    }
     if (opt.cluster) {
       s.transport->enable_cluster(s.site);
+      s.cs = std::make_unique<ShardCluster>();
+      ShardCluster* cs = s.cs.get();
+      for (const SiteId member : cluster) cs->serving.push_back(member.value);
+      rebuild_rings(*cs, s.site);
+      s.transport->set_ring(0, cs->serving);  // epoch 0: baseline, no hints
       s.server->set_ownership(
-          [ring](ObjectId object) { return ring->owner_of(object); });
+          [cs](ObjectId object) { return cs->ring.owner_of(object); });
       net::TcpTransport* transport = s.transport.get();
       ObjectServer* server = s.server.get();
       const SiteId self = s.site;
@@ -548,26 +667,156 @@ int main(int argc, char** argv) {
       StatsBoard* board = s.board.get();
       FlightRecorder* flight = s.flight.get();
       const std::int64_t suspect_us = 3 * opt.heartbeat_ms * 1000;
+      const std::int64_t dead_grace_us = opt.dead_grace_ms * 1000;
       s.transport->set_membership_handler(
-          [table, board, flight, loop, suspect_us](
-              SiteId from, std::uint64_t epoch,
-              std::span<const wire::MemberEntry> members) {
+          [table, board, flight, loop, transport, cs, self, suspect_us,
+           dead_grace_us](SiteId from, std::uint64_t epoch,
+                          std::uint64_t /*peer_ring_epoch*/,
+                          std::span<const wire::MemberEntry> members) {
             const std::int64_t now_us = loop->now().as_micros();
             bool changed = table->heard_from(from.value, now_us);
             changed |= table->merge(epoch, members, now_us);
             changed |= table->suspect_silent(now_us, suspect_us);
+            changed |= table->kill_silent(now_us, suspect_us, dead_grace_us);
             board->set(StatKey::kClusterMembers,
                        static_cast<std::int64_t>(table->alive_count()));
             board->set(StatKey::kClusterEpoch,
                        static_cast<std::int64_t>(table->epoch()));
-            if (changed && flight != nullptr) {
+            if (!changed) return;
+            if (flight != nullptr) {
               for (const cluster::Member& m : table->members()) {
                 flight->record(TraceEventType::kClusterMember, now_us,
                                kNoObject, 0,
                                static_cast<std::int64_t>(m.site), m.status);
               }
             }
+            maybe_rebalance(*table, *cs, *transport, *board, self);
           });
+      // A bounced stale forward comes back with the bouncer's ring: adopt
+      // any strictly newer view immediately instead of waiting for our own
+      // gossip to re-derive it.
+      s.transport->set_ring_update_handler(
+          [cs, transport, board, self](
+              SiteId, std::uint64_t epoch,
+              std::span<const std::uint32_t> members) {
+            if (epoch <= cs->ring_epoch || members.empty()) return;
+            cs->serving.assign(members.begin(), members.end());
+            rebuild_rings(*cs, self);
+            cs->ring_epoch = epoch;
+            ++cs->rebalances;
+            transport->set_ring(cs->ring_epoch, cs->serving);
+            board->set(StatKey::kClusterRingEpoch,
+                       static_cast<std::int64_t>(cs->ring_epoch));
+            board->set(StatKey::kClusterRebalances,
+                       static_cast<std::int64_t>(cs->rebalances));
+          });
+      // Donor side of anti-entropy: answer a warming requester with the
+      // slice our CURRENT ring assigns to it. Not-ready (rather than an
+      // empty done) while our view lags the requester's epoch or has not
+      // yet re-admitted it to the serving set — an empty "done" would end
+      // its warm-up with nothing.
+      s.transport->set_slice_sync_server(
+          [server, cs](SiteId requester, const wire::SliceSyncRequest& rq,
+                       std::vector<wire::SliceRecord>& out,
+                       std::uint32_t& next_cursor) -> std::uint8_t {
+            const bool known =
+                std::find(cs->serving.begin(), cs->serving.end(),
+                          requester.value) != cs->serving.end();
+            if (rq.ring_epoch > cs->ring_epoch || !known) {
+              return wire::kSliceNotReady;
+            }
+            const bool done = server->collect_slice(
+                requester, rq.cursor, rq.max_records, rq.if_newer_than_us,
+                out, next_cursor);
+            return done ? wire::kSliceDone : wire::kSliceMore;
+          });
+      // A WARMING owner answers writes locally but forwards reads it has no
+      // copy of through the previous owner, flagged serve-here.
+      s.server->set_warm_miss_forwarder(
+          [transport, cs, self](ObjectId object, const Message& m) {
+            if (cs->donor_ring.empty()) return false;
+            const SiteId donor = cs->donor_ring.owner_of(object);
+            if (donor == self) return false;
+            return transport->forward_serve_here(self, donor, m);
+          });
+      if (opt.warm_up) {
+        // Requester side: WARMING until every peer has streamed the slice
+        // it holds for us (resumable cursors, not-ready retried on the pump
+        // cadence) or the deadline passes. WAL replay already ran, so
+        // install keeps whichever copy has the newer write time.
+        for (const SiteId member : cluster) {
+          if (member != s.site) {
+            cs->warm_peers.push_back(
+                ShardCluster::WarmPeer{member.value, 0, 0, false});
+          }
+        }
+        // A cluster of one has nobody to warm from.
+        if (!cs->warm_peers.empty()) s.server->begin_warming();
+        auto warm_send = [transport, cs, self](ShardCluster::WarmPeer& p) {
+          p.seq = cs->next_seq++;
+          wire::SliceSyncRequest rq;
+          rq.seq = p.seq;
+          rq.ring_epoch = cs->ring_epoch;
+          rq.cursor = p.cursor;
+          rq.max_records = wire::kMaxSliceRecords;
+          rq.if_newer_than_us = -1;  // everything, even write-time-zero
+          transport->send_slice_sync(self, SiteId{p.site}, rq);
+        };
+        auto warm_finish = [server, self](const char* why) {
+          if (!server->warming()) return;
+          server->finish_warming();
+          std::printf("WARMED %u %s\n", self.value, why);
+          std::fflush(stdout);
+        };
+        s.transport->set_slice_sync_reply_handler(
+            [server, cs, warm_send, warm_finish](
+                SiteId donor, std::uint64_t seq, std::uint64_t /*epoch*/,
+                std::uint8_t status, std::uint32_t next_cursor,
+                std::span<const wire::SliceRecord> records) {
+              if (!server->warming()) return;
+              for (ShardCluster::WarmPeer& p : cs->warm_peers) {
+                if (p.site != donor.value || p.seq != seq || p.done) continue;
+                for (const wire::SliceRecord& rec : records) {
+                  server->install_sync_record(rec);
+                }
+                if (status == wire::kSliceNotReady) return;  // pump retries
+                if (status == wire::kSliceMore) {
+                  p.cursor = next_cursor;
+                  warm_send(p);
+                  return;
+                }
+                p.done = true;
+                bool all = true;
+                for (const ShardCluster::WarmPeer& q : cs->warm_peers) {
+                  all &= q.done;
+                }
+                if (all) warm_finish("synced");
+                return;
+              }
+            });
+        const std::int64_t warm_timeout_us = opt.warm_timeout_ms * 1000;
+        s.warm_pump = std::make_shared<std::function<void()>>();
+        auto pump = s.warm_pump;
+        *pump = [loop, server, cs, warm_send, warm_finish, warm_timeout_us,
+                 pump]() {
+          if (!server->warming()) return;
+          const std::int64_t now_us = loop->now().as_micros();
+          if (cs->warm_deadline_us == 0) {
+            cs->warm_deadline_us = now_us + warm_timeout_us;
+          }
+          if (now_us >= cs->warm_deadline_us) {
+            warm_finish("timeout");
+            return;
+          }
+          // Re-send for every unfinished peer: loss, a dead route, or a
+          // not-ready donor all heal here (the seq filter drops whatever
+          // stale reply the resend obsoletes).
+          for (ShardCluster::WarmPeer& p : cs->warm_peers) {
+            if (!p.done) warm_send(p);
+          }
+          loop->run_after(SimTime::millis(200), [pump] { (*pump)(); });
+        };
+      }
       s.board->set(StatKey::kClusterMembers,
                    static_cast<std::int64_t>(s.membership->alive_count()));
       s.board->set(StatKey::kClusterEpoch,
@@ -641,6 +890,9 @@ int main(int argc, char** argv) {
       shards[i].loop->post([transport, targets]() {
         for (const SiteId t : targets) transport->prime_supervised(t);
       });
+      if (shards[i].warm_pump) {
+        shards[i].loop->post([pump = shards[i].warm_pump] { (*pump)(); });
+      }
     }
   }
 

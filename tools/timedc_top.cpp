@@ -223,16 +223,20 @@ void print_prom(const BoardMap& boards) {
 /// the previous poll); pass prev_ms < 0 on the first frame. DROPS counts
 /// frames shed at the transport (full SendQueue or dead peer), OVFL the
 /// flight-recorder ring overwrites, FWD/PUSH/MEMB the cluster layer
-/// (forwards out+in, owner pushes, alive member count) — all zero on a
+/// (forwards out+in, owner pushes, alive member count), RBAL the ring
+/// rebalances this process has applied, WARM the slice records installed
+/// by anti-entropy warm-up, SHED the operations the admission gate
+/// refused or deferred (reads shed + writes deferred) — all zero on a
 /// standalone server.
 void print_table(const BoardMap& boards, const BoardMap& prev,
                  std::int64_t dt_ms, bool clear_screen) {
   if (clear_screen) std::fputs("\x1b[H\x1b[2J", stdout);
-  std::printf("%8s %12s %10s %10s %10s %6s %7s %6s %6s %7s %7s %5s %8s %9s "
-              "%9s %9s %9s %9s\n",
+  std::printf("%8s %12s %10s %10s %10s %6s %7s %6s %6s %7s %7s %5s %5s %7s "
+              "%6s %8s %9s %9s %9s %9s %9s\n",
               "SITE", "OPS", "OPS/S", "FRAMES_IN", "FRAMES_OUT", "CONN",
-              "SLOW", "DROPS", "OVFL", "FWD", "PUSH", "MEMB", "AGE_MS",
-              "DEC_P99", "APPLY_P99", "FLUSH_P99", "STALE_P50", "STALE_P99");
+              "SLOW", "DROPS", "OVFL", "FWD", "PUSH", "MEMB", "RBAL", "WARM",
+              "SHED", "AGE_MS", "DEC_P99", "APPLY_P99", "FLUSH_P99",
+              "STALE_P50", "STALE_P99");
   for (const auto& [site, stats] : boards) {
     const std::int64_t ops = val(stats, StatKey::kOpsApplied);
     double ops_per_s = 0;
@@ -244,7 +248,8 @@ void print_table(const BoardMap& boards, const BoardMap& prev,
     }
     std::printf("%8u %12" PRId64 " %10.0f %10" PRId64 " %10" PRId64
                 " %6" PRId64 " %7" PRId64 " %6" PRId64 " %6" PRId64
-                " %7" PRId64 " %7" PRId64 " %5" PRId64 " %8.1f %9" PRId64
+                " %7" PRId64 " %7" PRId64 " %5" PRId64 " %5" PRId64
+                " %7" PRId64 " %6" PRId64 " %8.1f %9" PRId64
                 " %9" PRId64 " %9" PRId64 " %9" PRId64 " %9" PRId64 "\n",
                 site, ops, ops_per_s, val(stats, StatKey::kFramesIn),
                 val(stats, StatKey::kFramesOut),
@@ -256,6 +261,10 @@ void print_table(const BoardMap& boards, const BoardMap& prev,
                     val(stats, StatKey::kClusterForwardsIn),
                 val(stats, StatKey::kClusterPushes),
                 val(stats, StatKey::kClusterMembers),
+                val(stats, StatKey::kClusterRebalances),
+                val(stats, StatKey::kClusterSlicesSynced),
+                val(stats, StatKey::kClusterReadsShed) +
+                    val(stats, StatKey::kClusterWritesDeferred),
                 static_cast<double>(val(stats, StatKey::kLastTickAgeUs)) /
                     1000.0,
                 val(stats, StatKey::kStageDecodeP99Us),
